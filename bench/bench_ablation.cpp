@@ -1,0 +1,222 @@
+// Ablations of the PSA's design choices (Section III / V-A claims that the
+// main evaluation doesn't quantify):
+//
+//   A. Sensor-size matching: "The size of a single sensor within the PSA
+//      can also be programmed to approximately match the size of a HT,
+//      ensuring the highest magnetic field emanations from HTs are
+//      captured." — sweep programmed coil size over the small Trojan T3.
+//   B. Localization by reshaping: refine the 16-scan winner with 2x2
+//      quadrant coils; report the position error against the floorplan's
+//      ground truth (an ability no fixed-coil design has).
+//   C. Wire geometry (Section V-A): frequency-sweep figure of merit over
+//      candidate pitch/width under the 6.25 % routing budget.
+//   D. OCM (Fujimoto [10][11]): the paper's "requires further
+//      investigation" — run the same golden-free detector on the supply
+//      rail and show it detects but cannot localize.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/pipeline.hpp"
+#include "analysis/roc.hpp"
+#include "baseline/ocm.hpp"
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "psa/wire_model.hpp"
+#include "sim/thermal.hpp"
+
+int main() {
+  using namespace psa;
+  bench::print_banner(
+      "ABLATIONS: SENSOR SIZING, RESHAPING, WIRE GEOMETRY, OCM",
+      "programmable size/shape is what buys SNR and localization "
+      "(Sections III and V-A)");
+
+  auto& tb = bench::TestBench::instance();
+  const auto& chip = tb.chip();
+
+  // ---------- A: programmed coil size vs captured Trojan signal.
+  std::printf("\n-- A. coil size vs captured T3 sideband (coil centred on "
+              "the Trojan)\n");
+  {
+    const afe::SpectrumAnalyzer sa;
+    Table t({"coil span [um]", "T3 line @48MHz [uV]", "relative [dB]"});
+    // Loops centred on sensor 10's core (rows/cols around 21-22).
+    double ref = -1.0;
+    double best = -1.0;
+    double best_span = 0.0;
+    for (std::size_t half : {1, 2, 3, 5, 8, 11, 13}) {
+      const std::size_t lo = 21 - half;
+      const std::size_t hi = 22 + half;
+      const auto view = chip.view_from_program(
+          sensor::CoilProgrammer::rect_loop(lo, lo, hi, hi),
+          "span" + std::to_string(half));
+      const auto on = chip.measure(
+          view, sim::Scenario::with_trojan(trojan::TrojanKind::kT3CdmaLeak, 5),
+          2048);
+      const auto sp = sa.sweep(on.samples, on.sample_rate_hz);
+      const double line = sp.value_at(48.0e6);
+      if (ref < 0.0) ref = line;
+      const double span = static_cast<double>(hi - lo) * 16.0;
+      if (line > best) {
+        best = line;
+        best_span = span;
+      }
+      t.add_row({fmt(span, 0), fmt(line * 1e6, 2),
+                 fmt(amplitude_db(line / ref), 1)});
+    }
+    t.print(std::cout);
+    std::printf("strongest capture at %.0f um span (T3 block is ~40 um; the "
+                "optimum tracks\nthe sqrt(2)*h_eff return radius plus the "
+                "block size, and oversized loops lose\nsignal to "
+                "self-cancellation — the size-matching claim).\n",
+                best_span);
+  }
+
+  // ---------- B: quadrant refinement accuracy.
+  std::printf("\n-- B. localization by reshaping: 2x2 quadrant coils inside "
+              "the winner\n");
+  {
+    analysis::Pipeline pipeline(chip);
+    pipeline.enroll(sim::Scenario::baseline(4100));
+    Table t({"Trojan", "quadrant", "refined window [um]", "estimate [um]",
+             "truth [um]", "error [um]"});
+    double worst_err = 0.0;
+    for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+      const sim::Scenario sc = sim::Scenario::with_trojan(kind, 4200);
+      const analysis::DetectionResult det = pipeline.detect(10, sc);
+      const analysis::RefinedLocation ref =
+          pipeline.refine_localization(10, det.peak_freq_hz, sc);
+      const Point truth =
+          chip.floorplan().module_centroid(trojan::module_name(kind));
+      const double err = distance(ref.estimate, truth);
+      worst_err = std::max(worst_err, err);
+      t.add_row({trojan::module_name(kind), std::to_string(ref.best_quadrant),
+                 "x[" + fmt(ref.quadrant_region.lo.x, 0) + "," +
+                     fmt(ref.quadrant_region.hi.x, 0) + "] y[" +
+                     fmt(ref.quadrant_region.lo.y, 0) + "," +
+                     fmt(ref.quadrant_region.hi.y, 0) + "]",
+                 "(" + fmt(ref.estimate.x, 0) + "," + fmt(ref.estimate.y, 0) +
+                     ")",
+                 "(" + fmt(truth.x, 0) + "," + fmt(truth.y, 0) + ")",
+                 fmt(err, 0)});
+    }
+    t.print(std::cout);
+    std::printf("worst centroid error: %.0f um on a 576 um die — each Trojan "
+                "lands in its own\n80 um window (no fixed coil or external "
+                "probe can do this).\n",
+                worst_err);
+  }
+
+  // ---------- C: Section V-A wire-geometry sweep.
+  std::printf("\n-- C. frequency-sweep wire geometry selection "
+              "(10-100 MHz band, 6.25%% routing budget)\n");
+  {
+    const auto ranked = sensor::sweep_geometries(
+        {8.0, 16.0, 32.0, 64.0}, {0.25, 0.5, 1.0, 2.0, 4.0},
+        /*span_um=*/176.0, /*routing_budget=*/1.0 / 16.0);
+    Table t({"pitch [um]", "width [um]", "routing", "band FOM"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(ranked.size(), 8); ++i) {
+      const auto& [g, fom] = ranked[i];
+      t.add_row({fmt(g.pitch_um, 0), fmt(g.width_um, 2),
+                 fmt(100.0 * g.width_um / g.pitch_um, 2) + " %",
+                 fmt(fom, 4)});
+    }
+    t.print(std::cout);
+    std::printf("paper's choice: 16 um segments, 1 um width (6.25 %% of "
+                "tracks). Within the\nbudget, wider wire always wins "
+                "electrically; 16/1 is the densest lattice that\nstays on "
+                "budget while keeping the 12-wire sensor granularity.\n");
+  }
+
+  // ---------- D: OCM (supply-rail) detection — spatially blind.
+  std::printf("\n-- D. on-chip power-noise measurement (OCM, [10][11])\n");
+  {
+    baseline::OcmDetector ocm(chip);
+    ocm.enroll(sim::Scenario::baseline(4300));
+    Table t({"Trojan", "OCM detects", "OCM z", "localizes?"});
+    int detected = 0;
+    for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+      const analysis::DetectionResult r =
+          ocm.detect(sim::Scenario::with_trojan(kind, 4400));
+      detected += r.detected ? 1 : 0;
+      t.add_row({trojan::module_name(kind), r.detected ? "yes" : "no",
+                 fmt(r.score, 0), "no (one rail, whole die)"});
+    }
+    t.print(std::cout);
+    std::printf("OCM detection %d/4 — the paper's conjecture holds: the "
+                "supply rail can detect\nactive Trojans, but only the PSA "
+                "adds the spatial dimension.\n",
+                detected);
+  }
+  // ---------- E: multi-turn sensors (the green 6-turn coil of Fig. 2).
+  std::printf("\n-- E. turns vs captured signal (same 24-pitch footprint)\n");
+  {
+    const afe::SpectrumAnalyzer sa;
+    Table t({"turns", "switches", "R [ohm]", "AES rms @ADC [mV]",
+             "rel [dB]"});
+    double ref = -1.0;
+    for (std::size_t turns : {1, 2, 4, 6}) {
+      const auto prog = sensor::CoilProgrammer::spiral(12, 12, 31, 31, turns);
+      const auto ex = prog.extract();
+      const auto view = chip.view_from_program(prog,
+                                               "t" + std::to_string(turns));
+      const auto tr = chip.measure(view, sim::Scenario::baseline(61), 2048);
+      double rms = 0.0;
+      for (double v : tr.samples) rms += v * v;
+      rms = std::sqrt(rms / static_cast<double>(tr.samples.size()));
+      if (ref < 0.0) ref = rms;
+      t.add_row({std::to_string(turns), std::to_string(ex.path->switch_count()),
+                 fmt(ex.path->resistance_ohm(chip.tgate(), 1.0, 300.0), 0),
+                 fmt(rms * 1e3, 2), fmt(amplitude_db(rms / ref), 1)});
+    }
+    t.print(std::cout);
+    std::printf("(each turn adds flux linkage but also 4 T-gates of series "
+                "resistance; the\ndivider into the 1 kohm amplifier input "
+                "caps the return.)\n");
+  }
+
+  // ---------- F: detector operating characteristic / threshold headroom.
+  std::printf("\n-- F. detector ROC at sensor 10 (4 negative trials, 4 "
+              "positive per Trojan)\n");
+  {
+    analysis::Pipeline pipeline(chip);
+    pipeline.enroll(sim::Scenario::baseline(4500));
+    const analysis::RocAnalysis roc =
+        analysis::roc_analysis(pipeline, 10, 4, 0.0, 4600);
+    std::printf("negative scores (max z): %.1f .. %.1f\n",
+                roc.negative_scores.front(), roc.negative_scores.back());
+    std::printf("positive scores (max z): %.1f .. %.1f\n",
+                roc.positive_scores.front(), roc.positive_scores.back());
+    std::printf("AUC = %.3f; recommended threshold = %.1f (deployed "
+                "default: %.1f)\n",
+                roc.auc, roc.recommended_threshold,
+                analysis::GoldenFreeDetector::Params{}.z_threshold);
+    std::printf("headroom: weakest Trojan scores %.0fx the strongest "
+                "false-alarm score.\n",
+                roc.positive_scores.front() / roc.negative_scores.back());
+  }
+
+  // ---------- G: T4's thermal signature (the DoS endgame).
+  std::printf("\n-- G. T4 overheating trajectory (lumped RC thermal "
+              "model)\n");
+  {
+    const double p_base =
+        sim::average_dynamic_power(chip, sim::Scenario::baseline(71), 512);
+    const double p_dos = sim::average_dynamic_power(
+        chip, sim::Scenario::with_trojan(trojan::TrojanKind::kT4DoS, 71),
+        512);
+    const sim::ThermalModel model;
+    std::printf("dynamic power: baseline %.1f mW, T4 active %.1f mW "
+                "(+%.0f %%)\n",
+                p_base * 1e3, p_dos * 1e3, 100.0 * (p_dos / p_base - 1.0));
+    std::printf("steady-state junction: baseline %.1f C, T4 active %.1f C "
+                "(settles in %.1f s)\n",
+                model.steady_state_k(p_base) - kZeroCelsiusK,
+                model.steady_state_k(p_dos) - kZeroCelsiusK,
+                model.settle_time_s(model.steady_state_k(p_base), p_dos));
+    std::printf("(the temperature rise also shifts T-gate R_on per Section "
+                "VI-C — a slow\nconfirmation channel for a DoS verdict.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Run-time feasibility microbenchmarks (google-benchmark): the on-board
+// processing budget behind the "<10 ms MTTD" claim. One 31 µs trace must be
+// swept, scored, and (on alarm) zero-spanned well inside the 1 ms
+// measurement interval the monitor assumes.
+#include <benchmark/benchmark.h>
+
+#include "afe/spectrum_analyzer.hpp"
+#include "analysis/detector.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/goertzel.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace {
+
+using namespace psa;
+
+std::vector<double> random_trace(std::size_t n) {
+  Rng rng(n);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.gaussian();
+  return x;
+}
+
+void BM_FftForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dsp::cplx> data(n);
+  Rng rng(1);
+  for (auto& c : data) c = {rng.gaussian(), rng.gaussian()};
+  for (auto _ : state) {
+    std::vector<dsp::cplx> work = data;
+    dsp::fft_inplace(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftForward)->Arg(1024)->Arg(8192)->Arg(32768)->Arg(131072);
+
+void BM_AmplitudeSpectrum32k(benchmark::State& state) {
+  const auto trace = random_trace(32768);
+  for (auto _ : state) {
+    const auto s = dsp::amplitude_spectrum(trace, 1.056e9);
+    benchmark::DoNotOptimize(s.magnitude.data());
+  }
+}
+BENCHMARK(BM_AmplitudeSpectrum32k);
+
+void BM_AnalyzerSweepToDisplayGrid(benchmark::State& state) {
+  const auto trace = random_trace(32768);
+  const afe::SpectrumAnalyzer sa;
+  for (auto _ : state) {
+    const auto s = sa.sweep(trace, 1.056e9);
+    benchmark::DoNotOptimize(s.magnitude.data());
+  }
+}
+BENCHMARK(BM_AnalyzerSweepToDisplayGrid);
+
+void BM_Goertzel32k(benchmark::State& state) {
+  const auto trace = random_trace(32768);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::goertzel(trace, 1.056e9, 48.0e6));
+  }
+}
+BENCHMARK(BM_Goertzel32k);
+
+void BM_ZeroSpan128k(benchmark::State& state) {
+  const auto trace = random_trace(131072);
+  const afe::SpectrumAnalyzer sa;
+  for (auto _ : state) {
+    const auto tr = sa.zero_span(trace, 1.056e9, 48.0e6, 2.0e6);
+    benchmark::DoNotOptimize(tr.magnitude.data());
+  }
+}
+BENCHMARK(BM_ZeroSpan128k);
+
+void BM_DetectorScore(benchmark::State& state) {
+  // Enrollment once; scoring is the hot runtime path.
+  Rng rng(7);
+  const auto mk = [&]() {
+    dsp::Spectrum s;
+    for (int i = 0; i < 2000; ++i) {
+      s.freq_hz.push_back(120.0e6 * i / 1999.0);
+      s.magnitude.push_back(1e-4 * (1.0 + 0.1 * rng.gaussian()));
+    }
+    return s;
+  };
+  analysis::GoldenFreeDetector det;
+  std::vector<dsp::Spectrum> enroll;
+  for (int i = 0; i < 8; ++i) enroll.push_back(mk());
+  det.enroll(enroll);
+  const dsp::Spectrum obs = mk();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.score(obs));
+  }
+}
+BENCHMARK(BM_DetectorScore);
+
+void BM_FullTracePipeline(benchmark::State& state) {
+  // Sweep + score for one 32k-sample trace: must fit far inside the 1 ms
+  // per-trace budget of the runtime monitor.
+  const auto trace = random_trace(32768);
+  const afe::SpectrumAnalyzer sa;
+  Rng rng(9);
+  analysis::GoldenFreeDetector det;
+  std::vector<dsp::Spectrum> enroll;
+  for (int i = 0; i < 8; ++i) {
+    enroll.push_back(sa.sweep(random_trace(32768), 1.056e9));
+  }
+  det.enroll(enroll);
+  for (auto _ : state) {
+    const auto s = sa.sweep(trace, 1.056e9);
+    benchmark::DoNotOptimize(det.score(s));
+  }
+}
+BENCHMARK(BM_FullTracePipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

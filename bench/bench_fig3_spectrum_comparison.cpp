@@ -1,0 +1,64 @@
+// Fig. 3 — spectrum magnitude comparison: PSA vs an external EM probe over
+// DC-120 MHz, including the dB difference curve (the paper's green trace,
+// "up to 55 dB higher").
+#include <cstdio>
+#include <iostream>
+
+#include "afe/spectrum_analyzer.hpp"
+#include "bench_util.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/stats.hpp"
+
+int main() {
+  using namespace psa;
+  bench::print_banner(
+      "FIG. 3: SPECTRUM MAGNITUDE, PSA vs EXTERNAL EM PROBE",
+      "PSA spectrum up to ~55 dB above the external probe across the band");
+
+  auto& tb = bench::TestBench::instance();
+  const auto& chip = tb.chip();
+  const afe::SpectrumAnalyzer sa;
+  constexpr std::size_t kCycles = 4096;
+
+  const auto scenario = sim::Scenario::baseline(11);
+  const auto tr_psa = chip.measure(tb.sensor(10), scenario, kCycles);
+  const auto tr_probe = chip.measure(tb.lf1(), scenario, kCycles);
+  const auto sp_psa = sa.averaged_sweep(tr_psa.samples,
+                                        tr_psa.sample_rate_hz, 4);
+  const auto sp_probe = sa.averaged_sweep(tr_probe.samples,
+                                          tr_probe.sample_rate_hz, 4);
+  const std::vector<double> diff_db = dsp::difference_db(sp_psa, sp_probe);
+
+  // Print a decimated version of the three curves (every 100th display bin).
+  Table table({"f [MHz]", "PSA [dBV]", "probe [dBV]", "difference [dB]"});
+  const auto psa_db = sp_psa.magnitude_db();
+  const auto probe_db = sp_probe.magnitude_db();
+  for (std::size_t i = 0; i < sp_psa.size(); i += 100) {
+    table.add_row({fmt(sp_psa.freq_hz[i] / 1e6, 1), fmt(psa_db[i], 1),
+                   fmt(probe_db[i], 1), fmt(diff_db[i], 1)});
+  }
+  table.print(std::cout);
+
+  // Band summary restricted to the instrumented band (>= 12 MHz).
+  double max_diff = -300.0;
+  double max_f = 0.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < diff_db.size(); ++i) {
+    if (sp_psa.freq_hz[i] < 12.0e6) continue;
+    if (diff_db[i] > max_diff) {
+      max_diff = diff_db[i];
+      max_f = sp_psa.freq_hz[i];
+    }
+    sum += diff_db[i];
+    ++n;
+  }
+  std::printf(
+      "\nMax PSA-minus-probe difference: %.1f dB at %.1f MHz (paper: up to "
+      "~55 dB)\nMean in-band difference: %.1f dB\n",
+      max_diff, max_f / 1e6, sum / static_cast<double>(n));
+  std::printf("Reproduction: %s\n",
+              max_diff > 35.0 ? "shape holds (PSA tens of dB above probe)"
+                              : "MISMATCH: difference smaller than expected");
+  return 0;
+}

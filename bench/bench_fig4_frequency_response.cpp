@@ -1,0 +1,79 @@
+// Fig. 4 — frequency response captured by sensors 10 and 0 for each Trojan,
+// active (red) vs inactive (blue): the sideband components of the clock
+// harmonics appear at sensor 10 only when a Trojan is active, and sensor 0
+// (no Trojan beneath) shows hardly any difference.
+#include <cstdio>
+#include <iostream>
+
+#include "afe/spectrum_analyzer.hpp"
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "trojan/trojan.hpp"
+
+int main() {
+  using namespace psa;
+  bench::print_banner(
+      "FIG. 4: FREQUENCY RESPONSE, SENSORS 10 AND 0, HT ACTIVE vs INACTIVE",
+      "48 MHz / 84 MHz sidebands appear at sensor 10 for every active HT; "
+      "sensor 0 shows hardly any difference (5-trace averages)");
+
+  auto& tb = bench::TestBench::instance();
+  const auto& chip = tb.chip();
+  const afe::SpectrumAnalyzer sa;
+  constexpr std::size_t kCycles = 1024;
+  constexpr std::size_t kAverages = 5;  // the paper averages five traces
+
+  const auto averaged = [&](const sim::SensorView& view,
+                            const sim::Scenario& base) {
+    std::vector<dsp::Spectrum> sweeps;
+    for (std::size_t i = 0; i < kAverages; ++i) {
+      sim::Scenario s = base;
+      s.seed = base.seed + 17 * (i + 1);
+      const auto tr = chip.measure(view, s, kCycles);
+      sweeps.push_back(sa.sweep(tr.samples, tr.sample_rate_hz));
+    }
+    return dsp::average_spectra(sweeps);
+  };
+
+  Table table({"Subfig", "Trojan", "Sensor", "48MHz on->off [dB]",
+               "84MHz on->off [dB]", "verdict"});
+  const char* subfig[] = {"(a)", "(b)", "(c)", "(d)"};
+  int idx = 0;
+  bool all_good = true;
+  for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+    const auto off10 = averaged(tb.sensor(10), sim::Scenario::baseline(21));
+    const auto on10 =
+        averaged(tb.sensor(10), sim::Scenario::with_trojan(kind, 21));
+    const double d48 =
+        amplitude_db(on10.value_at(48.0e6) / off10.value_at(48.0e6));
+    const double d84 =
+        amplitude_db(on10.value_at(84.0e6) / off10.value_at(84.0e6));
+    const bool visible = d48 > 15.0 && d84 > 15.0;
+    all_good = all_good && visible;
+    table.add_row({subfig[idx++], trojan::module_name(kind), "10",
+                   fmt(d48, 1), fmt(d84, 1),
+                   visible ? "sidebands visible" : "NOT visible"});
+  }
+  // Subfigure (e): sensor 0 with T1 active — the control case.
+  {
+    const auto off0 = averaged(tb.sensor(0), sim::Scenario::baseline(22));
+    const auto on0 = averaged(
+        tb.sensor(0),
+        sim::Scenario::with_trojan(trojan::TrojanKind::kT1AmCarrier, 22));
+    const double d48 =
+        amplitude_db(on0.value_at(48.0e6) / off0.value_at(48.0e6));
+    const double d84 =
+        amplitude_db(on0.value_at(84.0e6) / off0.value_at(84.0e6));
+    const bool quiet = d48 < 10.0 && d84 < 10.0;
+    all_good = all_good && quiet;
+    table.add_row({"(e)", "t1", "0", fmt(d48, 1), fmt(d84, 1),
+                   quiet ? "hardly any difference" : "UNEXPECTED contrast"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReproduction: %s — sidebands of the 1st/3rd clock harmonics flag "
+      "every\nactive Trojan at sensor 10 while sensor 0 stays blind, as in "
+      "Fig. 4.\n",
+      all_good ? "shape holds" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Section VI-D — mean time to detect: fewer than ten traces and < 10 ms for
+// every Trojan through the runtime monitor, compared against the single-coil
+// statistical baseline's trace appetite.
+#include <cstdio>
+#include <iostream>
+
+#include "afe/spectrum_analyzer.hpp"
+#include "analysis/monitor.hpp"
+#include "analysis/pipeline.hpp"
+#include "baseline/euclidean_detector.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace psa;
+  bench::print_banner(
+      "SECTION VI-D: MEAN TIME TO DETECT (MTTD)",
+      "fewer than 10 traces collected to detect a HT -> < 10 ms MTTD; "
+      "single-coil prior work needs >10,000 measurements");
+
+  auto& tb = bench::TestBench::instance();
+  analysis::Pipeline pipeline(tb.chip());
+  std::printf("[enrolling...]\n\n");
+  pipeline.enroll(sim::Scenario::baseline(5000));
+  const analysis::RuntimeMonitor monitor(pipeline);
+
+  Table table({"Trojan", "traces to alarm", "MTTD [ms]", "paper bound",
+               "within bound"});
+  constexpr int kRepeats = 3;
+  bool all_ok = true;
+  for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+    double worst_traces = 0.0;
+    double worst_mttd = 0.0;
+    bool alarmed = true;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const auto seed = static_cast<std::uint64_t>(600 + 13 * rep);
+      const analysis::MonitorOutcome out = monitor.run(
+          sim::Scenario::baseline(seed),
+          sim::Scenario::with_trojan(kind, seed), /*activation_trace=*/4);
+      alarmed = alarmed && out.alarmed;
+      worst_traces = std::max(worst_traces,
+                              static_cast<double>(out.traces_after_activation));
+      worst_mttd = std::max(worst_mttd, out.mttd_s);
+    }
+    const bool ok = alarmed && worst_traces < 10.0 && worst_mttd < 10.0e-3;
+    all_ok = all_ok && ok;
+    table.add_row({trojan::module_name(kind), fmt(worst_traces, 0),
+                   fmt(worst_mttd * 1e3, 1), "<10 traces, <10 ms",
+                   ok ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  // T1's own trigger: the 21-bit counter reaches 21'h1F_FFFF after
+  // 0x1FFFFF cycles at 33 MHz = 63.6 ms; the monitor, sampling one trace
+  // per millisecond, should raise the alarm right after that.
+  {
+    const double fire_s = static_cast<double>(trojan::kT1CounterPeriod) /
+                          tb.chip().timing().clock_hz;
+    analysis::MonitorConfig cfg;
+    cfg.max_traces = 96;
+    const analysis::RuntimeMonitor counter_monitor(pipeline, cfg);
+    const auto activation_trace = static_cast<std::size_t>(
+        fire_s / cfg.trace_interval_s) + 1;
+    const analysis::MonitorOutcome out = counter_monitor.run(
+        sim::Scenario::baseline(777),
+        sim::Scenario::with_trojan(trojan::TrojanKind::kT1AmCarrier, 777),
+        activation_trace);
+    std::printf("\nT1 self-triggered by its counter at t = %.1f ms: alarm "
+                "%.1f ms after power-up\n(detection lag %.1f ms after the "
+                "payload fired).\n",
+                fire_s * 1e3,
+                (static_cast<double>(activation_trace) +
+                 static_cast<double>(out.traces_after_activation)) *
+                    cfg.trace_interval_s * 1e3,
+                out.mttd_s * 1e3);
+  }
+
+  // Contrast: the Euclidean-distance method on the single whole-die coil
+  // (He/Jiaji-style, time-domain trace distances) chews through traces on
+  // the small Trojan T3 and still does not reach confidence in this pool.
+  std::printf("\nBaseline contrast: single-coil + time-domain Euclidean "
+              "statistics on T3 (small, 329 gates):\n");
+  const auto& chip = tb.chip();
+  constexpr std::size_t kPool = 160;
+  std::vector<std::vector<double>> ref;
+  std::vector<std::vector<double>> test;
+  for (std::size_t i = 0; i < kPool; ++i) {
+    ref.push_back(
+        chip.measure(tb.whole_die(), sim::Scenario::baseline(7000 + i), 512)
+            .samples);
+    test.push_back(chip.measure(tb.whole_die(),
+                                sim::Scenario::with_trojan(
+                                    trojan::TrojanKind::kT3CdmaLeak, 8000 + i),
+                                512)
+                       .samples);
+  }
+  const baseline::EuclideanDetector euclid;
+  const std::size_t needed = euclid.traces_needed(
+      baseline::pool_from_traces(ref), baseline::pool_from_traces(test));
+  if (needed >= 2 * kPool) {
+    std::printf("  not confident after %zu traces (paper: >10,000 and "
+                "fails on T3)\n", 2 * kPool);
+  } else {
+    std::printf("  needed %zu traces (PSA: <10)\n", needed);
+  }
+  std::printf("\nReproduction: %s\n",
+              all_ok ? "MTTD bound holds for all four Trojans"
+                     : "MTTD bound VIOLATED");
+  return 0;
+}

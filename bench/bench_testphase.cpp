@@ -1,0 +1,83 @@
+// Section II-A — test-phase verification vs run-time verification.
+//
+// "During the test phase, efforts are concentrated on the detection of HTs
+// that can be intentionally triggered. ... Most research focuses on
+// developing algorithms to successfully trigger HTs within the minimum
+// amount of time [2][3]."
+//
+// This harness runs that flow on the simulated chip: generate trigger
+// vectors for the plaintext-triggered T2 (random vs MERO-style directed),
+// stream them through the device, and let the PSA watch during test. It
+// also quantifies the run-time argument the paper makes: under normal
+// traffic the trigger essentially never fires, so only run-time monitoring
+// catches a Trojan whose activation the tester cannot guess.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/pipeline.hpp"
+#include "bench_util.hpp"
+#include "testgen/mero.hpp"
+
+int main() {
+  using namespace psa;
+  bench::print_banner(
+      "SECTION II-A: TEST-PHASE TRIGGERING (MERO-STYLE) vs RUN-TIME",
+      "test phase = trigger intentionally with generated vectors; run time "
+      "= wait for activation, measure MTTD");
+
+  auto& tb = bench::TestBench::instance();
+  const auto& chip = tb.chip();
+
+  // ---- 1. Vector generation: random vs directed, N-detect = 10.
+  const std::vector<testgen::RareCondition> conds = {
+      testgen::RareCondition::t2_trigger()};
+  Rng rng(42);
+  const auto random_run = testgen::random_stimulus(conds, 10, 200000, rng);
+  const auto mero_run = testgen::mero_stimulus(conds, 10, 200000, rng);
+
+  Table gen({"Generator", "vectors emitted", "T2 activations",
+             "covered (N=10)"});
+  gen.add_row({"random stimulus", std::to_string(random_run.stats.vectors),
+               std::to_string(random_run.stats.activations[0]),
+               random_run.stats.all_covered ? "yes" : "NO"});
+  gen.add_row({"MERO-style directed", std::to_string(mero_run.stats.vectors),
+               std::to_string(mero_run.stats.activations[0]),
+               mero_run.stats.all_covered ? "yes" : "NO"});
+  gen.print(std::cout);
+  std::printf("(T2's trigger probability under random vectors is 2^-16 ≈ "
+              "1/65536; the directed\ngenerator reaches N-detect coverage "
+              "with ~10 vectors.)\n\n");
+
+  // ---- 2. Test-phase PSA measurement while streaming the vectors.
+  analysis::Pipeline pipeline(chip);
+  std::printf("[enrolling]\n");
+  pipeline.enroll(sim::Scenario::baseline(9100));
+
+  const auto detect_with_vectors =
+      [&](const std::vector<aes::Block>& vectors, const char* label) {
+        sim::Scenario sc =
+            sim::Scenario::with_trojan(trojan::TrojanKind::kT2KeyLeak, 9200);
+        sc.plaintext_mode = aes::PlaintextMode::kRandom;
+        // Feed the generated vectors through the chip's input port. An
+        // empty list = plain random traffic.
+        sc.scripted_plaintexts = vectors;
+        const analysis::DetectionResult r = pipeline.detect(10, sc);
+        std::printf("  %-28s -> detected=%s (z = %.0f)\n", label,
+                    r.detected ? "YES" : "no", r.score);
+        return r.detected;
+      };
+
+  std::printf("\nPSA watching during the test phase (T2 implanted):\n");
+  const bool random_detects =
+      detect_with_vectors({}, "random traffic (trigger idle)");
+  const bool mero_detects =
+      detect_with_vectors(mero_run.vectors, "MERO vectors (trigger fires)");
+
+  std::printf(
+      "\nReproduction: %s — an untriggered T2 is invisible to any "
+      "side-channel\n(nothing switches), directed test vectors fire it and "
+      "the PSA flags it\nimmediately; at run time the same detection happens "
+      "whenever the attacker\nactivates it (see bench_mttd).\n",
+      (!random_detects && mero_detects) ? "shape holds" : "MISMATCH");
+  return 0;
+}

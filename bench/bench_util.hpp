@@ -1,0 +1,98 @@
+// bench_util.hpp — shared scaffolding for the experiment harnesses: one
+// simulated test chip, the standard sensors, probe views, and small print
+// helpers so every bench emits a consistent "paper vs measured" report.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/external_probe.hpp"
+#include "common/table.hpp"
+#include "psa/programmer.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa::bench {
+
+/// Lazily constructed shared test bench.
+class TestBench {
+ public:
+  static TestBench& instance() {
+    static TestBench bench;
+    return bench;
+  }
+
+  const sim::ChipSimulator& chip() const { return chip_; }
+
+  const sim::SensorView& sensor(std::size_t k) {
+    if (!sensors_[k]) {
+      sensors_[k] = std::make_unique<sim::SensorView>(chip_.view_from_program(
+          sensor::CoilProgrammer::standard_sensor(k),
+          "sensor" + std::to_string(k)));
+    }
+    return *sensors_[k];
+  }
+
+  const sim::SensorView& whole_die() {
+    if (!whole_die_) {
+      whole_die_ = std::make_unique<sim::SensorView>(chip_.view_from_program(
+          sensor::CoilProgrammer::whole_die_coil(), "single-coil"));
+    }
+    return *whole_die_;
+  }
+
+  const sim::SensorView& lf1() {
+    if (!lf1_) {
+      lf1_ = std::make_unique<sim::SensorView>(
+          baseline::make_probe_view(chip_, baseline::lf1_probe()));
+    }
+    return *lf1_;
+  }
+
+  const sim::SensorView& icr() {
+    if (!icr_) {
+      icr_ = std::make_unique<sim::SensorView>(
+          baseline::make_probe_view(chip_, baseline::icr_hh100_probe()));
+    }
+    return *icr_;
+  }
+
+ private:
+  TestBench() : chip_(sim::SimTiming{}, layout::Floorplan::aes_testchip()) {}
+
+  sim::ChipSimulator chip_;
+  std::array<std::unique_ptr<sim::SensorView>, 16> sensors_;
+  std::unique_ptr<sim::SensorView> whole_die_;
+  std::unique_ptr<sim::SensorView> lf1_;
+  std::unique_ptr<sim::SensorView> icr_;
+};
+
+inline void print_banner(const std::string& experiment,
+                         const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper reports: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Compact ASCII sparkline of a waveform (for zero-span envelopes).
+inline std::string sparkline(std::span<const double> data,
+                             std::size_t width = 72) {
+  static const char* levels = " .:-=+*#%@";
+  if (data.empty()) return "";
+  double lo = data[0];
+  double hi = data[0];
+  for (double v : data) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi - lo;
+  std::string out;
+  const std::size_t stride = std::max<std::size_t>(data.size() / width, 1);
+  for (std::size_t i = 0; i < data.size(); i += stride) {
+    const double t = range > 0.0 ? (data[i] - lo) / range : 0.0;
+    out += levels[static_cast<std::size_t>(t * 9.0)];
+  }
+  return out;
+}
+
+}  // namespace psa::bench

@@ -1,0 +1,102 @@
+// psa_shapes — programming the sensor array itself: rectangles, the 2-turn
+// coil of Fig. 1b, validation catching mis-programming and tampering, and a
+// small experiment showing flux self-cancellation (why coil *size* is a
+// knob worth having).
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "em/calibration.hpp"
+#include "em/fluxmap.hpp"
+#include "layout/floorplan.hpp"
+#include "psa/programmer.hpp"
+#include "psa/selftest.hpp"
+#include "psa/tgate.hpp"
+
+int main() {
+  using namespace psa;
+  const sensor::TGate tgate;
+
+  // --- A standard 176 µm sensor: program, extract, inspect.
+  {
+    const sensor::SensorProgram p = sensor::CoilProgrammer::standard_sensor(10);
+    const sensor::CoilExtraction ex = p.extract();
+    std::printf("standard sensor 10: %s, %zu switches, %.0f um of wire, "
+                "R = %.0f ohm @ nominal\n",
+                sensor::to_string(ex.error).c_str(), ex.path->switch_count(),
+                ex.path->wire_length_um(),
+                ex.path->resistance_ohm(tgate, 1.0, 300.0));
+  }
+
+  // --- Fig. 1b's 2-turn coil: the winding number doubles the flux weight.
+  {
+    const sensor::SensorProgram p = sensor::CoilProgrammer::fig1b_two_turn();
+    const sensor::CoilExtraction ex = p.extract();
+    const Point centre = sensor::switch_position(17, 17);
+    std::printf("fig. 1b 2-turn coil: %s, winding number at centre = %d\n",
+                sensor::to_string(ex.error).c_str(),
+                winding_number(ex.path->polyline(), centre));
+  }
+
+  // --- Validation: what a mis-programmed or tampered array looks like.
+  {
+    sensor::SensorProgram p = sensor::CoilProgrammer::standard_sensor(3);
+    p.switches.set(11, 24, false);  // drop a corner switch
+    std::printf("missing corner switch   -> %s\n",
+                sensor::to_string(p.extract().error).c_str());
+
+    p = sensor::CoilProgrammer::standard_sensor(3);
+    p.switches.set(5, 24, true);  // rogue extra switch on a used wire
+    std::printf("extra switch on the coil -> %s\n",
+                sensor::to_string(p.extract().error).c_str());
+
+    // Section IV's tamper case: a malicious foundry breaks one T-gate.
+    p = sensor::CoilProgrammer::standard_sensor(3);
+    p.switches.inject_stuck_open(0, 24);
+    std::printf("stuck-open T-gate (tamper) -> %s (self-test alarm)\n",
+                sensor::to_string(p.extract().error).c_str());
+  }
+
+  // --- Full-array self-test (Section IV): walk all 17 standard patterns.
+  {
+    const sensor::SelfTest st;
+    const sensor::SelfTestReport clean = st.run();
+    std::printf("\nfull-array self-test, pristine array: %zu/%zu patterns "
+                "pass (tampered=%s)\n",
+                clean.entries.size() - clean.failures(),
+                clean.entries.size(), clean.tampered ? "YES" : "no");
+
+    sensor::ArrayFaults sabotage;
+    sabotage.stuck_open.push_back({16, 16});  // foundry breaks one T-gate
+    const sensor::SelfTestReport dirty = st.run(sabotage);
+    std::printf("after one stuck-open T-gate at (16,16): %zu pattern(s) "
+                "fail -> tamper alarm %s\n",
+                dirty.failures(), dirty.tampered ? "RAISED" : "missed");
+  }
+
+  // --- Self-cancellation: flux captured from a central dipole vs coil size.
+  {
+    std::printf("\nflux from a die-centre dipole vs programmed coil size "
+                "(h_eff = %.0f um):\n", em::kDipoleHeightUm);
+    const Rect die{{0.0, 0.0}, {layout::kDieSideUm, layout::kDieSideUm}};
+    em::FluxMap::Params params;
+    params.dipole_height_um = em::kDipoleHeightUm;
+    params.screening_um = 0.0;  // show the bare geometry effect
+    // Centred square loops of growing span (in lattice pitches).
+    for (std::size_t half : {2, 4, 6, 10, 17}) {
+      const std::size_t lo = 17 - half;
+      const std::size_t hi = 18 + half;
+      const sensor::SensorProgram p =
+          sensor::CoilProgrammer::rect_loop(lo, lo, hi, hi);
+      const sensor::CoilExtraction ex = p.extract();
+      const em::FluxMap fm =
+          em::FluxMap::compute(ex.path->polyline(), die, params);
+      const double phi = fm.flux_at(17, 17);  // dipole at the die centre
+      std::printf("  %3.0f um square loop: flux %.3e Wb per unit dipole\n",
+                  static_cast<double>(hi - lo) * 16.0, phi);
+    }
+    std::printf("(flux peaks near the sqrt(2)*h return radius and *falls* "
+                "for larger loops\n — oversized coils integrate cancelling "
+                "return flux, Section III's argument)\n");
+  }
+  return 0;
+}

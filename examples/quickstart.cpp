@@ -1,0 +1,47 @@
+// quickstart — the smallest end-to-end use of the library:
+//   1. build the simulated AES-128 test chip (with its four dormant Trojans),
+//   2. enroll the golden-model-free detector on the device itself,
+//   3. activate the DoS Trojan and detect it from one sensor.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "analysis/pipeline.hpp"
+#include "layout/floorplan.hpp"
+#include "sim/chip_simulator.hpp"
+
+int main() {
+  using namespace psa;
+
+  // The simulated test chip: floorplan + netlist + EM + measurement chain.
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  std::printf("Test chip: %zu standard cells on a %.0f x %.0f um die\n",
+              chip.netlist().size(), chip.floorplan().die().width(),
+              chip.floorplan().die().height());
+
+  // The cross-domain analysis pipeline drives the PSA's 16 standard sensors.
+  analysis::Pipeline pipeline(chip);
+
+  // Golden-model-free enrollment: learn each sensor's background spectrum
+  // from this very device under normal traffic. No Trojan-free reference
+  // chip is ever needed (the whole batch may be infected).
+  std::printf("Enrolling on the device under test...\n");
+  pipeline.enroll(sim::Scenario::baseline(/*seed=*/2024));
+
+  // Normal operation: nothing to report.
+  const analysis::DetectionResult quiet =
+      pipeline.detect(/*sensor=*/10, sim::Scenario::baseline(7));
+  std::printf("normal traffic : detected=%s (score %.1f)\n",
+              quiet.detected ? "YES" : "no", quiet.score);
+
+  // An attacker flips T4's enable: the DoS power hog starts switching.
+  const sim::Scenario attack =
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT4DoS, /*seed=*/7);
+  const analysis::DetectionResult alarm = pipeline.detect(10, attack);
+  std::printf("T4 activated   : detected=%s (score %.1f, new line at %.2f "
+              "MHz)\n",
+              alarm.detected ? "YES" : "no", alarm.score,
+              alarm.peak_freq_hz / 1e6);
+
+  return alarm.detected && !quiet.detected ? 0 : 1;
+}

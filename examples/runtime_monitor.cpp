@@ -1,0 +1,52 @@
+// runtime_monitor — RASC-style continuous monitoring: the board keeps a
+// sentinel sensor armed, streams one trace per millisecond, and raises an
+// alarm when a Trojan payload activates mid-stream. Prints the MTTD.
+#include <cstdio>
+
+#include "analysis/monitor.hpp"
+#include "common/table.hpp"
+#include "analysis/pipeline.hpp"
+#include "layout/floorplan.hpp"
+#include "sim/chip_simulator.hpp"
+
+int main() {
+  using namespace psa;
+
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  analysis::Pipeline pipeline(chip);
+  std::printf("Enrolling...\n");
+  pipeline.enroll(sim::Scenario::baseline(42));
+
+  analysis::MonitorConfig cfg;
+  cfg.sentinel_sensor = 10;
+  cfg.trace_interval_s = 1.0e-3;  // program + capture + process per trace
+  const analysis::RuntimeMonitor monitor(pipeline, cfg);
+
+  std::printf("\nStreaming traces from sensor %zu, one per %.1f ms; Trojan "
+              "activates at trace #5...\n\n",
+              cfg.sentinel_sensor, cfg.trace_interval_s * 1e3);
+
+  bool all_within = true;
+  for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+    const analysis::MonitorOutcome out =
+        monitor.run(sim::Scenario::baseline(808),
+                    sim::Scenario::with_trojan(kind, 808),
+                    /*activation_trace=*/5);
+    if (out.alarmed) {
+      std::printf("%s: ALARM after %zu trace(s) -> MTTD %.1f ms (new line "
+                  "at %s)\n",
+                  trojan::module_name(kind).c_str(),
+                  out.traces_after_activation, out.mttd_s * 1e3,
+                  fmt_freq(out.first_alarm.peak_freq_hz).c_str());
+      all_within = all_within && out.mttd_s < 10.0e-3;
+    } else {
+      std::printf("%s: no alarm (UNEXPECTED)\n",
+                  trojan::module_name(kind).c_str());
+      all_within = false;
+    }
+  }
+
+  std::printf("\nAll MTTDs under the paper's 10 ms bound: %s\n",
+              all_within ? "yes" : "NO");
+  return all_within ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// activity.hpp — cycle-accurate switching-activity model of the AES test
+// chip's main circuit.
+//
+// EM emission is driven by the current drawn at clock edges, which is (to
+// first order) proportional to the number of nodes that toggle in that
+// cycle. This model runs the bit-exact AES core and converts its round-level
+// register traces into per-cycle toggle counts for each floorplan module.
+//
+// Timing model (matches a one-round-per-cycle LUT core):
+//   cycle 0            : load plaintext + initial AddRoundKey
+//   cycles 1..10       : rounds 1..10
+//   cycle 11           : ciphertext writeback to the output register
+//   + idle gap cycles  : configurable (UART-paced operation)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aes/aes128.hpp"
+#include "common/rng.hpp"
+
+namespace psa::aes {
+
+/// How plaintexts are produced during a run.
+enum class PlaintextMode {
+  kRandom,      // uniform random blocks (normal traffic)
+  kTriggerT2,   // every block starts with the 0xAA 0xAA prefix (fires T2)
+  kAlternating  // runs of kTriggerRunLength trigger blocks, then runs of
+                // random blocks — an attacker streaming trigger plaintexts
+                // interleaved with normal traffic
+};
+
+/// Length of a trigger/normal run in kAlternating mode (encryptions).
+inline constexpr std::size_t kTriggerRunLength = 16;
+
+struct ActivityConfig {
+  bool encrypting = true;       // false = powered-up idle chip (SNR noise ref)
+  int idle_gap_cycles = 4;      // idle cycles between encryptions
+  PlaintextMode mode = PlaintextMode::kRandom;
+  double clock_hz = 33.0e6;
+  double uart_baud = 115200.0;
+  /// When non-empty, plaintexts come from this list (cycled) instead of the
+  /// mode above — the test-phase flow feeds generated vectors this way.
+  std::vector<Block> scripted_plaintexts;
+};
+
+/// One completed encryption within a run; Trojan models synchronize on this.
+struct EncryptionEvent {
+  std::size_t start_cycle = 0;  // cycle of the plaintext load
+  Block plaintext{};
+  Block ciphertext{};
+};
+
+/// Per-cycle toggle counts, one vector per floorplan module of the main
+/// circuit. All vectors share the same length n_cycles.
+struct CoreActivityTrace {
+  std::size_t n_cycles = 0;
+  std::vector<double> clock_tree;
+  std::vector<double> sbox;
+  std::vector<double> round_reg;
+  std::vector<double> key_sched;
+  std::vector<double> control;
+  std::vector<double> uart;
+  std::vector<EncryptionEvent> encryptions;
+
+  static constexpr int kCyclesPerEncryption = 12;
+};
+
+class AesActivityModel {
+ public:
+  AesActivityModel(const Key& key, const ActivityConfig& config,
+                   std::uint64_t seed);
+
+  /// Generate `n_cycles` of activity. Deterministic for a given seed.
+  CoreActivityTrace generate(std::size_t n_cycles) const;
+
+  const ActivityConfig& config() const { return config_; }
+
+ private:
+  Block next_plaintext(Rng& rng, std::size_t index) const;
+
+  Aes128 core_;
+  ActivityConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace psa::aes

@@ -1,0 +1,60 @@
+// aes128.hpp — bit-exact AES-128 encryption (FIPS-197) with a LUT-based
+// S-box, mirroring the AES-128-LUT core on the paper's test chip [13].
+//
+// Besides encrypt(), the core can record a RoundTrace: the value of the
+// state register after every round and the S-box substitution outputs. The
+// activity probe turns those into per-cycle switching (Hamming) counts — the
+// quantity that drives the chip's EM emission model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace psa::aes {
+
+using Block = std::array<std::uint8_t, 16>;
+using Key = std::array<std::uint8_t, 16>;
+
+inline constexpr int kRounds = 10;       // AES-128 rounds
+inline constexpr int kRoundKeys = 11;    // including the initial whitening key
+
+/// Per-encryption microarchitectural trace used by the activity model.
+struct RoundTrace {
+  /// State register value entering each cycle: [0] = plaintext^key after
+  /// AddRoundKey, [r] = state after round r; kRounds+1 entries total.
+  std::vector<Block> state;
+  /// S-box layer outputs for each of the 10 SubBytes applications.
+  std::vector<Block> sbox_out;
+};
+
+/// AES-128 encryption engine. Key schedule is computed once at construction.
+class Aes128 {
+ public:
+  explicit Aes128(const Key& key);
+
+  /// Encrypt one 16-byte block (ECB primitive).
+  Block encrypt(const Block& plaintext) const;
+
+  /// Encrypt while recording the per-round register values.
+  Block encrypt_traced(const Block& plaintext, RoundTrace& trace) const;
+
+  /// Round key r (0..10).
+  const Block& round_key(int r) const { return round_keys_.at(static_cast<std::size_t>(r)); }
+
+  /// The forward S-box lookup table (exposed for tests and for the T2/T3
+  /// Trojan models that tap key/state wires).
+  static const std::array<std::uint8_t, 256>& sbox();
+
+ private:
+  std::array<Block, kRoundKeys> round_keys_{};
+};
+
+/// Hamming weight of a byte span (number of set bits).
+int hamming_weight(std::span<const std::uint8_t> bytes);
+
+/// Hamming distance between two equal-sized blocks.
+int hamming_distance(const Block& a, const Block& b);
+
+}  // namespace psa::aes

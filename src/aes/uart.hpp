@@ -1,0 +1,41 @@
+// uart.hpp — RS232 UART (8N1) model matching the test chip's communication
+// block. The simulator only needs the *switching activity* the UART
+// contributes per system clock cycle, so the model produces the TX line
+// waveform and a per-cycle toggle estimate rather than full RTL.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace psa::aes {
+
+/// 8N1 framing: start bit (0), 8 data bits LSB-first, stop bit (1).
+std::array<int, 10> uart_frame_bits(std::uint8_t byte);
+
+class Uart {
+ public:
+  /// `clock_hz` is the system clock (33 MHz on the test chip); `baud` the
+  /// serial rate (default 115200 as typical for the RASC-style link).
+  Uart(double clock_hz, double baud = 115200.0);
+
+  double cycles_per_bit() const { return cycles_per_bit_; }
+
+  /// TX line level for each of the first `n_cycles` system clock cycles
+  /// while streaming `bytes` back-to-back (idle-high once data runs out).
+  std::vector<int> line_levels(std::span<const std::uint8_t> bytes,
+                               std::size_t n_cycles) const;
+
+  /// Per-cycle toggle-count estimate while streaming: line transitions plus
+  /// the baud-counter/shift-register internal activity.
+  std::vector<double> activity(std::span<const std::uint8_t> bytes,
+                               std::size_t n_cycles) const;
+
+ private:
+  double clock_hz_;
+  double baud_;
+  double cycles_per_bit_;
+};
+
+}  // namespace psa::aes

@@ -1,0 +1,38 @@
+#include "afe/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psa::afe {
+
+Adc::Adc(const AdcParams& p) : p_(p) {
+  if (p.bits < 4 || p.bits > 24 || p.full_scale_v <= 0.0) {
+    throw std::invalid_argument("Adc: bad parameters");
+  }
+  max_code_ = (1 << (p.bits - 1)) - 1;
+  lsb_ = p.full_scale_v / static_cast<double>(max_code_ + 1);
+}
+
+std::vector<int> Adc::codes(std::span<const double> input) const {
+  std::vector<int> out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const double scaled = input[i] / lsb_;
+    const long code = std::lround(
+        std::clamp(scaled, static_cast<double>(-max_code_ - 1),
+                   static_cast<double>(max_code_)));
+    out[i] = static_cast<int>(code);
+  }
+  return out;
+}
+
+std::vector<double> Adc::sample(std::span<const double> input) const {
+  std::vector<double> out(input.size());
+  const std::vector<int> c = codes(input);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out[i] = static_cast<double>(c[i]) * lsb_;
+  }
+  return out;
+}
+
+}  // namespace psa::afe

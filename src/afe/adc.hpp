@@ -1,0 +1,35 @@
+// adc.hpp — analog-to-digital conversion: range clamping and quantization.
+// Models the digitizer on the RASC-style acquisition board.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace psa::afe {
+
+struct AdcParams {
+  int bits = 12;
+  double full_scale_v = 2.5;  // input range is [-fs, +fs]
+};
+
+class Adc {
+ public:
+  explicit Adc(const AdcParams& p = {});
+
+  /// Quantization step (LSB) in volts.
+  double lsb() const { return lsb_; }
+
+  /// Quantize a waveform: clamp to range, round to the LSB grid, return the
+  /// reconstructed voltage (code * lsb).
+  std::vector<double> sample(std::span<const double> input) const;
+
+  /// Raw integer codes (two's-complement range).
+  std::vector<int> codes(std::span<const double> input) const;
+
+ private:
+  AdcParams p_;
+  double lsb_;
+  int max_code_;
+};
+
+}  // namespace psa::afe

@@ -1,0 +1,44 @@
+#include "afe/frontend.hpp"
+
+#include <cmath>
+
+namespace psa::afe {
+
+Frontend::Frontend(const FrontendParams& p)
+    : p_(p), opamp_(p.opamp), adc_(p.adc) {}
+
+double Frontend::divider(double coil_resistance_ohm) const {
+  return p_.input_impedance_ohm /
+         (p_.input_impedance_ohm + coil_resistance_ohm);
+}
+
+std::vector<double> Frontend::process(std::span<const double> coil_voltage,
+                                      double coil_resistance_ohm,
+                                      double sample_rate_hz) const {
+  const double att = divider(coil_resistance_ohm);
+  std::vector<double> v(coil_voltage.size());
+  // Divider + second-order AC coupling (input cap + interstage cap), each
+  // section y[n] = a*(y[n-1] + x[n] - x[n-1]). Two sections are needed to
+  // keep the open-loop amplifier's huge sub-corner gain from letting
+  // low-frequency rumble through: a single section's +20 dB/dec exactly
+  // cancels the amplifier's -20 dB/dec, flattening instead of rejecting.
+  const double a =
+      std::exp(-2.0 * 3.14159265358979323846 * p_.ac_coupling_hz /
+               sample_rate_hz);
+  double y1 = 0.0;
+  double y2 = 0.0;
+  double x1_prev = 0.0;
+  double x2_prev = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double x = att * coil_voltage[i];
+    y1 = a * (y1 + x - x1_prev);
+    x1_prev = x;
+    y2 = a * (y2 + y1 - x2_prev);
+    x2_prev = y1;
+    v[i] = y2;
+  }
+  const std::vector<double> amplified = opamp_.amplify(v, sample_rate_hz);
+  return adc_.sample(amplified);
+}
+
+}  // namespace psa::afe

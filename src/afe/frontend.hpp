@@ -1,0 +1,47 @@
+// frontend.hpp — the complete measurement chain from coil terminals to
+// digitized trace: resistive divider (coil source impedance against the
+// amplifier input), op-amp, ADC.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "afe/adc.hpp"
+#include "afe/opamp.hpp"
+
+namespace psa::afe {
+
+struct FrontendParams {
+  OpAmpParams opamp{};
+  AdcParams adc{.bits = 14, .full_scale_v = 1.0};
+  double input_impedance_ohm = 1000.0;  // amplifier differential input R
+  /// AC-coupling corner of the input network [Hz]. An open-loop amplifier
+  /// has huge low-frequency gain; the board's coupling capacitors keep the
+  /// sub-10 MHz band (offsets, 1/f, supply hum) from eating the dynamic
+  /// range, matching the paper's 10–120 MHz band of interest.
+  double ac_coupling_hz = 10.0e6;
+};
+
+class Frontend {
+ public:
+  explicit Frontend(const FrontendParams& p = {});
+
+  /// Voltage divider the coil's series resistance forms with the amplifier
+  /// input: Rin / (Rin + Rcoil).
+  double divider(double coil_resistance_ohm) const;
+
+  /// Process an open-circuit coil voltage into the digitized output trace.
+  std::vector<double> process(std::span<const double> coil_voltage,
+                              double coil_resistance_ohm,
+                              double sample_rate_hz) const;
+
+  const OpAmp& opamp() const { return opamp_; }
+  const Adc& adc() const { return adc_; }
+
+ private:
+  FrontendParams p_;
+  OpAmp opamp_;
+  Adc adc_;
+};
+
+}  // namespace psa::afe

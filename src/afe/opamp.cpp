@@ -1,0 +1,33 @@
+#include "afe/opamp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace psa::afe {
+
+OpAmp::OpAmp(const OpAmpParams& p) : p_(p) {
+  a0_ = db_to_amplitude(p.dc_gain_db);
+  pole_hz_ = p.ugb_hz / a0_;
+}
+
+double OpAmp::gain_at(double freq_hz) const {
+  const double ratio = freq_hz / pole_hz_;
+  return a0_ / std::sqrt(1.0 + ratio * ratio);
+}
+
+std::vector<double> OpAmp::amplify(std::span<const double> input,
+                                   double sample_rate_hz) const {
+  // One-pole IIR matched to the analog pole: y += (1-a)(A0 x - y).
+  const double a = std::exp(-kTwoPi * pole_hz_ / sample_rate_hz);
+  std::vector<double> out(input.size());
+  double y = 0.0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    y = a * y + (1.0 - a) * a0_ * input[i];
+    out[i] = std::clamp(y, -p_.saturation_v, p_.saturation_v);
+  }
+  return out;
+}
+
+}  // namespace psa::afe

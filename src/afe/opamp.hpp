@@ -1,0 +1,45 @@
+// opamp.hpp — the PCB's open-loop amplifier (THS4504-class: 50 dB DC gain,
+// 200 MHz unity-gain bandwidth), modelled as a single-pole system:
+//
+//   H(s) = A0 / (1 + s/ωp),   ωp = 2π · UGB / A0
+//
+// Open-loop, the gain rolls off as 1/f above ~630 kHz; combined with the
+// coil's differentiating response (V = −dΦ/dt ∝ f) the measurement chain is
+// roughly flat across the paper's DC–120 MHz band — which is why the
+// authors call this amplifier "aligning well with our target frequency
+// range".
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace psa::afe {
+
+struct OpAmpParams {
+  double dc_gain_db = 50.0;   // A0 = 316x
+  double ugb_hz = 200.0e6;    // unity-gain bandwidth
+  double saturation_v = 2.4;  // output swing limit (rail-ish)
+};
+
+class OpAmp {
+ public:
+  explicit OpAmp(const OpAmpParams& p = {});
+
+  double dc_gain() const { return a0_; }
+  double pole_hz() const { return pole_hz_; }
+
+  /// |H(f)| at frequency f.
+  double gain_at(double freq_hz) const;
+
+  /// Filter a sampled input through the one-pole model (zero initial state)
+  /// with output saturation.
+  std::vector<double> amplify(std::span<const double> input,
+                              double sample_rate_hz) const;
+
+ private:
+  OpAmpParams p_;
+  double a0_;
+  double pole_hz_;
+};
+
+}  // namespace psa::afe

@@ -1,0 +1,50 @@
+#include "afe/spectrum_analyzer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace psa::afe {
+
+SpectrumAnalyzer::SpectrumAnalyzer(const SpectrumAnalyzerParams& p) : p_(p) {
+  if (p.points < 2 || p.f_max_hz <= 0.0) {
+    throw std::invalid_argument("SpectrumAnalyzer: bad params");
+  }
+}
+
+dsp::Spectrum SpectrumAnalyzer::sweep(std::span<const double> trace,
+                                      double sample_rate_hz) const {
+  const dsp::Spectrum full =
+      dsp::amplitude_spectrum(trace, sample_rate_hz, p_.window);
+  return dsp::resample(full, p_.f_max_hz, p_.points);
+}
+
+dsp::Spectrum SpectrumAnalyzer::averaged_sweep(std::span<const double> trace,
+                                               double sample_rate_hz,
+                                               std::size_t n_averages) const {
+  if (n_averages == 0) throw std::invalid_argument("averaged_sweep: n == 0");
+  const std::size_t slice = trace.size() / n_averages;
+  if (slice < 64) throw std::invalid_argument("averaged_sweep: trace too short");
+  std::vector<dsp::Spectrum> sweeps;
+  sweeps.reserve(n_averages);
+  for (std::size_t i = 0; i < n_averages; ++i) {
+    sweeps.push_back(sweep(trace.subspan(i * slice, slice), sample_rate_hz));
+  }
+  return dsp::average_spectra(sweeps);
+}
+
+dsp::ZeroSpanTrace SpectrumAnalyzer::zero_span(std::span<const double> trace,
+                                               double sample_rate_hz,
+                                               double center_freq_hz,
+                                               double rbw_hz) const {
+  if (rbw_hz <= 0.0) throw std::invalid_argument("zero_span: bad RBW");
+  // Hann ENBW is 1.5 bins: block = enbw * fs / rbw.
+  auto block = static_cast<std::size_t>(1.5 * sample_rate_hz / rbw_hz);
+  block = std::max<std::size_t>(block, 16);
+  block = std::min(block, trace.size());
+  const std::size_t hop = std::max<std::size_t>(block / 8, 1);
+  return dsp::zero_span(trace, sample_rate_hz, center_freq_hz, block, hop);
+}
+
+}  // namespace psa::afe

@@ -1,0 +1,47 @@
+// spectrum_analyzer.hpp — the bench instrument: frequency sweeps rendered on
+// the paper's display grid (DC–120 MHz, 2000 points) and the zero-span mode
+// used by the cross-domain analysis to recover time-domain waveforms of a
+// single frequency component (Section VI-D, Fig. 5).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/goertzel.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace psa::afe {
+
+struct SpectrumAnalyzerParams {
+  double f_max_hz = 120.0e6;    // display span
+  std::size_t points = 2000;    // display points (as in the paper's traces)
+  dsp::WindowKind window = dsp::WindowKind::kFlatTop;
+};
+
+class SpectrumAnalyzer {
+ public:
+  explicit SpectrumAnalyzer(const SpectrumAnalyzerParams& p = {});
+
+  /// One sweep: FFT of the trace, resampled onto the display grid.
+  dsp::Spectrum sweep(std::span<const double> trace,
+                      double sample_rate_hz) const;
+
+  /// Average of several sweeps over consecutive equal slices of `trace`
+  /// (the paper averages five collected traces per plotted spectrum).
+  dsp::Spectrum averaged_sweep(std::span<const double> trace,
+                               double sample_rate_hz,
+                               std::size_t n_averages) const;
+
+  /// Zero-span mode at `center_freq_hz` with the given resolution bandwidth:
+  /// magnitude-vs-time of that component.
+  dsp::ZeroSpanTrace zero_span(std::span<const double> trace,
+                               double sample_rate_hz, double center_freq_hz,
+                               double rbw_hz) const;
+
+  const SpectrumAnalyzerParams& params() const { return p_; }
+
+ private:
+  SpectrumAnalyzerParams p_;
+};
+
+}  // namespace psa::afe

@@ -1,0 +1,63 @@
+#include "analysis/identifier.hpp"
+
+#include "ml/kmeans.hpp"
+
+namespace psa::analysis {
+
+IdentificationResult TrojanIdentifier::identify(
+    const dsp::ZeroSpanTrace& trace) const {
+  double rate = 0.0;
+  if (trace.time_s.size() >= 2) {
+    rate = 1.0 / (trace.time_s[1] - trace.time_s[0]);
+  }
+  return identify_envelope(trace.magnitude, rate);
+}
+
+IdentificationResult TrojanIdentifier::identify_envelope(
+    std::span<const double> envelope, double envelope_rate_hz) const {
+  IdentificationResult r;
+  r.features = ml::extract_envelope_features(envelope, envelope_rate_hz);
+  const ml::EnvelopeFeatures& f = r.features;
+
+  // Signature rules, in order of physical specificity. The thresholds are
+  // stated against the envelope alone — no per-Trojan training traces.
+  if (f.coeff_variation < p_.constant_cv) {
+    r.kind = trojan::TrojanKind::kT4DoS;
+    r.rationale = "near-constant envelope (CV " +
+                  std::to_string(f.coeff_variation) + "): DoS power hog";
+    return r;
+  }
+  if (f.periodicity >= p_.periodic_min) {
+    // A repeating modulation pattern. A radio AM carrier modulates fast and
+    // smoothly; a trigger-gated leak follows the much slower traffic
+    // pattern and slams rail-to-rail.
+    if (f.period_s < p_.carrier_period_max_s &&
+        f.bimodality <= p_.smooth_bimodality) {
+      r.kind = trojan::TrojanKind::kT1AmCarrier;
+      r.rationale = "smooth periodic AM (autocorr " +
+                    std::to_string(f.periodicity) + ", period " +
+                    std::to_string(f.period_s * 1e6) + " us): radio carrier";
+    } else {
+      r.kind = trojan::TrojanKind::kT2KeyLeak;
+      r.rationale = "periodic rail-to-rail bursts (bimodality " +
+                    std::to_string(f.bimodality) +
+                    "): trigger-gated key-wire leak";
+    }
+    return r;
+  }
+  // Aperiodic, strongly modulated: spread-spectrum (PN) leak.
+  r.kind = trojan::TrojanKind::kT3CdmaLeak;
+  r.rationale = "aperiodic noise-like envelope (autocorr " +
+                std::to_string(f.periodicity) + ", flatness " +
+                std::to_string(f.flatness) + "): CDMA/PN leak";
+  return r;
+}
+
+std::vector<std::size_t> cluster_envelopes(
+    std::span<const ml::EnvelopeFeatures> features, std::size_t k, Rng& rng) {
+  const ml::Matrix mat = ml::feature_matrix(features);
+  const ml::KMeansResult km = ml::kmeans(mat, k, rng);
+  return km.labels;
+}
+
+}  // namespace psa::analysis

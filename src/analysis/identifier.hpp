@@ -1,0 +1,70 @@
+// identifier.hpp — Trojan identification from zero-span envelopes
+// (Section VI-D / Fig. 5 of the paper).
+//
+// After detection finds a prominent frequency component, the analyzer
+// switches to zero-span mode and examines the *time-domain* waveform of that
+// component. Different Trojans modulate the clock harmonics differently, so
+// the envelopes are separable "without full supervision":
+//   T1: strongly periodic sinusoidal envelope (750 kHz AM)
+//   T2: data-dependent bursts aligned with triggered encryptions
+//   T3: PN-chip spread -> noise-like, ~50 % duty, flat envelope spectrum
+//   T4: near-constant high level
+//
+// Two mechanisms are provided: a signature rule-set mirroring that physical
+// reasoning (no training data at all), and unsupervised k-means clustering
+// over envelope features for the multi-trace demonstration.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/goertzel.hpp"
+#include "ml/features.hpp"
+#include "trojan/trojan.hpp"
+
+namespace psa::analysis {
+
+struct IdentificationResult {
+  std::optional<trojan::TrojanKind> kind;  // nullopt = no confident match
+  ml::EnvelopeFeatures features;
+  std::string rationale;  // which signature fired, for the report
+};
+
+class TrojanIdentifier {
+ public:
+  struct Params {
+    double constant_cv = 0.22;     // below: T4-like constant envelope
+    double periodic_min = 0.45;    // autocorr peak height: modulated payloads
+    double smooth_bimodality = 0.80;  // above: rail-to-rail gating (T2)
+    /// Periodic-envelope split: radio AM carriers modulate at hundreds of
+    /// kHz or faster (period below this); trigger-gated leaks follow the
+    /// much slower traffic pattern.
+    double carrier_period_max_s = 4.0e-6;
+  };
+
+  TrojanIdentifier() : TrojanIdentifier(Params()) {}
+  explicit TrojanIdentifier(const Params& p) : p_(p) {}
+
+  /// Classify one zero-span trace by signature rules.
+  IdentificationResult identify(const dsp::ZeroSpanTrace& trace) const;
+
+  /// Classify a raw envelope (already extracted).
+  IdentificationResult identify_envelope(std::span<const double> envelope,
+                                         double envelope_rate_hz) const;
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+/// Unsupervised demonstration: cluster many zero-span envelopes (mixed
+/// Trojans) into k groups; returns per-trace cluster labels. Used to show
+/// the four Trojans separate with no labels at all.
+std::vector<std::size_t> cluster_envelopes(
+    std::span<const ml::EnvelopeFeatures> features, std::size_t k, Rng& rng);
+
+}  // namespace psa::analysis

@@ -1,0 +1,52 @@
+#include "analysis/localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace psa::analysis {
+
+std::string LocalizationResult::ascii_heatmap() const {
+  // Normalize scores to 0..9 glyphs.
+  const double mx = *std::max_element(heat.begin(), heat.end());
+  std::ostringstream os;
+  for (std::size_t row = 4; row-- > 0;) {
+    for (std::size_t col = 0; col < 4; ++col) {
+      const std::size_t k = row * 4 + col;
+      const int level =
+          mx > 0.0 ? static_cast<int>(std::round(9.0 * heat[k] / mx)) : 0;
+      os << ' ' << level;
+      os << (k == best_sensor ? '*' : ' ');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+LocalizationResult localize_from_scores(const std::array<double, 16>& scores,
+                                        double min_contrast_db) {
+  LocalizationResult r;
+  r.heat = scores;
+  r.best_sensor = 0;
+  double best = scores[0];
+  double worst = scores[0];
+  for (std::size_t k = 1; k < scores.size(); ++k) {
+    if (scores[k] > best) {
+      best = scores[k];
+      r.best_sensor = k;
+    }
+    worst = std::min(worst, scores[k]);
+  }
+  r.best_score = best;
+  r.region = layout::standard_sensor_region(r.best_sensor);
+  // Cap the reported contrast: a sensor whose delta is exactly zero would
+  // otherwise produce an unbounded dB figure.
+  const double floor = std::max({worst, best * 1e-4, 1e-12});
+  r.contrast_db = amplitude_db(std::max(best, floor) / floor);
+  r.localized = r.contrast_db >= min_contrast_db;
+  return r;
+}
+
+}  // namespace psa::analysis

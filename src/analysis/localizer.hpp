@@ -1,0 +1,37 @@
+// localizer.hpp — spatial localization from the 16-sensor scan.
+//
+// Each standard sensor contributes a detection score; the Trojan sits under
+// the sensor with the strongest anomaly (Fig. 4 contrasts sensor 10, above
+// the Trojans, against sensor 0, which sees nothing). Scores over the 4x4
+// sensor grid form a heat map; the report includes the winning sensor, its
+// die region, and the contrast against the quietest sensor.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "common/geometry.hpp"
+#include "layout/floorplan.hpp"
+
+namespace psa::analysis {
+
+struct LocalizationResult {
+  bool localized = false;
+  std::size_t best_sensor = 0;
+  Rect region;                        // die region of the winning sensor
+  double best_score = 0.0;
+  double contrast_db = 0.0;           // best vs. quietest sensor (20log10)
+  std::array<double, 16> heat{};      // per-sensor scores
+
+  /// 4x4 ASCII rendering of the heat map (row 3 on top).
+  std::string ascii_heatmap() const;
+};
+
+/// Fold 16 per-sensor detection scores into a localization verdict.
+/// `min_contrast_db` guards against "everything is hot" chips where the
+/// scan carries no spatial information.
+LocalizationResult localize_from_scores(const std::array<double, 16>& scores,
+                                        double min_contrast_db = 6.0);
+
+}  // namespace psa::analysis

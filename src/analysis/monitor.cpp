@@ -1,0 +1,43 @@
+#include "analysis/monitor.hpp"
+
+#include <vector>
+
+namespace psa::analysis {
+
+RuntimeMonitor::RuntimeMonitor(const Pipeline& pipeline,
+                               const MonitorConfig& cfg)
+    : pipeline_(pipeline), cfg_(cfg) {}
+
+MonitorOutcome RuntimeMonitor::run(const sim::Scenario& quiet,
+                                   const sim::Scenario& trojan_active,
+                                   std::size_t activation_trace) const {
+  MonitorOutcome out;
+  std::deque<dsp::Spectrum> window;
+  std::size_t streak = 0;
+
+  for (std::size_t i = 0; i < cfg_.max_traces; ++i) {
+    sim::Scenario s = (i < activation_trace) ? quiet : trojan_active;
+    s.seed = quiet.seed + 7919 * (i + 1);
+    window.push_back(pipeline_.single_sweep(cfg_.sentinel_sensor, s));
+    if (window.size() > cfg_.sliding_window) window.pop_front();
+
+    const std::vector<dsp::Spectrum> snapshot(window.begin(), window.end());
+    const dsp::Spectrum avg = dsp::average_spectra(snapshot);
+    const DetectionResult d =
+        pipeline_.score_spectrum(cfg_.sentinel_sensor, avg);
+
+    streak = d.detected ? streak + 1 : 0;
+    if (streak >= cfg_.consecutive_alarms && i >= activation_trace) {
+      out.alarmed = true;
+      out.first_alarm = d;
+      out.traces_after_activation = i - activation_trace + 1;
+      out.mttd_s =
+          static_cast<double>(out.traces_after_activation) *
+          cfg_.trace_interval_s;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace psa::analysis

@@ -1,0 +1,50 @@
+// monitor.hpp — RASC-style run-time monitor and MTTD accounting.
+//
+// At run time the acquisition board programs a sentinel sensor, streams one
+// trace per measurement interval, and scores each (averaged over a short
+// sliding window) against the enrolled background. MTTD is the simulated
+// time between the Trojan payload's activation and the alarm — the paper's
+// headline is <10 traces and <10 ms (Section VI-D).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "analysis/pipeline.hpp"
+
+namespace psa::analysis {
+
+struct MonitorConfig {
+  std::size_t sentinel_sensor = 10;     // sensor kept armed between scans
+  double trace_interval_s = 1.0e-3;     // program + capture + process per trace
+  std::size_t sliding_window = 3;       // spectra averaged before scoring
+  std::size_t consecutive_alarms = 2;   // debounce
+  std::size_t max_traces = 64;          // give up after this many
+};
+
+struct MonitorOutcome {
+  bool alarmed = false;
+  std::size_t traces_after_activation = 0;  // measurements needed
+  double mttd_s = 0.0;                      // activation -> alarm
+  DetectionResult first_alarm;
+};
+
+class RuntimeMonitor {
+ public:
+  RuntimeMonitor(const Pipeline& pipeline, const MonitorConfig& cfg = {});
+
+  /// Stream traces; the Trojan scenario takes over at trace index
+  /// `activation_trace` (before that, `quiet` conditions apply).
+  MonitorOutcome run(const sim::Scenario& quiet,
+                     const sim::Scenario& trojan_active,
+                     std::size_t activation_trace) const;
+
+  const MonitorConfig& config() const { return cfg_; }
+
+ private:
+  const Pipeline& pipeline_;
+  MonitorConfig cfg_;
+};
+
+}  // namespace psa::analysis

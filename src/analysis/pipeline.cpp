@@ -1,0 +1,160 @@
+#include "analysis/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "psa/programmer.hpp"
+
+namespace psa::analysis {
+
+Pipeline::Pipeline(const sim::ChipSimulator& chip, const PipelineConfig& cfg)
+    : chip_(chip), cfg_(cfg), analyzer_(cfg.analyzer) {
+  views_.reserve(16);
+  for (std::size_t k = 0; k < 16; ++k) {
+    views_.push_back(chip_.view_from_program(
+        sensor::CoilProgrammer::standard_sensor(k),
+        "sensor" + std::to_string(k)));
+  }
+  detectors_.assign(16, GoldenFreeDetector(cfg_.detector));
+}
+
+const sim::SensorView& Pipeline::sensor_view(std::size_t k) const {
+  if (k >= views_.size()) throw std::out_of_range("Pipeline::sensor_view");
+  return views_[k];
+}
+
+dsp::Spectrum Pipeline::measure_spectrum(std::size_t sensor,
+                                         const sim::Scenario& scenario,
+                                         std::uint64_t seed_salt) const {
+  std::vector<dsp::Spectrum> sweeps;
+  sweeps.reserve(cfg_.detection_averages);
+  for (std::size_t i = 0; i < cfg_.detection_averages; ++i) {
+    sim::Scenario s = scenario;
+    // Each physical trace sees fresh noise and plaintexts.
+    std::uint64_t mix = scenario.seed ^ (seed_salt * 0x9E3779B97F4A7C15ULL);
+    s.seed = splitmix64(mix) + i + 1;
+    const sim::MeasuredTrace tr =
+        chip_.measure(sensor_view(sensor), s, cfg_.cycles_per_trace);
+    sweeps.push_back(analyzer_.sweep(tr.samples, tr.sample_rate_hz));
+  }
+  return dsp::average_spectra(sweeps);
+}
+
+void Pipeline::enroll(const sim::Scenario& normal) {
+  for (std::size_t k = 0; k < 16; ++k) {
+    std::vector<dsp::Spectrum> spectra;
+    spectra.reserve(cfg_.enrollment_traces);
+    for (std::size_t i = 0; i < cfg_.enrollment_traces; ++i) {
+      sim::Scenario s = normal;
+      s.seed = normal.seed + 1000 * (k + 1) + i;
+      const sim::MeasuredTrace tr =
+          chip_.measure(views_[k], s, cfg_.cycles_per_trace);
+      spectra.push_back(analyzer_.sweep(tr.samples, tr.sample_rate_hz));
+    }
+    detectors_[k].enroll(spectra);
+  }
+  enrolled_ = true;
+}
+
+DetectionResult Pipeline::detect(std::size_t sensor,
+                                 const sim::Scenario& scenario) const {
+  if (!enrolled_) throw std::logic_error("Pipeline: enroll() first");
+  const dsp::Spectrum spec =
+      measure_spectrum(sensor, scenario, /*seed_salt=*/sensor + 1);
+  return detectors_[sensor].score(spec);
+}
+
+dsp::Spectrum Pipeline::single_sweep(std::size_t sensor,
+                                     const sim::Scenario& scenario) const {
+  const sim::MeasuredTrace tr =
+      chip_.measure(sensor_view(sensor), scenario, cfg_.cycles_per_trace);
+  return analyzer_.sweep(tr.samples, tr.sample_rate_hz);
+}
+
+DetectionResult Pipeline::score_spectrum(std::size_t sensor,
+                                         const dsp::Spectrum& spectrum) const {
+  if (!enrolled_) throw std::logic_error("Pipeline: enroll() first");
+  if (sensor >= detectors_.size()) {
+    throw std::out_of_range("Pipeline::score_spectrum");
+  }
+  return detectors_[sensor].score(spectrum);
+}
+
+std::array<double, 16> Pipeline::scan_scores(
+    const sim::Scenario& scenario) const {
+  if (!enrolled_) throw std::logic_error("Pipeline: enroll() first");
+  std::array<double, 16> scores{};
+  // Four concurrent channels, four programming rounds — the physical scan
+  // order; scores are independent of it, but the trace budget is not.
+  for (std::size_t round = 0; round < channels_.scan_rounds(); ++round) {
+    for (std::size_t s : channels_.round_sensors(round)) {
+      // Heat value: physical amplitude excess, comparable across sensors
+      // (z-scores are not — a quiet corner sensor has a tiny MAD).
+      scores[s] = detect(s, scenario).peak_delta_v;
+    }
+  }
+  return scores;
+}
+
+LocalizationResult Pipeline::localize(const sim::Scenario& scenario) const {
+  return localize_from_scores(scan_scores(scenario));
+}
+
+dsp::ZeroSpanTrace Pipeline::zero_span_trace(
+    std::size_t sensor, double freq_hz, const sim::Scenario& scenario) const {
+  sim::Scenario s = scenario;
+  s.seed = splitmix64(s.seed) + 0x5A;
+  const sim::MeasuredTrace tr =
+      chip_.measure(sensor_view(sensor), s, cfg_.identification_cycles);
+  return analyzer_.zero_span(tr.samples, tr.sample_rate_hz, freq_hz,
+                             cfg_.zero_span_rbw_hz);
+}
+
+IdentificationResult Pipeline::identify(std::size_t sensor, double freq_hz,
+                                        const sim::Scenario& scenario) const {
+  const TrojanIdentifier identifier(cfg_.identifier);
+  return identifier.identify(zero_span_trace(sensor, freq_hz, scenario));
+}
+
+RefinedLocation Pipeline::refine_localization(
+    std::size_t sensor, double freq_hz, const sim::Scenario& scenario) const {
+  std::array<double, 4> heat{};
+  for (std::size_t q = 0; q < 4; ++q) {
+    const sim::SensorView view = chip_.view_from_program(
+        quadrant_program(sensor, q / 2, q % 2),
+        "s" + std::to_string(sensor) + "q" + std::to_string(q));
+    std::vector<dsp::Spectrum> sweeps;
+    for (std::size_t i = 0; i < cfg_.detection_averages; ++i) {
+      sim::Scenario s = scenario;
+      s.seed = splitmix64(s.seed) + 31 * (q + 1) + i;
+      const sim::MeasuredTrace tr =
+          chip_.measure(view, s, cfg_.cycles_per_trace);
+      sweeps.push_back(analyzer_.sweep(tr.samples, tr.sample_rate_hz));
+    }
+    // The anomaly line is novel (near the enrolled floor), so its raw
+    // magnitude through each quadrant coil is Trojan-dominated.
+    heat[q] = dsp::average_spectra(sweeps).value_at(freq_hz);
+  }
+  return refine_from_heat(sensor, heat);
+}
+
+AnalysisReport Pipeline::analyze(const sim::Scenario& scenario) const {
+  AnalysisReport report;
+  report.localization = localize(scenario);
+  report.traces_consumed = 16 * cfg_.detection_averages;
+
+  // Detection verdict re-derived at the winning sensor (it carries the
+  // strongest sidebands).
+  report.detection =
+      detect(report.localization.best_sensor, scenario);
+  report.traces_consumed += cfg_.detection_averages;
+
+  if (report.detection.detected) {
+    report.identification =
+        identify(report.localization.best_sensor,
+                 report.detection.peak_freq_hz, scenario);
+    report.traces_consumed += 1;
+  }
+  return report;
+}
+
+}  // namespace psa::analysis

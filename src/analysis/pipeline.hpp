@@ -1,0 +1,117 @@
+// pipeline.hpp — the paper's runtime cross-domain analysis, end to end:
+//
+//   1. Enrollment (golden-model free): learn each sensor's background
+//      spectrum from the device itself under normal traffic.
+//   2. Frequency-domain detection: robust-z scoring of fresh spectra
+//      (averaged over ~5 traces, as the paper does) against the background;
+//      prominent sidebands of the clock harmonics flag an active Trojan.
+//   3. Localization: scan the 16 standard sensors (four channels x four
+//      programming rounds) and place the Trojan under the hottest sensor.
+//   4. Identification: switch the analyzer to zero-span mode at the
+//      detected component and classify the time-domain envelope.
+//
+// The pipeline owns the instrument models and drives the ChipSimulator the
+// way the authors drove their bench.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "afe/spectrum_analyzer.hpp"
+#include "analysis/detector.hpp"
+#include "analysis/identifier.hpp"
+#include "analysis/localizer.hpp"
+#include "analysis/refine.hpp"
+#include "psa/channels.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa::analysis {
+
+struct PipelineConfig {
+  std::size_t cycles_per_trace = 1024;       // ~31 µs per trace
+  std::size_t enrollment_traces = 8;         // per sensor
+  std::size_t detection_averages = 5;        // the paper averages 5 traces
+  std::size_t identification_cycles = 4096;  // longer capture for envelopes
+  double zero_span_rbw_hz = 2.0e6;
+  GoldenFreeDetector::Params detector{};
+  TrojanIdentifier::Params identifier{};
+  afe::SpectrumAnalyzerParams analyzer{};
+};
+
+/// Full analysis report for one scenario.
+struct AnalysisReport {
+  DetectionResult detection;          // from the localization scan's winner
+  LocalizationResult localization;
+  IdentificationResult identification;
+  std::size_t traces_consumed = 0;    // measurement traces used after enroll
+};
+
+class Pipeline {
+ public:
+  Pipeline(const sim::ChipSimulator& chip, const PipelineConfig& cfg = {});
+
+  /// Prepared view of standard sensor k.
+  const sim::SensorView& sensor_view(std::size_t k) const;
+
+  /// Enroll all 16 sensors on `normal` operating conditions (no active
+  /// payload assumed, but *no golden chip either* — enrollment runs on the
+  /// possibly-infected device under test).
+  void enroll(const sim::Scenario& normal);
+  bool enrolled() const { return enrolled_; }
+
+  /// Averaged display spectrum of one sensor under a scenario.
+  dsp::Spectrum measure_spectrum(std::size_t sensor,
+                                 const sim::Scenario& scenario,
+                                 std::uint64_t seed_salt = 0) const;
+
+  /// Detection verdict at one sensor.
+  DetectionResult detect(std::size_t sensor,
+                         const sim::Scenario& scenario) const;
+
+  /// One un-averaged sweep of a sensor (streaming use: RuntimeMonitor).
+  dsp::Spectrum single_sweep(std::size_t sensor,
+                             const sim::Scenario& scenario) const;
+
+  /// Score an externally assembled spectrum against a sensor's enrollment.
+  DetectionResult score_spectrum(std::size_t sensor,
+                                 const dsp::Spectrum& spectrum) const;
+
+  /// 16-sensor scan: per-sensor detection scores.
+  std::array<double, 16> scan_scores(const sim::Scenario& scenario) const;
+
+  /// Scan + fold into a localization verdict.
+  LocalizationResult localize(const sim::Scenario& scenario) const;
+
+  /// Zero-span identification at `sensor`, centred on `freq_hz`.
+  IdentificationResult identify(std::size_t sensor, double freq_hz,
+                                const sim::Scenario& scenario) const;
+
+  /// Reshape the array into quadrant coils inside the winning sensor and
+  /// refine the Trojan's position to an ~80 µm window (Section III's
+  /// "localization by reshaping"). `freq_hz` is the detected anomaly line.
+  RefinedLocation refine_localization(std::size_t sensor, double freq_hz,
+                                      const sim::Scenario& scenario) const;
+
+  /// The whole cross-domain flow: detect -> localize -> identify.
+  AnalysisReport analyze(const sim::Scenario& scenario) const;
+
+  /// Raw zero-span trace (for Fig. 5 style plots).
+  dsp::ZeroSpanTrace zero_span_trace(std::size_t sensor, double freq_hz,
+                                     const sim::Scenario& scenario) const;
+
+  const PipelineConfig& config() const { return cfg_; }
+  const sensor::ChannelMap& channels() const { return channels_; }
+  const sim::ChipSimulator& chip() const { return chip_; }
+
+ private:
+  const sim::ChipSimulator& chip_;
+  PipelineConfig cfg_;
+  afe::SpectrumAnalyzer analyzer_;
+  sensor::ChannelMap channels_;
+  std::vector<sim::SensorView> views_;             // 16 standard sensors
+  std::vector<GoldenFreeDetector> detectors_;      // one per sensor
+  bool enrolled_ = false;
+};
+
+}  // namespace psa::analysis

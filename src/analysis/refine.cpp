@@ -1,0 +1,64 @@
+#include "analysis/refine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "layout/floorplan.hpp"
+
+namespace psa::analysis {
+
+sensor::SensorProgram quadrant_program(std::size_t k, std::size_t qr,
+                                       std::size_t qc) {
+  if (k >= layout::kNumStandardSensors || qr > 1 || qc > 1) {
+    throw std::out_of_range("quadrant_program: bad indices");
+  }
+  const std::size_t row0 = 8 * (k / 4) + 6 * qr;
+  const std::size_t col0 = 8 * (k % 4) + 6 * qc;
+  return sensor::CoilProgrammer::rect_loop(row0, col0, row0 + 5, col0 + 5);
+}
+
+Rect quadrant_region(std::size_t k, std::size_t qr, std::size_t qc) {
+  if (k >= layout::kNumStandardSensors || qr > 1 || qc > 1) {
+    throw std::out_of_range("quadrant_region: bad indices");
+  }
+  const double x0 = layout::wire_coord_um(8 * (k % 4) + 6 * qc);
+  const double y0 = layout::wire_coord_um(8 * (k / 4) + 6 * qr);
+  const double span = 5.0 * layout::kWirePitchUm;  // 6 wires = 5 pitches
+  return Rect{{x0, y0}, {x0 + span, y0 + span}};
+}
+
+RefinedLocation refine_from_heat(std::size_t coarse_sensor,
+                                 const std::array<double, 4>& heat) {
+  RefinedLocation r;
+  r.coarse_sensor = coarse_sensor;
+  r.quadrant_heat = heat;
+  r.best_quadrant = static_cast<std::size_t>(
+      std::max_element(heat.begin(), heat.end()) - heat.begin());
+  r.quadrant_region = quadrant_region(coarse_sensor, r.best_quadrant / 2,
+                                      r.best_quadrant % 2);
+
+  double total = 0.0;
+  double wx = 0.0;
+  double wy = 0.0;
+  double worst = heat[0];
+  for (std::size_t q = 0; q < 4; ++q) {
+    const Point c = quadrant_region(coarse_sensor, q / 2, q % 2).center();
+    const double w = std::max(heat[q], 0.0);
+    wx += w * c.x;
+    wy += w * c.y;
+    total += w;
+    worst = std::min(worst, heat[q]);
+  }
+  if (total > 0.0) {
+    r.estimate = {wx / total, wy / total};
+  } else {
+    r.estimate = layout::standard_sensor_region(coarse_sensor).center();
+  }
+  const double best = heat[r.best_quadrant];
+  const double floor = std::max({worst, best * 1e-4, 1e-12});
+  r.contrast_db = amplitude_db(std::max(best, floor) / floor);
+  return r;
+}
+
+}  // namespace psa::analysis

@@ -1,0 +1,41 @@
+// refine.hpp — sub-sensor localization by reshaping the sensing array.
+//
+// Section III: "Adjusting the shape and size of the PSA ... facilitates the
+// localization of any detected HTs by reshaping the sensing array." After
+// the 16-sensor scan picks a winner, the array is reprogrammed into a 2x2
+// grid of quadrant coils (6-wire, ~80 µm spans) inside the winning sensor;
+// the detected anomaly line's magnitude per quadrant forms a fine heat map
+// whose weighted centroid estimates the Trojan's position to well below the
+// standard sensor pitch.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/geometry.hpp"
+#include "psa/programmer.hpp"
+
+namespace psa::analysis {
+
+struct RefinedLocation {
+  std::size_t coarse_sensor = 0;       // the 16-scan winner
+  std::array<double, 4> quadrant_heat{};  // row-major 2x2, [qr*2+qc]
+  std::size_t best_quadrant = 0;
+  Rect quadrant_region;                // die rect of the hottest quadrant
+  Point estimate;                      // heat-weighted centroid [µm]
+  double contrast_db = 0.0;            // hottest vs coldest quadrant
+};
+
+/// Switch program for quadrant (qr, qc) of standard sensor `k`: a 6-wire
+/// (80 µm) loop tiling the sensor's 12-wire span 2x2.
+sensor::SensorProgram quadrant_program(std::size_t k, std::size_t qr,
+                                       std::size_t qc);
+
+/// Die region nominally covered by that quadrant coil.
+Rect quadrant_region(std::size_t k, std::size_t qr, std::size_t qc);
+
+/// Fold four quadrant heat values into the refined verdict.
+RefinedLocation refine_from_heat(std::size_t coarse_sensor,
+                                 const std::array<double, 4>& heat);
+
+}  // namespace psa::analysis

@@ -1,0 +1,90 @@
+#include "analysis/roc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psa::analysis {
+
+RocAnalysis roc_from_scores(std::vector<double> negatives,
+                            std::vector<double> positives,
+                            double fpr_target) {
+  RocAnalysis roc;
+  roc.negative_scores = std::move(negatives);
+  roc.positive_scores = std::move(positives);
+  std::sort(roc.negative_scores.begin(), roc.negative_scores.end());
+  std::sort(roc.positive_scores.begin(), roc.positive_scores.end());
+  if (roc.negative_scores.empty() || roc.positive_scores.empty()) return roc;
+
+  // Candidate thresholds: every distinct score, plus the extremes.
+  std::vector<double> thresholds;
+  thresholds.push_back(0.0);
+  for (double s : roc.negative_scores) thresholds.push_back(s);
+  for (double s : roc.positive_scores) thresholds.push_back(s);
+  thresholds.push_back(roc.positive_scores.back() * 1.01 + 1.0);
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  const auto rate_above = [](const std::vector<double>& sorted, double thr) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), thr);
+    return static_cast<double>(sorted.end() - it) /
+           static_cast<double>(sorted.size());
+  };
+  for (double thr : thresholds) {
+    roc.curve.push_back(
+        {thr, rate_above(roc.positive_scores, thr),
+         rate_above(roc.negative_scores, thr)});
+  }
+
+  // AUC by trapezoid over (FPR, TPR), curve runs from (1,1) to (0,0) as the
+  // threshold rises.
+  for (std::size_t i = 1; i < roc.curve.size(); ++i) {
+    const double dx = roc.curve[i - 1].false_positive_rate -
+                      roc.curve[i].false_positive_rate;
+    const double y = 0.5 * (roc.curve[i - 1].true_positive_rate +
+                            roc.curve[i].true_positive_rate);
+    roc.auc += dx * y;
+  }
+
+  // Recommendation: if the distributions are separated, the geometric
+  // middle of the gap (log scale suits z-scores spanning decades);
+  // otherwise the smallest threshold meeting the FPR target with best TPR.
+  const double neg_max = roc.negative_scores.back();
+  const double pos_min = roc.positive_scores.front();
+  if (pos_min > neg_max) {
+    roc.recommended_threshold = std::sqrt(std::max(neg_max, 1e-12) *
+                                          pos_min);
+  } else {
+    double best_tpr = -1.0;
+    for (const RocPoint& p : roc.curve) {
+      if (p.false_positive_rate <= fpr_target && p.true_positive_rate >
+          best_tpr) {
+        best_tpr = p.true_positive_rate;
+        roc.recommended_threshold = p.threshold;
+      }
+    }
+  }
+  return roc;
+}
+
+RocAnalysis roc_analysis(const Pipeline& pipeline, std::size_t sensor,
+                         std::size_t trials, double fpr_target,
+                         std::uint64_t seed) {
+  std::vector<double> negatives;
+  std::vector<double> positives;
+  for (std::size_t i = 0; i < trials; ++i) {
+    negatives.push_back(
+        pipeline.detect(sensor, sim::Scenario::baseline(seed + 101 * i))
+            .score);
+    for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+      positives.push_back(
+          pipeline.detect(sensor,
+                          sim::Scenario::with_trojan(kind, seed + 211 * i))
+              .score);
+    }
+  }
+  return roc_from_scores(std::move(negatives), std::move(positives),
+                         fpr_target);
+}
+
+}  // namespace psa::analysis

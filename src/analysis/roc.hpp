@@ -1,0 +1,47 @@
+// roc.hpp — detector operating-characteristic analysis and threshold
+// calibration.
+//
+// The golden-free detector's z-threshold trades false alarms under normal
+// traffic against missed (or slow) detections. This module measures both
+// sides empirically — score distributions under Trojan-inactive and
+// Trojan-active conditions — sweeps the threshold to produce an ROC curve,
+// and recommends the threshold that keeps the false-positive rate under a
+// target while maximizing detection margin. This is the calibration step a
+// deployment (paper's RASC-style security house) runs once at enrollment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+
+namespace psa::analysis {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;
+  double false_positive_rate = 0.0;
+};
+
+struct RocAnalysis {
+  std::vector<double> negative_scores;  // Trojan-inactive max-z scores
+  std::vector<double> positive_scores;  // Trojan-active max-z scores
+  std::vector<RocPoint> curve;          // threshold sweep, ascending
+  double auc = 0.0;                     // area under the ROC curve
+  /// Smallest threshold with measured FPR <= target and TPR == 1, or the
+  /// midpoint of the score gap when the distributions are fully separated.
+  double recommended_threshold = 0.0;
+};
+
+/// Collect `trials` negative scores (normal traffic, varied seeds) and
+/// `trials` positive scores per Trojan kind at `sensor`, then sweep.
+RocAnalysis roc_analysis(const Pipeline& pipeline, std::size_t sensor,
+                         std::size_t trials, double fpr_target = 0.0,
+                         std::uint64_t seed = 1);
+
+/// Pure fold: build the curve/AUC/recommendation from score samples.
+RocAnalysis roc_from_scores(std::vector<double> negatives,
+                            std::vector<double> positives,
+                            double fpr_target = 0.0);
+
+}  // namespace psa::analysis

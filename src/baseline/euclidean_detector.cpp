@@ -1,0 +1,113 @@
+#include "baseline/euclidean_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/stats.hpp"
+
+namespace psa::baseline {
+
+double observation_distance(std::span<const double> a,
+                            std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("observation_distance: length mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double spectrum_distance(const dsp::Spectrum& a, const dsp::Spectrum& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("spectrum_distance: grid mismatch");
+  }
+  return observation_distance(a.magnitude, b.magnitude);
+}
+
+ObservationPool pool_from_spectra(std::span<const dsp::Spectrum> spectra) {
+  ObservationPool pool;
+  pool.reserve(spectra.size());
+  for (const dsp::Spectrum& s : spectra) pool.push_back(s.magnitude);
+  return pool;
+}
+
+ObservationPool pool_from_traces(
+    std::span<const std::vector<double>> traces, std::size_t stride) {
+  if (stride == 0) throw std::invalid_argument("pool_from_traces: stride 0");
+  ObservationPool pool;
+  pool.reserve(traces.size());
+  for (const std::vector<double>& t : traces) {
+    std::vector<double> obs;
+    obs.reserve(t.size() / stride + 1);
+    for (std::size_t i = 0; i < t.size(); i += stride) obs.push_back(t[i]);
+    pool.push_back(std::move(obs));
+  }
+  return pool;
+}
+
+EuclideanVerdict EuclideanDetector::evaluate(const ObservationPool& reference,
+                                             const ObservationPool& test) const {
+  EuclideanVerdict v;
+  v.traces_used = reference.size() + test.size();
+  if (reference.size() < 2 || test.empty()) return v;
+
+  // Reference->reference distances: the method's notion of normal spread.
+  std::vector<double> rr;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    for (std::size_t j = i + 1; j < reference.size(); ++j) {
+      rr.push_back(observation_distance(reference[i], reference[j]));
+    }
+  }
+  // Reference->test distances.
+  std::vector<double> rt;
+  for (const auto& t : test) {
+    for (const auto& r : reference) {
+      rt.push_back(observation_distance(r, t));
+    }
+  }
+  const double mu_rr = dsp::mean(rr);
+  const double mu_rt = dsp::mean(rt);
+  const double var = dsp::variance(rr) + dsp::variance(rt);
+  if (var <= 0.0) return v;
+  v.statistic = (mu_rt - mu_rr) / std::sqrt(var);
+  v.detected = v.statistic > threshold_;
+  return v;
+}
+
+EuclideanVerdict EuclideanDetector::evaluate(
+    std::span<const dsp::Spectrum> reference,
+    std::span<const dsp::Spectrum> test) const {
+  return evaluate(pool_from_spectra(reference), pool_from_spectra(test));
+}
+
+std::size_t EuclideanDetector::traces_needed(const ObservationPool& reference,
+                                             const ObservationPool& test,
+                                             std::size_t consecutive,
+                                             std::size_t min_traces) const {
+  const std::size_t max_n = std::min(reference.size(), test.size());
+  std::size_t streak = 0;
+  for (std::size_t n = std::max<std::size_t>(min_traces, 2); n <= max_n; ++n) {
+    const ObservationPool ref_n(reference.begin(),
+                                reference.begin() + static_cast<std::ptrdiff_t>(n));
+    const ObservationPool test_n(test.begin(),
+                                 test.begin() + static_cast<std::ptrdiff_t>(n));
+    const EuclideanVerdict v = evaluate(ref_n, test_n);
+    streak = v.detected ? streak + 1 : 0;
+    if (streak >= consecutive) return 2 * n;
+  }
+  return 2 * max_n;  // never confident within the provided pools
+}
+
+std::size_t EuclideanDetector::traces_needed(
+    std::span<const dsp::Spectrum> reference,
+    std::span<const dsp::Spectrum> test, std::size_t consecutive,
+    std::size_t min_traces) const {
+  return traces_needed(pool_from_spectra(reference), pool_from_spectra(test),
+                       consecutive, min_traces);
+}
+
+}  // namespace psa::baseline

@@ -1,0 +1,82 @@
+// euclidean_detector.hpp — the statistical detection method of the external-
+// probe [7] and single-coil [1] prior work: compare Euclidean distances
+// between collected spectra. With low SNR the HT-active and HT-inactive
+// distance distributions overlap heavily, so detection needs very many
+// measurements (the paper's Table I reports >10,000) and small Trojans (T3)
+// stay undetectable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/spectrum.hpp"
+
+namespace psa::baseline {
+
+/// Euclidean distance between two equal-length observation vectors.
+double observation_distance(std::span<const double> a,
+                            std::span<const double> b);
+
+/// Euclidean distance between two spectra's magnitude vectors (same grid).
+double spectrum_distance(const dsp::Spectrum& a, const dsp::Spectrum& b);
+
+/// An observation pool: each entry is one collected trace, either raw
+/// time-domain samples (how Jiaji [1] and He [7] actually compared traces —
+/// plaintext-dependent variation then dominates the distances) or spectrum
+/// magnitudes (a more charitable variant).
+using ObservationPool = std::vector<std::vector<double>>;
+
+/// Convert spectra to an observation pool (magnitude vectors).
+ObservationPool pool_from_spectra(std::span<const dsp::Spectrum> spectra);
+
+/// Convert raw traces to an observation pool, decimating by `stride` to
+/// keep O(n^2) distance computations tractable.
+ObservationPool pool_from_traces(
+    std::span<const std::vector<double>> traces, std::size_t stride = 8);
+
+struct EuclideanVerdict {
+  bool detected = false;
+  double statistic = 0.0;    // separation of distance distributions (d')
+  std::size_t traces_used = 0;
+};
+
+class EuclideanDetector {
+ public:
+  /// `threshold` on the separation statistic d' = (mu_ct - mu_rr) /
+  /// sqrt(sigma_rr^2 + sigma_ct^2): how far reference→test distances sit
+  /// from reference→reference distances.
+  explicit EuclideanDetector(double threshold = 3.0)
+      : threshold_(threshold) {}
+
+  /// Compare a pool of reference (enrollment-time) observations against
+  /// test observations. All vectors must share one length.
+  EuclideanVerdict evaluate(const ObservationPool& reference,
+                            const ObservationPool& test) const;
+
+  /// Spectrum convenience overload.
+  EuclideanVerdict evaluate(std::span<const dsp::Spectrum> reference,
+                            std::span<const dsp::Spectrum> test) const;
+
+  /// Incrementally grow both pools until the verdict stabilizes at
+  /// `consecutive` consecutive detections; returns the trace count used, or
+  /// the full pool size when the method never becomes confident (the
+  /// ">10,000" row of Table I).
+  std::size_t traces_needed(const ObservationPool& reference,
+                            const ObservationPool& test,
+                            std::size_t consecutive = 3,
+                            std::size_t min_traces = 4) const;
+
+  /// Spectrum convenience overload.
+  std::size_t traces_needed(std::span<const dsp::Spectrum> reference,
+                            std::span<const dsp::Spectrum> test,
+                            std::size_t consecutive = 3,
+                            std::size_t min_traces = 4) const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace psa::baseline

@@ -1,0 +1,43 @@
+#include "baseline/external_probe.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "em/calibration.hpp"
+
+namespace psa::baseline {
+
+ProbeSpec lf1_probe() {
+  return {"Langer LF1", 300.0, em::kExternalProbeHeightUm, 50.0};
+}
+
+ProbeSpec icr_hh100_probe() {
+  // 100 µm head diameter, operated close to the thinned package surface.
+  return {"ICR HH100-6", 50.0, 220.0, 50.0};
+}
+
+Polyline probe_polyline(const ProbeSpec& spec, Point center,
+                        std::size_t segments) {
+  Polyline poly;
+  poly.reserve(segments);
+  for (std::size_t i = 0; i < segments; ++i) {
+    const double a =
+        kTwoPi * static_cast<double>(i) / static_cast<double>(segments);
+    poly.push_back({center.x + spec.radius_um * std::cos(a),
+                    center.y + spec.radius_um * std::sin(a)});
+  }
+  return poly;
+}
+
+sim::SensorView make_probe_view(const sim::ChipSimulator& chip,
+                                const ProbeSpec& spec) {
+  const Point center = chip.floorplan().die().center();
+  const Polyline poly = probe_polyline(spec, center);
+  sim::SensorView view = chip.view_from_polyline(
+      poly, spec.standoff_um, /*wire_length_um=*/0.0, /*switch_count=*/0,
+      spec.name);
+  view.fixed_resistance_ohm = spec.resistance_ohm;
+  return view;
+}
+
+}  // namespace psa::baseline

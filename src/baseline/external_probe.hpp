@@ -1,0 +1,38 @@
+// external_probe.hpp — models of the external EM probes the paper compares
+// against: the Langer EMV LF1 (large near-field loop above the package) and
+// the ICR HH100-6 (100 µm aperture high-resolution probe at reduced
+// stand-off). Both are circular loops sensed at a stand-off height; their
+// large loop area couples ambient noise that on-chip sensors never see.
+#pragma once
+
+#include <string>
+
+#include "common/geometry.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa::baseline {
+
+struct ProbeSpec {
+  std::string name;
+  double radius_um;       // loop radius
+  double standoff_um;     // sensing height above the active layer
+  double resistance_ohm;  // source impedance presented to the front-end
+};
+
+/// Langer LF1-class near-field probe above the QFN package.
+ProbeSpec lf1_probe();
+
+/// ICR HH100-6: 100 µm diameter head, much closer stand-off (decapped /
+/// thinned package), the best external probe the paper cites (~34 dB).
+ProbeSpec icr_hh100_probe();
+
+/// Circular loop polyline (regular polygon) centred over the die.
+Polyline probe_polyline(const ProbeSpec& spec, Point center,
+                        std::size_t segments = 48);
+
+/// Build the probe's SensorView over the simulator's die (centred by
+/// default).
+sim::SensorView make_probe_view(const sim::ChipSimulator& chip,
+                                const ProbeSpec& spec);
+
+}  // namespace psa::baseline

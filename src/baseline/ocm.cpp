@@ -1,0 +1,50 @@
+#include "baseline/ocm.hpp"
+
+#include "dsp/spectrum.hpp"
+
+namespace psa::baseline {
+
+OcmSensor::OcmSensor(const sim::ChipSimulator& chip, const OcmParams& params)
+    : chip_(chip), params_(params) {}
+
+std::vector<double> OcmSensor::capture(const sim::Scenario& scenario,
+                                       std::size_t n_cycles) const {
+  std::vector<double> ripple = chip_.total_current(scenario, n_cycles);
+  Rng rng = Rng(scenario.seed).fork(0x4F434DULL);  // "OCM"
+  for (double& v : ripple) {
+    v = v * params_.pdn_resistance_ohm +
+        rng.gaussian(0.0, params_.sense_noise_v);
+  }
+  return ripple;
+}
+
+dsp::Spectrum OcmSensor::spectrum(const sim::Scenario& scenario,
+                                  std::size_t n_cycles) const {
+  const std::vector<double> trace = capture(scenario, n_cycles);
+  const dsp::Spectrum full = dsp::amplitude_spectrum(
+      trace, chip_.timing().sample_rate_hz(), dsp::WindowKind::kFlatTop);
+  return dsp::resample(full, params_.f_max_hz, params_.display_points);
+}
+
+OcmDetector::OcmDetector(const sim::ChipSimulator& chip,
+                         const OcmParams& params)
+    : sensor_(chip, params) {}
+
+void OcmDetector::enroll(const sim::Scenario& normal, std::size_t traces,
+                         std::size_t n_cycles) {
+  std::vector<dsp::Spectrum> spectra;
+  spectra.reserve(traces);
+  for (std::size_t i = 0; i < traces; ++i) {
+    sim::Scenario s = normal;
+    s.seed = normal.seed + 31 * (i + 1);
+    spectra.push_back(sensor_.spectrum(s, n_cycles));
+  }
+  detector_.enroll(spectra);
+}
+
+analysis::DetectionResult OcmDetector::detect(const sim::Scenario& scenario,
+                                              std::size_t n_cycles) const {
+  return detector_.score(sensor_.spectrum(scenario, n_cycles));
+}
+
+}  // namespace psa::baseline

@@ -1,0 +1,67 @@
+// ocm.hpp — on-chip power-noise measurement (Fujimoto et al. [10][11]).
+//
+// Section III-B of the paper: "Fujimoto et al. also exploited the on-chip
+// power noise measurement (OCM) ... it is also possible to use such OCM to
+// detect HT, but that requires further investigation." This module carries
+// out that investigation on the simulated chip: an on-die sense circuit
+// observes the supply rail's IR noise (PDN impedance x total switching
+// current), and the same golden-model-free spectral detector runs on it.
+// Expected outcome (reproduced by bench_ablation): OCM detects active
+// Trojans with good margin — the supply rail sees everything — but is
+// spatially blind, so it cannot localize; the PSA's contribution is exactly
+// the spatial dimension.
+#pragma once
+
+#include "analysis/detector.hpp"
+#include "common/rng.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa::baseline {
+
+struct OcmParams {
+  double pdn_resistance_ohm = 0.5;  // effective supply-network impedance
+  double sense_noise_v = 2.0e-5;    // sense amplifier noise floor (rms)
+  std::size_t display_points = 2000;
+  double f_max_hz = 120.0e6;
+};
+
+/// The on-die supply-noise sensor: converts total chip current into the
+/// voltage ripple an OCM cell digitizes.
+class OcmSensor {
+ public:
+  OcmSensor(const sim::ChipSimulator& chip, const OcmParams& params = {});
+
+  /// One OCM trace (volts of supply ripple) for a scenario.
+  std::vector<double> capture(const sim::Scenario& scenario,
+                              std::size_t n_cycles) const;
+
+  /// Display spectrum of one capture.
+  dsp::Spectrum spectrum(const sim::Scenario& scenario,
+                         std::size_t n_cycles) const;
+
+  const OcmParams& params() const { return params_; }
+
+ private:
+  const sim::ChipSimulator& chip_;
+  OcmParams params_;
+};
+
+/// Golden-model-free OCM detector: enrollment + robust z-scoring, the same
+/// analysis the PSA pipeline uses, fed by the supply rail instead of a coil.
+class OcmDetector {
+ public:
+  OcmDetector(const sim::ChipSimulator& chip, const OcmParams& params = {});
+
+  void enroll(const sim::Scenario& normal, std::size_t traces = 8,
+              std::size_t n_cycles = 1024);
+  bool enrolled() const { return detector_.enrolled(); }
+
+  analysis::DetectionResult detect(const sim::Scenario& scenario,
+                                   std::size_t n_cycles = 1024) const;
+
+ private:
+  OcmSensor sensor_;
+  analysis::GoldenFreeDetector detector_;
+};
+
+}  // namespace psa::baseline

@@ -1,0 +1,74 @@
+#include "common/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psa {
+
+double norm(Point p) { return std::hypot(p.x, p.y); }
+
+double distance(Point a, Point b) { return norm(a - b); }
+
+Rect intersect(const Rect& a, const Rect& b) {
+  return Rect{{std::max(a.lo.x, b.lo.x), std::max(a.lo.y, b.lo.y)},
+              {std::min(a.hi.x, b.hi.x), std::min(a.hi.y, b.hi.y)}};
+}
+
+double overlap_fraction(const Rect& a, const Rect& b) {
+  const Rect i = intersect(a, b);
+  if (!i.valid() || a.area() <= 0.0) return 0.0;
+  return i.area() / a.area();
+}
+
+double signed_area(std::span<const Point> path) {
+  if (path.size() < 3) return 0.0;
+  double twice = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const Point& p = path[i];
+    const Point& q = path[(i + 1) % path.size()];
+    twice += p.x * q.y - q.x * p.y;
+  }
+  return 0.5 * twice;
+}
+
+double perimeter(std::span<const Point> path) {
+  if (path.size() < 2) return 0.0;
+  double len = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    len += distance(path[i], path[(i + 1) % path.size()]);
+  }
+  return len;
+}
+
+int winding_number(std::span<const Point> path, Point p) {
+  // Standard winding-number accumulation over directed edges: an upward edge
+  // that passes strictly left of p contributes +1, a downward one -1.
+  if (path.size() < 3) return 0;
+  int wn = 0;
+  const auto is_left = [](Point a, Point b, Point c) {
+    return (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
+  };
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const Point& a = path[i];
+    const Point& b = path[(i + 1) % path.size()];
+    if (a.y <= p.y) {
+      if (b.y > p.y && is_left(a, b, p) > 0.0) ++wn;
+    } else {
+      if (b.y <= p.y && is_left(a, b, p) < 0.0) --wn;
+    }
+  }
+  return wn;
+}
+
+Rect bounding_box(std::span<const Point> pts) {
+  Rect r{{pts.front().x, pts.front().y}, {pts.front().x, pts.front().y}};
+  for (const Point& p : pts) {
+    r.lo.x = std::min(r.lo.x, p.x);
+    r.lo.y = std::min(r.lo.y, p.y);
+    r.hi.x = std::max(r.hi.x, p.x);
+    r.hi.y = std::max(r.hi.y, p.y);
+  }
+  return r;
+}
+
+}  // namespace psa

@@ -1,0 +1,78 @@
+// geometry.hpp — 2-D primitives used by the floorplan and the coil models.
+//
+// All coordinates are in micrometres (see units.hpp). The die origin is the
+// lower-left corner; x grows to the right, y grows upward.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace psa {
+
+/// A point (or free vector) in the die plane, micrometres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+  constexpr bool operator==(const Point&) const = default;
+};
+
+/// Euclidean norm of a point treated as a vector.
+double norm(Point p);
+
+/// Euclidean distance between two points.
+double distance(Point a, Point b);
+
+/// Axis-aligned rectangle, [lo, hi) semantics for containment.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Point center() const {
+    return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5};
+  }
+  constexpr bool contains(Point p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y;
+  }
+  constexpr bool valid() const { return hi.x >= lo.x && hi.y >= lo.y; }
+  constexpr bool operator==(const Rect&) const = default;
+};
+
+/// Intersection of two rectangles; result has zero/negative extent when the
+/// inputs are disjoint (check .valid() and .area()).
+Rect intersect(const Rect& a, const Rect& b);
+
+/// Fraction of `a`'s area shared with `b` (0 when disjoint). Used to verify
+/// the paper's 33 % sensor overlap.
+double overlap_fraction(const Rect& a, const Rect& b);
+
+/// A closed polygonal path: vertices in order, implicitly closed from the
+/// last vertex back to the first. Programmed PSA coils become Polylines.
+using Polyline = std::vector<Point>;
+
+/// Signed area by the shoelace formula. Positive for counter-clockwise
+/// orientation. For self-overlapping paths (multi-turn coils) the enclosed
+/// regions accumulate per winding, which is exactly the flux weighting a
+/// multi-turn coil applies.
+double signed_area(std::span<const Point> closed_path);
+
+/// Total path length of the closed polyline (includes the closing segment).
+double perimeter(std::span<const Point> closed_path);
+
+/// Winding number of `closed_path` around `p` (standard crossing count).
+/// 0 = outside; +n / -n = enclosed n times CCW / CW. A point lying exactly on
+/// an edge is implementation-defined; callers sample at cell centres that are
+/// never on lattice wires.
+int winding_number(std::span<const Point> closed_path, Point p);
+
+/// Bounding box of a set of points. Undefined for an empty span.
+Rect bounding_box(std::span<const Point> pts);
+
+}  // namespace psa

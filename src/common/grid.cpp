@@ -1,0 +1,83 @@
+#include "common/grid.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace psa {
+
+Grid2D::Grid2D(std::size_t nx, std::size_t ny, const Rect& extent)
+    : nx_(nx), ny_(ny), extent_(extent) {
+  if (nx == 0 || ny == 0) throw std::invalid_argument("Grid2D: empty grid");
+  if (!(extent.width() > 0.0) || !(extent.height() > 0.0)) {
+    throw std::invalid_argument("Grid2D: degenerate extent");
+  }
+  dx_ = extent.width() / static_cast<double>(nx);
+  dy_ = extent.height() / static_cast<double>(ny);
+  data_.assign(nx * ny, 0.0);
+}
+
+double& Grid2D::at(std::size_t ix, std::size_t iy) {
+  if (ix >= nx_ || iy >= ny_) throw std::out_of_range("Grid2D::at");
+  return data_[index(ix, iy)];
+}
+
+double Grid2D::at(std::size_t ix, std::size_t iy) const {
+  if (ix >= nx_ || iy >= ny_) throw std::out_of_range("Grid2D::at");
+  return data_[index(ix, iy)];
+}
+
+Point Grid2D::cell_center(std::size_t ix, std::size_t iy) const {
+  return {extent_.lo.x + (static_cast<double>(ix) + 0.5) * dx_,
+          extent_.lo.y + (static_cast<double>(iy) + 0.5) * dy_};
+}
+
+double Grid2D::total() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+void Grid2D::scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void Grid2D::deposit_uniform(const Rect& r, double amount) {
+  const Rect clipped = intersect(r, extent_);
+  if (!clipped.valid() || clipped.area() <= 0.0 || r.area() <= 0.0) return;
+  const double density = amount / r.area();  // per unit area of the source
+
+  // Index range of cells touched by the clipped rectangle.
+  const auto clamp_idx = [](double v, std::size_t n) {
+    if (v < 0.0) return std::size_t{0};
+    const auto i = static_cast<std::size_t>(v);
+    return std::min(i, n - 1);
+  };
+  const std::size_t ix0 = clamp_idx((clipped.lo.x - extent_.lo.x) / dx_, nx_);
+  const std::size_t ix1 =
+      clamp_idx((clipped.hi.x - extent_.lo.x) / dx_ - 1e-12, nx_);
+  const std::size_t iy0 = clamp_idx((clipped.lo.y - extent_.lo.y) / dy_, ny_);
+  const std::size_t iy1 =
+      clamp_idx((clipped.hi.y - extent_.lo.y) / dy_ - 1e-12, ny_);
+
+  for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+    for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+      const Rect cell{
+          {extent_.lo.x + static_cast<double>(ix) * dx_,
+           extent_.lo.y + static_cast<double>(iy) * dy_},
+          {extent_.lo.x + static_cast<double>(ix + 1) * dx_,
+           extent_.lo.y + static_cast<double>(iy + 1) * dy_}};
+      const Rect ov = intersect(cell, clipped);
+      if (ov.valid() && ov.area() > 0.0) {
+        data_[index(ix, iy)] += density * ov.area();
+      }
+    }
+  }
+}
+
+double Grid2D::dot(const Grid2D& other) const {
+  if (other.nx_ != nx_ || other.ny_ != ny_) {
+    throw std::invalid_argument("Grid2D::dot: shape mismatch");
+  }
+  return std::inner_product(data_.begin(), data_.end(), other.data_.begin(),
+                            0.0);
+}
+
+}  // namespace psa

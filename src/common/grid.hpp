@@ -1,0 +1,66 @@
+// grid.hpp — a dense 2-D scalar field over the die, used for cell-density
+// maps, coupling-gain kernels, and winding-number rasters.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace psa {
+
+/// Row-major dense grid of doubles covering a rectangular extent of the die.
+/// Cell (ix, iy) covers
+///   [lo + ix*dx, lo + (ix+1)*dx) x [lo + iy*dy, lo + (iy+1)*dy).
+class Grid2D {
+ public:
+  Grid2D() = default;
+
+  /// Construct an nx-by-ny grid spanning `extent`, zero-filled.
+  Grid2D(std::size_t nx, std::size_t ny, const Rect& extent);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  const Rect& extent() const { return extent_; }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+  double cell_area() const { return dx_ * dy_; }
+
+  double& at(std::size_t ix, std::size_t iy);
+  double at(std::size_t ix, std::size_t iy) const;
+
+  /// Centre point of cell (ix, iy) in die coordinates.
+  Point cell_center(std::size_t ix, std::size_t iy) const;
+
+  /// Sum of all cells.
+  double total() const;
+
+  /// Multiply every cell by `s`.
+  void scale(double s);
+
+  /// Add `amount`, spread uniformly over the part of `r` that intersects the
+  /// grid, proportionally to per-cell overlap area. Used to rasterize module
+  /// rectangles into density maps.
+  void deposit_uniform(const Rect& r, double amount);
+
+  /// Elementwise dot product with another grid of identical shape.
+  double dot(const Grid2D& other) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  std::size_t index(std::size_t ix, std::size_t iy) const {
+    return iy * nx_ + ix;
+  }
+
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  Rect extent_{};
+  double dx_ = 0.0;
+  double dy_ = 0.0;
+  std::vector<double> data_;
+};
+
+}  // namespace psa

@@ -1,0 +1,97 @@
+// rng.hpp — deterministic, seedable random number generation.
+//
+// Every stochastic element of the simulator (noise, jitter, plaintext
+// streams) draws from an Rng constructed from an explicit seed so that every
+// experiment is exactly reproducible. xoshiro256++ is used for its quality
+// and speed; seeding goes through splitmix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace psa {
+
+/// splitmix64 step — used to expand a single seed into xoshiro state and as a
+/// cheap standalone mixer for per-stream sub-seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x9E3779B9u) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal
+  /// and the stream position easy to reason about).
+  double gaussian() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.28318530717958647692 * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double sigma) {
+    return mean + sigma * gaussian();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free variant is overkill here; a
+    // simple 128-bit multiply keeps the distribution unbiased enough for
+    // simulation purposes without a division.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Derive an independent child generator; `stream` tags the purpose so two
+  /// subsystems never consume each other's randomness.
+  Rng fork(std::uint64_t stream) const {
+    std::uint64_t s = state_[0] ^ (state_[3] * 0x9E3779B97F4A7C15ULL) ^ stream;
+    return Rng{splitmix64(s)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace psa

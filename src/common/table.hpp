@@ -1,0 +1,39 @@
+// table.hpp — minimal fixed-width table / CSV printer for the experiment
+// harnesses so every bench emits the same row format the paper's tables use.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace psa {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table or
+/// as CSV. Keeps bench binaries free of formatting noise.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row. Rows shorter than the header are right-padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment, a header separator, and `title` on top.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Render as RFC-4180-ish CSV (quotes only when needed).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant decimals (fixed notation).
+std::string fmt(double value, int digits = 2);
+
+/// Format a double in engineering style with a unit suffix, e.g. 48.0 MHz.
+std::string fmt_freq(double hz);
+
+}  // namespace psa

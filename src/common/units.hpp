@@ -1,0 +1,82 @@
+// units.hpp — physical constants and unit conventions used across the library.
+//
+// Conventions (documented once, used everywhere):
+//   length   : micrometres (um)          — die/floorplan/coil geometry
+//   time     : seconds (s)               — waveforms and sample clocks
+//   frequency: hertz (Hz)
+//   voltage  : volts (V)
+//   current  : amperes (A)
+//   magnetic : tesla (T), weber (Wb)
+//   power dB : 20*log10 for amplitude ratios, 10*log10 for power ratios
+//
+// Helper literals let call sites say `33.0_MHz` or `16.0_um` without a unit
+// system's template overhead; everything is a plain double underneath.
+#pragma once
+
+#include <cmath>
+
+namespace psa {
+
+// ---------------------------------------------------------------- constants
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Vacuum permeability [T*m/A].
+inline constexpr double kMu0 = 4.0e-7 * kPi;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// 0 degrees Celsius in kelvin.
+inline constexpr double kZeroCelsiusK = 273.15;
+
+// ------------------------------------------------------------ unit literals
+// Lengths are carried in micrometres; `_um` is the identity literal and the
+// others convert into it.
+constexpr double operator""_um(long double v) { return static_cast<double>(v); }
+constexpr double operator""_um(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_mm(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_nm(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+// Frequencies in hertz.
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Hz(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_kHz(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_GHz(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+
+// Times in seconds.
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_ms(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_us(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+
+// ------------------------------------------------------------- dB helpers
+/// Amplitude ratio -> decibels (20 log10). Returns -inf-ish floor for 0.
+inline double amplitude_db(double ratio) {
+  return ratio > 0.0 ? 20.0 * std::log10(ratio) : -300.0;
+}
+
+/// Power ratio -> decibels (10 log10).
+inline double power_db(double ratio) {
+  return ratio > 0.0 ? 10.0 * std::log10(ratio) : -300.0;
+}
+
+/// Decibels (amplitude convention) -> linear ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Decibels (power convention) -> linear ratio.
+inline double db_to_power(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Celsius -> kelvin.
+inline constexpr double celsius_to_kelvin(double c) { return c + kZeroCelsiusK; }
+
+}  // namespace psa

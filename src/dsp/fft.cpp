@@ -1,0 +1,86 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace psa::dsp {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+void bit_reverse_permute(std::span<cplx> a) {
+  const std::size_t n = a.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+void fft_core(std::span<cplx> a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  bit_reverse_permute(a);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<cplx> data) { fft_core(data, /*inverse=*/false); }
+
+void ifft_inplace(std::span<cplx> data) {
+  fft_core(data, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (cplx& c : data) c *= inv_n;
+}
+
+std::vector<cplx> rfft(std::span<const double> signal) {
+  const std::size_t n = signal.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("rfft: size must be a power of two");
+  }
+  std::vector<cplx> buf(signal.begin(), signal.end());
+  fft_inplace(buf);
+  buf.resize(n / 2 + 1);
+  return buf;
+}
+
+std::vector<double> irfft(std::span<const cplx> half, std::size_t n) {
+  if (!is_pow2(n) || half.size() != n / 2 + 1) {
+    throw std::invalid_argument("irfft: inconsistent sizes");
+  }
+  std::vector<cplx> full(n);
+  for (std::size_t k = 0; k < half.size(); ++k) full[k] = half[k];
+  for (std::size_t k = 1; k < n / 2; ++k) full[n - k] = std::conj(half[k]);
+  ifft_inplace(full);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = full[i].real();
+  return out;
+}
+
+}  // namespace psa::dsp

@@ -1,0 +1,36 @@
+// fft.hpp — iterative radix-2 FFT, implemented from scratch (no external DSP
+// dependency). Sizes must be powers of two; the spectrum-analyzer layer picks
+// its window lengths accordingly.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace psa::dsp {
+
+using cplx = std::complex<double>;
+
+/// True when n is a nonzero power of two.
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n (n must be <= 2^63).
+std::size_t next_pow2(std::size_t n);
+
+/// In-place forward FFT (decimation-in-time, bit-reversal permutation).
+/// X[k] = sum_n x[n] exp(-2*pi*i*k*n/N). Throws std::invalid_argument if the
+/// size is not a power of two.
+void fft_inplace(std::span<cplx> data);
+
+/// In-place inverse FFT with 1/N normalization.
+void ifft_inplace(std::span<cplx> data);
+
+/// Forward FFT of a real signal; returns the N/2+1 non-negative-frequency
+/// bins. Input size must be a power of two.
+std::vector<cplx> rfft(std::span<const double> signal);
+
+/// Inverse of rfft: reconstructs the length-n real signal from its n/2+1
+/// half-spectrum (conjugate symmetry is assumed, imaginary residue dropped).
+std::vector<double> irfft(std::span<const cplx> half_spectrum, std::size_t n);
+
+}  // namespace psa::dsp

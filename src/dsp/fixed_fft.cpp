@@ -1,0 +1,121 @@
+#include "dsp/fixed_fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+
+namespace psa::dsp {
+
+std::int16_t double_to_q15(double v) {
+  const double scaled = v * 32768.0;
+  return static_cast<std::int16_t>(
+      std::clamp(std::lround(scaled), -32768L, 32767L));
+}
+
+double q15_to_double(std::int16_t v) {
+  return static_cast<double>(v) / 32768.0;
+}
+
+namespace {
+
+/// Q15 multiply with rounding: (a*b + 2^14) >> 15.
+inline std::int16_t q15_mul(std::int16_t a, std::int16_t b) {
+  const std::int32_t p = static_cast<std::int32_t>(a) * b + (1 << 14);
+  return static_cast<std::int16_t>(p >> 15);
+}
+
+}  // namespace
+
+FixedFftResult fixed_fft(std::span<const Q15Complex> input) {
+  const std::size_t n = input.size();
+  if (!is_pow2(n) || n < 2) {
+    throw std::invalid_argument("fixed_fft: size must be a power of two");
+  }
+  FixedFftResult res;
+  res.bins.assign(input.begin(), input.end());
+  auto& a = res.bins;
+
+  // Bit-reversal permutation.
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  // Twiddle table (Q15).
+  std::vector<Q15Complex> tw(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -kTwoPi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    tw[k] = {double_to_q15(std::cos(ang) * 0.99997),
+             double_to_q15(std::sin(ang) * 0.99997)};
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Q15Complex w = tw[k * stride];
+        const Q15Complex u = a[i + k];
+        const Q15Complex v = a[i + k + len / 2];
+        // t = v * w (Q15 complex multiply).
+        const std::int16_t t_re = static_cast<std::int16_t>(
+            q15_mul(v.re, w.re) - q15_mul(v.im, w.im));
+        const std::int16_t t_im = static_cast<std::int16_t>(
+            q15_mul(v.re, w.im) + q15_mul(v.im, w.re));
+        // Butterfly with 1/2 pre-scale (block floating point).
+        a[i + k] = {static_cast<std::int16_t>((u.re + t_re) >> 1),
+                    static_cast<std::int16_t>((u.im + t_im) >> 1)};
+        a[i + k + len / 2] = {static_cast<std::int16_t>((u.re - t_re) >> 1),
+                              static_cast<std::int16_t>((u.im - t_im) >> 1)};
+      }
+    }
+    ++res.block_exponent;
+  }
+  return res;
+}
+
+std::vector<double> fixed_fft_magnitudes(std::span<const double> signal,
+                                         double full_scale) {
+  if (full_scale <= 0.0) {
+    throw std::invalid_argument("fixed_fft_magnitudes: bad full scale");
+  }
+  const std::size_t n = next_pow2(signal.size());
+  std::vector<Q15Complex> buf(n);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    buf[i].re = double_to_q15(signal[i] / full_scale);
+  }
+  const FixedFftResult fft = fixed_fft(buf);
+  const double scale = full_scale * std::ldexp(1.0, fft.block_exponent);
+  std::vector<double> mags(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double re = q15_to_double(fft.bins[k].re);
+    const double im = q15_to_double(fft.bins[k].im);
+    mags[k] = std::hypot(re, im) * scale;
+  }
+  return mags;
+}
+
+double fixed_fft_relative_error(std::span<const double> signal,
+                                double full_scale, double floor_fraction) {
+  const std::vector<double> fixed = fixed_fft_magnitudes(signal, full_scale);
+  std::vector<double> padded(signal.begin(), signal.end());
+  padded.resize(next_pow2(signal.size()), 0.0);
+  const std::vector<cplx> ref = rfft(padded);
+  double peak = 0.0;
+  for (const cplx& c : ref) peak = std::max(peak, std::abs(c));
+  double worst = 0.0;
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    const double r = std::abs(ref[k]);
+    if (r < floor_fraction * peak) continue;
+    worst = std::max(worst, std::fabs(fixed[k] - r) / r);
+  }
+  return worst;
+}
+
+}  // namespace psa::dsp

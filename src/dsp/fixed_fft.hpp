@@ -1,0 +1,52 @@
+// fixed_fft.hpp — Q15 block-floating-point FFT, the arithmetic an
+// FPGA/microcontroller acquisition board (RASCv2-class [5][6]) actually
+// runs. Each butterfly stage pre-scales by 1/2 and the total scaling is
+// tracked in a block exponent, the standard embedded technique to avoid
+// overflow without losing small signals.
+//
+// Provided so the run-time feasibility claim can be checked against the
+// arithmetic the deployment hardware would use — including the quantization
+// error it introduces relative to the double-precision reference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace psa::dsp {
+
+/// A Q15 complex sample.
+struct Q15Complex {
+  std::int16_t re = 0;
+  std::int16_t im = 0;
+};
+
+/// Result of a fixed-point FFT: Q15 bins plus the block exponent; the
+/// physical value of bin k is q15_to_double(bins[k]) * 2^block_exponent.
+struct FixedFftResult {
+  std::vector<Q15Complex> bins;
+  int block_exponent = 0;
+};
+
+/// Convert a real double in [-1, 1) to Q15 (saturating).
+std::int16_t double_to_q15(double v);
+/// Convert Q15 back to double.
+double q15_to_double(std::int16_t v);
+
+/// Forward FFT of a Q15 complex buffer (size must be a power of two).
+/// Every stage scales by 1/2 (so block_exponent == log2(n)).
+FixedFftResult fixed_fft(std::span<const Q15Complex> input);
+
+/// Convenience: window-free amplitude magnitudes of a real double signal
+/// through the Q15 pipeline, rescaled back to physical units. `full_scale`
+/// maps the signal's expected peak to Q15 full scale.
+std::vector<double> fixed_fft_magnitudes(std::span<const double> signal,
+                                         double full_scale);
+
+/// Worst-case relative magnitude error of the Q15 pipeline vs the double
+/// FFT over the given signal (bins above `floor_fraction` of the peak).
+double fixed_fft_relative_error(std::span<const double> signal,
+                                double full_scale,
+                                double floor_fraction = 0.05);
+
+}  // namespace psa::dsp

@@ -1,0 +1,62 @@
+#include "dsp/goertzel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "dsp/window.hpp"
+
+namespace psa::dsp {
+
+std::complex<double> goertzel(std::span<const double> signal,
+                              double sample_rate_hz, double freq_hz) {
+  if (signal.empty() || sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("goertzel: bad inputs");
+  }
+  const std::size_t n = signal.size();
+  const double w = kTwoPi * freq_hz / sample_rate_hz;
+  const double coeff = 2.0 * std::cos(w);
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  for (double x : signal) {
+    s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  // Final phase correction per the classic formulation.
+  const std::complex<double> wk(std::cos(w), -std::sin(w));
+  std::complex<double> y = s1 - s2 * std::complex<double>(std::cos(w),
+                                                          std::sin(w));
+  y *= std::pow(wk, static_cast<double>(n - 1));
+  // Normalize: sine of amplitude A contributes N/2 * A at its frequency.
+  return y * (2.0 / static_cast<double>(n));
+}
+
+ZeroSpanTrace zero_span(std::span<const double> signal, double sample_rate_hz,
+                        double center_freq_hz, std::size_t block,
+                        std::size_t hop) {
+  if (block == 0 || hop == 0 || block > signal.size()) {
+    throw std::invalid_argument("zero_span: bad block/hop");
+  }
+  const std::vector<double> win = make_window(WindowKind::kHann, block);
+  const double cg = coherent_gain(win);
+
+  ZeroSpanTrace tr;
+  tr.center_freq_hz = center_freq_hz;
+  tr.resolution_bw_hz =
+      enbw_bins(win) * sample_rate_hz / static_cast<double>(block);
+
+  std::vector<double> buf(block);
+  for (std::size_t start = 0; start + block <= signal.size(); start += hop) {
+    for (std::size_t i = 0; i < block; ++i) buf[i] = signal[start + i] * win[i];
+    const auto y = goertzel(buf, sample_rate_hz, center_freq_hz);
+    tr.time_s.push_back(
+        (static_cast<double>(start) + static_cast<double>(block) / 2.0) /
+        sample_rate_hz);
+    tr.magnitude.push_back(std::abs(y) / cg);
+  }
+  return tr;
+}
+
+}  // namespace psa::dsp

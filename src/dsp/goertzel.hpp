@@ -1,0 +1,32 @@
+// goertzel.hpp — single-frequency DFT (Goertzel) and the zero-span envelope
+// extractor that models a spectrum analyzer's zero-span mode: the magnitude
+// of one centre frequency tracked over time.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace psa::dsp {
+
+/// Complex DFT coefficient of `signal` at `freq_hz` (normalized so that a
+/// sine of amplitude A at freq_hz returns magnitude ~A).
+std::complex<double> goertzel(std::span<const double> signal,
+                              double sample_rate_hz, double freq_hz);
+
+/// Zero-span measurement: slide a Hann-weighted Goertzel block across the
+/// signal and record the magnitude at `center_freq_hz` for each block. The
+/// result is the time-domain envelope of that frequency component — exactly
+/// what Fig. 5 of the paper plots.
+struct ZeroSpanTrace {
+  std::vector<double> time_s;     // block centre times
+  std::vector<double> magnitude;  // linear amplitude of the component
+  double center_freq_hz = 0.0;
+  double resolution_bw_hz = 0.0;  // ~ sample_rate / block
+};
+
+ZeroSpanTrace zero_span(std::span<const double> signal, double sample_rate_hz,
+                        double center_freq_hz, std::size_t block,
+                        std::size_t hop);
+
+}  // namespace psa::dsp

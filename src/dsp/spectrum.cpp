@@ -1,0 +1,123 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+
+namespace psa::dsp {
+
+std::vector<double> Spectrum::magnitude_db() const {
+  std::vector<double> out(magnitude.size());
+  for (std::size_t i = 0; i < magnitude.size(); ++i) {
+    out[i] = amplitude_db(magnitude[i]);
+  }
+  return out;
+}
+
+double Spectrum::value_at(double hz) const {
+  if (freq_hz.empty()) return 0.0;
+  if (hz <= freq_hz.front()) return magnitude.front();
+  if (hz >= freq_hz.back()) return magnitude.back();
+  const auto it = std::lower_bound(freq_hz.begin(), freq_hz.end(), hz);
+  const std::size_t hi = static_cast<std::size_t>(it - freq_hz.begin());
+  const std::size_t lo = hi - 1;
+  const double span_hz = freq_hz[hi] - freq_hz[lo];
+  const double t = span_hz > 0.0 ? (hz - freq_hz[lo]) / span_hz : 0.0;
+  return magnitude[lo] + t * (magnitude[hi] - magnitude[lo]);
+}
+
+std::size_t Spectrum::nearest_bin(double hz) const {
+  if (freq_hz.empty()) throw std::logic_error("Spectrum::nearest_bin: empty");
+  const auto it = std::lower_bound(freq_hz.begin(), freq_hz.end(), hz);
+  if (it == freq_hz.begin()) return 0;
+  if (it == freq_hz.end()) return freq_hz.size() - 1;
+  const std::size_t hi = static_cast<std::size_t>(it - freq_hz.begin());
+  return (hz - freq_hz[hi - 1] <= freq_hz[hi] - hz) ? hi - 1 : hi;
+}
+
+std::size_t Spectrum::peak_bin(double f_lo, double f_hi) const {
+  std::size_t best = nearest_bin(f_lo);
+  double best_mag = -1.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (freq_hz[i] < f_lo || freq_hz[i] > f_hi) continue;
+    if (magnitude[i] > best_mag) {
+      best_mag = magnitude[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+Spectrum amplitude_spectrum(std::span<const double> signal,
+                            double sample_rate_hz, WindowKind window) {
+  if (signal.empty() || sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("amplitude_spectrum: bad inputs");
+  }
+  const std::size_t n = next_pow2(signal.size());
+  std::vector<double> buf(signal.begin(), signal.end());
+  const std::vector<double> w = make_window(window, signal.size());
+  apply_window(std::span<double>(buf.data(), signal.size()), w);
+  buf.resize(n, 0.0);
+
+  const std::vector<cplx> half = rfft(buf);
+  // Window amplitude correction uses the pre-padding length.
+  const double cg = coherent_gain(w);
+  const double scale =
+      2.0 / (cg * static_cast<double>(signal.size()));
+
+  Spectrum s;
+  s.freq_hz.resize(half.size());
+  s.magnitude.resize(half.size());
+  const double df = sample_rate_hz / static_cast<double>(n);
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    s.freq_hz[k] = df * static_cast<double>(k);
+    double m = std::abs(half[k]) * scale;
+    if (k == 0 || k == half.size() - 1) m *= 0.5;  // DC/Nyquist: no mirror
+    s.magnitude[k] = m;
+  }
+  return s;
+}
+
+Spectrum average_spectra(std::span<const Spectrum> spectra) {
+  if (spectra.empty()) throw std::invalid_argument("average_spectra: empty");
+  Spectrum avg = spectra.front();
+  for (std::size_t i = 1; i < spectra.size(); ++i) {
+    if (spectra[i].size() != avg.size()) {
+      throw std::invalid_argument("average_spectra: grid mismatch");
+    }
+    for (std::size_t k = 0; k < avg.size(); ++k) {
+      avg.magnitude[k] += spectra[i].magnitude[k];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(spectra.size());
+  for (double& m : avg.magnitude) m *= inv;
+  return avg;
+}
+
+Spectrum resample(const Spectrum& s, double f_max_hz, std::size_t n_points) {
+  if (n_points < 2) throw std::invalid_argument("resample: need >=2 points");
+  Spectrum out;
+  out.freq_hz.resize(n_points);
+  out.magnitude.resize(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double f =
+        f_max_hz * static_cast<double>(i) / static_cast<double>(n_points - 1);
+    out.freq_hz[i] = f;
+    out.magnitude[i] = s.value_at(f);
+  }
+  return out;
+}
+
+std::vector<double> difference_db(const Spectrum& a, const Spectrum& b) {
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double mb = b.value_at(a.freq_hz[i]);
+    out[i] = amplitude_db(a.magnitude[i]) - amplitude_db(mb);
+  }
+  return out;
+}
+
+}  // namespace psa::dsp

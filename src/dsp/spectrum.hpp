@@ -1,0 +1,55 @@
+// spectrum.hpp — amplitude spectra: computation, averaging, resampling onto
+// the display grid the paper uses (DC–120 MHz, 2000 points).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace psa::dsp {
+
+/// An amplitude spectrum: bin frequencies [Hz] and linear magnitudes [V].
+/// Magnitudes are window-corrected peak amplitudes, so a full-scale sine at a
+/// bin centre reads its true amplitude.
+struct Spectrum {
+  std::vector<double> freq_hz;
+  std::vector<double> magnitude;  // linear volts
+
+  std::size_t size() const { return freq_hz.size(); }
+
+  /// Magnitude in dB relative to 1 V (dBV).
+  std::vector<double> magnitude_db() const;
+
+  /// Linear-interpolated magnitude at an arbitrary frequency (clamped).
+  double value_at(double hz) const;
+
+  /// Index of the bin nearest to `hz`.
+  std::size_t nearest_bin(double hz) const;
+
+  /// Index of the strongest bin inside [f_lo, f_hi].
+  std::size_t peak_bin(double f_lo, double f_hi) const;
+};
+
+/// Compute the single-sided amplitude spectrum of `signal` sampled at
+/// `sample_rate_hz`. The signal is zero-padded to a power of two. DC and
+/// Nyquist bins are scaled so that every bin reports sine amplitude.
+Spectrum amplitude_spectrum(std::span<const double> signal,
+                            double sample_rate_hz,
+                            WindowKind window = WindowKind::kFlatTop);
+
+/// Pointwise average of several spectra sharing one frequency grid (the
+/// paper averages five collected traces per plotted spectrum). Averaging is
+/// done on linear magnitudes.
+Spectrum average_spectra(std::span<const Spectrum> spectra);
+
+/// Resample a spectrum onto `n_points` equally spaced frequencies spanning
+/// [0, f_max_hz] — the display grid of the paper's figures.
+Spectrum resample(const Spectrum& s, double f_max_hz, std::size_t n_points);
+
+/// Pointwise dB difference a - b (amplitude convention), on a's grid; b is
+/// interpolated. Used for Fig. 3's "difference in dB" curve.
+std::vector<double> difference_db(const Spectrum& a, const Spectrum& b);
+
+}  // namespace psa::dsp

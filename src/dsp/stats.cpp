@@ -1,0 +1,151 @@
+#include "dsp/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace psa::dsp {
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size());
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double rms(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s / static_cast<double>(x.size()));
+}
+
+double snr_db(std::span<const double> signal, std::span<const double> noise) {
+  const double vn = rms(noise);
+  const double vs = rms(signal);
+  if (vn <= 0.0) return 300.0;
+  return amplitude_db(vs / vn);
+}
+
+double median(std::vector<double> x) {
+  if (x.empty()) return 0.0;
+  const std::size_t mid = x.size() / 2;
+  std::nth_element(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(mid),
+                   x.end());
+  double hi = x[mid];
+  if (x.size() % 2 == 1) return hi;
+  std::nth_element(x.begin(),
+                   x.begin() + static_cast<std::ptrdiff_t>(mid - 1),
+                   x.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (x[mid - 1] + hi);
+}
+
+double median_abs_deviation(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  const double med = median(std::vector<double>(x.begin(), x.end()));
+  std::vector<double> dev(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) dev[i] = std::fabs(x[i] - med);
+  return median(std::move(dev));
+}
+
+std::size_t argmax(std::span<const double> x) {
+  if (x.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(x.begin(), x.end()) - x.begin());
+}
+
+std::vector<double> autocorrelation(std::span<const double> x,
+                                    std::size_t max_lag) {
+  const std::size_t n = x.size();
+  max_lag = std::min(max_lag, n > 0 ? n - 1 : 0);
+  std::vector<double> r(max_lag + 1, 0.0);
+  if (n == 0) return r;
+  const double m = mean(x);
+  double norm0 = 0.0;
+  for (double v : x) norm0 += (v - m) * (v - m);
+  if (norm0 <= 0.0) {
+    r[0] = 1.0;
+    return r;
+  }
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) {
+      s += (x[i] - m) * (x[i + k] - m);
+    }
+    r[k] = s / norm0;
+  }
+  return r;
+}
+
+std::size_t dominant_period(std::span<const double> x, std::size_t min_lag,
+                            std::size_t max_lag, double threshold) {
+  const std::vector<double> r = autocorrelation(x, max_lag);
+  if (r.size() <= min_lag) return 0;
+  // A genuine period shows as a *local* maximum of the autocorrelation.
+  // Integer multiples of the period peak almost as high (often higher when
+  // the true period is a non-integer number of samples), so take the
+  // smallest lag whose peak comes within 10 % of the best one.
+  std::vector<std::size_t> peaks;
+  double best_v = threshold;
+  for (std::size_t k = std::max<std::size_t>(min_lag, 1); k + 1 < r.size();
+       ++k) {
+    if (r[k] > r[k - 1] && r[k] >= r[k + 1] && r[k] > threshold) {
+      peaks.push_back(k);
+      best_v = std::max(best_v, r[k]);
+    }
+  }
+  for (std::size_t k : peaks) {
+    if (r[k] >= 0.9 * best_v) return k;
+  }
+  return 0;
+}
+
+double spectral_flatness(std::span<const double> power) {
+  if (power.empty()) return 0.0;
+  double log_sum = 0.0;
+  double lin_sum = 0.0;
+  std::size_t n = 0;
+  for (double p : power) {
+    const double v = std::max(p, 1e-30);
+    log_sum += std::log(v);
+    lin_sum += v;
+    ++n;
+  }
+  const double gm = std::exp(log_sum / static_cast<double>(n));
+  const double am = lin_sum / static_cast<double>(n);
+  return am > 0.0 ? gm / am : 0.0;
+}
+
+double crest_factor(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double peak = 0.0;
+  for (double v : x) peak = std::max(peak, std::fabs(v));
+  const double r = rms(x);
+  return r > 0.0 ? peak / r : 0.0;
+}
+
+double high_fraction(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  const auto [mn, mx] = std::minmax_element(x.begin(), x.end());
+  const double mid = 0.5 * (*mn + *mx);
+  if (*mx - *mn <= 0.0) return 1.0;
+  std::size_t hi = 0;
+  for (double v : x) {
+    if (v > mid) ++hi;
+  }
+  return static_cast<double>(hi) / static_cast<double>(x.size());
+}
+
+}  // namespace psa::dsp

@@ -1,0 +1,50 @@
+// stats.hpp — descriptive statistics and signal features shared by the SNR
+// measurement (Eq. 1 of the paper), the detector's robust scoring, and the
+// envelope classifier.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace psa::dsp {
+
+double mean(std::span<const double> x);
+double variance(std::span<const double> x);  // population variance
+double stddev(std::span<const double> x);
+
+/// Root-mean-square value — the quantity in the paper's Eq. (1).
+double rms(std::span<const double> x);
+
+/// SNR in dB per Eq. (1): 20*log10(rms(signal)/rms(noise)).
+double snr_db(std::span<const double> signal, std::span<const double> noise);
+
+double median(std::vector<double> x);            // by copy (nth_element)
+double median_abs_deviation(std::span<const double> x);
+
+/// Index of the maximum element; 0 for empty input.
+std::size_t argmax(std::span<const double> x);
+
+/// Biased autocorrelation r[k] = sum x[i]*x[i+k] / sum x[i]^2 for k in
+/// [0, max_lag]. r[0] == 1 for non-degenerate input.
+std::vector<double> autocorrelation(std::span<const double> x,
+                                    std::size_t max_lag);
+
+/// Lag (>= min_lag) of the strongest autocorrelation peak, or 0 when no
+/// peak rises above `threshold`. Used to find an envelope's period (e.g. the
+/// 750 kHz AM modulation of Trojan T1).
+std::size_t dominant_period(std::span<const double> x, std::size_t min_lag,
+                            std::size_t max_lag, double threshold = 0.3);
+
+/// Spectral flatness (geometric mean / arithmetic mean of a power spectrum):
+/// ~1 for noise-like spectra (CDMA chips), ~0 for tonal ones (AM carrier).
+double spectral_flatness(std::span<const double> power);
+
+/// Crest factor: peak / rms.
+double crest_factor(std::span<const double> x);
+
+/// Fraction of samples above the midpoint between min and max — a duty-cycle
+/// proxy for burst-like envelopes.
+double high_fraction(std::span<const double> x);
+
+}  // namespace psa::dsp

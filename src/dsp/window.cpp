@@ -1,0 +1,91 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace psa::dsp {
+
+std::string to_string(WindowKind k) {
+  switch (k) {
+    case WindowKind::kRectangular: return "rectangular";
+    case WindowKind::kHann: return "hann";
+    case WindowKind::kHamming: return "hamming";
+    case WindowKind::kBlackmanHarris: return "blackman-harris";
+    case WindowKind::kFlatTop: return "flat-top";
+  }
+  return "?";
+}
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_window: empty window");
+  std::vector<double> w(n, 1.0);
+  const double denom = static_cast<double>(n - 1 == 0 ? 1 : n - 1);
+  const auto cosine_sum = [&](std::span<const double> a) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = kTwoPi * static_cast<double>(i) / denom;
+      double v = 0.0;
+      double sign = 1.0;
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        v += sign * a[k] * std::cos(static_cast<double>(k) * x);
+        sign = -sign;
+      }
+      w[i] = v;
+    }
+  };
+  switch (kind) {
+    case WindowKind::kRectangular:
+      break;
+    case WindowKind::kHann: {
+      const double a[] = {0.5, 0.5};
+      cosine_sum(a);
+      break;
+    }
+    case WindowKind::kHamming: {
+      const double a[] = {0.54, 0.46};
+      cosine_sum(a);
+      break;
+    }
+    case WindowKind::kBlackmanHarris: {
+      const double a[] = {0.35875, 0.48829, 0.14128, 0.01168};
+      cosine_sum(a);
+      break;
+    }
+    case WindowKind::kFlatTop: {
+      // SRS flat-top coefficients (matlab's flattopwin).
+      const double a[] = {0.21557895, 0.41663158, 0.277263158, 0.083578947,
+                          0.006947368};
+      cosine_sum(a);
+      break;
+    }
+  }
+  return w;
+}
+
+double coherent_gain(std::span<const double> window) {
+  if (window.empty()) return 0.0;
+  const double s = std::accumulate(window.begin(), window.end(), 0.0);
+  return s / static_cast<double>(window.size());
+}
+
+double enbw_bins(std::span<const double> window) {
+  double s1 = 0.0;
+  double s2 = 0.0;
+  for (double v : window) {
+    s1 += v;
+    s2 += v * v;
+  }
+  if (s1 == 0.0) return 0.0;
+  return static_cast<double>(window.size()) * s2 / (s1 * s1);
+}
+
+void apply_window(std::span<double> signal, std::span<const double> window) {
+  if (signal.size() != window.size()) {
+    throw std::invalid_argument("apply_window: size mismatch");
+  }
+  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= window[i];
+}
+
+}  // namespace psa::dsp

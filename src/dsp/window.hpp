@@ -1,0 +1,36 @@
+// window.hpp — FFT window functions and their amplitude-correction factors.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace psa::dsp {
+
+enum class WindowKind {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackmanHarris,
+  kFlatTop,  // best amplitude accuracy; what a spectrum analyzer uses
+};
+
+/// Human-readable window name (for bench output).
+std::string to_string(WindowKind k);
+
+/// Generate the length-n window coefficients.
+std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Coherent gain = mean of the coefficients. Dividing a windowed FFT's
+/// magnitude by (coherent_gain * N/2) yields the amplitude of a sine whose
+/// frequency sits exactly on a bin.
+double coherent_gain(std::span<const double> window);
+
+/// Equivalent noise bandwidth in bins: N * sum(w^2) / (sum w)^2. Needed to
+/// turn a windowed periodogram into a noise density.
+double enbw_bins(std::span<const double> window);
+
+/// Multiply `signal` by `window` elementwise (sizes must match).
+void apply_window(std::span<double> signal, std::span<const double> window);
+
+}  // namespace psa::dsp

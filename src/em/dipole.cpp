@@ -1,0 +1,36 @@
+#include "em/dipole.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace psa::em {
+
+double dipole_bz(double rho_um, double height_um) {
+  const double rho = rho_um * 1e-6;
+  const double h = height_um * 1e-6;
+  const double r2 = rho * rho + h * h;
+  if (r2 <= 0.0) return 0.0;
+  return (kMu0 / (4.0 * kPi)) * (2.0 * h * h - rho * rho) /
+         (r2 * r2 * std::sqrt(r2));
+}
+
+double screened_bz(double rho_um, double height_um, double screening_um) {
+  const double bare = dipole_bz(rho_um, height_um);
+  if (screening_um <= 0.0) return bare;
+  return bare * std::exp(-rho_um / screening_um);
+}
+
+double disk_flux(double radius_um, double height_um) {
+  const double r = radius_um * 1e-6;
+  const double h = height_um * 1e-6;
+  const double d = r * r + h * h;
+  if (d <= 0.0) return 0.0;
+  return kMu0 * r * r / (2.0 * d * std::sqrt(d));
+}
+
+double optimal_disk_radius_um(double height_um) {
+  return std::sqrt(2.0) * height_um;
+}
+
+}  // namespace psa::em

@@ -1,0 +1,38 @@
+// dipole.hpp — the magnetic-field kernel of the emission model.
+//
+// Each floorplan tile's switching current is modelled as a vertical magnetic
+// dipole a height h below the sensing plane. The out-of-plane field at
+// horizontal distance ρ is
+//
+//     Bz(ρ, h) = (µ0 / 4π) · m · (2h² − ρ²) / (ρ² + h²)^(5/2)
+//
+// Two properties of this kernel carry the paper's physics:
+//   1. Bz changes sign at ρ = √2·h — flux lines that go up through the coil
+//      come back down *inside* a large coil, so oversized loops integrate
+//      cancelling flux ("magnetic flux self-cancellation", Section III).
+//   2. The net flux through an infinite plane is zero — a coil can only
+//      capture flux by being sized comparably to the return-path radius,
+//      which is why the PSA's programmable sizing matters.
+//
+// The closed-form disk flux below is used for analytic cross-checks in the
+// tests; the general polyline flux goes through FluxMap's winding raster.
+#pragma once
+
+namespace psa::em {
+
+/// Bz [T] at horizontal distance rho_um from a unit dipole (m = 1 A·m²)
+/// sitting height_um below the sensing plane. Distances in µm.
+double dipole_bz(double rho_um, double height_um);
+
+/// The same kernel with lateral power-grid screening: Bz · exp(-ρ/λ).
+/// λ <= 0 disables screening.
+double screened_bz(double rho_um, double height_um, double screening_um);
+
+/// Closed-form flux [Wb] of a unit dipole through a concentric disk of
+/// radius R: Φ(R) = µ0 · R² / (2 · (R² + h²)^{3/2}). Peaks at R = √2·h.
+double disk_flux(double radius_um, double height_um);
+
+/// The disk radius that maximizes captured flux: √2 · h.
+double optimal_disk_radius_um(double height_um);
+
+}  // namespace psa::em

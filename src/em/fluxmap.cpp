@@ -1,0 +1,72 @@
+#include "em/fluxmap.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "em/dipole.hpp"
+
+namespace psa::em {
+
+FluxMap FluxMap::compute(const Polyline& coil, const Rect& die,
+                         const Params& params) {
+  if (coil.size() < 3) {
+    throw std::invalid_argument("FluxMap: coil needs >= 3 vertices");
+  }
+  if (params.winding_raster < 4 || params.source_nx == 0 ||
+      params.source_ny == 0) {
+    throw std::invalid_argument("FluxMap: bad raster parameters");
+  }
+
+  // Rasterize the winding number over the coil's bounding box only — the
+  // kernel integral outside the coil is zero by definition of w.
+  Rect box = bounding_box(coil);
+  if (box.area() <= 0.0) {
+    throw std::invalid_argument("FluxMap: degenerate coil");
+  }
+  const std::size_t n = params.winding_raster;
+  Grid2D winding(n, n, box);
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      winding.at(ix, iy) = static_cast<double>(
+          winding_number(coil, winding.cell_center(ix, iy)));
+    }
+  }
+  const double cell_area_m2 = winding.cell_area() * 1e-12;  // µm² -> m²
+
+  FluxMap fm;
+  fm.flux_ = Grid2D(params.source_nx, params.source_ny, die);
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      const double w = winding.at(ix, iy);
+      if (w == 0.0) continue;
+      fm.signed_area_m2_ += w * cell_area_m2;
+      fm.gross_area_m2_ += std::fabs(w) * cell_area_m2;
+    }
+  }
+
+  for (std::size_t sy = 0; sy < params.source_ny; ++sy) {
+    for (std::size_t sx = 0; sx < params.source_nx; ++sx) {
+      const Point src = fm.flux_.cell_center(sx, sy);
+      double phi = 0.0;
+      for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix < n; ++ix) {
+          const double w = winding.at(ix, iy);
+          if (w == 0.0) continue;
+          const double rho = distance(winding.cell_center(ix, iy), src);
+          phi += w * screened_bz(rho, params.dipole_height_um,
+                                  params.screening_um) * cell_area_m2;
+        }
+      }
+      fm.flux_.at(sx, sy) = phi;
+    }
+  }
+  return fm;
+}
+
+double FluxMap::gain_for(const Grid2D& density) const {
+  const double total = density.total();
+  if (total <= 0.0) return 0.0;
+  return flux_.dot(density) / total;
+}
+
+}  // namespace psa::em

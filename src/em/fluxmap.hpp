@@ -1,0 +1,66 @@
+// fluxmap.hpp — numeric flux integration through an arbitrary programmed
+// coil.
+//
+// A coil is a closed polyline in the sensing plane (possibly self-
+// overlapping: a 2-turn coil winds twice). The flux a unit dipole at die
+// position p pushes through it is
+//
+//     Φ(p) = ∫∫ w(x, y) · Bz(|r − p|, h) dA
+//
+// where w is the winding number of the coil around (x, y) — multi-turn
+// regions count their flux once per turn, regions outside count zero, and
+// figure-eight lobes count with opposite signs. FluxMap rasterizes w once
+// and evaluates Φ on the source grid; module coupling gains are then plain
+// dot products with density maps.
+#pragma once
+
+#include <cstddef>
+
+#include "common/geometry.hpp"
+#include "common/grid.hpp"
+
+namespace psa::em {
+
+class FluxMap {
+ public:
+  struct Params {
+    double dipole_height_um = 40.0;   // em::kDipoleHeightUm by default
+    double screening_um = 150.0;      // em::kScreeningLengthUm; <=0 disables
+    std::size_t winding_raster = 96;  // winding-number raster resolution
+    std::size_t source_nx = 36;       // source (dipole) grid resolution
+    std::size_t source_ny = 36;
+  };
+
+  /// Build the flux map of `coil` over sources spread across `die`.
+  static FluxMap compute(const Polyline& coil, const Rect& die,
+                         const Params& params);
+
+  /// Flux [Wb per unit dipole moment] from a unit dipole in source cell
+  /// (ix, iy).
+  double flux_at(std::size_t ix, std::size_t iy) const {
+    return flux_.at(ix, iy);
+  }
+
+  /// Source-grid flux map (one value per source cell).
+  const Grid2D& flux_grid() const { return flux_; }
+
+  /// Density-weighted mean flux: Σ density·flux / Σ density. This is the
+  /// coupling gain of a module whose cells are distributed per `density`
+  /// (same grid shape as the source grid). Returns 0 for empty density.
+  double gain_for(const Grid2D& density) const;
+
+  /// Signed enclosed area of the coil [m²] (turns add up): the quantity a
+  /// spatially uniform ambient field couples through.
+  double signed_area_m2() const { return signed_area_m2_; }
+
+  /// Sum of |winding| · dA [m²]: total conductor-enclosed area including
+  /// cancelling lobes; used for capacitive/parasitic estimates.
+  double gross_area_m2() const { return gross_area_m2_; }
+
+ private:
+  Grid2D flux_;
+  double signed_area_m2_ = 0.0;
+  double gross_area_m2_ = 0.0;
+};
+
+}  // namespace psa::em

@@ -1,0 +1,52 @@
+#include "em/induced.hpp"
+
+#include <stdexcept>
+
+#include "em/calibration.hpp"
+
+namespace psa::em {
+
+std::vector<double> toggles_to_current(
+    std::span<const double> toggles_per_cycle, std::size_t samples_per_cycle,
+    double sample_rate_hz) {
+  if (samples_per_cycle < static_cast<std::size_t>(kPulseSamples)) {
+    throw std::invalid_argument("toggles_to_current: cycle too short");
+  }
+  const std::size_t n = toggles_per_cycle.size() * samples_per_cycle;
+  std::vector<double> current(n, 0.0);
+  // Charge per cycle spread over the pulse kernel; dividing by the sample
+  // period turns charge-per-sample into amperes.
+  const double q_to_amps = sample_rate_hz;
+  for (std::size_t c = 0; c < toggles_per_cycle.size(); ++c) {
+    const double q = toggles_per_cycle[c] * kChargePerToggle;
+    if (q == 0.0) continue;
+    const std::size_t base = c * samples_per_cycle;
+    for (int k = 0; k < kPulseSamples; ++k) {
+      current[base + static_cast<std::size_t>(k)] +=
+          q * kPulseKernel[k] * q_to_amps;
+    }
+  }
+  return current;
+}
+
+void accumulate_flux(std::span<double> flux_wb,
+                     std::span<const double> current_a, double gain) {
+  if (flux_wb.size() != current_a.size()) {
+    throw std::invalid_argument("accumulate_flux: size mismatch");
+  }
+  const double scale = gain * kLoopAreaM2;
+  for (std::size_t i = 0; i < flux_wb.size(); ++i) {
+    flux_wb[i] += scale * current_a[i];
+  }
+}
+
+std::vector<double> induced_voltage(std::span<const double> flux_wb,
+                                    double sample_rate_hz) {
+  std::vector<double> v(flux_wb.size(), 0.0);
+  for (std::size_t i = 1; i < flux_wb.size(); ++i) {
+    v[i] = -(flux_wb[i] - flux_wb[i - 1]) * sample_rate_hz;
+  }
+  return v;
+}
+
+}  // namespace psa::em

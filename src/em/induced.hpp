@@ -1,0 +1,36 @@
+// induced.hpp — from per-cycle toggle counts to the coil's induced voltage.
+//
+// Pipeline:
+//   toggles/cycle  --pulse shaping-->  module current I_m(t)  [A]
+//   Φ(t) = A_loop · Σ_m G_m · I_m(t)                          [Wb]
+//   V(t) = −dΦ/dt                                             [V]
+//
+// where G_m is the module's FluxMap coupling gain (flux per unit dipole
+// moment, weighted by the module's cell-density map) and A_loop converts
+// current to dipole moment (m = I · A).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace psa::em {
+
+/// Expand per-cycle toggle counts into a current waveform at `samples_per
+/// cycle` times the clock rate. Each cycle deposits its charge
+/// (toggles · kChargePerToggle) as a short pulse at the cycle's clock edge.
+/// Output units: amperes.
+std::vector<double> toggles_to_current(std::span<const double> toggles_per_cycle,
+                                       std::size_t samples_per_cycle,
+                                       double sample_rate_hz);
+
+/// Accumulate a weighted current waveform into a flux waveform:
+/// flux += gain · kLoopAreaM2 · current. Sizes must match.
+void accumulate_flux(std::span<double> flux_wb,
+                     std::span<const double> current_a, double gain);
+
+/// V = −dΦ/dt by first differences (v[0] = 0).
+std::vector<double> induced_voltage(std::span<const double> flux_wb,
+                                    double sample_rate_hz);
+
+}  // namespace psa::em

@@ -1,0 +1,39 @@
+#include "em/noise.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "em/calibration.hpp"
+
+namespace psa::em {
+
+double johnson_vrms(double resistance_ohm, double temperature_k,
+                    double bw_hz) {
+  return std::sqrt(4.0 * kBoltzmann * temperature_k * resistance_ohm * bw_hz);
+}
+
+std::vector<double> generate_noise(const NoiseParams& params, std::size_t n,
+                                   Rng& rng) {
+  const double nyquist = params.sample_rate_hz / 2.0;
+  const double vt =
+      johnson_vrms(params.coil_resistance_ohm, params.temperature_k, nyquist);
+  const double va = kAmpNoiseDensity * std::sqrt(nyquist);
+  const double h_ratio = kDipoleHeightUm /
+                         std::max(params.sensing_height_um, kDipoleHeightUm);
+  const double vamb = kAmbientVrmsPerM2 * std::fabs(params.signed_area_m2) *
+                      h_ratio * h_ratio * h_ratio;
+  // Independent white sources add in power.
+  const double sigma = std::sqrt(vt * vt + va * va + vamb * vamb);
+
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = rng.gaussian(0.0, sigma);
+  if (params.include_spur) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / params.sample_rate_hz;
+      out[i] += kSupplySpurV * std::sin(kTwoPi * kSupplySpurHz * t);
+    }
+  }
+  return out;
+}
+
+}  // namespace psa::em

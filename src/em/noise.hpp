@@ -1,0 +1,42 @@
+// noise.hpp — the measurement chain's noise sources.
+//
+// Three uncorrelated contributions, all present in both the paper's "noise"
+// (idle chip) and "signal" (AES running) traces:
+//   1. Johnson noise of the coil's series resistance (wire + T-gates),
+//   2. amplifier input-referred voltage noise,
+//   3. ambient magnetic pickup, proportional to the coil's signed area —
+//      negligible on-chip, dominant for a millimetre-scale external probe —
+//      plus a deterministic supply-ripple spur.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace psa::em {
+
+struct NoiseParams {
+  double coil_resistance_ohm = 100.0;
+  double temperature_k = 300.0;
+  double signed_area_m2 = 0.0;    // coil's net area (ambient coupling)
+  double sample_rate_hz = 1.056e9;
+  /// Sensing height [µm]. The area-proportional pickup originates in the
+  /// chip's own supply/substrate return fields, so it falls off with the
+  /// cube of the sensing distance like the signal does; an external probe
+  /// far above the package barely sees it.
+  double sensing_height_um = 40.0;
+  bool include_spur = true;
+};
+
+/// RMS Johnson noise voltage over bandwidth `bw_hz`: sqrt(4 k T R B).
+double johnson_vrms(double resistance_ohm, double temperature_k, double bw_hz);
+
+/// Generate `n` samples of input-referred noise (volts at the coil output,
+/// before amplification). White Gaussian thermal + amplifier noise across
+/// the Nyquist band, ambient pickup scaled by coil area, plus the supply
+/// spur. Deterministic in `rng`.
+std::vector<double> generate_noise(const NoiseParams& params, std::size_t n,
+                                   Rng& rng);
+
+}  // namespace psa::em

@@ -1,0 +1,159 @@
+#include "layout/floorplan.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace psa::layout {
+
+double Module::total_area() const {
+  double a = 0.0;
+  for (const Rect& r : regions) a += r.area();
+  return a;
+}
+
+Rect standard_sensor_region(std::size_t k) {
+  if (k >= kNumStandardSensors) {
+    throw std::out_of_range("standard_sensor_region: k > 15");
+  }
+  const double step = 128.0;
+  const double side = 192.0;
+  const double x0 = step * static_cast<double>(k % 4);
+  const double y0 = step * static_cast<double>(k / 4);
+  return Rect{{x0, y0}, {x0 + side, y0 + side}};
+}
+
+Floorplan Floorplan::aes_testchip() {
+  Floorplan fp(Rect{{0.0, 0.0}, {kDieSideUm, kDieSideUm}});
+
+  // --- Main circuit (22 283 cells total, split across blocks). The blob
+  // matches Fig. 2's description: it falls under sensors 2,3,4,7,8,9,10,11,14
+  // and leaves the bottom-left corner (sensor 0) empty.
+  fp.add_module({"aes_sbox",
+                 {Rect{{230.0, 230.0}, {450.0, 350.0}}},
+                 9000,
+                 false});
+  fp.add_module({"aes_round_reg",
+                 {Rect{{230.0, 350.0}, {360.0, 450.0}}},
+                 3500,
+                 false});
+  fp.add_module({"aes_key_sched",
+                 {Rect{{130.0, 230.0}, {230.0, 440.0}}},
+                 4200,
+                 false});
+  fp.add_module({"aes_control",
+                 {Rect{{230.0, 130.0}, {440.0, 230.0}}},
+                 2500,
+                 false});
+  fp.add_module({"uart",
+                 {Rect{{450.0, 60.0}, {560.0, 190.0}}},
+                 1200,
+                 false});
+  // IO ring + clock spine: thin strips around the perimeter. Cell count
+  // balances the main circuit to exactly Table II's 22 283.
+  fp.add_module({"io_ring",
+                 {Rect{{0.0, 0.0}, {576.0, 18.0}},
+                  Rect{{0.0, 558.0}, {576.0, 576.0}},
+                  Rect{{0.0, 18.0}, {18.0, 558.0}},
+                  Rect{{558.0, 18.0}, {576.0, 558.0}}},
+                 TableIIBudget::kMainCircuit -
+                     (9000 + 3500 + 4200 + 2500 + 1200),
+                 false});
+
+  // --- Trojans, all inside sensor 10's region [256,448]^2 (Fig. 2's Amoeba
+  // view places payloads and triggers there).
+  fp.add_module({"t1", {Rect{{355.0, 355.0}, {415.0, 415.0}}},
+                 TableIIBudget::kT1, true});
+  fp.add_module({"t2", {Rect{{270.0, 295.0}, {330.0, 355.0}}},
+                 TableIIBudget::kT2, true});
+  fp.add_module({"t3", {Rect{{300.0, 350.0}, {340.0, 386.0}}},
+                 TableIIBudget::kT3, true});
+  fp.add_module({"t4", {Rect{{345.0, 270.0}, {405.0, 330.0}}},
+                 TableIIBudget::kT4, true});
+  return fp;
+}
+
+Floorplan Floorplan::aes_testchip_randomized(std::uint64_t seed) {
+  Floorplan fp = aes_testchip();
+  Rng rng(seed);
+  // Re-place each Trojan block at a random spot inside the active core
+  // (keep clear of the 40 µm perimeter so blocks stay on-die).
+  struct Spec {
+    const char* name;
+    double side;
+  };
+  const Spec specs[] = {{"t1", 60.0}, {"t2", 60.0}, {"t3", 38.0},
+                        {"t4", 60.0}};
+  for (const Spec& spec : specs) {
+    for (Module& m : fp.modules_) {
+      if (m.name != spec.name) continue;
+      const double x0 = rng.uniform(40.0, kDieSideUm - 40.0 - spec.side);
+      const double y0 = rng.uniform(40.0, kDieSideUm - 40.0 - spec.side);
+      m.regions = {Rect{{x0, y0}, {x0 + spec.side, y0 + spec.side}}};
+    }
+  }
+  return fp;
+}
+
+void Floorplan::add_module(Module m) {
+  if (m.regions.empty()) {
+    throw std::invalid_argument("Floorplan: module without regions");
+  }
+  for (const Rect& r : m.regions) {
+    if (!r.valid() || r.area() <= 0.0) {
+      throw std::invalid_argument("Floorplan: degenerate module region");
+    }
+  }
+  modules_.push_back(std::move(m));
+}
+
+const Module* Floorplan::find(std::string_view name) const {
+  for (const Module& m : modules_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::size_t Floorplan::total_cells(bool include_trojans) const {
+  std::size_t n = 0;
+  for (const Module& m : modules_) {
+    if (!include_trojans && m.is_trojan) continue;
+    n += m.cell_count;
+  }
+  return n;
+}
+
+Grid2D Floorplan::density(std::string_view module_name, std::size_t nx,
+                          std::size_t ny) const {
+  const Module* m = find(module_name);
+  if (m == nullptr) {
+    throw std::invalid_argument("Floorplan::density: unknown module");
+  }
+  Grid2D g(nx, ny, die_);
+  const double total_area = m->total_area();
+  for (const Rect& r : m->regions) {
+    // Cells are spread uniformly across the module's regions by area.
+    const double share =
+        static_cast<double>(m->cell_count) * (r.area() / total_area);
+    g.deposit_uniform(r, share);
+  }
+  return g;
+}
+
+Point Floorplan::module_centroid(std::string_view name) const {
+  const Module* m = find(name);
+  if (m == nullptr) {
+    throw std::invalid_argument("Floorplan::module_centroid: unknown module");
+  }
+  double ax = 0.0;
+  double ay = 0.0;
+  double total = 0.0;
+  for (const Rect& r : m->regions) {
+    ax += r.center().x * r.area();
+    ay += r.center().y * r.area();
+    total += r.area();
+  }
+  return {ax / total, ay / total};
+}
+
+}  // namespace psa::layout

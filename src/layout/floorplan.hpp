@@ -1,0 +1,114 @@
+// floorplan.hpp — the test chip's physical organization: die extent, module
+// regions (the "Amoeba view" of Fig. 2), and standard-cell budgets matching
+// Table II of the paper exactly.
+//
+// Geometry conventions:
+//   - Die: 576 µm x 576 µm. The PSA lattice is 36 wires per direction at
+//     16 µm pitch, inset 8 µm from the die edge (wire i at 8 + 16*i µm).
+//   - Sensor indexing: 4x4 grid, row-major from the bottom-left; sensor k
+//     occupies column k%4 and row k/4. Nominal sensor regions are 192 µm
+//     squares stepped by 128 µm, so adjacent sensors share exactly 1/3 of
+//     their area (the paper's 33 %). Sensor 10 (row 2, col 2) covers the
+//     centre-right region where the paper implants all four Trojans;
+//     sensor 0 is the empty bottom-left corner used as the control in
+//     Fig. 4e.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/grid.hpp"
+
+namespace psa::layout {
+
+/// Exact standard-cell budget from Table II of the paper.
+struct TableIIBudget {
+  static constexpr std::size_t kOverall = 28806;
+  static constexpr std::size_t kT1 = 1881;
+  static constexpr std::size_t kT2 = 2132;
+  static constexpr std::size_t kT3 = 329;
+  static constexpr std::size_t kT4 = 2181;
+  static constexpr std::size_t kMainCircuit =
+      kOverall - (kT1 + kT2 + kT3 + kT4);  // 22283 cells
+};
+
+/// One floorplan module: a named block occupying one or more rectangles.
+struct Module {
+  std::string name;
+  std::vector<Rect> regions;
+  std::size_t cell_count = 0;
+  bool is_trojan = false;
+
+  double total_area() const;
+};
+
+/// The chip floorplan. Construct via aes_testchip() for the paper's chip.
+class Floorplan {
+ public:
+  /// Build the AES-128 test chip floorplan of Fig. 2: AES core blocks under
+  /// sensors 2,3,4,7,8,9,10,11,14; Trojans T1–T4 inside sensor 10's region;
+  /// sensor 0's corner left empty.
+  static Floorplan aes_testchip();
+
+  /// Variant chip with the four Trojans re-placed at random positions
+  /// anywhere in the core area (seeded). The main circuit stays put. Used
+  /// to show detection/localization generalize beyond Fig. 2's layout;
+  /// returns the floorplan plus each Trojan's ground-truth centre.
+  static Floorplan aes_testchip_randomized(std::uint64_t seed);
+
+  const Rect& die() const { return die_; }
+  std::span<const Module> modules() const { return modules_; }
+
+  /// Find a module by name (nullptr when absent).
+  const Module* find(std::string_view name) const;
+
+  /// Sum of cell counts; optionally excluding Trojan modules.
+  std::size_t total_cells(bool include_trojans = true) const;
+
+  /// Rasterize a module's cell distribution onto an nx-by-ny grid covering
+  /// the die: each grid cell receives the number of standard cells whose
+  /// area falls inside it (uniform density per region rectangle).
+  Grid2D density(std::string_view module_name, std::size_t nx,
+                 std::size_t ny) const;
+
+  /// Add a module (used by tests to build synthetic chips).
+  void add_module(Module m);
+
+  /// Geometric centre of a module (area-weighted over its regions).
+  Point module_centroid(std::string_view name) const;
+
+ private:
+  explicit Floorplan(Rect die) : die_(die) {}
+
+  Rect die_;
+  std::vector<Module> modules_;
+};
+
+/// Die-side length used throughout.
+inline constexpr double kDieSideUm = 576.0;
+
+/// Number of lattice wires per direction and their pitch / edge inset.
+inline constexpr std::size_t kLatticeWires = 36;
+inline constexpr double kWirePitchUm = 16.0;
+inline constexpr double kWireInsetUm = 8.0;
+
+/// Die-plane coordinate of lattice wire `i` (valid for both directions).
+constexpr double wire_coord_um(std::size_t i) {
+  return kWireInsetUm + kWirePitchUm * static_cast<double>(i);
+}
+
+/// Nominal region covered by standard sensor `k` (0..15) of the 4x4 PSA
+/// sensor tiling: 192 µm squares stepped by 128 µm, which yields the paper's
+/// 33 % area overlap between adjacent sensors.
+Rect standard_sensor_region(std::size_t k);
+
+/// Number of standard sensors in the tiling.
+inline constexpr std::size_t kNumStandardSensors = 16;
+
+}  // namespace psa::layout

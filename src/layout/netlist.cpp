@@ -1,0 +1,101 @@
+#include "layout/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psa::layout {
+
+Netlist Netlist::place(const Floorplan& fp, std::uint64_t seed) {
+  Netlist nl;
+  Rng rng(seed);
+  std::uint32_t next_id = 0;
+
+  for (const Module& m : fp.modules()) {
+    const auto module_index = static_cast<std::uint16_t>(nl.module_names_.size());
+    nl.module_names_.push_back(m.name);
+
+    // Distribute the budget across regions proportionally to area, assigning
+    // remainders to the largest region so counts stay exact.
+    const double total_area = m.total_area();
+    std::vector<std::size_t> counts(m.regions.size(), 0);
+    std::size_t assigned = 0;
+    std::size_t largest = 0;
+    for (std::size_t r = 0; r < m.regions.size(); ++r) {
+      counts[r] = static_cast<std::size_t>(
+          std::floor(static_cast<double>(m.cell_count) *
+                     (m.regions[r].area() / total_area)));
+      assigned += counts[r];
+      if (m.regions[r].area() > m.regions[largest].area()) largest = r;
+    }
+    counts[largest] += m.cell_count - assigned;
+
+    for (std::size_t r = 0; r < m.regions.size(); ++r) {
+      const Rect& box = m.regions[r];
+      for (std::size_t i = 0; i < counts[r]; ++i) {
+        StandardCell cell;
+        cell.id = next_id++;
+        cell.module_index = module_index;
+        cell.position = {rng.uniform(box.lo.x, box.hi.x),
+                         rng.uniform(box.lo.y, box.hi.y)};
+        // Clipped log-normal drive: median 1x, heavy cells up to ~4x.
+        const double d = std::exp(rng.gaussian(0.0, 0.35));
+        cell.drive = static_cast<float>(std::clamp(d, 0.25, 4.0));
+        nl.cells_.push_back(cell);
+      }
+    }
+  }
+  return nl;
+}
+
+std::vector<StandardCell> Netlist::cells_of(std::string_view module_name) const {
+  std::vector<StandardCell> out;
+  for (std::size_t m = 0; m < module_names_.size(); ++m) {
+    if (module_names_[m] != module_name) continue;
+    for (const StandardCell& c : cells_) {
+      if (c.module_index == m) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::size_t Netlist::count_of(std::string_view module_name) const {
+  for (std::size_t m = 0; m < module_names_.size(); ++m) {
+    if (module_names_[m] == module_name) {
+      std::size_t n = 0;
+      for (const StandardCell& c : cells_) {
+        if (c.module_index == m) ++n;
+      }
+      return n;
+    }
+  }
+  return 0;
+}
+
+Grid2D Netlist::cell_density(std::string_view module_name, std::size_t nx,
+                             std::size_t ny, const Rect& extent) const {
+  Grid2D g(nx, ny, extent);
+  std::size_t target = module_names_.size();
+  for (std::size_t m = 0; m < module_names_.size(); ++m) {
+    if (module_names_[m] == module_name) {
+      target = m;
+      break;
+    }
+  }
+  if (target == module_names_.size()) {
+    throw std::invalid_argument("Netlist::cell_density: unknown module");
+  }
+  for (const StandardCell& c : cells_) {
+    if (c.module_index != target) continue;
+    if (!extent.contains(c.position)) continue;
+    const auto ix = static_cast<std::size_t>((c.position.x - extent.lo.x) /
+                                             g.dx());
+    const auto iy = static_cast<std::size_t>((c.position.y - extent.lo.y) /
+                                             g.dy());
+    g.at(std::min(ix, nx - 1), std::min(iy, ny - 1)) +=
+        static_cast<double>(c.drive);
+  }
+  return g;
+}
+
+}  // namespace psa::layout

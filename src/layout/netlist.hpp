@@ -1,0 +1,60 @@
+// netlist.hpp — a synthetic standard-cell netlist instantiated from a
+// floorplan: every module's cell budget becomes individual placed cells.
+//
+// The EM model only needs spatial current density, which the floorplan's
+// uniform rasterization already provides; the netlist exists so that cell
+// counts, per-cell drive strengths, and placement jitter are first-class
+// objects (Table II is *measured* from this structure, not typed into the
+// bench), and so localization can be validated against true cell positions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+#include "layout/floorplan.hpp"
+
+namespace psa::layout {
+
+/// One placed standard cell.
+struct StandardCell {
+  std::uint32_t id = 0;
+  std::uint16_t module_index = 0;  // index into Netlist::module_names()
+  Point position;                  // cell centre, µm
+  float drive = 1.0f;              // relative switching-current weight
+};
+
+class Netlist {
+ public:
+  /// Place every module's cells uniformly at random inside its regions
+  /// (area-proportional across regions), with per-cell drive strengths drawn
+  /// from a clipped log-normal — a reasonable stand-in for a mixed
+  /// standard-cell population.
+  static Netlist place(const Floorplan& fp, std::uint64_t seed);
+
+  std::span<const StandardCell> cells() const { return cells_; }
+  std::span<const std::string> module_names() const { return module_names_; }
+
+  /// Cells belonging to `module_name` (by value; convenience for tests).
+  std::vector<StandardCell> cells_of(std::string_view module_name) const;
+
+  /// Number of cells in a module (0 when absent).
+  std::size_t count_of(std::string_view module_name) const;
+
+  /// Drive-weighted density grid of one module from the *actual placed
+  /// cells* (sharper than the floorplan's uniform rasterization).
+  Grid2D cell_density(std::string_view module_name, std::size_t nx,
+                      std::size_t ny, const Rect& extent) const;
+
+  std::size_t size() const { return cells_.size(); }
+
+ private:
+  std::vector<StandardCell> cells_;
+  std::vector<std::string> module_names_;
+};
+
+}  // namespace psa::layout

@@ -1,0 +1,99 @@
+#include "ml/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/stats.hpp"
+
+namespace psa::ml {
+
+EnvelopeFeatures extract_envelopes_impl(std::span<const double> env,
+                                        double rate_hz) {
+  EnvelopeFeatures f;
+  if (env.size() < 8 || rate_hz <= 0.0) return f;
+
+  f.mean_level = dsp::mean(env);
+  const double sd = dsp::stddev(env);
+  f.coeff_variation = f.mean_level > 0.0 ? sd / f.mean_level : 0.0;
+  f.duty = dsp::high_fraction(env);
+  f.crest = dsp::crest_factor(env);
+
+  // Periodicity: strongest autocorrelation local peak past a couple samples.
+  const std::size_t max_lag = env.size() / 2;
+  const std::size_t lag = dsp::dominant_period(env, 3, max_lag, 0.15);
+  if (lag > 0) {
+    const std::vector<double> r = dsp::autocorrelation(env, max_lag);
+    f.periodicity = std::clamp(r[lag], 0.0, 1.0);
+    f.period_s = static_cast<double>(lag) / rate_hz;
+  }
+
+  // Spectral flatness of the mean-removed envelope's power spectrum.
+  std::vector<double> centered(env.begin(), env.end());
+  const double m = f.mean_level;
+  for (double& v : centered) v -= m;
+  const dsp::Spectrum s =
+      dsp::amplitude_spectrum(centered, rate_hz, dsp::WindowKind::kHann);
+  std::vector<double> power(s.magnitude.size());
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    power[i] = s.magnitude[i] * s.magnitude[i];
+  }
+  // Flatness over the *occupied* low band only (first eighth of the
+  // spectrum, past DC): a PN-spread envelope fills it evenly, a tonal AM
+  // envelope concentrates in a couple of bins. Using the full band would
+  // let the empty high bins drag every flatness toward zero.
+  const std::size_t band = std::max<std::size_t>(power.size() / 8, 8);
+  if (power.size() > band + 1) {
+    f.flatness = dsp::spectral_flatness(
+        std::span<const double>(power).subspan(1, band));
+  }
+
+  // Bimodality: fraction of samples within 30 % (of the min-max range) of
+  // either extreme. Gated/binary envelopes (trigger bursts, PN chips) live
+  // at the rails; a sinusoidal AM envelope spends most time in between.
+  const auto [mn_it, mx_it] = std::minmax_element(env.begin(), env.end());
+  const double range = *mx_it - *mn_it;
+  if (range > 0.0) {
+    std::size_t near_rail = 0;
+    for (double v : env) {
+      if (v - *mn_it < 0.3 * range || *mx_it - v < 0.3 * range) ++near_rail;
+    }
+    f.bimodality = static_cast<double>(near_rail) /
+                   static_cast<double>(env.size());
+  }
+  return f;
+}
+
+EnvelopeFeatures extract_envelope_features(std::span<const double> envelope,
+                                           double envelope_rate_hz) {
+  return extract_envelopes_impl(envelope, envelope_rate_hz);
+}
+
+Matrix feature_matrix(std::span<const EnvelopeFeatures> features) {
+  const std::size_t n = features.size();
+  const std::size_t d = EnvelopeFeatures::kDim;
+  Matrix mat(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto arr = features[i].as_array();
+    for (std::size_t j = 0; j < d; ++j) mat.at(i, j) = arr[j];
+  }
+  // Column z-score normalization so no feature dominates the metric.
+  for (std::size_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += mat.at(i, j);
+    mean /= static_cast<double>(n == 0 ? 1 : n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dv = mat.at(i, j) - mean;
+      var += dv * dv;
+    }
+    const double sd = std::sqrt(var / static_cast<double>(n == 0 ? 1 : n));
+    for (std::size_t i = 0; i < n; ++i) {
+      mat.at(i, j) = sd > 1e-12 ? (mat.at(i, j) - mean) / sd : 0.0;
+    }
+  }
+  return mat;
+}
+
+}  // namespace psa::ml

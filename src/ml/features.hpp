@@ -1,0 +1,56 @@
+// features.hpp — feature extraction for zero-span envelopes.
+//
+// The paper (Section VI-D, Fig. 5) identifies which Trojan is active from the
+// *time-domain waveform of one sideband component*: different Trojans
+// modulate the clock harmonics differently. These features quantify the
+// modulation patterns the figure shows:
+//   - T1 (AM radio carrier) : strongly periodic envelope (750 kHz sine)
+//   - T2 (key-wire leak)    : data-dependent bursts (on/off, low duty)
+//   - T3 (CDMA leak)        : PN-sequence chips -> noise-like, flat spectrum
+//   - T4 (DoS power hog)    : near-constant high level
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/pca.hpp"
+
+namespace psa::ml {
+
+/// One extracted feature vector. Kept as named fields (not a bare array) so
+/// classifier rules read like the paper's prose.
+struct EnvelopeFeatures {
+  double periodicity = 0.0;      // autocorr local-peak height in (0, 1]
+  double period_s = 0.0;         // dominant envelope period (0 = none)
+  double coeff_variation = 0.0;  // stddev / mean of envelope
+  double duty = 0.0;             // fraction of time above midpoint
+  double flatness = 0.0;         // spectral flatness of the occupied band
+  double crest = 0.0;            // peak / rms
+  double bimodality = 0.0;       // fraction of samples near min or max
+  double mean_level = 0.0;       // mean envelope amplitude [V]
+
+  static constexpr std::size_t kDim = 6;  // features used for clustering
+
+  /// Clustering representation (scale-free features only; mean_level and
+  /// period are kept out so clustering is amplitude-agnostic).
+  std::array<double, kDim> as_array() const {
+    return {periodicity, coeff_variation, duty, flatness, crest, bimodality};
+  }
+  static std::vector<std::string> names() {
+    return {"periodicity", "coeff_var", "duty",
+            "flatness",    "crest",     "bimodality"};
+  }
+};
+
+/// Extract features from a zero-span envelope sampled at `envelope_rate_hz`.
+EnvelopeFeatures extract_envelope_features(std::span<const double> envelope,
+                                           double envelope_rate_hz);
+
+/// Build a z-score-normalized feature matrix from a set of feature vectors
+/// (rows = observations). Normalization constants come from the data itself
+/// (golden-model free).
+Matrix feature_matrix(std::span<const EnvelopeFeatures> features);
+
+}  // namespace psa::ml

@@ -1,0 +1,162 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace psa::ml {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+namespace {
+
+Matrix kmeanspp_init(const Matrix& samples, std::size_t k, Rng& rng) {
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+  Matrix centroids(k, d);
+
+  std::size_t first = rng.below(n);
+  for (std::size_t j = 0; j < d; ++j) {
+    centroids.at(0, j) = samples.at(first, j);
+  }
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dist2[i] = std::min(dist2[i],
+                          squared_distance(samples.row(i),
+                                           centroids.row(c - 1)));
+      total += dist2[i];
+    }
+    std::size_t chosen = n - 1;
+    if (total > 0.0) {
+      double r = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        r -= dist2[i];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.below(n);
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      centroids.at(c, j) = samples.at(chosen, j);
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& samples, std::size_t k, Rng& rng,
+                    int max_iters, double tol) {
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+  if (k == 0 || k > n) throw std::invalid_argument("kmeans: bad k");
+
+  KMeansResult res;
+  res.centroids = kmeanspp_init(samples, k, rng);
+  res.labels.assign(n, 0);
+
+  std::vector<double> counts(k);
+  Matrix next(k, d);
+  for (res.iterations = 0; res.iterations < max_iters; ++res.iterations) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = squared_distance(samples.row(i),
+                                           res.centroids.row(c));
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      res.labels[i] = best_c;
+      inertia += best;
+    }
+    res.inertia = inertia;
+
+    // Update step.
+    next = Matrix(k, d);
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      counts[res.labels[i]] += 1.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        next.at(res.labels[i], j) += samples.at(i, j);
+      }
+    }
+    double shift = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0.0) {
+        // Re-seed an empty cluster at a random sample.
+        const std::size_t pick = rng.below(n);
+        for (std::size_t j = 0; j < d; ++j) {
+          next.at(c, j) = samples.at(pick, j);
+        }
+      } else {
+        for (std::size_t j = 0; j < d; ++j) next.at(c, j) /= counts[c];
+      }
+      shift += squared_distance(next.row(c), res.centroids.row(c));
+    }
+    res.centroids = next;
+    if (shift < tol) {
+      res.converged = true;
+      ++res.iterations;
+      break;
+    }
+  }
+  return res;
+}
+
+double silhouette_score(const Matrix& samples,
+                        std::span<const std::size_t> labels) {
+  const std::size_t n = samples.rows();
+  if (n != labels.size() || n < 2) return 0.0;
+  const std::size_t k = *std::max_element(labels.begin(), labels.end()) + 1;
+  if (k < 2) return 0.0;
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  std::vector<double> mean_dist(k);
+  std::vector<std::size_t> counts(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      mean_dist[labels[j]] +=
+          std::sqrt(squared_distance(samples.row(i), samples.row(j)));
+      ++counts[labels[j]];
+    }
+    const std::size_t own = labels[i];
+    if (counts[own] == 0) continue;  // singleton cluster: skip
+    const double a = mean_dist[own] / static_cast<double>(counts[own]);
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own || counts[c] == 0) continue;
+      b = std::min(b, mean_dist[c] / static_cast<double>(counts[c]));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace psa::ml

@@ -1,0 +1,36 @@
+// kmeans.hpp — Lloyd's algorithm with k-means++ seeding, plus a silhouette
+// score for cluster-quality checks. Used both by the backscattering baseline
+// (cluster spectra) and the PSA identification stage (cluster zero-span
+// envelope features without supervision).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/pca.hpp"
+
+namespace psa::ml {
+
+struct KMeansResult {
+  Matrix centroids;                 // rows = k, cols = feature dim
+  std::vector<std::size_t> labels;  // per-observation cluster id
+  double inertia = 0.0;             // sum of squared distances to centroids
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Run k-means on `samples` (rows = observations).
+KMeansResult kmeans(const Matrix& samples, std::size_t k, Rng& rng,
+                    int max_iters = 200, double tol = 1e-9);
+
+/// Mean silhouette coefficient of a labelled clustering in [-1, 1]; higher
+/// is better separated. Returns 0 for degenerate inputs (k < 2).
+double silhouette_score(const Matrix& samples,
+                        std::span<const std::size_t> labels);
+
+/// Squared Euclidean distance between two equal-length vectors.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace psa::ml

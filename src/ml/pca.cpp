@@ -1,0 +1,150 @@
+#include "ml/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace psa::ml {
+
+EigenResult jacobi_eigen_symmetric(Matrix a, int max_sweeps) {
+  const std::size_t n = a.rows();
+  if (n != a.cols()) {
+    throw std::invalid_argument("jacobi_eigen_symmetric: not square");
+  }
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  const auto off_diag_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) s += a.at(p, q) * a.at(p, q);
+    }
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() < 1e-14) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply the rotation G(p,q,theta) on both sides of A and accumulate
+        // into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenResult res;
+  res.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.values[i] = a.at(i, i);
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return res.values[x] > res.values[y];
+  });
+  EigenResult sorted;
+  sorted.values.resize(n);
+  sorted.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    sorted.values[k] = res.values[order[k]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted.vectors.at(i, k) = v.at(i, order[k]);
+    }
+  }
+  return sorted;
+}
+
+Pca Pca::fit(const Matrix& samples, std::size_t n_components) {
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+  if (n < 2 || d == 0) throw std::invalid_argument("Pca::fit: too few samples");
+  n_components = std::min(n_components, d);
+
+  Pca pca;
+  pca.mean_.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) pca.mean_[j] += samples.at(i, j);
+  }
+  for (double& m : pca.mean_) m /= static_cast<double>(n);
+
+  Matrix cov(d, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double xj = samples.at(i, j) - pca.mean_[j];
+      for (std::size_t k = j; k < d; ++k) {
+        cov.at(j, k) += xj * (samples.at(i, k) - pca.mean_[k]);
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(n - 1);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t k = j; k < d; ++k) {
+      cov.at(j, k) *= inv;
+      cov.at(k, j) = cov.at(j, k);
+    }
+  }
+
+  const EigenResult eig = jacobi_eigen_symmetric(std::move(cov));
+  pca.components_ = Matrix(n_components, d);
+  pca.explained_.resize(n_components);
+  for (std::size_t k = 0; k < n_components; ++k) {
+    pca.explained_[k] = std::max(eig.values[k], 0.0);
+    for (std::size_t j = 0; j < d; ++j) {
+      pca.components_.at(k, j) = eig.vectors.at(j, k);
+    }
+  }
+  return pca;
+}
+
+std::vector<double> Pca::transform(std::span<const double> sample) const {
+  const std::size_t d = mean_.size();
+  if (sample.size() != d) throw std::invalid_argument("Pca: dim mismatch");
+  std::vector<double> out(components_.rows(), 0.0);
+  for (std::size_t k = 0; k < components_.rows(); ++k) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      s += (sample[j] - mean_[j]) * components_.at(k, j);
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+Matrix Pca::transform(const Matrix& samples) const {
+  Matrix out(samples.rows(), components_.rows());
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    const std::vector<double> p = transform(samples.row(i));
+    for (std::size_t k = 0; k < p.size(); ++k) out.at(i, k) = p[k];
+  }
+  return out;
+}
+
+}  // namespace psa::ml

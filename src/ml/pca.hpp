@@ -1,0 +1,76 @@
+// pca.hpp — principal component analysis via a cyclic Jacobi eigensolver on
+// the sample covariance matrix. Used by the Nguyen-style backscattering
+// baseline [9], which clusters spectra in PCA space.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace psa::ml {
+
+/// Dense row-major matrix, minimal on purpose: the library only needs
+/// symmetric eigendecomposition and matrix-vector products.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Eigendecomposition of a symmetric matrix: eigenvalues descending, the
+/// k-th column of `vectors` is the unit eigenvector of eigenvalue k.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi rotation eigensolver. `a` must be symmetric. Converges to
+/// machine precision for the modest dimensions used here (≤ a few hundred).
+EigenResult jacobi_eigen_symmetric(Matrix a, int max_sweeps = 64);
+
+/// Fitted PCA model.
+class Pca {
+ public:
+  /// Fit on `samples` (rows = observations, cols = features), keeping
+  /// `n_components` components (clamped to the feature count).
+  static Pca fit(const Matrix& samples, std::size_t n_components);
+
+  /// Project one observation onto the retained components.
+  std::vector<double> transform(std::span<const double> sample) const;
+
+  /// Project all rows of a matrix.
+  Matrix transform(const Matrix& samples) const;
+
+  std::size_t n_components() const { return components_.rows(); }
+  std::span<const double> mean() const { return mean_; }
+  /// Variance captured by each retained component, descending.
+  std::span<const double> explained_variance() const { return explained_; }
+  /// Component `k` as a unit vector in feature space.
+  std::span<const double> component(std::size_t k) const {
+    return components_.row(k);
+  }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> explained_;
+  Matrix components_;  // rows = components, cols = features
+};
+
+}  // namespace psa::ml

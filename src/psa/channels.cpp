@@ -1,0 +1,50 @@
+#include "psa/channels.hpp"
+
+#include <stdexcept>
+
+namespace psa::sensor {
+
+ChannelMap::ChannelMap()
+    : ChannelMap(std::array<std::array<std::size_t, 4>, kOutputChannels>{{
+          {{0, 1, 5, 6}},
+          {{2, 3, 4, 7}},
+          {{8, 9, 12, 13}},
+          {{10, 11, 14, 15}},
+      }}) {}
+
+ChannelMap::ChannelMap(
+    const std::array<std::array<std::size_t, 4>, kOutputChannels>& groups)
+    : groups_(groups) {
+  std::array<bool, 16> seen{};
+  for (std::size_t ch = 0; ch < kOutputChannels; ++ch) {
+    for (std::size_t s : groups[ch]) {
+      if (s >= 16 || seen[s]) {
+        throw std::invalid_argument("ChannelMap: bad sensor grouping");
+      }
+      seen[s] = true;
+      channel_of_[s] = ch;
+    }
+  }
+}
+
+std::size_t ChannelMap::channel_of(std::size_t sensor) const {
+  if (sensor >= 16) throw std::out_of_range("ChannelMap::channel_of");
+  return channel_of_[sensor];
+}
+
+std::string ChannelMap::channel_name(std::size_t ch) {
+  if (ch >= kOutputChannels) throw std::out_of_range("channel_name");
+  return "sensor" + std::to_string(ch + 1) + "+/-";
+}
+
+std::array<std::size_t, kOutputChannels> ChannelMap::round_sensors(
+    std::size_t r) const {
+  if (r >= scan_rounds()) throw std::out_of_range("round_sensors");
+  std::array<std::size_t, kOutputChannels> out{};
+  for (std::size_t ch = 0; ch < kOutputChannels; ++ch) {
+    out[ch] = groups_[ch][r];
+  }
+  return out;
+}
+
+}  // namespace psa::sensor

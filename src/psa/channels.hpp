@@ -1,0 +1,47 @@
+// channels.hpp — output-channel multiplexing.
+//
+// The test chip exposes 4 differential output channels (sensor1± ..
+// sensor4±) on the right-edge IO pins; each channel serves four of the 16
+// standard sensors, so a full 16-sensor scan takes four sequential
+// programming rounds of four concurrent measurements. The paper's Fig. 2
+// example assigns sensors {0,1,5,6} to the sensor1 channel; the map is
+// configurable because the figure's numbering is not fully specified.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace psa::sensor {
+
+inline constexpr std::size_t kOutputChannels = 4;
+
+class ChannelMap {
+ public:
+  /// Default grouping per Fig. 2's example.
+  ChannelMap();
+
+  /// Custom grouping: groups[ch] lists the four sensors on channel ch.
+  explicit ChannelMap(
+      const std::array<std::array<std::size_t, 4>, kOutputChannels>& groups);
+
+  /// Channel (0..3) serving standard sensor k.
+  std::size_t channel_of(std::size_t sensor) const;
+
+  /// Differential pad-pair name of a channel, e.g. "sensor1+/-".
+  static std::string channel_name(std::size_t ch);
+
+  /// Sensors sharing a channel cannot be measured concurrently; a full
+  /// 16-sensor scan therefore needs this many sequential rounds.
+  std::size_t scan_rounds() const { return 4; }
+
+  /// The four sensors measured concurrently in scan round `r` (one per
+  /// channel).
+  std::array<std::size_t, kOutputChannels> round_sensors(std::size_t r) const;
+
+ private:
+  std::array<std::size_t, 16> channel_of_{};  // sensor -> channel
+  std::array<std::array<std::size_t, 4>, kOutputChannels> groups_{};
+};
+
+}  // namespace psa::sensor

@@ -1,0 +1,182 @@
+#include "psa/coil.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace psa::sensor {
+
+std::string to_string(CoilError e) {
+  switch (e) {
+    case CoilError::kNone: return "ok";
+    case CoilError::kBadTerminal: return "bad terminal";
+    case CoilError::kOpenCircuit: return "open circuit";
+    case CoilError::kShortCircuit: return "short circuit";
+    case CoilError::kWireReuse: return "wire reused (turn-to-turn short)";
+    case CoilError::kTooShort: return "too few switches";
+  }
+  return "?";
+}
+
+double CoilPath::wire_length_um() const {
+  double len = 0.0;
+  for (std::size_t i = 1; i < vertices.size(); ++i) {
+    len += distance(vertices[i - 1], vertices[i]);
+  }
+  return len;
+}
+
+double CoilPath::resistance_ohm(const TGate& tgate, double vdd,
+                                double temperature_k) const {
+  return wire_resistance_ohm(wire_length_um()) +
+         static_cast<double>(switch_count()) * tgate.r_on(vdd, temperature_k);
+}
+
+double CoilPath::inductance_h() const {
+  return kInductancePerUm * wire_length_um();
+}
+
+double CoilPath::impedance_ohm(const TGate& tgate, double vdd,
+                               double temperature_k, double freq_hz) const {
+  const double r = resistance_ohm(tgate, vdd, temperature_k);
+  const double xl = kTwoPi * freq_hz * inductance_h();
+  return std::sqrt(r * r + xl * xl);
+}
+
+namespace {
+
+/// Switches ON along one wire, as the crossing wire indices.
+std::vector<std::size_t> on_crossings(const SwitchMatrix& sw, WireId wire) {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < kWires; ++k) {
+    const bool on = wire.dir == WireId::Dir::kHorizontal
+                        ? sw.effective(wire.index, k)
+                        : sw.effective(k, wire.index);
+    if (on) out.push_back(k);
+  }
+  return out;
+}
+
+Point switch_point(WireId from, std::size_t crossing) {
+  return from.dir == WireId::Dir::kHorizontal
+             ? switch_position(from.index, crossing)
+             : switch_position(crossing, from.index);
+}
+
+WireId crossing_wire(WireId from, std::size_t crossing) {
+  return from.dir == WireId::Dir::kHorizontal
+             ? vwire(crossing)
+             : hwire(crossing);
+}
+
+}  // namespace
+
+CoilExtraction extract_coil(const SwitchMatrix& sw, WireId term_pos,
+                            WireId term_neg) {
+  CoilExtraction res;
+  if (term_pos.dir != WireId::Dir::kHorizontal ||
+      term_neg.dir != WireId::Dir::kHorizontal || term_pos == term_neg) {
+    res.error = CoilError::kBadTerminal;
+    return res;
+  }
+
+  CoilPath path;
+  const double pad_x = layout::kDieSideUm;
+  path.wires.push_back(term_pos);
+  path.vertices.push_back({pad_x, layout::wire_coord_um(term_pos.index)});
+
+  // Track visits: horizontal wires 0..35, vertical 36..71.
+  std::vector<bool> visited(2 * kWires, false);
+  const auto mark = [&](WireId w) {
+    const std::size_t i =
+        (w.dir == WireId::Dir::kHorizontal ? 0 : kWires) + w.index;
+    if (visited[i]) return false;
+    visited[i] = true;
+    return true;
+  };
+  mark(term_pos);
+
+  WireId current = term_pos;
+  // The crossing index we arrived through (none yet for the terminal).
+  std::optional<std::size_t> arrived_via;
+
+  for (std::size_t guard = 0; guard <= 2 * kWires; ++guard) {
+    const std::vector<std::size_t> crossings = on_crossings(sw, current);
+
+    const bool is_terminal = (current == term_pos) || (current == term_neg);
+    const std::size_t expected = is_terminal ? 1 : 2;
+    if (crossings.size() > expected) {
+      res.error = CoilError::kShortCircuit;
+      return res;
+    }
+    if (current == term_neg) {
+      // Arrived; degree already validated above (exactly the arrival switch).
+      if (crossings.size() != 1) {
+        res.error =
+            crossings.empty() ? CoilError::kOpenCircuit : CoilError::kShortCircuit;
+        return res;
+      }
+      break;
+    }
+    // Pick the outgoing switch: the one we didn't arrive through.
+    std::optional<std::size_t> next;
+    for (std::size_t c : crossings) {
+      if (!arrived_via || c != *arrived_via) {
+        next = c;
+        break;
+      }
+    }
+    if (!next) {
+      res.error = CoilError::kOpenCircuit;
+      return res;
+    }
+    const WireId next_wire = crossing_wire(current, *next);
+    if (!mark(next_wire)) {
+      res.error = CoilError::kWireReuse;
+      return res;
+    }
+    path.vertices.push_back(switch_point(current, *next));
+    path.wires.push_back(next_wire);
+    // Our crossing index on the next wire is current's index.
+    arrived_via = current.index;
+    current = next_wire;
+  }
+
+  if (current != term_neg) {
+    res.error = CoilError::kOpenCircuit;
+    return res;
+  }
+  path.vertices.push_back({pad_x, layout::wire_coord_um(term_neg.index)});
+
+  if (path.switch_count() < 3) {
+    res.error = CoilError::kTooShort;
+    return res;
+  }
+
+  // Count stubs: ON switches whose wires were never visited, and detect
+  // shorts from extra switches touching *used* wires that the walk's degree
+  // checks could not see (e.g. a used vertical wire with a third switch).
+  std::size_t on_in_path = path.switch_count();
+  std::size_t on_total = sw.count_on();
+  std::size_t on_touching_used = 0;
+  for (std::size_t row = 0; row < kWires; ++row) {
+    for (std::size_t col = 0; col < kWires; ++col) {
+      if (!sw.effective(row, col)) continue;
+      const bool used_h = visited[row];
+      const bool used_v = visited[kWires + col];
+      if (used_h || used_v) ++on_touching_used;
+    }
+  }
+  if (on_touching_used > on_in_path) {
+    // An extra ON switch touches a wire that carries the coil: that is a
+    // short (to a stub net or between turns).
+    res.error = CoilError::kShortCircuit;
+    return res;
+  }
+  path.stub_count = on_total - on_touching_used;
+
+  res.path = std::move(path);
+  return res;
+}
+
+}  // namespace psa::sensor

@@ -1,0 +1,65 @@
+#include "psa/lattice.hpp"
+
+#include <stdexcept>
+
+namespace psa::sensor {
+
+Point switch_position(std::size_t row, std::size_t col) {
+  if (row >= kWires || col >= kWires) {
+    throw std::out_of_range("switch_position: wire index > 35");
+  }
+  return {layout::wire_coord_um(col), layout::wire_coord_um(row)};
+}
+
+std::size_t SwitchMatrix::idx(std::size_t row, std::size_t col) {
+  if (row >= kWires || col >= kWires) {
+    throw std::out_of_range("SwitchMatrix: wire index > 35");
+  }
+  return row * kWires + col;
+}
+
+void SwitchMatrix::set(std::size_t row, std::size_t col, bool on) {
+  on_.set(idx(row, col), on);
+}
+
+bool SwitchMatrix::commanded(std::size_t row, std::size_t col) const {
+  return on_.test(idx(row, col));
+}
+
+bool SwitchMatrix::effective(std::size_t row, std::size_t col) const {
+  const std::size_t i = idx(row, col);
+  if (stuck_open_.test(i)) return false;
+  if (stuck_closed_.test(i)) return true;
+  return on_.test(i);
+}
+
+void SwitchMatrix::clear() { on_.reset(); }
+
+std::size_t SwitchMatrix::count_on() const {
+  std::size_t n = 0;
+  for (std::size_t row = 0; row < kWires; ++row) {
+    for (std::size_t col = 0; col < kWires; ++col) {
+      if (effective(row, col)) ++n;
+    }
+  }
+  return n;
+}
+
+void SwitchMatrix::inject_stuck_open(std::size_t row, std::size_t col) {
+  stuck_open_.set(idx(row, col));
+}
+
+void SwitchMatrix::inject_stuck_closed(std::size_t row, std::size_t col) {
+  stuck_closed_.set(idx(row, col));
+}
+
+void SwitchMatrix::clear_faults() {
+  stuck_open_.reset();
+  stuck_closed_.reset();
+}
+
+double wire_resistance_ohm(double length_um) {
+  return kSheetResistanceOhmSq * length_um / kWireWidthUm;
+}
+
+}  // namespace psa::sensor

@@ -1,0 +1,82 @@
+// lattice.hpp — the PSA's crossbar wire grid and switch matrix.
+//
+// 36 horizontal wires on M7 and 36 vertical wires on M8, a T-gate switch at
+// each of the 1296 intersections (Section V-A). Wires are identified as
+// H0..H35 (bottom→top) and V0..V35 (left→right); wire i runs at die
+// coordinate 8 + 16·i µm. Horizontal wires extend to the right die edge,
+// where the output-channel pads tap them.
+//
+// The SwitchMatrix additionally supports fault injection (stuck-open /
+// stuck-closed switches) to exercise the tamper-resilience self-test of
+// Section IV.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "layout/floorplan.hpp"
+
+namespace psa::sensor {
+
+inline constexpr std::size_t kWires = layout::kLatticeWires;  // 36
+inline constexpr std::size_t kSwitches = kWires * kWires;     // 1296
+
+/// A wire of the lattice. H wires index rows, V wires index columns.
+struct WireId {
+  enum class Dir : std::uint8_t { kHorizontal, kVertical };
+  Dir dir = Dir::kHorizontal;
+  std::uint8_t index = 0;  // 0..35
+
+  bool operator==(const WireId&) const = default;
+};
+
+inline WireId hwire(std::size_t i) {
+  return {WireId::Dir::kHorizontal, static_cast<std::uint8_t>(i)};
+}
+inline WireId vwire(std::size_t j) {
+  return {WireId::Dir::kVertical, static_cast<std::uint8_t>(j)};
+}
+
+/// Die coordinate of the intersection of H-wire `row` and V-wire `col`.
+Point switch_position(std::size_t row, std::size_t col);
+
+/// Programmable state of the 1296 T-gates plus injected faults.
+class SwitchMatrix {
+ public:
+  /// Commanded state (what the decoder asked for).
+  void set(std::size_t row, std::size_t col, bool on);
+  bool commanded(std::size_t row, std::size_t col) const;
+
+  /// Effective state = commanded state overridden by any injected fault.
+  bool effective(std::size_t row, std::size_t col) const;
+
+  void clear();
+  std::size_t count_on() const;
+
+  /// Fault injection (malicious-foundry scenarios, Section IV-B).
+  void inject_stuck_open(std::size_t row, std::size_t col);
+  void inject_stuck_closed(std::size_t row, std::size_t col);
+  void clear_faults();
+  bool has_faults() const { return stuck_open_.any() || stuck_closed_.any(); }
+
+ private:
+  static std::size_t idx(std::size_t row, std::size_t col);
+
+  std::bitset<kSwitches> on_;
+  std::bitset<kSwitches> stuck_open_;
+  std::bitset<kSwitches> stuck_closed_;
+};
+
+/// Geometry constants of the lattice wiring (Section V-A: 16 µm segments,
+/// 1 µm width) and the electrical sheet resistance assumed for the top
+/// metals.
+inline constexpr double kSegmentLengthUm = layout::kWirePitchUm;  // 16 µm
+inline constexpr double kWireWidthUm = 1.0;
+inline constexpr double kSheetResistanceOhmSq = 0.025;  // thick top metal
+
+/// Resistance of a wire run of `length_um` at kWireWidthUm width.
+double wire_resistance_ohm(double length_um);
+
+}  // namespace psa::sensor

@@ -1,0 +1,220 @@
+#include "psa/layout_verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace psa::sensor {
+
+namespace {
+
+/// Centreline of a shape along the axis orthogonal to its run direction.
+double track_coord(const MetalShape& s) {
+  return s.layer == MetalLayer::kM7Horizontal
+             ? 0.5 * (s.rect.lo.y + s.rect.hi.y)
+             : 0.5 * (s.rect.lo.x + s.rect.hi.x);
+}
+
+/// Extent of a shape along its run direction: [begin, end].
+std::pair<double, double> run_extent(const MetalShape& s) {
+  return s.layer == MetalLayer::kM7Horizontal
+             ? std::pair{s.rect.lo.x, s.rect.hi.x}
+             : std::pair{s.rect.lo.y, s.rect.hi.y};
+}
+
+}  // namespace
+
+PsaMetalLayout PsaMetalLayout::golden() {
+  PsaMetalLayout layout;
+  const double span = layout::kDieSideUm;
+  const double half_w = kWireWidthUm / 2.0;
+  for (std::size_t i = 0; i < kWires; ++i) {
+    const double c = layout::wire_coord_um(i);
+    layout.shapes.push_back({MetalLayer::kM7Horizontal,
+                             Rect{{0.0, c - half_w}, {span, c + half_w}}});
+    layout.shapes.push_back({MetalLayer::kM8Vertical,
+                             Rect{{c - half_w, 0.0}, {c + half_w, span}}});
+  }
+  for (std::size_t row = 0; row < kWires; ++row) {
+    for (std::size_t col = 0; col < kWires; ++col) {
+      layout.switch_sites.push_back({row, col});
+    }
+  }
+  return layout;
+}
+
+bool PsaMetalLayout::cut_wire(MetalLayer layer, std::size_t index,
+                              double at_um, double gap_um) {
+  const double target = layout::wire_coord_um(index);
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    MetalShape& s = shapes[i];
+    if (s.layer != layer) continue;
+    if (std::fabs(track_coord(s) - target) > 0.1) continue;
+    const auto [lo, hi] = run_extent(s);
+    if (at_um <= lo + gap_um || at_um >= hi - gap_um) continue;
+    // Split this shape into two pieces around the cut.
+    MetalShape left = s;
+    MetalShape right = s;
+    if (layer == MetalLayer::kM7Horizontal) {
+      left.rect.hi.x = at_um - gap_um / 2.0;
+      right.rect.lo.x = at_um + gap_um / 2.0;
+    } else {
+      left.rect.hi.y = at_um - gap_um / 2.0;
+      right.rect.lo.y = at_um + gap_um / 2.0;
+    }
+    s = left;
+    shapes.push_back(right);
+    return true;
+  }
+  return false;
+}
+
+void PsaMetalLayout::add_bridge(MetalLayer layer, const Rect& rect) {
+  shapes.push_back({layer, rect});
+}
+
+bool PsaMetalLayout::remove_switch(std::size_t row, std::size_t col) {
+  const auto it = std::find_if(switch_sites.begin(), switch_sites.end(),
+                               [&](const SwitchSite& s) {
+                                 return s.row == row && s.col == col;
+                               });
+  if (it == switch_sites.end()) return false;
+  switch_sites.erase(it);
+  return true;
+}
+
+bool PsaMetalLayout::shift_wire(MetalLayer layer, std::size_t index,
+                                double delta_um) {
+  const double target = layout::wire_coord_um(index);
+  bool any = false;
+  for (MetalShape& s : shapes) {
+    if (s.layer != layer) continue;
+    if (std::fabs(track_coord(s) - target) > 0.1) continue;
+    if (layer == MetalLayer::kM7Horizontal) {
+      s.rect.lo.y += delta_um;
+      s.rect.hi.y += delta_um;
+    } else {
+      s.rect.lo.x += delta_um;
+      s.rect.hi.x += delta_um;
+    }
+    any = true;
+  }
+  return any;
+}
+
+ExtractedLattice extract_lattice(const PsaMetalLayout& layout,
+                                 double snap_um) {
+  ExtractedLattice ex;
+  ex.switch_count = layout.switch_sites.size();
+
+  for (MetalLayer layer :
+       {MetalLayer::kM7Horizontal, MetalLayer::kM8Vertical}) {
+    // Group shapes whose centrelines snap to a common expected track.
+    std::map<std::size_t, std::vector<const MetalShape*>> tracks;
+    for (const MetalShape& s : layout.shapes) {
+      if (s.layer != layer) continue;
+      bool matched = false;
+      for (std::size_t i = 0; i < kWires; ++i) {
+        if (std::fabs(track_coord(s) - layout::wire_coord_um(i)) <= snap_um) {
+          tracks[i].push_back(&s);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) ex.foreign_shapes.push_back(s);
+    }
+    auto& out = layer == MetalLayer::kM7Horizontal ? ex.h_tracks_um
+                                                   : ex.v_tracks_um;
+    for (const auto& [index, pieces] : tracks) {
+      const double c = layout::wire_coord_um(index);
+      out.push_back(c);
+      // A continuous track is a single shape spanning the die; several
+      // disjoint pieces mean it was cut.
+      if (pieces.size() > 1) {
+        // Sort by run begin; adjacent pieces with a gap => cut.
+        std::vector<std::pair<double, double>> extents;
+        for (const MetalShape* p : pieces) extents.push_back(run_extent(*p));
+        std::sort(extents.begin(), extents.end());
+        for (std::size_t i = 1; i < extents.size(); ++i) {
+          if (extents[i].first > extents[i - 1].second + 1e-9) {
+            ex.cut_tracks_um.push_back(c);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return ex;
+}
+
+std::string to_string(LayoutDefect::Kind k) {
+  switch (k) {
+    case LayoutDefect::Kind::kMissingTrack: return "missing track";
+    case LayoutDefect::Kind::kCutTrack: return "cut track";
+    case LayoutDefect::Kind::kForeignMetal: return "foreign metal";
+    case LayoutDefect::Kind::kSwitchCountMismatch:
+      return "switch count mismatch";
+    case LayoutDefect::Kind::kMisplacedTrack: return "misplaced track";
+  }
+  return "?";
+}
+
+LayoutVerdict verify_layout(const PsaMetalLayout& suspect) {
+  LayoutVerdict verdict;
+  const ExtractedLattice ex = extract_lattice(suspect);
+
+  const auto check_tracks = [&](const std::vector<double>& found,
+                                const char* layer_name) {
+    for (std::size_t i = 0; i < kWires; ++i) {
+      const double c = layout::wire_coord_um(i);
+      const bool present =
+          std::find_if(found.begin(), found.end(), [&](double t) {
+            return std::fabs(t - c) < 1e-9;
+          }) != found.end();
+      if (!present) {
+        std::ostringstream os;
+        os << layer_name << " track " << i << " (expected at " << c
+           << " um) not recognized";
+        verdict.defects.push_back(
+            {LayoutDefect::Kind::kMissingTrack, os.str()});
+      }
+    }
+  };
+  check_tracks(ex.h_tracks_um, "M7");
+  check_tracks(ex.v_tracks_um, "M8");
+
+  for (double c : ex.cut_tracks_um) {
+    std::ostringstream os;
+    os << "track at " << c << " um is broken into disjoint pieces";
+    verdict.defects.push_back({LayoutDefect::Kind::kCutTrack, os.str()});
+  }
+  for (const MetalShape& s : ex.foreign_shapes) {
+    std::ostringstream os;
+    os << (s.layer == MetalLayer::kM7Horizontal ? "M7" : "M8")
+       << " shape at (" << s.rect.lo.x << "," << s.rect.lo.y
+       << ") matches no intended track";
+    // A shifted wire shows up as foreign metal + a missing track; classify
+    // near-track shapes as misplaced for a clearer report.
+    bool near = false;
+    for (std::size_t i = 0; i < kWires; ++i) {
+      if (std::fabs(track_coord(s) - layout::wire_coord_um(i)) < 4.0) {
+        near = true;
+        break;
+      }
+    }
+    verdict.defects.push_back({near ? LayoutDefect::Kind::kMisplacedTrack
+                                    : LayoutDefect::Kind::kForeignMetal,
+                               os.str()});
+  }
+  if (ex.switch_count != kSwitches) {
+    std::ostringstream os;
+    os << "expected " << kSwitches << " switch cells, found "
+       << ex.switch_count;
+    verdict.defects.push_back(
+        {LayoutDefect::Kind::kSwitchCountMismatch, os.str()});
+  }
+  return verdict;
+}
+
+}  // namespace psa::sensor

@@ -1,0 +1,106 @@
+// layout_verify.hpp — split-manufacturing verification of the PSA's metal
+// layers (Section IV-B).
+//
+// "Even if the attacker successfully completes the modifications, designers
+// can easily detect them by reverse-engineering the two topmost metal
+// layers. ... Alternatively, designers can outsource the fabrication of the
+// two topmost metal layers to other trusted foundries."
+//
+// This module implements that check as a small EDA flow:
+//   1. PsaMetalLayout::golden() renders the PSA intent into physical shapes
+//      (M7 horizontal tracks, M8 vertical tracks, switch-cell sites).
+//   2. An "attacker" mutates the shape bag: cut a wire, bridge two wires,
+//      remove or add a switch cell, nudge a track.
+//   3. extract_lattice() reverse-engineers the shapes back into a lattice
+//      description (track positions, continuity, switch population).
+//   4. verify_layout() diffs extraction against intent and reports every
+//      discrepancy — the designer's tamper check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "psa/lattice.hpp"
+
+namespace psa::sensor {
+
+enum class MetalLayer : std::uint8_t { kM7Horizontal, kM8Vertical };
+
+/// One physical metal shape (axis-aligned rectangle on a layer).
+struct MetalShape {
+  MetalLayer layer = MetalLayer::kM7Horizontal;
+  Rect rect;
+};
+
+/// One T-gate cell site (the switch population is part of the intent; a
+/// removed cell is a tamper even before any electrical test).
+struct SwitchSite {
+  std::size_t row = 0;
+  std::size_t col = 0;
+};
+
+/// The physical view of the PSA's top two metal layers.
+struct PsaMetalLayout {
+  std::vector<MetalShape> shapes;
+  std::vector<SwitchSite> switch_sites;
+
+  /// Render the golden intent: 36 + 36 full-length 1 µm tracks and all
+  /// 1296 switch sites.
+  static PsaMetalLayout golden();
+
+  // --- attacker operations (each returns false if the target is absent)
+
+  /// Cut wire `index` on `layer` at coordinate `at_um` (±`gap_um`/2).
+  bool cut_wire(MetalLayer layer, std::size_t index, double at_um,
+                double gap_um = 2.0);
+  /// Add a rogue bridge shape on `layer`.
+  void add_bridge(MetalLayer layer, const Rect& rect);
+  /// Remove the switch cell at (row, col).
+  bool remove_switch(std::size_t row, std::size_t col);
+  /// Shift wire `index` laterally by `delta_um` (re-routing attack).
+  bool shift_wire(MetalLayer layer, std::size_t index, double delta_um);
+};
+
+/// Reverse-engineered lattice description.
+struct ExtractedLattice {
+  /// Track centre coordinates recognized per layer (sorted).
+  std::vector<double> h_tracks_um;
+  std::vector<double> v_tracks_um;
+  /// Tracks that exist but are broken into multiple disjoint pieces.
+  std::vector<double> cut_tracks_um;
+  /// Shapes that sit on no expected track (bridges / rogue metal).
+  std::vector<MetalShape> foreign_shapes;
+  std::size_t switch_count = 0;
+};
+
+/// Reverse-engineer a shape bag: group shapes into tracks (within
+/// `snap_um` of a common centreline), detect cuts and foreign metal.
+ExtractedLattice extract_lattice(const PsaMetalLayout& layout,
+                                 double snap_um = 0.5);
+
+/// One discrepancy found by the verifier.
+struct LayoutDefect {
+  enum class Kind {
+    kMissingTrack,
+    kCutTrack,
+    kForeignMetal,
+    kSwitchCountMismatch,
+    kMisplacedTrack,
+  };
+  Kind kind;
+  std::string detail;
+};
+
+struct LayoutVerdict {
+  std::vector<LayoutDefect> defects;
+  bool tampered() const { return !defects.empty(); }
+};
+
+/// Diff the extraction of `suspect` against the golden intent.
+LayoutVerdict verify_layout(const PsaMetalLayout& suspect);
+
+std::string to_string(LayoutDefect::Kind k);
+
+}  // namespace psa::sensor

@@ -1,0 +1,68 @@
+#include "psa/programmer.hpp"
+
+#include <stdexcept>
+
+namespace psa::sensor {
+
+SensorProgram CoilProgrammer::rect_loop(std::size_t r0, std::size_t c0,
+                                        std::size_t r1, std::size_t c1) {
+  if (r1 >= kWires || c1 >= kWires || r0 + 2 > r1 || c0 + 1 > c1) {
+    throw std::invalid_argument("rect_loop: bad span");
+  }
+  SensorProgram p;
+  p.switches.set(r0, c0, true);      // H_r0 -> V_c0
+  p.switches.set(r1, c0, true);      // V_c0 -> H_r1
+  p.switches.set(r1, c1, true);      // H_r1 -> V_c1
+  p.switches.set(r0 + 1, c1, true);  // V_c1 -> H_{r0+1} (exit)
+  p.term_pos = hwire(r0);
+  p.term_neg = hwire(r0 + 1);
+  return p;
+}
+
+SensorProgram CoilProgrammer::spiral(std::size_t r0, std::size_t c0,
+                                     std::size_t r1, std::size_t c1,
+                                     std::size_t turns) {
+  if (r1 >= kWires || c1 >= kWires || turns == 0) {
+    throw std::invalid_argument("spiral: bad span/turns");
+  }
+  if (2 * turns > r1 - r0 || 2 * turns > c1 - c0) {
+    throw std::invalid_argument("spiral: too many turns for the span");
+  }
+  SensorProgram p;
+  for (std::size_t t = 0; t < turns; ++t) {
+    const std::size_t rb = r0 + t;      // bottom row of this turn
+    const std::size_t rt = r1 - t;      // top row
+    const std::size_t cl = c0 + t;      // left column
+    const std::size_t cr = c1 - t;      // right column
+    p.switches.set(rb, cl, true);       // H_rb -> V_cl
+    p.switches.set(rt, cl, true);       // V_cl -> H_rt
+    p.switches.set(rt, cr, true);       // H_rt -> V_cr
+    p.switches.set(rb + 1, cr, true);   // V_cr -> H_{rb+1} (next turn / exit)
+  }
+  p.term_pos = hwire(r0);
+  p.term_neg = hwire(r0 + turns);
+  return p;
+}
+
+SensorProgram CoilProgrammer::standard_sensor(std::size_t k) {
+  if (k >= layout::kNumStandardSensors) {
+    throw std::out_of_range("standard_sensor: k > 15");
+  }
+  const std::size_t row0 = 8 * (k / 4);
+  const std::size_t col0 = 8 * (k % 4);
+  return rect_loop(row0, col0, row0 + 11, col0 + 11);
+}
+
+SensorProgram CoilProgrammer::whole_die_coil() {
+  return rect_loop(0, 0, kWires - 1, kWires - 1);
+}
+
+SensorProgram CoilProgrammer::fig1b_two_turn() {
+  return spiral(14, 14, 21, 21, 2);
+}
+
+SensorProgram ConfigDecoder::decode(std::uint8_t code) {
+  return CoilProgrammer::standard_sensor(code & 0x0F);
+}
+
+}  // namespace psa::sensor

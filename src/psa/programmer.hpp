@@ -1,0 +1,58 @@
+// programmer.hpp — generates switch configurations for the useful coil
+// families and decodes sensor-select codes (the paper's 4 control pins feed
+// a fully combinational decoder that drives the T-gate gate signals).
+#pragma once
+
+#include <cstdint>
+
+#include "psa/coil.hpp"
+#include "psa/lattice.hpp"
+
+namespace psa::sensor {
+
+/// A complete sensor program: switch states plus the two terminal wires the
+/// output channel taps.
+struct SensorProgram {
+  SwitchMatrix switches;
+  WireId term_pos;
+  WireId term_neg;
+
+  /// Convenience: run extraction + validation on this program.
+  CoilExtraction extract() const {
+    return extract_coil(switches, term_pos, term_neg);
+  }
+};
+
+class CoilProgrammer {
+ public:
+  /// Single-turn rectangle spanning H-wires [r0, r1] and V-wires [c0, c1].
+  /// The loop enters on H_r0 and exits on H_{r0+1} toward the right-edge
+  /// pads. Requires r1 >= r0 + 2 and c1 >= c0 + 1.
+  static SensorProgram rect_loop(std::size_t r0, std::size_t c0,
+                                 std::size_t r1, std::size_t c1);
+
+  /// N-turn inward spiral within the same span. Each turn uses its own
+  /// wires (a crossbar wire may carry current only once); requires
+  /// 2*turns <= min(r1-r0, c1-c0).
+  static SensorProgram spiral(std::size_t r0, std::size_t c0, std::size_t r1,
+                              std::size_t c1, std::size_t turns);
+
+  /// Standard sensor k (0..15) of the 4x4 tiling: a single-turn 12-wire
+  /// (176 µm) loop aligned with layout::standard_sensor_region(k).
+  static SensorProgram standard_sensor(std::size_t k);
+
+  /// Whole-die single-turn coil — the He/Jiaji baseline structure [1].
+  static SensorProgram whole_die_coil();
+
+  /// The 2-turn example of Fig. 1b (small spiral near die centre).
+  static SensorProgram fig1b_two_turn();
+};
+
+/// The 4-bit combinational decoder: sensor-select code -> standard sensor
+/// program. Codes 0..15 map to the 16 standard sensors.
+class ConfigDecoder {
+ public:
+  static SensorProgram decode(std::uint8_t code);
+};
+
+}  // namespace psa::sensor

@@ -1,0 +1,63 @@
+#include "psa/selftest.hpp"
+
+#include <cmath>
+
+namespace psa::sensor {
+
+SelfTestEntry SelfTest::test_program(SensorProgram program,
+                                     const ArrayFaults& faults,
+                                     const std::string& label) const {
+  for (const auto& [row, col] : faults.stuck_open) {
+    program.switches.inject_stuck_open(row, col);
+  }
+  for (const auto& [row, col] : faults.stuck_closed) {
+    program.switches.inject_stuck_closed(row, col);
+  }
+
+  SelfTestEntry entry;
+  entry.pattern = label;
+
+  // Expected signature from the *commanded* (pristine) configuration.
+  SensorProgram pristine = program;
+  pristine.switches.clear_faults();
+  const CoilExtraction ref = pristine.extract();
+  if (ref.ok()) {
+    entry.expected_ohm =
+        ref.path->resistance_ohm(tgate_, p_.vdd, p_.temperature_k);
+  }
+
+  const CoilExtraction ex = program.extract();
+  entry.error = ex.error;
+  if (!ex.ok()) {
+    entry.pass = false;  // open/short "testing values" = alarm
+    return entry;
+  }
+  entry.resistance_ohm =
+      ex.path->resistance_ohm(tgate_, p_.vdd, p_.temperature_k) *
+      faults.resistance_scale;
+  const double rel =
+      std::fabs(entry.resistance_ohm - entry.expected_ohm) /
+      std::max(entry.expected_ohm, 1e-9);
+  entry.pass = rel <= p_.resistance_tolerance;
+  return entry;
+}
+
+SelfTestReport SelfTest::run(const ArrayFaults& faults) const {
+  SelfTestReport report;
+  for (std::size_t k = 0; k < layout::kNumStandardSensors; ++k) {
+    report.entries.push_back(test_program(CoilProgrammer::standard_sensor(k),
+                                          faults,
+                                          "sensor" + std::to_string(k)));
+  }
+  report.entries.push_back(
+      test_program(CoilProgrammer::whole_die_coil(), faults, "whole-die"));
+  for (const SelfTestEntry& e : report.entries) {
+    if (!e.pass) {
+      report.tampered = true;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace psa::sensor

@@ -1,0 +1,74 @@
+// selftest.hpp — the PSA's tamper-resilience self-test (Section IV).
+//
+// "Any modifications that disable the PSA will trigger alarms during the
+// test phase, as the PSA will return testing values." The self-test
+// programs every standard sensor (plus the whole-die coil), extracts each
+// coil through the *effective* switch states, and checks both connectivity
+// and the electrical signature (series resistance within a tolerance band
+// around wire + 4·R_on). A stuck-open T-gate surfaces as an open circuit, a
+// stuck-closed one as a short, and a resistance drift beyond the band flags
+// subtler tampering (e.g. a thinned wire or a replaced switch cell).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "psa/coil.hpp"
+#include "psa/programmer.hpp"
+#include "psa/tgate.hpp"
+
+namespace psa::sensor {
+
+/// Faults injected into the array under test (what a malicious foundry or a
+/// later physical attack did to it). Applied to every programmed pattern.
+struct ArrayFaults {
+  std::vector<std::pair<std::size_t, std::size_t>> stuck_open;
+  std::vector<std::pair<std::size_t, std::size_t>> stuck_closed;
+  /// Multiplier on every coil's series resistance (1.0 = pristine).
+  double resistance_scale = 1.0;
+};
+
+struct SelfTestEntry {
+  std::string pattern;          // which programmed configuration
+  CoilError error = CoilError::kNone;
+  double resistance_ohm = 0.0;  // 0 when extraction failed
+  double expected_ohm = 0.0;
+  bool pass = false;
+};
+
+struct SelfTestReport {
+  std::vector<SelfTestEntry> entries;
+  bool tampered = false;   // any pattern failed
+  std::size_t failures() const {
+    std::size_t n = 0;
+    for (const auto& e : entries) {
+      if (!e.pass) ++n;
+    }
+    return n;
+  }
+};
+
+class SelfTest {
+ public:
+  struct Params {
+    double vdd = 1.0;
+    double temperature_k = 300.0;
+    double resistance_tolerance = 0.15;  // ±15 % band around the expected R
+  };
+
+  SelfTest() : SelfTest(Params()) {}
+  explicit SelfTest(const Params& p) : p_(p) {}
+
+  /// Run all 16 standard sensors + the whole-die coil against the faults.
+  SelfTestReport run(const ArrayFaults& faults = {}) const;
+
+  /// Test one program (faults applied on top of its switch states).
+  SelfTestEntry test_program(SensorProgram program, const ArrayFaults& faults,
+                             const std::string& label) const;
+
+ private:
+  Params p_;
+  TGate tgate_;
+};
+
+}  // namespace psa::sensor

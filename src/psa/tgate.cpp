@@ -1,0 +1,25 @@
+#include "psa/tgate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace psa::sensor {
+
+double TGate::r_on(double vdd, double temperature_k) const {
+  if (vdd <= p_.v_th) {
+    throw std::invalid_argument("TGate::r_on: Vdd at or below threshold");
+  }
+  if (temperature_k <= 0.0) {
+    throw std::invalid_argument("TGate::r_on: non-physical temperature");
+  }
+  const double overdrive = (p_.v_ref - p_.v_th) / (vdd - p_.v_th);
+  const double mobility = std::pow(temperature_k / p_.t_ref_k, p_.mobility_exp);
+  return p_.r_ref_ohm * overdrive * mobility;
+}
+
+double TGate::leakage_power(double vdd) const {
+  // Subthreshold leakage through the off devices: modelled as Vdd^2 / R_off.
+  return vdd * vdd / p_.r_off_ohm;
+}
+
+}  // namespace psa::sensor

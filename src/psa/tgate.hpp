@@ -1,0 +1,51 @@
+// tgate.hpp — electrical model of the PSA's transmission-gate switches.
+//
+// The paper's custom T-gate (Fig. 1c): PMOS + NMOS in parallel, 10 fingers
+// each, two pairs in parallel, in a 3.2 µm x 4 µm custom cell; measured
+// R_on ≈ 34 Ω at nominal conditions. Supply voltage and temperature move
+// R_on through overdrive and mobility:
+//
+//   R_on(V, T) = R_ref · (V_ref − V_th) / (V − V_th) · (T / T_ref)^α
+//
+// with α ≈ 1.1 for the mobility exponent (partially cancelled by the V_th
+// temperature coefficient). Section VI-C's ±4 dB impedance envelopes across
+// 0.8–1.2 V and −40–125 °C are reproduced by this model plus the coil's
+// fixed wire resistance.
+#pragma once
+
+namespace psa::sensor {
+
+struct TGateParams {
+  double r_ref_ohm = 34.0;   // R_on at (v_ref, t_ref)
+  double v_ref = 1.0;        // V
+  double v_th = 0.40;        // effective threshold, V
+  double t_ref_k = 300.0;    // K
+  double mobility_exp = 1.1;
+  double r_off_ohm = 50.0e6; // leakage path when off
+};
+
+class TGate {
+ public:
+  explicit TGate(const TGateParams& p = {}) : p_(p) {}
+
+  /// On-resistance at the given supply voltage [V] and temperature [K].
+  double r_on(double vdd, double temperature_k) const;
+
+  /// Off-resistance (leakage) — used by tamper/self-test modelling.
+  double r_off() const { return p_.r_off_ohm; }
+
+  /// Leakage power of one T-gate at Vdd [W] — the paper notes PSA power is
+  /// dominated by leakage; this feeds the overhead bench.
+  double leakage_power(double vdd) const;
+
+  const TGateParams& params() const { return p_; }
+
+ private:
+  TGateParams p_;
+};
+
+/// Physical footprint of the custom T-gate cell (Fig. 1c): 3.2 µm x 4 µm.
+inline constexpr double kTGateCellWidthUm = 3.2;
+inline constexpr double kTGateCellHeightUm = 4.0;
+
+}  // namespace psa::sensor

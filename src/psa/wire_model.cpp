@@ -1,0 +1,77 @@
+#include "psa/wire_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace psa::sensor {
+
+WireElectrical coil_electrical(const WireGeometry& g, double span_um,
+                               const WireModelParams& p) {
+  if (g.pitch_um <= 0.0 || g.width_um <= 0.0 || span_um <= 0.0) {
+    throw std::invalid_argument("coil_electrical: bad geometry");
+  }
+  WireElectrical e;
+  const double perimeter = 4.0 * span_um;
+  e.resistance_ohm = p.sheet_resistance_ohm_sq * perimeter / g.width_um;
+  e.inductance_h = p.inductance_per_um * perimeter;
+  // Crossings under the coil's wires: one per lattice pitch of the
+  // orthogonal layer along the perimeter; plus plate capacitance.
+  const double crossings = perimeter / g.pitch_um;
+  e.capacitance_f = p.crossing_cap_f * crossings +
+                    p.area_cap_f_per_um2 * perimeter * g.width_um;
+  e.routing_fraction = g.width_um / g.pitch_um;
+  return e;
+}
+
+double coil_transfer(const WireGeometry& g, double span_um, double freq_hz,
+                     const WireModelParams& p) {
+  const WireElectrical e = coil_electrical(g, span_um, p);
+  const std::complex<double> jw(0.0, kTwoPi * freq_hz);
+  const std::complex<double> z_series =
+      e.resistance_ohm + jw * e.inductance_h;
+  // Amplifier input in parallel with the shunt parasitic capacitance.
+  const std::complex<double> y_in =
+      1.0 / std::complex<double>(p.amp_input_ohm, 0.0) +
+      jw * e.capacitance_f;
+  const std::complex<double> z_in = 1.0 / y_in;
+  return std::abs(z_in / (z_in + z_series));
+}
+
+double band_figure_of_merit(const WireGeometry& g, double span_um,
+                            double f_lo_hz, double f_hi_hz,
+                            const WireModelParams& p, std::size_t points) {
+  if (points < 2 || f_hi_hz <= f_lo_hz) {
+    throw std::invalid_argument("band_figure_of_merit: bad band");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double f = f_lo_hz + (f_hi_hz - f_lo_hz) * static_cast<double>(i) /
+                                   static_cast<double>(points - 1);
+    sum += coil_transfer(g, span_um, f, p) * (f / f_hi_hz);
+  }
+  return sum / static_cast<double>(points);
+}
+
+std::vector<std::pair<WireGeometry, double>> sweep_geometries(
+    const std::vector<double>& pitches_um,
+    const std::vector<double>& widths_um, double span_um,
+    double routing_budget, const WireModelParams& p) {
+  std::vector<std::pair<WireGeometry, double>> out;
+  for (double pitch : pitches_um) {
+    for (double width : widths_um) {
+      const WireGeometry g{pitch, width};
+      if (width / pitch > routing_budget + 1e-12) continue;
+      out.emplace_back(g, band_figure_of_merit(g, span_um, 10.0e6, 100.0e6,
+                                               p));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace psa::sensor

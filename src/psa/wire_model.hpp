@@ -1,0 +1,67 @@
+// wire_model.hpp — electrical model of the lattice wire geometry, used to
+// reproduce the Section V-A design step: "Frequency sweeping is used to
+// determine the optimal length and width that maximize the signal magnitude
+// in the desired frequency range of 10 MHz–100 MHz."
+//
+// A programmed coil of span S built from segments of width w at pitch p
+// presents:
+//   R  = ρ_sheet · (perimeter / w)                — series resistance
+//   L  = L' · perimeter                           — series inductance
+//   C  = c_x · crossings(p) + c_a · perimeter · w — shunt parasitics
+// The band transfer into the amplifier input R_in is
+//   H(f) = Zin / (Zin + R + jωL),  Zin = R_in || 1/(jωC)
+// and the delivered *signal* magnitude additionally carries the coil's
+// dΦ/dt ∝ f pickup. The figure of merit integrates |H(f)|·f over the band;
+// the sweep shows wider wires always help electrically but cost routing
+// capacity linearly — pinning the paper's 1 µm at 16 µm pitch (6.25 %).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psa::sensor {
+
+struct WireGeometry {
+  double pitch_um = 16.0;  // lattice pitch (segment length)
+  double width_um = 1.0;   // wire width
+};
+
+struct WireElectrical {
+  double resistance_ohm = 0.0;
+  double inductance_h = 0.0;
+  double capacitance_f = 0.0;
+  double routing_fraction = 0.0;  // width / pitch (per metal layer)
+};
+
+struct WireModelParams {
+  double sheet_resistance_ohm_sq = 0.025;
+  double inductance_per_um = 0.8e-12;
+  double crossing_cap_f = 0.15e-15;   // per lattice crossing under the wire
+  double area_cap_f_per_um2 = 0.04e-15;  // plate capacitance to lower metal
+  double amp_input_ohm = 1000.0;
+  double die_side_um = 576.0;
+};
+
+/// Parasitics of a single-turn coil of span `span_um` in the geometry.
+WireElectrical coil_electrical(const WireGeometry& g, double span_um,
+                               const WireModelParams& p = {});
+
+/// |H(f)| of the coil's output divider including shunt C.
+double coil_transfer(const WireGeometry& g, double span_um, double freq_hz,
+                     const WireModelParams& p = {});
+
+/// Band figure of merit: mean over [f_lo, f_hi] of |H(f)|·(f / f_hi)
+/// (the f factor is the coil's dΦ/dt pickup). Higher = more signal.
+double band_figure_of_merit(const WireGeometry& g, double span_um,
+                            double f_lo_hz, double f_hi_hz,
+                            const WireModelParams& p = {},
+                            std::size_t points = 64);
+
+/// Sweep a grid of candidate geometries; returns them sorted by FOM among
+/// those meeting the routing budget (width/pitch <= budget), best first.
+std::vector<std::pair<WireGeometry, double>> sweep_geometries(
+    const std::vector<double>& pitches_um,
+    const std::vector<double>& widths_um, double span_um,
+    double routing_budget, const WireModelParams& p = {});
+
+}  // namespace psa::sensor

@@ -1,0 +1,225 @@
+#include "sim/chip_simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "em/calibration.hpp"
+#include "em/induced.hpp"
+#include "em/noise.hpp"
+
+namespace psa::sim {
+
+Scenario Scenario::with_trojan(trojan::TrojanKind kind, std::uint64_t seed) {
+  Scenario s;
+  s.active_trojan = kind;
+  s.seed = seed;
+  if (kind == trojan::TrojanKind::kT2KeyLeak) {
+    s.plaintext_mode = aes::PlaintextMode::kAlternating;
+  }
+  return s;
+}
+
+Scenario Scenario::baseline(std::uint64_t seed) {
+  Scenario s;
+  s.seed = seed;
+  return s;
+}
+
+Scenario Scenario::idle(std::uint64_t seed) {
+  Scenario s;
+  s.encrypting = false;
+  s.seed = seed;
+  return s;
+}
+
+ChipSimulator::ChipSimulator(const SimTiming& timing,
+                             layout::Floorplan floorplan,
+                             std::uint64_t placement_seed)
+    : timing_(timing),
+      floorplan_(std::move(floorplan)),
+      netlist_(layout::Netlist::place(floorplan_, placement_seed)) {
+  // Density maps on the 36x36 source grid (one cell per lattice pitch),
+  // built from the actual placed cells.
+  for (const layout::Module& m : floorplan_.modules()) {
+    densities_.emplace(
+        m.name, netlist_.cell_density(m.name, 36, 36, floorplan_.die()));
+  }
+  // Clock tree: buffers sit near their loads — aggregate of all non-Trojan
+  // module densities.
+  Grid2D clock(36, 36, floorplan_.die());
+  for (const layout::Module& m : floorplan_.modules()) {
+    if (m.is_trojan) continue;
+    const Grid2D& d = densities_.at(m.name);
+    for (std::size_t i = 0; i < clock.data().size(); ++i) {
+      clock.data()[i] += d.data()[i];
+    }
+  }
+  densities_.emplace("clock_tree", std::move(clock));
+}
+
+SensorView ChipSimulator::view_from_program(
+    const sensor::SensorProgram& program, const std::string& label) const {
+  const sensor::CoilExtraction ex = program.extract();
+  if (!ex.ok()) {
+    throw std::invalid_argument("view_from_program: invalid coil: " +
+                                sensor::to_string(ex.error));
+  }
+  return view_from_polyline(ex.path->polyline(), em::kDipoleHeightUm,
+                            ex.path->wire_length_um(),
+                            ex.path->switch_count(), label);
+}
+
+SensorView ChipSimulator::view_from_polyline(const Polyline& coil,
+                                             double dipole_height_um,
+                                             double wire_length_um,
+                                             std::size_t switch_count,
+                                             const std::string& label) const {
+  em::FluxMap::Params params;
+  params.dipole_height_um = dipole_height_um;
+  params.screening_um = em::kScreeningLengthUm;
+  const em::FluxMap fm = em::FluxMap::compute(coil, floorplan_.die(), params);
+
+  SensorView view;
+  view.label = label;
+  view.signed_area_m2 = fm.signed_area_m2();
+  view.wire_length_um = wire_length_um;
+  view.switch_count = switch_count;
+  view.dipole_height_um = dipole_height_um;
+  for (const auto& [name, density] : densities_) {
+    view.gains.emplace(name, fm.gain_for(density));
+  }
+  return view;
+}
+
+double ChipSimulator::coil_resistance_ohm(const SensorView& view,
+                                          const Scenario& scenario) const {
+  double r = sensor::wire_resistance_ohm(view.wire_length_um) +
+             view.fixed_resistance_ohm;
+  if (view.switch_count > 0) {
+    r += static_cast<double>(view.switch_count) *
+         tgate_.r_on(scenario.vdd, scenario.temperature_k);
+  }
+  // Even an ideal probe presents some source impedance.
+  return std::max(r, 25.0);
+}
+
+std::map<std::string, std::vector<double>> ChipSimulator::activity(
+    const Scenario& scenario, std::size_t n_cycles) const {
+  std::map<std::string, std::vector<double>> act;
+
+  aes::ActivityConfig cfg;
+  cfg.encrypting = scenario.encrypting;
+  cfg.mode = scenario.plaintext_mode;
+  cfg.clock_hz = timing_.clock_hz;
+  cfg.scripted_plaintexts = scenario.scripted_plaintexts;
+  const aes::AesActivityModel model(scenario.key, cfg, scenario.seed);
+  aes::CoreActivityTrace core = model.generate(n_cycles);
+
+  if (scenario.encrypting) {
+    act.emplace("clock_tree", std::move(core.clock_tree));
+  } else {
+    // Clock gating leaves a residual spine running (Eq. (1)'s noise trace).
+    act.emplace("clock_tree",
+                std::vector<double>(n_cycles, em::kIdleClockToggles));
+  }
+  act.emplace("aes_sbox", std::move(core.sbox));
+  act.emplace("aes_round_reg", std::move(core.round_reg));
+  act.emplace("aes_key_sched", std::move(core.key_sched));
+  act.emplace("aes_control", std::move(core.control));
+  act.emplace("uart", std::move(core.uart));
+  act.emplace("io_ring", std::vector<double>(n_cycles, 1.0));
+
+  // Trojans: trigger circuitry ticks whenever the chip is powered; the
+  // payload fires only for the scenario's active Trojan.
+  trojan::TrojanContext ctx;
+  ctx.clock_hz = timing_.clock_hz;
+  ctx.encryptions = core.encryptions;
+  ctx.key = scenario.key;
+  ctx.seed = scenario.seed;
+  for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+    const std::unique_ptr<trojan::Trojan> t = trojan::make_trojan(kind);
+    t->set_enabled(scenario.active_trojan == kind);
+    t->set_activation_cycle(scenario.trojan_activation_cycle);
+    std::vector<double> toggles = t->trigger_toggles(ctx, n_cycles);
+    if (t->enabled()) {
+      const std::vector<double> payload = t->payload_toggles(ctx, n_cycles);
+      for (std::size_t c = 0; c < n_cycles; ++c) toggles[c] += payload[c];
+    }
+    act.emplace(t->name(), std::move(toggles));
+  }
+  return act;
+}
+
+std::vector<double> ChipSimulator::signal_voltage(const SensorView& view,
+                                                  const Scenario& scenario,
+                                                  std::size_t n_cycles) const {
+  const auto act = activity(scenario, n_cycles);
+  const std::size_t n_samples = n_cycles * timing_.samples_per_cycle;
+  std::vector<double> flux(n_samples, 0.0);
+  // Switching charge scales with the supply (Q = C·V).
+  const double vdd_scale = scenario.vdd / 1.0;
+  for (const auto& [name, toggles] : act) {
+    const auto it = view.gains.find(name);
+    if (it == view.gains.end() || it->second == 0.0) continue;
+    std::vector<double> current = em::toggles_to_current(
+        toggles, timing_.samples_per_cycle, timing_.sample_rate_hz());
+    for (double& c : current) c *= vdd_scale;
+    em::accumulate_flux(flux, current, it->second);
+  }
+  return em::induced_voltage(flux, timing_.sample_rate_hz());
+}
+
+std::vector<double> ChipSimulator::coil_voltage(const SensorView& view,
+                                                const Scenario& scenario,
+                                                std::size_t n_cycles) const {
+  return signal_voltage(view, scenario, n_cycles);
+}
+
+std::vector<double> ChipSimulator::total_current(const Scenario& scenario,
+                                                 std::size_t n_cycles) const {
+  const auto act = activity(scenario, n_cycles);
+  std::vector<double> total(n_cycles * timing_.samples_per_cycle, 0.0);
+  const double vdd_scale = scenario.vdd / 1.0;
+  for (const auto& [name, toggles] : act) {
+    const std::vector<double> current = em::toggles_to_current(
+        toggles, timing_.samples_per_cycle, timing_.sample_rate_hz());
+    for (std::size_t i = 0; i < total.size(); ++i) {
+      total[i] += vdd_scale * current[i];
+    }
+  }
+  return total;
+}
+
+MeasuredTrace ChipSimulator::measure(const SensorView& view,
+                                     const Scenario& scenario,
+                                     std::size_t n_cycles) const {
+  std::vector<double> v = signal_voltage(view, scenario, n_cycles);
+
+  // Per-measurement analog gain drift (slow vs one trace: a single factor).
+  if (scenario.gain_drift_sigma > 0.0) {
+    Rng drift_rng = Rng(scenario.seed).fork(0x4452494654ULL);  // "DRIFT"
+    const double gain =
+        std::exp(drift_rng.gaussian(0.0, scenario.gain_drift_sigma));
+    for (double& x : v) x *= gain;
+  }
+
+  em::NoiseParams np;
+  np.coil_resistance_ohm = coil_resistance_ohm(view, scenario);
+  np.temperature_k = scenario.temperature_k;
+  np.signed_area_m2 = view.signed_area_m2;
+  np.sample_rate_hz = timing_.sample_rate_hz();
+  np.sensing_height_um = view.dipole_height_um;
+  Rng rng(scenario.seed);
+  Rng noise_rng = rng.fork(0x4E4F495345ULL);  // "NOISE"
+  const std::vector<double> noise =
+      em::generate_noise(np, v.size(), noise_rng);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] += noise[i];
+
+  MeasuredTrace out;
+  out.sample_rate_hz = timing_.sample_rate_hz();
+  out.samples =
+      frontend_.process(v, np.coil_resistance_ohm, out.sample_rate_hz);
+  return out;
+}
+
+}  // namespace psa::sim

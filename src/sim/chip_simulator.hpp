@@ -1,0 +1,156 @@
+// chip_simulator.hpp — the full test-chip + measurement-chain simulator.
+//
+// Composes: AES activity model + Trojan models (per-cycle toggles, placed by
+// the floorplan/netlist) → pulse-shaped module currents → flux through a
+// programmed coil (FluxMap gains) → induced voltage + noise → analog
+// front-end → digitized trace. This is the software stand-in for the
+// fabricated chip, PCB, and oscilloscope of Section VI-A.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aes/activity.hpp"
+#include "afe/frontend.hpp"
+#include "common/geometry.hpp"
+#include "common/grid.hpp"
+#include "em/fluxmap.hpp"
+#include "layout/floorplan.hpp"
+#include "layout/netlist.hpp"
+#include "psa/coil.hpp"
+#include "psa/programmer.hpp"
+#include "psa/tgate.hpp"
+#include "trojan/trojan.hpp"
+
+namespace psa::sim {
+
+/// Simulation time base: 33 MHz clock, 32 samples per cycle = 1.056 GS/s.
+struct SimTiming {
+  double clock_hz = 33.0e6;
+  std::size_t samples_per_cycle = 32;
+
+  double sample_rate_hz() const {
+    return clock_hz * static_cast<double>(samples_per_cycle);
+  }
+};
+
+/// One experimental condition.
+struct Scenario {
+  aes::Key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                  0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  std::optional<trojan::TrojanKind> active_trojan;  // nullopt = HT-inactive
+  bool encrypting = true;
+  aes::PlaintextMode plaintext_mode = aes::PlaintextMode::kRandom;
+  double vdd = 1.0;
+  double temperature_k = 300.0;
+  std::uint64_t seed = 1;
+  std::size_t trojan_activation_cycle = 0;
+  /// Per-measurement multiplicative gain drift (log-normal sigma): supply,
+  /// temperature and fixture drift between trace captures. Real measurement
+  /// campaigns always carry a percent-level of this; it is what defeats
+  /// naive whole-trace distance statistics while the PSA's robust per-bin
+  /// detector absorbs it.
+  double gain_drift_sigma = 0.035;
+  /// Test-phase stimulus: when non-empty these plaintexts are streamed
+  /// (cycled) instead of the plaintext_mode traffic.
+  std::vector<aes::Block> scripted_plaintexts;
+
+  /// Scenario with `kind` active under its natural triggering traffic
+  /// (T2 needs plaintexts carrying the 0xAAAA prefix; the paper drives the
+  /// trigger deliberately, modelled as alternating trigger/normal blocks).
+  static Scenario with_trojan(trojan::TrojanKind kind, std::uint64_t seed = 1);
+
+  /// HT-inactive reference under normal traffic.
+  static Scenario baseline(std::uint64_t seed = 1);
+
+  /// Powered-up idle chip (no encryption) — the noise trace of Eq. (1).
+  static Scenario idle(std::uint64_t seed = 1);
+};
+
+/// A prepared measurement position: coupling gains of every floorplan module
+/// through one coil, plus the coil's electrical parameters.
+struct SensorView {
+  std::string label;
+  std::map<std::string, double> gains;  // module name -> flux gain [Wb/(A·m²)]
+  double signed_area_m2 = 0.0;
+  double wire_length_um = 0.0;
+  std::size_t switch_count = 0;
+  double dipole_height_um = 0.0;
+  /// Extra series resistance outside the lattice model (probe head, cable);
+  /// added on top of wire + switch resistance.
+  double fixed_resistance_ohm = 0.0;
+};
+
+/// A digitized measurement.
+struct MeasuredTrace {
+  std::vector<double> samples;  // volts at the ADC output
+  double sample_rate_hz = 0.0;
+  double duration_s() const {
+    return static_cast<double>(samples.size()) / sample_rate_hz;
+  }
+};
+
+class ChipSimulator {
+ public:
+  ChipSimulator(const SimTiming& timing, layout::Floorplan floorplan,
+                std::uint64_t placement_seed = 42);
+
+  const SimTiming& timing() const { return timing_; }
+  const layout::Floorplan& floorplan() const { return floorplan_; }
+  const layout::Netlist& netlist() const { return netlist_; }
+  const sensor::TGate& tgate() const { return tgate_; }
+  const afe::Frontend& frontend() const { return frontend_; }
+
+  /// Build a SensorView from a validated PSA coil program.
+  SensorView view_from_program(const sensor::SensorProgram& program,
+                               const std::string& label) const;
+
+  /// Build a SensorView from raw geometry (external probes, custom loops).
+  /// `dipole_height_um` sets the sensing distance; `wire_length_um` and
+  /// `switch_count` feed the electrical model (use 0 switches for probes).
+  SensorView view_from_polyline(const Polyline& coil, double dipole_height_um,
+                                double wire_length_um,
+                                std::size_t switch_count,
+                                const std::string& label) const;
+
+  /// Coil series resistance under the scenario's operating point.
+  double coil_resistance_ohm(const SensorView& view,
+                             const Scenario& scenario) const;
+
+  /// Simulate `n_cycles` of chip operation and measure through `view`.
+  MeasuredTrace measure(const SensorView& view, const Scenario& scenario,
+                        std::size_t n_cycles) const;
+
+  /// The open-circuit coil voltage before noise/front-end — used by physics
+  /// tests that need the clean signal.
+  std::vector<double> coil_voltage(const SensorView& view,
+                                   const Scenario& scenario,
+                                   std::size_t n_cycles) const;
+
+  /// Total chip supply current waveform [A] (spatially blind): what an
+  /// impedance-modulation side channel (backscattering [9], on-chip power
+  /// noise [10]) observes.
+  std::vector<double> total_current(const Scenario& scenario,
+                                    std::size_t n_cycles) const;
+
+ private:
+  /// Per-module toggle waveforms for a scenario (module name -> per-cycle).
+  std::map<std::string, std::vector<double>> activity(
+      const Scenario& scenario, std::size_t n_cycles) const;
+
+  std::vector<double> signal_voltage(const SensorView& view,
+                                     const Scenario& scenario,
+                                     std::size_t n_cycles) const;
+
+  SimTiming timing_;
+  layout::Floorplan floorplan_;
+  layout::Netlist netlist_;
+  sensor::TGate tgate_;
+  afe::Frontend frontend_;
+  std::map<std::string, Grid2D> densities_;  // per module, 36x36
+};
+
+}  // namespace psa::sim

@@ -1,0 +1,51 @@
+#include "sim/thermal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "em/calibration.hpp"
+
+namespace psa::sim {
+
+double average_dynamic_power(const ChipSimulator& chip,
+                             const Scenario& scenario, std::size_t n_cycles) {
+  // Mean supply current x Vdd. total_current() already folds toggle counts,
+  // charge per toggle, and pulse shaping; its time average is the DC draw.
+  const std::vector<double> current = chip.total_current(scenario, n_cycles);
+  double mean = 0.0;
+  for (double i : current) mean += i;
+  mean /= static_cast<double>(current.empty() ? 1 : current.size());
+  // The edge-rate compensation inflates dI/dt for the EM chain but not the
+  // delivered charge; undo it for the energy balance.
+  return mean * scenario.vdd / em::kEdgeRateCompensation;
+}
+
+double ThermalModel::steady_state_k(double power_w) const {
+  return p_.ambient_k + p_.r_theta_ja * (power_w + p_.static_power_w);
+}
+
+std::vector<double> ThermalModel::trajectory_k(
+    const std::vector<double>& power_w, double dt_s) const {
+  if (dt_s <= 0.0) throw std::invalid_argument("trajectory_k: bad dt");
+  std::vector<double> out(power_w.size());
+  double t = p_.ambient_k;
+  const double alpha = 1.0 - std::exp(-dt_s / p_.tau_s);
+  for (std::size_t i = 0; i < power_w.size(); ++i) {
+    const double target = steady_state_k(power_w[i]);
+    t += alpha * (target - t);
+    out[i] = t;
+  }
+  return out;
+}
+
+double ThermalModel::settle_time_s(double from_k, double power_w) const {
+  const double target = steady_state_k(power_w);
+  const double gap = std::fabs(target - from_k);
+  if (gap < 1e-9) return 0.0;
+  // First-order response: t = tau * ln(gap / (0.01 * |target - ambient|)).
+  const double band = 0.01 * std::max(std::fabs(target - p_.ambient_k), 1e-9);
+  if (gap <= band) return 0.0;
+  return p_.tau_s * std::log(gap / band);
+}
+
+}  // namespace psa::sim

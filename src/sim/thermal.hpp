@@ -1,0 +1,54 @@
+// thermal.hpp — lumped thermal model of the packaged test chip.
+//
+// The paper's T4 is "a simple denial-of-service Trojan that elevates power
+// consumption, potentially causing the IC to overheat". This module closes
+// that loop: switching activity -> dynamic power -> junction temperature
+// through a single-pole RC thermal model (junction-to-ambient), which in
+// turn feeds the T-gate's R_on(T) — so a long-running DoS Trojan measurably
+// shifts the PSA's own electrical operating point, and the die temperature
+// itself is a slow confirmation channel for a DoS verdict.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/chip_simulator.hpp"
+
+namespace psa::sim {
+
+struct ThermalParams {
+  double r_theta_ja = 45.0;     // junction-to-ambient resistance [K/W]
+  double tau_s = 2.0;           // thermal time constant [s]
+  double ambient_k = 298.15;    // 25 °C
+  double static_power_w = 0.02; // leakage + IO, activity-independent
+};
+
+/// Average dynamic power of a scenario [W]: E = Q·Vdd per toggle at the
+/// switching rate the activity model produces.
+double average_dynamic_power(const ChipSimulator& chip,
+                             const Scenario& scenario, std::size_t n_cycles);
+
+class ThermalModel {
+ public:
+  ThermalModel() : ThermalModel(ThermalParams()) {}
+  explicit ThermalModel(const ThermalParams& p) : p_(p) {}
+
+  /// Steady-state junction temperature at a given power [K].
+  double steady_state_k(double power_w) const;
+
+  /// Temperature trajectory for a piecewise-constant power profile sampled
+  /// at `dt_s`: first-order step response of the RC network.
+  std::vector<double> trajectory_k(const std::vector<double>& power_w,
+                                   double dt_s) const;
+
+  /// Time to move from `from_k` to within 1 % of the steady state for
+  /// `power_w` (returns +inf-ish when already there).
+  double settle_time_s(double from_k, double power_w) const;
+
+  const ThermalParams& params() const { return p_; }
+
+ private:
+  ThermalParams p_;
+};
+
+}  // namespace psa::sim

@@ -1,0 +1,117 @@
+#include "testgen/mero.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace psa::testgen {
+
+bool RareCondition::satisfied_by(const aes::Block& pt) const {
+  for (std::size_t i = 0; i < pt.size(); ++i) {
+    if ((pt[i] & mask[i]) != value[i]) return false;
+  }
+  return true;
+}
+
+double RareCondition::random_hit_probability() const {
+  int bits = 0;
+  for (std::uint8_t m : mask) bits += std::popcount(m);
+  return std::pow(2.0, -bits);
+}
+
+RareCondition RareCondition::t2_trigger() {
+  RareCondition c;
+  c.name = "T2 plaintext prefix 0xAAAA";
+  c.mask[0] = 0xFF;
+  c.mask[1] = 0xFF;
+  c.value[0] = 0xAA;
+  c.value[1] = 0xAA;
+  return c;
+}
+
+namespace {
+
+aes::Block random_block(Rng& rng) {
+  aes::Block b;
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng() & 0xff);
+  return b;
+}
+
+bool all_covered(const std::vector<std::size_t>& activations,
+                 std::size_t n_detect) {
+  for (std::size_t a : activations) {
+    if (a < n_detect) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+GenerationResult random_stimulus(const std::vector<RareCondition>& conditions,
+                                 std::size_t n_detect, std::size_t budget,
+                                 Rng& rng) {
+  GenerationResult out;
+  out.stats.activations.assign(conditions.size(), 0);
+  for (std::size_t i = 0; i < budget; ++i) {
+    const aes::Block pt = random_block(rng);
+    out.vectors.push_back(pt);
+    for (std::size_t c = 0; c < conditions.size(); ++c) {
+      if (conditions[c].satisfied_by(pt)) ++out.stats.activations[c];
+    }
+    if (all_covered(out.stats.activations, n_detect)) break;
+  }
+  out.stats.vectors = out.vectors.size();
+  out.stats.all_covered = all_covered(out.stats.activations, n_detect);
+  return out;
+}
+
+GenerationResult mero_stimulus(const std::vector<RareCondition>& conditions,
+                               std::size_t n_detect, std::size_t budget,
+                               Rng& rng) {
+  GenerationResult out;
+  out.stats.activations.assign(conditions.size(), 0);
+
+  std::size_t spent = 0;
+  while (spent < budget && !all_covered(out.stats.activations, n_detect)) {
+    aes::Block candidate = random_block(rng);
+    ++spent;
+    // Greedy repair: pick the neediest unsatisfied condition and flip the
+    // masked bits of the candidate toward it (MERO's bit-flipping step,
+    // with the trigger condition standing in for the rare-node cone).
+    std::size_t neediest = conditions.size();
+    std::size_t lowest = n_detect;
+    for (std::size_t c = 0; c < conditions.size(); ++c) {
+      if (out.stats.activations[c] < lowest ||
+          (neediest == conditions.size() &&
+           out.stats.activations[c] < n_detect)) {
+        neediest = c;
+        lowest = out.stats.activations[c];
+      }
+    }
+    if (neediest < conditions.size()) {
+      const RareCondition& target = conditions[neediest];
+      for (std::size_t i = 0; i < candidate.size(); ++i) {
+        candidate[i] = static_cast<std::uint8_t>(
+            (candidate[i] & ~target.mask[i]) | target.value[i]);
+      }
+    }
+    // Keep the vector only if it advances coverage (MERO keeps vectors
+    // that increase N-detect counts; others are discarded).
+    bool useful = false;
+    for (std::size_t c = 0; c < conditions.size(); ++c) {
+      if (out.stats.activations[c] < n_detect &&
+          conditions[c].satisfied_by(candidate)) {
+        useful = true;
+      }
+    }
+    if (!useful) continue;
+    out.vectors.push_back(candidate);
+    for (std::size_t c = 0; c < conditions.size(); ++c) {
+      if (conditions[c].satisfied_by(candidate)) ++out.stats.activations[c];
+    }
+  }
+  out.stats.vectors = out.vectors.size();
+  out.stats.all_covered = all_covered(out.stats.activations, n_detect);
+  return out;
+}
+
+}  // namespace psa::testgen

@@ -1,0 +1,68 @@
+// mero.hpp — test-phase vector generation (Section II-A).
+//
+// "During the test phase, efforts are concentrated on the detection of HTs
+// that can be intentionally triggered. ... Most research focuses on
+// developing algorithms to successfully trigger HTs within the minimum
+// amount of time [2][3]."
+//
+// This module implements a MERO-style [2] N-detect generator over the
+// chip's primary inputs (the 16-byte plaintext): rare trigger conditions
+// are specified as (mask, value) byte patterns, and the generator mutates
+// random vectors until every rare condition has been activated at least N
+// times — with far fewer vectors than blind random stimulus needs. The
+// test-phase flow then streams those vectors through the chip (via
+// ActivityConfig::scripted_plaintexts) so trigger-gated Trojans like T2
+// fire while the PSA watches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aes/aes128.hpp"
+#include "common/rng.hpp"
+
+namespace psa::testgen {
+
+/// A rare condition over the plaintext: satisfied when
+/// (pt[i] & mask[i]) == value[i] for every byte.
+struct RareCondition {
+  std::string name;
+  aes::Block mask{};
+  aes::Block value{};
+
+  bool satisfied_by(const aes::Block& pt) const;
+
+  /// Probability a uniform random vector satisfies it: 2^-popcount(mask).
+  double random_hit_probability() const;
+
+  /// T2's published trigger: first two bytes == 0xAA 0xAA.
+  static RareCondition t2_trigger();
+};
+
+struct GenerationStats {
+  std::size_t vectors = 0;                 // emitted test vectors
+  std::vector<std::size_t> activations;    // per condition
+  bool all_covered = false;                // every condition hit >= N times
+};
+
+struct GenerationResult {
+  std::vector<aes::Block> vectors;
+  GenerationStats stats;
+};
+
+/// Blind random stimulus: emit up to `budget` random vectors, stopping
+/// early once every condition has >= n_detect activations.
+GenerationResult random_stimulus(const std::vector<RareCondition>& conditions,
+                                 std::size_t n_detect, std::size_t budget,
+                                 Rng& rng);
+
+/// MERO-style generation: start from random candidates and greedily flip
+/// bits toward unsatisfied rare conditions; a vector is kept only if it
+/// activates a condition that still needs detections. Terminates when all
+/// conditions reach n_detect (or the mutation budget runs out).
+GenerationResult mero_stimulus(const std::vector<RareCondition>& conditions,
+                               std::size_t n_detect, std::size_t budget,
+                               Rng& rng);
+
+}  // namespace psa::testgen

@@ -1,0 +1,186 @@
+#include "trojan/trojan.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "layout/floorplan.hpp"
+
+namespace psa::trojan {
+
+std::string module_name(TrojanKind k) {
+  switch (k) {
+    case TrojanKind::kT1AmCarrier: return "t1";
+    case TrojanKind::kT2KeyLeak: return "t2";
+    case TrojanKind::kT3CdmaLeak: return "t3";
+    case TrojanKind::kT4DoS: return "t4";
+  }
+  return "?";
+}
+
+std::string describe(TrojanKind k) {
+  switch (k) {
+    case TrojanKind::kT1AmCarrier:
+      return "T1: AM radio carrier (750 kHz), counter-activated";
+    case TrojanKind::kT2KeyLeak:
+      return "T2: inverter chain on key wire, plaintext 0xAAAA trigger";
+    case TrojanKind::kT3CdmaLeak:
+      return "T3: CDMA channel key leak (PN spread), always-on";
+    case TrojanKind::kT4DoS:
+      return "T4: denial-of-service power hog, always-on";
+  }
+  return "?";
+}
+
+std::size_t gate_count(TrojanKind k) {
+  switch (k) {
+    case TrojanKind::kT1AmCarrier: return layout::TableIIBudget::kT1;
+    case TrojanKind::kT2KeyLeak: return layout::TableIIBudget::kT2;
+    case TrojanKind::kT3CdmaLeak: return layout::TableIIBudget::kT3;
+    case TrojanKind::kT4DoS: return layout::TableIIBudget::kT4;
+  }
+  return 0;
+}
+
+double Trojan::beat(std::size_t c, double clock_hz) {
+  const double t = static_cast<double>(c) / clock_hz;
+  return 0.5 * (1.0 + std::sin(kTwoPi * kPayloadBeatHz * t));
+}
+
+std::vector<double> Trojan::trigger_toggles(const TrojanContext& ctx,
+                                            std::size_t n_cycles) const {
+  (void)ctx;
+  // Counters / comparators / LFSRs tick continuously while powered. Scale
+  // roughly with trigger-logic size: a handful of flops change per cycle.
+  double per_cycle = 0.0;
+  switch (kind()) {
+    case TrojanKind::kT1AmCarrier:
+      per_cycle = 0.8;  // 21-bit ripple counter, low-order bits gated
+      break;
+    case TrojanKind::kT2KeyLeak:
+      per_cycle = 0.15;  // comparator settles once per plaintext load
+      break;
+    case TrojanKind::kT3CdmaLeak:
+      per_cycle = 0.3;  // 15-bit LFSR advances once per 8-cycle chip
+      break;
+    case TrojanKind::kT4DoS:
+      per_cycle = 0.05;  // enable latch only
+      break;
+  }
+  return std::vector<double>(n_cycles, per_cycle);
+}
+
+std::unique_ptr<Trojan> make_trojan(TrojanKind kind) {
+  switch (kind) {
+    case TrojanKind::kT1AmCarrier: return std::make_unique<TrojanT1>();
+    case TrojanKind::kT2KeyLeak: return std::make_unique<TrojanT2>();
+    case TrojanKind::kT3CdmaLeak: return std::make_unique<TrojanT3>();
+    case TrojanKind::kT4DoS: return std::make_unique<TrojanT4>();
+  }
+  throw std::invalid_argument("make_trojan: bad kind");
+}
+
+std::span<const TrojanKind> all_trojan_kinds() {
+  static constexpr std::array<TrojanKind, 4> kinds = {
+      TrojanKind::kT1AmCarrier, TrojanKind::kT2KeyLeak,
+      TrojanKind::kT3CdmaLeak, TrojanKind::kT4DoS};
+  return kinds;
+}
+
+// ------------------------------------------------------------------- T1
+std::vector<double> TrojanT1::payload_toggles(const TrojanContext& ctx,
+                                              std::size_t n_cycles) const {
+  std::vector<double> out(n_cycles, 0.0);
+  if (!enabled()) return out;
+  // Roughly 40% of the payload cells switch per active cycle; amplitude is
+  // AM-modulated at 750 kHz (the radio envelope) on top of the 15 MHz beat.
+  const double scale = 0.4 * static_cast<double>(gate_count(kind()));
+  for (std::size_t c = activation_cycle(); c < n_cycles; ++c) {
+    const double t = static_cast<double>(c) / ctx.clock_hz;
+    const double am = 0.5 * (1.0 + std::sin(kTwoPi * kAmHz * t));
+    out[c] = scale * am * beat(c, ctx.clock_hz);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- T2
+bool TrojanT2::triggers(const aes::Block& plaintext) {
+  return plaintext[0] == 0xAA && plaintext[1] == 0xAA;
+}
+
+std::vector<double> TrojanT2::payload_toggles(const TrojanContext& ctx,
+                                              std::size_t n_cycles) const {
+  std::vector<double> out(n_cycles, 0.0);
+  if (!enabled()) return out;
+  // The inverter chain is tied to a key-schedule wire: while a triggered
+  // encryption runs, the chain amplifies that wire's switching. The leak
+  // therefore appears as bursts aligned with triggered encryptions, with an
+  // amplitude that follows the key bit pattern across rounds.
+  const double scale = 0.8 * static_cast<double>(gate_count(kind()));
+  const aes::Aes128 core(ctx.key);
+  for (const aes::EncryptionEvent& e : ctx.encryptions) {
+    if (!triggers(e.plaintext)) continue;
+    if (e.start_cycle < activation_cycle()) continue;
+    for (int r = 0; r < aes::kRounds; ++r) {
+      const std::size_t cyc = e.start_cycle + 1 + static_cast<std::size_t>(r);
+      if (cyc >= n_cycles) break;
+      // Tap byte 0 of each round key: its Hamming weight sets how hard the
+      // chain drives in that cycle (leak amplitude is key-dependent).
+      const double wire =
+          static_cast<double>(core.round_key(r)[0] & 0x0F) / 15.0;
+      out[cyc] = scale * (0.4 + 0.6 * wire) * beat(cyc, ctx.clock_hz);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- T3
+std::uint16_t TrojanT3::lfsr_next(std::uint16_t state) {
+  // x^15 + x^14 + 1 (taps 15, 14), Fibonacci form, 15-bit register.
+  const std::uint16_t bit =
+      static_cast<std::uint16_t>(((state >> 14) ^ (state >> 13)) & 1u);
+  return static_cast<std::uint16_t>(((state << 1) | bit) & 0x7FFF);
+}
+
+std::vector<double> TrojanT3::payload_toggles(const TrojanContext& ctx,
+                                              std::size_t n_cycles) const {
+  std::vector<double> out(n_cycles, 0.0);
+  if (!enabled()) return out;
+  // CDMA leak: key bits XOR PN chips. The chip stream gates the payload
+  // on/off at the chip rate, producing a spread (noise-like) modulation.
+  const double scale = 0.9 * static_cast<double>(gate_count(kind()));
+  std::uint16_t lfsr = 0x5A5A & 0x7FFF;
+  std::size_t key_bit_index = 0;
+  for (std::size_t c = activation_cycle(); c < n_cycles; ++c) {
+    const std::size_t chip = (c - activation_cycle()) / kCyclesPerChip;
+    if ((c - activation_cycle()) % kCyclesPerChip == 0 && c != activation_cycle()) {
+      lfsr = lfsr_next(lfsr);
+      if (chip % 8 == 0) key_bit_index = (key_bit_index + 1) % 128;
+    }
+    const int pn = lfsr & 1;
+    const int key_bit =
+        (ctx.key[key_bit_index / 8] >> (key_bit_index % 8)) & 1;
+    const int tx = pn ^ key_bit;  // the CDMA symbol actually transmitted
+    out[c] = scale * static_cast<double>(tx) * beat(c, ctx.clock_hz);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- T4
+std::vector<double> TrojanT4::payload_toggles(const TrojanContext& ctx,
+                                              std::size_t n_cycles) const {
+  std::vector<double> out(n_cycles, 0.0);
+  if (!enabled()) return out;
+  // DoS: nearly all payload cells toggle every cycle. A slow thermal-like
+  // ripple (~1 kHz, 3 %) keeps the envelope from being perfectly flat.
+  const double scale = 0.95 * static_cast<double>(gate_count(kind()));
+  for (std::size_t c = activation_cycle(); c < n_cycles; ++c) {
+    const double t = static_cast<double>(c) / ctx.clock_hz;
+    const double ripple = 1.0 + 0.03 * std::sin(kTwoPi * 1.0e3 * t);
+    out[c] = scale * ripple * beat(c, ctx.clock_hz);
+  }
+  return out;
+}
+
+}  // namespace psa::trojan

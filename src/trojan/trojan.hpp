@@ -1,0 +1,146 @@
+// trojan.hpp — behavioural models of the four hardware Trojans on the test
+// chip (Section V of the paper, Trust-Hub derived):
+//
+//   T1: amplitude-modulation radio carrier. A 21-bit counter activates the
+//       payload when it reaches 21'h1F_FFFF; the payload then radiates an
+//       EM wave whose amplitude is modulated at 750 kHz.
+//   T2: chain of inverters tied to a key wire, amplifying its leakage.
+//       Triggered when the plaintext starts with the 0xAA 0xAA prefix
+//       (the paper's "16'hAAAA" condition); the leak lasts for that
+//       encryption, producing data-dependent bursts.
+//   T3: CDMA channel Trojan: a PN (LFSR) sequence spreads key bits across
+//       a wide band. Always-on, gated by an external enable in experiments.
+//   T4: denial-of-service power hog: near-constant elevated switching.
+//       Always-on, gated by an external enable.
+//
+// Every model outputs *per-clock-cycle toggle counts* — the same currency as
+// the AES activity model — so the EM simulator treats main circuit and
+// Trojans uniformly. Payload switching carries a ~15 MHz beat component
+// (clocked payload cells whose effective switching rate beats against the
+// 33 MHz clock); the mixing of that beat with the clock comb is what places
+// the paper's sidebands at 33+15 = 48 MHz and 99-15 = 84 MHz.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aes/activity.hpp"
+#include "common/rng.hpp"
+
+namespace psa::trojan {
+
+enum class TrojanKind { kT1AmCarrier, kT2KeyLeak, kT3CdmaLeak, kT4DoS };
+
+/// Short name used for floorplan lookup ("t1".."t4").
+std::string module_name(TrojanKind k);
+std::string describe(TrojanKind k);
+
+/// Gate counts from Table II.
+std::size_t gate_count(TrojanKind k);
+
+/// Beat frequency of payload switching against the clock comb. Calibrated so
+/// the sidebands land where Fig. 4 reports them (48 / 84 MHz).
+inline constexpr double kPayloadBeatHz = 15.0e6;
+
+/// T1's activation counter terminal count (21'h1F_FFFF).
+inline constexpr std::uint32_t kT1CounterPeriod = 0x1FFFFF;
+
+/// Everything a Trojan model can observe about the host chip's run.
+struct TrojanContext {
+  double clock_hz = 33.0e6;
+  std::span<const aes::EncryptionEvent> encryptions;
+  aes::Key key{};
+  std::uint64_t seed = 0;
+};
+
+/// Base class for the four models.
+class Trojan {
+ public:
+  explicit Trojan(TrojanKind kind) : kind_(kind) {}
+  virtual ~Trojan() = default;
+  Trojan(const Trojan&) = delete;
+  Trojan& operator=(const Trojan&) = delete;
+
+  TrojanKind kind() const { return kind_; }
+  std::string name() const { return module_name(kind_); }
+
+  /// Master enable. Models the external enable pins the paper added for the
+  /// always-on Trojans, and scenario-level activation for T1/T2.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool e) { enabled_ = e; }
+
+  /// Payload becomes eligible to fire only from this cycle on (used by the
+  /// MTTD experiment to activate a Trojan mid-stream).
+  std::size_t activation_cycle() const { return activation_cycle_; }
+  void set_activation_cycle(std::size_t c) { activation_cycle_ = c; }
+
+  /// Per-cycle payload toggle counts over `n_cycles`. Zero while disabled /
+  /// before activation / untriggered. Includes the 15 MHz beat weighting.
+  virtual std::vector<double> payload_toggles(const TrojanContext& ctx,
+                                              std::size_t n_cycles) const = 0;
+
+  /// Per-cycle toggle counts of the trigger circuitry, which runs whenever
+  /// the chip is powered (counters, comparators, LFSRs) — even when the
+  /// payload is quiet. Small but nonzero.
+  virtual std::vector<double> trigger_toggles(const TrojanContext& ctx,
+                                              std::size_t n_cycles) const;
+
+ protected:
+  /// The raised 15 MHz beat factor at clock cycle `c`: 0.5*(1+sin(2π f t)).
+  static double beat(std::size_t c, double clock_hz);
+
+ private:
+  TrojanKind kind_;
+  bool enabled_ = false;
+  std::size_t activation_cycle_ = 0;
+};
+
+/// Factory.
+std::unique_ptr<Trojan> make_trojan(TrojanKind kind);
+
+/// All four kinds, in order.
+std::span<const TrojanKind> all_trojan_kinds();
+
+// --- Concrete models (exposed for targeted tests) -------------------------
+
+class TrojanT1 final : public Trojan {
+ public:
+  TrojanT1() : Trojan(TrojanKind::kT1AmCarrier) {}
+  std::vector<double> payload_toggles(const TrojanContext& ctx,
+                                      std::size_t n_cycles) const override;
+  /// AM modulation frequency of the radiated carrier.
+  static constexpr double kAmHz = 750.0e3;
+};
+
+class TrojanT2 final : public Trojan {
+ public:
+  TrojanT2() : Trojan(TrojanKind::kT2KeyLeak) {}
+  std::vector<double> payload_toggles(const TrojanContext& ctx,
+                                      std::size_t n_cycles) const override;
+  /// True when a plaintext block satisfies the trigger condition.
+  static bool triggers(const aes::Block& plaintext);
+};
+
+class TrojanT3 final : public Trojan {
+ public:
+  TrojanT3() : Trojan(TrojanKind::kT3CdmaLeak) {}
+  std::vector<double> payload_toggles(const TrojanContext& ctx,
+                                      std::size_t n_cycles) const override;
+  /// Clock cycles per CDMA chip (33 MHz / 64 ≈ 516 kHz chip rate — slow
+  /// enough for zero-span envelope recovery, as a covert channel would be).
+  static constexpr std::size_t kCyclesPerChip = 64;
+  /// 15-bit maximal LFSR (x^15 + x^14 + 1) producing the PN sequence.
+  static std::uint16_t lfsr_next(std::uint16_t state);
+};
+
+class TrojanT4 final : public Trojan {
+ public:
+  TrojanT4() : Trojan(TrojanKind::kT4DoS) {}
+  std::vector<double> payload_toggles(const TrojanContext& ctx,
+                                      std::size_t n_cycles) const override;
+};
+
+}  // namespace psa::trojan

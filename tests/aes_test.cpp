@@ -1,0 +1,226 @@
+// AES-128 correctness (FIPS-197), microarchitectural traces, UART framing,
+// and the switching-activity model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "aes/activity.hpp"
+#include "aes/aes128.hpp"
+#include "aes/uart.hpp"
+
+namespace psa::aes {
+namespace {
+
+// FIPS-197 Appendix B.
+constexpr Key kFipsKey = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                          0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+constexpr Block kFipsPlain = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                              0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+constexpr Block kFipsCipher = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                               0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+
+TEST(Aes128, Fips197AppendixB) {
+  const Aes128 aes(kFipsKey);
+  EXPECT_EQ(aes.encrypt(kFipsPlain), kFipsCipher);
+}
+
+TEST(Aes128, NistAesavsVectorZeroKey) {
+  // AESAVS KAT: all-zero key, all-zero plaintext.
+  const Key zero{};
+  const Block zpt{};
+  const Block expect = {0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b,
+                        0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34, 0x2b, 0x2e};
+  EXPECT_EQ(Aes128(zero).encrypt(zpt), expect);
+}
+
+TEST(Aes128, SecondFipsStyleVector) {
+  // From NIST SP 800-38A (ECB-AES128.Encrypt, block #1).
+  const Key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                   0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const Block pt = {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96,
+                    0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a};
+  const Block ct = {0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60,
+                    0xa8, 0x9e, 0xca, 0xf3, 0x24, 0x66, 0xef, 0x97};
+  EXPECT_EQ(Aes128(key).encrypt(pt), ct);
+}
+
+TEST(Aes128, KeyScheduleFirstAndLastRoundKeys) {
+  const Aes128 aes(kFipsKey);
+  EXPECT_EQ(aes.round_key(0), kFipsKey);
+  // FIPS-197 Appendix A.1 final round key w[40..43].
+  const Block last = {0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89,
+                      0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63, 0x0c, 0xa6};
+  EXPECT_EQ(aes.round_key(10), last);
+}
+
+TEST(Aes128, SboxSpotValues) {
+  const auto& sbox = Aes128::sbox();
+  EXPECT_EQ(sbox[0x00], 0x63);
+  EXPECT_EQ(sbox[0x53], 0xed);
+  EXPECT_EQ(sbox[0xff], 0x16);
+}
+
+TEST(Aes128, TraceHasElevenStatesAndTenSboxLayers) {
+  const Aes128 aes(kFipsKey);
+  RoundTrace tr;
+  const Block ct = aes.encrypt_traced(kFipsPlain, tr);
+  EXPECT_EQ(ct, kFipsCipher);
+  EXPECT_EQ(tr.state.size(), 11u);
+  EXPECT_EQ(tr.sbox_out.size(), 10u);
+  // First state is plaintext ^ key.
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(tr.state[0][i], kFipsPlain[i] ^ kFipsKey[i]);
+  }
+  // Last state equals the ciphertext.
+  EXPECT_EQ(tr.state[10], kFipsCipher);
+}
+
+TEST(Hamming, WeightAndDistance) {
+  const Block a{};                        // all zero
+  Block b{};
+  b[0] = 0xFF;
+  b[15] = 0x0F;
+  EXPECT_EQ(hamming_weight(b), 12);
+  EXPECT_EQ(hamming_distance(a, b), 12);
+  EXPECT_EQ(hamming_distance(b, b), 0);
+}
+
+// ------------------------------------------------------------------- UART
+
+TEST(Uart, FrameBits8N1) {
+  const auto bits = uart_frame_bits(0xA5);  // 1010'0101 LSB-first
+  EXPECT_EQ(bits[0], 0);  // start
+  const int expect[8] = {1, 0, 1, 0, 0, 1, 0, 1};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(bits[static_cast<std::size_t>(i + 1)], expect[i]);
+  EXPECT_EQ(bits[9], 1);  // stop
+}
+
+TEST(Uart, CyclesPerBit) {
+  const Uart u(33.0e6, 115200.0);
+  EXPECT_NEAR(u.cycles_per_bit(), 286.458, 0.01);
+}
+
+TEST(Uart, IdleLineIsHigh) {
+  const Uart u(33.0e6);
+  const std::vector<std::uint8_t> none;
+  const auto levels = u.line_levels(none, 100);
+  for (int v : levels) EXPECT_EQ(v, 1);
+}
+
+TEST(Uart, StartBitAppearsForData) {
+  const Uart u(33.0e6);
+  const std::vector<std::uint8_t> data = {0xFF};
+  const auto levels = u.line_levels(data, 400);
+  EXPECT_EQ(levels[0], 0);  // start bit occupies the first bit period
+  EXPECT_EQ(levels[100], 0);
+  EXPECT_EQ(levels[300], 1);  // into data bits of 0xFF
+}
+
+TEST(Uart, ActivityHigherWhenStreaming) {
+  const Uart u(33.0e6);
+  const std::vector<std::uint8_t> data(16, 0x55);
+  const std::vector<std::uint8_t> none;
+  const auto act_s = u.activity(data, 2000);
+  const auto act_i = u.activity(none, 2000);
+  const double sum_s = std::accumulate(act_s.begin(), act_s.end(), 0.0);
+  const double sum_i = std::accumulate(act_i.begin(), act_i.end(), 0.0);
+  EXPECT_GT(sum_s, sum_i);
+}
+
+TEST(Uart, RejectsBadRates) {
+  EXPECT_THROW(Uart(0.0, 115200.0), std::invalid_argument);
+  EXPECT_THROW(Uart(1.0e6, 2.0e6), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- activity
+
+TEST(Activity, DeterministicForSeed) {
+  ActivityConfig cfg;
+  const AesActivityModel m1(kFipsKey, cfg, 9);
+  const AesActivityModel m2(kFipsKey, cfg, 9);
+  const CoreActivityTrace a = m1.generate(256);
+  const CoreActivityTrace b = m2.generate(256);
+  EXPECT_EQ(a.round_reg, b.round_reg);
+  EXPECT_EQ(a.sbox, b.sbox);
+  EXPECT_EQ(a.encryptions.size(), b.encryptions.size());
+}
+
+TEST(Activity, EncryptionsAreSpacedByPeriod) {
+  ActivityConfig cfg;
+  cfg.idle_gap_cycles = 4;
+  const AesActivityModel m(kFipsKey, cfg, 1);
+  const CoreActivityTrace tr = m.generate(256);
+  ASSERT_GE(tr.encryptions.size(), 2u);
+  EXPECT_EQ(tr.encryptions[1].start_cycle - tr.encryptions[0].start_cycle,
+            16u);
+}
+
+TEST(Activity, CiphertextsAreCorrectAes) {
+  ActivityConfig cfg;
+  const AesActivityModel m(kFipsKey, cfg, 2);
+  const CoreActivityTrace tr = m.generate(200);
+  const Aes128 ref(kFipsKey);
+  for (const EncryptionEvent& e : tr.encryptions) {
+    EXPECT_EQ(ref.encrypt(e.plaintext), e.ciphertext);
+  }
+}
+
+TEST(Activity, RoundCyclesCarryDatapathToggles) {
+  ActivityConfig cfg;
+  const AesActivityModel m(kFipsKey, cfg, 3);
+  const CoreActivityTrace tr = m.generate(64);
+  ASSERT_FALSE(tr.encryptions.empty());
+  const std::size_t start = tr.encryptions[0].start_cycle;
+  // Round cycles (start+1..start+10) must show significant state register
+  // activity; AES diffusion flips ~half the 128 bits.
+  for (std::size_t r = 1; r <= 10; ++r) {
+    EXPECT_GT(tr.round_reg[start + r], 30.0) << "round " << r;
+  }
+}
+
+TEST(Activity, IdleChipHasNoDatapathActivity) {
+  ActivityConfig cfg;
+  cfg.encrypting = false;
+  const AesActivityModel m(kFipsKey, cfg, 4);
+  const CoreActivityTrace tr = m.generate(128);
+  EXPECT_TRUE(tr.encryptions.empty());
+  for (double v : tr.round_reg) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (double v : tr.sbox) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Activity, TriggerModeSetsPrefix) {
+  ActivityConfig cfg;
+  cfg.mode = PlaintextMode::kTriggerT2;
+  const AesActivityModel m(kFipsKey, cfg, 5);
+  const CoreActivityTrace tr = m.generate(200);
+  for (const EncryptionEvent& e : tr.encryptions) {
+    EXPECT_EQ(e.plaintext[0], 0xAA);
+    EXPECT_EQ(e.plaintext[1], 0xAA);
+  }
+}
+
+TEST(Activity, AlternatingModeProducesTriggerRuns) {
+  ActivityConfig cfg;
+  cfg.mode = PlaintextMode::kAlternating;
+  cfg.idle_gap_cycles = 0;
+  const AesActivityModel m(kFipsKey, cfg, 6);
+  const CoreActivityTrace tr = m.generate(16 * 12 * 40);
+  ASSERT_GE(tr.encryptions.size(), 2 * kTriggerRunLength);
+  // First run triggered, second run not.
+  for (std::size_t i = 0; i < kTriggerRunLength; ++i) {
+    EXPECT_EQ(tr.encryptions[i].plaintext[0], 0xAA);
+  }
+  EXPECT_NE(tr.encryptions[kTriggerRunLength].plaintext[0] == 0xAA &&
+                tr.encryptions[kTriggerRunLength].plaintext[1] == 0xAA,
+            true);
+}
+
+TEST(Activity, ClockTreeConstantWhileEncrypting) {
+  ActivityConfig cfg;
+  const AesActivityModel m(kFipsKey, cfg, 7);
+  const CoreActivityTrace tr = m.generate(64);
+  for (double v : tr.clock_tree) EXPECT_DOUBLE_EQ(v, 900.0);
+}
+
+}  // namespace
+}  // namespace psa::aes

@@ -1,0 +1,180 @@
+// Analog front-end: op-amp model, ADC quantization, full chain, spectrum
+// analyzer sweeps and zero-span mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "afe/adc.hpp"
+#include "afe/frontend.hpp"
+#include "afe/opamp.hpp"
+#include "afe/spectrum_analyzer.hpp"
+#include "common/units.hpp"
+
+namespace psa::afe {
+namespace {
+
+std::vector<double> sine(std::size_t n, double fs, double f, double amp) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(kTwoPi * f * static_cast<double>(i) / fs);
+  }
+  return x;
+}
+
+TEST(OpAmp, DcGainAndPole) {
+  const OpAmp amp;
+  EXPECT_NEAR(amp.dc_gain(), 316.23, 0.1);
+  // Pole = UGB / A0 = 200 MHz / 316 ≈ 632 kHz.
+  EXPECT_NEAR(amp.pole_hz(), 632.5e3, 2e3);
+}
+
+TEST(OpAmp, GainRollsOffAsOneOverF) {
+  const OpAmp amp;
+  // Well above the pole, gain ≈ UGB / f.
+  EXPECT_NEAR(amp.gain_at(50.0e6), 4.0, 0.2);
+  EXPECT_NEAR(amp.gain_at(100.0e6), 2.0, 0.1);
+  EXPECT_NEAR(amp.gain_at(0.0), amp.dc_gain(), 1e-9);
+}
+
+TEST(OpAmp, TimeDomainGainMatchesAnalytic) {
+  const OpAmp amp;
+  const double fs = 1.056e9;
+  const double f = 48.0e6;
+  const auto x = sine(32768, fs, f, 1.0e-3);
+  const auto y = amp.amplify(x, fs);
+  // Steady-state output amplitude = gain_at(f) * input amplitude.
+  double peak = 0.0;
+  for (std::size_t i = y.size() / 2; i < y.size(); ++i) {
+    peak = std::max(peak, std::fabs(y[i]));
+  }
+  EXPECT_NEAR(peak, amp.gain_at(f) * 1.0e-3, peak * 0.1);
+}
+
+TEST(OpAmp, SaturatesAtRails) {
+  OpAmpParams p;
+  p.saturation_v = 1.0;
+  const OpAmp amp(p);
+  const std::vector<double> big(1000, 1.0);  // DC would amplify to 316 V
+  const auto y = amp.amplify(big, 1.0e9);
+  for (double v : y) EXPECT_LE(std::fabs(v), 1.0);
+}
+
+TEST(Adc, LsbAndRoundTrip) {
+  const Adc adc(AdcParams{12, 2.0});
+  EXPECT_NEAR(adc.lsb(), 2.0 / 2048.0, 1e-12);
+  const std::vector<double> x = {0.0, 0.5, -0.5, 1.999};
+  const auto y = adc.sample(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], adc.lsb());
+  }
+}
+
+TEST(Adc, ClampsOutOfRange) {
+  const Adc adc(AdcParams{8, 1.0});
+  const std::vector<double> x = {5.0, -5.0};
+  const auto c = adc.codes(x);
+  EXPECT_EQ(c[0], 127);
+  EXPECT_EQ(c[1], -128);
+}
+
+TEST(Adc, QuantizationErrorBounded) {
+  const Adc adc(AdcParams{14, 1.0});
+  for (double v = -0.99; v < 0.99; v += 0.0137) {
+    const std::vector<double> x = {v};
+    EXPECT_LE(std::fabs(adc.sample(x)[0] - v), adc.lsb() * 0.51);
+  }
+}
+
+TEST(Adc, RejectsBadParams) {
+  EXPECT_THROW(Adc(AdcParams{2, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Adc(AdcParams{12, -1.0}), std::invalid_argument);
+}
+
+TEST(Frontend, DividerAgainstSourceImpedance) {
+  const Frontend fe;
+  EXPECT_NEAR(fe.divider(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(fe.divider(1000.0), 0.5, 1e-12);
+  EXPECT_NEAR(fe.divider(250.0), 0.8, 1e-12);
+}
+
+TEST(Frontend, AcCouplingBlocksLowFrequencies) {
+  const Frontend fe;
+  const double fs = 1.056e9;
+  // 1 MHz is far below the 10 MHz coupling corner; 48 MHz passes.
+  const auto lo = fe.process(sine(65536, fs, 1.0e6, 1.0e-3), 100.0, fs);
+  const auto hi = fe.process(sine(65536, fs, 48.0e6, 1.0e-3), 100.0, fs);
+  double rms_lo = 0.0;
+  double rms_hi = 0.0;
+  for (std::size_t i = lo.size() / 2; i < lo.size(); ++i) {
+    rms_lo += lo[i] * lo[i];
+    rms_hi += hi[i] * hi[i];
+  }
+  EXPECT_LT(rms_lo, rms_hi * 0.5);
+}
+
+TEST(Frontend, ChainGainConsistent) {
+  const Frontend fe;
+  const double fs = 1.056e9;
+  const double f = 48.0e6;
+  const double amp_in = 2.0e-3;
+  const auto y = fe.process(sine(65536, fs, f, amp_in), 250.0, fs);
+  double peak = 0.0;
+  for (std::size_t i = y.size() / 2; i < y.size(); ++i) {
+    peak = std::max(peak, std::fabs(y[i]));
+  }
+  const double expected = amp_in * fe.divider(250.0) * fe.opamp().gain_at(f);
+  EXPECT_NEAR(peak, expected, expected * 0.15);
+}
+
+// --------------------------------------------------------------- analyzer
+
+TEST(SpectrumAnalyzer, DisplayGridMatchesPaper) {
+  const SpectrumAnalyzer sa;
+  const double fs = 1.056e9;
+  const auto x = sine(32768, fs, 48.0e6, 0.1);
+  const auto s = sa.sweep(x, fs);
+  ASSERT_EQ(s.size(), 2000u);
+  EXPECT_DOUBLE_EQ(s.freq_hz.front(), 0.0);
+  EXPECT_DOUBLE_EQ(s.freq_hz.back(), 120.0e6);
+}
+
+TEST(SpectrumAnalyzer, SweepFindsTone) {
+  const SpectrumAnalyzer sa;
+  const double fs = 1.056e9;
+  const auto x = sine(32768, fs, 48.0e6, 0.1);
+  const auto s = sa.sweep(x, fs);
+  const std::size_t pk = s.peak_bin(40.0e6, 56.0e6);
+  EXPECT_NEAR(s.freq_hz[pk], 48.0e6, 0.2e6);
+  EXPECT_NEAR(s.magnitude[pk], 0.1, 0.01);
+}
+
+TEST(SpectrumAnalyzer, AveragedSweepSlices) {
+  const SpectrumAnalyzer sa;
+  const double fs = 1.056e9;
+  const auto x = sine(32768 * 4, fs, 30.0e6, 0.2);
+  const auto s = sa.averaged_sweep(x, fs, 4);
+  const std::size_t pk = s.peak_bin(25.0e6, 35.0e6);
+  EXPECT_NEAR(s.magnitude[pk], 0.2, 0.03);
+  EXPECT_THROW(sa.averaged_sweep(x, fs, 0), std::invalid_argument);
+}
+
+TEST(SpectrumAnalyzer, ZeroSpanTracksModulation) {
+  const SpectrumAnalyzer sa;
+  const double fs = 1.056e9;
+  const double fc = 48.0e6;
+  std::vector<double> x(262144);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = (1.0 + 0.9 * std::sin(kTwoPi * 750.0e3 * t)) *
+           0.05 * std::sin(kTwoPi * fc * t);
+  }
+  const auto tr = sa.zero_span(x, fs, fc, 2.0e6);
+  const auto [mn, mx] =
+      std::minmax_element(tr.magnitude.begin(), tr.magnitude.end());
+  EXPECT_GT(*mx, 2.0 * *mn);  // modulation clearly visible
+  EXPECT_NEAR(tr.center_freq_hz, fc, 1.0);
+  EXPECT_THROW(sa.zero_span(x, fs, fc, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psa::afe

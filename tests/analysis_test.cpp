@@ -1,0 +1,316 @@
+// Analysis layer in isolation: golden-free detector, localizer folding,
+// identifier signature rules on synthetic envelopes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/detector.hpp"
+#include "analysis/identifier.hpp"
+#include "analysis/localizer.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace psa::analysis {
+namespace {
+
+dsp::Spectrum background(Rng& rng, double line_at_33 = 1.0) {
+  // 200-bin spectrum 0..120 MHz with a floor, a 33 MHz comb line, and
+  // multiplicative jitter — a miniature of the chip's display spectrum.
+  dsp::Spectrum s;
+  for (int i = 0; i < 200; ++i) {
+    const double f = 120.0e6 * i / 199.0;
+    s.freq_hz.push_back(f);
+    double m = 1.0e-4 * (1.0 + 0.1 * rng.gaussian());
+    if (std::fabs(f - 33.0e6) < 0.7e6) m += line_at_33;
+    s.magnitude.push_back(std::max(m, 1e-7));
+  }
+  return s;
+}
+
+std::vector<dsp::Spectrum> enrollment_set(Rng& rng, int n = 8) {
+  std::vector<dsp::Spectrum> v;
+  for (int i = 0; i < n; ++i) v.push_back(background(rng));
+  return v;
+}
+
+TEST(Detector, RequiresEnrollment) {
+  GoldenFreeDetector det;
+  EXPECT_FALSE(det.enrolled());
+  Rng rng(1);
+  const dsp::Spectrum obs = background(rng);
+  EXPECT_THROW(det.score(obs), std::logic_error);
+  EXPECT_THROW(det.zscores(obs), std::logic_error);
+}
+
+TEST(Detector, EnrollValidation) {
+  GoldenFreeDetector det;
+  Rng rng(2);
+  std::vector<dsp::Spectrum> two = {background(rng), background(rng)};
+  EXPECT_THROW(det.enroll(two), std::invalid_argument);
+}
+
+TEST(Detector, QuietObservationScoresLow) {
+  GoldenFreeDetector det;
+  Rng rng(3);
+  det.enroll(enrollment_set(rng));
+  const DetectionResult r = det.score(background(rng));
+  EXPECT_FALSE(r.detected);
+  EXPECT_LT(r.score, det.params().z_threshold);
+}
+
+TEST(Detector, NewSidebandDetectedAndNovel) {
+  GoldenFreeDetector det;
+  Rng rng(4);
+  det.enroll(enrollment_set(rng));
+  dsp::Spectrum obs = background(rng);
+  // Inject a sideband at 48 MHz, away from the 33 MHz harmonic.
+  const std::size_t bin = obs.nearest_bin(48.0e6);
+  obs.magnitude[bin] += 0.02;
+  obs.magnitude[bin + 1] += 0.015;
+  const DetectionResult r = det.score(obs);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.peak_is_novel);
+  EXPECT_NEAR(r.peak_freq_hz, 48.0e6, 1.5e6);
+  EXPECT_GT(r.peak_delta_v, 0.01);
+}
+
+TEST(Detector, GrownHarmonicDetectedButNotNovel) {
+  // Normalization off: this test checks the harmonic-guard semantics on a
+  // synthetic background whose single line dominates the band norm.
+  GoldenFreeDetector::Params params;
+  params.normalize = false;
+  GoldenFreeDetector det(params);
+  Rng rng(5);
+  det.enroll(enrollment_set(rng));
+  dsp::Spectrum obs = background(rng);
+  // The 33 MHz line grows strongly but no new line appears. Make the growth
+  // span two bins so min_anomalous_bins is met.
+  const std::size_t bin = obs.nearest_bin(33.0e6);
+  obs.magnitude[bin] *= 1.5;
+  obs.magnitude[bin - 1] += 0.3;
+  const DetectionResult r = det.score(obs);
+  EXPECT_TRUE(r.detected);
+  // Peak falls back to the harmonic but is flagged non-novel (inside the
+  // clock guard or below the novelty ratio).
+  EXPECT_FALSE(r.peak_is_novel);
+}
+
+TEST(Detector, LowFrequencyBinsMasked) {
+  GoldenFreeDetector det;
+  Rng rng(6);
+  det.enroll(enrollment_set(rng));
+  dsp::Spectrum obs = background(rng);
+  obs.magnitude[obs.nearest_bin(5.0e6)] += 100.0;  // below min_freq_hz
+  const DetectionResult r = det.score(obs);
+  EXPECT_FALSE(r.detected);
+}
+
+TEST(Detector, DeltasArePhysicalVolts) {
+  GoldenFreeDetector::Params params;
+  params.normalize = false;
+  GoldenFreeDetector det(params);
+  Rng rng(7);
+  det.enroll(enrollment_set(rng));
+  dsp::Spectrum obs = background(rng);
+  const std::size_t bin = obs.nearest_bin(60.0e6);
+  obs.magnitude[bin] += 0.5;
+  const auto d = det.deltas(obs);
+  EXPECT_NEAR(d[bin], 0.5, 0.01);
+}
+
+TEST(Detector, GridMismatchThrows) {
+  GoldenFreeDetector det;
+  Rng rng(8);
+  det.enroll(enrollment_set(rng));
+  dsp::Spectrum small;
+  small.freq_hz = {0.0, 1.0};
+  small.magnitude = {0.0, 0.0};
+  EXPECT_THROW(det.score(small), std::invalid_argument);
+}
+
+TEST(Detector, NormalizationAbsorbsGainDrift) {
+  // A pure analog gain change (every bin scaled alike) must not alarm: the
+  // detector keys on spectral shape.
+  GoldenFreeDetector det;  // normalize = true by default
+  Rng rng(9);
+  det.enroll(enrollment_set(rng));
+  dsp::Spectrum obs = background(rng);
+  for (double& m : obs.magnitude) m *= 1.25;  // +25 % gain drift
+  const DetectionResult r = det.score(obs);
+  EXPECT_FALSE(r.detected);
+}
+
+TEST(Detector, NormalizedStillCatchesNewLine) {
+  GoldenFreeDetector det;
+  Rng rng(10);
+  det.enroll(enrollment_set(rng));
+  dsp::Spectrum obs = background(rng);
+  for (double& m : obs.magnitude) m *= 1.15;  // drift AND a new sideband
+  const std::size_t bin = obs.nearest_bin(48.0e6);
+  obs.magnitude[bin] += 0.05;
+  obs.magnitude[bin + 1] += 0.04;
+  const DetectionResult r = det.score(obs);
+  EXPECT_TRUE(r.detected);
+  EXPECT_NEAR(r.peak_freq_hz, 48.0e6, 1.5e6);
+}
+
+// ---------------------------------------------------------------- localizer
+
+TEST(Localizer, ArgmaxAndRegion) {
+  std::array<double, 16> scores{};
+  scores[10] = 1.0;
+  scores[0] = 0.001;
+  const LocalizationResult r = localize_from_scores(scores);
+  EXPECT_TRUE(r.localized);
+  EXPECT_EQ(r.best_sensor, 10u);
+  EXPECT_EQ(r.region, layout::standard_sensor_region(10));
+  EXPECT_GT(r.contrast_db, 20.0);
+}
+
+TEST(Localizer, FlatHeatMapNotLocalized) {
+  std::array<double, 16> scores;
+  scores.fill(0.5);
+  const LocalizationResult r = localize_from_scores(scores);
+  EXPECT_FALSE(r.localized);
+  EXPECT_NEAR(r.contrast_db, 0.0, 1e-9);
+}
+
+TEST(Localizer, ContrastIsCapped) {
+  std::array<double, 16> scores{};
+  scores[3] = 2.0;  // every other sensor exactly zero
+  const LocalizationResult r = localize_from_scores(scores);
+  EXPECT_LE(r.contrast_db, 80.0 + 1e-9);
+}
+
+TEST(Localizer, AsciiHeatmapMarksWinner) {
+  std::array<double, 16> scores{};
+  scores[10] = 1.0;
+  const LocalizationResult r = localize_from_scores(scores);
+  const std::string art = r.ascii_heatmap();
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find('9'), std::string::npos);
+}
+
+// --------------------------------------------------------------- identifier
+
+constexpr double kEnvRate = 10.0e6;
+
+std::vector<double> t1_like(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / kEnvRate;
+    x[i] = 1.0 + 0.8 * std::sin(kTwoPi * 750.0e3 * t);
+  }
+  return x;
+}
+
+std::vector<double> t2_like(std::size_t n) {
+  // Slow rail-to-rail trigger-run gating: ~64 µs period square.
+  std::vector<double> x(n);
+  const std::size_t period = static_cast<std::size_t>(64e-6 * kEnvRate);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = ((i / (period / 2)) % 2 == 0) ? 1.0 : 0.05;
+  }
+  return x;
+}
+
+std::vector<double> t3_like(std::size_t n, Rng& rng) {
+  // PN chips at ~500 kHz: random binary, aperiodic.
+  std::vector<double> x(n);
+  const std::size_t chip = static_cast<std::size_t>(kEnvRate / 500.0e3);
+  double level = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % chip == 0) level = (rng() & 1) ? 1.0 : 0.05;
+    x[i] = level;
+  }
+  return x;
+}
+
+std::vector<double> t4_like(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / kEnvRate;
+    x[i] = 1.0 + 0.03 * std::sin(kTwoPi * 1.0e3 * t);
+  }
+  return x;
+}
+
+TEST(Identifier, T1Signature) {
+  const TrojanIdentifier id;
+  const auto r = id.identify_envelope(t1_like(4096), kEnvRate);
+  ASSERT_TRUE(r.kind.has_value());
+  EXPECT_EQ(*r.kind, trojan::TrojanKind::kT1AmCarrier);
+  EXPECT_NE(r.rationale.find("radio carrier"), std::string::npos);
+}
+
+TEST(Identifier, T2Signature) {
+  const TrojanIdentifier id;
+  const auto r = id.identify_envelope(t2_like(8192), kEnvRate);
+  ASSERT_TRUE(r.kind.has_value());
+  EXPECT_EQ(*r.kind, trojan::TrojanKind::kT2KeyLeak);
+}
+
+TEST(Identifier, T3Signature) {
+  const TrojanIdentifier id;
+  Rng rng(12);
+  const auto r = id.identify_envelope(t3_like(8192, rng), kEnvRate);
+  ASSERT_TRUE(r.kind.has_value());
+  EXPECT_EQ(*r.kind, trojan::TrojanKind::kT3CdmaLeak);
+}
+
+TEST(Identifier, T4Signature) {
+  const TrojanIdentifier id;
+  const auto r = id.identify_envelope(t4_like(4096), kEnvRate);
+  ASSERT_TRUE(r.kind.has_value());
+  EXPECT_EQ(*r.kind, trojan::TrojanKind::kT4DoS);
+}
+
+TEST(Identifier, ZeroSpanTraceOverload) {
+  dsp::ZeroSpanTrace tr;
+  const auto env = t4_like(2048);
+  tr.magnitude = env;
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    tr.time_s.push_back(static_cast<double>(i) / kEnvRate);
+  }
+  const TrojanIdentifier id;
+  const auto r = id.identify(tr);
+  ASSERT_TRUE(r.kind.has_value());
+  EXPECT_EQ(*r.kind, trojan::TrojanKind::kT4DoS);
+}
+
+TEST(Identifier, UnsupervisedClusteringSeparatesFourKinds) {
+  // The paper's "without full supervision" claim: envelopes of the four
+  // Trojans fall into four clusters with no labels.
+  Rng rng(13);
+  std::vector<ml::EnvelopeFeatures> feats;
+  std::vector<int> truth;
+  for (int rep = 0; rep < 6; ++rep) {
+    feats.push_back(ml::extract_envelope_features(t1_like(4096), kEnvRate));
+    truth.push_back(1);
+    feats.push_back(ml::extract_envelope_features(t2_like(8192), kEnvRate));
+    truth.push_back(2);
+    feats.push_back(
+        ml::extract_envelope_features(t3_like(8192, rng), kEnvRate));
+    truth.push_back(3);
+    feats.push_back(ml::extract_envelope_features(t4_like(4096), kEnvRate));
+    truth.push_back(4);
+  }
+  Rng krng(14);
+  const auto labels = cluster_envelopes(feats, 4, krng);
+  // Clustering is label-permutation-invariant: check purity instead.
+  std::size_t correct = 0;
+  for (int kind = 1; kind <= 4; ++kind) {
+    std::array<int, 4> votes{};
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (truth[i] == kind) ++votes[labels[i]];
+    }
+    correct += static_cast<std::size_t>(
+        *std::max_element(votes.begin(), votes.end()));
+  }
+  const double purity =
+      static_cast<double>(correct) / static_cast<double>(labels.size());
+  EXPECT_GE(purity, 0.9);
+}
+
+}  // namespace
+}  // namespace psa::analysis

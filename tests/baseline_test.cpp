@@ -1,0 +1,194 @@
+// Prior-work baselines: external probes, Euclidean-distance detection,
+// backscattering with PCA + K-means.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/backscatter.hpp"
+#include "common/units.hpp"
+#include "baseline/euclidean_detector.hpp"
+#include "baseline/external_probe.hpp"
+#include "dsp/stats.hpp"
+#include "psa/programmer.hpp"
+
+namespace psa::baseline {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    chip_ = new sim::ChipSimulator(sim::SimTiming{},
+                                   layout::Floorplan::aes_testchip());
+  }
+  static void TearDownTestSuite() {
+    delete chip_;
+    chip_ = nullptr;
+  }
+  static sim::ChipSimulator* chip_;
+};
+
+sim::ChipSimulator* BaselineTest::chip_ = nullptr;
+
+TEST_F(BaselineTest, ProbeSpecs) {
+  const ProbeSpec lf1 = lf1_probe();
+  EXPECT_GT(lf1.radius_um, 100.0);
+  EXPECT_GT(lf1.standoff_um, 300.0);
+  const ProbeSpec icr = icr_hh100_probe();
+  EXPECT_NEAR(icr.radius_um, 50.0, 1e-12);  // 100 µm head diameter
+  EXPECT_LT(icr.standoff_um, lf1.standoff_um);
+}
+
+TEST_F(BaselineTest, ProbePolylineIsClosedCircle) {
+  const Polyline poly = probe_polyline(lf1_probe(), {288.0, 288.0}, 48);
+  EXPECT_EQ(poly.size(), 48u);
+  const double area = std::fabs(signed_area(poly));
+  const double expect = kPi * 300.0 * 300.0;
+  EXPECT_NEAR(area, expect, expect * 0.02);
+}
+
+TEST_F(BaselineTest, ExternalProbeSnrBand) {
+  // Table I: external probe ≈ 14.3 dB — far below the on-chip PSA.
+  const sim::SensorView lf1 = make_probe_view(*chip_, lf1_probe());
+  const auto sig = chip_->measure(lf1, sim::Scenario::baseline(7), 2048);
+  const auto noi = chip_->measure(lf1, sim::Scenario::idle(7), 2048);
+  const double snr = dsp::snr_db(sig.samples, noi.samples);
+  EXPECT_GT(snr, 8.0);
+  EXPECT_LT(snr, 20.0);
+}
+
+TEST_F(BaselineTest, IcrProbeBetterThanLf1WorseThanPsa) {
+  const sim::SensorView lf1 = make_probe_view(*chip_, lf1_probe());
+  const sim::SensorView icr = make_probe_view(*chip_, icr_hh100_probe());
+  const sim::SensorView psa10 = chip_->view_from_program(
+      sensor::CoilProgrammer::standard_sensor(10), "s10");
+  const auto snr_of = [&](const sim::SensorView& v) {
+    const auto sig = chip_->measure(v, sim::Scenario::baseline(9), 2048);
+    const auto noi = chip_->measure(v, sim::Scenario::idle(9), 2048);
+    return dsp::snr_db(sig.samples, noi.samples);
+  };
+  const double s_lf1 = snr_of(lf1);
+  const double s_icr = snr_of(icr);
+  const double s_psa = snr_of(psa10);
+  EXPECT_GT(s_icr, s_lf1 + 5.0);
+  EXPECT_GT(s_psa, s_icr + 3.0);
+}
+
+// ------------------------------------------------------------- euclidean
+
+dsp::Spectrum noisy_spectrum(double base, double bump, Rng& rng) {
+  dsp::Spectrum s;
+  for (int i = 0; i < 64; ++i) {
+    s.freq_hz.push_back(static_cast<double>(i));
+    double m = base + 0.05 * base * rng.gaussian();
+    if (i == 30) m += bump;
+    s.magnitude.push_back(m);
+  }
+  return s;
+}
+
+TEST(Euclidean, DistanceBasics) {
+  Rng rng(1);
+  const dsp::Spectrum a = noisy_spectrum(1.0, 0.0, rng);
+  EXPECT_DOUBLE_EQ(spectrum_distance(a, a), 0.0);
+  const dsp::Spectrum b = noisy_spectrum(1.0, 0.5, rng);
+  EXPECT_GT(spectrum_distance(a, b), 0.0);
+  dsp::Spectrum wrong;
+  wrong.freq_hz = {0.0};
+  wrong.magnitude = {1.0};
+  EXPECT_THROW(spectrum_distance(a, wrong), std::invalid_argument);
+}
+
+TEST(Euclidean, DetectsLargeAnomaly) {
+  Rng rng(2);
+  std::vector<dsp::Spectrum> ref;
+  std::vector<dsp::Spectrum> test;
+  for (int i = 0; i < 20; ++i) {
+    ref.push_back(noisy_spectrum(1.0, 0.0, rng));
+    test.push_back(noisy_spectrum(1.0, 2.0, rng));  // strong bump
+  }
+  const EuclideanDetector det;
+  const EuclideanVerdict v = det.evaluate(ref, test);
+  EXPECT_TRUE(v.detected);
+  EXPECT_GT(v.statistic, 3.0);
+}
+
+TEST(Euclidean, MissesSubtleAnomalyWithFewTraces) {
+  // The method's published weakness: a small Trojan's signature is buried
+  // in trace-to-trace variation at low SNR.
+  Rng rng(3);
+  std::vector<dsp::Spectrum> ref;
+  std::vector<dsp::Spectrum> test;
+  for (int i = 0; i < 8; ++i) {
+    ref.push_back(noisy_spectrum(1.0, 0.0, rng));
+    test.push_back(noisy_spectrum(1.0, 0.01, rng));  // bump << noise
+  }
+  const EuclideanDetector det;
+  EXPECT_FALSE(det.evaluate(ref, test).detected);
+}
+
+TEST(Euclidean, TracesNeededGrowsAsAnomalyShrinks) {
+  Rng rng(4);
+  const EuclideanDetector det;
+  const auto needed = [&](double bump) {
+    std::vector<dsp::Spectrum> ref;
+    std::vector<dsp::Spectrum> test;
+    for (int i = 0; i < 400; ++i) {
+      ref.push_back(noisy_spectrum(1.0, 0.0, rng));
+      test.push_back(noisy_spectrum(1.0, bump, rng));
+    }
+    return det.traces_needed(ref, test);
+  };
+  const std::size_t strong = needed(1.0);
+  const std::size_t weak = needed(0.05);
+  EXPECT_LT(strong, weak);
+  EXPECT_EQ(needed(0.0), 800u);  // never confident -> full pool consumed
+}
+
+TEST(Euclidean, DegenerateInputsSafe) {
+  const EuclideanDetector det;
+  const std::vector<dsp::Spectrum> empty;
+  const EuclideanVerdict v = det.evaluate(empty, empty);
+  EXPECT_FALSE(v.detected);
+}
+
+// ------------------------------------------------------------ backscatter
+
+TEST_F(BaselineTest, BackscatterSeparatesTrojanOnOff) {
+  const BackscatterChannel ch(*chip_);
+  Rng rng(5);
+  std::vector<dsp::Spectrum> obs;
+  for (int i = 0; i < 20; ++i) {
+    obs.push_back(ch.observe(sim::Scenario::baseline(100 + i), 512, rng));
+  }
+  for (int i = 0; i < 20; ++i) {
+    obs.push_back(ch.observe(
+        sim::Scenario::with_trojan(trojan::TrojanKind::kT4DoS, 200 + i), 512,
+        rng));
+  }
+  const BackscatterVerdict v = backscatter_detect(obs, rng);
+  EXPECT_TRUE(v.detected);
+  EXPECT_GT(v.silhouette, 0.6);
+  EXPECT_EQ(v.traces_used, 40u);
+}
+
+TEST_F(BaselineTest, BackscatterQuietWhenNothingChanges) {
+  const BackscatterChannel ch(*chip_);
+  Rng rng(6);
+  std::vector<dsp::Spectrum> obs;
+  for (int i = 0; i < 40; ++i) {
+    obs.push_back(ch.observe(sim::Scenario::baseline(300 + i), 512, rng));
+  }
+  const BackscatterVerdict v = backscatter_detect(obs, rng);
+  EXPECT_FALSE(v.detected);
+}
+
+TEST_F(BaselineTest, BackscatterTooFewTraces) {
+  Rng rng(7);
+  const std::vector<dsp::Spectrum> obs;
+  const BackscatterVerdict v = backscatter_detect(obs, rng);
+  EXPECT_FALSE(v.detected);
+  EXPECT_EQ(v.traces_used, 0u);
+}
+
+}  // namespace
+}  // namespace psa::baseline

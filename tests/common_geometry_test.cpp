@@ -1,0 +1,194 @@
+// Tests for common/geometry and common/grid: the primitives every flux
+// integral in the library rests on.
+#include <gtest/gtest.h>
+
+#include "common/geometry.hpp"
+#include "common/grid.hpp"
+
+namespace psa {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Point{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Point{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+}
+
+TEST(Point, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {4.0, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm({0.0, 0.0}), 0.0);
+}
+
+TEST(Rect, BasicProperties) {
+  const Rect r{{0.0, 0.0}, {4.0, 2.0}};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.area(), 8.0);
+  EXPECT_EQ(r.center(), (Point{2.0, 1.0}));
+  EXPECT_TRUE(r.valid());
+}
+
+TEST(Rect, ContainsIsHalfOpen) {
+  const Rect r{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({0.5, 0.5}));
+  EXPECT_FALSE(r.contains({1.0, 0.5}));
+  EXPECT_FALSE(r.contains({0.5, 1.0}));
+}
+
+TEST(Rect, Intersection) {
+  const Rect a{{0.0, 0.0}, {2.0, 2.0}};
+  const Rect b{{1.0, 1.0}, {3.0, 3.0}};
+  const Rect i = intersect(a, b);
+  EXPECT_EQ(i, (Rect{{1.0, 1.0}, {2.0, 2.0}}));
+  EXPECT_DOUBLE_EQ(i.area(), 1.0);
+}
+
+TEST(Rect, DisjointIntersectionInvalid) {
+  const Rect a{{0.0, 0.0}, {1.0, 1.0}};
+  const Rect b{{2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_FALSE(intersect(a, b).valid());
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, b), 0.0);
+}
+
+TEST(Rect, OverlapFraction) {
+  const Rect a{{0.0, 0.0}, {2.0, 2.0}};
+  const Rect b{{1.0, 0.0}, {3.0, 2.0}};
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, a), 1.0);
+}
+
+TEST(Shoelace, UnitSquareCcw) {
+  const Polyline sq = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_DOUBLE_EQ(signed_area(sq), 1.0);
+}
+
+TEST(Shoelace, UnitSquareCwIsNegative) {
+  const Polyline sq = {{0, 0}, {0, 1}, {1, 1}, {1, 0}};
+  EXPECT_DOUBLE_EQ(signed_area(sq), -1.0);
+}
+
+TEST(Shoelace, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(signed_area(Polyline{{0, 0}, {1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(signed_area(Polyline{}), 0.0);
+}
+
+TEST(Perimeter, Square) {
+  const Polyline sq = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_DOUBLE_EQ(perimeter(sq), 4.0);
+}
+
+TEST(WindingNumber, InsideCcwSquare) {
+  const Polyline sq = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_EQ(winding_number(sq, {2.0, 2.0}), 1);
+}
+
+TEST(WindingNumber, OutsideIsZero) {
+  const Polyline sq = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_EQ(winding_number(sq, {5.0, 2.0}), 0);
+  EXPECT_EQ(winding_number(sq, {-1.0, -1.0}), 0);
+}
+
+TEST(WindingNumber, CwSquareIsMinusOne) {
+  const Polyline sq = {{0, 0}, {0, 4}, {4, 4}, {4, 0}};
+  EXPECT_EQ(winding_number(sq, {2.0, 2.0}), -1);
+}
+
+TEST(WindingNumber, TwoTurnLoopCountsTwice) {
+  // Outer square traversed, then an inner square, connected: the inner
+  // region winds twice. Mimics a 2-turn PSA coil (Fig. 1b of the paper).
+  const Polyline two_turns = {
+      {0, 0}, {6, 0}, {6, 6}, {0, 6}, {0, 1},   // outer turn
+      {1, 1}, {5, 1}, {5, 5}, {1, 5}, {1, 1},   // inner turn
+      {0, 1},                                    // back to close
+  };
+  EXPECT_EQ(winding_number(two_turns, {3.0, 3.0}), 2);
+  // Between the turns: only the outer loop encloses.
+  EXPECT_EQ(winding_number(two_turns, {0.5, 3.0}), 1);
+  EXPECT_EQ(winding_number(two_turns, {7.0, 3.0}), 0);
+}
+
+TEST(BoundingBox, CoversAllPoints) {
+  const Polyline pts = {{1, 5}, {-2, 3}, {4, -1}};
+  const Rect b = bounding_box(pts);
+  EXPECT_EQ(b.lo, (Point{-2.0, -1.0}));
+  EXPECT_EQ(b.hi, (Point{4.0, 5.0}));
+}
+
+// ------------------------------------------------------------------ Grid2D
+
+TEST(Grid2D, ConstructionAndIndexing) {
+  Grid2D g(4, 2, Rect{{0, 0}, {8, 4}});
+  EXPECT_EQ(g.nx(), 4u);
+  EXPECT_EQ(g.ny(), 2u);
+  EXPECT_DOUBLE_EQ(g.dx(), 2.0);
+  EXPECT_DOUBLE_EQ(g.dy(), 2.0);
+  EXPECT_DOUBLE_EQ(g.cell_area(), 4.0);
+  g.at(3, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(g.at(3, 1), 7.0);
+  EXPECT_THROW(g.at(4, 0), std::out_of_range);
+}
+
+TEST(Grid2D, RejectsDegenerateInputs) {
+  EXPECT_THROW(Grid2D(0, 2, Rect{{0, 0}, {1, 1}}), std::invalid_argument);
+  EXPECT_THROW(Grid2D(2, 2, Rect{{0, 0}, {0, 1}}), std::invalid_argument);
+}
+
+TEST(Grid2D, CellCenters) {
+  const Grid2D g(2, 2, Rect{{0, 0}, {4, 4}});
+  EXPECT_EQ(g.cell_center(0, 0), (Point{1.0, 1.0}));
+  EXPECT_EQ(g.cell_center(1, 1), (Point{3.0, 3.0}));
+}
+
+TEST(Grid2D, DepositConservesMass) {
+  Grid2D g(8, 8, Rect{{0, 0}, {8, 8}});
+  g.deposit_uniform(Rect{{1.5, 1.5}, {5.5, 3.5}}, 100.0);
+  EXPECT_NEAR(g.total(), 100.0, 1e-9);
+}
+
+TEST(Grid2D, DepositClipsOutsideExtent) {
+  Grid2D g(4, 4, Rect{{0, 0}, {4, 4}});
+  // Half the source rectangle hangs off the grid; only the inside half of
+  // the mass should land.
+  g.deposit_uniform(Rect{{2.0, 0.0}, {6.0, 4.0}}, 100.0);
+  EXPECT_NEAR(g.total(), 50.0, 1e-9);
+}
+
+TEST(Grid2D, DepositIsProportionalToOverlap) {
+  Grid2D g(2, 1, Rect{{0, 0}, {2, 1}});
+  g.deposit_uniform(Rect{{0.0, 0.0}, {2.0, 1.0}}, 10.0);
+  EXPECT_NEAR(g.at(0, 0), 5.0, 1e-9);
+  EXPECT_NEAR(g.at(1, 0), 5.0, 1e-9);
+}
+
+TEST(Grid2D, DotProduct) {
+  Grid2D a(2, 1, Rect{{0, 0}, {2, 1}});
+  Grid2D b(2, 1, Rect{{0, 0}, {2, 1}});
+  a.at(0, 0) = 2.0;
+  a.at(1, 0) = 3.0;
+  b.at(0, 0) = 4.0;
+  b.at(1, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(a.dot(b), 23.0);
+}
+
+TEST(Grid2D, DotShapeMismatchThrows) {
+  Grid2D a(2, 1, Rect{{0, 0}, {2, 1}});
+  Grid2D b(1, 2, Rect{{0, 0}, {1, 2}});
+  EXPECT_THROW(a.dot(b), std::invalid_argument);
+}
+
+TEST(Grid2D, ScaleMultipliesEveryCell) {
+  Grid2D g(2, 2, Rect{{0, 0}, {2, 2}});
+  g.at(0, 0) = 1.0;
+  g.at(1, 1) = 2.0;
+  g.scale(3.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 6.0);
+  EXPECT_DOUBLE_EQ(g.total(), 9.0);
+}
+
+}  // namespace
+}  // namespace psa

@@ -1,0 +1,150 @@
+// FFT correctness: impulse/sine spectra, Parseval, linearity, round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+
+namespace psa::dsp {
+namespace {
+
+TEST(FftBasics, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft, RejectsNonPow2) {
+  std::vector<cplx> data(12);
+  EXPECT_THROW(fft_inplace(data), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseIsFlat) {
+  std::vector<cplx> data(64, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft_inplace(data);
+  for (const cplx& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcOnly) {
+  std::vector<cplx> data(32, {2.0, 0.0});
+  fft_inplace(data);
+  EXPECT_NEAR(std::abs(data[0]), 64.0, 1e-10);
+  for (std::size_t k = 1; k < data.size(); ++k) {
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, SinePeaksAtItsBin) {
+  const std::size_t n = 256;
+  const std::size_t bin = 17;
+  std::vector<cplx> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = std::sin(kTwoPi * static_cast<double>(bin * i) /
+                       static_cast<double>(n));
+  }
+  fft_inplace(data);
+  // Sine amplitude 1 -> |X[bin]| = n/2.
+  EXPECT_NEAR(std::abs(data[bin]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - bin]), static_cast<double>(n) / 2.0, 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin || k == n - bin) continue;
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-8) << "bin " << k;
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(31);
+  const std::size_t n = 512;
+  std::vector<cplx> data(n);
+  double time_energy = 0.0;
+  for (auto& c : data) {
+    c = {rng.gaussian(), rng.gaussian()};
+    time_energy += std::norm(c);
+  }
+  fft_inplace(data);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              time_energy * 1e-10);
+}
+
+TEST(Fft, Linearity) {
+  Rng rng(77);
+  const std::size_t n = 128;
+  std::vector<cplx> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {rng.gaussian(), 0.0};
+    b[i] = {rng.gaussian(), 0.0};
+    sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  fft_inplace(a);
+  fft_inplace(b);
+  fft_inplace(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx expect = 2.0 * a[k] + 3.0 * b[k];
+    EXPECT_NEAR(std::abs(sum[k] - expect), 0.0, 1e-9);
+  }
+}
+
+TEST(Ifft, RoundTripRestoresSignal) {
+  Rng rng(5);
+  const std::size_t n = 1024;
+  std::vector<cplx> data(n);
+  std::vector<cplx> orig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {rng.gaussian(), rng.gaussian()};
+    orig[i] = data[i];
+  }
+  fft_inplace(data);
+  ifft_inplace(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(data[i] - orig[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Rfft, MatchesFullFftHalf) {
+  Rng rng(9);
+  const std::size_t n = 256;
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.gaussian();
+  const std::vector<cplx> half = rfft(x);
+  ASSERT_EQ(half.size(), n / 2 + 1);
+
+  std::vector<cplx> full(x.begin(), x.end());
+  fft_inplace(full);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    EXPECT_NEAR(std::abs(half[k] - full[k]), 0.0, 1e-10);
+  }
+}
+
+TEST(Rfft, IrfftRoundTrip) {
+  Rng rng(21);
+  const std::size_t n = 512;
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.gaussian();
+  const std::vector<double> y = irfft(rfft(x), n);
+  ASSERT_EQ(y.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], x[i], 1e-10);
+}
+
+TEST(Irfft, RejectsBadSizes) {
+  std::vector<cplx> half(9);
+  EXPECT_THROW(irfft(half, 32), std::invalid_argument);  // needs 17
+  EXPECT_THROW(irfft(half, 15), std::invalid_argument);  // not pow2
+}
+
+}  // namespace
+}  // namespace psa::dsp

@@ -1,0 +1,126 @@
+// Goertzel single-bin DFT and the zero-span envelope extractor — the
+// instrument mode behind the paper's Fig. 5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "dsp/goertzel.hpp"
+
+namespace psa::dsp {
+namespace {
+
+std::vector<double> am_signal(std::size_t n, double fs, double fc, double fm,
+                              double depth) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = (1.0 + depth * std::sin(kTwoPi * fm * t)) *
+           std::sin(kTwoPi * fc * t);
+  }
+  return x;
+}
+
+TEST(Goertzel, SineAmplitudeAtItsFrequency) {
+  const double fs = 1.0e6;
+  const double f = 50.0e3;
+  std::vector<double> x(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.7 * std::sin(kTwoPi * f * static_cast<double>(i) / fs);
+  }
+  EXPECT_NEAR(std::abs(goertzel(x, fs, f)), 0.7, 1e-3);
+}
+
+TEST(Goertzel, RejectsDistantFrequency) {
+  const double fs = 1.0e6;
+  std::vector<double> x(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(kTwoPi * 50.0e3 * static_cast<double>(i) / fs);
+  }
+  EXPECT_LT(std::abs(goertzel(x, fs, 200.0e3)), 0.01);
+}
+
+TEST(Goertzel, MatchesMagnitudeForTwoTones) {
+  const double fs = 1.0e6;
+  std::vector<double> x(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = 1.0 * std::sin(kTwoPi * 40.0e3 * t) +
+           0.25 * std::sin(kTwoPi * 120.0e3 * t);
+  }
+  EXPECT_NEAR(std::abs(goertzel(x, fs, 40.0e3)), 1.0, 5e-3);
+  EXPECT_NEAR(std::abs(goertzel(x, fs, 120.0e3)), 0.25, 5e-3);
+}
+
+TEST(Goertzel, RejectsBadInputs) {
+  std::vector<double> empty;
+  EXPECT_THROW(goertzel(empty, 100.0, 10.0), std::invalid_argument);
+}
+
+TEST(ZeroSpan, ConstantToneGivesFlatEnvelope) {
+  const double fs = 1.0e6;
+  std::vector<double> x(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.5 * std::sin(kTwoPi * 100.0e3 * static_cast<double>(i) / fs);
+  }
+  const ZeroSpanTrace tr = zero_span(x, fs, 100.0e3, 512, 128);
+  ASSERT_GT(tr.magnitude.size(), 10u);
+  for (double m : tr.magnitude) EXPECT_NEAR(m, 0.5, 0.02);
+}
+
+TEST(ZeroSpan, RecoversAmModulationEnvelope) {
+  const double fs = 1.0e6;
+  const double fc = 200.0e3;
+  const double fm = 2.0e3;  // slow AM
+  const auto x = am_signal(100000, fs, fc, fm, 0.8);
+  // Block must be much shorter than the modulation period (500 µs) for the
+  // envelope to track: 64 samples = 64 µs.
+  const ZeroSpanTrace tr = zero_span(x, fs, fc, 64, 64);
+  // The envelope should swing between (1-0.8) and (1+0.8).
+  const auto [mn, mx] =
+      std::minmax_element(tr.magnitude.begin(), tr.magnitude.end());
+  EXPECT_NEAR(*mn, 0.2, 0.1);
+  EXPECT_NEAR(*mx, 1.8, 0.1);
+}
+
+TEST(ZeroSpan, EnvelopePeriodMatchesModulation) {
+  const double fs = 1.0e6;
+  const double fm = 5.0e3;
+  const auto x = am_signal(100000, fs, 150.0e3, fm, 0.9);
+  const ZeroSpanTrace tr = zero_span(x, fs, 150.0e3, 256, 32);
+  // Find the envelope's period by autocorrelation of mean-removed samples.
+  const double env_rate = 1.0 / (tr.time_s[1] - tr.time_s[0]);
+  // Count zero crossings of the mean-removed envelope: 2 per period.
+  double mean = 0.0;
+  for (double m : tr.magnitude) mean += m;
+  mean /= static_cast<double>(tr.magnitude.size());
+  int crossings = 0;
+  for (std::size_t i = 1; i < tr.magnitude.size(); ++i) {
+    if ((tr.magnitude[i - 1] - mean) * (tr.magnitude[i] - mean) < 0.0) {
+      ++crossings;
+    }
+  }
+  const double duration =
+      static_cast<double>(tr.magnitude.size()) / env_rate;
+  const double est_fm = static_cast<double>(crossings) / (2.0 * duration);
+  EXPECT_NEAR(est_fm, fm, fm * 0.15);
+}
+
+TEST(ZeroSpan, TimeAxisMonotonic) {
+  std::vector<double> x(5000, 0.1);
+  const ZeroSpanTrace tr = zero_span(x, 1.0e6, 50.0e3, 256, 64);
+  for (std::size_t i = 1; i < tr.time_s.size(); ++i) {
+    EXPECT_GT(tr.time_s[i], tr.time_s[i - 1]);
+  }
+  EXPECT_NEAR(tr.time_s[1] - tr.time_s[0], 64.0 / 1.0e6, 1e-12);
+}
+
+TEST(ZeroSpan, RejectsBadBlocks) {
+  std::vector<double> x(100, 0.0);
+  EXPECT_THROW(zero_span(x, 1e6, 1e3, 0, 10), std::invalid_argument);
+  EXPECT_THROW(zero_span(x, 1e6, 1e3, 200, 10), std::invalid_argument);
+  EXPECT_THROW(zero_span(x, 1e6, 1e3, 50, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psa::dsp

@@ -1,0 +1,182 @@
+// Amplitude-spectrum accuracy, window properties, resampling and averaging —
+// the instrument math behind every figure reproduction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/window.hpp"
+
+namespace psa::dsp {
+namespace {
+
+std::vector<double> make_sine(std::size_t n, double fs, double f, double amp) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(kTwoPi * f * static_cast<double>(i) / fs);
+  }
+  return x;
+}
+
+TEST(Window, CoherentGains) {
+  const auto rect = make_window(WindowKind::kRectangular, 1024);
+  EXPECT_NEAR(coherent_gain(rect), 1.0, 1e-12);
+  const auto hann = make_window(WindowKind::kHann, 1024);
+  EXPECT_NEAR(coherent_gain(hann), 0.5, 1e-3);
+  const auto ft = make_window(WindowKind::kFlatTop, 1024);
+  EXPECT_NEAR(coherent_gain(ft), 0.2156, 2e-3);
+}
+
+TEST(Window, EnbwOrdering) {
+  const auto rect = make_window(WindowKind::kRectangular, 512);
+  const auto hann = make_window(WindowKind::kHann, 512);
+  const auto ft = make_window(WindowKind::kFlatTop, 512);
+  EXPECT_NEAR(enbw_bins(rect), 1.0, 1e-12);
+  EXPECT_NEAR(enbw_bins(hann), 1.5, 0.01);
+  EXPECT_GT(enbw_bins(ft), enbw_bins(hann));  // flat-top is wide
+}
+
+TEST(Window, ApplyMismatchThrows) {
+  std::vector<double> sig(10);
+  const auto w = make_window(WindowKind::kHann, 8);
+  EXPECT_THROW(apply_window(sig, w), std::invalid_argument);
+}
+
+TEST(AmplitudeSpectrum, OnBinSineAmplitudeExact) {
+  const double fs = 1000.0;
+  const std::size_t n = 1024;
+  // Bin-centred frequency.
+  const double f = fs * 64.0 / static_cast<double>(n);
+  const auto x = make_sine(n, fs, f, 3.0);
+  const Spectrum s = amplitude_spectrum(x, fs, WindowKind::kRectangular);
+  EXPECT_NEAR(s.value_at(f), 3.0, 1e-9);
+}
+
+TEST(AmplitudeSpectrum, FlatTopAccurateOffBin) {
+  const double fs = 1000.0;
+  const std::size_t n = 1024;
+  // Deliberately straddle two bins: flat-top must still read ~the true
+  // amplitude (that's why instruments use it).
+  const double f = fs * 64.37 / static_cast<double>(n);
+  const auto x = make_sine(n, fs, f, 2.0);
+  const Spectrum s = amplitude_spectrum(x, fs, WindowKind::kFlatTop);
+  const std::size_t pk = s.peak_bin(f - 5.0, f + 5.0);
+  EXPECT_NEAR(s.magnitude[pk], 2.0, 0.02);
+}
+
+TEST(AmplitudeSpectrum, DcLevel) {
+  std::vector<double> x(512, 1.5);
+  const Spectrum s = amplitude_spectrum(x, 100.0, WindowKind::kRectangular);
+  EXPECT_NEAR(s.magnitude[0], 1.5, 1e-9);
+}
+
+TEST(AmplitudeSpectrum, FrequencyAxis) {
+  std::vector<double> x(256, 0.0);
+  const Spectrum s = amplitude_spectrum(x, 256.0, WindowKind::kHann);
+  ASSERT_EQ(s.size(), 129u);
+  EXPECT_DOUBLE_EQ(s.freq_hz.front(), 0.0);
+  EXPECT_DOUBLE_EQ(s.freq_hz.back(), 128.0);
+  EXPECT_DOUBLE_EQ(s.freq_hz[1], 1.0);
+}
+
+TEST(AmplitudeSpectrum, RejectsBadInputs) {
+  std::vector<double> empty;
+  EXPECT_THROW(amplitude_spectrum(empty, 100.0), std::invalid_argument);
+  std::vector<double> x(8, 0.0);
+  EXPECT_THROW(amplitude_spectrum(x, -1.0), std::invalid_argument);
+}
+
+TEST(Spectrum, NearestBinAndPeak) {
+  Spectrum s;
+  s.freq_hz = {0.0, 10.0, 20.0, 30.0};
+  s.magnitude = {0.1, 0.5, 2.0, 0.3};
+  EXPECT_EQ(s.nearest_bin(12.0), 1u);
+  EXPECT_EQ(s.nearest_bin(16.0), 2u);
+  EXPECT_EQ(s.peak_bin(0.0, 30.0), 2u);
+  EXPECT_EQ(s.peak_bin(25.0, 30.0), 3u);
+}
+
+TEST(Spectrum, ValueAtInterpolates) {
+  Spectrum s;
+  s.freq_hz = {0.0, 10.0};
+  s.magnitude = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(s.value_at(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.value_at(-1.0), 1.0);   // clamped
+  EXPECT_DOUBLE_EQ(s.value_at(99.0), 3.0);   // clamped
+}
+
+TEST(Spectrum, MagnitudeDb) {
+  Spectrum s;
+  s.freq_hz = {0.0, 1.0};
+  s.magnitude = {1.0, 0.1};
+  const auto db = s.magnitude_db();
+  EXPECT_NEAR(db[0], 0.0, 1e-12);
+  EXPECT_NEAR(db[1], -20.0, 1e-9);
+}
+
+TEST(Resample, UniformGrid) {
+  Spectrum s;
+  s.freq_hz = {0.0, 50.0, 100.0};
+  s.magnitude = {0.0, 5.0, 10.0};
+  const Spectrum r = resample(s, 100.0, 5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.freq_hz[1], 25.0);
+  EXPECT_DOUBLE_EQ(r.magnitude[1], 2.5);
+  EXPECT_DOUBLE_EQ(r.magnitude[4], 10.0);
+}
+
+TEST(Average, PointwiseMean) {
+  Spectrum a;
+  a.freq_hz = {0.0, 1.0};
+  a.magnitude = {1.0, 3.0};
+  Spectrum b = a;
+  b.magnitude = {3.0, 5.0};
+  const std::vector<Spectrum> v = {a, b};
+  const Spectrum avg = average_spectra(v);
+  EXPECT_DOUBLE_EQ(avg.magnitude[0], 2.0);
+  EXPECT_DOUBLE_EQ(avg.magnitude[1], 4.0);
+}
+
+TEST(Average, ReducesNoiseFloorVariance) {
+  Rng rng(4);
+  const double fs = 1000.0;
+  std::vector<Spectrum> many;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<double> x(1024);
+    for (double& v : x) v = rng.gaussian();
+    many.push_back(amplitude_spectrum(x, fs, WindowKind::kHann));
+  }
+  const Spectrum avg = average_spectra(many);
+  // Variance across bins of the averaged floor is far below a single sweep.
+  double var1 = 0.0;
+  double varA = 0.0;
+  double m1 = 0.0;
+  double mA = 0.0;
+  for (std::size_t k = 1; k < avg.size() - 1; ++k) {
+    m1 += many[0].magnitude[k];
+    mA += avg.magnitude[k];
+  }
+  m1 /= static_cast<double>(avg.size() - 2);
+  mA /= static_cast<double>(avg.size() - 2);
+  for (std::size_t k = 1; k < avg.size() - 1; ++k) {
+    var1 += (many[0].magnitude[k] - m1) * (many[0].magnitude[k] - m1);
+    varA += (avg.magnitude[k] - mA) * (avg.magnitude[k] - mA);
+  }
+  EXPECT_LT(varA, var1 / 4.0);
+}
+
+TEST(DifferenceDb, KnownRatio) {
+  Spectrum a;
+  a.freq_hz = {0.0, 1.0};
+  a.magnitude = {10.0, 1.0};
+  Spectrum b = a;
+  b.magnitude = {1.0, 1.0};
+  const auto diff = difference_db(a, b);
+  EXPECT_NEAR(diff[0], 20.0, 1e-9);
+  EXPECT_NEAR(diff[1], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace psa::dsp

@@ -1,0 +1,132 @@
+// Statistics used by the SNR metric (Eq. 1), the robust detector, and the
+// envelope classifier.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dsp/stats.hpp"
+
+namespace psa::dsp {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(x), 2.5);
+  EXPECT_DOUBLE_EQ(variance(x), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(x), std::sqrt(1.25));
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(rms(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+}
+
+TEST(Stats, RmsOfSine) {
+  std::vector<double> x(10000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 2.0 * std::sin(kTwoPi * static_cast<double>(i) / 100.0);
+  }
+  EXPECT_NEAR(rms(x), 2.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(Stats, SnrDbEquationOne) {
+  // Eq. (1): SNR = 20 log10(Vrms_signal / Vrms_noise).
+  const std::vector<double> sig(100, 10.0);
+  const std::vector<double> noi(100, 0.1);
+  EXPECT_NEAR(snr_db(sig, noi), 40.0, 1e-9);
+}
+
+TEST(Stats, SnrZeroNoiseSaturates) {
+  const std::vector<double> sig(10, 1.0);
+  const std::vector<double> noi(10, 0.0);
+  EXPECT_GE(snr_db(sig, noi), 300.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, MadRobustToOutlier) {
+  const std::vector<double> x = {1.0, 1.1, 0.9, 1.05, 0.95, 100.0};
+  EXPECT_LT(median_abs_deviation(x), 0.2);
+}
+
+TEST(Stats, Argmax) {
+  const std::vector<double> x = {1.0, 5.0, 3.0};
+  EXPECT_EQ(argmax(x), 1u);
+  EXPECT_EQ(argmax(std::vector<double>{}), 0u);
+}
+
+TEST(Autocorrelation, UnityAtLagZero) {
+  const std::vector<double> x = {1.0, -2.0, 0.5, 3.0, -1.0};
+  const auto r = autocorrelation(x, 3);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> x(1000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(kTwoPi * static_cast<double>(i) / 50.0);
+  }
+  const auto r = autocorrelation(x, 200);
+  EXPECT_GT(r[50], 0.9);
+  EXPECT_LT(r[25], 0.1);  // anti-phase
+}
+
+TEST(DominantPeriod, FindsSinePeriod) {
+  std::vector<double> x(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(kTwoPi * static_cast<double>(i) / 73.0);
+  }
+  const std::size_t lag = dominant_period(x, 5, 500);
+  EXPECT_NEAR(static_cast<double>(lag), 73.0, 2.0);
+}
+
+TEST(DominantPeriod, WhiteNoiseHasNone) {
+  // Deterministic pseudo-noise via an LCG to avoid test flake.
+  std::vector<double> x(2000);
+  std::uint64_t s = 12345;
+  for (double& v : x) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    v = static_cast<double>(s >> 40) / static_cast<double>(1 << 24) - 0.5;
+  }
+  EXPECT_EQ(dominant_period(x, 5, 500, 0.5), 0u);
+}
+
+TEST(SpectralFlatness, WhiteVsTonal) {
+  const std::vector<double> flat(64, 1.0);
+  EXPECT_NEAR(spectral_flatness(flat), 1.0, 1e-9);
+  std::vector<double> tonal(64, 1e-12);
+  tonal[10] = 1.0;
+  EXPECT_LT(spectral_flatness(tonal), 0.05);
+}
+
+TEST(CrestFactor, SineVsConstant) {
+  std::vector<double> sine(1000);
+  for (std::size_t i = 0; i < sine.size(); ++i) {
+    sine[i] = std::sin(kTwoPi * static_cast<double>(i) / 100.0);
+  }
+  EXPECT_NEAR(crest_factor(sine), std::sqrt(2.0), 0.01);
+  const std::vector<double> dc(100, 2.0);
+  EXPECT_NEAR(crest_factor(dc), 1.0, 1e-12);
+}
+
+TEST(HighFraction, SquareWaveDuty) {
+  std::vector<double> sq(100, 0.0);
+  for (std::size_t i = 0; i < 30; ++i) sq[i] = 1.0;
+  EXPECT_NEAR(high_fraction(sq), 0.3, 1e-12);
+}
+
+TEST(HighFraction, ConstantIsOne) {
+  const std::vector<double> c(10, 5.0);
+  EXPECT_DOUBLE_EQ(high_fraction(c), 1.0);
+}
+
+}  // namespace
+}  // namespace psa::dsp

@@ -1,0 +1,245 @@
+// EM physics: dipole kernel, flux maps (including the self-cancellation the
+// PSA exists to avoid), noise model, induced voltage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "em/calibration.hpp"
+#include "em/dipole.hpp"
+#include "em/fluxmap.hpp"
+#include "em/induced.hpp"
+#include "em/noise.hpp"
+
+namespace psa::em {
+namespace {
+
+TEST(Dipole, PositiveUnderneath) {
+  EXPECT_GT(dipole_bz(0.0, 40.0), 0.0);
+  EXPECT_GT(dipole_bz(20.0, 40.0), 0.0);
+}
+
+TEST(Dipole, SignFlipsAtSqrt2H) {
+  const double h = 40.0;
+  const double flip = std::sqrt(2.0) * h;
+  EXPECT_GT(dipole_bz(flip - 1.0, h), 0.0);
+  EXPECT_LT(dipole_bz(flip + 1.0, h), 0.0);
+  // At the exact boundary the kernel is zero up to floating-point residue;
+  // compare against a nearby field value rather than an absolute epsilon.
+  EXPECT_LT(std::fabs(dipole_bz(flip, h)),
+            1e-6 * std::fabs(dipole_bz(h, h)));
+}
+
+TEST(Dipole, DecaysWithDistance) {
+  const double h = 40.0;
+  EXPECT_GT(std::fabs(dipole_bz(100.0, h)), std::fabs(dipole_bz(200.0, h)));
+  EXPECT_GT(std::fabs(dipole_bz(200.0, h)), std::fabs(dipole_bz(400.0, h)));
+}
+
+TEST(Dipole, FieldWeakerWhenFarther) {
+  EXPECT_GT(dipole_bz(0.0, 40.0), dipole_bz(0.0, 500.0));
+}
+
+TEST(DiskFlux, PeaksAtOptimalRadius) {
+  const double h = 40.0;
+  const double r_opt = optimal_disk_radius_um(h);
+  EXPECT_NEAR(r_opt, std::sqrt(2.0) * h, 1e-12);
+  const double at_opt = disk_flux(r_opt, h);
+  EXPECT_GT(at_opt, disk_flux(r_opt * 0.5, h));
+  EXPECT_GT(at_opt, disk_flux(r_opt * 2.0, h));
+}
+
+TEST(DiskFlux, VanishesAtExtremes) {
+  EXPECT_DOUBLE_EQ(disk_flux(0.0, 40.0), 0.0);
+  EXPECT_LT(disk_flux(1.0e6, 40.0), disk_flux(57.0, 40.0) * 1e-3);
+}
+
+TEST(DiskFlux, WholePlaneNetFluxIsZeroInTheLimit) {
+  // Φ(R) → 0 as R → ∞: a coil covering "everything" captures nothing.
+  // This is the physics behind the single-coil baseline's weakness.
+  const double h = 40.0;
+  double prev = disk_flux(100.0, h);
+  for (double r = 200.0; r <= 3200.0; r *= 2.0) {
+    const double cur = disk_flux(r, h);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+Polyline square_coil(Point lo, double side) {
+  return {lo, {lo.x + side, lo.y}, {lo.x + side, lo.y + side},
+          {lo.x, lo.y + side}};
+}
+
+TEST(FluxMap, MatchesAnalyticDiskForCentredSource) {
+  // A square coil and a dipole at its centre: numeric flux should be close
+  // to the analytic disk value for the equal-area radius.
+  const Rect die{{0, 0}, {576, 576}};
+  const double side = 160.0;
+  const Polyline coil = square_coil({208.0, 208.0}, side);
+  FluxMap::Params params;
+  params.dipole_height_um = 40.0;
+  params.screening_um = 0.0;  // compare against the unscreened analytic form
+  params.winding_raster = 128;
+  params.source_nx = 36;
+  params.source_ny = 36;
+  const FluxMap fm = FluxMap::compute(coil, die, params);
+  // Source cell nearest the coil centre (288, 288): cell (18,18) is centred
+  // at 296 µm — close enough at this resolution.
+  const std::size_t ix = 18, iy = 18;
+  const double phi = fm.flux_at(ix, iy);
+  const double r_equal = side / std::sqrt(kPi);
+  const double analytic = disk_flux(r_equal, 40.0);
+  EXPECT_NEAR(phi, analytic, analytic * 0.2);
+}
+
+TEST(FluxMap, SelfCancellationWholeDieVsMatched) {
+  // Per-dipole flux: a die-sized loop captures *less* flux from a central
+  // source than a loop matched to the return radius — the paper's
+  // self-cancellation argument.
+  const Rect die{{0, 0}, {576, 576}};
+  FluxMap::Params params;
+  params.dipole_height_um = 40.0;
+  const FluxMap small = FluxMap::compute(square_coil({208, 208}, 160), die,
+                                         params);
+  const FluxMap big = FluxMap::compute(square_coil({8, 8}, 560), die, params);
+  const double phi_small = std::fabs(small.flux_at(18, 18));
+  const double phi_big = std::fabs(big.flux_at(18, 18));
+  EXPECT_GT(phi_small, phi_big);
+}
+
+TEST(FluxMap, SignedAreaMatchesGeometry) {
+  const Rect die{{0, 0}, {576, 576}};
+  FluxMap::Params params;
+  const FluxMap fm = FluxMap::compute(square_coil({100, 100}, 200), die,
+                                      params);
+  EXPECT_NEAR(fm.signed_area_m2(), 200e-6 * 200e-6,
+              200e-6 * 200e-6 * 0.05);
+  EXPECT_NEAR(fm.gross_area_m2(), std::fabs(fm.signed_area_m2()), 1e-12);
+}
+
+TEST(FluxMap, GainForUniformVsLocalizedDensity) {
+  const Rect die{{0, 0}, {576, 576}};
+  FluxMap::Params params;
+  const FluxMap fm = FluxMap::compute(square_coil({208, 208}, 160), die,
+                                      params);
+  Grid2D local(36, 36, die);
+  local.at(18, 18) = 100.0;  // all cells right under the coil
+  Grid2D remote(36, 36, die);
+  remote.at(2, 2) = 100.0;  // far corner
+  EXPECT_GT(std::fabs(fm.gain_for(local)), std::fabs(fm.gain_for(remote)));
+}
+
+TEST(FluxMap, GainIsDensityNormalized) {
+  const Rect die{{0, 0}, {576, 576}};
+  FluxMap::Params params;
+  const FluxMap fm = FluxMap::compute(square_coil({208, 208}, 160), die,
+                                      params);
+  Grid2D d(36, 36, die);
+  d.at(18, 18) = 1.0;
+  const double g1 = fm.gain_for(d);
+  d.scale(50.0);
+  EXPECT_NEAR(fm.gain_for(d), g1, std::fabs(g1) * 1e-12);
+}
+
+TEST(FluxMap, EmptyDensityGivesZero) {
+  const Rect die{{0, 0}, {576, 576}};
+  FluxMap::Params params;
+  const FluxMap fm = FluxMap::compute(square_coil({208, 208}, 160), die,
+                                      params);
+  const Grid2D empty(36, 36, die);
+  EXPECT_DOUBLE_EQ(fm.gain_for(empty), 0.0);
+}
+
+TEST(FluxMap, RejectsDegenerateCoil) {
+  const Rect die{{0, 0}, {576, 576}};
+  FluxMap::Params params;
+  EXPECT_THROW(FluxMap::compute(Polyline{{0, 0}, {1, 1}}, die, params),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- noise
+
+TEST(Noise, JohnsonFormula) {
+  // 1 kΩ at 300 K over 1 MHz: sqrt(4kTRB) ≈ 4.07 µV.
+  EXPECT_NEAR(johnson_vrms(1000.0, 300.0, 1.0e6), 4.07e-6, 0.05e-6);
+}
+
+TEST(Noise, RmsScalesWithResistance) {
+  Rng rng1(1), rng2(1);
+  NoiseParams lo, hi;
+  lo.coil_resistance_ohm = 50.0;
+  hi.coil_resistance_ohm = 5000.0;
+  lo.include_spur = hi.include_spur = false;
+  lo.signed_area_m2 = hi.signed_area_m2 = 0.0;
+  const auto nl = generate_noise(lo, 20000, rng1);
+  const auto nh = generate_noise(hi, 20000, rng2);
+  double sl = 0.0, sh = 0.0;
+  for (double v : nl) sl += v * v;
+  for (double v : nh) sh += v * v;
+  EXPECT_GT(sh, sl);
+}
+
+TEST(Noise, AmbientScalesWithArea) {
+  Rng rng1(2), rng2(2);
+  NoiseParams small, big;
+  small.signed_area_m2 = 1e-9;
+  big.signed_area_m2 = 1e-6;
+  small.include_spur = big.include_spur = false;
+  const auto ns = generate_noise(small, 20000, rng1);
+  const auto nb = generate_noise(big, 20000, rng2);
+  double ss = 0.0, sb = 0.0;
+  for (double v : ns) ss += v * v;
+  for (double v : nb) sb += v * v;
+  EXPECT_GT(sb, ss * 10.0);
+}
+
+TEST(Noise, DeterministicPerRng) {
+  Rng rng1(3), rng2(3);
+  NoiseParams p;
+  const auto a = generate_noise(p, 100, rng1);
+  const auto b = generate_noise(p, 100, rng2);
+  EXPECT_EQ(a, b);
+}
+
+// ----------------------------------------------------------------- induced
+
+TEST(Induced, ChargeConservedPerCycle) {
+  const std::vector<double> toggles = {10.0, 0.0, 5.0};
+  const double fs = 1.056e9;
+  const auto current = toggles_to_current(toggles, 32, fs);
+  ASSERT_EQ(current.size(), 96u);
+  // Integral of current over cycle 0 = charge = toggles * Q.
+  double q0 = 0.0;
+  for (std::size_t i = 0; i < 32; ++i) q0 += current[i] / fs;
+  EXPECT_NEAR(q0, 10.0 * kChargePerToggle, 1e-20);
+  for (std::size_t i = 32; i < 64; ++i) EXPECT_DOUBLE_EQ(current[i], 0.0);
+}
+
+TEST(Induced, FluxAccumulationIsLinear) {
+  std::vector<double> flux(10, 0.0);
+  const std::vector<double> current(10, 2.0);
+  accumulate_flux(flux, current, 3.0);
+  for (double f : flux) EXPECT_NEAR(f, 3.0 * kLoopAreaM2 * 2.0, 1e-20);
+  accumulate_flux(flux, current, 3.0);
+  for (double f : flux) EXPECT_NEAR(f, 2.0 * 3.0 * kLoopAreaM2 * 2.0, 1e-20);
+}
+
+TEST(Induced, VoltageIsNegativeDerivative) {
+  const std::vector<double> flux = {0.0, 1.0e-12, 1.0e-12, 0.0};
+  const auto v = induced_voltage(flux, 1.0e9);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], -1.0e-3);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+  EXPECT_DOUBLE_EQ(v[3], 1.0e-3);
+}
+
+TEST(Induced, SizeMismatchThrows) {
+  std::vector<double> flux(5, 0.0);
+  const std::vector<double> current(6, 0.0);
+  EXPECT_THROW(accumulate_flux(flux, current, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psa::em

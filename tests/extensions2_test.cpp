@@ -1,0 +1,263 @@
+// Tests for the second extension wave: split-manufacturing layout
+// verification (Section IV-B), MERO-style test-phase vector generation
+// (Section II-A), the Q15 fixed-point FFT, and randomized Trojan placement
+// generalization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/pipeline.hpp"
+#include "common/units.hpp"
+#include "dsp/fixed_fft.hpp"
+#include "psa/layout_verify.hpp"
+#include "testgen/mero.hpp"
+
+namespace psa {
+namespace {
+
+// ------------------------------------------------------- layout verification
+
+TEST(LayoutVerify, GoldenLayoutIsClean) {
+  const sensor::PsaMetalLayout layout = sensor::PsaMetalLayout::golden();
+  EXPECT_EQ(layout.shapes.size(), 72u);  // 36 H + 36 V tracks
+  EXPECT_EQ(layout.switch_sites.size(), sensor::kSwitches);
+  const sensor::LayoutVerdict v = sensor::verify_layout(layout);
+  EXPECT_FALSE(v.tampered());
+}
+
+TEST(LayoutVerify, ExtractionRecognizesAllTracks) {
+  const sensor::ExtractedLattice ex =
+      sensor::extract_lattice(sensor::PsaMetalLayout::golden());
+  EXPECT_EQ(ex.h_tracks_um.size(), 36u);
+  EXPECT_EQ(ex.v_tracks_um.size(), 36u);
+  EXPECT_TRUE(ex.cut_tracks_um.empty());
+  EXPECT_TRUE(ex.foreign_shapes.empty());
+  EXPECT_EQ(ex.switch_count, sensor::kSwitches);
+}
+
+TEST(LayoutVerify, CutWireDetected) {
+  sensor::PsaMetalLayout layout = sensor::PsaMetalLayout::golden();
+  ASSERT_TRUE(layout.cut_wire(sensor::MetalLayer::kM7Horizontal, 10, 300.0));
+  const sensor::LayoutVerdict v = sensor::verify_layout(layout);
+  ASSERT_TRUE(v.tampered());
+  bool found = false;
+  for (const auto& d : v.defects) {
+    if (d.kind == sensor::LayoutDefect::Kind::kCutTrack) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LayoutVerify, BridgeDetectedAsForeignMetal) {
+  sensor::PsaMetalLayout layout = sensor::PsaMetalLayout::golden();
+  // A rogue strap between two vertical wires, far from any H track.
+  layout.add_bridge(sensor::MetalLayer::kM7Horizontal,
+                    Rect{{100.0, 255.0}, {150.0, 256.0}});
+  const sensor::LayoutVerdict v = sensor::verify_layout(layout);
+  ASSERT_TRUE(v.tampered());
+  EXPECT_EQ(v.defects.size(), 1u);
+  EXPECT_EQ(v.defects[0].kind, sensor::LayoutDefect::Kind::kForeignMetal);
+}
+
+TEST(LayoutVerify, RemovedSwitchDetected) {
+  sensor::PsaMetalLayout layout = sensor::PsaMetalLayout::golden();
+  ASSERT_TRUE(layout.remove_switch(5, 7));
+  EXPECT_FALSE(layout.remove_switch(5, 7));  // already gone
+  const sensor::LayoutVerdict v = sensor::verify_layout(layout);
+  ASSERT_TRUE(v.tampered());
+  EXPECT_EQ(v.defects[0].kind,
+            sensor::LayoutDefect::Kind::kSwitchCountMismatch);
+}
+
+TEST(LayoutVerify, ShiftedWireDetected) {
+  sensor::PsaMetalLayout layout = sensor::PsaMetalLayout::golden();
+  ASSERT_TRUE(layout.shift_wire(sensor::MetalLayer::kM8Vertical, 20, 3.0));
+  const sensor::LayoutVerdict v = sensor::verify_layout(layout);
+  ASSERT_TRUE(v.tampered());
+  bool missing = false;
+  bool misplaced = false;
+  for (const auto& d : v.defects) {
+    if (d.kind == sensor::LayoutDefect::Kind::kMissingTrack) missing = true;
+    if (d.kind == sensor::LayoutDefect::Kind::kMisplacedTrack) {
+      misplaced = true;
+    }
+  }
+  EXPECT_TRUE(missing);
+  EXPECT_TRUE(misplaced);
+}
+
+TEST(LayoutVerify, DefectKindsHaveNames) {
+  EXPECT_FALSE(sensor::to_string(
+                   sensor::LayoutDefect::Kind::kCutTrack).empty());
+  EXPECT_FALSE(sensor::to_string(
+                   sensor::LayoutDefect::Kind::kForeignMetal).empty());
+}
+
+// ---------------------------------------------------------------- testgen
+
+TEST(Mero, RareConditionSemantics) {
+  const testgen::RareCondition t2 = testgen::RareCondition::t2_trigger();
+  aes::Block pt{};
+  EXPECT_FALSE(t2.satisfied_by(pt));
+  pt[0] = 0xAA;
+  pt[1] = 0xAA;
+  EXPECT_TRUE(t2.satisfied_by(pt));
+  pt[5] = 0x77;  // unmasked bytes don't matter
+  EXPECT_TRUE(t2.satisfied_by(pt));
+  EXPECT_NEAR(t2.random_hit_probability(), 1.0 / 65536.0, 1e-12);
+}
+
+TEST(Mero, RandomStimulusRarelyHitsT2) {
+  Rng rng(1);
+  const std::vector<testgen::RareCondition> conds = {
+      testgen::RareCondition::t2_trigger()};
+  const testgen::GenerationResult r =
+      testgen::random_stimulus(conds, 3, 5000, rng);
+  // Expected hits in 5000 vectors: 5000/65536 << 1.
+  EXPECT_FALSE(r.stats.all_covered);
+  EXPECT_EQ(r.stats.vectors, 5000u);
+}
+
+TEST(Mero, DirectedStimulusCoversQuickly) {
+  Rng rng(2);
+  const std::vector<testgen::RareCondition> conds = {
+      testgen::RareCondition::t2_trigger()};
+  const testgen::GenerationResult r =
+      testgen::mero_stimulus(conds, 5, 5000, rng);
+  EXPECT_TRUE(r.stats.all_covered);
+  EXPECT_GE(r.stats.activations[0], 5u);
+  EXPECT_LE(r.stats.vectors, 16u);  // orders of magnitude below random
+  for (const aes::Block& v : r.vectors) {
+    EXPECT_TRUE(conds[0].satisfied_by(v));
+  }
+}
+
+TEST(Mero, MultipleConditions) {
+  Rng rng(3);
+  testgen::RareCondition other;
+  other.name = "tail 0x55";
+  other.mask[15] = 0xFF;
+  other.value[15] = 0x55;
+  const std::vector<testgen::RareCondition> conds = {
+      testgen::RareCondition::t2_trigger(), other};
+  const testgen::GenerationResult r =
+      testgen::mero_stimulus(conds, 4, 10000, rng);
+  EXPECT_TRUE(r.stats.all_covered);
+  EXPECT_GE(r.stats.activations[0], 4u);
+  EXPECT_GE(r.stats.activations[1], 4u);
+}
+
+TEST(Mero, ScriptedVectorsFireT2DuringTestPhase) {
+  // End-to-end test-phase flow: MERO vectors streamed into the chip make
+  // the dormant T2 payload switch, which the PSA then sees.
+  Rng rng(4);
+  const testgen::GenerationResult gen = testgen::mero_stimulus(
+      {testgen::RareCondition::t2_trigger()}, 8, 5000, rng);
+
+  aes::ActivityConfig cfg;
+  cfg.scripted_plaintexts = gen.vectors;
+  const aes::Key key{};
+  const aes::AesActivityModel model(key, cfg, 5);
+  const aes::CoreActivityTrace trace = model.generate(512);
+  ASSERT_FALSE(trace.encryptions.empty());
+  for (const aes::EncryptionEvent& e : trace.encryptions) {
+    EXPECT_EQ(e.plaintext[0], 0xAA);
+    EXPECT_EQ(e.plaintext[1], 0xAA);
+  }
+}
+
+// ---------------------------------------------------------------- fixed FFT
+
+TEST(FixedFft, Q15ConversionRoundTrip) {
+  EXPECT_EQ(dsp::double_to_q15(0.0), 0);
+  EXPECT_EQ(dsp::double_to_q15(1.0), 32767);   // saturates
+  EXPECT_EQ(dsp::double_to_q15(-1.0), -32768);
+  EXPECT_NEAR(dsp::q15_to_double(dsp::double_to_q15(0.5)), 0.5, 1e-4);
+}
+
+TEST(FixedFft, RejectsNonPow2) {
+  std::vector<dsp::Q15Complex> bad(12);
+  EXPECT_THROW(dsp::fixed_fft(bad), std::invalid_argument);
+}
+
+TEST(FixedFft, SinePeakMatchesDoubleFft) {
+  const std::size_t n = 1024;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.8 * std::sin(kTwoPi * 37.0 * static_cast<double>(i) /
+                          static_cast<double>(n));
+  }
+  const std::vector<double> mags = dsp::fixed_fft_magnitudes(x, 1.0);
+  // Peak at bin 37 with |X| = 0.8 * n/2.
+  EXPECT_NEAR(mags[37], 0.8 * static_cast<double>(n) / 2.0,
+              0.8 * static_cast<double>(n) / 2.0 * 0.02);
+}
+
+TEST(FixedFft, RelativeErrorSmallForStrongBins) {
+  Rng rng(6);
+  const std::size_t n = 4096;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    x[i] = 0.4 * std::sin(kTwoPi * 100.0 * t) +
+           0.3 * std::sin(kTwoPi * 333.0 * t) + 0.01 * rng.gaussian();
+  }
+  // The Q15 pipeline stays within a few percent on bins that matter.
+  EXPECT_LT(dsp::fixed_fft_relative_error(x, 1.0), 0.05);
+}
+
+TEST(FixedFft, BlockExponentTracksStages) {
+  std::vector<dsp::Q15Complex> buf(256);
+  buf[0].re = 16384;
+  const dsp::FixedFftResult r = dsp::fixed_fft(buf);
+  EXPECT_EQ(r.block_exponent, 8);  // log2(256) stages, 1/2 scale each
+}
+
+// ----------------------------------------- randomized placement generalizes
+
+TEST(RandomPlacement, LocalizationTracksGroundTruth) {
+  // Move the Trojans somewhere else entirely; the 16-sensor scan must still
+  // point at the sensor containing them. Two seeds to keep runtime sane.
+  for (std::uint64_t seed : {11u, 29u}) {
+    sim::ChipSimulator chip(sim::SimTiming{},
+                            layout::Floorplan::aes_testchip_randomized(seed));
+    analysis::Pipeline pipeline(chip);
+    pipeline.enroll(sim::Scenario::baseline(8000 + seed));
+
+    // Check one always-on Trojan per chip (T4: strongest, placement-agnostic
+    // traffic).
+    const sim::Scenario sc =
+        sim::Scenario::with_trojan(trojan::TrojanKind::kT4DoS, 8100 + seed);
+    const analysis::LocalizationResult loc = pipeline.localize(sc);
+    ASSERT_TRUE(loc.localized) << "seed " << seed;
+
+    const Point truth = chip.floorplan().module_centroid("t4");
+    // The winning sensor's region must contain the Trojan's centroid.
+    EXPECT_TRUE(loc.region.contains(truth))
+        << "seed " << seed << ": sensor " << loc.best_sensor << " truth ("
+        << truth.x << "," << truth.y << ")";
+  }
+}
+
+TEST(RandomPlacement, BudgetUnchanged) {
+  const layout::Floorplan fp = layout::Floorplan::aes_testchip_randomized(3);
+  EXPECT_EQ(fp.total_cells(true), layout::TableIIBudget::kOverall);
+  // Trojans are somewhere on the die, inside it.
+  for (const char* t : {"t1", "t2", "t3", "t4"}) {
+    const layout::Module* m = fp.find(t);
+    ASSERT_NE(m, nullptr);
+    for (const Rect& r : m->regions) {
+      EXPECT_TRUE(fp.die().contains(r.lo));
+      EXPECT_GE(fp.die().hi.x, r.hi.x);
+      EXPECT_GE(fp.die().hi.y, r.hi.y);
+    }
+  }
+}
+
+TEST(RandomPlacement, DifferentSeedsDifferentPlaces) {
+  const layout::Floorplan a = layout::Floorplan::aes_testchip_randomized(1);
+  const layout::Floorplan b = layout::Floorplan::aes_testchip_randomized(2);
+  EXPECT_GT(distance(a.module_centroid("t1"), b.module_centroid("t1")), 10.0);
+}
+
+}  // namespace
+}  // namespace psa

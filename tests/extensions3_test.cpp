@@ -1,0 +1,136 @@
+// Tests for the third extension wave: the thermal model behind T4's DoS
+// story and the ROC / threshold-calibration analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/roc.hpp"
+#include "sim/thermal.hpp"
+
+namespace psa {
+namespace {
+
+// ------------------------------------------------------------------ thermal
+
+TEST(Thermal, SteadyStateScalesWithPower) {
+  const sim::ThermalModel model;
+  const double idle = model.steady_state_k(0.0);
+  const double loaded = model.steady_state_k(0.5);
+  EXPECT_GT(idle, model.params().ambient_k);  // static power always burns
+  EXPECT_NEAR(loaded - idle, 0.5 * model.params().r_theta_ja, 1e-9);
+}
+
+TEST(Thermal, TrajectoryConvergesToSteadyState) {
+  const sim::ThermalModel model;
+  const std::vector<double> power(2000, 0.4);  // constant 0.4 W
+  const auto traj = model.trajectory_k(power, 0.01);  // 20 s total
+  const double target = model.steady_state_k(0.4);
+  EXPECT_NEAR(traj.back(), target, 0.05);
+  // Monotone approach from ambient.
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_GE(traj[i] + 1e-12, traj[i - 1]);
+  }
+}
+
+TEST(Thermal, StepResponseTimeConstant) {
+  sim::ThermalParams p;
+  p.tau_s = 1.0;
+  const sim::ThermalModel model(p);
+  const std::vector<double> power(1000, 1.0);
+  const auto traj = model.trajectory_k(power, 0.001);  // 1 s = 1 tau
+  const double target = model.steady_state_k(1.0);
+  const double expect = p.ambient_k + (target - p.ambient_k) *
+                                          (1.0 - std::exp(-1.0));
+  EXPECT_NEAR(traj.back(), expect, 0.5);
+}
+
+TEST(Thermal, SettleTime) {
+  const sim::ThermalModel model;
+  const double t = model.settle_time_s(model.params().ambient_k, 0.5);
+  // ~tau * ln(100) ≈ 4.6 tau.
+  EXPECT_NEAR(t, model.params().tau_s * std::log(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(model.settle_time_s(model.steady_state_k(0.5), 0.5), 0.0);
+}
+
+TEST(Thermal, RejectsBadDt) {
+  const sim::ThermalModel model;
+  EXPECT_THROW(model.trajectory_k({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Thermal, DosTrojanRaisesChipPower) {
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  const double base =
+      sim::average_dynamic_power(chip, sim::Scenario::baseline(3), 512);
+  const double dos = sim::average_dynamic_power(
+      chip, sim::Scenario::with_trojan(trojan::TrojanKind::kT4DoS, 3), 512);
+  EXPECT_GT(base, 0.0);
+  EXPECT_GT(dos, base * 1.1);  // T4 adds >10 % load
+  // And the steady-state junction temperature rises measurably.
+  const sim::ThermalModel model;
+  EXPECT_GT(model.steady_state_k(dos) - model.steady_state_k(base), 0.2);
+}
+
+// ---------------------------------------------------------------------- ROC
+
+TEST(Roc, SeparatedScoresGiveAucOne) {
+  const std::vector<double> neg = {1.0, 2.0, 3.0};
+  const std::vector<double> pos = {50.0, 80.0, 90.0};
+  const analysis::RocAnalysis roc = analysis::roc_from_scores(neg, pos);
+  EXPECT_NEAR(roc.auc, 1.0, 1e-9);
+  // Recommendation sits between the populations (geometric mean).
+  EXPECT_GT(roc.recommended_threshold, 3.0);
+  EXPECT_LT(roc.recommended_threshold, 50.0);
+}
+
+TEST(Roc, OverlappingScoresAucBelowOne) {
+  const std::vector<double> neg = {1.0, 5.0, 9.0, 13.0};
+  const std::vector<double> pos = {7.0, 11.0, 15.0, 20.0};
+  const analysis::RocAnalysis roc =
+      analysis::roc_from_scores(neg, pos, /*fpr_target=*/0.25);
+  EXPECT_LT(roc.auc, 1.0);
+  EXPECT_GT(roc.auc, 0.5);
+  // Recommended threshold keeps measured FPR <= 0.25: only one negative
+  // (13.0) may exceed it.
+  int fp = 0;
+  for (double n : neg) {
+    if (n > roc.recommended_threshold) ++fp;
+  }
+  EXPECT_LE(fp, 1);
+}
+
+TEST(Roc, CurveIsMonotoneInThreshold) {
+  const std::vector<double> neg = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pos = {3.5, 5.0, 6.0};
+  const analysis::RocAnalysis roc = analysis::roc_from_scores(neg, pos);
+  for (std::size_t i = 1; i < roc.curve.size(); ++i) {
+    EXPECT_LE(roc.curve[i].true_positive_rate,
+              roc.curve[i - 1].true_positive_rate + 1e-12);
+    EXPECT_LE(roc.curve[i].false_positive_rate,
+              roc.curve[i - 1].false_positive_rate + 1e-12);
+  }
+}
+
+TEST(Roc, EmptyInputsSafe) {
+  const analysis::RocAnalysis roc = analysis::roc_from_scores({}, {1.0});
+  EXPECT_TRUE(roc.curve.empty());
+  EXPECT_DOUBLE_EQ(roc.auc, 0.0);
+}
+
+TEST(Roc, PipelineScoresFullySeparated) {
+  // The deployment calibration run: on this chip the negative and positive
+  // score populations must not overlap at sensor 10 (AUC 1), and the
+  // recommended threshold must clear every negative comfortably.
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  analysis::Pipeline pipeline(chip);
+  pipeline.enroll(sim::Scenario::baseline(12000));
+  const analysis::RocAnalysis roc =
+      analysis::roc_analysis(pipeline, 10, /*trials=*/4, 0.0, 12100);
+  ASSERT_EQ(roc.negative_scores.size(), 4u);
+  ASSERT_EQ(roc.positive_scores.size(), 16u);
+  EXPECT_NEAR(roc.auc, 1.0, 1e-9);
+  EXPECT_GT(roc.recommended_threshold, roc.negative_scores.back());
+  EXPECT_LT(roc.recommended_threshold, roc.positive_scores.front());
+}
+
+}  // namespace
+}  // namespace psa

@@ -1,0 +1,261 @@
+// Tests for the extension features: PSA self-test (Section IV), quadrant
+// refinement (Section III's reshaping), the wire-geometry model (Section
+// V-A), and the OCM supply-rail baseline ([10][11]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/pipeline.hpp"
+#include "analysis/refine.hpp"
+#include "baseline/ocm.hpp"
+#include "psa/selftest.hpp"
+#include "psa/wire_model.hpp"
+
+namespace psa {
+namespace {
+
+// ----------------------------------------------------------------- selftest
+
+TEST(SelfTest, PristineArrayPasses) {
+  const sensor::SelfTest st;
+  const sensor::SelfTestReport report = st.run();
+  EXPECT_FALSE(report.tampered);
+  EXPECT_EQ(report.failures(), 0u);
+  EXPECT_EQ(report.entries.size(), 17u);  // 16 sensors + whole-die
+  for (const auto& e : report.entries) {
+    EXPECT_EQ(e.error, sensor::CoilError::kNone) << e.pattern;
+    EXPECT_NEAR(e.resistance_ohm, e.expected_ohm, e.expected_ohm * 0.01)
+        << e.pattern;
+  }
+}
+
+TEST(SelfTest, StuckOpenGateCaught) {
+  // Break one T-gate used by sensor 0's coil (corner switch at (0, 0)).
+  sensor::ArrayFaults faults;
+  faults.stuck_open.push_back({0, 0});
+  const sensor::SelfTest st;
+  const sensor::SelfTestReport report = st.run(faults);
+  EXPECT_TRUE(report.tampered);
+  EXPECT_GE(report.failures(), 1u);
+  EXPECT_EQ(report.entries[0].error, sensor::CoilError::kOpenCircuit);
+  // Sensors not using that switch still pass.
+  EXPECT_EQ(report.entries[15].error, sensor::CoilError::kNone);
+}
+
+TEST(SelfTest, StuckClosedGateCaught) {
+  // A stuck-closed switch on a wire sensor 5 uses: sensor 5 spans rows
+  // 8..19, cols 8..19 with corners (8,8),(19,8),(19,19),(9,19). A rogue
+  // closed switch at (14, 8) shorts its left vertical wire.
+  sensor::ArrayFaults faults;
+  faults.stuck_closed.push_back({14, 8});
+  const sensor::SelfTest st;
+  const sensor::SelfTestReport report = st.run(faults);
+  EXPECT_TRUE(report.tampered);
+  EXPECT_EQ(report.entries[5].error, sensor::CoilError::kShortCircuit);
+}
+
+TEST(SelfTest, ResistanceDriftCaught) {
+  sensor::ArrayFaults faults;
+  faults.resistance_scale = 1.4;  // e.g. thinned wires / swapped switches
+  const sensor::SelfTest st;
+  const sensor::SelfTestReport report = st.run(faults);
+  EXPECT_TRUE(report.tampered);
+  EXPECT_EQ(report.failures(), report.entries.size());  // all patterns off
+  for (const auto& e : report.entries) {
+    EXPECT_EQ(e.error, sensor::CoilError::kNone);  // connectivity intact
+  }
+}
+
+TEST(SelfTest, SmallDriftWithinTolerancePasses) {
+  sensor::ArrayFaults faults;
+  faults.resistance_scale = 1.05;  // inside the ±15 % band
+  const sensor::SelfTest st;
+  EXPECT_FALSE(st.run(faults).tampered);
+}
+
+// ------------------------------------------------------------------ refine
+
+TEST(Refine, QuadrantProgramsAreValidCoils) {
+  for (std::size_t k = 0; k < 16; ++k) {
+    for (std::size_t q = 0; q < 4; ++q) {
+      const sensor::SensorProgram p =
+          analysis::quadrant_program(k, q / 2, q % 2);
+      EXPECT_TRUE(p.extract().ok()) << "sensor " << k << " quadrant " << q;
+    }
+  }
+  EXPECT_THROW(analysis::quadrant_program(16, 0, 0), std::out_of_range);
+  EXPECT_THROW(analysis::quadrant_program(0, 2, 0), std::out_of_range);
+}
+
+TEST(Refine, QuadrantRegionsTileTheSensor) {
+  const Rect sensor10 = layout::standard_sensor_region(10);
+  for (std::size_t q = 0; q < 4; ++q) {
+    const Rect r = analysis::quadrant_region(10, q / 2, q % 2);
+    EXPECT_DOUBLE_EQ(r.width(), 80.0);
+    EXPECT_DOUBLE_EQ(r.height(), 80.0);
+    // Inside the sensor's nominal region.
+    EXPECT_GE(r.lo.x, sensor10.lo.x - 16.0);
+    EXPECT_LE(r.hi.x, sensor10.hi.x + 16.0);
+  }
+}
+
+TEST(Refine, HeatFoldingPicksHottestQuadrant) {
+  std::array<double, 4> heat = {0.1, 0.2, 0.1, 2.0};
+  const analysis::RefinedLocation r = analysis::refine_from_heat(10, heat);
+  EXPECT_EQ(r.best_quadrant, 3u);
+  EXPECT_EQ(r.quadrant_region, analysis::quadrant_region(10, 1, 1));
+  EXPECT_GT(r.contrast_db, 10.0);
+  // Centroid pulled toward the hot quadrant.
+  const Point hot = analysis::quadrant_region(10, 1, 1).center();
+  const Point cold = analysis::quadrant_region(10, 0, 0).center();
+  EXPECT_LT(distance(r.estimate, hot), distance(r.estimate, cold));
+}
+
+TEST(Refine, ZeroHeatFallsBackToSensorCentre) {
+  const analysis::RefinedLocation r =
+      analysis::refine_from_heat(10, {0.0, 0.0, 0.0, 0.0});
+  EXPECT_EQ(r.estimate, layout::standard_sensor_region(10).center());
+}
+
+// --------------------------------------------------------------- wire model
+
+TEST(WireModel, ElectricalScalings) {
+  const sensor::WireGeometry nominal{16.0, 1.0};
+  const auto e = sensor::coil_electrical(nominal, 176.0);
+  EXPECT_GT(e.resistance_ohm, 0.0);
+  EXPECT_GT(e.capacitance_f, 0.0);
+  EXPECT_NEAR(e.routing_fraction, 1.0 / 16.0, 1e-12);
+
+  // Wider wire: less R, more C.
+  const auto wide = sensor::coil_electrical({16.0, 2.0}, 176.0);
+  EXPECT_LT(wide.resistance_ohm, e.resistance_ohm);
+  EXPECT_GT(wide.capacitance_f, e.capacitance_f);
+
+  // Coarser pitch: fewer crossings -> less C.
+  const auto coarse = sensor::coil_electrical({32.0, 1.0}, 176.0);
+  EXPECT_LT(coarse.capacitance_f, e.capacitance_f);
+}
+
+TEST(WireModel, TransferFlatInBandRollsOffAbove) {
+  const sensor::WireGeometry g{16.0, 1.0};
+  const double lo = sensor::coil_transfer(g, 176.0, 10.0e6);
+  const double hi = sensor::coil_transfer(g, 176.0, 100.0e6);
+  const double far = sensor::coil_transfer(g, 176.0, 100.0e9);
+  // Flat across the paper's 10-100 MHz band (mild LC peaking allowed),
+  // rolling off far above the LC resonance.
+  EXPECT_GT(lo, 0.9);
+  EXPECT_GT(hi, 0.9);
+  EXPECT_LT(far, lo * 0.5);
+}
+
+TEST(WireModel, FomFavorsWiderWireAtFixedPitch) {
+  const double fom_thin = sensor::band_figure_of_merit({16.0, 0.5}, 176.0,
+                                                       10.0e6, 100.0e6);
+  const double fom_nominal = sensor::band_figure_of_merit({16.0, 1.0}, 176.0,
+                                                          10.0e6, 100.0e6);
+  EXPECT_GT(fom_nominal, fom_thin);
+}
+
+TEST(WireModel, SweepRespectsRoutingBudget) {
+  const auto ranked = sensor::sweep_geometries({8.0, 16.0}, {0.5, 1.0, 2.0},
+                                               176.0, 1.0 / 16.0);
+  ASSERT_FALSE(ranked.empty());
+  for (const auto& [g, fom] : ranked) {
+    EXPECT_LE(g.width_um / g.pitch_um, 1.0 / 16.0 + 1e-12);
+    EXPECT_GT(fom, 0.0);
+  }
+  // Sorted descending.
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].second, ranked[i].second);
+  }
+}
+
+TEST(WireModel, RejectsBadInputs) {
+  EXPECT_THROW(sensor::coil_electrical({0.0, 1.0}, 176.0),
+               std::invalid_argument);
+  EXPECT_THROW(sensor::band_figure_of_merit({16.0, 1.0}, 176.0, 2e6, 1e6),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- OCM
+
+class OcmTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    chip_ = new sim::ChipSimulator(sim::SimTiming{},
+                                   layout::Floorplan::aes_testchip());
+  }
+  static void TearDownTestSuite() {
+    delete chip_;
+    chip_ = nullptr;
+  }
+  static sim::ChipSimulator* chip_;
+};
+
+sim::ChipSimulator* OcmTest::chip_ = nullptr;
+
+TEST_F(OcmTest, CaptureScalesWithPdnResistance) {
+  baseline::OcmParams lo_p;
+  lo_p.pdn_resistance_ohm = 0.1;
+  baseline::OcmParams hi_p;
+  hi_p.pdn_resistance_ohm = 1.0;
+  const baseline::OcmSensor lo(*chip_, lo_p);
+  const baseline::OcmSensor hi(*chip_, hi_p);
+  const auto a = lo.capture(sim::Scenario::baseline(3), 128);
+  const auto b = hi.capture(sim::Scenario::baseline(3), 128);
+  double ra = 0.0, rb = 0.0;
+  for (double v : a) ra += v * v;
+  for (double v : b) rb += v * v;
+  EXPECT_GT(rb, 4.0 * ra);
+}
+
+TEST_F(OcmTest, DetectsActiveTrojans) {
+  baseline::OcmDetector det(*chip_);
+  det.enroll(sim::Scenario::baseline(900));
+  for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+    const analysis::DetectionResult r =
+        det.detect(sim::Scenario::with_trojan(kind, 901));
+    EXPECT_TRUE(r.detected) << trojan::module_name(kind);
+  }
+}
+
+TEST_F(OcmTest, QuietOnNormalTraffic) {
+  baseline::OcmDetector det(*chip_);
+  det.enroll(sim::Scenario::baseline(910));
+  const analysis::DetectionResult r =
+      det.detect(sim::Scenario::baseline(911));
+  EXPECT_FALSE(r.detected);
+}
+
+TEST_F(OcmTest, RequiresEnrollment) {
+  const baseline::OcmDetector det(*chip_);
+  EXPECT_FALSE(det.enrolled());
+  EXPECT_THROW(det.detect(sim::Scenario::baseline(1)), std::logic_error);
+}
+
+// --------------------------------------------- refinement, end to end
+
+TEST(RefineEndToEnd, EachTrojanLandsInItsOwnQuadrant) {
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  analysis::Pipeline pipeline(chip);
+  pipeline.enroll(sim::Scenario::baseline(7100));
+  std::array<bool, 4> used{};
+  for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+    const sim::Scenario sc = sim::Scenario::with_trojan(kind, 7200);
+    const analysis::DetectionResult det = pipeline.detect(10, sc);
+    ASSERT_TRUE(det.detected) << trojan::module_name(kind);
+    const analysis::RefinedLocation ref =
+        pipeline.refine_localization(10, det.peak_freq_hz, sc);
+    EXPECT_FALSE(used[ref.best_quadrant])
+        << "two Trojans refined into quadrant " << ref.best_quadrant;
+    used[ref.best_quadrant] = true;
+    // Position error under half a quadrant.
+    const Point truth =
+        chip.floorplan().module_centroid(trojan::module_name(kind));
+    EXPECT_LT(distance(ref.estimate, truth), 40.0)
+        << trojan::module_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace psa

@@ -1,0 +1,182 @@
+// Floorplan and netlist: Table II budgets, sensor tiling overlap, density
+// rasterization, deterministic placement.
+#include <gtest/gtest.h>
+
+#include "layout/floorplan.hpp"
+#include "layout/netlist.hpp"
+
+namespace psa::layout {
+namespace {
+
+TEST(TableII, BudgetMatchesPaperExactly) {
+  EXPECT_EQ(TableIIBudget::kOverall, 28806u);
+  EXPECT_EQ(TableIIBudget::kT1, 1881u);
+  EXPECT_EQ(TableIIBudget::kT2, 2132u);
+  EXPECT_EQ(TableIIBudget::kT3, 329u);
+  EXPECT_EQ(TableIIBudget::kT4, 2181u);
+  EXPECT_EQ(TableIIBudget::kMainCircuit, 22283u);
+}
+
+TEST(Floorplan, TestChipTotalsMatchTableII) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  EXPECT_EQ(fp.total_cells(true), TableIIBudget::kOverall);
+  EXPECT_EQ(fp.total_cells(false), TableIIBudget::kMainCircuit);
+  EXPECT_EQ(fp.find("t1")->cell_count, TableIIBudget::kT1);
+  EXPECT_EQ(fp.find("t2")->cell_count, TableIIBudget::kT2);
+  EXPECT_EQ(fp.find("t3")->cell_count, TableIIBudget::kT3);
+  EXPECT_EQ(fp.find("t4")->cell_count, TableIIBudget::kT4);
+}
+
+TEST(Floorplan, TrojanPercentagesMatchTableII) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  const double overall = static_cast<double>(fp.total_cells(true));
+  EXPECT_NEAR(100.0 * TableIIBudget::kT1 / overall, 6.52, 0.02);
+  EXPECT_NEAR(100.0 * TableIIBudget::kT2 / overall, 7.40, 0.02);
+  EXPECT_NEAR(100.0 * TableIIBudget::kT3 / overall, 1.14, 0.02);
+  EXPECT_NEAR(100.0 * TableIIBudget::kT4 / overall, 7.57, 0.02);
+}
+
+TEST(Floorplan, AllTrojansInsideSensor10Region) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  const Rect s10 = standard_sensor_region(10);
+  for (const char* name : {"t1", "t2", "t3", "t4"}) {
+    const Module* m = fp.find(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_TRUE(m->is_trojan);
+    for (const Rect& r : m->regions) {
+      EXPECT_GE(overlap_fraction(r, s10), 0.99)
+          << name << " must sit under sensor 10";
+    }
+  }
+}
+
+TEST(Floorplan, Sensor0CornerFreeOfLogic) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  const Rect s0 = standard_sensor_region(0);
+  for (const Module& m : fp.modules()) {
+    if (m.name == "io_ring") continue;  // perimeter pads are everywhere
+    for (const Rect& r : m.regions) {
+      EXPECT_LT(overlap_fraction(r, s0), 0.01)
+          << m.name << " intrudes into the sensor-0 control corner";
+    }
+  }
+}
+
+TEST(Floorplan, FindAndCentroid) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  EXPECT_EQ(fp.find("nope"), nullptr);
+  const Point c = fp.module_centroid("t1");
+  EXPECT_NEAR(c.x, 385.0, 1e-9);
+  EXPECT_NEAR(c.y, 385.0, 1e-9);
+  EXPECT_THROW(fp.module_centroid("nope"), std::invalid_argument);
+}
+
+TEST(Floorplan, DensityConservesCells) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  const Grid2D d = fp.density("aes_sbox", 36, 36);
+  EXPECT_NEAR(d.total(), 9000.0, 1.0);
+}
+
+TEST(Floorplan, MultiRegionDensitySplitsByArea) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  const Grid2D d = fp.density("io_ring", 36, 36);
+  EXPECT_NEAR(d.total(), static_cast<double>(fp.find("io_ring")->cell_count),
+              1.0);
+}
+
+TEST(Floorplan, RejectsDegenerateModules) {
+  Floorplan fp = Floorplan::aes_testchip();
+  EXPECT_THROW(fp.add_module({"bad", {}, 1, false}), std::invalid_argument);
+  EXPECT_THROW(
+      fp.add_module({"bad", {Rect{{1, 1}, {1, 2}}}, 1, false}),
+      std::invalid_argument);
+}
+
+TEST(SensorRegions, TilingGeometry) {
+  for (std::size_t k = 0; k < kNumStandardSensors; ++k) {
+    const Rect r = standard_sensor_region(k);
+    EXPECT_DOUBLE_EQ(r.width(), 192.0);
+    EXPECT_DOUBLE_EQ(r.height(), 192.0);
+    EXPECT_GE(r.lo.x, 0.0);
+    EXPECT_LE(r.hi.x, kDieSideUm);
+  }
+  EXPECT_THROW(standard_sensor_region(16), std::out_of_range);
+}
+
+TEST(SensorRegions, AdjacentOverlapIsOneThird) {
+  // The paper: "Each sensor shares 33% of its area with adjacent sensors".
+  const Rect a = standard_sensor_region(5);
+  const Rect right = standard_sensor_region(6);
+  const Rect up = standard_sensor_region(9);
+  EXPECT_NEAR(overlap_fraction(a, right), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(overlap_fraction(a, up), 1.0 / 3.0, 1e-9);
+}
+
+TEST(SensorRegions, Sensor10CentreRight) {
+  const Rect r = standard_sensor_region(10);
+  EXPECT_EQ(r.lo, (Point{256.0, 256.0}));
+  EXPECT_EQ(r.hi, (Point{448.0, 448.0}));
+}
+
+TEST(WireCoords, LatticeGeometry) {
+  EXPECT_DOUBLE_EQ(wire_coord_um(0), 8.0);
+  EXPECT_DOUBLE_EQ(wire_coord_um(35), 568.0);
+  EXPECT_DOUBLE_EQ(wire_coord_um(1) - wire_coord_um(0), kWirePitchUm);
+}
+
+// ------------------------------------------------------------------ netlist
+
+TEST(Netlist, PlacesExactBudget) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  const Netlist nl = Netlist::place(fp, 1);
+  EXPECT_EQ(nl.size(), TableIIBudget::kOverall);
+  EXPECT_EQ(nl.count_of("t3"), TableIIBudget::kT3);
+  EXPECT_EQ(nl.count_of("aes_sbox"), 9000u);
+  EXPECT_EQ(nl.count_of("nope"), 0u);
+}
+
+TEST(Netlist, CellsInsideTheirModuleRegions) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  const Netlist nl = Netlist::place(fp, 2);
+  for (const auto& cell : nl.cells_of("t1")) {
+    bool inside = false;
+    for (const Rect& r : fp.find("t1")->regions) {
+      inside = inside || r.contains(cell.position);
+    }
+    EXPECT_TRUE(inside);
+  }
+}
+
+TEST(Netlist, DeterministicForSeed) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  const Netlist a = Netlist::place(fp, 3);
+  const Netlist b = Netlist::place(fp, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.cells()[i].position, b.cells()[i].position);
+    EXPECT_EQ(a.cells()[i].drive, b.cells()[i].drive);
+  }
+}
+
+TEST(Netlist, DriveStrengthsClipped) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  const Netlist nl = Netlist::place(fp, 4);
+  for (const auto& cell : nl.cells()) {
+    EXPECT_GE(cell.drive, 0.25f);
+    EXPECT_LE(cell.drive, 4.0f);
+  }
+}
+
+TEST(Netlist, DensityGridSumsToDriveTotal) {
+  const Floorplan fp = Floorplan::aes_testchip();
+  const Netlist nl = Netlist::place(fp, 5);
+  const Grid2D d = nl.cell_density("t4", 36, 36, fp.die());
+  double drive_sum = 0.0;
+  for (const auto& cell : nl.cells_of("t4")) drive_sum += cell.drive;
+  EXPECT_NEAR(d.total(), drive_sum, 1e-9);
+  EXPECT_THROW(nl.cell_density("nope", 4, 4, fp.die()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psa::layout

@@ -1,0 +1,128 @@
+// Envelope feature extraction on synthetic waveforms shaped like the four
+// Trojans' zero-span envelopes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "ml/features.hpp"
+
+namespace psa::ml {
+namespace {
+
+constexpr double kRate = 1.0e6;  // envelope sample rate for these tests
+
+std::vector<double> sine_envelope(std::size_t n, double f, double base,
+                                  double depth) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = base * (1.0 + depth * std::sin(kTwoPi * f *
+                                          static_cast<double>(i) / kRate));
+  }
+  return x;
+}
+
+std::vector<double> square_envelope(std::size_t n, std::size_t period,
+                                    double lo, double hi) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = ((i / (period / 2)) % 2 == 0) ? hi : lo;
+  }
+  return x;
+}
+
+std::vector<double> noise_envelope(std::size_t n, Rng& rng) {
+  // Band-limited binary-ish noise: random level held for short spans.
+  std::vector<double> x(n);
+  double level = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 5 == 0) level = (rng() & 1) ? 1.0 : 0.05;
+    x[i] = level;
+  }
+  return x;
+}
+
+TEST(Features, ConstantEnvelopeHasLowCv) {
+  const std::vector<double> env(512, 1.0);
+  const EnvelopeFeatures f = extract_envelope_features(env, kRate);
+  EXPECT_NEAR(f.coeff_variation, 0.0, 1e-9);
+  EXPECT_NEAR(f.mean_level, 1.0, 1e-12);
+  EXPECT_NEAR(f.crest, 1.0, 1e-9);
+}
+
+TEST(Features, SineEnvelopeIsPeriodicAndSmooth) {
+  const auto env = sine_envelope(4096, 20.0e3, 1.0, 0.9);
+  const EnvelopeFeatures f = extract_envelope_features(env, kRate);
+  EXPECT_GT(f.periodicity, 0.8);
+  EXPECT_NEAR(f.period_s, 1.0 / 20.0e3, 1.0 / 20.0e3 * 0.1);
+  // A sine spends most of its time away from the rails.
+  EXPECT_LT(f.bimodality, 0.75);
+  EXPECT_GT(f.coeff_variation, 0.3);
+}
+
+TEST(Features, SquareEnvelopeIsPeriodicAndBimodal) {
+  const auto env = square_envelope(4096, 256, 0.05, 1.0);
+  const EnvelopeFeatures f = extract_envelope_features(env, kRate);
+  EXPECT_GT(f.periodicity, 0.8);
+  EXPECT_GT(f.bimodality, 0.95);
+  EXPECT_NEAR(f.duty, 0.5, 0.05);
+}
+
+TEST(Features, NoiseEnvelopeIsAperiodicAndFlat) {
+  Rng rng(11);
+  const auto env = noise_envelope(4096, rng);
+  const EnvelopeFeatures f = extract_envelope_features(env, kRate);
+  EXPECT_LT(f.periodicity, 0.45);
+  EXPECT_GT(f.flatness, 0.3);
+  EXPECT_GT(f.bimodality, 0.9);  // binary levels
+}
+
+TEST(Features, FlatnessSeparatesToneFromNoise) {
+  Rng rng(13);
+  const auto tone = sine_envelope(4096, 10.0e3, 1.0, 0.8);
+  const auto noise = noise_envelope(4096, rng);
+  const EnvelopeFeatures ft = extract_envelope_features(tone, kRate);
+  const EnvelopeFeatures fn = extract_envelope_features(noise, kRate);
+  EXPECT_LT(ft.flatness, fn.flatness);
+}
+
+TEST(Features, ShortInputIsSafe) {
+  const std::vector<double> tiny(4, 1.0);
+  const EnvelopeFeatures f = extract_envelope_features(tiny, kRate);
+  EXPECT_DOUBLE_EQ(f.periodicity, 0.0);
+  EXPECT_DOUBLE_EQ(f.mean_level, 0.0);
+}
+
+TEST(FeatureMatrix, ZScoreNormalized) {
+  std::vector<EnvelopeFeatures> feats(4);
+  feats[0].periodicity = 1.0;
+  feats[1].periodicity = 2.0;
+  feats[2].periodicity = 3.0;
+  feats[3].periodicity = 4.0;
+  const Matrix m = feature_matrix(feats);
+  ASSERT_EQ(m.rows(), 4u);
+  ASSERT_EQ(m.cols(), EnvelopeFeatures::kDim);
+  // Column 0 (periodicity) is z-scored: mean 0, population sd 1.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) mean += m.at(i, 0);
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  double var = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) var += m.at(i, 0) * m.at(i, 0);
+  EXPECT_NEAR(var / 4.0, 1.0, 1e-9);
+}
+
+TEST(FeatureMatrix, ConstantColumnBecomesZero) {
+  std::vector<EnvelopeFeatures> feats(3);
+  for (auto& f : feats) f.duty = 0.5;
+  const Matrix m = feature_matrix(feats);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(m.at(i, 2), 0.0);
+}
+
+TEST(FeatureNames, MatchDimension) {
+  EXPECT_EQ(EnvelopeFeatures::names().size(), EnvelopeFeatures::kDim);
+}
+
+}  // namespace
+}  // namespace psa::ml

@@ -1,0 +1,122 @@
+// K-means and silhouette — used by both the backscattering baseline and the
+// unsupervised Trojan-envelope clustering demo.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "ml/kmeans.hpp"
+
+namespace psa::ml {
+namespace {
+
+Matrix make_blobs(std::size_t per_cluster,
+                  const std::vector<std::pair<double, double>>& centers,
+                  double sigma, Rng& rng) {
+  Matrix m(per_cluster * centers.size(), 2);
+  std::size_t row = 0;
+  for (const auto& [cx, cy] : centers) {
+    for (std::size_t i = 0; i < per_cluster; ++i, ++row) {
+      m.at(row, 0) = rng.gaussian(cx, sigma);
+      m.at(row, 1) = rng.gaussian(cy, sigma);
+    }
+  }
+  return m;
+}
+
+TEST(KMeans, SeparatesTwoBlobs) {
+  Rng rng(1);
+  const Matrix m = make_blobs(50, {{0.0, 0.0}, {10.0, 10.0}}, 0.5, rng);
+  const KMeansResult r = kmeans(m, 2, rng);
+  // All points of a blob share a label, and the two blobs differ.
+  const std::size_t l0 = r.labels[0];
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(r.labels[i], l0);
+  const std::size_t l1 = r.labels[50];
+  EXPECT_NE(l0, l1);
+  for (std::size_t i = 50; i < 100; ++i) EXPECT_EQ(r.labels[i], l1);
+}
+
+TEST(KMeans, CentroidsNearTruth) {
+  Rng rng(2);
+  const Matrix m = make_blobs(200, {{0.0, 0.0}, {8.0, -3.0}}, 0.4, rng);
+  const KMeansResult r = kmeans(m, 2, rng);
+  std::vector<std::pair<double, double>> cents;
+  for (std::size_t c = 0; c < 2; ++c) {
+    cents.emplace_back(r.centroids.at(c, 0), r.centroids.at(c, 1));
+  }
+  std::sort(cents.begin(), cents.end());
+  EXPECT_NEAR(cents[0].first, 0.0, 0.2);
+  EXPECT_NEAR(cents[0].second, 0.0, 0.2);
+  EXPECT_NEAR(cents[1].first, 8.0, 0.2);
+  EXPECT_NEAR(cents[1].second, -3.0, 0.2);
+}
+
+TEST(KMeans, ConvergesAndReportsInertia) {
+  Rng rng(3);
+  const Matrix m = make_blobs(100, {{0.0, 0.0}, {5.0, 5.0}, {-5.0, 5.0}},
+                              0.3, rng);
+  const KMeansResult r = kmeans(m, 3, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0);
+  // Inertia for tight blobs: ~ n * 2 * sigma^2 = 300 * 2 * 0.09 = 54.
+  EXPECT_LT(r.inertia, 120.0);
+}
+
+TEST(KMeans, DeterministicGivenSameRngState) {
+  Rng rng1(42);
+  Rng rng2(42);
+  const Matrix m = make_blobs(40, {{0.0, 0.0}, {6.0, 6.0}}, 0.5, rng1);
+  Rng rng1b(7);
+  Rng rng2b(7);
+  const KMeansResult a = kmeans(m, 2, rng1b);
+  const KMeansResult b = kmeans(m, 2, rng2b);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, KEqualsNAssignsEachPointItsOwnCluster) {
+  Rng rng(5);
+  const Matrix m = make_blobs(1, {{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}}, 0.01,
+                              rng);
+  const KMeansResult r = kmeans(m, 3, rng);
+  const std::set<std::size_t> labels(r.labels.begin(), r.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_LT(r.inertia, 1e-3);
+}
+
+TEST(KMeans, RejectsBadK) {
+  Rng rng(6);
+  const Matrix m = make_blobs(5, {{0.0, 0.0}}, 0.1, rng);
+  EXPECT_THROW(kmeans(m, 0, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans(m, 6, rng), std::invalid_argument);
+}
+
+TEST(Silhouette, WellSeparatedNearOne) {
+  Rng rng(7);
+  const Matrix m = make_blobs(50, {{0.0, 0.0}, {20.0, 20.0}}, 0.3, rng);
+  const KMeansResult r = kmeans(m, 2, rng);
+  EXPECT_GT(silhouette_score(m, r.labels), 0.9);
+}
+
+TEST(Silhouette, OverlappingCloudsLow) {
+  Rng rng(8);
+  const Matrix m = make_blobs(100, {{0.0, 0.0}, {0.5, 0.5}}, 2.0, rng);
+  const KMeansResult r = kmeans(m, 2, rng);
+  EXPECT_LT(silhouette_score(m, r.labels), 0.5);
+}
+
+TEST(Silhouette, DegenerateInputsZero) {
+  Matrix m(2, 2);
+  const std::vector<std::size_t> one_cluster = {0, 0};
+  EXPECT_DOUBLE_EQ(silhouette_score(m, one_cluster), 0.0);
+}
+
+TEST(SquaredDistance, Basic) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+}  // namespace
+}  // namespace psa::ml

@@ -1,0 +1,157 @@
+// Jacobi eigensolver and PCA — the machinery behind the backscattering
+// baseline's clustering stage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/pca.hpp"
+
+namespace psa::ml {
+namespace {
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnEigenvalues) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 3.0;
+  a.at(1, 1) = 1.0;
+  a.at(2, 2) = 2.0;
+  const EigenResult e = jacobi_eigen_symmetric(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+TEST(Jacobi, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 2.0;
+  const EigenResult e = jacobi_eigen_symmetric(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const double v0 = e.vectors.at(0, 0);
+  const double v1 = e.vectors.at(1, 0);
+  EXPECT_NEAR(std::fabs(v0), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(v0, v1, 1e-9);
+}
+
+TEST(Jacobi, EigenvectorsAreOrthonormal) {
+  Rng rng(8);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a.at(i, j) = rng.gaussian();
+      a.at(j, i) = a.at(i, j);
+    }
+  }
+  const EigenResult e = jacobi_eigen_symmetric(a);
+  for (std::size_t c1 = 0; c1 < n; ++c1) {
+    for (std::size_t c2 = 0; c2 < n; ++c2) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += e.vectors.at(i, c1) * e.vectors.at(i, c2);
+      }
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  Rng rng(15);
+  const std::size_t n = 5;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a.at(i, j) = rng.gaussian();
+      a.at(j, i) = a.at(i, j);
+    }
+  }
+  const EigenResult e = jacobi_eigen_symmetric(a);
+  // A = V diag(L) V^T.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double v = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        v += e.vectors.at(i, k) * e.values[k] * e.vectors.at(j, k);
+      }
+      EXPECT_NEAR(v, a.at(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Jacobi, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_THROW(jacobi_eigen_symmetric(a), std::invalid_argument);
+}
+
+Matrix anisotropic_cloud(std::size_t n, Rng& rng) {
+  // 2-D cloud stretched 10:1 along the (1,1) direction.
+  Matrix samples(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double major = rng.gaussian(0.0, 10.0);
+    const double minor = rng.gaussian(0.0, 1.0);
+    samples.at(i, 0) = 5.0 + (major + minor) / std::sqrt(2.0);
+    samples.at(i, 1) = -3.0 + (major - minor) / std::sqrt(2.0);
+  }
+  return samples;
+}
+
+TEST(Pca, FirstComponentAlongMajorAxis) {
+  Rng rng(3);
+  const Matrix samples = anisotropic_cloud(2000, rng);
+  const Pca pca = Pca::fit(samples, 2);
+  const auto c0 = pca.component(0);
+  // Major axis is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(c0[0]), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(c0[0] * c0[1], 0.5, 0.05);  // same sign
+}
+
+TEST(Pca, ExplainedVarianceOrderingAndScale) {
+  Rng rng(4);
+  const Matrix samples = anisotropic_cloud(2000, rng);
+  const Pca pca = Pca::fit(samples, 2);
+  EXPECT_GT(pca.explained_variance()[0], pca.explained_variance()[1]);
+  EXPECT_NEAR(pca.explained_variance()[0], 100.0, 15.0);
+  EXPECT_NEAR(pca.explained_variance()[1], 1.0, 0.3);
+}
+
+TEST(Pca, MeanIsRemoved) {
+  Rng rng(5);
+  const Matrix samples = anisotropic_cloud(500, rng);
+  const Pca pca = Pca::fit(samples, 2);
+  EXPECT_NEAR(pca.mean()[0], 5.0, 1.5);
+  EXPECT_NEAR(pca.mean()[1], -3.0, 1.5);
+  // Projection of the mean itself is ~0.
+  const std::vector<double> mean_vec(pca.mean().begin(), pca.mean().end());
+  const auto p = pca.transform(mean_vec);
+  EXPECT_NEAR(p[0], 0.0, 1e-9);
+}
+
+TEST(Pca, TransformMatrixShape) {
+  Rng rng(6);
+  const Matrix samples = anisotropic_cloud(100, rng);
+  const Pca pca = Pca::fit(samples, 1);
+  const Matrix proj = pca.transform(samples);
+  EXPECT_EQ(proj.rows(), 100u);
+  EXPECT_EQ(proj.cols(), 1u);
+}
+
+TEST(Pca, DimMismatchThrows) {
+  Rng rng(7);
+  const Matrix samples = anisotropic_cloud(50, rng);
+  const Pca pca = Pca::fit(samples, 2);
+  const std::vector<double> bad(3, 0.0);
+  EXPECT_THROW(pca.transform(bad), std::invalid_argument);
+}
+
+TEST(Pca, TooFewSamplesThrows) {
+  Matrix one(1, 4);
+  EXPECT_THROW(Pca::fit(one, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psa::ml

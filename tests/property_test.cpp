@@ -1,0 +1,315 @@
+// Parameterized property sweeps (TEST_P): invariants that must hold across
+// whole families of inputs, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/spectrum.hpp"
+#include "em/dipole.hpp"
+#include "layout/floorplan.hpp"
+#include "psa/coil.hpp"
+#include "psa/programmer.hpp"
+#include "psa/tgate.hpp"
+#include "dsp/fixed_fft.hpp"
+
+namespace psa {
+namespace {
+
+// ------------------------------------------------- FFT round-trip vs size
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, RestoresRandomSignal) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<dsp::cplx> data(n);
+  std::vector<dsp::cplx> orig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {rng.gaussian(), rng.gaussian()};
+    orig[i] = data[i];
+  }
+  dsp::fft_inplace(data);
+  dsp::ifft_inplace(data);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(data[i] - orig[i]));
+  }
+  EXPECT_LT(worst, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024, 4096,
+                                           16384));
+
+// ------------------------------------------- sine amplitude across windows
+
+class WindowAccuracy
+    : public ::testing::TestWithParam<std::tuple<dsp::WindowKind, double>> {};
+
+TEST_P(WindowAccuracy, OnBinAmplitudeWithinWindowTolerance) {
+  const auto [window, tol] = GetParam();
+  const double fs = 1.0e6;
+  const std::size_t n = 4096;
+  const double f = fs * 256.0 / static_cast<double>(n);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.7 * std::sin(kTwoPi * f * static_cast<double>(i) / fs);
+  }
+  const dsp::Spectrum s = dsp::amplitude_spectrum(x, fs, window);
+  const std::size_t pk = s.peak_bin(f - 2000.0, f + 2000.0);
+  EXPECT_NEAR(s.magnitude[pk], 1.7, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, WindowAccuracy,
+    ::testing::Values(
+        std::make_tuple(dsp::WindowKind::kRectangular, 1e-6),
+        std::make_tuple(dsp::WindowKind::kHann, 1e-3),
+        std::make_tuple(dsp::WindowKind::kHamming, 1e-2),
+        std::make_tuple(dsp::WindowKind::kBlackmanHarris, 1e-3),
+        std::make_tuple(dsp::WindowKind::kFlatTop, 1e-3)));
+
+// -------------------------------------------- dipole kernel sign boundary
+
+class DipoleSignFlip : public ::testing::TestWithParam<double> {};
+
+TEST_P(DipoleSignFlip, FlipsExactlyAtSqrt2H) {
+  const double h = GetParam();
+  const double flip = std::sqrt(2.0) * h;
+  EXPECT_GT(em::dipole_bz(flip * 0.98, h), 0.0);
+  EXPECT_LT(em::dipole_bz(flip * 1.02, h), 0.0);
+  // And the optimal disk radius tracks it.
+  EXPECT_NEAR(em::optimal_disk_radius_um(h), flip, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, DipoleSignFlip,
+                         ::testing::Values(5.0, 20.0, 40.0, 100.0, 500.0));
+
+// ----------------------------------------------- disk flux peak vs height
+
+class DiskFluxPeak : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiskFluxPeak, MaximumAtOptimalRadius) {
+  const double h = GetParam();
+  const double r_opt = em::optimal_disk_radius_um(h);
+  const double peak = em::disk_flux(r_opt, h);
+  for (double factor : {0.25, 0.5, 0.8, 1.25, 2.0, 4.0}) {
+    EXPECT_GE(peak, em::disk_flux(r_opt * factor, h))
+        << "h=" << h << " factor=" << factor;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, DiskFluxPeak,
+                         ::testing::Values(10.0, 40.0, 120.0, 600.0));
+
+// ------------------------------------------------ T-gate monotonicity grid
+
+class TGateMonotonic
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TGateMonotonic, ResistanceMonotoneInVoltageAndTemperature) {
+  const auto [vdd, temp_c] = GetParam();
+  const sensor::TGate tg;
+  const double t_k = celsius_to_kelvin(temp_c);
+  // Raising Vdd lowers R_on; raising T raises it.
+  EXPECT_GT(tg.r_on(vdd, t_k), tg.r_on(vdd + 0.05, t_k));
+  EXPECT_LT(tg.r_on(vdd, t_k), tg.r_on(vdd, t_k + 10.0));
+  EXPECT_GT(tg.r_on(vdd, t_k), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TGateMonotonic,
+    ::testing::Combine(::testing::Values(0.8, 0.9, 1.0, 1.1, 1.2),
+                       ::testing::Values(-40.0, 0.0, 25.0, 85.0, 125.0)));
+
+// ------------------------------------------- every standard sensor's coil
+
+class StandardSensorProperties : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(StandardSensorProperties, ValidSized176MicronLoop) {
+  const std::size_t k = GetParam();
+  const sensor::SensorProgram p = sensor::CoilProgrammer::standard_sensor(k);
+  const sensor::CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok()) << sensor::to_string(ex.error);
+  EXPECT_EQ(ex.path->switch_count(), 4u);
+  // Enclosed area ≈ 176 µm x 176 µm (plus the thin pad run-out sliver).
+  const double area = std::fabs(signed_area(ex.path->polyline()));
+  EXPECT_GT(area, 176.0 * 176.0 * 0.95);
+  EXPECT_LT(area, 176.0 * 176.0 * 1.35);
+  // Electrical sanity at nominal conditions.
+  const sensor::TGate tg;
+  const double r = ex.path->resistance_ohm(tg, 1.0, 300.0);
+  EXPECT_GT(r, 4.0 * 34.0);
+  EXPECT_LT(r, 4.0 * 34.0 + 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All16, StandardSensorProperties,
+                         ::testing::Range<std::size_t>(0, 16));
+
+// ------------------------------------------------- sensor overlap network
+
+class SensorOverlap
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SensorOverlap, AdjacencyRule) {
+  const auto [a, b] = GetParam();
+  if (a == b) return;
+  const Rect ra = layout::standard_sensor_region(a);
+  const Rect rb = layout::standard_sensor_region(b);
+  const int col_d = std::abs(static_cast<int>(a % 4) - static_cast<int>(b % 4));
+  const int row_d = std::abs(static_cast<int>(a / 4) - static_cast<int>(b / 4));
+  const double ov = overlap_fraction(ra, rb);
+  if (col_d + row_d == 1) {
+    EXPECT_NEAR(ov, 1.0 / 3.0, 1e-9);  // side neighbours share 33 %
+  } else if (col_d == 1 && row_d == 1) {
+    EXPECT_NEAR(ov, 1.0 / 9.0, 1e-9);  // diagonal neighbours share 1/9
+  } else if (col_d >= 2 || row_d >= 2) {
+    EXPECT_LT(ov, 1e-9);  // non-adjacent sensors are disjoint
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, SensorOverlap,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 16),
+                       ::testing::Range<std::size_t>(0, 16)));
+
+// ----------------------------------------------- spiral winding vs turns
+
+class SpiralWinding : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpiralWinding, CentreWindingEqualsTurnCount) {
+  const std::size_t turns = GetParam();
+  const sensor::SensorProgram p =
+      sensor::CoilProgrammer::spiral(4, 4, 30, 30, turns);
+  const sensor::CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok()) << sensor::to_string(ex.error);
+  const Point centre = sensor::switch_position(17, 17);
+  EXPECT_EQ(std::abs(winding_number(ex.path->polyline(), centre)),
+            static_cast<int>(turns));
+  // Resistance grows with each turn's four switches.
+  EXPECT_EQ(ex.path->switch_count(), 4 * turns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Turns, SpiralWinding,
+                         ::testing::Range<std::size_t>(1, 13));
+
+// --------------------------------------- rect loop area tracks its span
+
+class RectLoopArea
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RectLoopArea, EnclosedAreaMatchesSpan) {
+  const auto [rows, cols] = GetParam();
+  const sensor::SensorProgram p =
+      sensor::CoilProgrammer::rect_loop(2, 2, 2 + rows, 2 + cols);
+  const sensor::CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok());
+  const double expect =
+      (static_cast<double>(rows) * 16.0) * (static_cast<double>(cols) * 16.0);
+  const double area = std::fabs(signed_area(ex.path->polyline()));
+  // Pad run-out adds a sliver; the loop area dominates.
+  EXPECT_GT(area, expect * 0.95);
+  EXPECT_LT(area, expect + 16.0 * 576.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spans, RectLoopArea,
+    ::testing::Combine(::testing::Values(2, 5, 11, 20, 33),
+                       ::testing::Values(1, 5, 11, 20, 33)));
+
+// ---------------------------------------- extraction fuzz: never crashes
+
+class ExtractionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtractionFuzz, RandomMatricesAlwaysClassified) {
+  // Arbitrary switch soup: extraction must terminate and return a verdict
+  // (valid coil or a specific error), never crash or hang, and a returned
+  // path must be electrically sane.
+  Rng rng(GetParam());
+  sensor::SwitchMatrix sw;
+  const std::size_t n_on = 3 + rng.below(40);
+  for (std::size_t i = 0; i < n_on; ++i) {
+    sw.set(rng.below(sensor::kWires), rng.below(sensor::kWires), true);
+  }
+  const auto pos = sensor::hwire(rng.below(sensor::kWires));
+  auto neg = sensor::hwire(rng.below(sensor::kWires));
+  if (neg == pos) neg = sensor::hwire((pos.index + 1) % sensor::kWires);
+  const sensor::CoilExtraction ex = sensor::extract_coil(sw, pos, neg);
+  if (ex.ok()) {
+    ASSERT_TRUE(ex.path.has_value());
+    EXPECT_GE(ex.path->switch_count(), 3u);
+    EXPECT_GT(ex.path->wire_length_um(), 0.0);
+    const sensor::TGate tg;
+    EXPECT_GT(ex.path->resistance_ohm(tg, 1.0, 300.0), 0.0);
+  } else {
+    EXPECT_NE(ex.error, sensor::CoilError::kNone);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractionFuzz,
+                         ::testing::Range<std::uint64_t>(0, 64));
+
+// ---------------------------------------- programmed-coil fault fuzz
+
+class FaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFuzz, SingleFaultNeverYieldsSilentlyWrongCoil) {
+  // Inject one random fault into a valid sensor program. Either the fault
+  // is harmless (touches unused wires -> still a valid identical-length
+  // coil, or a stub) or it must surface as an open/short — never as a
+  // "valid" coil with different geometry.
+  Rng rng(GetParam());
+  const std::size_t k = rng.below(16);
+  sensor::SensorProgram p = sensor::CoilProgrammer::standard_sensor(k);
+  const sensor::CoilExtraction clean = p.extract();
+  ASSERT_TRUE(clean.ok());
+  const double clean_len = clean.path->wire_length_um();
+
+  const std::size_t row = rng.below(sensor::kWires);
+  const std::size_t col = rng.below(sensor::kWires);
+  if ((rng() & 1) != 0) {
+    p.switches.inject_stuck_open(row, col);
+  } else {
+    p.switches.inject_stuck_closed(row, col);
+  }
+  const sensor::CoilExtraction faulty = p.extract();
+  if (faulty.ok()) {
+    EXPECT_NEAR(faulty.path->wire_length_um(), clean_len, 1e-9)
+        << "sensor " << k << " fault at (" << row << "," << col << ")";
+    EXPECT_EQ(faulty.path->switch_count(), clean.path->switch_count());
+  } else {
+    EXPECT_NE(faulty.error, sensor::CoilError::kNone);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
+                         ::testing::Range<std::uint64_t>(100, 164));
+
+// ---------------------------------------- Q15 FFT accuracy across sizes
+
+class FixedFftAccuracy : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FixedFftAccuracy, StrongBinsWithinFivePercent) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<double> x(n);
+  const double f1 = static_cast<double>(n / 8);
+  const double f2 = static_cast<double>(n / 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    x[i] = 0.45 * std::sin(kTwoPi * f1 * t) +
+           0.25 * std::cos(kTwoPi * f2 * t) + 0.005 * rng.gaussian();
+  }
+  EXPECT_LT(dsp::fixed_fft_relative_error(x, 1.0), 0.05) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FixedFftAccuracy,
+                         ::testing::Values(256, 1024, 4096, 16384));
+
+}  // namespace
+}  // namespace psa

@@ -1,0 +1,330 @@
+// The PSA itself: lattice/switch matrix, coil extraction and validation
+// (including tamper scenarios), programmer configurations, T-gate
+// electrical model, decoder and channels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "psa/channels.hpp"
+#include "psa/coil.hpp"
+#include "psa/lattice.hpp"
+#include "psa/programmer.hpp"
+#include "psa/tgate.hpp"
+
+namespace psa::sensor {
+namespace {
+
+TEST(Lattice, Has1296Switches) {
+  EXPECT_EQ(kWires, 36u);
+  EXPECT_EQ(kSwitches, 1296u);
+}
+
+TEST(Lattice, SwitchPositions) {
+  EXPECT_EQ(switch_position(0, 0), (Point{8.0, 8.0}));
+  EXPECT_EQ(switch_position(35, 35), (Point{568.0, 568.0}));
+  EXPECT_EQ(switch_position(2, 5), (Point{88.0, 40.0}));
+  EXPECT_THROW(switch_position(36, 0), std::out_of_range);
+}
+
+TEST(SwitchMatrix, SetClearCount) {
+  SwitchMatrix sw;
+  EXPECT_EQ(sw.count_on(), 0u);
+  sw.set(3, 4, true);
+  sw.set(10, 20, true);
+  EXPECT_TRUE(sw.commanded(3, 4));
+  EXPECT_EQ(sw.count_on(), 2u);
+  sw.set(3, 4, false);
+  EXPECT_EQ(sw.count_on(), 1u);
+  sw.clear();
+  EXPECT_EQ(sw.count_on(), 0u);
+  EXPECT_THROW(sw.set(36, 0, true), std::out_of_range);
+}
+
+TEST(SwitchMatrix, FaultsOverrideCommands) {
+  SwitchMatrix sw;
+  sw.set(1, 1, true);
+  sw.inject_stuck_open(1, 1);
+  EXPECT_TRUE(sw.commanded(1, 1));
+  EXPECT_FALSE(sw.effective(1, 1));
+  sw.inject_stuck_closed(2, 2);
+  EXPECT_TRUE(sw.effective(2, 2));
+  EXPECT_TRUE(sw.has_faults());
+  sw.clear_faults();
+  EXPECT_TRUE(sw.effective(1, 1));
+  EXPECT_FALSE(sw.effective(2, 2));
+}
+
+TEST(WireResistance, ScalesWithLength) {
+  EXPECT_NEAR(wire_resistance_ohm(16.0), 0.4, 1e-12);
+  EXPECT_NEAR(wire_resistance_ohm(1000.0), 25.0, 1e-12);
+}
+
+// ------------------------------------------------------------- extraction
+
+TEST(Extraction, RectLoopIsValid) {
+  const SensorProgram p = CoilProgrammer::rect_loop(4, 4, 15, 15);
+  const CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok()) << to_string(ex.error);
+  EXPECT_EQ(ex.path->switch_count(), 4u);
+  EXPECT_EQ(ex.path->stub_count, 0u);
+  // Vertices: pad+, 4 switch points, pad-.
+  EXPECT_EQ(ex.path->vertices.size(), 6u);
+}
+
+TEST(Extraction, OpenCircuitDetected) {
+  SensorProgram p = CoilProgrammer::rect_loop(4, 4, 15, 15);
+  p.switches.set(15, 4, false);  // remove one corner
+  const CoilExtraction ex = p.extract();
+  EXPECT_EQ(ex.error, CoilError::kOpenCircuit);
+}
+
+TEST(Extraction, ShortCircuitDetected) {
+  SensorProgram p = CoilProgrammer::rect_loop(4, 4, 15, 15);
+  p.switches.set(10, 4, true);  // extra switch on a used vertical wire
+  const CoilExtraction ex = p.extract();
+  EXPECT_EQ(ex.error, CoilError::kShortCircuit);
+}
+
+TEST(Extraction, StuckOpenFaultSurfacesAsOpen) {
+  // Section IV: a malicious-foundry stuck-open T-gate makes the self-test
+  // return an open-circuit verdict.
+  SensorProgram p = CoilProgrammer::rect_loop(4, 4, 15, 15);
+  p.switches.inject_stuck_open(4, 4);
+  EXPECT_EQ(p.extract().error, CoilError::kOpenCircuit);
+}
+
+TEST(Extraction, StuckClosedFaultSurfacesAsShort) {
+  SensorProgram p = CoilProgrammer::rect_loop(4, 4, 15, 15);
+  p.switches.inject_stuck_closed(8, 4);  // on a used vertical wire
+  EXPECT_EQ(p.extract().error, CoilError::kShortCircuit);
+}
+
+TEST(Extraction, StubOnUnusedWiresIsCountedNotFatal) {
+  SensorProgram p = CoilProgrammer::rect_loop(4, 4, 15, 15);
+  p.switches.set(20, 25, true);  // switch touching only unused wires
+  const CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok());
+  EXPECT_EQ(ex.path->stub_count, 1u);
+}
+
+TEST(Extraction, BadTerminals) {
+  const SwitchMatrix sw;
+  EXPECT_EQ(extract_coil(sw, vwire(0), hwire(1)).error,
+            CoilError::kBadTerminal);
+  EXPECT_EQ(extract_coil(sw, hwire(3), hwire(3)).error,
+            CoilError::kBadTerminal);
+}
+
+TEST(Extraction, EmptyMatrixIsOpen) {
+  const SwitchMatrix sw;
+  EXPECT_EQ(extract_coil(sw, hwire(0), hwire(1)).error,
+            CoilError::kOpenCircuit);
+}
+
+// -------------------------------------------------------------- programmer
+
+TEST(Programmer, RectLoopGeometry) {
+  const SensorProgram p = CoilProgrammer::rect_loop(0, 0, 11, 11);
+  const CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok());
+  // Enclosed area ~ (11 pitches)^2 = 176 µm square.
+  const double area = std::fabs(signed_area(ex.path->polyline()));
+  EXPECT_GT(area, 176.0 * 176.0 * 0.9);
+}
+
+TEST(Programmer, RejectsBadSpans) {
+  EXPECT_THROW(CoilProgrammer::rect_loop(0, 0, 1, 5), std::invalid_argument);
+  EXPECT_THROW(CoilProgrammer::rect_loop(0, 5, 5, 5), std::invalid_argument);
+  EXPECT_THROW(CoilProgrammer::rect_loop(0, 0, 36, 5), std::invalid_argument);
+}
+
+TEST(Programmer, SpiralTurnsAreValidAndWound) {
+  for (std::size_t turns = 1; turns <= 5; ++turns) {
+    const SensorProgram p = CoilProgrammer::spiral(10, 10, 22, 22, turns);
+    const CoilExtraction ex = p.extract();
+    ASSERT_TRUE(ex.ok()) << "turns=" << turns << ": " << to_string(ex.error);
+    EXPECT_EQ(ex.path->switch_count(), 4 * turns);
+    // Winding number at the spiral centre equals the turn count.
+    const Point centre = switch_position(16, 16);
+    EXPECT_EQ(std::abs(winding_number(ex.path->polyline(), centre)),
+              static_cast<int>(turns));
+  }
+}
+
+TEST(Programmer, SpiralRejectsTooManyTurns) {
+  EXPECT_THROW(CoilProgrammer::spiral(10, 10, 15, 15, 3),
+               std::invalid_argument);
+}
+
+TEST(Programmer, Fig1bTwoTurnExample) {
+  const SensorProgram p = CoilProgrammer::fig1b_two_turn();
+  const CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok());
+  const Point centre = switch_position(17, 17);
+  EXPECT_EQ(std::abs(winding_number(ex.path->polyline(), centre)), 2);
+}
+
+TEST(Programmer, SixteenStandardSensorsAllValid) {
+  for (std::size_t k = 0; k < 16; ++k) {
+    const SensorProgram p = CoilProgrammer::standard_sensor(k);
+    const CoilExtraction ex = p.extract();
+    ASSERT_TRUE(ex.ok()) << "sensor " << k;
+    // The coil lies within the sensor's nominal region (±1 pitch slack on
+    // each side), ignoring the pad run-out to the right edge.
+    const Rect region = layout::standard_sensor_region(k);
+    for (const Point& v : ex.path->vertices) {
+      if (v.x >= layout::kDieSideUm) continue;  // pad points
+      EXPECT_GE(v.x, region.lo.x - 16.0);
+      EXPECT_GE(v.y, region.lo.y - 16.0);
+      EXPECT_LE(v.y, region.hi.y + 16.0);
+    }
+  }
+  EXPECT_THROW(CoilProgrammer::standard_sensor(16), std::out_of_range);
+}
+
+TEST(Programmer, WholeDieCoilSpansLattice) {
+  const SensorProgram p = CoilProgrammer::whole_die_coil();
+  const CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok());
+  const double area = std::fabs(signed_area(ex.path->polyline()));
+  EXPECT_GT(area, 540.0 * 540.0);
+}
+
+TEST(Decoder, MapsCodesToStandardSensors) {
+  for (std::uint8_t code = 0; code < 16; ++code) {
+    const SensorProgram via_decoder = ConfigDecoder::decode(code);
+    const SensorProgram direct = CoilProgrammer::standard_sensor(code);
+    EXPECT_EQ(via_decoder.term_pos, direct.term_pos);
+    EXPECT_EQ(via_decoder.term_neg, direct.term_neg);
+    EXPECT_EQ(via_decoder.switches.count_on(), direct.switches.count_on());
+  }
+  // Codes wrap on the low nibble (combinational decode of 4 pins).
+  EXPECT_EQ(ConfigDecoder::decode(0x1F).term_pos,
+            CoilProgrammer::standard_sensor(15).term_pos);
+}
+
+// ------------------------------------------------------------------ T-gate
+
+TEST(TGate, NominalResistanceIs34Ohm) {
+  const TGate tg;
+  EXPECT_NEAR(tg.r_on(1.0, 300.0), 34.0, 1e-9);
+}
+
+TEST(TGate, ResistanceFallsWithVoltage) {
+  const TGate tg;
+  EXPECT_GT(tg.r_on(0.8, 300.0), tg.r_on(1.0, 300.0));
+  EXPECT_GT(tg.r_on(1.0, 300.0), tg.r_on(1.2, 300.0));
+}
+
+TEST(TGate, VoltageSwingWithinPaperEnvelope) {
+  // Section VI-C-1: ~4 dB impedance change over 0.8-1.2 V for a sensor.
+  const TGate tg;
+  const SensorProgram p = CoilProgrammer::standard_sensor(10);
+  const CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok());
+  const double z_lo = ex.path->resistance_ohm(tg, 0.8, 300.0);
+  const double z_hi = ex.path->resistance_ohm(tg, 1.2, 300.0);
+  const double swing_db = amplitude_db(z_lo / z_hi);
+  EXPECT_GT(swing_db, 2.0);
+  EXPECT_LT(swing_db, 6.0);
+}
+
+TEST(TGate, TemperatureSwingWithinPaperEnvelope) {
+  // Section VI-C-2: impedance stable within ~4 dB from -40 to 125 °C.
+  const TGate tg;
+  const SensorProgram p = CoilProgrammer::standard_sensor(10);
+  const CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok());
+  const double z_cold =
+      ex.path->resistance_ohm(tg, 1.0, celsius_to_kelvin(-40.0));
+  const double z_hot =
+      ex.path->resistance_ohm(tg, 1.0, celsius_to_kelvin(125.0));
+  const double swing_db = amplitude_db(z_hot / z_cold);
+  EXPECT_GT(swing_db, 1.0);
+  EXPECT_LT(swing_db, 5.0);
+}
+
+TEST(TGate, RejectsNonPhysicalOperatingPoints) {
+  const TGate tg;
+  EXPECT_THROW(tg.r_on(0.3, 300.0), std::invalid_argument);
+  EXPECT_THROW(tg.r_on(1.0, -5.0), std::invalid_argument);
+}
+
+TEST(TGate, LeakagePowerTiny) {
+  const TGate tg;
+  // The paper: PSA power is dominated by leakage and negligible overall.
+  EXPECT_LT(tg.leakage_power(1.2) * 1296.0, 1e-3);  // < 1 mW for all gates
+}
+
+// ------------------------------------------------------------- electrical
+
+TEST(CoilPath, ResistanceBreakdown) {
+  const TGate tg;
+  const SensorProgram p = CoilProgrammer::standard_sensor(10);
+  const CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok());
+  const double r = ex.path->resistance_ohm(tg, 1.0, 300.0);
+  const double wires = wire_resistance_ohm(ex.path->wire_length_um());
+  EXPECT_NEAR(r, wires + 4.0 * 34.0, 1e-9);
+}
+
+TEST(CoilPath, ImpedanceRisesWithFrequency) {
+  const TGate tg;
+  const SensorProgram p = CoilProgrammer::standard_sensor(10);
+  const CoilExtraction ex = p.extract();
+  ASSERT_TRUE(ex.ok());
+  const double z_dc = ex.path->impedance_ohm(tg, 1.0, 300.0, 0.0);
+  const double z_hf = ex.path->impedance_ohm(tg, 1.0, 300.0, 500.0e6);
+  EXPECT_GT(z_hf, z_dc);
+  EXPECT_NEAR(z_dc, ex.path->resistance_ohm(tg, 1.0, 300.0), 1e-9);
+}
+
+// ---------------------------------------------------------------- channels
+
+TEST(Channels, DefaultGroupingCoversAllSensors) {
+  const ChannelMap map;
+  std::array<int, 4> counts{};
+  for (std::size_t s = 0; s < 16; ++s) {
+    const std::size_t ch = map.channel_of(s);
+    ASSERT_LT(ch, kOutputChannels);
+    ++counts[ch];
+  }
+  for (int c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(Channels, PaperExampleGroup) {
+  // Fig. 2: sensors 0,1,5,6 share the sensor1 channel.
+  const ChannelMap map;
+  EXPECT_EQ(map.channel_of(0), map.channel_of(1));
+  EXPECT_EQ(map.channel_of(0), map.channel_of(5));
+  EXPECT_EQ(map.channel_of(0), map.channel_of(6));
+  EXPECT_NE(map.channel_of(0), map.channel_of(2));
+}
+
+TEST(Channels, RoundsCoverEverySensorOnce) {
+  const ChannelMap map;
+  std::array<bool, 16> seen{};
+  for (std::size_t r = 0; r < map.scan_rounds(); ++r) {
+    for (std::size_t s : map.round_sensors(r)) {
+      EXPECT_FALSE(seen[s]);
+      seen[s] = true;
+    }
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Channels, NamesAndValidation) {
+  EXPECT_EQ(ChannelMap::channel_name(0), "sensor1+/-");
+  EXPECT_EQ(ChannelMap::channel_name(3), "sensor4+/-");
+  EXPECT_THROW(ChannelMap::channel_name(4), std::out_of_range);
+  // Duplicate sensor in a custom grouping is rejected.
+  EXPECT_THROW(ChannelMap({{{{0, 1, 2, 3}},
+                            {{3, 5, 6, 7}},
+                            {{8, 9, 10, 11}},
+                            {{12, 13, 14, 15}}}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psa::sensor

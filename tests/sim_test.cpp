@@ -1,0 +1,203 @@
+// Chip simulator: composition of activity, coupling, noise and front-end.
+// These tests pin the physical behaviours every experiment relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "afe/spectrum_analyzer.hpp"
+#include "common/units.hpp"
+#include "dsp/stats.hpp"
+#include "psa/programmer.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa::sim {
+namespace {
+
+// Shared fixture: one simulator for the whole file (FluxMap computation is
+// the expensive part).
+class SimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    chip_ = new ChipSimulator(SimTiming{}, layout::Floorplan::aes_testchip());
+    s10_ = new SensorView(chip_->view_from_program(
+        sensor::CoilProgrammer::standard_sensor(10), "sensor10"));
+    s0_ = new SensorView(chip_->view_from_program(
+        sensor::CoilProgrammer::standard_sensor(0), "sensor0"));
+  }
+  static void TearDownTestSuite() {
+    delete s0_;
+    delete s10_;
+    delete chip_;
+    chip_ = nullptr;
+    s10_ = s0_ = nullptr;
+  }
+
+  static ChipSimulator* chip_;
+  static SensorView* s10_;
+  static SensorView* s0_;
+};
+
+ChipSimulator* SimTest::chip_ = nullptr;
+SensorView* SimTest::s10_ = nullptr;
+SensorView* SimTest::s0_ = nullptr;
+
+TEST_F(SimTest, TimingDefaults) {
+  EXPECT_DOUBLE_EQ(chip_->timing().clock_hz, 33.0e6);
+  EXPECT_DOUBLE_EQ(chip_->timing().sample_rate_hz(), 1.056e9);
+}
+
+TEST_F(SimTest, ScenarioFactories) {
+  const Scenario t2 = Scenario::with_trojan(trojan::TrojanKind::kT2KeyLeak);
+  EXPECT_EQ(t2.active_trojan, trojan::TrojanKind::kT2KeyLeak);
+  EXPECT_EQ(t2.plaintext_mode, aes::PlaintextMode::kAlternating);
+  const Scenario t4 = Scenario::with_trojan(trojan::TrojanKind::kT4DoS);
+  EXPECT_EQ(t4.plaintext_mode, aes::PlaintextMode::kRandom);
+  EXPECT_FALSE(Scenario::idle().encrypting);
+  EXPECT_FALSE(Scenario::baseline().active_trojan.has_value());
+}
+
+TEST_F(SimTest, SensorViewHasGainsForAllModules) {
+  for (const auto& m : chip_->floorplan().modules()) {
+    EXPECT_TRUE(s10_->gains.count(m.name)) << m.name;
+  }
+  EXPECT_TRUE(s10_->gains.count("clock_tree"));
+  EXPECT_EQ(s10_->switch_count, 4u);
+  EXPECT_GT(s10_->wire_length_um, 500.0);
+}
+
+TEST_F(SimTest, TrojanGainStrongestAtSensor10) {
+  // The Trojans sit under sensor 10; its coupling gain to them must beat
+  // the far-corner sensor 0 by a large factor.
+  for (const char* t : {"t1", "t2", "t3", "t4"}) {
+    EXPECT_GT(std::fabs(s10_->gains.at(t)), 5.0 * std::fabs(s0_->gains.at(t)))
+        << t;
+  }
+}
+
+TEST_F(SimTest, MeasurementDeterministicForSeed) {
+  const Scenario sc = Scenario::baseline(5);
+  const MeasuredTrace a = chip_->measure(*s10_, sc, 128);
+  const MeasuredTrace b = chip_->measure(*s10_, sc, 128);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST_F(SimTest, DifferentSeedsDiffer) {
+  const MeasuredTrace a = chip_->measure(*s10_, Scenario::baseline(5), 128);
+  const MeasuredTrace b = chip_->measure(*s10_, Scenario::baseline(6), 128);
+  EXPECT_NE(a.samples, b.samples);
+}
+
+TEST_F(SimTest, TraceDuration) {
+  const MeasuredTrace tr = chip_->measure(*s10_, Scenario::baseline(1), 1024);
+  EXPECT_EQ(tr.samples.size(), 1024u * 32u);
+  EXPECT_NEAR(tr.duration_s(), 31.03e-6, 0.1e-6);
+}
+
+TEST_F(SimTest, ClockHarmonicsPresentWhileEncrypting) {
+  const MeasuredTrace tr = chip_->measure(*s10_, Scenario::baseline(2), 2048);
+  afe::SpectrumAnalyzer sa;
+  const auto s = sa.sweep(tr.samples, tr.sample_rate_hz);
+  // 33 / 66 / 99 MHz lines well above the nearby floor.
+  for (double h : {33.0e6, 66.0e6, 99.0e6}) {
+    const double line = s.value_at(h);
+    const double floor = s.value_at(h - 5.0e6);
+    EXPECT_GT(line, 5.0 * floor) << h;
+  }
+}
+
+TEST_F(SimTest, SidebandAppearsOnlyWithActiveTrojan) {
+  afe::SpectrumAnalyzer sa;
+  const MeasuredTrace off = chip_->measure(*s10_, Scenario::baseline(3), 2048);
+  const MeasuredTrace on = chip_->measure(
+      *s10_, Scenario::with_trojan(trojan::TrojanKind::kT4DoS, 3), 2048);
+  const auto s_off = sa.sweep(off.samples, off.sample_rate_hz);
+  const auto s_on = sa.sweep(on.samples, on.sample_rate_hz);
+  // 48 MHz and 84 MHz sidebands (Fig. 4): >20 dB contrast.
+  EXPECT_GT(s_on.value_at(48.0e6), 10.0 * s_off.value_at(48.0e6));
+  EXPECT_GT(s_on.value_at(84.0e6), 10.0 * s_off.value_at(84.0e6));
+}
+
+TEST_F(SimTest, Sensor0BlindToTrojans) {
+  afe::SpectrumAnalyzer sa;
+  const MeasuredTrace off = chip_->measure(*s0_, Scenario::baseline(4), 2048);
+  const MeasuredTrace on = chip_->measure(
+      *s0_, Scenario::with_trojan(trojan::TrojanKind::kT1AmCarrier, 4), 2048);
+  const auto s_off = sa.sweep(off.samples, off.sample_rate_hz);
+  const auto s_on = sa.sweep(on.samples, on.sample_rate_hz);
+  // Fig. 4e: "hardly any spectrum difference" at the empty corner — the
+  // sideband grows by far less than at sensor 10.
+  const double ratio = s_on.value_at(48.0e6) /
+                       std::max(s_off.value_at(48.0e6), 1e-12);
+  const MeasuredTrace on10 = chip_->measure(
+      *s10_, Scenario::with_trojan(trojan::TrojanKind::kT1AmCarrier, 4), 2048);
+  const MeasuredTrace off10 = chip_->measure(*s10_, Scenario::baseline(4), 2048);
+  const auto s_on10 = sa.sweep(on10.samples, on10.sample_rate_hz);
+  const auto s_off10 = sa.sweep(off10.samples, off10.sample_rate_hz);
+  const double ratio10 = s_on10.value_at(48.0e6) /
+                         std::max(s_off10.value_at(48.0e6), 1e-12);
+  EXPECT_GT(ratio10, 10.0 * ratio);
+}
+
+TEST_F(SimTest, IdleTraceMuchQuieterThanActive) {
+  const MeasuredTrace active = chip_->measure(*s10_, Scenario::baseline(6), 1024);
+  const MeasuredTrace idle = chip_->measure(*s10_, Scenario::idle(6), 1024);
+  EXPECT_GT(dsp::rms(active.samples), 30.0 * dsp::rms(idle.samples));
+}
+
+TEST_F(SimTest, SnrInPaperBand) {
+  // Eq. (1) on the standard sensor: the paper reports 41.0 dB.
+  const MeasuredTrace sig = chip_->measure(*s10_, Scenario::baseline(7), 2048);
+  const MeasuredTrace noi = chip_->measure(*s10_, Scenario::idle(7), 2048);
+  const double snr = dsp::snr_db(sig.samples, noi.samples);
+  EXPECT_GT(snr, 37.0);
+  EXPECT_LT(snr, 49.0);
+}
+
+TEST_F(SimTest, SupplyVoltageScalesSignal) {
+  Scenario lo = Scenario::baseline(8);
+  lo.vdd = 0.8;
+  Scenario hi = Scenario::baseline(8);
+  hi.vdd = 1.2;
+  const auto v_lo = chip_->coil_voltage(*s10_, lo, 256);
+  const auto v_hi = chip_->coil_voltage(*s10_, hi, 256);
+  EXPECT_NEAR(dsp::rms(v_hi) / dsp::rms(v_lo), 1.5, 0.05);
+}
+
+TEST_F(SimTest, CoilResistanceTracksOperatingPoint) {
+  Scenario nominal = Scenario::baseline(1);
+  Scenario low_v = nominal;
+  low_v.vdd = 0.8;
+  Scenario hot = nominal;
+  hot.temperature_k = celsius_to_kelvin(125.0);
+  const double r_nom = chip_->coil_resistance_ohm(*s10_, nominal);
+  EXPECT_GT(chip_->coil_resistance_ohm(*s10_, low_v), r_nom);
+  EXPECT_GT(chip_->coil_resistance_ohm(*s10_, hot), r_nom);
+}
+
+TEST_F(SimTest, TotalCurrentReflectsTrojanLoad) {
+  const auto base = chip_->total_current(Scenario::baseline(9), 512);
+  const auto dos = chip_->total_current(
+      Scenario::with_trojan(trojan::TrojanKind::kT4DoS, 9), 512);
+  EXPECT_GT(dsp::rms(dos), 1.05 * dsp::rms(base));
+}
+
+TEST_F(SimTest, InvalidProgramRejected) {
+  sensor::SensorProgram broken = sensor::CoilProgrammer::standard_sensor(3);
+  broken.switches.clear();
+  EXPECT_THROW(chip_->view_from_program(broken, "broken"),
+               std::invalid_argument);
+}
+
+TEST_F(SimTest, ActivationCycleDelaysSideband) {
+  afe::SpectrumAnalyzer sa;
+  Scenario late = Scenario::with_trojan(trojan::TrojanKind::kT4DoS, 10);
+  late.trojan_activation_cycle = 100000;  // beyond this trace
+  const MeasuredTrace tr = chip_->measure(*s10_, late, 1024);
+  const MeasuredTrace off = chip_->measure(*s10_, Scenario::baseline(10), 1024);
+  const auto s_late = sa.sweep(tr.samples, tr.sample_rate_hz);
+  const auto s_off = sa.sweep(off.samples, off.sample_rate_hz);
+  EXPECT_LT(s_late.value_at(48.0e6), 3.0 * s_off.value_at(48.0e6));
+}
+
+}  // namespace
+}  // namespace psa::sim

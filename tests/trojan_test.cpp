@@ -1,0 +1,219 @@
+// Trojan behavioural models: triggers, payload envelopes, gate budgets.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "aes/activity.hpp"
+#include "dsp/spectrum.hpp"
+#include "trojan/trojan.hpp"
+
+namespace psa::trojan {
+namespace {
+
+TrojanContext make_context(std::size_t n_cycles,
+                           aes::PlaintextMode mode = aes::PlaintextMode::kRandom,
+                           aes::CoreActivityTrace* keep = nullptr) {
+  static aes::CoreActivityTrace trace;  // referenced by the returned context
+  aes::ActivityConfig cfg;
+  cfg.mode = mode;
+  const aes::Key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const aes::AesActivityModel model(key, cfg, 77);
+  trace = model.generate(n_cycles);
+  if (keep != nullptr) *keep = trace;
+  TrojanContext ctx;
+  ctx.encryptions = trace.encryptions;
+  ctx.key = key;
+  ctx.seed = 5;
+  return ctx;
+}
+
+TEST(TrojanMeta, NamesAndDescriptions) {
+  EXPECT_EQ(module_name(TrojanKind::kT1AmCarrier), "t1");
+  EXPECT_EQ(module_name(TrojanKind::kT4DoS), "t4");
+  EXPECT_FALSE(describe(TrojanKind::kT3CdmaLeak).empty());
+  EXPECT_EQ(all_trojan_kinds().size(), 4u);
+}
+
+TEST(TrojanMeta, GateCountsMatchTableII) {
+  EXPECT_EQ(gate_count(TrojanKind::kT1AmCarrier), 1881u);
+  EXPECT_EQ(gate_count(TrojanKind::kT2KeyLeak), 2132u);
+  EXPECT_EQ(gate_count(TrojanKind::kT3CdmaLeak), 329u);
+  EXPECT_EQ(gate_count(TrojanKind::kT4DoS), 2181u);
+}
+
+TEST(TrojanMeta, T1CounterPeriodIsPaperValue) {
+  EXPECT_EQ(kT1CounterPeriod, 0x1FFFFFu);
+}
+
+TEST(TrojanBase, DisabledPayloadIsSilent) {
+  const TrojanContext ctx = make_context(256);
+  for (TrojanKind kind : all_trojan_kinds()) {
+    const auto t = make_trojan(kind);
+    EXPECT_FALSE(t->enabled());
+    const auto p = t->payload_toggles(ctx, 256);
+    for (double v : p) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(TrojanBase, TriggerCircuitsAlwaysTick) {
+  const TrojanContext ctx = make_context(64);
+  for (TrojanKind kind : all_trojan_kinds()) {
+    const auto t = make_trojan(kind);
+    const auto trig = t->trigger_toggles(ctx, 64);
+    const double total = std::accumulate(trig.begin(), trig.end(), 0.0);
+    EXPECT_GT(total, 0.0) << module_name(kind);
+  }
+}
+
+TEST(TrojanBase, ActivationCycleDelaysPayload) {
+  const TrojanContext ctx = make_context(512);
+  const auto t = make_trojan(TrojanKind::kT4DoS);
+  t->set_enabled(true);
+  t->set_activation_cycle(200);
+  const auto p = t->payload_toggles(ctx, 512);
+  for (std::size_t c = 0; c < 200; ++c) EXPECT_DOUBLE_EQ(p[c], 0.0);
+  double after = 0.0;
+  for (std::size_t c = 200; c < 512; ++c) after += p[c];
+  EXPECT_GT(after, 0.0);
+}
+
+TEST(TrojanT1, EnvelopeCarries750kHzAm) {
+  const TrojanContext ctx = make_context(8192);
+  TrojanT1 t1;
+  t1.set_enabled(true);
+  const auto p = t1.payload_toggles(ctx, 8192);
+  // The per-cycle sequence is sampled at 33 MHz; its spectrum must show the
+  // 750 kHz AM line.
+  const dsp::Spectrum s =
+      dsp::amplitude_spectrum(p, ctx.clock_hz, dsp::WindowKind::kHann);
+  const std::size_t pk = s.peak_bin(0.4e6, 1.2e6);
+  EXPECT_NEAR(s.freq_hz[pk], TrojanT1::kAmHz, 40.0e3);
+}
+
+TEST(TrojanT1, BeatComponentAt15MHz) {
+  const TrojanContext ctx = make_context(8192);
+  TrojanT1 t1;
+  t1.set_enabled(true);
+  const auto p = t1.payload_toggles(ctx, 8192);
+  const dsp::Spectrum s =
+      dsp::amplitude_spectrum(p, ctx.clock_hz, dsp::WindowKind::kHann);
+  // Energy at the payload beat (15 MHz) well above the floor near 10 MHz.
+  EXPECT_GT(s.value_at(kPayloadBeatHz), 10.0 * s.value_at(10.0e6));
+}
+
+TEST(TrojanT2, TriggersOnlyOnPrefix) {
+  aes::Block pt{};
+  EXPECT_FALSE(TrojanT2::triggers(pt));
+  pt[0] = 0xAA;
+  EXPECT_FALSE(TrojanT2::triggers(pt));
+  pt[1] = 0xAA;
+  EXPECT_TRUE(TrojanT2::triggers(pt));
+}
+
+TEST(TrojanT2, SilentUnderRandomTraffic) {
+  // Random plaintexts essentially never carry the 0xAAAA prefix, so an
+  // enabled T2 stays quiet — the paper's trigger semantics.
+  const TrojanContext ctx = make_context(2048, aes::PlaintextMode::kRandom);
+  TrojanT2 t2;
+  t2.set_enabled(true);
+  const auto p = t2.payload_toggles(ctx, 2048);
+  EXPECT_DOUBLE_EQ(std::accumulate(p.begin(), p.end(), 0.0), 0.0);
+}
+
+TEST(TrojanT2, BurstsAlignWithTriggeredEncryptions) {
+  aes::CoreActivityTrace trace;
+  const TrojanContext ctx =
+      make_context(2048, aes::PlaintextMode::kTriggerT2, &trace);
+  TrojanT2 t2;
+  t2.set_enabled(true);
+  const auto p = t2.payload_toggles(ctx, 2048);
+  ASSERT_FALSE(ctx.encryptions.empty());
+  // Activity exists exactly in round cycles of triggered encryptions.
+  for (const aes::EncryptionEvent& e : ctx.encryptions) {
+    double burst = 0.0;
+    for (int r = 1; r <= 10; ++r) {
+      burst += p[e.start_cycle + static_cast<std::size_t>(r)];
+    }
+    EXPECT_GT(burst, 0.0);
+  }
+}
+
+TEST(TrojanT3, LfsrIsMaximalLength) {
+  std::uint16_t state = 1;
+  std::set<std::uint16_t> seen;
+  for (int i = 0; i < (1 << 15) - 1; ++i) {
+    EXPECT_TRUE(seen.insert(state).second) << "cycle at step " << i;
+    state = TrojanT3::lfsr_next(state);
+    EXPECT_NE(state, 0u);
+  }
+  EXPECT_EQ(state, 1u);  // full period returns to the start
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>((1 << 15) - 1));
+}
+
+TEST(TrojanT3, ChipsHoldForChipPeriod) {
+  const TrojanContext ctx = make_context(4096);
+  TrojanT3 t3;
+  t3.set_enabled(true);
+  const auto p = t3.payload_toggles(ctx, 4096);
+  // Within one chip period the on/off state cannot change (only the beat
+  // amplitude varies); check the binary gate via zero/nonzero pattern per
+  // chip block.
+  for (std::size_t chip = 0; chip + 1 < 4096 / TrojanT3::kCyclesPerChip;
+       ++chip) {
+    bool any_on = false;
+    bool any_off = false;
+    for (std::size_t c = 0; c < TrojanT3::kCyclesPerChip; ++c) {
+      const double v = p[chip * TrojanT3::kCyclesPerChip + c];
+      // The beat can make individual samples ~0 even when gated on, so
+      // compare against the gate via a loose classification.
+      (v > 0.0 ? any_on : any_off) = true;
+    }
+    // A chip can be all-off, but if it is on, some samples must be nonzero.
+    EXPECT_TRUE(any_on || any_off);
+  }
+  // Roughly half the chips transmit (PN xor key bits is balanced).
+  std::size_t on_chips = 0;
+  const std::size_t n_chips = 4096 / TrojanT3::kCyclesPerChip;
+  for (std::size_t chip = 0; chip < n_chips; ++chip) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < TrojanT3::kCyclesPerChip; ++c) {
+      sum += p[chip * TrojanT3::kCyclesPerChip + c];
+    }
+    if (sum > 0.0) ++on_chips;
+  }
+  EXPECT_GT(on_chips, n_chips / 4);
+  EXPECT_LT(on_chips, 3 * n_chips / 4);
+}
+
+TEST(TrojanT4, NearConstantEnvelope) {
+  const TrojanContext ctx = make_context(4096);
+  TrojanT4 t4;
+  t4.set_enabled(true);
+  const auto p = t4.payload_toggles(ctx, 4096);
+  // Average per 32-cycle window: the beat averages out, leaving the DoS
+  // load with only its 3 % ripple.
+  std::vector<double> windows;
+  for (std::size_t w = 0; w + 32 <= p.size(); w += 32) {
+    windows.push_back(std::accumulate(p.begin() + static_cast<std::ptrdiff_t>(w),
+                                      p.begin() + static_cast<std::ptrdiff_t>(w + 32), 0.0));
+  }
+  const double mean =
+      std::accumulate(windows.begin(), windows.end(), 0.0) /
+      static_cast<double>(windows.size());
+  for (double v : windows) EXPECT_NEAR(v, mean, mean * 0.12);
+}
+
+TEST(TrojanT4, ScalesWithGateCount) {
+  const TrojanContext ctx = make_context(256);
+  TrojanT4 t4;
+  t4.set_enabled(true);
+  const auto p = t4.payload_toggles(ctx, 256);
+  const double peak = *std::max_element(p.begin(), p.end());
+  EXPECT_LE(peak, static_cast<double>(gate_count(TrojanKind::kT4DoS)));
+  EXPECT_GT(peak, 0.5 * static_cast<double>(gate_count(TrojanKind::kT4DoS)));
+}
+
+}  // namespace
+}  // namespace psa::trojan
