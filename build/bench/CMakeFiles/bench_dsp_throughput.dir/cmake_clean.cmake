@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsp_throughput.dir/bench_dsp_throughput.cpp.o"
+  "CMakeFiles/bench_dsp_throughput.dir/bench_dsp_throughput.cpp.o.d"
+  "bench_dsp_throughput"
+  "bench_dsp_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig3_spectrum_comparison.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_frequency_response.dir/bench_fig4_frequency_response.cpp.o"
+  "CMakeFiles/bench_fig4_frequency_response.dir/bench_fig4_frequency_response.cpp.o.d"
+  "bench_fig4_frequency_response"
+  "bench_fig4_frequency_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_frequency_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

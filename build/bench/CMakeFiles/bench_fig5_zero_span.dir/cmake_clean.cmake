@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_zero_span.dir/bench_fig5_zero_span.cpp.o"
+  "CMakeFiles/bench_fig5_zero_span.dir/bench_fig5_zero_span.cpp.o.d"
+  "bench_fig5_zero_span"
+  "bench_fig5_zero_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_zero_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

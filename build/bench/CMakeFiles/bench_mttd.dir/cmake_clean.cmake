@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mttd.dir/bench_mttd.cpp.o"
+  "CMakeFiles/bench_mttd.dir/bench_mttd.cpp.o.d"
+  "bench_mttd"
+  "bench_mttd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mttd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snr.dir/bench_snr.cpp.o"
+  "CMakeFiles/bench_snr.dir/bench_snr.cpp.o.d"
+  "bench_snr"
+  "bench_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

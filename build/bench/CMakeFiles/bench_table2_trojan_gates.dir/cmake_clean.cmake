@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_trojan_gates.dir/bench_table2_trojan_gates.cpp.o"
+  "CMakeFiles/bench_table2_trojan_gates.dir/bench_table2_trojan_gates.cpp.o.d"
+  "bench_table2_trojan_gates"
+  "bench_table2_trojan_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_trojan_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

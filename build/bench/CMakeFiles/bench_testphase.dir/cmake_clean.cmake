@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_testphase.dir/bench_testphase.cpp.o"
+  "CMakeFiles/bench_testphase.dir/bench_testphase.cpp.o.d"
+  "bench_testphase"
+  "bench_testphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_testphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

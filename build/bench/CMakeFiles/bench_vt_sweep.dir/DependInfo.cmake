@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_vt_sweep.cpp" "bench/CMakeFiles/bench_vt_sweep.dir/bench_vt_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_vt_sweep.dir/bench_vt_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/psa_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/psa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/psa_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/afe/CMakeFiles/psa_afe.dir/DependInfo.cmake"
+  "/root/repo/build/src/psa/CMakeFiles/psa_psa.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/psa_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/psa_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/psa_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/psa_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/psa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/psa_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/psa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vt_sweep.dir/bench_vt_sweep.cpp.o"
+  "CMakeFiles/bench_vt_sweep.dir/bench_vt_sweep.cpp.o.d"
+  "bench_vt_sweep"
+  "bench_vt_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vt_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

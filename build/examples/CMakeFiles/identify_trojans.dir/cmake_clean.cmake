@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identify_trojans.dir/identify_trojans.cpp.o"
+  "CMakeFiles/identify_trojans.dir/identify_trojans.cpp.o.d"
+  "identify_trojans"
+  "identify_trojans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identify_trojans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for identify_trojans.
+# This may be replaced when dependencies are built.

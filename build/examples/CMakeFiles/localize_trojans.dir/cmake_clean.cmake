@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localize_trojans.dir/localize_trojans.cpp.o"
+  "CMakeFiles/localize_trojans.dir/localize_trojans.cpp.o.d"
+  "localize_trojans"
+  "localize_trojans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localize_trojans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

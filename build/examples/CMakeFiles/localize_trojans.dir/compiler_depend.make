@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for localize_trojans.
+# This may be replaced when dependencies are built.

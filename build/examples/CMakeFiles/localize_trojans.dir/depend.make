@@ -1,0 +1,2 @@
+# Empty dependencies file for localize_trojans.
+# This may be replaced when dependencies are built.

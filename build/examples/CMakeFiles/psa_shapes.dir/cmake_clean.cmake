@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_shapes.dir/psa_shapes.cpp.o"
+  "CMakeFiles/psa_shapes.dir/psa_shapes.cpp.o.d"
+  "psa_shapes"
+  "psa_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dsp")
+subdirs("ml")
+subdirs("aes")
+subdirs("layout")
+subdirs("trojan")
+subdirs("testgen")
+subdirs("em")
+subdirs("psa")
+subdirs("afe")
+subdirs("sim")
+subdirs("baseline")
+subdirs("analysis")

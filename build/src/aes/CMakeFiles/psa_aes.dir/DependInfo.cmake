@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aes/activity.cpp" "src/aes/CMakeFiles/psa_aes.dir/activity.cpp.o" "gcc" "src/aes/CMakeFiles/psa_aes.dir/activity.cpp.o.d"
+  "/root/repo/src/aes/aes128.cpp" "src/aes/CMakeFiles/psa_aes.dir/aes128.cpp.o" "gcc" "src/aes/CMakeFiles/psa_aes.dir/aes128.cpp.o.d"
+  "/root/repo/src/aes/uart.cpp" "src/aes/CMakeFiles/psa_aes.dir/uart.cpp.o" "gcc" "src/aes/CMakeFiles/psa_aes.dir/uart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_aes.dir/activity.cpp.o"
+  "CMakeFiles/psa_aes.dir/activity.cpp.o.d"
+  "CMakeFiles/psa_aes.dir/aes128.cpp.o"
+  "CMakeFiles/psa_aes.dir/aes128.cpp.o.d"
+  "CMakeFiles/psa_aes.dir/uart.cpp.o"
+  "CMakeFiles/psa_aes.dir/uart.cpp.o.d"
+  "libpsa_aes.a"
+  "libpsa_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

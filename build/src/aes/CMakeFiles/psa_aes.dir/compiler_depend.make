@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for psa_aes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afe/adc.cpp" "src/afe/CMakeFiles/psa_afe.dir/adc.cpp.o" "gcc" "src/afe/CMakeFiles/psa_afe.dir/adc.cpp.o.d"
+  "/root/repo/src/afe/frontend.cpp" "src/afe/CMakeFiles/psa_afe.dir/frontend.cpp.o" "gcc" "src/afe/CMakeFiles/psa_afe.dir/frontend.cpp.o.d"
+  "/root/repo/src/afe/opamp.cpp" "src/afe/CMakeFiles/psa_afe.dir/opamp.cpp.o" "gcc" "src/afe/CMakeFiles/psa_afe.dir/opamp.cpp.o.d"
+  "/root/repo/src/afe/spectrum_analyzer.cpp" "src/afe/CMakeFiles/psa_afe.dir/spectrum_analyzer.cpp.o" "gcc" "src/afe/CMakeFiles/psa_afe.dir/spectrum_analyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/psa_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_afe.dir/adc.cpp.o"
+  "CMakeFiles/psa_afe.dir/adc.cpp.o.d"
+  "CMakeFiles/psa_afe.dir/frontend.cpp.o"
+  "CMakeFiles/psa_afe.dir/frontend.cpp.o.d"
+  "CMakeFiles/psa_afe.dir/opamp.cpp.o"
+  "CMakeFiles/psa_afe.dir/opamp.cpp.o.d"
+  "CMakeFiles/psa_afe.dir/spectrum_analyzer.cpp.o"
+  "CMakeFiles/psa_afe.dir/spectrum_analyzer.cpp.o.d"
+  "libpsa_afe.a"
+  "libpsa_afe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_afe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

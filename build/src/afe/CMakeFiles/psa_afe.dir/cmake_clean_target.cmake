@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsa_afe.a"
+)

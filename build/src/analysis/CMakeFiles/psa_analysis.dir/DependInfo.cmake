@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/detector.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/detector.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/detector.cpp.o.d"
+  "/root/repo/src/analysis/identifier.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/identifier.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/identifier.cpp.o.d"
+  "/root/repo/src/analysis/localizer.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/localizer.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/localizer.cpp.o.d"
+  "/root/repo/src/analysis/monitor.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/monitor.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/monitor.cpp.o.d"
+  "/root/repo/src/analysis/pipeline.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/pipeline.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/pipeline.cpp.o.d"
+  "/root/repo/src/analysis/refine.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/refine.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/refine.cpp.o.d"
+  "/root/repo/src/analysis/roc.cpp" "src/analysis/CMakeFiles/psa_analysis.dir/roc.cpp.o" "gcc" "src/analysis/CMakeFiles/psa_analysis.dir/roc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/psa_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/psa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/afe/CMakeFiles/psa_afe.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/psa_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/psa_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/psa/CMakeFiles/psa_psa.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/psa_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/psa_em.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_analysis.dir/detector.cpp.o"
+  "CMakeFiles/psa_analysis.dir/detector.cpp.o.d"
+  "CMakeFiles/psa_analysis.dir/identifier.cpp.o"
+  "CMakeFiles/psa_analysis.dir/identifier.cpp.o.d"
+  "CMakeFiles/psa_analysis.dir/localizer.cpp.o"
+  "CMakeFiles/psa_analysis.dir/localizer.cpp.o.d"
+  "CMakeFiles/psa_analysis.dir/monitor.cpp.o"
+  "CMakeFiles/psa_analysis.dir/monitor.cpp.o.d"
+  "CMakeFiles/psa_analysis.dir/pipeline.cpp.o"
+  "CMakeFiles/psa_analysis.dir/pipeline.cpp.o.d"
+  "CMakeFiles/psa_analysis.dir/refine.cpp.o"
+  "CMakeFiles/psa_analysis.dir/refine.cpp.o.d"
+  "CMakeFiles/psa_analysis.dir/roc.cpp.o"
+  "CMakeFiles/psa_analysis.dir/roc.cpp.o.d"
+  "libpsa_analysis.a"
+  "libpsa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

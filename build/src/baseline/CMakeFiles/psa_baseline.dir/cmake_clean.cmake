@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_baseline.dir/backscatter.cpp.o"
+  "CMakeFiles/psa_baseline.dir/backscatter.cpp.o.d"
+  "CMakeFiles/psa_baseline.dir/euclidean_detector.cpp.o"
+  "CMakeFiles/psa_baseline.dir/euclidean_detector.cpp.o.d"
+  "CMakeFiles/psa_baseline.dir/external_probe.cpp.o"
+  "CMakeFiles/psa_baseline.dir/external_probe.cpp.o.d"
+  "CMakeFiles/psa_baseline.dir/ocm.cpp.o"
+  "CMakeFiles/psa_baseline.dir/ocm.cpp.o.d"
+  "libpsa_baseline.a"
+  "libpsa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_common.dir/geometry.cpp.o"
+  "CMakeFiles/psa_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/psa_common.dir/grid.cpp.o"
+  "CMakeFiles/psa_common.dir/grid.cpp.o.d"
+  "CMakeFiles/psa_common.dir/table.cpp.o"
+  "CMakeFiles/psa_common.dir/table.cpp.o.d"
+  "libpsa_common.a"
+  "libpsa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

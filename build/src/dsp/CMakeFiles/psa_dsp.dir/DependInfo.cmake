@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/psa_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/psa_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fixed_fft.cpp" "src/dsp/CMakeFiles/psa_dsp.dir/fixed_fft.cpp.o" "gcc" "src/dsp/CMakeFiles/psa_dsp.dir/fixed_fft.cpp.o.d"
+  "/root/repo/src/dsp/goertzel.cpp" "src/dsp/CMakeFiles/psa_dsp.dir/goertzel.cpp.o" "gcc" "src/dsp/CMakeFiles/psa_dsp.dir/goertzel.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/dsp/CMakeFiles/psa_dsp.dir/spectrum.cpp.o" "gcc" "src/dsp/CMakeFiles/psa_dsp.dir/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/dsp/CMakeFiles/psa_dsp.dir/stats.cpp.o" "gcc" "src/dsp/CMakeFiles/psa_dsp.dir/stats.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/psa_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/psa_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_dsp.dir/fft.cpp.o"
+  "CMakeFiles/psa_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/psa_dsp.dir/fixed_fft.cpp.o"
+  "CMakeFiles/psa_dsp.dir/fixed_fft.cpp.o.d"
+  "CMakeFiles/psa_dsp.dir/goertzel.cpp.o"
+  "CMakeFiles/psa_dsp.dir/goertzel.cpp.o.d"
+  "CMakeFiles/psa_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/psa_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/psa_dsp.dir/stats.cpp.o"
+  "CMakeFiles/psa_dsp.dir/stats.cpp.o.d"
+  "CMakeFiles/psa_dsp.dir/window.cpp.o"
+  "CMakeFiles/psa_dsp.dir/window.cpp.o.d"
+  "libpsa_dsp.a"
+  "libpsa_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

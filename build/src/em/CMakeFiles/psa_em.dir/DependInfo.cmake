@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/dipole.cpp" "src/em/CMakeFiles/psa_em.dir/dipole.cpp.o" "gcc" "src/em/CMakeFiles/psa_em.dir/dipole.cpp.o.d"
+  "/root/repo/src/em/fluxmap.cpp" "src/em/CMakeFiles/psa_em.dir/fluxmap.cpp.o" "gcc" "src/em/CMakeFiles/psa_em.dir/fluxmap.cpp.o.d"
+  "/root/repo/src/em/induced.cpp" "src/em/CMakeFiles/psa_em.dir/induced.cpp.o" "gcc" "src/em/CMakeFiles/psa_em.dir/induced.cpp.o.d"
+  "/root/repo/src/em/noise.cpp" "src/em/CMakeFiles/psa_em.dir/noise.cpp.o" "gcc" "src/em/CMakeFiles/psa_em.dir/noise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/psa_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

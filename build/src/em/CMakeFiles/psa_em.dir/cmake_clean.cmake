@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_em.dir/dipole.cpp.o"
+  "CMakeFiles/psa_em.dir/dipole.cpp.o.d"
+  "CMakeFiles/psa_em.dir/fluxmap.cpp.o"
+  "CMakeFiles/psa_em.dir/fluxmap.cpp.o.d"
+  "CMakeFiles/psa_em.dir/induced.cpp.o"
+  "CMakeFiles/psa_em.dir/induced.cpp.o.d"
+  "CMakeFiles/psa_em.dir/noise.cpp.o"
+  "CMakeFiles/psa_em.dir/noise.cpp.o.d"
+  "libpsa_em.a"
+  "libpsa_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

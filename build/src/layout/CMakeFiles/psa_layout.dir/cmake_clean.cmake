@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_layout.dir/floorplan.cpp.o"
+  "CMakeFiles/psa_layout.dir/floorplan.cpp.o.d"
+  "CMakeFiles/psa_layout.dir/netlist.cpp.o"
+  "CMakeFiles/psa_layout.dir/netlist.cpp.o.d"
+  "libpsa_layout.a"
+  "libpsa_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_ml.dir/features.cpp.o"
+  "CMakeFiles/psa_ml.dir/features.cpp.o.d"
+  "CMakeFiles/psa_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/psa_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/psa_ml.dir/pca.cpp.o"
+  "CMakeFiles/psa_ml.dir/pca.cpp.o.d"
+  "libpsa_ml.a"
+  "libpsa_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

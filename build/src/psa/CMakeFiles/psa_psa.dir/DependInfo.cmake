@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psa/channels.cpp" "src/psa/CMakeFiles/psa_psa.dir/channels.cpp.o" "gcc" "src/psa/CMakeFiles/psa_psa.dir/channels.cpp.o.d"
+  "/root/repo/src/psa/coil.cpp" "src/psa/CMakeFiles/psa_psa.dir/coil.cpp.o" "gcc" "src/psa/CMakeFiles/psa_psa.dir/coil.cpp.o.d"
+  "/root/repo/src/psa/lattice.cpp" "src/psa/CMakeFiles/psa_psa.dir/lattice.cpp.o" "gcc" "src/psa/CMakeFiles/psa_psa.dir/lattice.cpp.o.d"
+  "/root/repo/src/psa/layout_verify.cpp" "src/psa/CMakeFiles/psa_psa.dir/layout_verify.cpp.o" "gcc" "src/psa/CMakeFiles/psa_psa.dir/layout_verify.cpp.o.d"
+  "/root/repo/src/psa/programmer.cpp" "src/psa/CMakeFiles/psa_psa.dir/programmer.cpp.o" "gcc" "src/psa/CMakeFiles/psa_psa.dir/programmer.cpp.o.d"
+  "/root/repo/src/psa/selftest.cpp" "src/psa/CMakeFiles/psa_psa.dir/selftest.cpp.o" "gcc" "src/psa/CMakeFiles/psa_psa.dir/selftest.cpp.o.d"
+  "/root/repo/src/psa/tgate.cpp" "src/psa/CMakeFiles/psa_psa.dir/tgate.cpp.o" "gcc" "src/psa/CMakeFiles/psa_psa.dir/tgate.cpp.o.d"
+  "/root/repo/src/psa/wire_model.cpp" "src/psa/CMakeFiles/psa_psa.dir/wire_model.cpp.o" "gcc" "src/psa/CMakeFiles/psa_psa.dir/wire_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/psa_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/psa_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/psa_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_psa.dir/channels.cpp.o"
+  "CMakeFiles/psa_psa.dir/channels.cpp.o.d"
+  "CMakeFiles/psa_psa.dir/coil.cpp.o"
+  "CMakeFiles/psa_psa.dir/coil.cpp.o.d"
+  "CMakeFiles/psa_psa.dir/lattice.cpp.o"
+  "CMakeFiles/psa_psa.dir/lattice.cpp.o.d"
+  "CMakeFiles/psa_psa.dir/layout_verify.cpp.o"
+  "CMakeFiles/psa_psa.dir/layout_verify.cpp.o.d"
+  "CMakeFiles/psa_psa.dir/programmer.cpp.o"
+  "CMakeFiles/psa_psa.dir/programmer.cpp.o.d"
+  "CMakeFiles/psa_psa.dir/selftest.cpp.o"
+  "CMakeFiles/psa_psa.dir/selftest.cpp.o.d"
+  "CMakeFiles/psa_psa.dir/tgate.cpp.o"
+  "CMakeFiles/psa_psa.dir/tgate.cpp.o.d"
+  "CMakeFiles/psa_psa.dir/wire_model.cpp.o"
+  "CMakeFiles/psa_psa.dir/wire_model.cpp.o.d"
+  "libpsa_psa.a"
+  "libpsa_psa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_psa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

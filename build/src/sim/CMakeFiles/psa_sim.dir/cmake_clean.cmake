@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_sim.dir/chip_simulator.cpp.o"
+  "CMakeFiles/psa_sim.dir/chip_simulator.cpp.o.d"
+  "CMakeFiles/psa_sim.dir/thermal.cpp.o"
+  "CMakeFiles/psa_sim.dir/thermal.cpp.o.d"
+  "libpsa_sim.a"
+  "libpsa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_testgen.dir/mero.cpp.o"
+  "CMakeFiles/psa_testgen.dir/mero.cpp.o.d"
+  "libpsa_testgen.a"
+  "libpsa_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

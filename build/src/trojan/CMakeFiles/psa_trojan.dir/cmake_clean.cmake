@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_trojan.dir/trojan.cpp.o"
+  "CMakeFiles/psa_trojan.dir/trojan.cpp.o.d"
+  "libpsa_trojan.a"
+  "libpsa_trojan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_trojan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for psa_trojan.
+# This may be replaced when dependencies are built.

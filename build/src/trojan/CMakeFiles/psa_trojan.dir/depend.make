@@ -1,0 +1,2 @@
+# Empty dependencies file for psa_trojan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_test.dir/aes_test.cpp.o"
+  "CMakeFiles/aes_test.dir/aes_test.cpp.o.d"
+  "aes_test"
+  "aes_test.pdb"
+  "aes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

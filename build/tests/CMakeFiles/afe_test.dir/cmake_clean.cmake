@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afe_test.dir/afe_test.cpp.o"
+  "CMakeFiles/afe_test.dir/afe_test.cpp.o.d"
+  "afe_test"
+  "afe_test.pdb"
+  "afe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

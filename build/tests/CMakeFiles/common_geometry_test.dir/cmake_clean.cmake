@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_geometry_test.dir/common_geometry_test.cpp.o"
+  "CMakeFiles/common_geometry_test.dir/common_geometry_test.cpp.o.d"
+  "common_geometry_test"
+  "common_geometry_test.pdb"
+  "common_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_fft_test.dir/dsp_fft_test.cpp.o"
+  "CMakeFiles/dsp_fft_test.dir/dsp_fft_test.cpp.o.d"
+  "dsp_fft_test"
+  "dsp_fft_test.pdb"
+  "dsp_fft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

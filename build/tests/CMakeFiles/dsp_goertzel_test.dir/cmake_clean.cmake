@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_goertzel_test.dir/dsp_goertzel_test.cpp.o"
+  "CMakeFiles/dsp_goertzel_test.dir/dsp_goertzel_test.cpp.o.d"
+  "dsp_goertzel_test"
+  "dsp_goertzel_test.pdb"
+  "dsp_goertzel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_goertzel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_spectrum_test.dir/dsp_spectrum_test.cpp.o"
+  "CMakeFiles/dsp_spectrum_test.dir/dsp_spectrum_test.cpp.o.d"
+  "dsp_spectrum_test"
+  "dsp_spectrum_test.pdb"
+  "dsp_spectrum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_spectrum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

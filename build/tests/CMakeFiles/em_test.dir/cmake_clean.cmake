@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_test.dir/em_test.cpp.o"
+  "CMakeFiles/em_test.dir/em_test.cpp.o.d"
+  "em_test"
+  "em_test.pdb"
+  "em_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for em_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions3_test.dir/extensions3_test.cpp.o"
+  "CMakeFiles/extensions3_test.dir/extensions3_test.cpp.o.d"
+  "extensions3_test"
+  "extensions3_test.pdb"
+  "extensions3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

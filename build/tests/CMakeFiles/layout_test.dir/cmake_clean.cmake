@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_test.dir/layout_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout_test.cpp.o.d"
+  "layout_test"
+  "layout_test.pdb"
+  "layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

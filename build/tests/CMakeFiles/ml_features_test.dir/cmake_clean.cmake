@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_features_test.dir/ml_features_test.cpp.o"
+  "CMakeFiles/ml_features_test.dir/ml_features_test.cpp.o.d"
+  "ml_features_test"
+  "ml_features_test.pdb"
+  "ml_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

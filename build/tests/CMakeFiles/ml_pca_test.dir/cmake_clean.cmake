@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_pca_test.dir/ml_pca_test.cpp.o"
+  "CMakeFiles/ml_pca_test.dir/ml_pca_test.cpp.o.d"
+  "ml_pca_test"
+  "ml_pca_test.pdb"
+  "ml_pca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_pca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_sensor_test.dir/psa_sensor_test.cpp.o"
+  "CMakeFiles/psa_sensor_test.dir/psa_sensor_test.cpp.o.d"
+  "psa_sensor_test"
+  "psa_sensor_test.pdb"
+  "psa_sensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trojan_test.dir/trojan_test.cpp.o"
+  "CMakeFiles/trojan_test.dir/trojan_test.cpp.o.d"
+  "trojan_test"
+  "trojan_test.pdb"
+  "trojan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trojan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

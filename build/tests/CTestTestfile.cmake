@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/common_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_fft_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_spectrum_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_goertzel_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_pca_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_kmeans_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_features_test[1]_include.cmake")
+include("/root/repo/build/tests/aes_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/trojan_test[1]_include.cmake")
+include("/root/repo/build/tests/em_test[1]_include.cmake")
+include("/root/repo/build/tests/psa_sensor_test[1]_include.cmake")
+include("/root/repo/build/tests/afe_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions2_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions3_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
