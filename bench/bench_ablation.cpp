@@ -25,12 +25,14 @@
 #include "psa/wire_model.hpp"
 #include "sim/thermal.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psa;
+  const std::size_t threads = bench::apply_thread_flag(argc, argv);
   bench::print_banner(
       "ABLATIONS: SENSOR SIZING, RESHAPING, WIRE GEOMETRY, OCM",
       "programmable size/shape is what buys SNR and localization "
       "(Sections III and V-A)");
+  std::printf("[measurement threads: %zu]\n", threads);
 
   auto& tb = bench::TestBench::instance();
   const auto& chip = tb.chip();

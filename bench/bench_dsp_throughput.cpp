@@ -6,10 +6,12 @@
 
 #include "afe/spectrum_analyzer.hpp"
 #include "analysis/detector.hpp"
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/goertzel.hpp"
 #include "dsp/spectrum.hpp"
+#include "em/fluxmap.hpp"
 
 namespace {
 
@@ -95,6 +97,20 @@ void BM_DetectorScore(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectorScore);
 
+void BM_FluxMapCompute(benchmark::State& state) {
+  // The flux integral behind every sensor view; its source-grid outer loop
+  // runs on the thread pool, so this scales with --threads.
+  const Rect die{{0.0, 0.0}, {576.0, 576.0}};
+  const Polyline coil = {{16.0, 16.0}, {560.0, 16.0},
+                         {560.0, 560.0}, {16.0, 560.0}};
+  em::FluxMap::Params params;
+  for (auto _ : state) {
+    const em::FluxMap fm = em::FluxMap::compute(coil, die, params);
+    benchmark::DoNotOptimize(fm.flux_grid().data().data());
+  }
+}
+BENCHMARK(BM_FluxMapCompute)->Unit(benchmark::kMillisecond);
+
 void BM_FullTracePipeline(benchmark::State& state) {
   // Sweep + score for one 32k-sample trace: must fit far inside the 1 ms
   // per-trace budget of the runtime monitor.
@@ -116,4 +132,15 @@ BENCHMARK(BM_FullTracePipeline);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --threads N (or PSA_THREADS) sizes the pool used by parallel kernels
+  // (BM_FluxMapCompute); the flag is stripped before google-benchmark sees
+  // the argument list.
+  const std::size_t threads = psa::bench::apply_thread_flag(argc, argv);
+  std::printf("measurement threads: %zu\n", threads);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,12 +10,14 @@
 #include "baseline/euclidean_detector.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psa;
+  const std::size_t threads = bench::apply_thread_flag(argc, argv);
   bench::print_banner(
       "SECTION VI-D: MEAN TIME TO DETECT (MTTD)",
       "fewer than 10 traces collected to detect a HT -> < 10 ms MTTD; "
       "single-coil prior work needs >10,000 measurements");
+  std::printf("[measurement threads: %zu]\n", threads);
 
   auto& tb = bench::TestBench::instance();
   analysis::Pipeline pipeline(tb.chip());

@@ -1,0 +1,153 @@
+// bench_parallel_scaling.cpp — serial vs N-thread throughput of the engine's
+// two hot parallel paths:
+//
+//   * em::FluxMap::compute — the source-grid double integral behind every
+//     programmed sensor view (parallel over source rows), and
+//   * analysis::Pipeline::scan_scores — the 16-sensor localization scan
+//     (parallel over sensors, ~5 averaged traces each).
+//
+// Every thread count must produce *bit-identical* results (the forked-RNG /
+// index-addressed-slot contract of common/parallel.hpp); the bench verifies
+// that while it measures speedup, so a scheduling-dependent result shows up
+// as FAIL here before it corrupts any figure reproduction.
+//
+// Usage: bench_parallel_scaling [--threads N]   (N = largest count swept,
+// default 8; PSA_THREADS works too). BENCH_* trackers watch the reported
+// speedups, so keep the output format stable.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "em/fluxmap.hpp"
+#include "em/fluxmap_cache.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool bit_identical(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psa;
+  std::size_t max_threads = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      max_threads = std::strtoul(argv[i + 1], nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      max_threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    }
+  }
+  if (max_threads == 0) max_threads = 1;
+
+  bench::print_banner(
+      "PARALLEL SCALING: FluxMap::compute AND Pipeline::scan_scores",
+      "(engineering bench, no paper counterpart) serial vs N threads, "
+      "bit-identical results required");
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  std::vector<std::size_t> counts;
+  for (std::size_t t = 1; t <= max_threads; t *= 2) counts.push_back(t);
+  if (counts.back() != max_threads) counts.push_back(max_threads);
+
+  // ---------- FluxMap::compute (whole-die single loop, default raster).
+  const Rect die{{0.0, 0.0}, {576.0, 576.0}};
+  const Polyline coil = {{16.0, 16.0}, {560.0, 16.0},
+                         {560.0, 560.0}, {16.0, 560.0}};
+  const em::FluxMap::Params params;
+  constexpr int kFluxReps = 5;
+
+  std::vector<double> flux_ref;
+  double flux_serial_s = 0.0;
+  Table flux_table({"threads", "FluxMap::compute [ms]", "speedup",
+                    "bit-identical"});
+  bool all_identical = true;
+  for (std::size_t t : counts) {
+    set_thread_count(t);
+    // Warm-up run outside the timer (also produces the comparison map).
+    const em::FluxMap fm = em::FluxMap::compute(coil, die, params);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kFluxReps; ++rep) {
+      const em::FluxMap again = em::FluxMap::compute(coil, die, params);
+      if (again.flux_grid().data() != fm.flux_grid().data()) {
+        std::printf("FluxMap nondeterminism at %zu threads\n", t);
+        return 1;
+      }
+    }
+    const double elapsed = seconds_since(t0) / kFluxReps;
+    if (t == 1) {
+      flux_serial_s = elapsed;
+      flux_ref = fm.flux_grid().data();
+    }
+    const bool same = bit_identical(flux_ref, fm.flux_grid().data());
+    all_identical = all_identical && same;
+    flux_table.add_row({std::to_string(t), fmt(elapsed * 1e3, 2),
+                        fmt(flux_serial_s / elapsed, 2) + "x",
+                        same ? "yes" : "NO"});
+  }
+  flux_table.print(std::cout);
+
+  // ---------- Pipeline::scan_scores (16 sensors x 5 averaged traces).
+  std::printf("\n[building pipeline + enrolling at 1 thread...]\n");
+  set_thread_count(1);
+  auto& tb = bench::TestBench::instance();
+  analysis::Pipeline pipeline(tb.chip());
+  pipeline.enroll(sim::Scenario::baseline(5000));
+  const sim::Scenario scan_scenario =
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT3CdmaLeak, 42);
+  constexpr int kScanReps = 3;
+
+  std::array<double, 16> ref_scores{};
+  double scan_serial_s = 0.0;
+  Table scan_table({"threads", "scan_scores [ms]", "scans/s", "speedup",
+                    "bit-identical"});
+  for (std::size_t t : counts) {
+    set_thread_count(t);
+    const std::array<double, 16> warm = pipeline.scan_scores(scan_scenario);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kScanReps; ++rep) {
+      const std::array<double, 16> s = pipeline.scan_scores(scan_scenario);
+      if (std::memcmp(s.data(), warm.data(), sizeof(s)) != 0) {
+        std::printf("scan_scores nondeterminism at %zu threads\n", t);
+        return 1;
+      }
+    }
+    const double elapsed = seconds_since(t0) / kScanReps;
+    if (t == 1) {
+      scan_serial_s = elapsed;
+      ref_scores = warm;
+    }
+    const bool same =
+        std::memcmp(warm.data(), ref_scores.data(), sizeof(warm)) == 0;
+    all_identical = all_identical && same;
+    scan_table.add_row({std::to_string(t), fmt(elapsed * 1e3, 1),
+                        fmt(1.0 / elapsed, 2),
+                        fmt(scan_serial_s / elapsed, 2) + "x",
+                        same ? "yes" : "NO"});
+  }
+  scan_table.print(std::cout);
+
+  const em::FluxMapCache::Stats cs = em::FluxMapCache::global().stats();
+  std::printf("\nFluxMapCache: %zu hits / %zu misses (%zu entries) — the 16 "
+              "standard coils are\ncomputed once and reused across every "
+              "pipeline and programming round.\n",
+              cs.hits, cs.misses, cs.entries);
+  std::printf("\nReproduction: results %s across thread counts\n",
+              all_identical ? "bit-identical" : "DIVERGED");
+  return all_identical ? 0 : 1;
+}

@@ -4,14 +4,48 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "baseline/external_probe.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "psa/programmer.hpp"
 #include "sim/chip_simulator.hpp"
 
 namespace psa::bench {
+
+/// Parse and strip a `--threads N` / `--threads=N` flag, configure the
+/// global thread pool accordingly (0 or absent = automatic: PSA_THREADS env
+/// override, else hardware concurrency), and return the effective thread
+/// count. Call at the top of main, before any parallel work.
+inline std::size_t apply_thread_flag(int& argc, char** argv) {
+  int out = 1;
+  bool configured = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::size_t n = 0;
+    bool matched = false;
+    if (arg == "--threads" && i + 1 < argc) {
+      n = static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+      matched = true;
+      ++i;  // consume the value
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      n = static_cast<std::size_t>(
+          std::strtoul(arg.c_str() + 10, nullptr, 10));
+      matched = true;
+    }
+    if (matched) {
+      set_thread_count(n);
+      configured = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (!configured) set_thread_count(0);  // automatic (PSA_THREADS / hardware)
+  return thread_count();
+}
 
 /// Lazily constructed shared test bench.
 class TestBench {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "psa/programmer.hpp"
 
 namespace psa::analysis {
@@ -25,33 +26,44 @@ const sim::SensorView& Pipeline::sensor_view(std::size_t k) const {
 dsp::Spectrum Pipeline::measure_spectrum(std::size_t sensor,
                                          const sim::Scenario& scenario,
                                          std::uint64_t seed_salt) const {
-  std::vector<dsp::Spectrum> sweeps;
-  sweeps.reserve(cfg_.detection_averages);
-  for (std::size_t i = 0; i < cfg_.detection_averages; ++i) {
-    sim::Scenario s = scenario;
-    // Each physical trace sees fresh noise and plaintexts.
-    std::uint64_t mix = scenario.seed ^ (seed_salt * 0x9E3779B97F4A7C15ULL);
-    s.seed = splitmix64(mix) + i + 1;
-    const sim::MeasuredTrace tr =
-        chip_.measure(sensor_view(sensor), s, cfg_.cycles_per_trace);
-    sweeps.push_back(analyzer_.sweep(tr.samples, tr.sample_rate_hz));
-  }
+  // Traces are measured concurrently into index-addressed slots: each trace
+  // derives its seed from (scenario seed, salt, trace index) alone, and the
+  // averaging below folds the slots serially in index order, so the result
+  // is bit-identical for any thread count.
+  std::vector<dsp::Spectrum> sweeps(cfg_.detection_averages);
+  parallel_for(0, cfg_.detection_averages, 1,
+               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      sim::Scenario s = scenario;
+      // Each physical trace sees fresh noise and plaintexts.
+      std::uint64_t mix = scenario.seed ^ (seed_salt * 0x9E3779B97F4A7C15ULL);
+      s.seed = splitmix64(mix) + i + 1;
+      const sim::MeasuredTrace tr =
+          chip_.measure(sensor_view(sensor), s, cfg_.cycles_per_trace);
+      sweeps[i] = analyzer_.sweep(tr.samples, tr.sample_rate_hz);
+    }
+  });
   return dsp::average_spectra(sweeps);
 }
 
 void Pipeline::enroll(const sim::Scenario& normal) {
-  for (std::size_t k = 0; k < 16; ++k) {
-    std::vector<dsp::Spectrum> spectra;
-    spectra.reserve(cfg_.enrollment_traces);
-    for (std::size_t i = 0; i < cfg_.enrollment_traces; ++i) {
-      sim::Scenario s = normal;
-      s.seed = normal.seed + 1000 * (k + 1) + i;
-      const sim::MeasuredTrace tr =
-          chip_.measure(views_[k], s, cfg_.cycles_per_trace);
-      spectra.push_back(analyzer_.sweep(tr.samples, tr.sample_rate_hz));
+  // Sensors enroll concurrently: sensor k touches only detectors_[k], and
+  // every trace seed is a pure function of (base seed, k, i) — the forked
+  // RNG streams keep parallel enrollment bit-identical to the serial order.
+  parallel_for(0, 16, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      std::vector<dsp::Spectrum> spectra;
+      spectra.reserve(cfg_.enrollment_traces);
+      for (std::size_t i = 0; i < cfg_.enrollment_traces; ++i) {
+        sim::Scenario s = normal;
+        s.seed = normal.seed + 1000 * (k + 1) + i;
+        const sim::MeasuredTrace tr =
+            chip_.measure(views_[k], s, cfg_.cycles_per_trace);
+        spectra.push_back(analyzer_.sweep(tr.samples, tr.sample_rate_hz));
+      }
+      detectors_[k].enroll(spectra);
     }
-    detectors_[k].enroll(spectra);
-  }
+  });
   enrolled_ = true;
 }
 
@@ -83,15 +95,18 @@ std::array<double, 16> Pipeline::scan_scores(
     const sim::Scenario& scenario) const {
   if (!enrolled_) throw std::logic_error("Pipeline: enroll() first");
   std::array<double, 16> scores{};
-  // Four concurrent channels, four programming rounds — the physical scan
-  // order; scores are independent of it, but the trace budget is not.
-  for (std::size_t round = 0; round < channels_.scan_rounds(); ++round) {
-    for (std::size_t s : channels_.round_sensors(round)) {
+  // The physical bench walks four concurrent channels through four
+  // programming rounds; in simulation every sensor's measurement is an
+  // independent pure function of (scenario, sensor), so the 16 sensors run
+  // across the thread pool and land in their own slots — same scores as the
+  // round-by-round order, any thread count.
+  parallel_for(0, scores.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
       // Heat value: physical amplitude excess, comparable across sensors
       // (z-scores are not — a quiet corner sensor has a tiny MAD).
       scores[s] = detect(s, scenario).peak_delta_v;
     }
-  }
+  });
   return scores;
 }
 
@@ -118,22 +133,25 @@ IdentificationResult Pipeline::identify(std::size_t sensor, double freq_hz,
 RefinedLocation Pipeline::refine_localization(
     std::size_t sensor, double freq_hz, const sim::Scenario& scenario) const {
   std::array<double, 4> heat{};
-  for (std::size_t q = 0; q < 4; ++q) {
-    const sim::SensorView view = chip_.view_from_program(
-        quadrant_program(sensor, q / 2, q % 2),
-        "s" + std::to_string(sensor) + "q" + std::to_string(q));
-    std::vector<dsp::Spectrum> sweeps;
-    for (std::size_t i = 0; i < cfg_.detection_averages; ++i) {
-      sim::Scenario s = scenario;
-      s.seed = splitmix64(s.seed) + 31 * (q + 1) + i;
-      const sim::MeasuredTrace tr =
-          chip_.measure(view, s, cfg_.cycles_per_trace);
-      sweeps.push_back(analyzer_.sweep(tr.samples, tr.sample_rate_hz));
+  // Quadrants are independent (own view, own seeds, own heat slot).
+  parallel_for(0, 4, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t q = lo; q < hi; ++q) {
+      const sim::SensorView view = chip_.view_from_program(
+          quadrant_program(sensor, q / 2, q % 2),
+          "s" + std::to_string(sensor) + "q" + std::to_string(q));
+      std::vector<dsp::Spectrum> sweeps;
+      for (std::size_t i = 0; i < cfg_.detection_averages; ++i) {
+        sim::Scenario s = scenario;
+        s.seed = splitmix64(s.seed) + 31 * (q + 1) + i;
+        const sim::MeasuredTrace tr =
+            chip_.measure(view, s, cfg_.cycles_per_trace);
+        sweeps.push_back(analyzer_.sweep(tr.samples, tr.sample_rate_hz));
+      }
+      // The anomaly line is novel (near the enrolled floor), so its raw
+      // magnitude through each quadrant coil is Trojan-dominated.
+      heat[q] = dsp::average_spectra(sweeps).value_at(freq_hz);
     }
-    // The anomaly line is novel (near the enrolled floor), so its raw
-    // magnitude through each quadrant coil is Trojan-dominated.
-    heat[q] = dsp::average_spectra(sweeps).value_at(freq_hz);
-  }
+  });
   return refine_from_heat(sensor, heat);
 }
 

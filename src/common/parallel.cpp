@@ -1,0 +1,211 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+
+namespace psa {
+namespace {
+
+// Set while a thread is executing pool work; parallel_for calls made from
+// such a thread run inline instead of re-entering the (possibly busy) queue.
+thread_local bool t_in_pool_work = false;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("PSA_THREADS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;             // guarded by g_pool_mu
+std::size_t g_requested_threads = 0;            // 0 = automatic
+
+ThreadPool& locked_global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) {
+    const std::size_t n =
+        g_requested_threads > 0 ? g_requested_threads : default_thread_count();
+    g_pool = std::make_unique<ThreadPool>(n);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  const std::size_t n = std::max<std::size_t>(n_threads, 1);
+  // n workers *including* the caller thread that joins in parallel_for, so
+  // spawn n-1; a 1-thread pool has no workers and everything runs inline.
+  workers_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  if (workers_.empty() || on_worker_thread()) {
+    // No workers (or called from one): run inline; the future still carries
+    // any exception.
+    task();
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+bool ThreadPool::on_worker_thread() const { return t_in_pool_work; }
+
+void ThreadPool::worker_loop() {
+  t_in_pool_work = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.erase(queue_.begin());
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+ThreadPool& ThreadPool::global() { return locked_global_pool(); }
+
+std::size_t thread_count() {
+  // +1: the caller participates in parallel_for alongside the spawned
+  // workers, so a pool built for n threads reports n.
+  return ThreadPool::global().size() + 1;
+}
+
+void set_thread_count(std::size_t n) {
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    g_requested_threads = n;
+    old = std::move(g_pool);  // destroyed (joined) outside the lock
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t threads = pool.size() + 1;
+
+  if (chunk == 0) chunk = (count + threads - 1) / threads;
+  chunk = std::max<std::size_t>(chunk, 1);
+  const std::size_t n_chunks = (count + chunk - 1) / chunk;
+
+  if (threads == 1 || n_chunks == 1 || pool.on_worker_thread()) {
+    // Serial fallback: single thread, trivially small range, or nested call
+    // from inside the pool (re-entering the queue could deadlock).
+    fn(begin, end);
+    return;
+  }
+
+  // Chunks are claimed from a shared counter by the workers *and* the
+  // calling thread, so an idle caller never just blocks on the pool.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto run_chunks = [begin, end, chunk, n_chunks, next, &fn] {
+    for (;;) {
+      const std::size_t c = next->fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks) return;
+      const std::size_t lo = begin + c * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      fn(lo, hi);
+    }
+  };
+
+  const std::size_t helpers = std::min(pool.size(), n_chunks - 1);
+  std::vector<std::future<void>> futs;
+  futs.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    futs.push_back(pool.submit(run_chunks));
+  }
+
+  std::exception_ptr first_error;
+  const bool was_in_pool = t_in_pool_work;
+  t_in_pool_work = true;  // our own chunks count as pool work for nesting
+  try {
+    run_chunks();
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  t_in_pool_work = was_in_pool;
+
+  for (std::future<void>& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_invoke(std::vector<std::function<void()>> fns) {
+  if (fns.empty()) return;
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.size() == 0 || pool.on_worker_thread()) {
+    // Serial: still run every task, then rethrow the first failure, matching
+    // the parallel path's semantics.
+    std::exception_ptr first;
+    for (auto& fn : fns) {
+      try {
+        fn();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(fns.size() - 1);
+  for (std::size_t i = 1; i < fns.size(); ++i) {
+    futs.push_back(pool.submit(std::move(fns[i])));
+  }
+  std::exception_ptr first_error;
+  const bool was_in_pool = t_in_pool_work;
+  t_in_pool_work = true;
+  try {
+    fns[0]();
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  t_in_pool_work = was_in_pool;
+  for (std::future<void>& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace psa

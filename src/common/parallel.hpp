@@ -1,0 +1,100 @@
+// parallel.hpp — the repo-wide concurrency layer: a fixed thread pool with a
+// chunked `parallel_for` and a future-based `parallel_invoke`.
+//
+// Design rules that keep parallel results bit-identical to serial runs:
+//
+//   * `parallel_for` partitions [begin, end) into contiguous chunks and the
+//     body writes only to its own chunk's slots. No reductions happen inside
+//     the pool — callers that need a sum fold the per-slot results serially
+//     afterwards, in index order, so floating-point summation order never
+//     depends on the thread count.
+//   * Every stochastic task derives its own RNG stream from explicit seeds
+//     (see Rng::fork); tasks never share generator state, so scheduling
+//     order cannot change any random draw.
+//
+// The pool is lazily created on first use. Its size comes from, in order:
+// `set_thread_count()`, the `PSA_THREADS` environment variable, then
+// `std::thread::hardware_concurrency()`. A size of 1 (or a range smaller
+// than one chunk) runs inline on the caller with zero synchronization, and
+// calls issued *from inside a pool worker* also run inline — nested
+// parallelism degrades to serial instead of deadlocking on the pool's own
+// queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psa {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of spawned worker threads (0 for a 1-thread pool: the caller is
+  /// always an extra participant, so total parallelism is size() + 1).
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it finishes (or rethrows).
+  std::future<void> submit(std::function<void()> fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// The process-wide pool, created on first use (PSA_THREADS or hardware
+  /// concurrency). Reference stays valid until set_thread_count() replaces
+  /// the pool — don't cache it across configuration changes.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Worker count of the global pool (creating it if needed).
+std::size_t thread_count();
+
+/// Replace the global pool with one of `n` workers (0 = automatic: PSA_THREADS
+/// env, else hardware concurrency). Not safe to call concurrently with
+/// in-flight parallel_for calls — configure threads at startup or between
+/// parallel regions, the way the benches' --threads flag does.
+void set_thread_count(std::size_t n);
+
+/// Run `fn(chunk_begin, chunk_end)` over a partition of [begin, end) into
+/// chunks of at most `chunk` indices (chunk == 0 picks one chunk per worker).
+/// Chunks execute on the global pool plus the calling thread; the call
+/// returns after every chunk finishes. The first exception thrown by any
+/// chunk is rethrown on the caller. Bodies must write only to disjoint,
+/// index-addressed state (see file comment) for thread-count-independent
+/// results.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Run independent callables concurrently and wait for all of them. The
+/// first exception is rethrown after every task has completed.
+void parallel_invoke(std::vector<std::function<void()>> fns);
+
+template <typename F1, typename F2, typename... Rest>
+void parallel_invoke(F1&& f1, F2&& f2, Rest&&... rest) {
+  std::vector<std::function<void()>> fns;
+  fns.reserve(2 + sizeof...(rest));
+  fns.emplace_back(std::forward<F1>(f1));
+  fns.emplace_back(std::forward<F2>(f2));
+  (fns.emplace_back(std::forward<Rest>(rest)), ...);
+  parallel_invoke(std::move(fns));
+}
+
+}  // namespace psa

@@ -38,8 +38,10 @@ std::size_t Spectrum::nearest_bin(double hz) const {
   return (hz - freq_hz[hi - 1] <= freq_hz[hi] - hz) ? hi - 1 : hi;
 }
 
-std::size_t Spectrum::peak_bin(double f_lo, double f_hi) const {
-  std::size_t best = nearest_bin(f_lo);
+std::optional<std::size_t> Spectrum::try_peak_bin(double f_lo,
+                                                  double f_hi) const {
+  if (f_lo > f_hi) std::swap(f_lo, f_hi);
+  std::optional<std::size_t> best;
   double best_mag = -1.0;
   for (std::size_t i = 0; i < size(); ++i) {
     if (freq_hz[i] < f_lo || freq_hz[i] > f_hi) continue;
@@ -49,6 +51,14 @@ std::size_t Spectrum::peak_bin(double f_lo, double f_hi) const {
     }
   }
   return best;
+}
+
+std::size_t Spectrum::peak_bin(double f_lo, double f_hi) const {
+  const std::optional<std::size_t> best = try_peak_bin(f_lo, f_hi);
+  if (!best) {
+    throw std::invalid_argument("Spectrum::peak_bin: no bin in window");
+  }
+  return *best;
 }
 
 Spectrum amplitude_spectrum(std::span<const double> signal,
@@ -89,6 +99,15 @@ Spectrum average_spectra(std::span<const Spectrum> spectra) {
       throw std::invalid_argument("average_spectra: grid mismatch");
     }
     for (std::size_t k = 0; k < avg.size(); ++k) {
+      // Equal bin counts are not enough: averaging bin k of two different
+      // frequency grids silently mixes unrelated frequencies.
+      const double fa = avg.freq_hz[k];
+      const double fb = spectra[i].freq_hz[k];
+      const double tol = 1e-6 + 1e-9 * std::fabs(fa);
+      if (std::fabs(fa - fb) > tol) {
+        throw std::invalid_argument(
+            "average_spectra: frequency grids differ");
+      }
       avg.magnitude[k] += spectra[i].magnitude[k];
     }
   }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -28,7 +29,14 @@ struct Spectrum {
   /// Index of the bin nearest to `hz`.
   std::size_t nearest_bin(double hz) const;
 
-  /// Index of the strongest bin inside [f_lo, f_hi].
+  /// Index of the strongest bin inside [f_lo, f_hi] (bounds in either
+  /// order), or nullopt when no bin falls inside the window.
+  std::optional<std::size_t> try_peak_bin(double f_lo, double f_hi) const;
+
+  /// Index of the strongest bin inside [f_lo, f_hi] (bounds in either
+  /// order). Throws std::invalid_argument when the window contains no bin —
+  /// the old behaviour of silently returning nearest_bin(f_lo) handed
+  /// callers a bin that was never in their window.
   std::size_t peak_bin(double f_lo, double f_hi) const;
 };
 

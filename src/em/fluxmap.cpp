@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "em/dipole.hpp"
 
 namespace psa::em {
@@ -25,41 +27,54 @@ FluxMap FluxMap::compute(const Polyline& coil, const Rect& die,
   }
   const std::size_t n = params.winding_raster;
   Grid2D winding(n, n, box);
-  for (std::size_t iy = 0; iy < n; ++iy) {
-    for (std::size_t ix = 0; ix < n; ++ix) {
-      winding.at(ix, iy) = static_cast<double>(
-          winding_number(coil, winding.cell_center(ix, iy)));
+  parallel_for(0, n, 0, [&](std::size_t row_lo, std::size_t row_hi) {
+    for (std::size_t iy = row_lo; iy < row_hi; ++iy) {
+      for (std::size_t ix = 0; ix < n; ++ix) {
+        winding.at(ix, iy) = static_cast<double>(
+            winding_number(coil, winding.cell_center(ix, iy)));
+      }
     }
-  }
+  });
   const double cell_area_m2 = winding.cell_area() * 1e-12;  // µm² -> m²
 
+  // Compact the nonzero winding cells once, preserving row-major order so
+  // the per-source flux sums accumulate in exactly the serial order (the
+  // bit-identity contract of parallel_for callers).
+  struct WeightedCell {
+    Point center;
+    double w;
+  };
+  std::vector<WeightedCell> cells;
+  cells.reserve(n * n / 2);
   FluxMap fm;
   fm.flux_ = Grid2D(params.source_nx, params.source_ny, die);
   for (std::size_t iy = 0; iy < n; ++iy) {
     for (std::size_t ix = 0; ix < n; ++ix) {
       const double w = winding.at(ix, iy);
       if (w == 0.0) continue;
+      cells.push_back({winding.cell_center(ix, iy), w});
       fm.signed_area_m2_ += w * cell_area_m2;
       fm.gross_area_m2_ += std::fabs(w) * cell_area_m2;
     }
   }
 
-  for (std::size_t sy = 0; sy < params.source_ny; ++sy) {
-    for (std::size_t sx = 0; sx < params.source_nx; ++sx) {
-      const Point src = fm.flux_.cell_center(sx, sy);
-      double phi = 0.0;
-      for (std::size_t iy = 0; iy < n; ++iy) {
-        for (std::size_t ix = 0; ix < n; ++ix) {
-          const double w = winding.at(ix, iy);
-          if (w == 0.0) continue;
-          const double rho = distance(winding.cell_center(ix, iy), src);
-          phi += w * screened_bz(rho, params.dipole_height_um,
-                                  params.screening_um) * cell_area_m2;
+  // Each source cell owns its own output slot and scans the compact cell
+  // list in fixed order: thread count cannot change any result bit.
+  parallel_for(0, params.source_ny, 0,
+               [&](std::size_t row_lo, std::size_t row_hi) {
+    for (std::size_t sy = row_lo; sy < row_hi; ++sy) {
+      for (std::size_t sx = 0; sx < params.source_nx; ++sx) {
+        const Point src = fm.flux_.cell_center(sx, sy);
+        double phi = 0.0;
+        for (const WeightedCell& c : cells) {
+          const double rho = distance(c.center, src);
+          phi += c.w * screened_bz(rho, params.dipole_height_um,
+                                   params.screening_um) * cell_area_m2;
         }
+        fm.flux_.at(sx, sy) = phi;
       }
-      fm.flux_.at(sx, sy) = phi;
     }
-  }
+  });
   return fm;
 }
 

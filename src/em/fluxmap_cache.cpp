@@ -1,0 +1,126 @@
+#include "em/fluxmap_cache.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace psa::em {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  std::uint64_t s = h;
+  return splitmix64(s);
+}
+
+std::uint64_t bits(double x) {
+  // +0.0 and -0.0 compare equal but have different bit patterns; normalize
+  // so equal keys always hash equally.
+  if (x == 0.0) x = 0.0;
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+}  // namespace
+
+bool FluxMapCache::Key::operator==(const Key& o) const {
+  return coil == o.coil && die.lo == o.die.lo && die.hi == o.die.hi &&
+         params.dipole_height_um == o.params.dipole_height_um &&
+         params.screening_um == o.params.screening_um &&
+         params.winding_raster == o.params.winding_raster &&
+         params.source_nx == o.params.source_nx &&
+         params.source_ny == o.params.source_ny;
+}
+
+std::uint64_t FluxMapCache::hash_key(const Key& k) {
+  std::uint64_t h = 0x464C55584D4150ULL;  // "FLUXMAP"
+  for (const Point& p : k.coil) {
+    h = mix(h, bits(p.x));
+    h = mix(h, bits(p.y));
+  }
+  h = mix(h, bits(k.die.lo.x));
+  h = mix(h, bits(k.die.lo.y));
+  h = mix(h, bits(k.die.hi.x));
+  h = mix(h, bits(k.die.hi.y));
+  h = mix(h, bits(k.params.dipole_height_um));
+  h = mix(h, bits(k.params.screening_um));
+  h = mix(h, k.params.winding_raster);
+  h = mix(h, k.params.source_nx);
+  h = mix(h, k.params.source_ny);
+  return h;
+}
+
+std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
+    const Polyline& coil, const Rect& die, const FluxMap::Params& params) {
+  Key key{coil, die, params};
+  const std::uint64_t h = hash_key(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = buckets_.find(h);
+    if (it != buckets_.end()) {
+      for (const Entry& e : it->second) {
+        if (e.key == key) {
+          ++hits_;
+          return e.map;
+        }
+      }
+    }
+  }
+
+  // Compute outside the lock: a concurrent miss on the same key duplicates
+  // work but never blocks every other sensor behind one integral.
+  auto map = std::make_shared<const FluxMap>(FluxMap::compute(coil, die,
+                                                              params));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  auto& bucket = buckets_[h];
+  for (const Entry& e : bucket) {
+    if (e.key == key) return e.map;  // another thread won the race
+  }
+  if (max_entries_ > 0 && entries_ >= max_entries_) {
+    // FIFO eviction: drop the globally oldest entry.
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    auto victim_bucket = buckets_.end();
+    std::size_t victim_idx = 0;
+    for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+      for (std::size_t i = 0; i < b->second.size(); ++i) {
+        if (b->second[i].order < oldest) {
+          oldest = b->second[i].order;
+          victim_bucket = b;
+          victim_idx = i;
+        }
+      }
+    }
+    if (victim_bucket != buckets_.end()) {
+      victim_bucket->second.erase(victim_bucket->second.begin() +
+                                  static_cast<std::ptrdiff_t>(victim_idx));
+      if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
+      --entries_;
+    }
+  }
+  buckets_[h].push_back(Entry{std::move(key), map, next_order_++});
+  ++entries_;
+  return map;
+}
+
+FluxMapCache::Stats FluxMapCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, entries_};
+}
+
+void FluxMapCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  entries_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+  next_order_ = 0;
+}
+
+FluxMapCache& FluxMapCache::global() {
+  static FluxMapCache cache;
+  return cache;
+}
+
+}  // namespace psa::em

@@ -1,0 +1,79 @@
+// fluxmap_cache.hpp — memoization of FluxMap::compute.
+//
+// The scan loop reprograms the array through the same handful of coil shapes
+// over and over: 4 channels × 4 rounds reuse 16 standard coils, quadrant
+// refinement reuses 4 sub-coils per sensor, and every bench builds the same
+// whole-die and probe views. Computing a flux map is the most expensive
+// single operation in the simulator (a source-grid × winding-raster double
+// integral), so identical (coil, die, params) requests are served from a
+// process-wide cache instead of recomputed.
+//
+// Keys compare the full inputs — every coil vertex, the die rectangle and
+// all raster parameters — bit-exactly (a 64-bit hash only picks the bucket),
+// so a cache hit returns the same map `compute` would have produced. The
+// cache is thread-safe; concurrent misses on the same key may both compute,
+// and the first insert wins (both results are bit-identical anyway).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "em/fluxmap.hpp"
+
+namespace psa::em {
+
+class FluxMapCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  /// Entries kept before the cache evicts in insertion order. Generous for
+  /// the workloads above (16 standard + 64 quadrant + a few probe coils).
+  explicit FluxMapCache(std::size_t max_entries = 256)
+      : max_entries_(max_entries) {}
+
+  /// Return the cached flux map for (coil, die, params), computing and
+  /// inserting it on a miss.
+  std::shared_ptr<const FluxMap> get_or_compute(const Polyline& coil,
+                                                const Rect& die,
+                                                const FluxMap::Params& params);
+
+  Stats stats() const;
+  void clear();
+
+  /// Process-wide instance used by ChipSimulator.
+  static FluxMapCache& global();
+
+ private:
+  struct Key {
+    Polyline coil;
+    Rect die;
+    FluxMap::Params params;
+    bool operator==(const Key& o) const;
+  };
+
+  static std::uint64_t hash_key(const Key& k);
+
+  struct Entry {
+    Key key;
+    std::shared_ptr<const FluxMap> map;
+    std::uint64_t order = 0;  // insertion order, for FIFO eviction
+  };
+
+  std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  std::uint64_t next_order_ = 0;
+  std::size_t entries_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace psa::em

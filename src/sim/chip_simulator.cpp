@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "em/calibration.hpp"
+#include "em/fluxmap_cache.hpp"
 #include "em/induced.hpp"
 #include "em/noise.hpp"
 
@@ -77,7 +78,12 @@ SensorView ChipSimulator::view_from_polyline(const Polyline& coil,
   em::FluxMap::Params params;
   params.dipole_height_um = dipole_height_um;
   params.screening_um = em::kScreeningLengthUm;
-  const em::FluxMap fm = em::FluxMap::compute(coil, floorplan_.die(), params);
+  // The scan reuses a handful of coil shapes across programming rounds (and
+  // across Pipeline instances); identical requests come from the cache.
+  const std::shared_ptr<const em::FluxMap> fm_ptr =
+      em::FluxMapCache::global().get_or_compute(coil, floorplan_.die(),
+                                                params);
+  const em::FluxMap& fm = *fm_ptr;
 
   SensorView view;
   view.label = label;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -96,6 +97,36 @@ TEST(Spectrum, NearestBinAndPeak) {
   EXPECT_EQ(s.nearest_bin(16.0), 2u);
   EXPECT_EQ(s.peak_bin(0.0, 30.0), 2u);
   EXPECT_EQ(s.peak_bin(25.0, 30.0), 3u);
+}
+
+TEST(Spectrum, PeakBinEmptyWindowThrows) {
+  Spectrum s;
+  s.freq_hz = {0.0, 10.0, 20.0, 30.0};
+  s.magnitude = {0.1, 0.5, 2.0, 0.3};
+  // No bin between 12 and 18 Hz: the old code silently returned
+  // nearest_bin(f_lo), a bin outside the requested window.
+  EXPECT_THROW(s.peak_bin(12.0, 18.0), std::invalid_argument);
+  EXPECT_FALSE(s.try_peak_bin(12.0, 18.0).has_value());
+  EXPECT_THROW(s.peak_bin(35.0, 99.0), std::invalid_argument);
+}
+
+TEST(Spectrum, PeakBinReversedBoundsWork) {
+  Spectrum s;
+  s.freq_hz = {0.0, 10.0, 20.0, 30.0};
+  s.magnitude = {0.1, 0.5, 2.0, 0.3};
+  EXPECT_EQ(s.peak_bin(30.0, 0.0), 2u);  // swapped bounds, same window
+  ASSERT_TRUE(s.try_peak_bin(30.0, 25.0).has_value());
+  EXPECT_EQ(*s.try_peak_bin(30.0, 25.0), 3u);
+}
+
+TEST(Average, RejectsMismatchedFrequencyGrids) {
+  Spectrum a;
+  a.freq_hz = {0.0, 10.0, 20.0};
+  a.magnitude = {1.0, 1.0, 1.0};
+  Spectrum b = a;
+  b.freq_hz = {0.0, 11.0, 22.0};  // same bin count, different grid
+  const std::vector<Spectrum> v = {a, b};
+  EXPECT_THROW(average_spectra(v), std::invalid_argument);
 }
 
 TEST(Spectrum, ValueAtInterpolates) {

@@ -1,0 +1,203 @@
+// Concurrency layer: parallel_for/parallel_invoke semantics, the
+// determinism contract (bit-identical results at 1, 2 and 8 threads for
+// FluxMap::compute and Pipeline::scan_scores), and FluxMapCache behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "common/parallel.hpp"
+#include "em/fluxmap.hpp"
+#include "em/fluxmap_cache.hpp"
+#include "layout/floorplan.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  set_thread_count(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> writes(kN);
+  parallel_for(0, kN, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) writes[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(writes[i].load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleChunkRanges) {
+  set_thread_count(4);
+  int calls = 0;
+  parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(0, 3, 0, [&](std::size_t lo, std::size_t hi) {
+    calls += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  set_thread_count(4);
+  EXPECT_THROW(
+      parallel_for(0, 100, 1,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo == 50) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  set_thread_count(4);
+  std::vector<double> out(64, 0.0);
+  parallel_for(0, 8, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Inner call from a pool context must degrade to serial, not deadlock.
+      parallel_for(0, 8, 1, [&](std::size_t jlo, std::size_t jhi) {
+        for (std::size_t j = jlo; j < jhi; ++j) {
+          out[i * 8 + j] = static_cast<double>(i * 8 + j);
+        }
+      });
+    }
+  });
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    EXPECT_EQ(out[k], static_cast<double>(k));
+  }
+}
+
+TEST(ParallelInvoke, RunsAllTasksAndRethrows) {
+  set_thread_count(4);
+  std::atomic<int> ran{0};
+  parallel_invoke([&] { ran.fetch_add(1); }, [&] { ran.fetch_add(1); },
+                  [&] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_THROW(parallel_invoke([] { throw std::logic_error("x"); },
+                               [&] { ran.fetch_add(1); }),
+               std::logic_error);
+  EXPECT_EQ(ran.load(), 4);  // the healthy task still ran
+}
+
+TEST(ThreadConfig, SetThreadCountTakesEffect) {
+  set_thread_count(8);
+  EXPECT_EQ(thread_count(), 8u);
+  set_thread_count(1);
+  EXPECT_EQ(thread_count(), 1u);
+}
+
+em::FluxMap::Params small_params() {
+  em::FluxMap::Params p;
+  p.winding_raster = 48;
+  p.source_nx = 12;
+  p.source_ny = 12;
+  return p;
+}
+
+TEST(FluxMapDeterminism, BitIdenticalAcrossThreadCounts) {
+  const Rect die{{0.0, 0.0}, {576.0, 576.0}};
+  const Polyline coil = {{32.0, 32.0}, {288.0, 32.0},
+                         {288.0, 288.0}, {32.0, 288.0}};
+  set_thread_count(1);
+  const em::FluxMap serial = em::FluxMap::compute(coil, die, small_params());
+  for (std::size_t threads : {2u, 8u}) {
+    set_thread_count(threads);
+    const em::FluxMap par = em::FluxMap::compute(coil, die, small_params());
+    ASSERT_EQ(par.flux_grid().data().size(), serial.flux_grid().data().size());
+    EXPECT_EQ(std::memcmp(par.flux_grid().data().data(),
+                          serial.flux_grid().data().data(),
+                          serial.flux_grid().data().size() * sizeof(double)),
+              0)
+        << "flux map diverged at " << threads << " threads";
+    EXPECT_EQ(par.signed_area_m2(), serial.signed_area_m2());
+    EXPECT_EQ(par.gross_area_m2(), serial.gross_area_m2());
+  }
+  set_thread_count(0);
+}
+
+TEST(FluxMapCache, HitsMissesAndSharing) {
+  em::FluxMapCache cache;
+  const Rect die{{0.0, 0.0}, {576.0, 576.0}};
+  const Polyline coil = {{32.0, 32.0}, {160.0, 32.0},
+                         {160.0, 160.0}, {32.0, 160.0}};
+  const auto a = cache.get_or_compute(coil, die, small_params());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  const auto b = cache.get_or_compute(coil, die, small_params());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(a.get(), b.get());  // shared, not recomputed
+
+  // Any parameter change is a different key.
+  em::FluxMap::Params taller = small_params();
+  taller.dipole_height_um += 10.0;
+  const auto c = cache.get_or_compute(coil, die, taller);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_NE(a.get(), c.get());
+
+  // So is any vertex change.
+  Polyline moved = coil;
+  moved[2].x += 16.0;
+  cache.get_or_compute(moved, die, small_params());
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  cache.get_or_compute(coil, die, small_params());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(FluxMapCache, EvictsOldestBeyondCapacity) {
+  em::FluxMapCache cache(/*max_entries=*/2);
+  const Rect die{{0.0, 0.0}, {576.0, 576.0}};
+  auto coil_at = [](double x) {
+    return Polyline{{x, 32.0}, {x + 64.0, 32.0},
+                    {x + 64.0, 96.0}, {x, 96.0}};
+  };
+  cache.get_or_compute(coil_at(32.0), die, small_params());
+  cache.get_or_compute(coil_at(128.0), die, small_params());
+  cache.get_or_compute(coil_at(224.0), die, small_params());  // evicts first
+  EXPECT_EQ(cache.stats().entries, 2u);
+  cache.get_or_compute(coil_at(32.0), die, small_params());   // miss again
+  EXPECT_EQ(cache.stats().misses, 4u);
+  cache.get_or_compute(coil_at(224.0), die, small_params());  // still cached
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PipelineDeterminism, ScanScoresBitIdenticalAcrossThreadCounts) {
+  const sim::ChipSimulator chip(sim::SimTiming{},
+                                layout::Floorplan::aes_testchip());
+  // Reduced budget: determinism does not depend on trace length or count,
+  // and this keeps the three full enroll+scan flows quick.
+  analysis::PipelineConfig cfg;
+  cfg.cycles_per_trace = 256;
+  cfg.enrollment_traces = 3;
+  cfg.detection_averages = 2;
+
+  const sim::Scenario normal = sim::Scenario::baseline(777);
+  const sim::Scenario infected =
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT3CdmaLeak, 778);
+
+  std::array<double, 16> serial_scores{};
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    set_thread_count(threads);
+    analysis::Pipeline pipeline(chip, cfg);
+    pipeline.enroll(normal);  // enrollment itself runs on the pool
+    const std::array<double, 16> scores = pipeline.scan_scores(infected);
+    if (threads == 1) {
+      serial_scores = scores;
+    } else {
+      EXPECT_EQ(std::memcmp(scores.data(), serial_scores.data(),
+                            sizeof(scores)),
+                0)
+          << "scan scores diverged at " << threads << " threads";
+    }
+  }
+  set_thread_count(0);
+}
+
+}  // namespace
+}  // namespace psa
