@@ -1,0 +1,290 @@
+// Fault-injection campaign: graceful degradation of the detection pipeline
+// as crossbar damage accumulates. For each fault density the campaign breaks
+// a deterministic set of standard sensors (half beyond repair, half with a
+// substitute quadrant coil still formable), layers on measurement-chain
+// degradation (op-amp droop, noise bursts, thermal drift), re-runs the
+// Section IV self-test + degraded-mode reconfiguration, re-enrolls on the
+// damaged device, and measures detection / localization error / MTTD for all
+// four paper Trojans. Emits the degradation curve as JSON.
+//
+// Flags: --seed N       campaign seed (default 42)
+//        --threads N    measurement thread pool (0 = automatic)
+//        --smoke        two densities only (CI smoke test)
+//        --out FILE     write JSON here (default fault_campaign.json)
+//
+// The sweep is bit-deterministic for a fixed --seed at any --threads: each
+// density cell derives every seed from (campaign seed, density) alone and
+// writes into its own slot.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/monitor.hpp"
+#include "analysis/pipeline.hpp"
+#include "bench_util.hpp"
+#include "fault/fault.hpp"
+
+namespace {
+
+using namespace psa;
+
+struct TrojanCell {
+  std::string name;
+  bool detected = false;
+  bool localized = false;
+  std::size_t best_sensor = 0;
+  double coarse_error_um = 0.0;   // winning sensor centre -> truth
+  double refined_error_um = 0.0;  // quadrant centroid -> truth
+  double contrast_db = 0.0;       // localization scan contrast
+  bool alarmed = false;
+  std::size_t traces_to_alarm = 0;
+  double mttd_ms = 0.0;
+};
+
+struct DensityResult {
+  std::size_t faulty_sensors = 0;
+  std::vector<std::size_t> targets;  // damaged sensors, full kills first
+  std::string plan_summary;
+  std::size_t masked = 0;
+  std::size_t substituted = 0;
+  std::vector<TrojanCell> cells;
+};
+
+double dist_um(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Damage plan for one density: `n` distinct sensors drawn from the density
+/// seed; even picks lose every reprogramming corner (mask), odd picks lose
+/// only the standard coil's corner (substitute). Measurement-chain faults
+/// grow with the density.
+fault::FaultPlan plan_for_density(std::size_t n, std::uint64_t seed,
+                                  std::vector<std::size_t>& targets) {
+  Rng rng(seed);
+  std::size_t order[16];
+  for (std::size_t i = 0; i < 16; ++i) order[i] = i;
+  for (std::size_t i = 0; i < 16; ++i) {  // Fisher-Yates off the density seed
+    const std::size_t j = i + rng.below(16 - i);
+    std::swap(order[i], order[j]);
+  }
+  std::vector<std::size_t> full_kill;
+  std::vector<std::size_t> corner_kill;
+  for (std::size_t i = 0; i < n; ++i) {
+    (i % 2 == 0 ? full_kill : corner_kill).push_back(order[i]);
+  }
+  fault::FaultPlan plan =
+      fault::plan_killing_sensors(full_kill, seed, /*block_substitutes=*/true);
+  const fault::FaultPlan sub =
+      fault::plan_killing_sensors(corner_kill, seed, /*block_substitutes=*/false);
+  plan.array.insert(plan.array.end(), sub.array.begin(), sub.array.end());
+
+  // Front-end wear riding along with the crossbar damage. Enrollment happens
+  // on the damaged device (golden-model free), so these shift the background
+  // rather than masquerading as a Trojan.
+  const double d = static_cast<double>(n);
+  plan.measurement.noise_scale = 1.0 + 0.04 * d;
+  plan.measurement.frontend.opamp_gain_scale = 1.0 - 0.01 * d;
+  plan.measurement.temperature_offset_k = 0.4 * d;
+
+  targets = full_kill;
+  targets.insert(targets.end(), corner_kill.begin(), corner_kill.end());
+  return plan;
+}
+
+DensityResult run_density(std::size_t n, std::uint64_t campaign_seed) {
+  DensityResult res;
+  res.faulty_sensors = n;
+  const std::uint64_t density_seed =
+      campaign_seed ^ (0x8000000000000000ULL + 0x9E3779B97F4A7C15ULL * n);
+  const fault::FaultPlan plan =
+      plan_for_density(n, density_seed, res.targets);
+  res.plan_summary = plan.describe();
+
+  // Every cell gets its own simulated chip: measurement faults are chip
+  // state, and densities run concurrently.
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  const fault::FaultInjector injector(plan);
+  injector.arm(chip);
+
+  analysis::Pipeline pipeline(chip);
+  const analysis::DegradedModeReport report =
+      pipeline.configure_degraded(injector.array_faults());
+  res.masked = report.masked_count();
+  res.substituted = report.substituted_count();
+
+  pipeline.enroll(sim::Scenario::baseline(density_seed ^ 0x5EED));
+  const analysis::RuntimeMonitor monitor(pipeline);
+
+  for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+    TrojanCell cell;
+    cell.name = trojan::module_name(kind);
+    const std::uint64_t s =
+        density_seed + 977 * (static_cast<std::uint64_t>(kind) + 1);
+    const sim::Scenario active = sim::Scenario::with_trojan(kind, s);
+
+    const analysis::LocalizationResult loc = pipeline.localize(active);
+    cell.localized = loc.localized;
+    cell.best_sensor = loc.best_sensor;
+    cell.contrast_db = loc.contrast_db;
+    const analysis::DetectionResult det =
+        pipeline.detect(loc.best_sensor, active);
+    cell.detected = det.detected;
+
+    const Point truth =
+        chip.floorplan().module_centroid(trojan::module_name(kind));
+    cell.coarse_error_um = dist_um(
+        layout::standard_sensor_region(loc.best_sensor).center(), truth);
+    const analysis::RefinedLocation fine = pipeline.refine_localization(
+        loc.best_sensor, det.peak_freq_hz, active);
+    cell.refined_error_um = dist_um(fine.estimate, truth);
+
+    const analysis::MonitorOutcome out =
+        monitor.run(sim::Scenario::baseline(s),
+                    sim::Scenario::with_trojan(kind, s),
+                    /*activation_trace=*/4);
+    cell.alarmed = out.alarmed;
+    cell.traces_to_alarm = out.traces_after_activation;
+    cell.mttd_ms = out.mttd_s * 1e3;
+    res.cells.push_back(cell);
+  }
+  return res;
+}
+
+void write_json(std::FILE* f, std::uint64_t seed, bool smoke,
+                const std::vector<DensityResult>& sweep) {
+  std::fprintf(f, "{\n  \"seed\": %llu,\n  \"smoke\": %s,\n  \"densities\": [\n",
+               static_cast<unsigned long long>(seed), smoke ? "true" : "false");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const DensityResult& d = sweep[i];
+    std::fprintf(f, "    {\n      \"faulty_sensors\": %zu,\n",
+                 d.faulty_sensors);
+    std::fprintf(f, "      \"target_sensors\": [");
+    for (std::size_t t = 0; t < d.targets.size(); ++t) {
+      std::fprintf(f, "%s%zu", t ? ", " : "", d.targets[t]);
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "      \"fault_plan\": \"%s\",\n", d.plan_summary.c_str());
+    std::fprintf(f, "      \"masked\": %zu,\n      \"substituted\": %zu,\n",
+                 d.masked, d.substituted);
+    std::fprintf(f, "      \"healthy\": %zu,\n", 16 - d.masked);
+    std::size_t detected = 0;
+    for (const TrojanCell& c : d.cells) detected += c.detected ? 1 : 0;
+    std::fprintf(f, "      \"detection_rate\": %.2f,\n",
+                 d.cells.empty() ? 0.0
+                                 : static_cast<double>(detected) /
+                                       static_cast<double>(d.cells.size()));
+    std::fprintf(f, "      \"trojans\": [\n");
+    for (std::size_t c = 0; c < d.cells.size(); ++c) {
+      const TrojanCell& t = d.cells[c];
+      std::fprintf(
+          f,
+          "        {\"trojan\": \"%s\", \"detected\": %s, "
+          "\"localized\": %s, \"best_sensor\": %zu, "
+          "\"coarse_error_um\": %.3f, \"refined_error_um\": %.3f, "
+          "\"contrast_db\": %.3f, \"alarmed\": %s, "
+          "\"traces_to_alarm\": %zu, \"mttd_ms\": %.3f}%s\n",
+          t.name.c_str(), t.detected ? "true" : "false",
+          t.localized ? "true" : "false", t.best_sensor, t.coarse_error_um,
+          t.refined_error_um, t.contrast_db, t.alarmed ? "true" : "false",
+          t.traces_to_alarm, t.mttd_ms,
+          c + 1 < d.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::apply_thread_flag(argc, argv);
+
+  std::uint64_t seed = 42;
+  bool smoke = false;
+  std::string out_path = "fault_campaign.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::print_banner(
+      "FAULT-INJECTION CAMPAIGN: GRACEFUL DEGRADATION",
+      "self-test finds array damage; the PSA reprograms or masks the broken "
+      "sensors and keeps detecting (golden-model free)");
+  std::printf("[seed %llu, threads %zu%s]\n\n",
+              static_cast<unsigned long long>(seed), threads,
+              smoke ? ", smoke" : "");
+
+  const std::vector<std::size_t> densities =
+      smoke ? std::vector<std::size_t>{0, 4}
+            : std::vector<std::size_t>{0, 1, 2, 4, 6, 8, 12};
+
+  // Densities run concurrently into index-addressed slots; each is a pure
+  // function of (seed, density), so the sweep is thread-count invariant.
+  std::vector<DensityResult> sweep(densities.size());
+  parallel_for(0, densities.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      sweep[i] = run_density(densities[i], seed);
+    }
+  });
+
+  Table table({"#faulty", "masked", "subst", "detected", "alarmed",
+               "worst refine err [um]", "worst MTTD [ms]"});
+  bool detect_ok_while_masked_le4 = true;
+  for (const DensityResult& d : sweep) {
+    std::size_t detected = 0;
+    std::size_t alarmed = 0;
+    double worst_err = 0.0;
+    double worst_mttd = 0.0;
+    for (const TrojanCell& c : d.cells) {
+      detected += c.detected ? 1 : 0;
+      alarmed += c.alarmed ? 1 : 0;
+      worst_err = std::max(worst_err, c.refined_error_um);
+      worst_mttd = std::max(worst_mttd, c.mttd_ms);
+    }
+    if (d.masked <= 4 && detected < d.cells.size()) {
+      detect_ok_while_masked_le4 = false;
+    }
+    table.add_row({std::to_string(d.faulty_sensors), std::to_string(d.masked),
+                   std::to_string(d.substituted),
+                   std::to_string(detected) + "/4",
+                   std::to_string(alarmed) + "/4", fmt(worst_err, 1),
+                   fmt(worst_mttd, 1)});
+  }
+  table.print(std::cout);
+  for (const DensityResult& d : sweep) {
+    std::printf("  %2zu faulty: %s\n", d.faulty_sensors,
+                d.plan_summary.c_str());
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  write_json(f, seed, smoke, sweep);
+  std::fclose(f);
+  std::printf("\nJSON degradation curve -> %s\n", out_path.c_str());
+
+  std::printf("Reproduction: %s\n",
+              detect_ok_while_masked_le4
+                  ? "all four Trojans detected at every density with <= 4 "
+                    "sensors masked"
+                  : "detection LOST with <= 4 sensors masked");
+  return detect_ok_while_masked_le4 ? 0 : 1;
+}

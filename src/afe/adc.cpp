@@ -14,21 +14,38 @@ Adc::Adc(const AdcParams& p) : p_(p) {
   lsb_ = p.full_scale_v / static_cast<double>(max_code_ + 1);
 }
 
-std::vector<int> Adc::codes(std::span<const double> input) const {
+std::vector<int> Adc::codes(std::span<const double> input,
+                            const AdcFaults& faults) const {
+  // A sagging reference shrinks the usable code span symmetrically.
+  const double derate = std::clamp(faults.full_scale_scale, 0.0, 1.0);
+  const double lo = static_cast<double>(-max_code_ - 1) * derate;
+  const double hi = static_cast<double>(max_code_) * derate;
+  const unsigned code_mask = (1u << static_cast<unsigned>(p_.bits)) - 1u;
+  const unsigned offset = static_cast<unsigned>(max_code_) + 1u;
+  const bool stuck =
+      (faults.stuck_high_bits | faults.stuck_low_bits) != 0;
+
   std::vector<int> out(input.size());
   for (std::size_t i = 0; i < input.size(); ++i) {
     const double scaled = input[i] / lsb_;
-    const long code = std::lround(
-        std::clamp(scaled, static_cast<double>(-max_code_ - 1),
-                   static_cast<double>(max_code_)));
+    long code = std::lround(std::clamp(scaled, lo, hi));
+    if (stuck) {
+      // Stuck output bits act on the offset-binary code the converter
+      // actually drives onto its pins.
+      unsigned u = static_cast<unsigned>(code + offset) & code_mask;
+      u |= faults.stuck_high_bits & code_mask;
+      u &= ~faults.stuck_low_bits;
+      code = static_cast<long>(u) - static_cast<long>(offset);
+    }
     out[i] = static_cast<int>(code);
   }
   return out;
 }
 
-std::vector<double> Adc::sample(std::span<const double> input) const {
+std::vector<double> Adc::sample(std::span<const double> input,
+                                const AdcFaults& faults) const {
   std::vector<double> out(input.size());
-  const std::vector<int> c = codes(input);
+  const std::vector<int> c = codes(input, faults);
   for (std::size_t i = 0; i < input.size(); ++i) {
     out[i] = static_cast<double>(c[i]) * lsb_;
   }

@@ -12,6 +12,19 @@ struct AdcParams {
   double full_scale_v = 2.5;  // input range is [-fs, +fs]
 };
 
+/// Converter-level fault injection (fault campaigns, Section IV-style
+/// damage): a sagging reference saturates the converter early, and stuck
+/// output bits corrupt every code. Masks address the offset-binary code.
+struct AdcFaults {
+  double full_scale_scale = 1.0;  // < 1: usable range shrinks (saturation)
+  unsigned stuck_high_bits = 0;   // code bits forced to 1
+  unsigned stuck_low_bits = 0;    // code bits forced to 0
+  bool any() const {
+    return full_scale_scale != 1.0 || stuck_high_bits != 0 ||
+           stuck_low_bits != 0;
+  }
+};
+
 class Adc {
  public:
   explicit Adc(const AdcParams& p = {});
@@ -20,11 +33,14 @@ class Adc {
   double lsb() const { return lsb_; }
 
   /// Quantize a waveform: clamp to range, round to the LSB grid, return the
-  /// reconstructed voltage (code * lsb).
-  std::vector<double> sample(std::span<const double> input) const;
+  /// reconstructed voltage (code * lsb). Faults (if any) corrupt the codes
+  /// before reconstruction.
+  std::vector<double> sample(std::span<const double> input,
+                             const AdcFaults& faults = {}) const;
 
   /// Raw integer codes (two's-complement range).
-  std::vector<int> codes(std::span<const double> input) const;
+  std::vector<int> codes(std::span<const double> input,
+                         const AdcFaults& faults = {}) const;
 
  private:
   AdcParams p_;

@@ -14,7 +14,8 @@ double Frontend::divider(double coil_resistance_ohm) const {
 
 std::vector<double> Frontend::process(std::span<const double> coil_voltage,
                                       double coil_resistance_ohm,
-                                      double sample_rate_hz) const {
+                                      double sample_rate_hz,
+                                      const FrontendFaults& faults) const {
   const double att = divider(coil_resistance_ohm);
   std::vector<double> v(coil_voltage.size());
   // Divider + second-order AC coupling (input cap + interstage cap), each
@@ -37,8 +38,13 @@ std::vector<double> Frontend::process(std::span<const double> coil_voltage,
     x2_prev = y1;
     v[i] = y2;
   }
+  if (faults.opamp_gain_scale != 1.0) {
+    // Input-referred droop: the linear gain falls while the saturation
+    // rails stay where they are.
+    for (double& x : v) x *= faults.opamp_gain_scale;
+  }
   const std::vector<double> amplified = opamp_.amplify(v, sample_rate_hz);
-  return adc_.sample(amplified);
+  return adc_.sample(amplified, faults.adc);
 }
 
 }  // namespace psa::afe

@@ -22,6 +22,15 @@ struct FrontendParams {
   double ac_coupling_hz = 10.0e6;
 };
 
+/// Measurement-chain fault injection: op-amp gain droop (aging, supply sag)
+/// plus converter faults. Composed by the fault campaign (src/fault) on top
+/// of array-level faults.
+struct FrontendFaults {
+  double opamp_gain_scale = 1.0;  // 1.0 = nominal, < 1 = gain droop
+  AdcFaults adc{};
+  bool any() const { return opamp_gain_scale != 1.0 || adc.any(); }
+};
+
 class Frontend {
  public:
   explicit Frontend(const FrontendParams& p = {});
@@ -31,9 +40,12 @@ class Frontend {
   double divider(double coil_resistance_ohm) const;
 
   /// Process an open-circuit coil voltage into the digitized output trace.
+  /// `faults` (if any) degrade the chain: gain droop ahead of the amplifier,
+  /// converter saturation / stuck bits at the back.
   std::vector<double> process(std::span<const double> coil_voltage,
                               double coil_resistance_ohm,
-                              double sample_rate_hz) const;
+                              double sample_rate_hz,
+                              const FrontendFaults& faults = {}) const;
 
   const OpAmp& opamp() const { return opamp_; }
   const Adc& adc() const { return adc_; }

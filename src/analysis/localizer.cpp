@@ -27,25 +27,37 @@ std::string LocalizationResult::ascii_heatmap() const {
 
 LocalizationResult localize_from_scores(const std::array<double, 16>& scores,
                                         double min_contrast_db) {
+  return localize_from_scores(scores, std::array<bool, 16>{},
+                              min_contrast_db);
+}
+
+LocalizationResult localize_from_scores(const std::array<double, 16>& scores,
+                                        const std::array<bool, 16>& masked,
+                                        double min_contrast_db) {
   LocalizationResult r;
-  r.heat = scores;
-  r.best_sensor = 0;
-  double best = scores[0];
-  double worst = scores[0];
-  for (std::size_t k = 1; k < scores.size(); ++k) {
-    if (scores[k] > best) {
+  std::size_t survivors = 0;
+  bool first = true;
+  double best = 0.0;
+  double worst = 0.0;
+  for (std::size_t k = 0; k < scores.size(); ++k) {
+    if (masked[k]) continue;  // dead coil: carries no information
+    r.heat[k] = scores[k];
+    ++survivors;
+    if (first || scores[k] > best) {
       best = scores[k];
       r.best_sensor = k;
     }
-    worst = std::min(worst, scores[k]);
+    worst = first ? scores[k] : std::min(worst, scores[k]);
+    first = false;
   }
+  if (survivors == 0) return r;  // nothing left to localize with
   r.best_score = best;
   r.region = layout::standard_sensor_region(r.best_sensor);
   // Cap the reported contrast: a sensor whose delta is exactly zero would
   // otherwise produce an unbounded dB figure.
   const double floor = std::max({worst, best * 1e-4, 1e-12});
   r.contrast_db = amplitude_db(std::max(best, floor) / floor);
-  r.localized = r.contrast_db >= min_contrast_db;
+  r.localized = survivors >= 2 && r.contrast_db >= min_contrast_db;
   return r;
 }
 

@@ -34,4 +34,12 @@ struct LocalizationResult {
 LocalizationResult localize_from_scores(const std::array<double, 16>& scores,
                                         double min_contrast_db = 6.0);
 
+/// Degraded-array variant: masked sensors (dead coils the self-test flagged)
+/// carry no information, so best/quietest/contrast are taken over the
+/// surviving set only. At least two surviving sensors are needed for a
+/// localization verdict; masked heat entries are reported as 0.
+LocalizationResult localize_from_scores(const std::array<double, 16>& scores,
+                                        const std::array<bool, 16>& masked,
+                                        double min_contrast_db = 6.0);
+
 }  // namespace psa::analysis

@@ -1,33 +1,46 @@
 #include "analysis/monitor.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace psa::analysis {
+
+dsp::Spectrum MonitorState::push(dsp::Spectrum sweep) {
+  window_.push_back(std::move(sweep));
+  const std::size_t cap = std::max<std::size_t>(cfg_.sliding_window, 1);
+  while (window_.size() > cap) window_.pop_front();
+  const std::vector<dsp::Spectrum> snapshot(window_.begin(), window_.end());
+  return dsp::average_spectra(snapshot);
+}
+
+bool MonitorState::record(bool detected) {
+  streak_ = detected ? streak_ + 1 : 0;
+  return streak_ >= cfg_.consecutive_alarms;
+}
 
 RuntimeMonitor::RuntimeMonitor(const Pipeline& pipeline,
                                const MonitorConfig& cfg)
     : pipeline_(pipeline), cfg_(cfg) {}
 
+std::size_t RuntimeMonitor::effective_sentinel() const {
+  if (!pipeline_.degraded()) return cfg_.sentinel_sensor;
+  return pipeline_.next_healthy_sensor(cfg_.sentinel_sensor);
+}
+
 MonitorOutcome RuntimeMonitor::run(const sim::Scenario& quiet,
                                    const sim::Scenario& trojan_active,
                                    std::size_t activation_trace) const {
   MonitorOutcome out;
-  std::deque<dsp::Spectrum> window;
-  std::size_t streak = 0;
+  const std::size_t sentinel = effective_sentinel();
+  MonitorState state(cfg_);
 
   for (std::size_t i = 0; i < cfg_.max_traces; ++i) {
     sim::Scenario s = (i < activation_trace) ? quiet : trojan_active;
     s.seed = quiet.seed + 7919 * (i + 1);
-    window.push_back(pipeline_.single_sweep(cfg_.sentinel_sensor, s));
-    if (window.size() > cfg_.sliding_window) window.pop_front();
+    const dsp::Spectrum avg = state.push(pipeline_.single_sweep(sentinel, s));
+    const DetectionResult d = pipeline_.score_spectrum(sentinel, avg);
 
-    const std::vector<dsp::Spectrum> snapshot(window.begin(), window.end());
-    const dsp::Spectrum avg = dsp::average_spectra(snapshot);
-    const DetectionResult d =
-        pipeline_.score_spectrum(cfg_.sentinel_sensor, avg);
-
-    streak = d.detected ? streak + 1 : 0;
-    if (streak >= cfg_.consecutive_alarms && i >= activation_trace) {
+    if (state.record(d.detected) && i >= activation_trace) {
       out.alarmed = true;
       out.first_alarm = d;
       out.traces_after_activation = i - activation_trace + 1;

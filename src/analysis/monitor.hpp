@@ -30,6 +30,33 @@ struct MonitorOutcome {
   DetectionResult first_alarm;
 };
 
+/// The monitor's streaming state machine — sliding-window averaging plus
+/// alarm debouncing — separated from the measurement loop so its edge cases
+/// (window longer than the run, debounce reset) are unit-testable without a
+/// chip simulation.
+class MonitorState {
+ public:
+  explicit MonitorState(const MonitorConfig& cfg) : cfg_(cfg) {}
+
+  /// Fold one sweep into the sliding window (oldest dropped once the window
+  /// is full; a sliding_window of 0 behaves as 1) and return the windowed
+  /// average to score.
+  dsp::Spectrum push(dsp::Spectrum sweep);
+
+  /// Record one verdict; true when the debounced alarm fires (the streak of
+  /// consecutive detections reached `consecutive_alarms`). A single
+  /// non-detection resets the streak.
+  bool record(bool detected);
+
+  std::size_t streak() const { return streak_; }
+  std::size_t window_size() const { return window_.size(); }
+
+ private:
+  MonitorConfig cfg_;
+  std::deque<dsp::Spectrum> window_;
+  std::size_t streak_ = 0;
+};
+
 class RuntimeMonitor {
  public:
   RuntimeMonitor(const Pipeline& pipeline, const MonitorConfig& cfg = {});
@@ -39,6 +66,10 @@ class RuntimeMonitor {
   MonitorOutcome run(const sim::Scenario& quiet,
                      const sim::Scenario& trojan_active,
                      std::size_t activation_trace) const;
+
+  /// The sensor actually streamed: the configured sentinel, or — when the
+  /// degraded pipeline masked it — the next healthy sensor (fail-over).
+  std::size_t effective_sentinel() const;
 
   const MonitorConfig& config() const { return cfg_; }
 

@@ -23,6 +23,64 @@ const sim::SensorView& Pipeline::sensor_view(std::size_t k) const {
   return views_[k];
 }
 
+bool Pipeline::sensor_masked(std::size_t k) const {
+  if (k >= masked_.size()) throw std::out_of_range("Pipeline::sensor_masked");
+  return masked_[k];
+}
+
+std::size_t Pipeline::next_healthy_sensor(std::size_t k) const {
+  for (std::size_t step = 0; step < masked_.size(); ++step) {
+    const std::size_t cand = (k + step) % masked_.size();
+    if (!masked_[cand]) return cand;
+  }
+  throw std::runtime_error("Pipeline: every sensor is masked");
+}
+
+DegradedModeReport Pipeline::configure_degraded(
+    const sensor::ArrayFaults& faults) {
+  DegradedModeReport report;
+  const sensor::SelfTest selftest;
+  report.selftest = selftest.run(faults);
+
+  faults_ = faults;
+  degraded_ = true;
+  masked_ = {};
+  substituted_ = {};
+  enrolled_ = false;  // backgrounds were learned on the old coil set
+  detectors_.assign(16, GoldenFreeDetector(cfg_.detector));
+
+  for (std::size_t k = 0; k < layout::kNumStandardSensors; ++k) {
+    const std::string label = "sensor" + std::to_string(k);
+    if (report.selftest.entries[k].pass) {
+      // Standard coil verified: the effective geometry is unchanged (any
+      // geometry-altering fault surfaces as an open/short), so the view is
+      // rebuilt from the faulted program for the record.
+      sensor::SensorProgram p = sensor::CoilProgrammer::standard_sensor(k);
+      faults.inject_into(p.switches);
+      views_[k] = chip_.view_from_program(p, label);
+      continue;
+    }
+    // Reprogram around the damage: try the four 6-wire quadrant loops
+    // inside the sensor's span, in fixed order for determinism.
+    bool found = false;
+    for (std::size_t q = 0; q < 4 && !found; ++q) {
+      sensor::SensorProgram sub = quadrant_program(k, q / 2, q % 2);
+      const sensor::SelfTestEntry check = selftest.test_program(
+          sub, faults, label + "-sub" + std::to_string(q));
+      if (!check.pass) continue;
+      faults.inject_into(sub.switches);
+      views_[k] = chip_.view_from_program(sub, label + "-sub" +
+                                                   std::to_string(q));
+      substituted_[k] = true;
+      found = true;
+    }
+    if (!found) masked_[k] = true;
+  }
+  report.masked = masked_;
+  report.substituted = substituted_;
+  return report;
+}
+
 dsp::Spectrum Pipeline::measure_spectrum(std::size_t sensor,
                                          const sim::Scenario& scenario,
                                          std::uint64_t seed_salt) const {
@@ -52,6 +110,7 @@ void Pipeline::enroll(const sim::Scenario& normal) {
   // RNG streams keep parallel enrollment bit-identical to the serial order.
   parallel_for(0, 16, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t k = lo; k < hi; ++k) {
+      if (masked_[k]) continue;  // degraded mode: no working coil to enroll
       std::vector<dsp::Spectrum> spectra;
       spectra.reserve(cfg_.enrollment_traces);
       for (std::size_t i = 0; i < cfg_.enrollment_traces; ++i) {
@@ -70,6 +129,10 @@ void Pipeline::enroll(const sim::Scenario& normal) {
 DetectionResult Pipeline::detect(std::size_t sensor,
                                  const sim::Scenario& scenario) const {
   if (!enrolled_) throw std::logic_error("Pipeline: enroll() first");
+  if (sensor < masked_.size() && masked_[sensor]) {
+    throw std::runtime_error("Pipeline: sensor " + std::to_string(sensor) +
+                             " is masked (self-test failure)");
+  }
   const dsp::Spectrum spec =
       measure_spectrum(sensor, scenario, /*seed_salt=*/sensor + 1);
   return detectors_[sensor].score(spec);
@@ -102,6 +165,7 @@ std::array<double, 16> Pipeline::scan_scores(
   // round-by-round order, any thread count.
   parallel_for(0, scores.size(), 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t s = lo; s < hi; ++s) {
+      if (masked_[s]) continue;  // degraded mode: slot stays at 0
       // Heat value: physical amplitude excess, comparable across sensors
       // (z-scores are not — a quiet corner sensor has a tiny MAD).
       scores[s] = detect(s, scenario).peak_delta_v;
@@ -111,7 +175,7 @@ std::array<double, 16> Pipeline::scan_scores(
 }
 
 LocalizationResult Pipeline::localize(const sim::Scenario& scenario) const {
-  return localize_from_scores(scan_scores(scenario));
+  return localize_from_scores(scan_scores(scenario), masked_);
 }
 
 dsp::ZeroSpanTrace Pipeline::zero_span_trace(
@@ -133,12 +197,21 @@ IdentificationResult Pipeline::identify(std::size_t sensor, double freq_hz,
 RefinedLocation Pipeline::refine_localization(
     std::size_t sensor, double freq_hz, const sim::Scenario& scenario) const {
   std::array<double, 4> heat{};
+  std::array<bool, 4> valid{true, true, true, true};
   // Quadrants are independent (own view, own seeds, own heat slot).
   parallel_for(0, 4, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t q = lo; q < hi; ++q) {
+      sensor::SensorProgram qp = quadrant_program(sensor, q / 2, q % 2);
+      if (degraded_) {
+        // The damaged crossbar may be unable to form this quadrant coil.
+        faults_.inject_into(qp.switches);
+        if (!qp.extract().ok()) {
+          valid[q] = false;
+          continue;
+        }
+      }
       const sim::SensorView view = chip_.view_from_program(
-          quadrant_program(sensor, q / 2, q % 2),
-          "s" + std::to_string(sensor) + "q" + std::to_string(q));
+          qp, "s" + std::to_string(sensor) + "q" + std::to_string(q));
       std::vector<dsp::Spectrum> sweeps;
       for (std::size_t i = 0; i < cfg_.detection_averages; ++i) {
         sim::Scenario s = scenario;
@@ -152,7 +225,7 @@ RefinedLocation Pipeline::refine_localization(
       heat[q] = dsp::average_spectra(sweeps).value_at(freq_hz);
     }
   });
-  return refine_from_heat(sensor, heat);
+  return refine_from_heat(sensor, heat, valid);
 }
 
 AnalysisReport Pipeline::analyze(const sim::Scenario& scenario) const {

@@ -24,6 +24,7 @@
 #include "analysis/localizer.hpp"
 #include "analysis/refine.hpp"
 #include "psa/channels.hpp"
+#include "psa/selftest.hpp"
 #include "sim/chip_simulator.hpp"
 
 namespace psa::analysis {
@@ -37,6 +38,27 @@ struct PipelineConfig {
   GoldenFreeDetector::Params detector{};
   TrojanIdentifier::Params identifier{};
   afe::SpectrumAnalyzerParams analyzer{};
+};
+
+/// Outcome of the selftest-gated degraded-mode configuration: which sensors
+/// survived as-is, which were reprogrammed around the damage, and which had
+/// to be masked.
+struct DegradedModeReport {
+  sensor::SelfTestReport selftest;
+  std::array<bool, 16> masked{};       // no working coil: excluded
+  std::array<bool, 16> substituted{};  // reprogrammed substitute coil in use
+
+  std::size_t masked_count() const {
+    std::size_t n = 0;
+    for (const bool m : masked) n += m ? 1 : 0;
+    return n;
+  }
+  std::size_t substituted_count() const {
+    std::size_t n = 0;
+    for (const bool s : substituted) n += s ? 1 : 0;
+    return n;
+  }
+  std::size_t healthy_count() const { return 16 - masked_count(); }
 };
 
 /// Full analysis report for one scenario.
@@ -56,9 +78,26 @@ class Pipeline {
 
   /// Enroll all 16 sensors on `normal` operating conditions (no active
   /// payload assumed, but *no golden chip either* — enrollment runs on the
-  /// possibly-infected device under test).
+  /// possibly-infected device under test). In degraded mode masked sensors
+  /// are skipped.
   void enroll(const sim::Scenario& normal);
   bool enrolled() const { return enrolled_; }
+
+  /// Selftest-gated degraded mode (call before enroll; re-enrollment is
+  /// required afterwards). Runs the Section IV self-test under `faults`;
+  /// sensors whose standard coil no longer verifies are reprogrammed onto a
+  /// substitute quadrant coil where the crossbar allows, and masked
+  /// otherwise. Scans, localization, and refinement are reweighted over the
+  /// surviving set.
+  DegradedModeReport configure_degraded(const sensor::ArrayFaults& faults);
+
+  bool degraded() const { return degraded_; }
+  bool sensor_masked(std::size_t k) const;
+  const std::array<bool, 16>& sensor_mask() const { return masked_; }
+  /// First unmasked sensor at or after `k`, wrapping around the array (the
+  /// runtime monitor's sentinel fail-over). Throws when every sensor is
+  /// masked.
+  std::size_t next_healthy_sensor(std::size_t k) const;
 
   /// Averaged display spectrum of one sensor under a scenario.
   dsp::Spectrum measure_spectrum(std::size_t sensor,
@@ -112,6 +151,10 @@ class Pipeline {
   std::vector<sim::SensorView> views_;             // 16 standard sensors
   std::vector<GoldenFreeDetector> detectors_;      // one per sensor
   bool enrolled_ = false;
+  bool degraded_ = false;
+  sensor::ArrayFaults faults_{};                   // active injected faults
+  std::array<bool, 16> masked_{};
+  std::array<bool, 16> substituted_{};
 };
 
 }  // namespace psa::analysis

@@ -30,32 +30,49 @@ Rect quadrant_region(std::size_t k, std::size_t qr, std::size_t qc) {
 
 RefinedLocation refine_from_heat(std::size_t coarse_sensor,
                                  const std::array<double, 4>& heat) {
+  return refine_from_heat(coarse_sensor, heat,
+                          {true, true, true, true});
+}
+
+RefinedLocation refine_from_heat(std::size_t coarse_sensor,
+                                 const std::array<double, 4>& heat,
+                                 const std::array<bool, 4>& valid) {
   RefinedLocation r;
   r.coarse_sensor = coarse_sensor;
-  r.quadrant_heat = heat;
-  r.best_quadrant = static_cast<std::size_t>(
-      std::max_element(heat.begin(), heat.end()) - heat.begin());
-  r.quadrant_region = quadrant_region(coarse_sensor, r.best_quadrant / 2,
-                                      r.best_quadrant % 2);
 
   double total = 0.0;
   double wx = 0.0;
   double wy = 0.0;
-  double worst = heat[0];
+  double best = 0.0;
+  double worst = 0.0;
+  bool first = true;
   for (std::size_t q = 0; q < 4; ++q) {
+    if (!valid[q]) continue;  // coil unformable on the damaged crossbar
+    r.quadrant_heat[q] = heat[q];
     const Point c = quadrant_region(coarse_sensor, q / 2, q % 2).center();
     const double w = std::max(heat[q], 0.0);
     wx += w * c.x;
     wy += w * c.y;
     total += w;
-    worst = std::min(worst, heat[q]);
+    if (first || heat[q] > best) {
+      best = heat[q];
+      r.best_quadrant = q;
+    }
+    worst = first ? heat[q] : std::min(worst, heat[q]);
+    first = false;
   }
+  if (first) {  // no quadrant survived: coarse sensor centre, zero contrast
+    r.estimate = layout::standard_sensor_region(coarse_sensor).center();
+    r.quadrant_region = layout::standard_sensor_region(coarse_sensor);
+    return r;
+  }
+  r.quadrant_region = quadrant_region(coarse_sensor, r.best_quadrant / 2,
+                                      r.best_quadrant % 2);
   if (total > 0.0) {
     r.estimate = {wx / total, wy / total};
   } else {
     r.estimate = layout::standard_sensor_region(coarse_sensor).center();
   }
-  const double best = heat[r.best_quadrant];
   const double floor = std::max({worst, best * 1e-4, 1e-12});
   r.contrast_db = amplitude_db(std::max(best, floor) / floor);
   return r;

@@ -38,4 +38,12 @@ Rect quadrant_region(std::size_t k, std::size_t qr, std::size_t qc);
 RefinedLocation refine_from_heat(std::size_t coarse_sensor,
                                  const std::array<double, 4>& heat);
 
+/// Degraded-array variant: quadrant coils the crossbar can no longer form
+/// (valid[q] == false) are excluded from the centroid and contrast; their
+/// heat is reported as 0. With no valid quadrant the estimate falls back to
+/// the coarse sensor's centre.
+RefinedLocation refine_from_heat(std::size_t coarse_sensor,
+                                 const std::array<double, 4>& heat,
+                                 const std::array<bool, 4>& valid);
+
 }  // namespace psa::analysis

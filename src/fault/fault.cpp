@@ -1,0 +1,191 @@
+#include "fault/fault.hpp"
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "sim/thermal.hpp"
+
+namespace psa::fault {
+
+std::string to_string(ArrayFaultKind kind) {
+  switch (kind) {
+    case ArrayFaultKind::kStuckOpen: return "stuck-open";
+    case ArrayFaultKind::kStuckClosed: return "stuck-closed";
+    case ArrayFaultKind::kDeadRow: return "dead-row";
+    case ArrayFaultKind::kDeadColumn: return "dead-column";
+    case ArrayFaultKind::kDrift: return "drift";
+  }
+  return "?";
+}
+
+sensor::ArrayFaults FaultPlan::array_faults() const {
+  sensor::ArrayFaults out;
+  out.resistance_scale = resistance_scale;
+  for (const ArrayFaultSpec& f : array) {
+    switch (f.kind) {
+      case ArrayFaultKind::kStuckOpen:
+        out.stuck_open.push_back({f.row, f.col});
+        break;
+      case ArrayFaultKind::kStuckClosed:
+        out.stuck_closed.push_back({f.row, f.col});
+        break;
+      case ArrayFaultKind::kDeadRow:
+        for (std::size_t c = 0; c < sensor::kWires; ++c) {
+          out.stuck_open.push_back({f.row, c});
+        }
+        break;
+      case ArrayFaultKind::kDeadColumn:
+        for (std::size_t r = 0; r < sensor::kWires; ++r) {
+          out.stuck_open.push_back({r, f.col});
+        }
+        break;
+      case ArrayFaultKind::kDrift:
+        out.drift_cells.push_back({f.row, f.col});
+        break;
+    }
+  }
+  return out;
+}
+
+std::string FaultPlan::describe() const {
+  std::size_t counts[5] = {0, 0, 0, 0, 0};
+  for (const ArrayFaultSpec& f : array) {
+    ++counts[static_cast<std::size_t>(f.kind)];
+  }
+  std::string s;
+  char buf[96];
+  for (std::size_t k = 0; k < 5; ++k) {
+    if (counts[k] == 0) continue;
+    std::snprintf(buf, sizeof buf, "%s%zu %s", s.empty() ? "" : ", ",
+                  counts[k],
+                  to_string(static_cast<ArrayFaultKind>(k)).c_str());
+    s += buf;
+  }
+  if (resistance_scale != 1.0) {
+    std::snprintf(buf, sizeof buf, "%sR x%.2f", s.empty() ? "" : ", ",
+                  resistance_scale);
+    s += buf;
+  }
+  if (measurement.frontend.opamp_gain_scale != 1.0) {
+    std::snprintf(buf, sizeof buf, "%sgain x%.2f", s.empty() ? "" : ", ",
+                  measurement.frontend.opamp_gain_scale);
+    s += buf;
+  }
+  if (measurement.frontend.adc.any()) {
+    std::snprintf(buf, sizeof buf, "%sadc[fs x%.2f hi=%x lo=%x]",
+                  s.empty() ? "" : ", ",
+                  measurement.frontend.adc.full_scale_scale,
+                  measurement.frontend.adc.stuck_high_bits,
+                  measurement.frontend.adc.stuck_low_bits);
+    s += buf;
+  }
+  if (measurement.noise_scale != 1.0) {
+    std::snprintf(buf, sizeof buf, "%snoise x%.2f", s.empty() ? "" : ", ",
+                  measurement.noise_scale);
+    s += buf;
+  }
+  if (measurement.temperature_offset_k != 0.0) {
+    std::snprintf(buf, sizeof buf, "%s+%.1f K", s.empty() ? "" : ", ",
+                  measurement.temperature_offset_k);
+    s += buf;
+  }
+  return s.empty() ? "pristine" : s;
+}
+
+FaultPlan make_plan(const FaultPlanParams& params, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed);
+  // One forked stream per category: adding faults of one kind never shifts
+  // the cells another kind lands on.
+  Rng open_rng = rng.fork(0x4F50454EULL);    // "OPEN"
+  Rng closed_rng = rng.fork(0x53485554ULL);  // "SHUT"
+  Rng wire_rng = rng.fork(0x57495245ULL);    // "WIRE"
+  Rng drift_rng = rng.fork(0x44524654ULL);   // "DRFT"
+
+  const auto cell = [](Rng& r) {
+    const std::size_t row = r.below(sensor::kWires);
+    const std::size_t col = r.below(sensor::kWires);
+    return std::pair<std::size_t, std::size_t>{row, col};
+  };
+  for (std::size_t i = 0; i < params.stuck_open; ++i) {
+    const auto [r, c] = cell(open_rng);
+    plan.array.push_back({ArrayFaultKind::kStuckOpen, r, c});
+  }
+  for (std::size_t i = 0; i < params.stuck_closed; ++i) {
+    const auto [r, c] = cell(closed_rng);
+    plan.array.push_back({ArrayFaultKind::kStuckClosed, r, c});
+  }
+  for (std::size_t i = 0; i < params.dead_rows; ++i) {
+    plan.array.push_back(
+        {ArrayFaultKind::kDeadRow, wire_rng.below(sensor::kWires), 0});
+  }
+  for (std::size_t i = 0; i < params.dead_columns; ++i) {
+    plan.array.push_back(
+        {ArrayFaultKind::kDeadColumn, 0, wire_rng.below(sensor::kWires)});
+  }
+  for (std::size_t i = 0; i < params.drift_cells; ++i) {
+    const auto [r, c] = cell(drift_rng);
+    plan.array.push_back({ArrayFaultKind::kDrift, r, c});
+  }
+  if (params.drift_cells > 0) {
+    plan.resistance_scale = params.resistance_scale;
+  }
+
+  plan.measurement.frontend.opamp_gain_scale = 1.0 - params.opamp_gain_droop;
+  plan.measurement.frontend.adc.full_scale_scale =
+      1.0 - params.adc_full_scale_droop;
+  plan.measurement.frontend.adc.stuck_high_bits = params.adc_stuck_high_bits;
+  plan.measurement.frontend.adc.stuck_low_bits = params.adc_stuck_low_bits;
+  plan.measurement.noise_scale = params.noise_burst_scale;
+  if (params.extra_thermal_power_w > 0.0) {
+    // Junction self-heating from the extra dissipation, at thermal steady
+    // state (campaigns model long-lived damage, not transients).
+    const sim::ThermalModel thermal;
+    const double base = thermal.params().static_power_w;
+    plan.measurement.temperature_offset_k =
+        thermal.steady_state_k(base + params.extra_thermal_power_w) -
+        thermal.steady_state_k(base);
+  }
+  return plan;
+}
+
+FaultPlan plan_killing_sensors(std::span<const std::size_t> sensors,
+                               std::uint64_t seed, bool block_substitutes) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const std::size_t k : sensors) {
+    // Corner switch (r0, c0) is commanded by sensor k's coil alone (corner
+    // rows/cols of distinct sensors never coincide: indices differ mod 8).
+    const std::size_t r0 = 8 * (k / 4);
+    const std::size_t c0 = 8 * (k % 4);
+    plan.array.push_back({ArrayFaultKind::kStuckOpen, r0, c0});
+    if (block_substitutes) {
+      // The quadrant substitutes enter at (r0 + 6qr, c0 + 6qc); breaking
+      // those corners too leaves the crossbar with no path to reprogram.
+      plan.array.push_back({ArrayFaultKind::kStuckOpen, r0, c0 + 6});
+      plan.array.push_back({ArrayFaultKind::kStuckOpen, r0 + 6, c0});
+      plan.array.push_back({ArrayFaultKind::kStuckOpen, r0 + 6, c0 + 6});
+    }
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), array_(plan_.array_faults()) {}
+
+sensor::SensorProgram FaultInjector::apply(
+    sensor::SensorProgram program) const {
+  array_.inject_into(program.switches);
+  return program;
+}
+
+void FaultInjector::arm(sim::ChipSimulator& chip) const {
+  chip.inject_measurement_faults(plan_.measurement);
+}
+
+void FaultInjector::disarm(sim::ChipSimulator& chip) {
+  chip.clear_measurement_faults();
+}
+
+}  // namespace psa::fault

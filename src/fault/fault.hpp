@@ -1,0 +1,121 @@
+// fault.hpp — seed-deterministic fault-injection campaigns.
+//
+// The PSA is only trustworthy at run time because damage to its crossbar is
+// *visible* (the Section IV self-test) and the pipeline can reprogram around
+// it. This module makes that claim testable: a FaultPlan composes array
+// faults (stuck T-gates, dead rows/columns, localized resistance drift) with
+// measurement-chain faults (op-amp gain droop, ADC saturation and stuck
+// bits, noise bursts, thermal drift through sim/thermal), and a
+// FaultInjector applies the plan to coil programs and to a ChipSimulator.
+// Plans are pure functions of (params, seed), so campaigns replay
+// bit-identically at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "psa/programmer.hpp"
+#include "psa/selftest.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa::fault {
+
+enum class ArrayFaultKind : std::uint8_t {
+  kStuckOpen,    // T-gate never conducts
+  kStuckClosed,  // T-gate always conducts
+  kDeadRow,      // an entire H-wire's switches stuck open (broken wire)
+  kDeadColumn,   // an entire V-wire's switches stuck open
+  kDrift,        // local resistance drift at one cell (connectivity intact)
+};
+
+std::string to_string(ArrayFaultKind kind);
+
+/// One array-level fault. Dead rows/columns use only the matching index.
+struct ArrayFaultSpec {
+  ArrayFaultKind kind = ArrayFaultKind::kStuckOpen;
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  bool operator==(const ArrayFaultSpec&) const = default;
+};
+
+/// A complete, replayable fault scenario.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<ArrayFaultSpec> array;
+  /// Series-resistance multiplier at kDrift sites (see ArrayFaults).
+  double resistance_scale = 1.0;
+  sim::MeasurementFaults measurement{};
+
+  bool empty() const {
+    return array.empty() && resistance_scale == 1.0 && !measurement.any();
+  }
+
+  /// Expand to the per-switch form SelfTest / SwitchMatrix consume (dead
+  /// rows/columns become stuck-opens along the whole wire).
+  sensor::ArrayFaults array_faults() const;
+
+  /// One-line human summary ("3 stuck-open, 1 dead-row, noise x1.5, ...").
+  std::string describe() const;
+};
+
+/// Knobs for random plan generation. Counts are exact; the cells they land
+/// on are drawn from the plan seed.
+struct FaultPlanParams {
+  std::size_t stuck_open = 0;
+  std::size_t stuck_closed = 0;
+  std::size_t dead_rows = 0;
+  std::size_t dead_columns = 0;
+  std::size_t drift_cells = 0;
+  double resistance_scale = 1.3;  // used when drift_cells > 0
+
+  double opamp_gain_droop = 0.0;      // fraction of linear gain lost [0, 1)
+  double adc_full_scale_droop = 0.0;  // fraction of converter range lost
+  unsigned adc_stuck_high_bits = 0;
+  unsigned adc_stuck_low_bits = 0;
+  double noise_burst_scale = 1.0;
+  /// Extra dissipated power [W] (e.g. a DoS payload or damaged driver);
+  /// mapped to a junction-temperature offset through sim::ThermalModel.
+  double extra_thermal_power_w = 0.0;
+};
+
+/// Seed-deterministic random plan: identical (params, seed) pairs produce
+/// identical plans, independent of thread count or call order.
+FaultPlan make_plan(const FaultPlanParams& params, std::uint64_t seed);
+
+/// Plan whose stuck-open faults disconnect exactly the given standard
+/// sensors. Each listed sensor loses the corner switch unique to its coil;
+/// with `block_substitutes` the four quadrant-coil corners are broken too,
+/// so the degraded pipeline cannot reprogram around the damage and must mask
+/// the sensor outright.
+FaultPlan plan_killing_sensors(std::span<const std::size_t> sensors,
+                               std::uint64_t seed = 0,
+                               bool block_substitutes = true);
+
+/// Applies a FaultPlan to programs and simulators.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const sensor::ArrayFaults& array_faults() const { return array_; }
+
+  /// The program with the plan's stuck switches injected into its matrix.
+  sensor::SensorProgram apply(sensor::SensorProgram program) const;
+
+  /// Install the plan's measurement-chain faults on a simulator.
+  void arm(sim::ChipSimulator& chip) const;
+
+  /// Remove any injected measurement-chain faults.
+  static void disarm(sim::ChipSimulator& chip);
+
+ private:
+  FaultPlan plan_{};
+  sensor::ArrayFaults array_{};
+};
+
+}  // namespace psa::fault

@@ -1,18 +1,44 @@
 #include "psa/selftest.hpp"
 
+#include <array>
 #include <cmath>
 
 namespace psa::sensor {
 
+void ArrayFaults::inject_into(SwitchMatrix& sw) const {
+  for (const auto& [row, col] : stuck_open) {
+    sw.inject_stuck_open(row, col);
+  }
+  for (const auto& [row, col] : stuck_closed) {
+    sw.inject_stuck_closed(row, col);
+  }
+}
+
+bool ArrayFaults::crosses(const CoilPath& path) const {
+  std::array<bool, kWires> h_used{};
+  std::array<bool, kWires> v_used{};
+  for (const WireId& w : path.wires) {
+    (w.dir == WireId::Dir::kHorizontal ? h_used : v_used)[w.index] = true;
+  }
+  const auto hit = [&](const std::pair<std::size_t, std::size_t>& cell) {
+    return h_used[cell.first] || v_used[cell.second];
+  };
+  for (const auto& cell : stuck_open) {
+    if (hit(cell)) return true;
+  }
+  for (const auto& cell : stuck_closed) {
+    if (hit(cell)) return true;
+  }
+  for (const auto& cell : drift_cells) {
+    if (hit(cell)) return true;
+  }
+  return false;
+}
+
 SelfTestEntry SelfTest::test_program(SensorProgram program,
                                      const ArrayFaults& faults,
                                      const std::string& label) const {
-  for (const auto& [row, col] : faults.stuck_open) {
-    program.switches.inject_stuck_open(row, col);
-  }
-  for (const auto& [row, col] : faults.stuck_closed) {
-    program.switches.inject_stuck_closed(row, col);
-  }
+  faults.inject_into(program.switches);
 
   SelfTestEntry entry;
   entry.pattern = label;
@@ -33,8 +59,15 @@ SelfTestEntry SelfTest::test_program(SensorProgram program,
     return entry;
   }
   entry.resistance_ohm =
-      ex.path->resistance_ohm(tgate_, p_.vdd, p_.temperature_k) *
-      faults.resistance_scale;
+      ex.path->resistance_ohm(tgate_, p_.vdd, p_.temperature_k);
+  // Localized drift scales only paths that actually cross a fault site; a
+  // fault list with no sites at all means whole-array drift (every path).
+  const bool whole_array = faults.stuck_open.empty() &&
+                           faults.stuck_closed.empty() &&
+                           faults.drift_cells.empty();
+  if (whole_array || faults.crosses(*ex.path)) {
+    entry.resistance_ohm *= faults.resistance_scale;
+  }
   const double rel =
       std::fabs(entry.resistance_ohm - entry.expected_ohm) /
       std::max(entry.expected_ohm, 1e-9);

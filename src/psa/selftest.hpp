@@ -24,8 +24,28 @@ namespace psa::sensor {
 struct ArrayFaults {
   std::vector<std::pair<std::size_t, std::size_t>> stuck_open;
   std::vector<std::pair<std::size_t, std::size_t>> stuck_closed;
-  /// Multiplier on every coil's series resistance (1.0 = pristine).
+  /// Cells whose local wiring has drifted (thinned segments, swapped switch
+  /// cells) without losing connectivity. `resistance_scale` applies to a
+  /// programmed path only when the path crosses a listed fault site; when no
+  /// site is listed at all, the scale models whole-array drift and applies
+  /// to every path.
+  std::vector<std::pair<std::size_t, std::size_t>> drift_cells;
+  /// Series-resistance multiplier at the affected paths (1.0 = pristine).
   double resistance_scale = 1.0;
+
+  bool empty() const {
+    return stuck_open.empty() && stuck_closed.empty() &&
+           drift_cells.empty() && resistance_scale == 1.0;
+  }
+
+  /// Inject the stuck switches into a program's matrix (drift cells do not
+  /// affect connectivity).
+  void inject_into(SwitchMatrix& sw) const;
+
+  /// Does `path` cross any listed fault site? A site (r, c) is crossed when
+  /// the path uses H-wire r or V-wire c (the conductor runs through the
+  /// damaged intersection's wires).
+  bool crosses(const CoilPath& path) const;
 };
 
 struct SelfTestEntry {

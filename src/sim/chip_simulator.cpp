@@ -103,7 +103,9 @@ double ChipSimulator::coil_resistance_ohm(const SensorView& view,
              view.fixed_resistance_ohm;
   if (view.switch_count > 0) {
     r += static_cast<double>(view.switch_count) *
-         tgate_.r_on(scenario.vdd, scenario.temperature_k);
+         tgate_.r_on(scenario.vdd,
+                     scenario.temperature_k +
+                         measurement_faults_.temperature_offset_k);
   }
   // Even an ideal probe presents some source impedance.
   return std::max(r, 25.0);
@@ -211,7 +213,8 @@ MeasuredTrace ChipSimulator::measure(const SensorView& view,
 
   em::NoiseParams np;
   np.coil_resistance_ohm = coil_resistance_ohm(view, scenario);
-  np.temperature_k = scenario.temperature_k;
+  np.temperature_k =
+      scenario.temperature_k + measurement_faults_.temperature_offset_k;
   np.signed_area_m2 = view.signed_area_m2;
   np.sample_rate_hz = timing_.sample_rate_hz();
   np.sensing_height_um = view.dipole_height_um;
@@ -219,12 +222,14 @@ MeasuredTrace ChipSimulator::measure(const SensorView& view,
   Rng noise_rng = rng.fork(0x4E4F495345ULL);  // "NOISE"
   const std::vector<double> noise =
       em::generate_noise(np, v.size(), noise_rng);
-  for (std::size_t i = 0; i < v.size(); ++i) v[i] += noise[i];
+  const double noise_scale = measurement_faults_.noise_scale;
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] += noise_scale * noise[i];
 
   MeasuredTrace out;
   out.sample_rate_hz = timing_.sample_rate_hz();
-  out.samples =
-      frontend_.process(v, np.coil_resistance_ohm, out.sample_rate_hz);
+  out.samples = frontend_.process(v, np.coil_resistance_ohm,
+                                  out.sample_rate_hz,
+                                  measurement_faults_.frontend);
   return out;
 }
 

@@ -84,6 +84,20 @@ struct SensorView {
   double fixed_resistance_ohm = 0.0;
 };
 
+/// Measurement-chain faults applied to every subsequent measure() call:
+/// front-end degradation (op-amp droop, ADC saturation / stuck bits), noise
+/// bursts, and thermal drift of the operating point. Installed by the fault
+/// campaign's injector (src/fault); the default state is fault-free.
+struct MeasurementFaults {
+  afe::FrontendFaults frontend{};
+  double noise_scale = 1.0;           // interference bursts (>= 1)
+  double temperature_offset_k = 0.0;  // self-heating / fixture drift
+  bool any() const {
+    return frontend.any() || noise_scale != 1.0 ||
+           temperature_offset_k != 0.0;
+  }
+};
+
 /// A digitized measurement.
 struct MeasuredTrace {
   std::vector<double> samples;  // volts at the ADC output
@@ -116,9 +130,20 @@ class ChipSimulator {
                                 std::size_t switch_count,
                                 const std::string& label) const;
 
-  /// Coil series resistance under the scenario's operating point.
+  /// Coil series resistance under the scenario's operating point (injected
+  /// thermal drift included).
   double coil_resistance_ohm(const SensorView& view,
                              const Scenario& scenario) const;
+
+  /// Install / remove measurement-chain faults (see MeasurementFaults).
+  /// Deterministic: faults reshape each trace but draw no extra randomness.
+  void inject_measurement_faults(const MeasurementFaults& faults) {
+    measurement_faults_ = faults;
+  }
+  void clear_measurement_faults() { measurement_faults_ = {}; }
+  const MeasurementFaults& measurement_faults() const {
+    return measurement_faults_;
+  }
 
   /// Simulate `n_cycles` of chip operation and measure through `view`.
   MeasuredTrace measure(const SensorView& view, const Scenario& scenario,
@@ -150,6 +175,7 @@ class ChipSimulator {
   layout::Netlist netlist_;
   sensor::TGate tgate_;
   afe::Frontend frontend_;
+  MeasurementFaults measurement_faults_{};
   std::map<std::string, Grid2D> densities_;  // per module, 36x36
 };
 

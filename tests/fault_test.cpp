@@ -1,0 +1,351 @@
+// fault_test.cpp — the fault-injection subsystem: seed-deterministic plans,
+// dead-wire expansion, injector round-trips, the localized resistance-drift
+// self-test fix, and the selftest-gated degraded pipeline.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "fault/fault.hpp"
+#include "layout/floorplan.hpp"
+#include "psa/selftest.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa {
+namespace {
+
+fault::FaultPlanParams busy_params() {
+  fault::FaultPlanParams p;
+  p.stuck_open = 5;
+  p.stuck_closed = 3;
+  p.dead_rows = 1;
+  p.dead_columns = 2;
+  p.drift_cells = 4;
+  p.resistance_scale = 1.35;
+  p.opamp_gain_droop = 0.07;
+  p.adc_full_scale_droop = 0.1;
+  p.adc_stuck_low_bits = 0x3;
+  p.noise_burst_scale = 1.8;
+  p.extra_thermal_power_w = 0.2;
+  return p;
+}
+
+/// Light pipeline for fast end-to-end checks (structure, not SNR).
+analysis::PipelineConfig light_config() {
+  analysis::PipelineConfig cfg;
+  cfg.cycles_per_trace = 256;
+  cfg.enrollment_traces = 3;
+  cfg.detection_averages = 1;
+  return cfg;
+}
+
+// ------------------------------------------------------ plan determinism
+
+TEST(FaultPlan, SameSeedSamePlan) {
+  const fault::FaultPlan a = fault::make_plan(busy_params(), 77);
+  const fault::FaultPlan b = fault::make_plan(busy_params(), 77);
+  ASSERT_EQ(a.array.size(), b.array.size());
+  for (std::size_t i = 0; i < a.array.size(); ++i) {
+    EXPECT_EQ(a.array[i], b.array[i]) << "spec " << i;
+  }
+  EXPECT_EQ(a.resistance_scale, b.resistance_scale);
+  EXPECT_EQ(a.measurement.noise_scale, b.measurement.noise_scale);
+  EXPECT_EQ(a.measurement.temperature_offset_k,
+            b.measurement.temperature_offset_k);
+  EXPECT_EQ(a.describe(), b.describe());
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  const fault::FaultPlan a = fault::make_plan(busy_params(), 1);
+  const fault::FaultPlan b = fault::make_plan(busy_params(), 2);
+  ASSERT_EQ(a.array.size(), b.array.size());  // counts are exact by contract
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.array.size(); ++i) {
+    any_diff = any_diff || !(a.array[i] == b.array[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultPlan, CategoryStreamsAreIndependent) {
+  // Adding faults of one kind must not move the cells of another kind.
+  fault::FaultPlanParams only_drift;
+  only_drift.drift_cells = 3;
+  fault::FaultPlanParams mixed = only_drift;
+  mixed.stuck_open = 7;
+  mixed.stuck_closed = 2;
+  const fault::FaultPlan a = fault::make_plan(only_drift, 99);
+  const fault::FaultPlan b = fault::make_plan(mixed, 99);
+  std::vector<fault::ArrayFaultSpec> drift_a;
+  std::vector<fault::ArrayFaultSpec> drift_b;
+  for (const auto& f : a.array) {
+    if (f.kind == fault::ArrayFaultKind::kDrift) drift_a.push_back(f);
+  }
+  for (const auto& f : b.array) {
+    if (f.kind == fault::ArrayFaultKind::kDrift) drift_b.push_back(f);
+  }
+  ASSERT_EQ(drift_a.size(), drift_b.size());
+  for (std::size_t i = 0; i < drift_a.size(); ++i) {
+    EXPECT_EQ(drift_a[i], drift_b[i]);
+  }
+}
+
+TEST(FaultPlan, SameSeedIdenticalCampaignScores) {
+  // The end-to-end guarantee: two pipelines built from the same (plan,
+  // seeds) produce bit-identical scan scores.
+  const fault::FaultPlan plan = fault::make_plan(busy_params(), 4242);
+  std::array<double, 16> first{};
+  std::array<double, 16> second{};
+  for (std::array<double, 16>* out : {&first, &second}) {
+    sim::ChipSimulator chip(sim::SimTiming{},
+                            layout::Floorplan::aes_testchip());
+    const fault::FaultInjector injector(plan);
+    injector.arm(chip);
+    analysis::Pipeline pipeline(chip, light_config());
+    pipeline.configure_degraded(injector.array_faults());
+    pipeline.enroll(sim::Scenario::baseline(321));
+    *out = pipeline.scan_scores(
+        sim::Scenario::with_trojan(trojan::TrojanKind::kT1AmCarrier, 654));
+  }
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(first[k], second[k]) << "sensor " << k;
+  }
+}
+
+// --------------------------------------------------- dead-wire expansion
+
+TEST(FaultPlan, DeadRowExpandsToWholeWire) {
+  fault::FaultPlan plan;
+  plan.array.push_back({fault::ArrayFaultKind::kDeadRow, 7, 0});
+  const sensor::ArrayFaults f = plan.array_faults();
+  ASSERT_EQ(f.stuck_open.size(), sensor::kWires);
+  for (std::size_t c = 0; c < sensor::kWires; ++c) {
+    EXPECT_EQ(f.stuck_open[c].first, 7u);
+    EXPECT_EQ(f.stuck_open[c].second, c);
+  }
+  EXPECT_TRUE(f.stuck_closed.empty());
+}
+
+TEST(FaultPlan, DeadColumnExpandsToWholeWire) {
+  fault::FaultPlan plan;
+  plan.array.push_back({fault::ArrayFaultKind::kDeadColumn, 0, 13});
+  const sensor::ArrayFaults f = plan.array_faults();
+  ASSERT_EQ(f.stuck_open.size(), sensor::kWires);
+  for (std::size_t r = 0; r < sensor::kWires; ++r) {
+    EXPECT_EQ(f.stuck_open[r].first, r);
+    EXPECT_EQ(f.stuck_open[r].second, 13u);
+  }
+}
+
+TEST(FaultPlan, DescribeSummarizes) {
+  EXPECT_EQ(fault::FaultPlan{}.describe(), "pristine");
+  const fault::FaultPlan plan = fault::make_plan(busy_params(), 5);
+  const std::string s = plan.describe();
+  EXPECT_NE(s.find("stuck-open"), std::string::npos);
+  EXPECT_NE(s.find("drift"), std::string::npos);
+  EXPECT_NE(s.find("noise"), std::string::npos);
+}
+
+// ------------------------------------------------ injector round-trips
+
+TEST(FaultInjector, ArmDisarmRoundTrip) {
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  EXPECT_FALSE(chip.measurement_faults().any());
+  fault::FaultPlanParams p;
+  p.noise_burst_scale = 2.0;
+  p.opamp_gain_droop = 0.1;
+  const fault::FaultInjector injector(fault::make_plan(p, 1));
+  injector.arm(chip);
+  EXPECT_TRUE(chip.measurement_faults().any());
+  EXPECT_EQ(chip.measurement_faults().noise_scale, 2.0);
+  EXPECT_EQ(chip.measurement_faults().frontend.opamp_gain_scale, 0.9);
+  fault::FaultInjector::disarm(chip);
+  EXPECT_FALSE(chip.measurement_faults().any());
+}
+
+TEST(FaultInjector, ApplyInjectsStuckSwitches) {
+  fault::FaultPlan plan;
+  plan.array.push_back({fault::ArrayFaultKind::kStuckOpen, 0, 0});
+  plan.array.push_back({fault::ArrayFaultKind::kStuckClosed, 20, 20});
+  const fault::FaultInjector injector(plan);
+  sensor::SensorProgram p = sensor::CoilProgrammer::standard_sensor(0);
+  const sensor::SensorProgram out = injector.apply(p);
+  // (0,0) is commanded on by sensor 0's program but forced open; (20,20) is
+  // idle but forced closed.
+  EXPECT_TRUE(p.switches.commanded(0, 0));
+  EXPECT_FALSE(out.switches.effective(0, 0));
+  EXPECT_TRUE(out.switches.effective(20, 20));
+  EXPECT_FALSE(out.extract().ok());
+}
+
+TEST(FaultInjector, MaskUnmaskRoundTrip) {
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  analysis::Pipeline pipeline(chip, light_config());
+
+  const std::vector<std::size_t> victims{3};
+  const fault::FaultInjector injector(
+      fault::plan_killing_sensors(victims, 0, /*block_substitutes=*/true));
+  const analysis::DegradedModeReport broken =
+      pipeline.configure_degraded(injector.array_faults());
+  EXPECT_EQ(broken.masked_count(), 1u);
+  EXPECT_TRUE(pipeline.sensor_masked(3));
+  EXPECT_FALSE(pipeline.enrolled());  // re-enrollment required
+
+  // Repairing the array (empty fault set) unmasks every sensor.
+  const analysis::DegradedModeReport repaired =
+      pipeline.configure_degraded(sensor::ArrayFaults{});
+  EXPECT_EQ(repaired.masked_count(), 0u);
+  EXPECT_EQ(repaired.substituted_count(), 0u);
+  EXPECT_EQ(repaired.healthy_count(), 16u);
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_FALSE(pipeline.sensor_masked(k)) << "sensor " << k;
+  }
+}
+
+// -------------------------------------- localized resistance-drift fix
+
+TEST(SelfTestDrift, GlobalDriftStillFailsEveryPattern) {
+  // Backward-compatible whole-array drift: no fault sites listed at all.
+  sensor::ArrayFaults faults;
+  faults.resistance_scale = 1.4;
+  const sensor::SelfTestReport report = sensor::SelfTest().run(faults);
+  EXPECT_TRUE(report.tampered);
+  EXPECT_EQ(report.failures(), report.entries.size());
+}
+
+TEST(SelfTestDrift, ScaleOnlyAppliesToPathsCrossingAFaultSite) {
+  // Regression: a stuck-open at sensor 5's corner used to drag the global
+  // resistance_scale onto *every* sensor's path. Sensor 15's coil (rows
+  // 24/25/35, cols 24/35) touches neither wire 8, so it must pass clean.
+  sensor::ArrayFaults faults;
+  faults.stuck_open.push_back({8, 8});
+  faults.resistance_scale = 1.4;
+  const sensor::SelfTestReport report = sensor::SelfTest().run(faults);
+  EXPECT_TRUE(report.tampered);
+  EXPECT_FALSE(report.entries[5].pass);  // broken coil (open)
+  EXPECT_TRUE(report.entries[15].pass) << "drift leaked to a clean path";
+}
+
+TEST(SelfTestDrift, LocalDriftOnlyFlagsCrossingSensors) {
+  // Drift at cell (8,8): H-wire 8 carries sensors 4-7, V-wire 8 carries
+  // sensors 1,5,9,13. Everyone else's resistance stays in band.
+  sensor::ArrayFaults faults;
+  faults.drift_cells.push_back({8, 8});
+  faults.resistance_scale = 1.4;
+  const sensor::SelfTestReport report = sensor::SelfTest().run(faults);
+  EXPECT_TRUE(report.tampered);
+  for (const std::size_t k : {4u, 5u, 6u, 7u, 1u, 9u, 13u}) {
+    EXPECT_FALSE(report.entries[k].pass) << "sensor " << k;
+  }
+  for (const std::size_t k : {0u, 2u, 3u, 10u, 15u}) {
+    EXPECT_TRUE(report.entries[k].pass) << "sensor " << k;
+  }
+}
+
+TEST(SelfTestDrift, SmallLocalDriftWithinToleranceStillPasses) {
+  sensor::ArrayFaults faults;
+  faults.drift_cells.push_back({8, 8});
+  faults.resistance_scale = 1.05;  // inside the ±15 % band
+  const sensor::SelfTestReport report = sensor::SelfTest().run(faults);
+  EXPECT_FALSE(report.tampered);
+}
+
+// ------------------------------------------------- degraded pipeline
+
+class DegradedDeadSensors : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DegradedDeadSensors, MasksExactlyTheKilledSensors) {
+  const std::size_t n_dead = GetParam();
+  // Deterministic victims spread over the array: 0, 5, 10, 15, 3, 6, ...
+  static constexpr std::size_t kVictims[8] = {0, 5, 10, 15, 3, 6, 9, 12};
+  const std::vector<std::size_t> victims(kVictims, kVictims + n_dead);
+
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  analysis::Pipeline pipeline(chip, light_config());
+  const fault::FaultInjector injector(
+      fault::plan_killing_sensors(victims, 0, /*block_substitutes=*/true));
+  const analysis::DegradedModeReport report =
+      pipeline.configure_degraded(injector.array_faults());
+
+  EXPECT_TRUE(pipeline.degraded());
+  EXPECT_EQ(report.masked_count(), n_dead);
+  EXPECT_EQ(report.substituted_count(), 0u);
+  for (const std::size_t k : victims) {
+    EXPECT_TRUE(pipeline.sensor_masked(k)) << "sensor " << k;
+  }
+
+  pipeline.enroll(sim::Scenario::baseline(11));
+  const std::array<double, 16> scores = pipeline.scan_scores(
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT2KeyLeak, 22));
+  double live = 0.0;
+  for (std::size_t k = 0; k < 16; ++k) {
+    if (pipeline.sensor_masked(k)) {
+      EXPECT_EQ(scores[k], 0.0) << "masked sensor " << k << " scored";
+    } else {
+      live += std::abs(scores[k]);
+    }
+  }
+  EXPECT_GT(live, 0.0);
+
+  // Masked sensors refuse detection outright; localization never picks one.
+  EXPECT_THROW((void)pipeline.detect(victims[0], sim::Scenario::baseline(1)),
+               std::runtime_error);
+  const analysis::LocalizationResult loc = pipeline.localize(
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT2KeyLeak, 22));
+  EXPECT_FALSE(pipeline.sensor_masked(loc.best_sensor));
+}
+
+INSTANTIATE_TEST_SUITE_P(DeadCounts, DegradedDeadSensors,
+                         ::testing::Values(1, 4, 8));
+
+TEST(DegradedPipeline, CornerKillSubstitutesInsteadOfMasking) {
+  // Breaking only the standard coil's corner leaves the quadrant loops
+  // formable: the pipeline reprograms instead of masking.
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  analysis::Pipeline pipeline(chip, light_config());
+  const std::vector<std::size_t> victims{5};
+  const fault::FaultInjector injector(
+      fault::plan_killing_sensors(victims, 0, /*block_substitutes=*/false));
+  const analysis::DegradedModeReport report =
+      pipeline.configure_degraded(injector.array_faults());
+  EXPECT_EQ(report.masked_count(), 0u);
+  EXPECT_EQ(report.substituted_count(), 1u);
+  EXPECT_TRUE(report.substituted[5]);
+  EXPECT_FALSE(pipeline.sensor_masked(5));
+  // The substitute is a real coil: enrollment and scoring work through it
+  // (no masked-sensor throw), and the measurement carries signal.
+  pipeline.enroll(sim::Scenario::baseline(31));
+  const analysis::DetectionResult det =
+      pipeline.detect(5, sim::Scenario::baseline(32));
+  EXPECT_TRUE(std::isfinite(det.score));
+}
+
+TEST(DegradedPipeline, NextHealthySensorSkipsMaskedAndWraps) {
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  analysis::Pipeline pipeline(chip, light_config());
+  const std::vector<std::size_t> victims{10, 11, 15};
+  const fault::FaultInjector injector(
+      fault::plan_killing_sensors(victims, 0, /*block_substitutes=*/true));
+  pipeline.configure_degraded(injector.array_faults());
+  EXPECT_EQ(pipeline.next_healthy_sensor(9), 9u);
+  EXPECT_EQ(pipeline.next_healthy_sensor(10), 12u);
+  EXPECT_EQ(pipeline.next_healthy_sensor(11), 12u);
+  EXPECT_EQ(pipeline.next_healthy_sensor(15), 0u);  // wraps around
+}
+
+TEST(DegradedPipeline, AllSensorsMaskedThrows) {
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  analysis::Pipeline pipeline(chip, light_config());
+  std::vector<std::size_t> victims(16);
+  for (std::size_t k = 0; k < 16; ++k) victims[k] = k;
+  const fault::FaultInjector injector(
+      fault::plan_killing_sensors(victims, 0, /*block_substitutes=*/true));
+  const analysis::DegradedModeReport report =
+      pipeline.configure_degraded(injector.array_faults());
+  EXPECT_EQ(report.masked_count(), 16u);
+  EXPECT_THROW((void)pipeline.next_healthy_sensor(0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace psa

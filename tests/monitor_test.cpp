@@ -1,0 +1,182 @@
+// monitor_test.cpp — RuntimeMonitor edge cases: the MonitorState window and
+// debounce machinery, activation at trace 0, windows longer than the run,
+// and sentinel fail-over on a degraded pipeline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/monitor.hpp"
+#include "analysis/pipeline.hpp"
+#include "fault/fault.hpp"
+#include "layout/floorplan.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa {
+namespace {
+
+dsp::Spectrum one_bin(double magnitude) {
+  dsp::Spectrum s;
+  s.freq_hz = {0.0, 1.0e6};
+  s.magnitude = {magnitude, magnitude};
+  return s;
+}
+
+analysis::PipelineConfig light_config() {
+  analysis::PipelineConfig cfg;
+  cfg.cycles_per_trace = 256;
+  cfg.enrollment_traces = 3;
+  cfg.detection_averages = 1;
+  return cfg;
+}
+
+// ----------------------------------------------------- MonitorState unit
+
+TEST(MonitorState, WindowTrimsToSlidingWindow) {
+  analysis::MonitorConfig cfg;
+  cfg.sliding_window = 3;
+  analysis::MonitorState state(cfg);
+  for (int i = 1; i <= 5; ++i) {
+    state.push(one_bin(static_cast<double>(i)));
+    EXPECT_LE(state.window_size(), 3u);
+  }
+  // Window now holds {3,4,5}: the average is 4.
+  const dsp::Spectrum avg = state.push(one_bin(6.0));  // -> {4,5,6}
+  EXPECT_DOUBLE_EQ(avg.magnitude[0], 5.0);
+  EXPECT_EQ(state.window_size(), 3u);
+}
+
+TEST(MonitorState, ZeroSlidingWindowBehavesAsOne) {
+  analysis::MonitorConfig cfg;
+  cfg.sliding_window = 0;
+  analysis::MonitorState state(cfg);
+  const dsp::Spectrum a = state.push(one_bin(2.0));
+  const dsp::Spectrum b = state.push(one_bin(8.0));
+  EXPECT_EQ(state.window_size(), 1u);
+  EXPECT_DOUBLE_EQ(a.magnitude[0], 2.0);
+  EXPECT_DOUBLE_EQ(b.magnitude[0], 8.0);  // no stale history averaged in
+}
+
+TEST(MonitorState, DebounceRequiresConsecutiveDetections) {
+  analysis::MonitorConfig cfg;
+  cfg.consecutive_alarms = 2;
+  analysis::MonitorState state(cfg);
+  EXPECT_FALSE(state.record(true));
+  EXPECT_EQ(state.streak(), 1u);
+  EXPECT_TRUE(state.record(true));
+  EXPECT_EQ(state.streak(), 2u);
+}
+
+TEST(MonitorState, NonAlarmTraceResetsTheStreak) {
+  analysis::MonitorConfig cfg;
+  cfg.consecutive_alarms = 2;
+  analysis::MonitorState state(cfg);
+  EXPECT_FALSE(state.record(true));
+  EXPECT_FALSE(state.record(false));  // reset
+  EXPECT_EQ(state.streak(), 0u);
+  EXPECT_FALSE(state.record(true));   // streak restarts from scratch
+  EXPECT_TRUE(state.record(true));
+}
+
+TEST(MonitorState, SingleAlarmDebounceFiresImmediately) {
+  analysis::MonitorConfig cfg;
+  cfg.consecutive_alarms = 1;
+  analysis::MonitorState state(cfg);
+  EXPECT_FALSE(state.record(false));
+  EXPECT_TRUE(state.record(true));
+}
+
+// ------------------------------------------------- monitor end to end
+
+class MonitorFixture : public ::testing::Test {
+ protected:
+  MonitorFixture()
+      : chip_(sim::SimTiming{}, layout::Floorplan::aes_testchip()),
+        pipeline_(chip_, light_config()) {}
+
+  sim::ChipSimulator chip_;
+  analysis::Pipeline pipeline_;
+};
+
+TEST_F(MonitorFixture, ActivationAtTraceZero) {
+  pipeline_.enroll(sim::Scenario::baseline(5000));
+  analysis::MonitorConfig cfg;
+  cfg.max_traces = 16;
+  const analysis::RuntimeMonitor monitor(pipeline_, cfg);
+  const analysis::MonitorOutcome out = monitor.run(
+      sim::Scenario::baseline(600),
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT1AmCarrier, 600),
+      /*activation_trace=*/0);
+  // Every trace is Trojan-active; if the alarm fires the accounting starts
+  // at trace 0 and must respect the debounce.
+  if (out.alarmed) {
+    EXPECT_GE(out.traces_after_activation, cfg.consecutive_alarms);
+    EXPECT_LE(out.traces_after_activation, cfg.max_traces);
+    EXPECT_DOUBLE_EQ(
+        out.mttd_s, static_cast<double>(out.traces_after_activation) *
+                        cfg.trace_interval_s);
+  }
+}
+
+TEST_F(MonitorFixture, SlidingWindowLargerThanMaxTraces) {
+  pipeline_.enroll(sim::Scenario::baseline(5000));
+  analysis::MonitorConfig cfg;
+  cfg.sliding_window = 128;  // never fills: averages everything seen so far
+  cfg.max_traces = 6;
+  const analysis::RuntimeMonitor monitor(pipeline_, cfg);
+  const analysis::MonitorOutcome out = monitor.run(
+      sim::Scenario::baseline(601),
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT2KeyLeak, 601),
+      /*activation_trace=*/2);
+  EXPECT_LE(out.traces_after_activation, cfg.max_traces);
+  if (!out.alarmed) {
+    EXPECT_EQ(out.traces_after_activation, 0u);
+    EXPECT_DOUBLE_EQ(out.mttd_s, 0.0);
+  }
+}
+
+TEST_F(MonitorFixture, EffectiveSentinelIsConfiguredSensorWhenHealthy) {
+  analysis::MonitorConfig cfg;
+  cfg.sentinel_sensor = 10;
+  const analysis::RuntimeMonitor monitor(pipeline_, cfg);
+  EXPECT_EQ(monitor.effective_sentinel(), 10u);
+}
+
+TEST_F(MonitorFixture, SentinelFailsOverToNextHealthySensor) {
+  const std::vector<std::size_t> victims{10};
+  const fault::FaultInjector injector(
+      fault::plan_killing_sensors(victims, 0, /*block_substitutes=*/true));
+  pipeline_.configure_degraded(injector.array_faults());
+  ASSERT_TRUE(pipeline_.sensor_masked(10));
+
+  analysis::MonitorConfig cfg;
+  cfg.sentinel_sensor = 10;
+  cfg.max_traces = 4;
+  const analysis::RuntimeMonitor monitor(pipeline_, cfg);
+  EXPECT_EQ(monitor.effective_sentinel(), 11u);
+
+  // The monitor streams the substitute sentinel without throwing.
+  pipeline_.enroll(sim::Scenario::baseline(5001));
+  const analysis::MonitorOutcome out = monitor.run(
+      sim::Scenario::baseline(602),
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT3CdmaLeak, 602),
+      /*activation_trace=*/1);
+  EXPECT_LE(out.traces_after_activation, cfg.max_traces);
+}
+
+TEST_F(MonitorFixture, SubstitutedSentinelIsNotFailedOver) {
+  // A corner-killed sensor keeps its slot through a substitute coil: the
+  // sentinel stays put.
+  const std::vector<std::size_t> victims{10};
+  const fault::FaultInjector injector(
+      fault::plan_killing_sensors(victims, 0, /*block_substitutes=*/false));
+  const analysis::DegradedModeReport report =
+      pipeline_.configure_degraded(injector.array_faults());
+  ASSERT_TRUE(report.substituted[10]);
+  analysis::MonitorConfig cfg;
+  cfg.sentinel_sensor = 10;
+  const analysis::RuntimeMonitor monitor(pipeline_, cfg);
+  EXPECT_EQ(monitor.effective_sentinel(), 10u);
+}
+
+}  // namespace
+}  // namespace psa

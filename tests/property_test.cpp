@@ -5,14 +5,17 @@
 #include <cmath>
 #include <tuple>
 
+#include "analysis/refine.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/spectrum.hpp"
 #include "em/dipole.hpp"
+#include "fault/fault.hpp"
 #include "layout/floorplan.hpp"
 #include "psa/coil.hpp"
 #include "psa/programmer.hpp"
+#include "psa/selftest.hpp"
 #include "psa/tgate.hpp"
 #include "dsp/fixed_fft.hpp"
 
@@ -289,6 +292,61 @@ TEST_P(FaultFuzz, SingleFaultNeverYieldsSilentlyWrongCoil) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
                          ::testing::Range<std::uint64_t>(100, 164));
+
+// ------------------------------- array-fault masks over random programs
+
+class ArrayFaultMaskFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArrayFaultMaskFuzz, ExtractionTerminatesAndSelfTestCatchesBreaks) {
+  // A random pile of array faults over a random coil program: extraction
+  // must terminate with a verdict (never crash or hang), and any fault that
+  // breaks the coil must raise the self-test alarm — a damaged array is
+  // allowed to fail, never to fail silently.
+  Rng rng(GetParam());
+  fault::FaultPlanParams knobs;
+  knobs.stuck_open = rng.below(6);
+  knobs.stuck_closed = rng.below(4);
+  knobs.dead_rows = rng.below(2);
+  knobs.dead_columns = rng.below(2);
+  knobs.drift_cells = rng.below(4);
+  knobs.resistance_scale = 1.0 + rng.uniform(0.0, 0.6);
+  const fault::FaultPlan plan = fault::make_plan(knobs, GetParam() ^ 0xF00D);
+  const sensor::ArrayFaults faults = plan.array_faults();
+
+  sensor::SensorProgram p = [&] {
+    switch (rng.below(3)) {
+      case 0:
+        return sensor::CoilProgrammer::standard_sensor(rng.below(16));
+      case 1: {
+        const std::size_t r0 = rng.below(30);
+        const std::size_t c0 = rng.below(30);
+        return sensor::CoilProgrammer::rect_loop(
+            r0, c0, r0 + 2 + rng.below(4), c0 + 1 + rng.below(5));
+      }
+      default:
+        return analysis::quadrant_program(rng.below(16), rng.below(2),
+                                          rng.below(2));
+    }
+  }();
+  const sensor::SelfTestEntry checked =
+      sensor::SelfTest().test_program(p, faults, "fuzz");
+
+  faults.inject_into(p.switches);
+  const sensor::CoilExtraction ex = p.extract();
+  if (ex.ok()) {
+    ASSERT_TRUE(ex.path.has_value());
+    EXPECT_GT(ex.path->wire_length_um(), 0.0);
+    const sensor::TGate tg;
+    EXPECT_GT(ex.path->resistance_ohm(tg, 1.0, 300.0), 0.0);
+  } else {
+    EXPECT_NE(ex.error, sensor::CoilError::kNone);
+    EXPECT_FALSE(checked.pass)
+        << "broken coil passed self-test: " << sensor::to_string(ex.error);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrayFaultMaskFuzz,
+                         ::testing::Range<std::uint64_t>(200, 280));
 
 // ---------------------------------------- Q15 FFT accuracy across sizes
 
