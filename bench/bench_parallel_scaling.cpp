@@ -143,10 +143,16 @@ int main(int argc, char** argv) {
   scan_table.print(std::cout);
 
   const em::FluxMapCache::Stats cs = em::FluxMapCache::global().stats();
-  std::printf("\nFluxMapCache: %zu hits / %zu misses (%zu entries) — the 16 "
-              "standard coils are\ncomputed once and reused across every "
-              "pipeline and programming round.\n",
-              cs.hits, cs.misses, cs.entries);
+  std::printf("\nFluxMapCache: %zu hits / %zu misses / %zu evictions "
+              "(%zu entries) — the 16\nstandard coils are computed once and "
+              "reused across every pipeline and\nprogramming round.\n",
+              cs.hits, cs.misses, cs.evictions, cs.entries);
+  const sim::ActivitySynthesis::Stats as = tb.chip().synthesis().stats();
+  std::printf("ActivitySynthesis: %zu hits / %zu misses / %zu evictions / "
+              "%zu invalidations\n(%zu entries) — each scan scenario's "
+              "activity is synthesized once and measured\nthrough all 16 "
+              "coils.\n",
+              as.hits, as.misses, as.evictions, as.invalidations, as.entries);
   std::printf("\nReproduction: results %s across thread counts\n",
               all_identical ? "bit-identical" : "DIVERGED");
   return all_identical ? 0 : 1;

@@ -1,0 +1,186 @@
+// bench_scan_throughput.cpp — before/after wall time of the 16-sensor
+// localization scan (engineering bench, no paper counterpart).
+//
+// The "before" arm replays the seed-era per-sensor path honestly: every
+// (sensor, trace) pair re-synthesizes the scenario's switching activity from
+// scratch (ChipSimulator::measure_reference) and sweeps it through the
+// uncached naive-FFT spectrum chain (dsp::amplitude_spectrum_reference),
+// with the old per-sensor seed salt. The "after" arm is the production
+// Pipeline::scan_scores: activity is synthesized ONCE per trace and
+// measure_batch fans the cheap per-sensor tails out of the shared bundle.
+//
+// Both arms run single-threaded for the headline speedup (so the comparison
+// measures the shared-synthesis engine, not the thread pool); an extra
+// multi-thread "after" row shows the two optimizations compose.
+//
+// Usage: bench_scan_throughput [--smoke] [--out FILE] [--threads N]
+//   --smoke    reduced trace/average counts for CI (same code paths)
+//   --out FILE machine-readable results, default BENCH_scan.json
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::size_t argmax16(const std::array<double, 16>& v) {
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psa;
+  bool smoke = false;
+  std::string out_path = "BENCH_scan.json";
+  std::size_t extra_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      extra_threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      extra_threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    }
+  }
+  if (extra_threads == 0) extra_threads = 4;
+
+  analysis::PipelineConfig cfg;
+  if (smoke) {
+    cfg.cycles_per_trace = 256;
+    cfg.enrollment_traces = 3;
+    cfg.detection_averages = 2;
+  }
+  const int reps = smoke ? 1 : 3;
+
+  bench::print_banner(
+      "SCAN THROUGHPUT: shared-synthesis scan_scores vs per-sensor seed path",
+      "(engineering bench, no paper counterpart) single-thread wall time of "
+      "one 16-sensor scan, before vs after");
+  std::printf("config: cycles_per_trace=%zu detection_averages=%zu "
+              "reps=%d%s\n\n",
+              cfg.cycles_per_trace, cfg.detection_averages, reps,
+              smoke ? "  [smoke]" : "");
+
+  set_thread_count(1);
+  auto& tb = bench::TestBench::instance();
+  analysis::Pipeline pipeline(tb.chip(), cfg);
+  pipeline.enroll(sim::Scenario::baseline(5000));
+  const sim::Scenario scan =
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT3CdmaLeak, 42);
+  const std::size_t traces_per_scan = 16 * cfg.detection_averages;
+
+  // ---------- BEFORE: the seed-era scan, one sensor at a time.
+  const auto before_scan = [&]() {
+    std::array<double, 16> scores{};
+    for (std::size_t k = 0; k < 16; ++k) {
+      std::vector<dsp::Spectrum> sweeps;
+      sweeps.reserve(cfg.detection_averages);
+      for (std::size_t i = 0; i < cfg.detection_averages; ++i) {
+        sim::Scenario s = scan;
+        // Seed-era salt: detect(k) hashed (scenario seed, sensor, trace).
+        std::uint64_t mix = scan.seed ^ ((k + 1) * 0x9E3779B97F4A7C15ULL);
+        s.seed = splitmix64(mix) + i + 1;
+        const sim::MeasuredTrace tr = tb.chip().measure_reference(
+            pipeline.sensor_view(k), s, cfg.cycles_per_trace);
+        sweeps.push_back(dsp::resample(
+            dsp::amplitude_spectrum_reference(tr.samples, tr.sample_rate_hz,
+                                              cfg.analyzer.window),
+            cfg.analyzer.f_max_hz, cfg.analyzer.points));
+      }
+      scores[k] =
+          pipeline.score_spectrum(k, dsp::average_spectra(sweeps))
+              .peak_delta_v;
+    }
+    return scores;
+  };
+
+  const std::array<double, 16> before_scores = before_scan();  // warm-up
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) (void)before_scan();
+  const double before_s = seconds_since(t0) / reps;
+
+  // ---------- AFTER: production scan_scores, still one thread.
+  const std::array<double, 16> after_scores = pipeline.scan_scores(scan);
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) (void)pipeline.scan_scores(scan);
+  const double after_s = seconds_since(t0) / reps;
+
+  // ---------- AFTER, multi-thread: the two optimizations compose.
+  set_thread_count(extra_threads);
+  (void)pipeline.scan_scores(scan);  // warm-up at the new count
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) (void)pipeline.scan_scores(scan);
+  const double after_mt_s = seconds_since(t0) / reps;
+  set_thread_count(1);
+
+  const double speedup = before_s / after_s;
+  Table table({"arm", "threads", "scan [ms]", "traces/s", "speedup"});
+  table.add_row({"before (per-sensor reference)", "1", fmt(before_s * 1e3, 1),
+                 fmt(traces_per_scan / before_s, 1), "1.00x"});
+  table.add_row({"after (shared synthesis)", "1", fmt(after_s * 1e3, 1),
+                 fmt(traces_per_scan / after_s, 1), fmt(speedup, 2) + "x"});
+  table.add_row({"after (shared synthesis)", std::to_string(extra_threads),
+                 fmt(after_mt_s * 1e3, 1), fmt(traces_per_scan / after_mt_s, 1),
+                 fmt(before_s / after_mt_s, 2) + "x"});
+  table.print(std::cout);
+
+  // Both arms must still agree on the physics: the hottest sensor is the
+  // same even though the trace seeds differ between the two seeding schemes.
+  const bool same_winner = argmax16(before_scores) == argmax16(after_scores);
+  std::printf("\nhottest sensor: before=%zu after=%zu (%s)\n",
+              argmax16(before_scores), argmax16(after_scores),
+              same_winner ? "agree" : "DISAGREE");
+
+  const sim::ActivitySynthesis::Stats as = tb.chip().synthesis().stats();
+  std::printf("ActivitySynthesis: %zu hits / %zu misses / %zu evictions "
+              "(%zu entries)\n",
+              as.hits, as.misses, as.evictions, as.entries);
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"bench\": \"scan_throughput\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"cycles_per_trace\": " << cfg.cycles_per_trace << ",\n"
+       << "  \"detection_averages\": " << cfg.detection_averages << ",\n"
+       << "  \"sensors\": 16,\n"
+       << "  \"traces_per_scan\": " << traces_per_scan << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"before\": {\"threads\": 1, \"scan_ms\": " << before_s * 1e3
+       << ", \"traces_per_s\": " << traces_per_scan / before_s << "},\n"
+       << "  \"after\": {\"threads\": 1, \"scan_ms\": " << after_s * 1e3
+       << ", \"traces_per_s\": " << traces_per_scan / after_s << "},\n"
+       << "  \"after_parallel\": {\"threads\": " << extra_threads
+       << ", \"scan_ms\": " << after_mt_s * 1e3
+       << ", \"traces_per_s\": " << traces_per_scan / after_mt_s << "},\n"
+       << "  \"speedup_single_thread\": " << speedup << ",\n"
+       << "  \"hottest_sensor_agrees\": " << (same_winner ? "true" : "false")
+       << "\n}\n";
+  json.close();
+  std::printf("wrote %s (single-thread speedup %.2fx)\n", out_path.c_str(),
+              speedup);
+
+  return same_winner ? 0 : 1;
+}

@@ -14,6 +14,34 @@ Adc::Adc(const AdcParams& p) : p_(p) {
   lsb_ = p.full_scale_v / static_cast<double>(max_code_ + 1);
 }
 
+double Adc::Quantizer::operator()(double x) const {
+  const double scaled = x / lsb;
+  long code = std::lround(std::clamp(scaled, lo, hi));
+  if (stuck) {
+    // Stuck output bits act on the offset-binary code the converter
+    // actually drives onto its pins.
+    unsigned u = static_cast<unsigned>(code + offset) & code_mask;
+    u |= stuck_high & code_mask;
+    u &= ~stuck_low;
+    code = static_cast<long>(u) - static_cast<long>(offset);
+  }
+  return static_cast<double>(static_cast<int>(code)) * lsb;
+}
+
+Adc::Quantizer Adc::quantizer(const AdcFaults& faults) const {
+  const double derate = std::clamp(faults.full_scale_scale, 0.0, 1.0);
+  Quantizer q;
+  q.lsb = lsb_;
+  q.lo = static_cast<double>(-max_code_ - 1) * derate;
+  q.hi = static_cast<double>(max_code_) * derate;
+  q.code_mask = (1u << static_cast<unsigned>(p_.bits)) - 1u;
+  q.offset = static_cast<unsigned>(max_code_) + 1u;
+  q.stuck_high = faults.stuck_high_bits;
+  q.stuck_low = faults.stuck_low_bits;
+  q.stuck = (faults.stuck_high_bits | faults.stuck_low_bits) != 0;
+  return q;
+}
+
 std::vector<int> Adc::codes(std::span<const double> input,
                             const AdcFaults& faults) const {
   // A sagging reference shrinks the usable code span symmetrically.

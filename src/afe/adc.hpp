@@ -32,6 +32,25 @@ class Adc {
   /// Quantization step (LSB) in volts.
   double lsb() const { return lsb_; }
 
+  /// Per-sample converter with the fault state folded into constants, so
+  /// callers can fuse the ADC into their own loops. operator() performs the
+  /// exact arithmetic of codes()+sample() for one element — clamp to the
+  /// (derated) code span, round to the LSB grid, apply stuck bits,
+  /// reconstruct — and is bit-identical to the vector path.
+  struct Quantizer {
+    double lsb = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    unsigned code_mask = 0;
+    unsigned offset = 0;
+    unsigned stuck_high = 0;
+    unsigned stuck_low = 0;
+    bool stuck = false;
+
+    double operator()(double x) const;
+  };
+  Quantizer quantizer(const AdcFaults& faults = {}) const;
+
   /// Quantize a waveform: clamp to range, round to the LSB grid, return the
   /// reconstructed voltage (code * lsb). Faults (if any) corrupt the codes
   /// before reconstruction.

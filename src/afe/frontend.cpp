@@ -1,6 +1,10 @@
 #include "afe/frontend.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
 
 namespace psa::afe {
 
@@ -45,6 +49,43 @@ std::vector<double> Frontend::process(std::span<const double> coil_voltage,
   }
   const std::vector<double> amplified = opamp_.amplify(v, sample_rate_hz);
   return adc_.sample(amplified, faults.adc);
+}
+
+void Frontend::process_into(std::span<const double> coil_voltage,
+                            double coil_resistance_ohm, double sample_rate_hz,
+                            const FrontendFaults& faults,
+                            std::span<double> out) const {
+  if (out.size() != coil_voltage.size()) {
+    throw std::invalid_argument("Frontend::process_into: size mismatch");
+  }
+  const double att = divider(coil_resistance_ohm);
+  const double a =
+      std::exp(-2.0 * 3.14159265358979323846 * p_.ac_coupling_hz /
+               sample_rate_hz);
+  const double droop = faults.opamp_gain_scale;
+  const bool has_droop = droop != 1.0;
+  // One-pole IIR matched to the analog pole (see OpAmp::amplify).
+  const double ao = std::exp(-kTwoPi * opamp_.pole_hz() / sample_rate_hz);
+  const double a0 = opamp_.dc_gain();
+  const double sat = opamp_.saturation_v();
+  const Adc::Quantizer quantize = adc_.quantizer(faults.adc);
+
+  double y1 = 0.0;
+  double y2 = 0.0;
+  double x1_prev = 0.0;
+  double x2_prev = 0.0;
+  double y = 0.0;
+  for (std::size_t i = 0; i < coil_voltage.size(); ++i) {
+    const double x = att * coil_voltage[i];
+    y1 = a * (y1 + x - x1_prev);
+    x1_prev = x;
+    y2 = a * (y2 + y1 - x2_prev);
+    x2_prev = y1;
+    double v = y2;
+    if (has_droop) v *= droop;
+    y = ao * y + (1.0 - ao) * a0 * v;
+    out[i] = quantize(std::clamp(y, -sat, sat));
+  }
 }
 
 }  // namespace psa::afe

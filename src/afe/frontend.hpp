@@ -47,6 +47,16 @@ class Frontend {
                               double sample_rate_hz,
                               const FrontendFaults& faults = {}) const;
 
+  /// Fused single-pass variant of process(): divider, both AC-coupling
+  /// sections, gain droop, op-amp IIR and ADC quantization applied per
+  /// sample into a caller-provided buffer, with no intermediate vectors.
+  /// Bit-identical to process() — every element goes through the same
+  /// operations in the same order. `out.size()` must equal the input size.
+  void process_into(std::span<const double> coil_voltage,
+                    double coil_resistance_ohm, double sample_rate_hz,
+                    const FrontendFaults& faults,
+                    std::span<double> out) const;
+
   const OpAmp& opamp() const { return opamp_; }
   const Adc& adc() const { return adc_; }
 

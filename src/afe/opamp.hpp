@@ -27,6 +27,7 @@ class OpAmp {
 
   double dc_gain() const { return a0_; }
   double pole_hz() const { return pole_hz_; }
+  double saturation_v() const { return p_.saturation_v; }
 
   /// |H(f)| at frequency f.
   double gain_at(double freq_hz) const;

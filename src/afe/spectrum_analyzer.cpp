@@ -15,9 +15,12 @@ SpectrumAnalyzer::SpectrumAnalyzer(const SpectrumAnalyzerParams& p) : p_(p) {
 
 dsp::Spectrum SpectrumAnalyzer::sweep(std::span<const double> trace,
                                       double sample_rate_hz) const {
-  const dsp::Spectrum full =
-      dsp::amplitude_spectrum(trace, sample_rate_hz, p_.window);
-  return dsp::resample(full, p_.f_max_hz, p_.points);
+  // Band-limited: the resample below never reads a bin above f_max, so
+  // magnitudes outside the display span are not materialized.
+  const dsp::Spectrum band =
+      dsp::amplitude_spectrum_band(trace, sample_rate_hz, p_.f_max_hz,
+                                   p_.window);
+  return dsp::resample(band, p_.f_max_hz, p_.points);
 }
 
 dsp::Spectrum SpectrumAnalyzer::averaged_sweep(std::span<const double> trace,

@@ -1,5 +1,6 @@
 #include "analysis/pipeline.hpp"
 
+#include <span>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
@@ -105,22 +106,37 @@ dsp::Spectrum Pipeline::measure_spectrum(std::size_t sensor,
 }
 
 void Pipeline::enroll(const sim::Scenario& normal) {
-  // Sensors enroll concurrently: sensor k touches only detectors_[k], and
-  // every trace seed is a pure function of (base seed, k, i) — the forked
-  // RNG streams keep parallel enrollment bit-identical to the serial order.
+  // All sensors observe the same die, so enrollment trace i is ONE chip
+  // execution measured through every coil (the paper's array reads multiple
+  // channels of a single run): its seed depends only on i, the scenario's
+  // activity is synthesized once per trace, and measure_batch fans the cheap
+  // per-sensor tails across the pool. Spectra land in index-addressed slots
+  // and each detector folds its own slots, so enrollment stays bit-identical
+  // at any thread count.
+  std::vector<const sim::SensorView*> ptrs(16);
+  for (std::size_t k = 0; k < 16; ++k) {
+    ptrs[k] = masked_[k] ? nullptr : &views_[k];  // degraded: no coil
+  }
+  std::vector<std::vector<dsp::Spectrum>> spectra(
+      16, std::vector<dsp::Spectrum>(cfg_.enrollment_traces));
+  for (std::size_t i = 0; i < cfg_.enrollment_traces; ++i) {
+    sim::Scenario s = normal;
+    s.seed = normal.seed + 1000 + i;
+    const std::vector<sim::MeasuredTrace> batch = chip_.measure_batch(
+        std::span<const sim::SensorView* const>(ptrs), s,
+        cfg_.cycles_per_trace);
+    parallel_for(0, 16, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        if (masked_[k]) continue;
+        spectra[k][i] =
+            analyzer_.sweep(batch[k].samples, batch[k].sample_rate_hz);
+      }
+    });
+  }
   parallel_for(0, 16, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t k = lo; k < hi; ++k) {
-      if (masked_[k]) continue;  // degraded mode: no working coil to enroll
-      std::vector<dsp::Spectrum> spectra;
-      spectra.reserve(cfg_.enrollment_traces);
-      for (std::size_t i = 0; i < cfg_.enrollment_traces; ++i) {
-        sim::Scenario s = normal;
-        s.seed = normal.seed + 1000 * (k + 1) + i;
-        const sim::MeasuredTrace tr =
-            chip_.measure(views_[k], s, cfg_.cycles_per_trace);
-        spectra.push_back(analyzer_.sweep(tr.samples, tr.sample_rate_hz));
-      }
-      detectors_[k].enroll(spectra);
+      if (masked_[k]) continue;
+      detectors_[k].enroll(spectra[k]);
     }
   });
   enrolled_ = true;
@@ -158,17 +174,41 @@ std::array<double, 16> Pipeline::scan_scores(
     const sim::Scenario& scenario) const {
   if (!enrolled_) throw std::logic_error("Pipeline: enroll() first");
   std::array<double, 16> scores{};
-  // The physical bench walks four concurrent channels through four
-  // programming rounds; in simulation every sensor's measurement is an
-  // independent pure function of (scenario, sensor), so the 16 sensors run
-  // across the thread pool and land in their own slots — same scores as the
-  // round-by-round order, any thread count.
+  // The physical bench reads multiple channels of the SAME chip execution,
+  // so scan trace i is one run measured through every coil: its seed depends
+  // only on i (not the sensor), the activity synthesizes once per trace, and
+  // measure_batch fans out the per-sensor tails. Sweeps land in
+  // index-addressed slots and each detector folds its own slots serially,
+  // so the scores are bit-identical at any thread count. (This seeding is
+  // deliberately not detect()'s per-sensor salt — the scan shares traces.)
+  std::vector<const sim::SensorView*> ptrs(16);
+  for (std::size_t k = 0; k < 16; ++k) {
+    ptrs[k] = masked_[k] ? nullptr : &views_[k];  // degraded: slot stays 0
+  }
+  std::vector<std::vector<dsp::Spectrum>> sweeps(
+      16, std::vector<dsp::Spectrum>(cfg_.detection_averages));
+  for (std::size_t i = 0; i < cfg_.detection_averages; ++i) {
+    sim::Scenario s = scenario;
+    std::uint64_t mix = scenario.seed ^ (17 * 0x9E3779B97F4A7C15ULL);
+    s.seed = splitmix64(mix) + i + 1;
+    const std::vector<sim::MeasuredTrace> batch = chip_.measure_batch(
+        std::span<const sim::SensorView* const>(ptrs), s,
+        cfg_.cycles_per_trace);
+    parallel_for(0, 16, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        if (masked_[k]) continue;
+        sweeps[k][i] =
+            analyzer_.sweep(batch[k].samples, batch[k].sample_rate_hz);
+      }
+    });
+  }
   parallel_for(0, scores.size(), 1, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t s = lo; s < hi; ++s) {
-      if (masked_[s]) continue;  // degraded mode: slot stays at 0
+    for (std::size_t k = lo; k < hi; ++k) {
+      if (masked_[k]) continue;
       // Heat value: physical amplitude excess, comparable across sensors
       // (z-scores are not — a quiet corner sensor has a tiny MAD).
-      scores[s] = detect(s, scenario).peak_delta_v;
+      scores[k] =
+          detectors_[k].score(dsp::average_spectra(sweeps[k])).peak_delta_v;
     }
   });
   return scores;
@@ -198,33 +238,49 @@ RefinedLocation Pipeline::refine_localization(
     std::size_t sensor, double freq_hz, const sim::Scenario& scenario) const {
   std::array<double, 4> heat{};
   std::array<bool, 4> valid{true, true, true, true};
-  // Quadrants are independent (own view, own seeds, own heat slot).
-  parallel_for(0, 4, 1, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t q = lo; q < hi; ++q) {
-      sensor::SensorProgram qp = quadrant_program(sensor, q / 2, q % 2);
-      if (degraded_) {
-        // The damaged crossbar may be unable to form this quadrant coil.
-        faults_.inject_into(qp.switches);
-        if (!qp.extract().ok()) {
-          valid[q] = false;
-          continue;
-        }
+  // The four quadrant coils read the same chip execution: trace i's seed
+  // no longer depends on the quadrant, so each trace's activity synthesizes
+  // once and measure_batch produces all four quadrant views from it.
+  std::vector<sim::SensorView> qviews(4);
+  for (std::size_t q = 0; q < 4; ++q) {
+    sensor::SensorProgram qp = quadrant_program(sensor, q / 2, q % 2);
+    if (degraded_) {
+      // The damaged crossbar may be unable to form this quadrant coil.
+      faults_.inject_into(qp.switches);
+      if (!qp.extract().ok()) {
+        valid[q] = false;
+        continue;
       }
-      const sim::SensorView view = chip_.view_from_program(
-          qp, "s" + std::to_string(sensor) + "q" + std::to_string(q));
-      std::vector<dsp::Spectrum> sweeps;
-      for (std::size_t i = 0; i < cfg_.detection_averages; ++i) {
-        sim::Scenario s = scenario;
-        s.seed = splitmix64(s.seed) + 31 * (q + 1) + i;
-        const sim::MeasuredTrace tr =
-            chip_.measure(view, s, cfg_.cycles_per_trace);
-        sweeps.push_back(analyzer_.sweep(tr.samples, tr.sample_rate_hz));
-      }
-      // The anomaly line is novel (near the enrolled floor), so its raw
-      // magnitude through each quadrant coil is Trojan-dominated.
-      heat[q] = dsp::average_spectra(sweeps).value_at(freq_hz);
     }
-  });
+    qviews[q] = chip_.view_from_program(
+        qp, "s" + std::to_string(sensor) + "q" + std::to_string(q));
+  }
+  std::vector<const sim::SensorView*> ptrs(4);
+  for (std::size_t q = 0; q < 4; ++q) {
+    ptrs[q] = valid[q] ? &qviews[q] : nullptr;
+  }
+  std::vector<std::vector<dsp::Spectrum>> sweeps(
+      4, std::vector<dsp::Spectrum>(cfg_.detection_averages));
+  for (std::size_t i = 0; i < cfg_.detection_averages; ++i) {
+    sim::Scenario s = scenario;
+    s.seed = splitmix64(s.seed) + 31 + i;
+    const std::vector<sim::MeasuredTrace> batch = chip_.measure_batch(
+        std::span<const sim::SensorView* const>(ptrs), s,
+        cfg_.cycles_per_trace);
+    parallel_for(0, 4, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t q = lo; q < hi; ++q) {
+        if (!valid[q]) continue;
+        sweeps[q][i] =
+            analyzer_.sweep(batch[q].samples, batch[q].sample_rate_hz);
+      }
+    });
+  }
+  for (std::size_t q = 0; q < 4; ++q) {
+    if (!valid[q]) continue;
+    // The anomaly line is novel (near the enrolled floor), so its raw
+    // magnitude through each quadrant coil is Trojan-dominated.
+    heat[q] = dsp::average_spectra(sweeps[q]).value_at(freq_hz);
+  }
   return refine_from_heat(sensor, heat, valid);
 }
 

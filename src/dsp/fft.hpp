@@ -27,7 +27,21 @@ void ifft_inplace(std::span<cplx> data);
 
 /// Forward FFT of a real signal; returns the N/2+1 non-negative-frequency
 /// bins. Input size must be a power of two.
+///
+/// Implemented as a packed real FFT: the even/odd samples form one
+/// half-length complex FFT that is then unpacked with e^{-i·pi·k/(N/2)}
+/// twiddles — half the butterflies of the straightforward complex transform.
+/// The result matches rfft_reference to ~1 ulp per bin (the shorter
+/// butterfly chain rounds differently), which every spectral consumer in
+/// this repo is insensitive to; bit-exactness is only contracted for the
+/// *time-domain* measurement path (see DESIGN.md §10).
 std::vector<cplx> rfft(std::span<const double> signal);
+
+/// The original real-input FFT, kept verbatim: full-length complex transform
+/// with per-butterfly twiddle recurrence and no lookup tables. Ground truth
+/// for the packed path's accuracy test and the "before" arm of
+/// bench_scan_throughput.
+std::vector<cplx> rfft_reference(std::span<const double> signal);
 
 /// Inverse of rfft: reconstructs the length-n real signal from its n/2+1
 /// half-spectrum (conjugate symmetry is assumed, imaginary residue dropped).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "common/units.hpp"
@@ -41,10 +42,13 @@ std::size_t Spectrum::nearest_bin(double hz) const {
 std::optional<std::size_t> Spectrum::try_peak_bin(double f_lo,
                                                   double f_hi) const {
   if (f_lo > f_hi) std::swap(f_lo, f_hi);
+  // The grid ascends, so the window is one contiguous run: binary-search its
+  // left edge instead of scanning every bin below it.
+  const auto first = std::lower_bound(freq_hz.begin(), freq_hz.end(), f_lo);
   std::optional<std::size_t> best;
   double best_mag = -1.0;
-  for (std::size_t i = 0; i < size(); ++i) {
-    if (freq_hz[i] < f_lo || freq_hz[i] > f_hi) continue;
+  for (std::size_t i = static_cast<std::size_t>(first - freq_hz.begin());
+       i < size() && freq_hz[i] <= f_hi; ++i) {
     if (magnitude[i] > best_mag) {
       best_mag = magnitude[i];
       best = i;
@@ -61,8 +65,72 @@ std::size_t Spectrum::peak_bin(double f_lo, double f_hi) const {
   return *best;
 }
 
+namespace {
+
+// Shared core of the fast paths: cached window, packed real FFT, then
+// magnitudes for the first `n_bins` half-spectrum bins (0 = all).
+Spectrum amplitude_spectrum_fast(std::span<const double> signal,
+                                 double sample_rate_hz, WindowKind window,
+                                 std::size_t n_bins) {
+  if (signal.empty() || sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("amplitude_spectrum: bad inputs");
+  }
+  const std::size_t n = next_pow2(signal.size());
+  std::vector<double> buf(signal.begin(), signal.end());
+  const std::shared_ptr<const CachedWindow> w =
+      cached_window(window, signal.size());
+  apply_window(std::span<double>(buf.data(), signal.size()), w->coeffs);
+  buf.resize(n, 0.0);
+
+  const std::vector<cplx> half = rfft(buf);
+  // Window amplitude correction uses the pre-padding length.
+  const double scale =
+      2.0 / (w->coherent_gain * static_cast<double>(signal.size()));
+
+  if (n_bins == 0 || n_bins > half.size()) n_bins = half.size();
+  Spectrum s;
+  s.freq_hz.resize(n_bins);
+  s.magnitude.resize(n_bins);
+  const double df = sample_rate_hz / static_cast<double>(n);
+  for (std::size_t k = 0; k < n_bins; ++k) {
+    s.freq_hz[k] = df * static_cast<double>(k);
+    // sqrt(re^2+im^2) instead of std::abs's overflow-proof hypot: these are
+    // sub-volt magnitudes, and the spectrum values already carry the packed
+    // FFT's ~1 ulp rounding.
+    const double re = half[k].real();
+    const double im = half[k].imag();
+    double m = std::sqrt(re * re + im * im) * scale;
+    if (k == 0 || k == half.size() - 1) m *= 0.5;  // DC/Nyquist: no mirror
+    s.magnitude[k] = m;
+  }
+  return s;
+}
+
+}  // namespace
+
 Spectrum amplitude_spectrum(std::span<const double> signal,
                             double sample_rate_hz, WindowKind window) {
+  return amplitude_spectrum_fast(signal, sample_rate_hz, window, 0);
+}
+
+Spectrum amplitude_spectrum_band(std::span<const double> signal,
+                                 double sample_rate_hz, double f_max_hz,
+                                 WindowKind window) {
+  if (f_max_hz <= 0.0) {
+    throw std::invalid_argument("amplitude_spectrum_band: bad f_max");
+  }
+  const std::size_t n = next_pow2(signal.size());
+  const double df = sample_rate_hz / static_cast<double>(n);
+  // Bins 0..ceil(f_max/df): the last one sits at or above f_max so the
+  // display resample can interpolate right up to its edge.
+  const std::size_t n_bins =
+      static_cast<std::size_t>(std::ceil(f_max_hz / df)) + 1;
+  return amplitude_spectrum_fast(signal, sample_rate_hz, window, n_bins);
+}
+
+Spectrum amplitude_spectrum_reference(std::span<const double> signal,
+                                      double sample_rate_hz,
+                                      WindowKind window) {
   if (signal.empty() || sample_rate_hz <= 0.0) {
     throw std::invalid_argument("amplitude_spectrum: bad inputs");
   }
@@ -72,7 +140,7 @@ Spectrum amplitude_spectrum(std::span<const double> signal,
   apply_window(std::span<double>(buf.data(), signal.size()), w);
   buf.resize(n, 0.0);
 
-  const std::vector<cplx> half = rfft(buf);
+  const std::vector<cplx> half = rfft_reference(buf);
   // Window amplitude correction uses the pre-padding length.
   const double cg = coherent_gain(w);
   const double scale =
@@ -121,11 +189,28 @@ Spectrum resample(const Spectrum& s, double f_max_hz, std::size_t n_points) {
   Spectrum out;
   out.freq_hz.resize(n_points);
   out.magnitude.resize(n_points);
+  // Both grids ascend, so one forward-moving cursor replaces value_at's
+  // per-point binary search; the boundary handling and interpolation
+  // arithmetic mirror value_at exactly.
+  std::size_t hi = 0;
   for (std::size_t i = 0; i < n_points; ++i) {
     const double f =
         f_max_hz * static_cast<double>(i) / static_cast<double>(n_points - 1);
     out.freq_hz[i] = f;
-    out.magnitude[i] = s.value_at(f);
+    if (s.freq_hz.empty()) {
+      out.magnitude[i] = 0.0;
+    } else if (f <= s.freq_hz.front()) {
+      out.magnitude[i] = s.magnitude.front();
+    } else if (f >= s.freq_hz.back()) {
+      out.magnitude[i] = s.magnitude.back();
+    } else {
+      while (s.freq_hz[hi] < f) ++hi;
+      const std::size_t lo = hi - 1;
+      const double span_hz = s.freq_hz[hi] - s.freq_hz[lo];
+      const double t = span_hz > 0.0 ? (f - s.freq_hz[lo]) / span_hz : 0.0;
+      out.magnitude[i] =
+          s.magnitude[lo] + t * (s.magnitude[hi] - s.magnitude[lo]);
+    }
   }
   return out;
 }

@@ -43,9 +43,27 @@ struct Spectrum {
 /// Compute the single-sided amplitude spectrum of `signal` sampled at
 /// `sample_rate_hz`. The signal is zero-padded to a power of two. DC and
 /// Nyquist bins are scaled so that every bin reports sine amplitude.
+/// Uses the cached window and the packed real FFT — magnitudes match the
+/// reference below to ~1 ulp per bin (see rfft's doc comment).
 Spectrum amplitude_spectrum(std::span<const double> signal,
                             double sample_rate_hz,
                             WindowKind window = WindowKind::kFlatTop);
+
+/// Band-limited variant: identical arithmetic, but only the bins with
+/// freq <= f_max (plus the one bin just above, so interpolation across
+/// f_max still has a right-hand neighbour) are materialized. The analyzer's
+/// display sweep covers 120 MHz of a 528 MHz half-spectrum — ~4/5ths of the
+/// magnitude loop is wasted on bins no consumer reads.
+Spectrum amplitude_spectrum_band(std::span<const double> signal,
+                                 double sample_rate_hz, double f_max_hz,
+                                 WindowKind window = WindowKind::kFlatTop);
+
+/// The original spectrum path, kept verbatim: per-call window synthesis and
+/// the full-length complex FFT. Ground truth for accuracy tests and the
+/// "before" arm of bench_scan_throughput.
+Spectrum amplitude_spectrum_reference(std::span<const double> signal,
+                                      double sample_rate_hz,
+                                      WindowKind window = WindowKind::kFlatTop);
 
 /// Pointwise average of several spectra sharing one frequency grid (the
 /// paper averages five collected traces per plotted spectrum). Averaging is

@@ -1,8 +1,11 @@
 #include "dsp/window.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "common/units.hpp"
 
@@ -62,6 +65,32 @@ std::vector<double> make_window(WindowKind kind, std::size_t n) {
     }
   }
   return w;
+}
+
+std::shared_ptr<const CachedWindow> cached_window(WindowKind kind,
+                                                  std::size_t n) {
+  using Key = std::pair<int, std::size_t>;
+  static std::mutex mu;
+  static std::map<Key, std::shared_ptr<const CachedWindow>> cache;
+
+  const Key key{static_cast<int>(kind), n};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  // Compute outside the lock; a concurrent miss duplicates work and the
+  // first insert wins (results are bit-identical).
+  auto w = std::make_shared<CachedWindow>();
+  w->coeffs = make_window(kind, n);
+  w->coherent_gain = coherent_gain(w->coeffs);
+  std::lock_guard<std::mutex> lock(mu);
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  // Five window kinds × a handful of FFT lengths per process; if a sweep
+  // over many lengths ever blows this up, start over rather than grow.
+  if (cache.size() >= 32) cache.clear();
+  return cache.emplace(key, std::move(w)).first->second;
 }
 
 double coherent_gain(std::span<const double> window) {

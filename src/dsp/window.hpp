@@ -1,6 +1,7 @@
 // window.hpp — FFT window functions and their amplitude-correction factors.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,6 +21,21 @@ std::string to_string(WindowKind k);
 
 /// Generate the length-n window coefficients.
 std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// A memoized window: the make_window coefficients plus their coherent gain,
+/// both computed once per (kind, n) and shared process-wide. The spectrum
+/// path evaluates the same flat-top window (5 cosine terms × 32768 samples)
+/// for every trace; serving it from this cache removes that entirely.
+struct CachedWindow {
+  std::vector<double> coeffs;
+  double coherent_gain = 0.0;
+};
+
+/// Cached coefficients for (kind, n); values are bit-identical to calling
+/// make_window / coherent_gain directly. Thread-safe (small mutex-guarded
+/// cache, like em::FluxMapCache).
+std::shared_ptr<const CachedWindow> cached_window(WindowKind kind,
+                                                  std::size_t n);
 
 /// Coherent gain = mean of the coefficients. Dividing a windowed FFT's
 /// magnitude by (coherent_gain * N/2) yields the amplitude of a sine whose

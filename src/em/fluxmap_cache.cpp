@@ -59,9 +59,10 @@ std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = buckets_.find(h);
     if (it != buckets_.end()) {
-      for (const Entry& e : it->second) {
+      for (Entry& e : it->second) {
         if (e.key == key) {
           ++hits_;
+          e.order = next_order_++;  // refresh recency
           return e.map;
         }
       }
@@ -79,7 +80,7 @@ std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
     if (e.key == key) return e.map;  // another thread won the race
   }
   if (max_entries_ > 0 && entries_ >= max_entries_) {
-    // FIFO eviction: drop the globally oldest entry.
+    // LRU eviction: drop the globally least-recently-touched entry.
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
     auto victim_bucket = buckets_.end();
     std::size_t victim_idx = 0;
@@ -97,6 +98,7 @@ std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
                                   static_cast<std::ptrdiff_t>(victim_idx));
       if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
       --entries_;
+      ++evictions_;
     }
   }
   buckets_[h].push_back(Entry{std::move(key), map, next_order_++});
@@ -106,7 +108,7 @@ std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
 
 FluxMapCache::Stats FluxMapCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{hits_, misses_, entries_};
+  return Stats{hits_, misses_, evictions_, entries_};
 }
 
 void FluxMapCache::clear() {
@@ -115,6 +117,7 @@ void FluxMapCache::clear() {
   entries_ = 0;
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
   next_order_ = 0;
 }
 

@@ -31,11 +31,13 @@ class FluxMapCache {
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
+    std::size_t evictions = 0;
     std::size_t entries = 0;
   };
 
-  /// Entries kept before the cache evicts in insertion order. Generous for
-  /// the workloads above (16 standard + 64 quadrant + a few probe coils).
+  /// Entries kept before the cache evicts the least-recently-used map.
+  /// Generous for the workloads above (16 standard + 64 quadrant + a few
+  /// probe coils).
   explicit FluxMapCache(std::size_t max_entries = 256)
       : max_entries_(max_entries) {}
 
@@ -64,7 +66,7 @@ class FluxMapCache {
   struct Entry {
     Key key;
     std::shared_ptr<const FluxMap> map;
-    std::uint64_t order = 0;  // insertion order, for FIFO eviction
+    std::uint64_t order = 0;  // bumped on every hit: LRU eviction
   };
 
   std::size_t max_entries_;
@@ -74,6 +76,7 @@ class FluxMapCache {
   std::size_t entries_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace psa::em

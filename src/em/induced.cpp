@@ -29,6 +29,15 @@ std::vector<double> toggles_to_current(
   return current;
 }
 
+std::vector<double> toggles_to_charges(
+    std::span<const double> toggles_per_cycle) {
+  std::vector<double> q(toggles_per_cycle.size());
+  for (std::size_t c = 0; c < q.size(); ++c) {
+    q[c] = toggles_per_cycle[c] * kChargePerToggle;
+  }
+  return q;
+}
+
 void accumulate_flux(std::span<double> flux_wb,
                      std::span<const double> current_a, double gain) {
   if (flux_wb.size() != current_a.size()) {
@@ -40,6 +49,55 @@ void accumulate_flux(std::span<double> flux_wb,
   }
 }
 
+void accumulate_flux_from_charges(std::span<double> flux_wb,
+                                  std::span<const double> charge_per_cycle,
+                                  std::size_t samples_per_cycle,
+                                  double sample_rate_hz, double vdd_scale,
+                                  double gain) {
+  if (samples_per_cycle < static_cast<std::size_t>(kPulseSamples)) {
+    throw std::invalid_argument("accumulate_flux_from_charges: cycle too short");
+  }
+  if (flux_wb.size() != charge_per_cycle.size() * samples_per_cycle) {
+    throw std::invalid_argument("accumulate_flux_from_charges: size mismatch");
+  }
+  const double q_to_amps = sample_rate_hz;
+  const double scale = gain * kLoopAreaM2;
+  // Operation order mirrors toggles_to_current -> (*= vdd) -> accumulate_flux
+  // exactly: ((q*kernel)*rate)*vdd, then scale*that — same doubles, same bits.
+  for (std::size_t c = 0; c < charge_per_cycle.size(); ++c) {
+    const double q = charge_per_cycle[c];
+    if (q == 0.0) continue;
+    const std::size_t base = c * samples_per_cycle;
+    for (int k = 0; k < kPulseSamples; ++k) {
+      const double amps =
+          (q * kPulseKernel[k] * q_to_amps) * vdd_scale;
+      flux_wb[base + static_cast<std::size_t>(k)] += scale * amps;
+    }
+  }
+}
+
+void add_current_from_charges(std::span<double> total_a,
+                              std::span<const double> charge_per_cycle,
+                              std::size_t samples_per_cycle,
+                              double sample_rate_hz, double vdd_scale) {
+  if (samples_per_cycle < static_cast<std::size_t>(kPulseSamples)) {
+    throw std::invalid_argument("add_current_from_charges: cycle too short");
+  }
+  if (total_a.size() != charge_per_cycle.size() * samples_per_cycle) {
+    throw std::invalid_argument("add_current_from_charges: size mismatch");
+  }
+  const double q_to_amps = sample_rate_hz;
+  for (std::size_t c = 0; c < charge_per_cycle.size(); ++c) {
+    const double q = charge_per_cycle[c];
+    if (q == 0.0) continue;
+    const std::size_t base = c * samples_per_cycle;
+    for (int k = 0; k < kPulseSamples; ++k) {
+      total_a[base + static_cast<std::size_t>(k)] +=
+          vdd_scale * (q * kPulseKernel[k] * q_to_amps);
+    }
+  }
+}
+
 std::vector<double> induced_voltage(std::span<const double> flux_wb,
                                     double sample_rate_hz) {
   std::vector<double> v(flux_wb.size(), 0.0);
@@ -47,6 +105,15 @@ std::vector<double> induced_voltage(std::span<const double> flux_wb,
     v[i] = -(flux_wb[i] - flux_wb[i - 1]) * sample_rate_hz;
   }
   return v;
+}
+
+void induced_voltage_inplace(std::span<double> flux_wb,
+                             double sample_rate_hz) {
+  // Walk backwards so flux[i-1] is still the flux value when v[i] is formed.
+  for (std::size_t i = flux_wb.size(); i-- > 1;) {
+    flux_wb[i] = -(flux_wb[i] - flux_wb[i - 1]) * sample_rate_hz;
+  }
+  if (!flux_wb.empty()) flux_wb[0] = 0.0;
 }
 
 }  // namespace psa::em

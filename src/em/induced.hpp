@@ -24,13 +24,43 @@ std::vector<double> toggles_to_current(std::span<const double> toggles_per_cycle
                                        std::size_t samples_per_cycle,
                                        double sample_rate_hz);
 
+/// Packed pulse-train form of toggles_to_current: the per-cycle switched
+/// charge q_c = toggles_c · kChargePerToggle. One double per clock cycle
+/// instead of samples_per_cycle — the pulse kernel is applied on the fly by
+/// the consumers below, so a shared activity bundle holds 1/32nd the data
+/// and the hot loop streams 1/32nd the memory.
+std::vector<double> toggles_to_charges(std::span<const double> toggles_per_cycle);
+
 /// Accumulate a weighted current waveform into a flux waveform:
 /// flux += gain · kLoopAreaM2 · current. Sizes must match.
 void accumulate_flux(std::span<double> flux_wb,
                      std::span<const double> current_a, double gain);
 
+/// accumulate_flux ∘ toggles_to_current from the packed charge train,
+/// bit-identical to running the two-step pipeline with the current waveform
+/// scaled by `vdd_scale` first (the Q = C·V supply scaling of the
+/// simulator). flux size must be charges.size() * samples_per_cycle.
+void accumulate_flux_from_charges(std::span<double> flux_wb,
+                                  std::span<const double> charge_per_cycle,
+                                  std::size_t samples_per_cycle,
+                                  double sample_rate_hz, double vdd_scale,
+                                  double gain);
+
+/// total += vdd_scale · current from the packed charge train, bit-identical
+/// to expanding with toggles_to_current first. Used by the supply-current
+/// (spatially blind) observers.
+void add_current_from_charges(std::span<double> total_a,
+                              std::span<const double> charge_per_cycle,
+                              std::size_t samples_per_cycle,
+                              double sample_rate_hz, double vdd_scale);
+
 /// V = −dΦ/dt by first differences (v[0] = 0).
 std::vector<double> induced_voltage(std::span<const double> flux_wb,
                                     double sample_rate_hz);
+
+/// In-place variant: overwrites the flux waveform with the induced voltage
+/// (identical arithmetic per element; the hot path reuses its scratch buffer
+/// instead of allocating a second n_samples vector).
+void induced_voltage_inplace(std::span<double> flux_wb, double sample_rate_hz);
 
 }  // namespace psa::em

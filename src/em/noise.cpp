@@ -1,6 +1,9 @@
 #include "em/noise.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "common/units.hpp"
 #include "em/calibration.hpp"
@@ -14,16 +17,8 @@ double johnson_vrms(double resistance_ohm, double temperature_k,
 
 std::vector<double> generate_noise(const NoiseParams& params, std::size_t n,
                                    Rng& rng) {
-  const double nyquist = params.sample_rate_hz / 2.0;
-  const double vt =
-      johnson_vrms(params.coil_resistance_ohm, params.temperature_k, nyquist);
-  const double va = kAmpNoiseDensity * std::sqrt(nyquist);
-  const double h_ratio = kDipoleHeightUm /
-                         std::max(params.sensing_height_um, kDipoleHeightUm);
-  const double vamb = kAmbientVrmsPerM2 * std::fabs(params.signed_area_m2) *
-                      h_ratio * h_ratio * h_ratio;
   // Independent white sources add in power.
-  const double sigma = std::sqrt(vt * vt + va * va + vamb * vamb);
+  const double sigma = noise_sigma(params);
 
   std::vector<double> out(n);
   for (std::size_t i = 0; i < n; ++i) out[i] = rng.gaussian(0.0, sigma);
@@ -34,6 +29,52 @@ std::vector<double> generate_noise(const NoiseParams& params, std::size_t n,
     }
   }
   return out;
+}
+
+double noise_sigma(const NoiseParams& params) {
+  const double nyquist = params.sample_rate_hz / 2.0;
+  const double vt =
+      johnson_vrms(params.coil_resistance_ohm, params.temperature_k, nyquist);
+  const double va = kAmpNoiseDensity * std::sqrt(nyquist);
+  const double h_ratio = kDipoleHeightUm /
+                         std::max(params.sensing_height_um, kDipoleHeightUm);
+  const double vamb = kAmbientVrmsPerM2 * std::fabs(params.signed_area_m2) *
+                      h_ratio * h_ratio * h_ratio;
+  return std::sqrt(vt * vt + va * va + vamb * vamb);
+}
+
+void fill_unit_gaussians(std::span<double> out, Rng& rng) {
+  for (double& x : out) x = rng.gaussian();
+}
+
+std::shared_ptr<const std::vector<double>> supply_spur(std::size_t n,
+                                                       double sample_rate_hz) {
+  struct SpurKey {
+    std::size_t n;
+    double rate;
+    bool operator<(const SpurKey& o) const {
+      return n != o.n ? n < o.n : rate < o.rate;
+    }
+  };
+  static std::mutex mu;
+  static std::map<SpurKey, std::shared_ptr<const std::vector<double>>> cache;
+
+  const SpurKey key{n, sample_rate_hz};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto spur = std::make_shared<std::vector<double>>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sample_rate_hz;
+    (*spur)[i] = kSupplySpurV * std::sin(kTwoPi * kSupplySpurHz * t);
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  // A handful of (trace length, rate) pairs exist per process; if a sweep
+  // over many lengths ever blows this up, start over rather than grow.
+  if (cache.size() >= 16) cache.clear();
+  return cache.emplace(key, std::move(spur)).first->second;
 }
 
 }  // namespace psa::em

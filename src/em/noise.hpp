@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -38,5 +40,23 @@ double johnson_vrms(double resistance_ohm, double temperature_k, double bw_hz);
 /// spur. Deterministic in `rng`.
 std::vector<double> generate_noise(const NoiseParams& params, std::size_t n,
                                    Rng& rng);
+
+/// Combined white-noise sigma for `params`: Johnson + amplifier + ambient
+/// pickup added in power. generate_noise's samples are exactly
+/// (0.0 + sigma · g_i) + spur_i with g_i a standard gaussian — so a batch of
+/// sensors sharing one RNG stream can draw the unit basis g once and apply
+/// each sensor's sigma as a scale, bit-identical to per-sensor generation.
+double noise_sigma(const NoiseParams& params);
+
+/// Fill `out` with standard gaussians from `rng`, consuming exactly the
+/// draws generate_noise would for the white part.
+void fill_unit_gaussians(std::span<double> out, Rng& rng);
+
+/// The deterministic supply-ripple spur waveform for (n, sample_rate_hz).
+/// Seed- and sensor-independent, so it is memoized process-wide (small
+/// mutex-guarded cache); values are bit-identical to the inline loop in
+/// generate_noise.
+std::shared_ptr<const std::vector<double>> supply_spur(std::size_t n,
+                                                       double sample_rate_hz);
 
 }  // namespace psa::em

@@ -1,0 +1,231 @@
+#include "sim/activity_synthesis.hpp"
+
+#include <bit>
+#include <limits>
+#include <map>
+
+#include "common/rng.hpp"
+#include "em/calibration.hpp"
+#include "em/induced.hpp"
+#include "em/noise.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa::sim {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  std::uint64_t s = h;
+  return splitmix64(s);
+}
+
+std::uint64_t bits(double x) {
+  // Normalize -0.0 so equal keys always hash equally.
+  if (x == 0.0) x = 0.0;
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+std::uint64_t mix_block(std::uint64_t h, const aes::Block& b) {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  for (int i = 0; i < 8; ++i) {
+    lo = (lo << 8) | b[static_cast<std::size_t>(i)];
+    hi = (hi << 8) | b[static_cast<std::size_t>(i + 8)];
+  }
+  return mix(mix(h, lo), hi);
+}
+
+}  // namespace
+
+ScenarioFingerprint ScenarioFingerprint::of(const Scenario& scenario,
+                                            std::size_t n_cycles,
+                                            const SimTiming& timing) {
+  ScenarioFingerprint fp;
+  fp.key = scenario.key;
+  fp.active_trojan = scenario.active_trojan;
+  fp.encrypting = scenario.encrypting;
+  fp.plaintext_mode = scenario.plaintext_mode;
+  fp.vdd = scenario.vdd;
+  fp.seed = scenario.seed;
+  fp.trojan_activation_cycle = scenario.trojan_activation_cycle;
+  fp.scripted_plaintexts = scenario.scripted_plaintexts;
+  fp.n_cycles = n_cycles;
+  fp.samples_per_cycle = timing.samples_per_cycle;
+  fp.clock_hz = timing.clock_hz;
+  return fp;
+}
+
+bool ScenarioFingerprint::operator==(const ScenarioFingerprint& o) const {
+  return key == o.key && active_trojan == o.active_trojan &&
+         encrypting == o.encrypting && plaintext_mode == o.plaintext_mode &&
+         vdd == o.vdd && seed == o.seed &&
+         trojan_activation_cycle == o.trojan_activation_cycle &&
+         scripted_plaintexts == o.scripted_plaintexts &&
+         n_cycles == o.n_cycles && samples_per_cycle == o.samples_per_cycle &&
+         clock_hz == o.clock_hz;
+}
+
+std::uint64_t ScenarioFingerprint::hash() const {
+  std::uint64_t h = 0x414354495649ULL;  // "ACTIVI"
+  h = mix_block(h, key);
+  h = mix(h, active_trojan
+                 ? 1 + static_cast<std::uint64_t>(*active_trojan)
+                 : 0);
+  h = mix(h, encrypting ? 1 : 0);
+  h = mix(h, static_cast<std::uint64_t>(plaintext_mode));
+  h = mix(h, bits(vdd));
+  h = mix(h, seed);
+  h = mix(h, trojan_activation_cycle);
+  h = mix(h, scripted_plaintexts.size());
+  for (const aes::Block& b : scripted_plaintexts) h = mix_block(h, b);
+  h = mix(h, n_cycles);
+  h = mix(h, samples_per_cycle);
+  h = mix(h, bits(clock_hz));
+  return h;
+}
+
+const std::vector<double>& ActivityBundle::unit_noise() const {
+  std::call_once(noise_once_, [this] {
+    std::vector<double> g(n_samples());
+    Rng noise_rng = Rng(seed_).fork(0x4E4F495345ULL);  // "NOISE"
+    em::fill_unit_gaussians(g, noise_rng);
+    unit_noise_ = std::move(g);
+  });
+  return unit_noise_;
+}
+
+std::shared_ptr<const ActivityBundle> synthesize_activity(
+    const Scenario& scenario, std::size_t n_cycles, const SimTiming& timing) {
+  // std::map keeps the modules in lexicographic order — the iteration (and
+  // therefore flux-accumulation) order the original per-sensor path used.
+  std::map<std::string, std::vector<double>> act;
+
+  aes::ActivityConfig cfg;
+  cfg.encrypting = scenario.encrypting;
+  cfg.mode = scenario.plaintext_mode;
+  cfg.clock_hz = timing.clock_hz;
+  cfg.scripted_plaintexts = scenario.scripted_plaintexts;
+  const aes::AesActivityModel model(scenario.key, cfg, scenario.seed);
+  aes::CoreActivityTrace core = model.generate(n_cycles);
+
+  if (scenario.encrypting) {
+    act.emplace("clock_tree", std::move(core.clock_tree));
+  } else {
+    // Clock gating leaves a residual spine running (Eq. (1)'s noise trace).
+    act.emplace("clock_tree",
+                std::vector<double>(n_cycles, em::kIdleClockToggles));
+  }
+  act.emplace("aes_sbox", std::move(core.sbox));
+  act.emplace("aes_round_reg", std::move(core.round_reg));
+  act.emplace("aes_key_sched", std::move(core.key_sched));
+  act.emplace("aes_control", std::move(core.control));
+  act.emplace("uart", std::move(core.uart));
+  act.emplace("io_ring", std::vector<double>(n_cycles, 1.0));
+
+  // Trojans: trigger circuitry ticks whenever the chip is powered; the
+  // payload fires only for the scenario's active Trojan.
+  trojan::TrojanContext ctx;
+  ctx.clock_hz = timing.clock_hz;
+  ctx.encryptions = core.encryptions;
+  ctx.key = scenario.key;
+  ctx.seed = scenario.seed;
+  for (trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+    const std::unique_ptr<trojan::Trojan> t = trojan::make_trojan(kind);
+    t->set_enabled(scenario.active_trojan == kind);
+    t->set_activation_cycle(scenario.trojan_activation_cycle);
+    std::vector<double> toggles = t->trigger_toggles(ctx, n_cycles);
+    if (t->enabled()) {
+      const std::vector<double> payload = t->payload_toggles(ctx, n_cycles);
+      for (std::size_t c = 0; c < n_cycles; ++c) toggles[c] += payload[c];
+    }
+    act.emplace(t->name(), std::move(toggles));
+  }
+
+  std::vector<std::pair<std::string, std::vector<double>>> charge;
+  charge.reserve(act.size());
+  for (const auto& [name, toggles] : act) {
+    charge.emplace_back(name, em::toggles_to_charges(toggles));
+  }
+  return std::make_shared<const ActivityBundle>(
+      n_cycles, timing.samples_per_cycle, timing.sample_rate_hz(),
+      scenario.vdd, scenario.seed, std::move(charge));
+}
+
+std::shared_ptr<const ActivityBundle> ActivitySynthesis::get_or_synthesize(
+    const Scenario& scenario, std::size_t n_cycles, const SimTiming& timing) {
+  ScenarioFingerprint key = ScenarioFingerprint::of(scenario, n_cycles,
+                                                    timing);
+  const std::uint64_t h = key.hash();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = buckets_.find(h);
+    if (it != buckets_.end()) {
+      for (Entry& e : it->second) {
+        if (e.key == key) {
+          ++hits_;
+          e.order = next_order_++;  // refresh recency
+          return e.bundle;
+        }
+      }
+    }
+  }
+
+  // Synthesize outside the lock: a concurrent miss on the same key
+  // duplicates work but never serializes other scenarios behind one AES run.
+  auto bundle = synthesize_activity(scenario, n_cycles, timing);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  auto& bucket = buckets_[h];
+  for (const Entry& e : bucket) {
+    if (e.key == key) return e.bundle;  // another thread won the race
+  }
+  if (max_entries_ > 0 && entries_ >= max_entries_) {
+    // LRU eviction: drop the globally least-recently-touched entry.
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    auto victim_bucket = buckets_.end();
+    std::size_t victim_idx = 0;
+    for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+      for (std::size_t i = 0; i < b->second.size(); ++i) {
+        if (b->second[i].order < oldest) {
+          oldest = b->second[i].order;
+          victim_bucket = b;
+          victim_idx = i;
+        }
+      }
+    }
+    if (victim_bucket != buckets_.end()) {
+      victim_bucket->second.erase(victim_bucket->second.begin() +
+                                  static_cast<std::ptrdiff_t>(victim_idx));
+      if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
+      --entries_;
+      ++evictions_;
+    }
+  }
+  buckets_[h].push_back(Entry{std::move(key), bundle, next_order_++});
+  ++entries_;
+  return bundle;
+}
+
+void ActivitySynthesis::invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  entries_ = 0;
+  ++invalidations_;
+}
+
+void ActivitySynthesis::set_capacity(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = max_entries;
+}
+
+std::size_t ActivitySynthesis::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_entries_;
+}
+
+ActivitySynthesis::Stats ActivitySynthesis::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, evictions_, invalidations_, entries_};
+}
+
+}  // namespace psa::sim

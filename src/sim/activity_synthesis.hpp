@@ -1,0 +1,176 @@
+// activity_synthesis.hpp — synthesize chip activity once, measure many times.
+//
+// Every `ChipSimulator::measure` call used to re-run the AES-128 switching
+// activity model, all four Trojan toggle generators and the per-module pulse
+// upsampling — work that depends only on the *scenario*, not on which coil is
+// listening. A 16-sensor scan therefore redid ~94% of its arithmetic 16
+// times. This module factors the scenario-only work into an ActivityBundle
+// that is synthesized once per (scenario fingerprint, n_cycles) and shared
+// by every sensor measured from it.
+//
+// The bundle stores each module's *packed* per-cycle charge train (one
+// double per clock cycle; see em::toggles_to_charges) instead of the
+// upsampled current waveform — 1/32nd the memory at 32 samples/cycle — and
+// the consumers in em/induced.hpp apply the pulse kernel on the fly with the
+// exact operation order of the unpacked pipeline, so measurements taken
+// through a bundle are bit-identical to the original per-sensor path.
+//
+// ActivitySynthesis is the mutex-guarded LRU cache in front of the
+// synthesis, patterned after em::FluxMapCache: explicit capacity, hit/miss/
+// eviction counters, and an invalidation path that fault-injection campaigns
+// use to drop state between runs (bundles themselves are fault-independent —
+// measurement faults act downstream — but invalidate() makes the contract
+// auditable and keeps faulted experiments from trusting stale state).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "aes/activity.hpp"
+#include "trojan/trojan.hpp"
+
+namespace psa::sim {
+
+struct Scenario;
+struct SimTiming;
+
+/// The scenario-only inputs that determine chip activity. Two scenarios with
+/// equal fingerprints produce bit-identical toggle waveforms; fields that
+/// only affect the measurement tail (gain drift sigma, temperature) are
+/// deliberately excluded so e.g. a thermal sweep reuses one bundle.
+struct ScenarioFingerprint {
+  aes::Key key{};
+  std::optional<trojan::TrojanKind> active_trojan;
+  bool encrypting = true;
+  aes::PlaintextMode plaintext_mode = aes::PlaintextMode::kRandom;
+  double vdd = 1.0;
+  std::uint64_t seed = 0;
+  std::size_t trojan_activation_cycle = 0;
+  std::vector<aes::Block> scripted_plaintexts;
+  std::size_t n_cycles = 0;
+  std::size_t samples_per_cycle = 0;
+  double clock_hz = 0.0;
+
+  static ScenarioFingerprint of(const Scenario& scenario, std::size_t n_cycles,
+                                const SimTiming& timing);
+
+  bool operator==(const ScenarioFingerprint& o) const;
+  std::uint64_t hash() const;
+};
+
+/// The reusable product of one activity synthesis: every module's packed
+/// per-cycle switched charge, in the lexicographic module order the
+/// simulator's std::map iteration established (flux accumulation order is
+/// part of the bit-identity contract).
+class ActivityBundle {
+ public:
+  ActivityBundle(std::size_t n_cycles, std::size_t samples_per_cycle,
+                 double sample_rate_hz, double vdd, std::uint64_t seed,
+                 std::vector<std::pair<std::string, std::vector<double>>>
+                     charge_per_module)
+      : n_cycles_(n_cycles),
+        samples_per_cycle_(samples_per_cycle),
+        sample_rate_hz_(sample_rate_hz),
+        vdd_(vdd),
+        seed_(seed),
+        charge_(std::move(charge_per_module)) {}
+
+  ActivityBundle(const ActivityBundle&) = delete;
+  ActivityBundle& operator=(const ActivityBundle&) = delete;
+
+  std::size_t n_cycles() const { return n_cycles_; }
+  std::size_t samples_per_cycle() const { return samples_per_cycle_; }
+  double sample_rate_hz() const { return sample_rate_hz_; }
+  double vdd() const { return vdd_; }
+  std::uint64_t seed() const { return seed_; }
+  std::size_t n_samples() const { return n_cycles_ * samples_per_cycle_; }
+
+  /// (module name, packed charge train) sorted by name.
+  const std::vector<std::pair<std::string, std::vector<double>>>& charge()
+      const {
+    return charge_;
+  }
+
+  /// The scenario's shared unit-gaussian noise basis: the standard normals
+  /// `Rng(seed).fork("NOISE")` yields, drawn lazily once per bundle. Every
+  /// sensor in a batch applies its own sigma as a scale factor — exactly the
+  /// (0.0 + sigma·g_i) that em::generate_noise computes per sensor, so the
+  /// sharing is bit-identical (the per-sensor stream never depended on the
+  /// sensor to begin with). Thread-safe.
+  const std::vector<double>& unit_noise() const;
+
+ private:
+  std::size_t n_cycles_;
+  std::size_t samples_per_cycle_;
+  double sample_rate_hz_;
+  double vdd_;
+  std::uint64_t seed_;
+  std::vector<std::pair<std::string, std::vector<double>>> charge_;
+
+  mutable std::once_flag noise_once_;
+  mutable std::vector<double> unit_noise_;
+};
+
+/// Run the full activity synthesis for a scenario: AES core activity (or the
+/// idle clock spine), UART/IO housekeeping, and all four Trojan trigger +
+/// payload generators, packed to per-cycle charge trains. This is the
+/// expensive scenario-only work the cache below amortizes.
+std::shared_ptr<const ActivityBundle> synthesize_activity(
+    const Scenario& scenario, std::size_t n_cycles, const SimTiming& timing);
+
+/// Mutex-guarded LRU cache of ActivityBundles keyed by scenario fingerprint.
+/// Thread-safe; concurrent misses on one key may both synthesize and the
+/// first insert wins (the results are bit-identical anyway).
+class ActivitySynthesis {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t invalidations = 0;
+    std::size_t entries = 0;
+  };
+
+  /// Default capacity covers a pipeline run: detection_averages (5) scan
+  /// scenarios + enrollment_traces (8) + identification extras fit in 16.
+  explicit ActivitySynthesis(std::size_t max_entries = 16)
+      : max_entries_(max_entries) {}
+
+  /// Cached bundle for (scenario, n_cycles), synthesizing on a miss.
+  std::shared_ptr<const ActivityBundle> get_or_synthesize(
+      const Scenario& scenario, std::size_t n_cycles, const SimTiming& timing);
+
+  /// Drop every cached bundle (hit/miss history survives; the invalidation
+  /// counter increments). Fault-injection campaigns call this when the
+  /// simulated measurement chain changes state.
+  void invalidate();
+
+  void set_capacity(std::size_t max_entries);
+  std::size_t capacity() const;
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    ScenarioFingerprint key;
+    std::shared_ptr<const ActivityBundle> bundle;
+    std::uint64_t order = 0;  // bumped on every hit: LRU eviction
+  };
+
+  std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  std::uint64_t next_order_ = 0;
+  std::size_t entries_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+  std::size_t invalidations_ = 0;
+};
+
+}  // namespace psa::sim

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "em/calibration.hpp"
 #include "em/fluxmap_cache.hpp"
 #include "em/induced.hpp"
@@ -185,22 +186,112 @@ std::vector<double> ChipSimulator::coil_voltage(const SensorView& view,
 
 std::vector<double> ChipSimulator::total_current(const Scenario& scenario,
                                                  std::size_t n_cycles) const {
-  const auto act = activity(scenario, n_cycles);
-  std::vector<double> total(n_cycles * timing_.samples_per_cycle, 0.0);
+  const std::shared_ptr<const ActivityBundle> bundle =
+      synthesis_->get_or_synthesize(scenario, n_cycles, timing_);
+  std::vector<double> total(bundle->n_samples(), 0.0);
   const double vdd_scale = scenario.vdd / 1.0;
-  for (const auto& [name, toggles] : act) {
-    const std::vector<double> current = em::toggles_to_current(
-        toggles, timing_.samples_per_cycle, timing_.sample_rate_hz());
-    for (std::size_t i = 0; i < total.size(); ++i) {
-      total[i] += vdd_scale * current[i];
-    }
+  for (const auto& [name, charges] : bundle->charge()) {
+    em::add_current_from_charges(total, charges, timing_.samples_per_cycle,
+                                 timing_.sample_rate_hz(), vdd_scale);
   }
   return total;
+}
+
+MeasuredTrace ChipSimulator::measure_with_bundle(
+    const SensorView& view, const Scenario& scenario,
+    const ActivityBundle& bundle, std::vector<double>& scratch) const {
+  const std::size_t n = bundle.n_samples();
+  const double rate = timing_.sample_rate_hz();
+
+  // Flux accumulation straight from the packed charge trains, then the
+  // in-place derivative — the two big per-measurement allocations of the
+  // original path become one reused scratch buffer.
+  scratch.assign(n, 0.0);
+  const double vdd_scale = scenario.vdd / 1.0;
+  for (const auto& [name, charges] : bundle.charge()) {
+    const auto it = view.gains.find(name);
+    if (it == view.gains.end() || it->second == 0.0) continue;
+    em::accumulate_flux_from_charges(scratch, charges,
+                                     timing_.samples_per_cycle, rate,
+                                     vdd_scale, it->second);
+  }
+  em::induced_voltage_inplace(scratch, rate);
+
+  // Per-measurement analog gain drift (slow vs one trace: a single factor).
+  if (scenario.gain_drift_sigma > 0.0) {
+    Rng drift_rng = Rng(scenario.seed).fork(0x4452494654ULL);  // "DRIFT"
+    const double gain =
+        std::exp(drift_rng.gaussian(0.0, scenario.gain_drift_sigma));
+    for (double& x : scratch) x *= gain;
+  }
+
+  em::NoiseParams np;
+  np.coil_resistance_ohm = coil_resistance_ohm(view, scenario);
+  np.temperature_k =
+      scenario.temperature_k + measurement_faults_.temperature_offset_k;
+  np.signed_area_m2 = view.signed_area_m2;
+  np.sample_rate_hz = rate;
+  np.sensing_height_um = view.dipole_height_um;
+  // The scenario's unit-gaussian basis is shared (it never depended on the
+  // sensor); this sensor contributes only its sigma. The grouping mirrors
+  // generate_noise exactly: (0 + sigma·g) + spur, then the burst scale.
+  const double sigma = em::noise_sigma(np);
+  const std::vector<double>& g = bundle.unit_noise();
+  const std::shared_ptr<const std::vector<double>> spur =
+      em::supply_spur(n, rate);
+  const std::vector<double>& spur_v = *spur;
+  const double noise_scale = measurement_faults_.noise_scale;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch[i] += noise_scale * ((0.0 + sigma * g[i]) + spur_v[i]);
+  }
+
+  MeasuredTrace out;
+  out.sample_rate_hz = rate;
+  out.samples.resize(n);
+  frontend_.process_into(scratch, np.coil_resistance_ohm, rate,
+                         measurement_faults_.frontend, out.samples);
+  return out;
 }
 
 MeasuredTrace ChipSimulator::measure(const SensorView& view,
                                      const Scenario& scenario,
                                      std::size_t n_cycles) const {
+  const std::shared_ptr<const ActivityBundle> bundle =
+      synthesis_->get_or_synthesize(scenario, n_cycles, timing_);
+  thread_local std::vector<double> scratch;
+  return measure_with_bundle(view, scenario, *bundle, scratch);
+}
+
+std::vector<MeasuredTrace> ChipSimulator::measure_batch(
+    std::span<const SensorView* const> views, const Scenario& scenario,
+    std::size_t n_cycles) const {
+  std::vector<MeasuredTrace> out(views.size());
+  if (views.empty()) return out;
+  const std::shared_ptr<const ActivityBundle> bundle =
+      synthesis_->get_or_synthesize(scenario, n_cycles, timing_);
+  bundle->unit_noise();  // materialize once, before the fan-out
+  parallel_for(0, views.size(), 0, [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> scratch;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (views[i] == nullptr) continue;  // masked channel: empty trace
+      out[i] = measure_with_bundle(*views[i], scenario, *bundle, scratch);
+    }
+  });
+  return out;
+}
+
+std::vector<MeasuredTrace> ChipSimulator::measure_batch(
+    std::span<const SensorView> views, const Scenario& scenario,
+    std::size_t n_cycles) const {
+  std::vector<const SensorView*> ptrs(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) ptrs[i] = &views[i];
+  return measure_batch(std::span<const SensorView* const>(ptrs), scenario,
+                       n_cycles);
+}
+
+MeasuredTrace ChipSimulator::measure_reference(const SensorView& view,
+                                               const Scenario& scenario,
+                                               std::size_t n_cycles) const {
   std::vector<double> v = signal_voltage(view, scenario, n_cycles);
 
   // Per-measurement analog gain drift (slow vs one trace: a single factor).

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "psa/coil.hpp"
 #include "psa/programmer.hpp"
 #include "psa/tgate.hpp"
+#include "sim/activity_synthesis.hpp"
 #include "trojan/trojan.hpp"
 
 namespace psa::sim {
@@ -137,10 +139,16 @@ class ChipSimulator {
 
   /// Install / remove measurement-chain faults (see MeasurementFaults).
   /// Deterministic: faults reshape each trace but draw no extra randomness.
+  /// Either transition drops the activity cache so a fault campaign never
+  /// measures through a bundle synthesized under a different chain state.
   void inject_measurement_faults(const MeasurementFaults& faults) {
     measurement_faults_ = faults;
+    synthesis_->invalidate();
   }
-  void clear_measurement_faults() { measurement_faults_ = {}; }
+  void clear_measurement_faults() {
+    measurement_faults_ = {};
+    synthesis_->invalidate();
+  }
   const MeasurementFaults& measurement_faults() const {
     return measurement_faults_;
   }
@@ -148,6 +156,30 @@ class ChipSimulator {
   /// Simulate `n_cycles` of chip operation and measure through `view`.
   MeasuredTrace measure(const SensorView& view, const Scenario& scenario,
                         std::size_t n_cycles) const;
+
+  /// Measure every view against ONE shared activity synthesis: the scenario's
+  /// toggle/charge waveforms and noise basis are produced once and each
+  /// sensor runs only its cheap tail (gain-weighted flux, differentiation,
+  /// noise scaling, front-end), in parallel over sensors. Bit-identical to
+  /// calling measure(view, scenario, n_cycles) per view, at any thread
+  /// count. A null view yields an empty trace (masked-out channel).
+  std::vector<MeasuredTrace> measure_batch(
+      std::span<const SensorView* const> views, const Scenario& scenario,
+      std::size_t n_cycles) const;
+  std::vector<MeasuredTrace> measure_batch(std::span<const SensorView> views,
+                                           const Scenario& scenario,
+                                           std::size_t n_cycles) const;
+
+  /// The original single-sensor measurement path, kept verbatim: re-runs the
+  /// full activity synthesis per call with no caches, packing or fusion.
+  /// Ground truth for the measure/measure_batch bit-identity tests and the
+  /// "before" arm of bench_scan_throughput.
+  MeasuredTrace measure_reference(const SensorView& view,
+                                  const Scenario& scenario,
+                                  std::size_t n_cycles) const;
+
+  /// The per-simulator activity cache (stats, capacity, invalidation).
+  ActivitySynthesis& synthesis() const { return *synthesis_; }
 
   /// The open-circuit coil voltage before noise/front-end — used by physics
   /// tests that need the clean signal.
@@ -163,12 +195,20 @@ class ChipSimulator {
 
  private:
   /// Per-module toggle waveforms for a scenario (module name -> per-cycle).
+  /// Reference implementation; the hot path goes through ActivitySynthesis.
   std::map<std::string, std::vector<double>> activity(
       const Scenario& scenario, std::size_t n_cycles) const;
 
   std::vector<double> signal_voltage(const SensorView& view,
                                      const Scenario& scenario,
                                      std::size_t n_cycles) const;
+
+  /// The shared-bundle measurement tail: flux accumulation from packed
+  /// charges into `scratch`, differentiation, drift, noise, front-end.
+  MeasuredTrace measure_with_bundle(const SensorView& view,
+                                    const Scenario& scenario,
+                                    const ActivityBundle& bundle,
+                                    std::vector<double>& scratch) const;
 
   SimTiming timing_;
   layout::Floorplan floorplan_;
@@ -177,6 +217,11 @@ class ChipSimulator {
   afe::Frontend frontend_;
   MeasurementFaults measurement_faults_{};
   std::map<std::string, Grid2D> densities_;  // per module, 36x36
+  /// Activity cache shared by copies of this simulator (bundles depend only
+  /// on scenario + timing, so sharing is always sound); shared_ptr keeps the
+  /// simulator copyable despite the cache's mutex.
+  std::shared_ptr<ActivitySynthesis> synthesis_ =
+      std::make_shared<ActivitySynthesis>();
 };
 
 }  // namespace psa::sim

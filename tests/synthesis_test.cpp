@@ -1,0 +1,260 @@
+// synthesis_test.cpp — the shared trace-synthesis engine (sim/
+// activity_synthesis) and its bit-identity contract: measure_batch must
+// return byte-for-byte the traces the original per-sensor path produced,
+// for every scenario, seed and thread count; the ActivitySynthesis cache
+// must hit/evict/invalidate like the LRU it claims to be; and faulted runs
+// must never measure through a bundle cached before the fault state changed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "em/fluxmap_cache.hpp"
+#include "psa/programmer.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa {
+namespace {
+
+sim::ChipSimulator make_chip() {
+  return sim::ChipSimulator(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+}
+
+std::vector<sim::SensorView> standard_views(const sim::ChipSimulator& chip,
+                                            std::initializer_list<int> ks) {
+  std::vector<sim::SensorView> views;
+  for (int k : ks) {
+    views.push_back(chip.view_from_program(
+        sensor::CoilProgrammer::standard_sensor(static_cast<std::size_t>(k)),
+        "sensor" + std::to_string(k)));
+  }
+  return views;
+}
+
+bool same_samples(const sim::MeasuredTrace& a, const sim::MeasuredTrace& b) {
+  return a.samples.size() == b.samples.size() &&
+         std::memcmp(a.samples.data(), b.samples.data(),
+                     a.samples.size() * sizeof(double)) == 0;
+}
+
+std::vector<sim::Scenario> all_scenarios(std::uint64_t seed) {
+  std::vector<sim::Scenario> scenarios;
+  scenarios.push_back(sim::Scenario::baseline(seed));
+  for (trojan::TrojanKind kind :
+       {trojan::TrojanKind::kT1AmCarrier, trojan::TrojanKind::kT2KeyLeak,
+        trojan::TrojanKind::kT3CdmaLeak, trojan::TrojanKind::kT4DoS}) {
+    scenarios.push_back(sim::Scenario::with_trojan(kind, seed));
+  }
+  return scenarios;
+}
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { set_thread_count(1); }
+};
+
+// --- measure_batch bit-identity --------------------------------------------
+
+TEST(BatchBitIdentity, MatchesPerSensorPathAcrossScenariosSeedsAndThreads) {
+  sim::ChipSimulator chip = make_chip();
+  const std::vector<sim::SensorView> views =
+      standard_views(chip, {0, 5, 10, 15});
+  const std::size_t cycles = 256;
+  ThreadCountGuard guard;
+
+  for (std::uint64_t seed : {7ULL, 12345ULL}) {
+    for (const sim::Scenario& s : all_scenarios(seed)) {
+      // Ground truth from the verbatim seed-era path, computed serially.
+      set_thread_count(1);
+      std::vector<sim::MeasuredTrace> ref;
+      for (const sim::SensorView& v : views) {
+        ref.push_back(chip.measure_reference(v, s, cycles));
+      }
+      for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        set_thread_count(threads);
+        const std::vector<sim::MeasuredTrace> batch =
+            chip.measure_batch(std::span<const sim::SensorView>(views), s,
+                               cycles);
+        ASSERT_EQ(batch.size(), views.size());
+        for (std::size_t i = 0; i < views.size(); ++i) {
+          EXPECT_TRUE(same_samples(batch[i], ref[i]))
+              << "batch diverged: seed=" << seed << " sensor#" << i
+              << " threads=" << threads
+              << (s.active_trojan ? " (trojan active)" : " (baseline)");
+          // The single-view entry point shares the same bundle path.
+          EXPECT_TRUE(same_samples(chip.measure(views[i], s, cycles), ref[i]));
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchBitIdentity, NullViewYieldsEmptyTrace) {
+  sim::ChipSimulator chip = make_chip();
+  const std::vector<sim::SensorView> views = standard_views(chip, {3, 12});
+  const sim::Scenario s = sim::Scenario::baseline(9);
+  const std::vector<const sim::SensorView*> ptrs{&views[0], nullptr,
+                                                 &views[1]};
+  const std::vector<sim::MeasuredTrace> batch = chip.measure_batch(
+      std::span<const sim::SensorView* const>(ptrs), s, 128);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_FALSE(batch[0].samples.empty());
+  EXPECT_TRUE(batch[1].samples.empty());  // masked slot: no measurement
+  EXPECT_FALSE(batch[2].samples.empty());
+  EXPECT_TRUE(same_samples(batch[0], chip.measure_reference(views[0], s, 128)));
+  EXPECT_TRUE(same_samples(batch[2], chip.measure_reference(views[1], s, 128)));
+}
+
+// --- ActivitySynthesis cache behaviour --------------------------------------
+
+TEST(ActivitySynthesisCache, SharesOneBundleAcrossSensorsAndCounts) {
+  sim::ChipSimulator chip = make_chip();
+  const std::vector<sim::SensorView> views =
+      standard_views(chip, {1, 6, 11});
+  const sim::Scenario s = sim::Scenario::baseline(21);
+
+  (void)chip.measure_batch(std::span<const sim::SensorView>(views), s, 128);
+  sim::ActivitySynthesis::Stats st = chip.synthesis().stats();
+  EXPECT_EQ(st.misses, 1u);  // one synthesis for the whole batch
+  EXPECT_EQ(st.entries, 1u);
+
+  (void)chip.measure(views[0], s, 128);  // same fingerprint: pure hit
+  st = chip.synthesis().stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_GE(st.hits, 1u);
+
+  (void)chip.measure(views[0], s, 256);  // different n_cycles: new bundle
+  st = chip.synthesis().stats();
+  EXPECT_EQ(st.misses, 2u);
+  EXPECT_EQ(st.entries, 2u);
+}
+
+TEST(ActivitySynthesisCache, LruEvictionPrefersStaleEntries) {
+  sim::ActivitySynthesis cache(/*max_entries=*/2);
+  const sim::SimTiming timing{};
+  const sim::Scenario a = sim::Scenario::baseline(1);
+  const sim::Scenario b = sim::Scenario::baseline(2);
+  const sim::Scenario c = sim::Scenario::baseline(3);
+
+  const auto ba = cache.get_or_synthesize(a, 64, timing);
+  (void)cache.get_or_synthesize(b, 64, timing);
+  // Touch `a` so `b` becomes the least recently used entry.
+  EXPECT_EQ(cache.get_or_synthesize(a, 64, timing).get(), ba.get());
+  (void)cache.get_or_synthesize(c, 64, timing);  // evicts b, not a
+
+  sim::ActivitySynthesis::Stats st = cache.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.entries, 2u);
+
+  // `a` must still be resident (hit), `b` must have been the victim (miss).
+  EXPECT_EQ(cache.get_or_synthesize(a, 64, timing).get(), ba.get());
+  const std::size_t misses_before = cache.stats().misses;
+  (void)cache.get_or_synthesize(b, 64, timing);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(ActivitySynthesisCache, CapacityIsAdjustable) {
+  sim::ActivitySynthesis cache(/*max_entries=*/4);
+  EXPECT_EQ(cache.capacity(), 4u);
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.capacity(), 1u);
+  const sim::SimTiming timing{};
+  (void)cache.get_or_synthesize(sim::Scenario::baseline(1), 64, timing);
+  (void)cache.get_or_synthesize(sim::Scenario::baseline(2), 64, timing);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// --- fault-injection regression ---------------------------------------------
+
+TEST(ActivitySynthesisCache, FaultTransitionsInvalidateCachedBundles) {
+  sim::ChipSimulator chip = make_chip();
+  const std::vector<sim::SensorView> views = standard_views(chip, {10});
+  const sim::Scenario s =
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT3CdmaLeak, 4242);
+
+  // Warm the cache in the healthy state.
+  const sim::MeasuredTrace healthy = chip.measure(views[0], s, 256);
+  EXPECT_GE(chip.synthesis().stats().entries, 1u);
+
+  sim::MeasurementFaults faults;
+  faults.noise_scale = 2.5;
+  faults.temperature_offset_k = 40.0;
+  faults.frontend.opamp_gain_scale = 0.8;
+  faults.frontend.adc.stuck_low_bits = 0x3;
+  chip.inject_measurement_faults(faults);
+
+  // Injection dropped every bundle synthesized before the transition.
+  sim::ActivitySynthesis::Stats st = chip.synthesis().stats();
+  EXPECT_EQ(st.entries, 0u);
+  EXPECT_EQ(st.invalidations, 1u);
+
+  // The faulted measurement must equal the faulted reference path — i.e. it
+  // must not have been served through any stale pre-fault state.
+  const sim::MeasuredTrace faulted = chip.measure(views[0], s, 256);
+  EXPECT_TRUE(same_samples(faulted, chip.measure_reference(views[0], s, 256)));
+  EXPECT_FALSE(same_samples(faulted, healthy));
+
+  // Clearing the faults is a second transition: invalidate again, and the
+  // healthy measurement comes back bit-identical.
+  chip.clear_measurement_faults();
+  st = chip.synthesis().stats();
+  EXPECT_EQ(st.entries, 0u);
+  EXPECT_EQ(st.invalidations, 2u);
+  EXPECT_TRUE(same_samples(chip.measure(views[0], s, 256), healthy));
+}
+
+// --- satellite regressions ---------------------------------------------------
+
+TEST(FluxMapCacheLru, CountsEvictionsAndKeepsRecentlyTouchedEntries) {
+  em::FluxMapCache cache(/*max_entries=*/2);
+  em::FluxMap::Params p;
+  p.winding_raster = 48;
+  p.source_nx = 12;
+  p.source_ny = 12;
+  const Rect die{{0.0, 0.0}, {576.0, 576.0}};
+  auto coil_at = [](double x) {
+    return Polyline{{x, 32.0}, {x + 64.0, 32.0}, {x + 64.0, 96.0}, {x, 96.0}};
+  };
+
+  const auto a = cache.get_or_compute(coil_at(32.0), die, p);
+  (void)cache.get_or_compute(coil_at(128.0), die, p);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // Refresh `a`: under LRU the next insert must evict the 128 µm coil (the
+  // FIFO this cache used to be would have evicted `a`).
+  EXPECT_EQ(cache.get_or_compute(coil_at(32.0), die, p).get(), a.get());
+  (void)cache.get_or_compute(coil_at(224.0), die, p);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.get_or_compute(coil_at(32.0), die, p).get(), a.get());
+
+  const std::size_t misses_before = cache.stats().misses;
+  (void)cache.get_or_compute(coil_at(128.0), die, p);  // was evicted
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(PackedRfft, MatchesReferenceWithinRounding) {
+  std::vector<double> x(1024);
+  Rng rng(99);
+  for (double& v : x) v = rng.gaussian();
+  const std::vector<dsp::cplx> fast = dsp::rfft(x);
+  const std::vector<dsp::cplx> ref = dsp::rfft_reference(x);
+  ASSERT_EQ(fast.size(), ref.size());
+  double peak = 0.0;
+  for (const dsp::cplx& c : ref) peak = std::max(peak, std::abs(c));
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    // The packed transform reassociates; agreement to ~1e-12 of the peak is
+    // the documented contract (dsp/fft.hpp).
+    EXPECT_NEAR(fast[k].real(), ref[k].real(), 1e-12 * peak) << "bin " << k;
+    EXPECT_NEAR(fast[k].imag(), ref[k].imag(), 1e-12 * peak) << "bin " << k;
+  }
+}
+
+}  // namespace
+}  // namespace psa
