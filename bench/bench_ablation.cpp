@@ -28,6 +28,7 @@
 int main(int argc, char** argv) {
   using namespace psa;
   const std::size_t threads = bench::apply_thread_flag(argc, argv);
+  bench::apply_obs_flag(argc, argv);
   bench::print_banner(
       "ABLATIONS: SENSOR SIZING, RESHAPING, WIRE GEOMETRY, OCM",
       "programmable size/shape is what buys SNR and localization "

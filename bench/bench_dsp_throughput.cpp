@@ -137,6 +137,7 @@ int main(int argc, char** argv) {
   // (BM_FluxMapCompute); the flag is stripped before google-benchmark sees
   // the argument list.
   const std::size_t threads = psa::bench::apply_thread_flag(argc, argv);
+  psa::bench::apply_obs_flag(argc, argv);
   std::printf("measurement threads: %zu\n", threads);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -201,6 +201,7 @@ void write_json(std::FILE* f, std::uint64_t seed, bool smoke,
 
 int main(int argc, char** argv) {
   const std::size_t threads = bench::apply_thread_flag(argc, argv);
+  bench::apply_obs_flag(argc, argv);
 
   std::uint64_t seed = 42;
   bool smoke = false;

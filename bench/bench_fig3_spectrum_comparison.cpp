@@ -9,8 +9,9 @@
 #include "dsp/spectrum.hpp"
 #include "dsp/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psa;
+  bench::apply_obs_flag(argc, argv);
   bench::print_banner(
       "FIG. 3: SPECTRUM MAGNITUDE, PSA vs EXTERNAL EM PROBE",
       "PSA spectrum up to ~55 dB above the external probe across the band");

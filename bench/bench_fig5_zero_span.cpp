@@ -9,8 +9,9 @@
 #include "bench_util.hpp"
 #include "ml/kmeans.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psa;
+  bench::apply_obs_flag(argc, argv);
   bench::print_banner(
       "FIG. 5: ZERO-SPAN TIME-DOMAIN SIGNALS AT THE PROMINENT COMPONENT",
       "the four Trojans' modulation patterns are clearly distinguishable; "

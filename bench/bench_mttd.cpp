@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace psa;
   const std::size_t threads = bench::apply_thread_flag(argc, argv);
+  bench::apply_obs_flag(argc, argv);
   bench::print_banner(
       "SECTION VI-D: MEAN TIME TO DETECT (MTTD)",
       "fewer than 10 traces collected to detect a HT -> < 10 ms MTTD; "

@@ -9,8 +9,9 @@
 #include "psa/lattice.hpp"
 #include "psa/tgate.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psa;
+  bench::apply_obs_flag(argc, argv);
   bench::print_banner(
       "SECTION V-B: T-GATE DESIGN AND PSA IMPLEMENTATION COST",
       "R_on ~34 ohm; T-gates add ~5% chip area; 6.25% top-layer routing "

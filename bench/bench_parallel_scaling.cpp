@@ -43,6 +43,7 @@ bool bit_identical(const std::vector<double>& a,
 
 int main(int argc, char** argv) {
   using namespace psa;
+  bench::apply_obs_flag(argc, argv);
   std::size_t max_threads = 8;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -48,6 +48,7 @@ std::size_t argmax16(const std::array<double, 16>& v) {
 
 int main(int argc, char** argv) {
   using namespace psa;
+  bench::apply_obs_flag(argc, argv);
   bool smoke = false;
   std::string out_path = "BENCH_scan.json";
   std::size_t extra_threads = 0;

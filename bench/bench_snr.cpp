@@ -8,8 +8,9 @@
 #include "bench_util.hpp"
 #include "dsp/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psa;
+  bench::apply_obs_flag(argc, argv);
   bench::print_banner(
       "SECTION VI-B: SNR MEASUREMENT (Eq. 1)",
       "PSA 41.0 dB  |  on-chip single coil 30.5 dB  |  external probe "

@@ -79,8 +79,9 @@ std::pair<int, std::size_t> euclidean_method(const sim::ChipSimulator& chip,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psa;
+  bench::apply_obs_flag(argc, argv);
   bench::print_banner(
       "TABLE I: COMPARISON OF EM SIDE-CHANNEL DATA COLLECTION METHODS",
       "probe: low rate, no loc, >10k traces, 14.3 dB, no runtime | "

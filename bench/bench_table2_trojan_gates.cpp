@@ -9,8 +9,9 @@
 #include "bench_util.hpp"
 #include "layout/netlist.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psa;
+  bench::apply_obs_flag(argc, argv);
   bench::print_banner(
       "TABLE II: TROJAN GATES COUNT AND PERCENTAGE",
       "overall 28806; T1 1881 (6.52%), T2 2132 (7.40%), T3 329 (1.14%), "

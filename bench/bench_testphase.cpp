@@ -18,8 +18,9 @@
 #include "bench_util.hpp"
 #include "testgen/mero.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psa;
+  bench::apply_obs_flag(argc, argv);
   bench::print_banner(
       "SECTION II-A: TEST-PHASE TRIGGERING (MERO-STYLE) vs RUN-TIME",
       "test phase = trigger intentionally with generated vectors; run time "

@@ -10,6 +10,7 @@
 #include "baseline/external_probe.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "obs/obs.hpp"
 #include "psa/programmer.hpp"
 #include "sim/chip_simulator.hpp"
 
@@ -45,6 +46,30 @@ inline std::size_t apply_thread_flag(int& argc, char** argv) {
   argc = out;
   if (!configured) set_thread_count(0);  // automatic (PSA_THREADS / hardware)
   return thread_count();
+}
+
+/// Parse and strip a `--obs-out FILE` / `--obs-out=FILE` flag. When present,
+/// observability recording switches on and the Chrome trace plus metrics
+/// dumps (FILE, FILE.metrics.json, FILE.metrics.csv) are written at process
+/// exit — same effect as the PSA_OBS_OUT environment variable. Returns the
+/// path ("" when the flag is absent). Call right after apply_thread_flag.
+inline std::string apply_obs_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--obs-out" && i + 1 < argc) {
+      path = argv[i + 1];
+      ++i;  // consume the value
+    } else if (arg.rfind("--obs-out=", 0) == 0) {
+      path = arg.substr(10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (!path.empty()) obs::enable_export_at_exit(path);
+  return path;
 }
 
 /// Lazily constructed shared test bench.

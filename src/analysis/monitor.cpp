@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace psa::analysis {
 
 dsp::Spectrum MonitorState::push(dsp::Spectrum sweep) {
@@ -41,6 +43,7 @@ MonitorOutcome RuntimeMonitor::run(const sim::Scenario& quiet,
     const DetectionResult d = pipeline_.score_spectrum(sentinel, avg);
 
     if (state.record(d.detected) && i >= activation_trace) {
+      PSA_COUNTER_ADD("analysis.monitor.alarms", 1);
       out.alarmed = true;
       out.first_alarm = d;
       out.traces_after_activation = i - activation_trace + 1;

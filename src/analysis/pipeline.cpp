@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 #include "psa/programmer.hpp"
 
 namespace psa::analysis {
@@ -39,6 +40,7 @@ std::size_t Pipeline::next_healthy_sensor(std::size_t k) const {
 
 DegradedModeReport Pipeline::configure_degraded(
     const sensor::ArrayFaults& faults) {
+  PSA_TRACE_SPAN("pipeline.configure_degraded");
   DegradedModeReport report;
   const sensor::SelfTest selftest;
   report.selftest = selftest.run(faults);
@@ -77,6 +79,12 @@ DegradedModeReport Pipeline::configure_degraded(
     }
     if (!found) masked_[k] = true;
   }
+  for (std::size_t k = 0; k < layout::kNumStandardSensors; ++k) {
+    if (masked_[k]) PSA_COUNTER_ADD("analysis.degraded.masked_sensors", 1);
+    if (substituted_[k]) {
+      PSA_COUNTER_ADD("analysis.degraded.substituted_sensors", 1);
+    }
+  }
   report.masked = masked_;
   report.substituted = substituted_;
   return report;
@@ -85,6 +93,7 @@ DegradedModeReport Pipeline::configure_degraded(
 dsp::Spectrum Pipeline::measure_spectrum(std::size_t sensor,
                                          const sim::Scenario& scenario,
                                          std::uint64_t seed_salt) const {
+  PSA_TRACE_SPAN("pipeline.measure_spectrum", {{"sensor", sensor}});
   // Traces are measured concurrently into index-addressed slots: each trace
   // derives its seed from (scenario seed, salt, trace index) alone, and the
   // averaging below folds the slots serially in index order, so the result
@@ -106,6 +115,8 @@ dsp::Spectrum Pipeline::measure_spectrum(std::size_t sensor,
 }
 
 void Pipeline::enroll(const sim::Scenario& normal) {
+  PSA_TRACE_SPAN("pipeline.enroll", {{"traces", cfg_.enrollment_traces}});
+  PSA_TIME_SCOPE_US("analysis.enroll.us");
   // All sensors observe the same die, so enrollment trace i is ONE chip
   // execution measured through every coil (the paper's array reads multiple
   // channels of a single run): its seed depends only on i, the scenario's
@@ -120,6 +131,7 @@ void Pipeline::enroll(const sim::Scenario& normal) {
   std::vector<std::vector<dsp::Spectrum>> spectra(
       16, std::vector<dsp::Spectrum>(cfg_.enrollment_traces));
   for (std::size_t i = 0; i < cfg_.enrollment_traces; ++i) {
+    PSA_TRACE_SPAN("pipeline.enroll_trace", {{"trace", i}});
     sim::Scenario s = normal;
     s.seed = normal.seed + 1000 + i;
     const std::vector<sim::MeasuredTrace> batch = chip_.measure_batch(
@@ -144,6 +156,7 @@ void Pipeline::enroll(const sim::Scenario& normal) {
 
 DetectionResult Pipeline::detect(std::size_t sensor,
                                  const sim::Scenario& scenario) const {
+  PSA_TRACE_SPAN("pipeline.detect", {{"sensor", sensor}});
   if (!enrolled_) throw std::logic_error("Pipeline: enroll() first");
   if (sensor < masked_.size() && masked_[sensor]) {
     throw std::runtime_error("Pipeline: sensor " + std::to_string(sensor) +
@@ -151,7 +164,10 @@ DetectionResult Pipeline::detect(std::size_t sensor,
   }
   const dsp::Spectrum spec =
       measure_spectrum(sensor, scenario, /*seed_salt=*/sensor + 1);
-  return detectors_[sensor].score(spec);
+  const DetectionResult result = detectors_[sensor].score(spec);
+  PSA_HISTOGRAM_RECORD("analysis.detect.z", result.score);
+  if (result.detected) PSA_COUNTER_ADD("analysis.detections", 1);
+  return result;
 }
 
 dsp::Spectrum Pipeline::single_sweep(std::size_t sensor,
@@ -172,6 +188,8 @@ DetectionResult Pipeline::score_spectrum(std::size_t sensor,
 
 std::array<double, 16> Pipeline::scan_scores(
     const sim::Scenario& scenario) const {
+  PSA_TRACE_SPAN("pipeline.scan", {{"averages", cfg_.detection_averages}});
+  PSA_TIME_SCOPE_US("analysis.scan.us");
   if (!enrolled_) throw std::logic_error("Pipeline: enroll() first");
   std::array<double, 16> scores{};
   // The physical bench reads multiple channels of the SAME chip execution,
@@ -205,10 +223,12 @@ std::array<double, 16> Pipeline::scan_scores(
   parallel_for(0, scores.size(), 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t k = lo; k < hi; ++k) {
       if (masked_[k]) continue;
+      PSA_TRACE_SPAN("scan.sensor", {{"sensor", k}});
       // Heat value: physical amplitude excess, comparable across sensors
       // (z-scores are not — a quiet corner sensor has a tiny MAD).
       scores[k] =
           detectors_[k].score(dsp::average_spectra(sweeps[k])).peak_delta_v;
+      PSA_HISTOGRAM_RECORD("analysis.scan.score_delta_v", scores[k]);
     }
   });
   return scores;
@@ -236,6 +256,8 @@ IdentificationResult Pipeline::identify(std::size_t sensor, double freq_hz,
 
 RefinedLocation Pipeline::refine_localization(
     std::size_t sensor, double freq_hz, const sim::Scenario& scenario) const {
+  PSA_TRACE_SPAN("pipeline.refine", {{"sensor", sensor}});
+  PSA_TIME_SCOPE_US("analysis.refine.us");
   std::array<double, 4> heat{};
   std::array<bool, 4> valid{true, true, true, true};
   // The four quadrant coils read the same chip execution: trace i's seed

@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace psa {
 namespace {
 
@@ -70,6 +72,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    PSA_GAUGE_SET("common.pool.queue_depth", queue_.size());
   }
   cv_.notify_one();
   return fut;
@@ -87,6 +90,7 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.erase(queue_.begin());
+      PSA_GAUGE_SET("common.pool.queue_depth", queue_.size());
     }
     task();  // packaged_task captures exceptions into its future
   }
@@ -123,9 +127,21 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
   if (threads == 1 || n_chunks == 1 || pool.on_worker_thread()) {
     // Serial fallback: single thread, trivially small range, or nested call
     // from inside the pool (re-entering the queue could deadlock).
+#if PSA_OBS_ENABLED
+    if (obs::enabled() && !pool.on_worker_thread()) {
+      PSA_TRACE_SPAN("parallel.chunk", {{"lo", begin}, {"hi", end}});
+      const double t0 = obs::now_us();
+      fn(begin, end);
+      PSA_COUNTER_ADD("common.pool.busy_us",
+                      static_cast<std::uint64_t>(obs::now_us() - t0));
+      return;
+    }
+#endif
     fn(begin, end);
     return;
   }
+
+  PSA_COUNTER_ADD("common.pool.parallel_for_calls", 1);
 
   // Chunks are claimed from a shared counter by the workers *and* the
   // calling thread, so an idle caller never just blocks on the pool.
@@ -136,6 +152,19 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
       if (c >= n_chunks) return;
       const std::size_t lo = begin + c * chunk;
       const std::size_t hi = std::min(end, lo + chunk);
+      PSA_COUNTER_ADD("common.pool.chunks", 1);
+#if PSA_OBS_ENABLED
+      // Per-worker busy time needs two clock reads per chunk; only pay
+      // for them when a trace/metrics consumer switched obs on.
+      if (obs::enabled()) {
+        PSA_TRACE_SPAN("parallel.chunk", {{"lo", lo}, {"hi", hi}});
+        const double t0 = obs::now_us();
+        fn(lo, hi);
+        PSA_COUNTER_ADD("common.pool.busy_us",
+                        static_cast<std::uint64_t>(obs::now_us() - t0));
+        continue;
+      }
+#endif
       fn(lo, hi);
     }
   };

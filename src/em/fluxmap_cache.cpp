@@ -24,6 +24,22 @@ std::uint64_t bits(double x) {
 
 }  // namespace
 
+FluxMapCache::FluxMapCache(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  obs::Registry& reg = obs::Registry::global();
+  attach_ids_[0] = reg.attach_counter("em.fluxmap_cache.hits", &hits_);
+  attach_ids_[1] = reg.attach_counter("em.fluxmap_cache.misses", &misses_);
+  attach_ids_[2] =
+      reg.attach_counter("em.fluxmap_cache.evictions", &evictions_);
+  attach_ids_[3] = reg.attach_gauge("em.fluxmap_cache.entries",
+                                    &entries_gauge_);
+}
+
+FluxMapCache::~FluxMapCache() {
+  obs::Registry& reg = obs::Registry::global();
+  for (const std::uint64_t id : attach_ids_) reg.detach(id);
+}
+
 bool FluxMapCache::Key::operator==(const Key& o) const {
   return coil == o.coil && die.lo == o.die.lo && die.hi == o.die.hi &&
          params.dipole_height_um == o.params.dipole_height_um &&
@@ -61,7 +77,7 @@ std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
     if (it != buckets_.end()) {
       for (Entry& e : it->second) {
         if (e.key == key) {
-          ++hits_;
+          hits_.add(1);
           e.order = next_order_++;  // refresh recency
           return e.map;
         }
@@ -74,7 +90,7 @@ std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
   auto map = std::make_shared<const FluxMap>(FluxMap::compute(coil, die,
                                                               params));
   std::lock_guard<std::mutex> lock(mu_);
-  ++misses_;
+  misses_.add(1);
   auto& bucket = buckets_[h];
   for (const Entry& e : bucket) {
     if (e.key == key) return e.map;  // another thread won the race
@@ -98,26 +114,28 @@ std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
                                   static_cast<std::ptrdiff_t>(victim_idx));
       if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
       --entries_;
-      ++evictions_;
+      evictions_.add(1);
     }
   }
   buckets_[h].push_back(Entry{std::move(key), map, next_order_++});
   ++entries_;
+  entries_gauge_.set(static_cast<double>(entries_));
   return map;
 }
 
 FluxMapCache::Stats FluxMapCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{hits_, misses_, evictions_, entries_};
+  return Stats{hits_.value(), misses_.value(), evictions_.value(), entries_};
 }
 
 void FluxMapCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   buckets_.clear();
   entries_ = 0;
-  hits_ = 0;
-  misses_ = 0;
-  evictions_ = 0;
+  entries_gauge_.set(0.0);
+  hits_.reset();
+  misses_.reset();
+  evictions_.reset();
   next_order_ = 0;
 }
 

@@ -15,6 +15,7 @@
 // and the first insert wins (both results are bit-identical anyway).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,7 @@
 
 #include "common/geometry.hpp"
 #include "em/fluxmap.hpp"
+#include "obs/registry.hpp"
 
 namespace psa::em {
 
@@ -38,8 +40,15 @@ class FluxMapCache {
   /// Entries kept before the cache evicts the least-recently-used map.
   /// Generous for the workloads above (16 standard + 64 quadrant + a few
   /// probe coils).
-  explicit FluxMapCache(std::size_t max_entries = 256)
-      : max_entries_(max_entries) {}
+  ///
+  /// Hit/miss/eviction counts live in registry-backed obs counters
+  /// (attached to the global registry as "em.fluxmap_cache.*", so they
+  /// appear in metrics exports); the Stats accessor below is a thin shim
+  /// over them.
+  explicit FluxMapCache(std::size_t max_entries = 256);
+  ~FluxMapCache();
+  FluxMapCache(const FluxMapCache&) = delete;
+  FluxMapCache& operator=(const FluxMapCache&) = delete;
 
   /// Return the cached flux map for (coil, die, params), computing and
   /// inserting it on a miss.
@@ -74,9 +83,11 @@ class FluxMapCache {
   std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
   std::uint64_t next_order_ = 0;
   std::size_t entries_ = 0;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t evictions_ = 0;
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Gauge entries_gauge_;
+  std::array<std::uint64_t, 4> attach_ids_{};
 };
 
 }  // namespace psa::em

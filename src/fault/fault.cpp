@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 #include "sim/thermal.hpp"
 
 namespace psa::fault {
@@ -181,10 +182,12 @@ sensor::SensorProgram FaultInjector::apply(
 }
 
 void FaultInjector::arm(sim::ChipSimulator& chip) const {
+  PSA_COUNTER_ADD("fault.injector.armed", 1);
   chip.inject_measurement_faults(plan_.measurement);
 }
 
 void FaultInjector::disarm(sim::ChipSimulator& chip) {
+  PSA_COUNTER_ADD("fault.injector.disarmed", 1);
   chip.clear_measurement_faults();
 }
 

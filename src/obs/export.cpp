@@ -1,0 +1,141 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace psa::obs {
+namespace {
+
+std::mutex g_export_mu;
+std::string g_export_path;  // guarded by g_export_mu
+bool g_atexit_registered = false;
+
+void export_at_exit() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_export_mu);
+    path = g_export_path;
+  }
+  if (!path.empty()) export_all(path);
+}
+
+// PSA_OBS_OUT takes effect in every binary without code changes (tests,
+// examples, benches without the flag).
+[[maybe_unused]] const bool g_env_initialized = [] {
+  init_from_env();
+  return true;
+}();
+
+void write_number(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+bool export_all(const std::string& trace_path) {
+  std::ofstream trace(trace_path);
+  if (!trace) return false;
+  TraceRecorder::global().write_chrome_json(trace);
+
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  std::ofstream json(trace_path + ".metrics.json");
+  if (!json) return false;
+  snap.write_json(json);
+  std::ofstream csv(trace_path + ".metrics.csv");
+  if (!csv) return false;
+  snap.write_csv(csv);
+  return true;
+}
+
+void enable_export_at_exit(const std::string& trace_path) {
+  set_enabled(true);
+  std::lock_guard<std::mutex> lock(g_export_mu);
+  g_export_path = trace_path;
+  if (!g_atexit_registered) {
+    g_atexit_registered = true;
+    std::atexit(export_at_exit);
+  }
+}
+
+void init_from_env() {
+  if (const char* path = std::getenv("PSA_OBS_OUT")) {
+    if (path[0] != '\0') enable_export_at_exit(path);
+  }
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << "\"" << counters[i].first
+       << "\": " << counters[i].second;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << "\"" << gauges[i].first << "\": ";
+    write_number(os, gauges[i].second);
+  }
+  os << "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const Histogram::Snapshot& h = histograms[i].second;
+    os << (i ? ",\n    " : "\n    ") << "\"" << histograms[i].first
+       << "\": {\"count\": " << h.count << ", \"sum\": ";
+    write_number(os, h.sum);
+    os << ", \"mean\": ";
+    write_number(os, h.mean());
+    if (h.count > 0) {
+      os << ", \"min\": ";
+      write_number(os, h.min);
+      os << ", \"max\": ";
+      write_number(os, h.max);
+      os << ", \"p50\": ";
+      write_number(os, h.quantile(0.50));
+      os << ", \"p90\": ";
+      write_number(os, h.quantile(0.90));
+      os << ", \"p99\": ";
+      write_number(os, h.quantile(0.99));
+    }
+    os << "}";
+  }
+  os << "\n  }\n}\n";
+}
+
+void MetricsSnapshot::write_csv(std::ostream& os) const {
+  os << "kind,name,count,value,min,max,p50,p90,p99\n";
+  for (const auto& [name, v] : counters) {
+    os << "counter," << name << ",," << v << ",,,,,\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    os << "gauge," << name << ",,";
+    write_number(os, v);
+    os << ",,,,,\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << "histogram," << name << "," << h.count << ",";
+    write_number(os, h.sum);
+    if (h.count > 0) {
+      os << ",";
+      write_number(os, h.min);
+      os << ",";
+      write_number(os, h.max);
+      os << ",";
+      write_number(os, h.quantile(0.50));
+      os << ",";
+      write_number(os, h.quantile(0.90));
+      os << ",";
+      write_number(os, h.quantile(0.99));
+      os << "\n";
+    } else {
+      os << ",,,,,\n";
+    }
+  }
+}
+
+}  // namespace psa::obs

@@ -1,0 +1,30 @@
+// export.hpp — dump the observability state to files.
+//
+// One call writes three artifacts next to each other:
+//   <path>              Chrome trace_event JSON (chrome://tracing, Perfetto)
+//   <path>.metrics.json flat metrics dump (counters, gauges, histograms)
+//   <path>.metrics.csv  the same metrics, one row per series
+//
+// Export is runtime-opt-in: nothing is written unless a bench passes
+// --obs-out (bench_util::apply_obs_flag) or the PSA_OBS_OUT environment
+// variable names a path, in which case obs::enabled() is switched on and
+// the dump happens automatically at process exit.
+#pragma once
+
+#include <string>
+
+namespace psa::obs {
+
+/// Write the trace + metrics artifacts now. Returns false (and writes
+/// nothing further) if any file cannot be opened.
+bool export_all(const std::string& trace_path);
+
+/// Enable observability and schedule export_all(trace_path) at process
+/// exit. Idempotent; the last path wins.
+void enable_export_at_exit(const std::string& trace_path);
+
+/// Honour PSA_OBS_OUT=path (called once automatically at static init; safe
+/// to call again manually).
+void init_from_env();
+
+}  // namespace psa::obs

@@ -1,0 +1,96 @@
+// obs.hpp — the observability umbrella: include this one header in
+// instrumented code and use the macros below.
+//
+// Two gates stack:
+//   * compile time — configure with -DPSA_OBS=OFF (which defines
+//     PSA_OBS_DISABLED) and every macro expands to nothing; the library
+//     and its classes still build so per-instance cache counters and
+//     stats() accessors keep working in both modes.
+//   * run time — in an instrumented build, clock-touching sites (spans,
+//     scoped timers) are inert until obs::enabled() flips on (PSA_OBS_OUT
+//     env or a bench's --obs-out flag); the disabled path costs one
+//     relaxed atomic load. Plain counters/gauges are always live — they
+//     are a handful of nanoseconds and the cache stats predate this layer.
+//
+// Macro cheat sheet:
+//   PSA_TRACE_SPAN("scan.sensor", {{"sensor", i}});   // RAII wall-time span
+//   PSA_COUNTER_ADD("analysis.detections", 1);         // monotonic counter
+//   PSA_GAUGE_SET("common.pool.queue_depth", depth);   // last-write gauge
+//   PSA_HISTOGRAM_RECORD("analysis.scan.score", v);    // value histogram
+//   PSA_TIME_SCOPE_US("analysis.scan.us");             // scope → histogram
+#pragma once
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+#if !defined(PSA_OBS_DISABLED)
+#define PSA_OBS_ENABLED 1
+#else
+#define PSA_OBS_ENABLED 0
+#endif
+
+#if PSA_OBS_ENABLED
+
+#define PSA_OBS_CONCAT_(a, b) a##b
+#define PSA_OBS_CONCAT(a, b) PSA_OBS_CONCAT_(a, b)
+
+/// RAII trace span for the rest of the enclosing scope. The name must be a
+/// string literal; dynamic values go in the optional args list.
+#define PSA_TRACE_SPAN(...) \
+  ::psa::obs::Span PSA_OBS_CONCAT(psa_obs_span_, __LINE__) { __VA_ARGS__ }
+
+/// Bump a named monotonic counter (name resolved once per call site).
+#define PSA_COUNTER_ADD(name, n)                              \
+  do {                                                        \
+    static ::psa::obs::Counter& psa_obs_counter_ =            \
+        ::psa::obs::Registry::global().counter(name);         \
+    psa_obs_counter_.add(static_cast<std::uint64_t>(n));      \
+  } while (0)
+
+/// Set a named gauge to an instantaneous value.
+#define PSA_GAUGE_SET(name, v)                                \
+  do {                                                        \
+    static ::psa::obs::Gauge& psa_obs_gauge_ =                \
+        ::psa::obs::Registry::global().gauge(name);           \
+    psa_obs_gauge_.set(static_cast<double>(v));               \
+  } while (0)
+
+/// Record a value into a named histogram (generic 1-2-5 decade buckets).
+#define PSA_HISTOGRAM_RECORD(name, v)                              \
+  do {                                                             \
+    static ::psa::obs::Histogram& psa_obs_hist_ =                  \
+        ::psa::obs::Registry::global().histogram(                  \
+            name, ::psa::obs::default_value_bounds());             \
+    psa_obs_hist_.record(static_cast<double>(v));                  \
+  } while (0)
+
+/// Time the rest of the enclosing scope into a microsecond histogram.
+/// Inert (no clock read) until obs::enabled().
+#define PSA_TIME_SCOPE_US(name)                                        \
+  static ::psa::obs::Histogram& PSA_OBS_CONCAT(psa_obs_timer_hist_,    \
+                                               __LINE__) =             \
+      ::psa::obs::Registry::global().histogram(name);                  \
+  ::psa::obs::ScopedTimer PSA_OBS_CONCAT(psa_obs_timer_, __LINE__) {   \
+    PSA_OBS_CONCAT(psa_obs_timer_hist_, __LINE__)                      \
+  }
+
+#else  // PSA_OBS_ENABLED
+
+#define PSA_TRACE_SPAN(...) \
+  do {                      \
+  } while (0)
+#define PSA_COUNTER_ADD(name, n) \
+  do {                           \
+  } while (0)
+#define PSA_GAUGE_SET(name, v) \
+  do {                         \
+  } while (0)
+#define PSA_HISTOGRAM_RECORD(name, v) \
+  do {                                \
+  } while (0)
+#define PSA_TIME_SCOPE_US(name) \
+  do {                          \
+  } while (0)
+
+#endif  // PSA_OBS_ENABLED

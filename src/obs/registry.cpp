@@ -1,0 +1,316 @@
+#include "obs/registry.hpp"
+
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+
+namespace psa::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// One process-wide id space shared by counters and histograms: each metric
+// gets a slot in every thread's cell table, so the fast path is a bounds
+// check + one indexed load. Ids are never reused, so a pointer cached by a
+// thread can only ever refer to its own metric.
+std::atomic<std::size_t> g_next_metric_id{0};
+
+thread_local std::vector<std::atomic<std::uint64_t>*> t_counter_cells;
+thread_local std::vector<void*> t_histogram_shards;
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+double now_us() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+// ------------------------------------------------------------- Counter
+
+Counter::Counter() : id_(g_next_metric_id.fetch_add(1)) {}
+
+std::atomic<std::uint64_t>& Counter::cell() {
+  if (id_ < t_counter_cells.size() && t_counter_cells[id_] != nullptr) {
+    return *t_counter_cells[id_];
+  }
+  return slow_cell();
+}
+
+std::atomic<std::uint64_t>& Counter::slow_cell() {
+  std::atomic<std::uint64_t>* cell = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cells_.emplace_back(0);
+    cell = &cells_.back();
+  }
+  if (t_counter_cells.size() <= id_) t_counter_cells.resize(id_ + 1, nullptr);
+  t_counter_cells[id_] = cell;
+  return *cell;
+}
+
+std::uint64_t Counter::value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : id_(g_next_metric_id.fetch_add(1)), bounds_(std::move(bounds)) {}
+
+Histogram::Shard& Histogram::shard() {
+  if (id_ < t_histogram_shards.size() && t_histogram_shards[id_] != nullptr) {
+    return *static_cast<Shard*>(t_histogram_shards[id_]);
+  }
+  return slow_shard();
+}
+
+Histogram::Shard& Histogram::slow_shard() {
+  Shard* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.emplace_back(bounds_.size() + 1);
+    shard = &shards_.back();
+  }
+  if (t_histogram_shards.size() <= id_) {
+    t_histogram_shards.resize(id_ + 1, nullptr);
+  }
+  t_histogram_shards[id_] = shard;
+  return *shard;
+}
+
+void Histogram::record(double v) {
+  Shard& s = shard();
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  double cur = s.min.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !s.min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t b = static_cast<std::size_t>(it - bounds_.begin());
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.buckets.assign(bounds_.size() + 1, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.min = std::min(out.min, s.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (std::size_t i = 0; i < out.buckets.size(); ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.min.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s.max.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[i];
+    if (static_cast<double>(seen) < rank) continue;
+    // Interpolate inside bucket i between its edges, clamped to the
+    // observed extrema (the overflow bucket and the first occupied bucket
+    // have an open edge).
+    double lo = i == 0 ? min : bounds[i - 1];
+    double hi = i < bounds.size() ? bounds[i] : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi < lo) hi = lo;
+    const double frac =
+        (rank - before) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max;
+}
+
+std::vector<double> default_time_bounds_us() {
+  std::vector<double> b;
+  for (double decade = 1.0; decade <= 1.0e7; decade *= 10.0) {
+    b.push_back(decade);
+    b.push_back(2.0 * decade);
+    b.push_back(5.0 * decade);
+  }
+  return b;
+}
+
+std::vector<double> default_value_bounds() {
+  std::vector<double> b;
+  for (double decade = 1.0e-12; decade <= 1.0e12; decade *= 10.0) {
+    b.push_back(decade);
+    b.push_back(2.0 * decade);
+    b.push_back(5.0 * decade);
+  }
+  return b;
+}
+
+// ------------------------------------------------------------ Registry
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: see class comment
+  // Any binary that touches a metric honours PSA_OBS_OUT, whether or not
+  // it links the bench flag helper.
+  static const bool env_checked = [] {
+    init_from_env();
+    return true;
+  }();
+  (void)env_checked;
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string Registry::unique_name(const std::string& name) const {
+  const auto taken = [&](const std::string& n) {
+    if (counters_.count(n) || gauges_.count(n)) return true;
+    if (retired_counters_.count(n) || retired_gauges_.count(n)) return true;
+    for (const auto& [id, a] : attached_) {
+      if (a.name == n) return true;
+    }
+    return false;
+  };
+  if (!taken(name)) return name;
+  for (std::size_t i = 2;; ++i) {
+    const std::string cand = name + "#" + std::to_string(i);
+    if (!taken(cand)) return cand;
+  }
+}
+
+std::uint64_t Registry::attach_counter(const std::string& name,
+                                       const Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_attach_id_++;
+  attached_.emplace(id, Attached{unique_name(name), c, nullptr});
+  return id;
+}
+
+std::uint64_t Registry::attach_gauge(const std::string& name, const Gauge* g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_attach_id_++;
+  attached_.emplace(id, Attached{unique_name(name), nullptr, g});
+  return id;
+}
+
+void Registry::detach(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = attached_.find(id);
+  if (it == attached_.end()) return;
+  // Fold the final value into a retired slot so process-end exports still
+  // report instances destroyed before the dump (e.g. caches local to main).
+  const Attached& a = it->second;
+  if (a.counter != nullptr) {
+    retired_counters_[a.name] += a.counter->value();
+  } else if (a.gauge != nullptr) {
+    retired_gauges_[a.name] = a.gauge->value();
+  }
+  attached_.erase(it);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  for (const auto& [id, a] : attached_) {
+    if (a.counter != nullptr) {
+      out.counters.emplace_back(a.name, a.counter->value());
+    } else if (a.gauge != nullptr) {
+      out.gauges.emplace_back(a.name, a.gauge->value());
+    }
+  }
+  for (const auto& [name, v] : retired_counters_) {
+    out.counters.emplace_back(name, v);
+  }
+  for (const auto& [name, v] : retired_gauges_) {
+    out.gauges.emplace_back(name, v);
+  }
+  std::sort(out.counters.begin(), out.counters.end());
+  std::sort(out.gauges.begin(), out.gauges.end());
+  return out;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+bool MetricsSnapshot::has_counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+}  // namespace psa::obs

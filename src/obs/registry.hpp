@@ -1,0 +1,221 @@
+// registry.hpp — process-wide, thread-safe metrics: monotonic counters,
+// gauges, and fixed-bucket histograms with streaming quantile estimates.
+//
+// The hot path is lock-free: every Counter/Histogram owns one *cell* (shard)
+// per thread that ever touched it, and a thread bumps only its own cell with
+// a relaxed atomic add — no mutex, no cache-line ping-pong between workers.
+// Cells live in a std::deque owned by the metric (stable addresses), so a
+// snapshot can fold every shard at any time while other threads keep
+// recording; folds are monotonic but not an atomic cut across metrics,
+// which is exactly the consistency an export needs.
+//
+// Metrics are either *registry-owned* (named, created on first use through
+// `Registry::global().counter("...")` — what the PSA_COUNTER_ADD family of
+// macros in obs.hpp does) or *instance-owned* (a cache holds its own
+// obs::Counter members so per-instance stats() accessors keep working, and
+// attaches them to the registry so they appear in exports).
+//
+// Everything here works the same in PSA_OBS=OFF builds — only the macros in
+// obs.hpp compile away. Recording that needs a clock (ScopedTimer, spans) is
+// additionally runtime-gated on obs::enabled(), so a disabled run pays one
+// branch per site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psa::obs {
+
+/// Global runtime gate for clock-touching instrumentation (trace spans,
+/// scoped timers). Export helpers flip it (PSA_OBS_OUT env, bench
+/// --obs-out); the disabled path costs one relaxed load.
+bool enabled();
+void set_enabled(bool on);
+
+/// Microseconds on a process-wide monotonic clock (origin: first use).
+double now_us();
+
+/// Monotonic counter with per-thread shards. add() is lock-free after the
+/// first touch from a given thread; value() folds the shards.
+class Counter {
+ public:
+  Counter();
+  ~Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) {
+    cell().fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over every thread's shard (monotonic between resets).
+  std::uint64_t value() const;
+
+  /// Zero every shard. Not atomic versus concurrent add() — callers
+  /// quiesce writers first (cache clear() under its own mutex does).
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t>& cell();
+  std::atomic<std::uint64_t>& slow_cell();
+
+  const std::size_t id_;  // index into the thread-local cell table
+  mutable std::mutex mu_;
+  std::deque<std::atomic<std::uint64_t>> cells_;  // stable addresses
+};
+
+/// Last-write-wins instantaneous value (queue depth, cache entries).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with per-thread shards and streaming quantile
+/// estimates (linear interpolation inside the merged buckets, clamped to
+/// the observed min/max). Bucket `i` counts values <= bounds[i]; one
+/// overflow bucket catches the rest.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending upper bucket edges.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::vector<double> bounds;          // upper edges
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow)
+    double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+    /// Streaming quantile estimate, q in [0, 1].
+    double quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    explicit Shard(std::size_t n) : buckets(n) {}
+  };
+
+  Shard& shard();
+  Shard& slow_shard();
+
+  const std::size_t id_;
+  const std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::deque<Shard> shards_;
+};
+
+/// 1-2-5 per decade upper edges for microsecond timings (1 µs … 50 s).
+std::vector<double> default_time_bounds_us();
+/// 1-2-5 per decade upper edges spanning 1e-12 … 1e12 for generic values.
+std::vector<double> default_value_bounds();
+
+/// Everything the registry knows at one moment, ready for JSON/CSV export.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+  void write_json(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  /// Value of a counter by exact name (0 when absent) — test convenience.
+  std::uint64_t counter_value(std::string_view name) const;
+  bool has_counter(std::string_view name) const;
+};
+
+/// The process-wide metric directory. Named metrics are created on first
+/// use and never destroyed (the global registry leaks deliberately so
+/// attached instances can detach during static destruction in any order).
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is consulted only on first creation of `name`.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> bounds = default_time_bounds_us());
+
+  /// Expose an externally-owned metric in snapshots under `name` (suffixed
+  /// "#2", "#3", … when the name is taken). Returns a registration id the
+  /// owner must detach() in its destructor.
+  std::uint64_t attach_counter(const std::string& name, const Counter* c);
+  std::uint64_t attach_gauge(const std::string& name, const Gauge* g);
+  void detach(std::uint64_t id);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  Registry() = default;
+
+  std::string unique_name(const std::string& name) const;  // mu_ held
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+
+  struct Attached {
+    std::string name;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+  };
+  std::map<std::uint64_t, Attached> attached_;
+  std::uint64_t next_attach_id_ = 1;
+
+  // Final values folded in by detach(), so a process-end export still
+  // reports instances (caches, pools) destroyed before the dump.
+  std::map<std::string, std::uint64_t> retired_counters_;
+  std::map<std::string, double> retired_gauges_;
+};
+
+/// RAII timer recording elapsed microseconds into a histogram; inert when
+/// obs::enabled() is false (one branch, no clock read).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : h_(enabled() ? &h : nullptr), t0_(h_ ? now_us() : 0.0) {}
+  ~ScopedTimer() {
+    if (h_) h_->record(now_us() - t0_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  double t0_;
+};
+
+}  // namespace psa::obs

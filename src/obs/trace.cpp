@@ -1,0 +1,158 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace psa::obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceArg::render_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string TraceArg::render_number(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string TraceArg::render_number(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  return buf;
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* r = new TraceRecorder();  // leaked, like Registry
+  return *r;
+}
+
+TraceRecorder::ThreadBuf& TraceRecorder::thread_buf() {
+  // Per-thread buffer of the (sole, global) recorder; the shared_ptr keeps
+  // the buffer alive in the recorder even after the thread exits.
+  thread_local std::shared_ptr<ThreadBuf> t_buf;
+  if (!t_buf) {
+    t_buf = std::make_shared<ThreadBuf>();
+    std::lock_guard<std::mutex> lock(mu_);
+    t_buf->tid = next_tid_++;
+    bufs_.push_back(t_buf);
+  }
+  return *t_buf;
+}
+
+std::uint32_t TraceRecorder::current_tid() {
+  return global().thread_buf().tid;
+}
+
+void TraceRecorder::record(SpanRecord&& rec) {
+  ThreadBuf& buf = thread_buf();
+  rec.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.spans.size() >= kMaxSpansPerThread) {
+    Registry::global().counter("obs.trace.dropped_spans").add(1);
+    return;
+  }
+  buf.spans.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> TraceRecorder::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    out.insert(out.end(), b->spans.begin(), b->spans.end());
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  std::size_t n = 0;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    n += b->spans.size();
+  }
+  return n;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  const std::vector<SpanRecord> spans = snapshot();
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "\n{\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                  "\"ts\": %.3f, \"dur\": %.3f, ",
+                  s.tid, s.ts_us, s.dur_us);
+    os << head << "\"name\": \"" << json_escape(s.name) << "\"";
+    if (!s.args.empty()) {
+      os << ", \"args\": {";
+      for (std::size_t i = 0; i < s.args.size(); ++i) {
+        if (i > 0) os << ", ";
+        const TraceArg& a = s.args[i];
+        os << "\"" << json_escape(a.key) << "\": ";
+        if (a.is_string) {
+          os << "\"" << json_escape(a.text) << "\"";
+        } else {
+          os << a.text;
+        }
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void TraceRecorder::clear() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->spans.clear();
+  }
+}
+
+}  // namespace psa::obs

@@ -1,0 +1,132 @@
+// trace.hpp — scoped wall-time trace spans with Chrome trace_event export.
+//
+// A Span records one [t0, t1) interval on the thread that ran it, plus a
+// name and optional key/value args; completed spans land in a per-thread
+// buffer (appends synchronize only with that buffer's own uncontended
+// mutex, never across threads). TraceRecorder folds every thread's buffer
+// into the Chrome `trace_event` JSON format, loadable in chrome://tracing
+// or https://ui.perfetto.dev.
+//
+// Spans are runtime-gated: when obs::enabled() is false, constructing a
+// Span costs one relaxed load and no clock read. The PSA_TRACE_SPAN macro
+// in obs.hpp additionally compiles to nothing in PSA_OBS=OFF builds.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace psa::obs {
+
+/// One span argument, pre-rendered to its JSON literal (numbers stay bare,
+/// strings get quoted/escaped at export time).
+struct TraceArg {
+  std::string key;
+  std::string text;     // rendered value
+  bool is_string = false;
+
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  TraceArg(const char* k, T v) : key(k), text(render_number(v)) {}
+  TraceArg(const char* k, const char* v) : key(k), text(v), is_string(true) {}
+  TraceArg(const char* k, const std::string& v)
+      : key(k), text(v), is_string(true) {}
+
+ private:
+  static std::string render_number(double v);
+  static std::string render_number(std::uint64_t v);
+  static std::string render_number(std::int64_t v);
+  template <typename T>
+  static std::string render_number(T v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return render_number(static_cast<double>(v));
+    } else if constexpr (std::is_signed_v<T>) {
+      return render_number(static_cast<std::int64_t>(v));
+    } else {
+      return render_number(static_cast<std::uint64_t>(v));
+    }
+  }
+};
+
+/// A completed span as stored in the per-thread buffers.
+struct SpanRecord {
+  std::string name;
+  double ts_us = 0.0;   // start, microseconds on the obs::now_us clock
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Process-wide collector of completed spans.
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  /// Append a completed span to the calling thread's buffer. Buffers are
+  /// capped (per thread) to bound memory on runaway traces; drops are
+  /// counted in the "obs.trace.dropped_spans" registry counter.
+  void record(SpanRecord&& rec);
+
+  /// Copy of every recorded span (safe while other threads record).
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t span_count() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) of every span.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Drop all recorded spans (buffers stay registered).
+  void clear();
+
+  /// Stable small id of the calling thread (assigned on first record).
+  static std::uint32_t current_tid();
+
+  static constexpr std::size_t kMaxSpansPerThread = 1 << 20;
+
+ private:
+  struct ThreadBuf {
+    mutable std::mutex mu;
+    std::vector<SpanRecord> spans;
+    std::uint32_t tid = 0;
+  };
+
+  TraceRecorder() = default;
+  ThreadBuf& thread_buf();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  std::uint32_t next_tid_ = 0;
+};
+
+/// RAII span. Inactive (no clock read, nothing recorded) when
+/// obs::enabled() is false at construction.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(name, {}) {}
+  Span(const char* name, std::initializer_list<TraceArg> args) {
+    if (!enabled()) return;
+    active_ = true;
+    rec_.name = name;
+    rec_.args.assign(args.begin(), args.end());
+    rec_.ts_us = now_us();
+  }
+  ~Span() {
+    if (!active_) return;
+    rec_.dur_us = now_us() - rec_.ts_us;
+    TraceRecorder::global().record(std::move(rec_));
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+  SpanRecord rec_;
+};
+
+}  // namespace psa::obs

@@ -8,6 +8,7 @@
 #include "em/calibration.hpp"
 #include "em/induced.hpp"
 #include "em/noise.hpp"
+#include "obs/obs.hpp"
 #include "sim/chip_simulator.hpp"
 
 namespace psa::sim {
@@ -94,8 +95,27 @@ const std::vector<double>& ActivityBundle::unit_noise() const {
   return unit_noise_;
 }
 
+ActivitySynthesis::ActivitySynthesis(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  obs::Registry& reg = obs::Registry::global();
+  attach_ids_[0] = reg.attach_counter("sim.activity_cache.hits", &hits_);
+  attach_ids_[1] = reg.attach_counter("sim.activity_cache.misses", &misses_);
+  attach_ids_[2] =
+      reg.attach_counter("sim.activity_cache.evictions", &evictions_);
+  attach_ids_[3] =
+      reg.attach_counter("sim.activity_cache.invalidations", &invalidations_);
+  attach_ids_[4] = reg.attach_gauge("sim.activity_cache.entries",
+                                    &entries_gauge_);
+}
+
+ActivitySynthesis::~ActivitySynthesis() {
+  obs::Registry& reg = obs::Registry::global();
+  for (const std::uint64_t id : attach_ids_) reg.detach(id);
+}
+
 std::shared_ptr<const ActivityBundle> synthesize_activity(
     const Scenario& scenario, std::size_t n_cycles, const SimTiming& timing) {
+  PSA_TRACE_SPAN("sim.synthesize_activity", {{"n_cycles", n_cycles}});
   // std::map keeps the modules in lexicographic order — the iteration (and
   // therefore flux-accumulation) order the original per-sensor path used.
   std::map<std::string, std::vector<double>> act;
@@ -162,7 +182,7 @@ std::shared_ptr<const ActivityBundle> ActivitySynthesis::get_or_synthesize(
     if (it != buckets_.end()) {
       for (Entry& e : it->second) {
         if (e.key == key) {
-          ++hits_;
+          hits_.add(1);
           e.order = next_order_++;  // refresh recency
           return e.bundle;
         }
@@ -174,7 +194,7 @@ std::shared_ptr<const ActivityBundle> ActivitySynthesis::get_or_synthesize(
   // duplicates work but never serializes other scenarios behind one AES run.
   auto bundle = synthesize_activity(scenario, n_cycles, timing);
   std::lock_guard<std::mutex> lock(mu_);
-  ++misses_;
+  misses_.add(1);
   auto& bucket = buckets_[h];
   for (const Entry& e : bucket) {
     if (e.key == key) return e.bundle;  // another thread won the race
@@ -198,11 +218,12 @@ std::shared_ptr<const ActivityBundle> ActivitySynthesis::get_or_synthesize(
                                   static_cast<std::ptrdiff_t>(victim_idx));
       if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
       --entries_;
-      ++evictions_;
+      evictions_.add(1);
     }
   }
   buckets_[h].push_back(Entry{std::move(key), bundle, next_order_++});
   ++entries_;
+  entries_gauge_.set(static_cast<double>(entries_));
   return bundle;
 }
 
@@ -210,7 +231,8 @@ void ActivitySynthesis::invalidate() {
   std::lock_guard<std::mutex> lock(mu_);
   buckets_.clear();
   entries_ = 0;
-  ++invalidations_;
+  entries_gauge_.set(0.0);
+  invalidations_.add(1);
 }
 
 void ActivitySynthesis::set_capacity(std::size_t max_entries) {
@@ -224,8 +246,11 @@ std::size_t ActivitySynthesis::capacity() const {
 }
 
 ActivitySynthesis::Stats ActivitySynthesis::stats() const {
+  // Counter reads are internally synchronized (atomic shard fold); the lock
+  // is only needed for entries_, which is mutated under mu_.
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{hits_, misses_, evictions_, invalidations_, entries_};
+  return Stats{hits_.value(), misses_.value(), evictions_.value(),
+               invalidations_.value(), entries_};
 }
 
 }  // namespace psa::sim

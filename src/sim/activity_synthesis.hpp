@@ -23,6 +23,7 @@
 // auditable and keeps faulted experiments from trusting stale state).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "aes/activity.hpp"
+#include "obs/registry.hpp"
 #include "trojan/trojan.hpp"
 
 namespace psa::sim {
@@ -139,8 +141,14 @@ class ActivitySynthesis {
 
   /// Default capacity covers a pipeline run: detection_averages (5) scan
   /// scenarios + enrollment_traces (8) + identification extras fit in 16.
-  explicit ActivitySynthesis(std::size_t max_entries = 16)
-      : max_entries_(max_entries) {}
+  ///
+  /// Counters are registry-backed (attached as "sim.activity_cache.*" so
+  /// they land in metrics exports); Stats is a thin shim over them and the
+  /// snapshot is safe against concurrent get_or_synthesize calls.
+  explicit ActivitySynthesis(std::size_t max_entries = 16);
+  ~ActivitySynthesis();
+  ActivitySynthesis(const ActivitySynthesis&) = delete;
+  ActivitySynthesis& operator=(const ActivitySynthesis&) = delete;
 
   /// Cached bundle for (scenario, n_cycles), synthesizing on a miss.
   std::shared_ptr<const ActivityBundle> get_or_synthesize(
@@ -167,10 +175,12 @@ class ActivitySynthesis {
   std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
   std::uint64_t next_order_ = 0;
   std::size_t entries_ = 0;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t evictions_ = 0;
-  std::size_t invalidations_ = 0;
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter invalidations_;
+  obs::Gauge entries_gauge_;
+  std::array<std::uint64_t, 5> attach_ids_{};
 };
 
 }  // namespace psa::sim

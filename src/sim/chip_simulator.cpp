@@ -8,6 +8,7 @@
 #include "em/fluxmap_cache.hpp"
 #include "em/induced.hpp"
 #include "em/noise.hpp"
+#include "obs/obs.hpp"
 
 namespace psa::sim {
 
@@ -197,9 +198,22 @@ std::vector<double> ChipSimulator::total_current(const Scenario& scenario,
   return total;
 }
 
+void ChipSimulator::inject_measurement_faults(const MeasurementFaults& faults) {
+  PSA_COUNTER_ADD("sim.faults.injected", 1);
+  measurement_faults_ = faults;
+  synthesis_->invalidate();
+}
+
+void ChipSimulator::clear_measurement_faults() {
+  PSA_COUNTER_ADD("sim.faults.cleared", 1);
+  measurement_faults_ = {};
+  synthesis_->invalidate();
+}
+
 MeasuredTrace ChipSimulator::measure_with_bundle(
     const SensorView& view, const Scenario& scenario,
     const ActivityBundle& bundle, std::vector<double>& scratch) const {
+  PSA_TRACE_SPAN("sim.sensor_tail", {{"sensor", view.label}});
   const std::size_t n = bundle.n_samples();
   const double rate = timing_.sample_rate_hz();
 
@@ -256,6 +270,8 @@ MeasuredTrace ChipSimulator::measure_with_bundle(
 MeasuredTrace ChipSimulator::measure(const SensorView& view,
                                      const Scenario& scenario,
                                      std::size_t n_cycles) const {
+  PSA_TRACE_SPAN("sim.measure",
+                 {{"sensor", view.label}, {"n_cycles", n_cycles}});
   const std::shared_ptr<const ActivityBundle> bundle =
       synthesis_->get_or_synthesize(scenario, n_cycles, timing_);
   thread_local std::vector<double> scratch;
@@ -265,11 +281,19 @@ MeasuredTrace ChipSimulator::measure(const SensorView& view,
 std::vector<MeasuredTrace> ChipSimulator::measure_batch(
     std::span<const SensorView* const> views, const Scenario& scenario,
     std::size_t n_cycles) const {
+  PSA_TRACE_SPAN("sim.measure_batch",
+                 {{"views", views.size()}, {"n_cycles", n_cycles}});
   std::vector<MeasuredTrace> out(views.size());
   if (views.empty()) return out;
-  const std::shared_ptr<const ActivityBundle> bundle =
-      synthesis_->get_or_synthesize(scenario, n_cycles, timing_);
-  bundle->unit_noise();  // materialize once, before the fan-out
+  std::shared_ptr<const ActivityBundle> bundle;
+  {
+    // Separate the shared synthesis from the per-sensor fan-out so traces
+    // show where a batch actually spends its time.
+    PSA_TRACE_SPAN("sim.synthesis", {{"n_cycles", n_cycles}});
+    bundle = synthesis_->get_or_synthesize(scenario, n_cycles, timing_);
+    bundle->unit_noise();  // materialize once, before the fan-out
+  }
+  PSA_TRACE_SPAN("sim.sensor_tails", {{"views", views.size()}});
   parallel_for(0, views.size(), 0, [&](std::size_t lo, std::size_t hi) {
     std::vector<double> scratch;
     for (std::size_t i = lo; i < hi; ++i) {

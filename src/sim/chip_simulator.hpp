@@ -141,14 +141,8 @@ class ChipSimulator {
   /// Deterministic: faults reshape each trace but draw no extra randomness.
   /// Either transition drops the activity cache so a fault campaign never
   /// measures through a bundle synthesized under a different chain state.
-  void inject_measurement_faults(const MeasurementFaults& faults) {
-    measurement_faults_ = faults;
-    synthesis_->invalidate();
-  }
-  void clear_measurement_faults() {
-    measurement_faults_ = {};
-    synthesis_->invalidate();
-  }
+  void inject_measurement_faults(const MeasurementFaults& faults);
+  void clear_measurement_faults();
   const MeasurementFaults& measurement_faults() const {
     return measurement_faults_;
   }

@@ -9,6 +9,7 @@
 #include "analysis/localizer.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "fixtures.hpp"
 
 namespace psa::analysis {
 namespace {
@@ -36,7 +37,7 @@ std::vector<dsp::Spectrum> enrollment_set(Rng& rng, int n = 8) {
 TEST(Detector, RequiresEnrollment) {
   GoldenFreeDetector det;
   EXPECT_FALSE(det.enrolled());
-  Rng rng(1);
+  Rng rng(tests::kRngStreamBase + 1);
   const dsp::Spectrum obs = background(rng);
   EXPECT_THROW(det.score(obs), std::logic_error);
   EXPECT_THROW(det.zscores(obs), std::logic_error);
@@ -44,14 +45,14 @@ TEST(Detector, RequiresEnrollment) {
 
 TEST(Detector, EnrollValidation) {
   GoldenFreeDetector det;
-  Rng rng(2);
+  Rng rng(tests::kRngStreamBase + 2);
   std::vector<dsp::Spectrum> two = {background(rng), background(rng)};
   EXPECT_THROW(det.enroll(two), std::invalid_argument);
 }
 
 TEST(Detector, QuietObservationScoresLow) {
   GoldenFreeDetector det;
-  Rng rng(3);
+  Rng rng(tests::kRngStreamBase + 3);
   det.enroll(enrollment_set(rng));
   const DetectionResult r = det.score(background(rng));
   EXPECT_FALSE(r.detected);
@@ -60,7 +61,7 @@ TEST(Detector, QuietObservationScoresLow) {
 
 TEST(Detector, NewSidebandDetectedAndNovel) {
   GoldenFreeDetector det;
-  Rng rng(4);
+  Rng rng(tests::kRngStreamBase + 4);
   det.enroll(enrollment_set(rng));
   dsp::Spectrum obs = background(rng);
   // Inject a sideband at 48 MHz, away from the 33 MHz harmonic.
@@ -80,7 +81,7 @@ TEST(Detector, GrownHarmonicDetectedButNotNovel) {
   GoldenFreeDetector::Params params;
   params.normalize = false;
   GoldenFreeDetector det(params);
-  Rng rng(5);
+  Rng rng(tests::kRngStreamBase + 5);
   det.enroll(enrollment_set(rng));
   dsp::Spectrum obs = background(rng);
   // The 33 MHz line grows strongly but no new line appears. Make the growth
@@ -97,7 +98,7 @@ TEST(Detector, GrownHarmonicDetectedButNotNovel) {
 
 TEST(Detector, LowFrequencyBinsMasked) {
   GoldenFreeDetector det;
-  Rng rng(6);
+  Rng rng(tests::kRngStreamBase + 6);
   det.enroll(enrollment_set(rng));
   dsp::Spectrum obs = background(rng);
   obs.magnitude[obs.nearest_bin(5.0e6)] += 100.0;  // below min_freq_hz
@@ -109,7 +110,7 @@ TEST(Detector, DeltasArePhysicalVolts) {
   GoldenFreeDetector::Params params;
   params.normalize = false;
   GoldenFreeDetector det(params);
-  Rng rng(7);
+  Rng rng(tests::kRngStreamBase + 7);
   det.enroll(enrollment_set(rng));
   dsp::Spectrum obs = background(rng);
   const std::size_t bin = obs.nearest_bin(60.0e6);
@@ -120,7 +121,7 @@ TEST(Detector, DeltasArePhysicalVolts) {
 
 TEST(Detector, GridMismatchThrows) {
   GoldenFreeDetector det;
-  Rng rng(8);
+  Rng rng(tests::kRngStreamBase + 8);
   det.enroll(enrollment_set(rng));
   dsp::Spectrum small;
   small.freq_hz = {0.0, 1.0};
@@ -132,7 +133,7 @@ TEST(Detector, NormalizationAbsorbsGainDrift) {
   // A pure analog gain change (every bin scaled alike) must not alarm: the
   // detector keys on spectral shape.
   GoldenFreeDetector det;  // normalize = true by default
-  Rng rng(9);
+  Rng rng(tests::kRngStreamBase + 9);
   det.enroll(enrollment_set(rng));
   dsp::Spectrum obs = background(rng);
   for (double& m : obs.magnitude) m *= 1.25;  // +25 % gain drift
@@ -142,7 +143,7 @@ TEST(Detector, NormalizationAbsorbsGainDrift) {
 
 TEST(Detector, NormalizedStillCatchesNewLine) {
   GoldenFreeDetector det;
-  Rng rng(10);
+  Rng rng(tests::kRngStreamBase + 10);
   det.enroll(enrollment_set(rng));
   dsp::Spectrum obs = background(rng);
   for (double& m : obs.magnitude) m *= 1.15;  // drift AND a new sideband
@@ -252,7 +253,7 @@ TEST(Identifier, T2Signature) {
 
 TEST(Identifier, T3Signature) {
   const TrojanIdentifier id;
-  Rng rng(12);
+  Rng rng(tests::kRngStreamBase + 12);
   const auto r = id.identify_envelope(t3_like(8192, rng), kEnvRate);
   ASSERT_TRUE(r.kind.has_value());
   EXPECT_EQ(*r.kind, trojan::TrojanKind::kT3CdmaLeak);
@@ -281,7 +282,7 @@ TEST(Identifier, ZeroSpanTraceOverload) {
 TEST(Identifier, UnsupervisedClusteringSeparatesFourKinds) {
   // The paper's "without full supervision" claim: envelopes of the four
   // Trojans fall into four clusters with no labels.
-  Rng rng(13);
+  Rng rng(tests::kRngStreamBase + 13);
   std::vector<ml::EnvelopeFeatures> feats;
   std::vector<int> truth;
   for (int rep = 0; rep < 6; ++rep) {
@@ -295,7 +296,7 @@ TEST(Identifier, UnsupervisedClusteringSeparatesFourKinds) {
     feats.push_back(ml::extract_envelope_features(t4_like(4096), kEnvRate));
     truth.push_back(4);
   }
-  Rng krng(14);
+  Rng krng(tests::kRngStreamBase + 14);
   const auto labels = cluster_envelopes(feats, 4, krng);
   // Clustering is label-permutation-invariant: check purity instead.
   std::size_t correct = 0;

@@ -9,12 +9,15 @@
 
 #include "analysis/pipeline.hpp"
 #include "fault/fault.hpp"
-#include "layout/floorplan.hpp"
+#include "fixtures.hpp"
 #include "psa/selftest.hpp"
 #include "sim/chip_simulator.hpp"
 
 namespace psa {
 namespace {
+
+using tests::light_config;
+using tests::make_chip;
 
 fault::FaultPlanParams busy_params() {
   fault::FaultPlanParams p;
@@ -30,15 +33,6 @@ fault::FaultPlanParams busy_params() {
   p.noise_burst_scale = 1.8;
   p.extra_thermal_power_w = 0.2;
   return p;
-}
-
-/// Light pipeline for fast end-to-end checks (structure, not SNR).
-analysis::PipelineConfig light_config() {
-  analysis::PipelineConfig cfg;
-  cfg.cycles_per_trace = 256;
-  cfg.enrollment_traces = 3;
-  cfg.detection_averages = 1;
-  return cfg;
 }
 
 // ------------------------------------------------------ plan determinism
@@ -98,8 +92,7 @@ TEST(FaultPlan, SameSeedIdenticalCampaignScores) {
   std::array<double, 16> first{};
   std::array<double, 16> second{};
   for (std::array<double, 16>* out : {&first, &second}) {
-    sim::ChipSimulator chip(sim::SimTiming{},
-                            layout::Floorplan::aes_testchip());
+    sim::ChipSimulator chip = make_chip();
     const fault::FaultInjector injector(plan);
     injector.arm(chip);
     analysis::Pipeline pipeline(chip, light_config());
@@ -150,7 +143,7 @@ TEST(FaultPlan, DescribeSummarizes) {
 // ------------------------------------------------ injector round-trips
 
 TEST(FaultInjector, ArmDisarmRoundTrip) {
-  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  sim::ChipSimulator chip = make_chip();
   EXPECT_FALSE(chip.measurement_faults().any());
   fault::FaultPlanParams p;
   p.noise_burst_scale = 2.0;
@@ -180,7 +173,7 @@ TEST(FaultInjector, ApplyInjectsStuckSwitches) {
 }
 
 TEST(FaultInjector, MaskUnmaskRoundTrip) {
-  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  sim::ChipSimulator chip = make_chip();
   analysis::Pipeline pipeline(chip, light_config());
 
   const std::vector<std::size_t> victims{3};
@@ -261,7 +254,7 @@ TEST_P(DegradedDeadSensors, MasksExactlyTheKilledSensors) {
   static constexpr std::size_t kVictims[8] = {0, 5, 10, 15, 3, 6, 9, 12};
   const std::vector<std::size_t> victims(kVictims, kVictims + n_dead);
 
-  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  sim::ChipSimulator chip = make_chip();
   analysis::Pipeline pipeline(chip, light_config());
   const fault::FaultInjector injector(
       fault::plan_killing_sensors(victims, 0, /*block_substitutes=*/true));
@@ -302,7 +295,7 @@ INSTANTIATE_TEST_SUITE_P(DeadCounts, DegradedDeadSensors,
 TEST(DegradedPipeline, CornerKillSubstitutesInsteadOfMasking) {
   // Breaking only the standard coil's corner leaves the quadrant loops
   // formable: the pipeline reprograms instead of masking.
-  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  sim::ChipSimulator chip = make_chip();
   analysis::Pipeline pipeline(chip, light_config());
   const std::vector<std::size_t> victims{5};
   const fault::FaultInjector injector(
@@ -322,7 +315,7 @@ TEST(DegradedPipeline, CornerKillSubstitutesInsteadOfMasking) {
 }
 
 TEST(DegradedPipeline, NextHealthySensorSkipsMaskedAndWraps) {
-  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  sim::ChipSimulator chip = make_chip();
   analysis::Pipeline pipeline(chip, light_config());
   const std::vector<std::size_t> victims{10, 11, 15};
   const fault::FaultInjector injector(
@@ -335,7 +328,7 @@ TEST(DegradedPipeline, NextHealthySensorSkipsMaskedAndWraps) {
 }
 
 TEST(DegradedPipeline, AllSensorsMaskedThrows) {
-  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  sim::ChipSimulator chip = make_chip();
   analysis::Pipeline pipeline(chip, light_config());
   std::vector<std::size_t> victims(16);
   for (std::size_t k = 0; k < 16; ++k) victims[k] = k;

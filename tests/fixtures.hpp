@@ -1,0 +1,90 @@
+// fixtures.hpp — shared scaffolding for tests that build the simulated test
+// chip and analysis pipeline. The chip-bearing suites (synthesis, fault,
+// monitor, golden) previously each carried private copies of these helpers;
+// they live here once so the configurations (and therefore the covered code
+// paths) cannot silently drift apart.
+//
+// Seeding convention: kGoldenSeed anchors every scenario seed used by the
+// committed golden vectors (tests/golden) and the chip's placement;
+// kRngStreamBase anchors the small per-test Rng streams (stream n is
+// Rng(kRngStreamBase + n)), so "which stream is this?" is greppable and
+// renumbering is a one-line change.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "common/parallel.hpp"
+#include "layout/floorplan.hpp"
+#include "psa/programmer.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa::tests {
+
+/// Seed anchoring the golden-vector scenarios and the chip placement.
+inline constexpr std::uint64_t kGoldenSeed = 42;
+
+/// Base for the small numbered Rng streams tests draw from
+/// (Rng(kRngStreamBase + n) preserves the historical Rng(n) draws).
+inline constexpr std::uint64_t kRngStreamBase = 0;
+
+/// The standard simulated AES test chip every end-to-end suite measures.
+inline sim::ChipSimulator make_chip() {
+  return sim::ChipSimulator(sim::SimTiming{},
+                            layout::Floorplan::aes_testchip(),
+                            /*placement_seed=*/kGoldenSeed);
+}
+
+/// Light pipeline for fast end-to-end checks (structure, not SNR).
+inline analysis::PipelineConfig light_config() {
+  analysis::PipelineConfig cfg;
+  cfg.cycles_per_trace = 256;
+  cfg.enrollment_traces = 3;
+  cfg.detection_averages = 1;
+  return cfg;
+}
+
+/// SensorViews for the listed standard sensors.
+inline std::vector<sim::SensorView> standard_views(
+    const sim::ChipSimulator& chip, std::initializer_list<int> ks) {
+  std::vector<sim::SensorView> views;
+  for (int k : ks) {
+    views.push_back(chip.view_from_program(
+        sensor::CoilProgrammer::standard_sensor(static_cast<std::size_t>(k)),
+        "sensor" + std::to_string(k)));
+  }
+  return views;
+}
+
+/// Byte-for-byte trace equality (the bit-identity contract's comparator).
+inline bool same_samples(const sim::MeasuredTrace& a,
+                         const sim::MeasuredTrace& b) {
+  return a.samples.size() == b.samples.size() &&
+         std::memcmp(a.samples.data(), b.samples.data(),
+                     a.samples.size() * sizeof(double)) == 0;
+}
+
+/// Baseline plus all four Trojan scenarios at one seed.
+inline std::vector<sim::Scenario> all_scenarios(std::uint64_t seed) {
+  std::vector<sim::Scenario> scenarios;
+  scenarios.push_back(sim::Scenario::baseline(seed));
+  for (trojan::TrojanKind kind :
+       {trojan::TrojanKind::kT1AmCarrier, trojan::TrojanKind::kT2KeyLeak,
+        trojan::TrojanKind::kT3CdmaLeak, trojan::TrojanKind::kT4DoS}) {
+    scenarios.push_back(sim::Scenario::with_trojan(kind, seed));
+  }
+  return scenarios;
+}
+
+/// Restores the single-threaded pool on scope exit so one test's thread
+/// configuration never leaks into the next.
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { set_thread_count(1); }
+};
+
+}  // namespace psa::tests

@@ -1,0 +1,177 @@
+// golden_common.hpp — the golden-vector contract shared by the generator
+// (tools/make_goldens) and the regression suite (tests/golden_test).
+//
+// A GoldenRun captures one Trojan scenario end to end: the 16-sensor scan
+// score vector, the localization pick derived from it, and the detection
+// spectrum measured at the winning sensor. Everything is serialized as the
+// raw 64-bit pattern of each double (hex), so the committed references pin
+// results to the BIT, not to a tolerance: any reordering of floating-point
+// work anywhere in the synthesis → EM → AFE → DSP → detector chain shows up
+// as a failed diff. The pipeline's bit-identity contract (index-addressed
+// slots, seed-forked RNG) is what makes this reproducible at any thread
+// count.
+//
+// The text format is deliberately deterministic — fixed field order, one
+// hex word per double, LF line endings — so `make_goldens` regenerating an
+// unchanged tree writes byte-identical files (the suite asserts this).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/localizer.hpp"
+#include "analysis/pipeline.hpp"
+#include "fixtures.hpp"
+#include "trojan/trojan.hpp"
+
+namespace psa::golden {
+
+/// One scenario's pinned results.
+struct GoldenRun {
+  std::string name;  // "t1".."t4" (trojan::module_name)
+  std::uint64_t seed = 0;
+  std::array<double, 16> scores{};
+  std::uint64_t best_sensor = 0;
+  bool localized = false;
+  double contrast_db = 0.0;
+  std::vector<double> freq_hz;    // detection spectrum at best_sensor
+  std::vector<double> magnitude;  // same length as freq_hz
+};
+
+/// The pipeline configuration the goldens are generated under. Light enough
+/// for CI, heavy enough to exercise enrollment, the scan and localization.
+inline analysis::PipelineConfig golden_config() {
+  analysis::PipelineConfig cfg;
+  cfg.cycles_per_trace = 256;
+  cfg.enrollment_traces = 3;
+  cfg.detection_averages = 2;
+  return cfg;
+}
+
+/// Compute all four Trojan scenarios' golden runs at tests::kGoldenSeed.
+/// One chip + one enrollment, exactly like the generator — callers at any
+/// thread count must reproduce the committed bits.
+inline std::vector<GoldenRun> compute_golden_runs() {
+  const sim::ChipSimulator chip = tests::make_chip();
+  analysis::Pipeline pipeline(chip, golden_config());
+  pipeline.enroll(sim::Scenario::baseline(tests::kGoldenSeed));
+
+  std::vector<GoldenRun> runs;
+  for (trojan::TrojanKind kind :
+       {trojan::TrojanKind::kT1AmCarrier, trojan::TrojanKind::kT2KeyLeak,
+        trojan::TrojanKind::kT3CdmaLeak, trojan::TrojanKind::kT4DoS}) {
+    const sim::Scenario scenario =
+        sim::Scenario::with_trojan(kind, tests::kGoldenSeed);
+    GoldenRun run;
+    run.name = trojan::module_name(kind);
+    run.seed = tests::kGoldenSeed;
+    run.scores = pipeline.scan_scores(scenario);
+    const analysis::LocalizationResult loc =
+        analysis::localize_from_scores(run.scores);
+    run.best_sensor = loc.best_sensor;
+    run.localized = loc.localized;
+    run.contrast_db = loc.contrast_db;
+    const dsp::Spectrum spec = pipeline.measure_spectrum(
+        loc.best_sensor, scenario, /*seed_salt=*/loc.best_sensor + 1);
+    run.freq_hz = spec.freq_hz;
+    run.magnitude = spec.magnitude;
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+inline std::string hex_bits(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    std::bit_cast<std::uint64_t>(v)));
+  return buf;
+}
+
+inline double bits_hex(const std::string& s) {
+  return std::bit_cast<double>(
+      static_cast<std::uint64_t>(std::stoull(s, nullptr, 16)));
+}
+
+inline std::string serialize(const GoldenRun& run) {
+  std::ostringstream os;
+  os << "psa-golden v1\n";
+  os << "name " << run.name << "\n";
+  os << "seed " << run.seed << "\n";
+  os << "scores " << run.scores.size() << "\n";
+  for (const double s : run.scores) os << hex_bits(s) << "\n";
+  os << "best_sensor " << run.best_sensor << "\n";
+  os << "localized " << (run.localized ? 1 : 0) << "\n";
+  os << "contrast_db " << hex_bits(run.contrast_db) << "\n";
+  os << "spectrum " << run.freq_hz.size() << "\n";
+  for (std::size_t i = 0; i < run.freq_hz.size(); ++i) {
+    os << hex_bits(run.freq_hz[i]) << " " << hex_bits(run.magnitude[i])
+       << "\n";
+  }
+  return os.str();
+}
+
+inline GoldenRun parse(const std::string& text) {
+  std::istringstream is(text);
+  auto expect_key = [&](const char* key) {
+    std::string tok;
+    is >> tok;
+    if (tok != key) {
+      throw std::runtime_error("golden parse: expected '" + std::string(key) +
+                               "', got '" + tok + "'");
+    }
+  };
+  std::string magic;
+  std::string version;
+  is >> magic >> version;
+  if (magic != "psa-golden" || version != "v1") {
+    throw std::runtime_error("golden parse: bad header");
+  }
+  GoldenRun run;
+  expect_key("name");
+  is >> run.name;
+  expect_key("seed");
+  is >> run.seed;
+  expect_key("scores");
+  std::size_t n_scores = 0;
+  is >> n_scores;
+  if (n_scores != run.scores.size()) {
+    throw std::runtime_error("golden parse: bad score count");
+  }
+  std::string word;
+  for (double& s : run.scores) {
+    is >> word;
+    s = bits_hex(word);
+  }
+  expect_key("best_sensor");
+  is >> run.best_sensor;
+  expect_key("localized");
+  int localized = 0;
+  is >> localized;
+  run.localized = localized != 0;
+  expect_key("contrast_db");
+  is >> word;
+  run.contrast_db = bits_hex(word);
+  expect_key("spectrum");
+  std::size_t n_bins = 0;
+  is >> n_bins;
+  run.freq_hz.resize(n_bins);
+  run.magnitude.resize(n_bins);
+  for (std::size_t i = 0; i < n_bins; ++i) {
+    std::string f;
+    std::string m;
+    is >> f >> m;
+    run.freq_hz[i] = bits_hex(f);
+    run.magnitude[i] = bits_hex(m);
+  }
+  if (!is) throw std::runtime_error("golden parse: truncated file");
+  return run;
+}
+
+}  // namespace psa::golden

@@ -8,25 +8,20 @@
 #include "analysis/monitor.hpp"
 #include "analysis/pipeline.hpp"
 #include "fault/fault.hpp"
-#include "layout/floorplan.hpp"
+#include "fixtures.hpp"
 #include "sim/chip_simulator.hpp"
 
 namespace psa {
 namespace {
+
+using tests::light_config;
+using tests::make_chip;
 
 dsp::Spectrum one_bin(double magnitude) {
   dsp::Spectrum s;
   s.freq_hz = {0.0, 1.0e6};
   s.magnitude = {magnitude, magnitude};
   return s;
-}
-
-analysis::PipelineConfig light_config() {
-  analysis::PipelineConfig cfg;
-  cfg.cycles_per_trace = 256;
-  cfg.enrollment_traces = 3;
-  cfg.detection_averages = 1;
-  return cfg;
 }
 
 // ----------------------------------------------------- MonitorState unit
@@ -89,9 +84,7 @@ TEST(MonitorState, SingleAlarmDebounceFiresImmediately) {
 
 class MonitorFixture : public ::testing::Test {
  protected:
-  MonitorFixture()
-      : chip_(sim::SimTiming{}, layout::Floorplan::aes_testchip()),
-        pipeline_(chip_, light_config()) {}
+  MonitorFixture() : chip_(make_chip()), pipeline_(chip_, light_config()) {}
 
   sim::ChipSimulator chip_;
   analysis::Pipeline pipeline_;

@@ -1,0 +1,338 @@
+// obs_test.cpp — the observability layer itself: sharded counter and
+// histogram correctness under parallel_for hammering, registry attach/
+// detach and export formats, span recording/nesting/Chrome JSON, and
+// snapshot-while-recording safety. Every test also compiles (and the
+// non-span parts run) in PSA_OBS=OFF builds, where the macros are no-ops
+// but the classes stay fully functional.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "fixtures.hpp"
+#include "obs/obs.hpp"
+
+namespace psa {
+namespace {
+
+/// Flips span recording on for one test and restores the disabled default
+/// (tests must not leak a hot clock into the rest of the suite).
+class ObsEnabledGuard {
+ public:
+  ObsEnabledGuard() { obs::set_enabled(true); }
+  ~ObsEnabledGuard() {
+    obs::set_enabled(false);
+    obs::TraceRecorder::global().clear();
+  }
+};
+
+// -------------------------------------------------------------- counters
+
+TEST(ObsCounter, ExactUnderParallelForHammering) {
+  tests::ThreadCountGuard guard;
+  set_thread_count(4);
+  obs::Counter c;
+  constexpr std::size_t kIters = 200000;
+  parallel_for(0, kIters, 1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) c.add(1);
+  });
+  EXPECT_EQ(c.value(), kIters);  // no lost updates across shards
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(ObsCounter, RegistryNamedCounterIsSingleInstance) {
+  obs::Counter& a = obs::Registry::global().counter("obs_test.named");
+  obs::Counter& b = obs::Registry::global().counter("obs_test.named");
+  EXPECT_EQ(&a, &b);
+  const std::uint64_t before = a.value();
+  b.add(5);
+  EXPECT_EQ(a.value(), before + 5);
+}
+
+TEST(ObsCounter, AttachDetachRoundTrip) {
+  obs::Counter mine;
+  mine.add(7);
+  const std::uint64_t id =
+      obs::Registry::global().attach_counter("obs_test.attached", &mine);
+  obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  EXPECT_TRUE(snap.has_counter("obs_test.attached"));
+  EXPECT_EQ(snap.counter_value("obs_test.attached"), 7u);
+
+  // A second attachment under the same name gets a suffixed slot instead of
+  // silently shadowing the first.
+  obs::Counter other;
+  other.add(1);
+  const std::uint64_t id2 =
+      obs::Registry::global().attach_counter("obs_test.attached", &other);
+  snap = obs::Registry::global().snapshot();
+  EXPECT_TRUE(snap.has_counter("obs_test.attached#2"));
+
+  // Detach retires the final total under the attached name, so process-end
+  // exports still report instances destroyed before the dump.
+  obs::Registry::global().detach(id);
+  obs::Registry::global().detach(id2);
+  mine.add(100);  // post-detach activity must not leak into the registry
+  snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counter_value("obs_test.attached"), 7u);
+  EXPECT_EQ(snap.counter_value("obs_test.attached#2"), 1u);
+
+  // A third attachment must not collide with the retired slots.
+  obs::Counter third;
+  const std::uint64_t id3 =
+      obs::Registry::global().attach_counter("obs_test.attached", &third);
+  snap = obs::Registry::global().snapshot();
+  EXPECT_TRUE(snap.has_counter("obs_test.attached#3"));
+  obs::Registry::global().detach(id3);
+}
+
+// ------------------------------------------------------------ histograms
+
+TEST(ObsHistogram, CountSumMinMaxExactUnderParallelFor) {
+  tests::ThreadCountGuard guard;
+  set_thread_count(4);
+  obs::Histogram h(obs::default_value_bounds());
+  constexpr std::size_t kIters = 50000;
+  parallel_for(0, kIters, 500, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      h.record(static_cast<double>(i % 10));  // 0..9, small exact doubles
+    }
+  });
+  const obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kIters);
+  // Sum of 0..9 repeated: small integers add exactly in double.
+  EXPECT_EQ(s.sum, static_cast<double>(kIters / 10) * 45.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 9.0);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kIters);
+}
+
+TEST(ObsHistogram, QuantilesInterpolateAndClampToObservedRange) {
+  obs::Histogram h({1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_EQ(s.quantile(0.0), 1.0);    // clamped to observed min
+  EXPECT_EQ(s.quantile(1.0), 100.0);  // clamped to observed max
+  const double p50 = s.quantile(0.5);
+  EXPECT_GE(p50, 20.0);  // 50th value = 50 lives in the (20, 50] bucket
+  EXPECT_LE(p50, 50.0);
+  const double p90 = s.quantile(0.9);
+  EXPECT_GE(p90, 50.0);
+  EXPECT_LE(p90, 100.0);
+  EXPECT_LE(p50, p90);  // quantiles are monotone in q
+}
+
+TEST(ObsHistogram, SnapshotWhileRecordingNeverTearsInvariants) {
+  obs::Histogram h(obs::default_value_bounds());
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 200000 && !done.load(std::memory_order_relaxed);
+         ++i) {
+      h.record(1.0);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::uint64_t last_count = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const obs::Histogram::Snapshot s = h.snapshot();
+    // count and sum are separate relaxed atomics, so a concurrent cut may
+    // see them skewed by in-flight records — but each stays bounded and
+    // count is monotone, and min/max can only ever be the recorded value.
+    EXPECT_LE(s.count, 200000u);
+    EXPECT_LE(s.sum, 200000.0);
+    EXPECT_GE(s.count, last_count);
+    last_count = s.count;
+    if (s.count > 0) {
+      EXPECT_EQ(s.min, 1.0);
+      EXPECT_EQ(s.max, 1.0);
+    }
+  }
+  writer.join();
+  const obs::Histogram::Snapshot fin = h.snapshot();
+  EXPECT_EQ(fin.count, 200000u);  // quiescent fold is exact
+  EXPECT_EQ(fin.sum, 200000.0);
+}
+
+// --------------------------------------------------------------- exports
+
+TEST(ObsExport, JsonAndCsvCarryCountersGaugesHistograms) {
+  obs::Registry::global().counter("obs_test.export_counter").add(2);
+  obs::Registry::global().gauge("obs_test.export_gauge").set(1.5);
+  obs::Registry::global()
+      .histogram("obs_test.export_hist", obs::default_value_bounds())
+      .record(3.0);
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+
+  std::ostringstream json;
+  snap.write_json(json);
+  const std::string j = json.str();
+  EXPECT_NE(j.find("\"obs_test.export_counter\""), std::string::npos);
+  EXPECT_NE(j.find("\"obs_test.export_gauge\""), std::string::npos);
+  EXPECT_NE(j.find("\"obs_test.export_hist\""), std::string::npos);
+
+  std::ostringstream csv;
+  snap.write_csv(csv);
+  const std::string c = csv.str();
+  EXPECT_NE(c.find("obs_test.export_counter"), std::string::npos);
+  EXPECT_NE(c.find("counter"), std::string::npos);
+  EXPECT_NE(c.find("histogram"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- spans
+// Span machinery (clock + recorder) is compiled in both modes, but the
+// macros only exist in instrumented builds; the macro-driven tests are
+// gated so a PSA_OBS=OFF ctest run still passes.
+
+TEST(ObsSpan, InertWhenDisabled) {
+  obs::TraceRecorder::global().clear();
+  ASSERT_FALSE(obs::enabled());
+  {
+    obs::Span span("obs_test.disabled", {{"k", 1}});
+  }
+  EXPECT_EQ(obs::TraceRecorder::global().span_count(), 0u);
+}
+
+TEST(ObsSpan, RecordsNestingAndOrdering) {
+  ObsEnabledGuard guard;
+  obs::TraceRecorder::global().clear();
+  {
+    obs::Span outer("obs_test.outer", {{"stage", "scan"}});
+    {
+      obs::Span inner("obs_test.inner", {{"sensor", 7}});
+    }
+  }
+  const std::vector<obs::SpanRecord> spans =
+      obs::TraceRecorder::global().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans complete inner-first (RAII), so the buffer order is inner, outer.
+  EXPECT_EQ(spans[0].name, "obs_test.inner");
+  EXPECT_EQ(spans[1].name, "obs_test.outer");
+  const obs::SpanRecord& inner = spans[0];
+  const obs::SpanRecord& outer = spans[1];
+  EXPECT_EQ(inner.tid, outer.tid);
+  // Same-thread nesting: the inner interval sits inside the outer one.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-6);
+  ASSERT_EQ(inner.args.size(), 1u);
+  EXPECT_EQ(inner.args[0].key, "sensor");
+  EXPECT_EQ(inner.args[0].text, "7");
+  EXPECT_FALSE(inner.args[0].is_string);
+  ASSERT_EQ(outer.args.size(), 1u);
+  EXPECT_TRUE(outer.args[0].is_string);
+}
+
+TEST(ObsSpan, ChromeJsonIsCompleteEventsWithArgs) {
+  ObsEnabledGuard guard;
+  obs::TraceRecorder::global().clear();
+  {
+    obs::Span span("obs_test.chrome", {{"sensor", 3}, {"label", "s3\"q"}});
+  }
+  std::ostringstream os;
+  obs::TraceRecorder::global().write_chrome_json(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);  // complete events
+  EXPECT_NE(j.find("\"name\": \"obs_test.chrome\""), std::string::npos);
+  EXPECT_NE(j.find("\"sensor\": 3"), std::string::npos);  // bare number
+  EXPECT_NE(j.find("\\\"q"), std::string::npos);          // escaped quote
+  EXPECT_NE(j.find("\"dur\": "), std::string::npos);
+}
+
+TEST(ObsSpan, ConcurrentRecordingAndSnapshotAreSafe) {
+  ObsEnabledGuard guard;
+  obs::TraceRecorder::global().clear();
+  tests::ThreadCountGuard tguard;
+  set_thread_count(4);
+  constexpr std::size_t kSpans = 2000;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)obs::TraceRecorder::global().snapshot();  // must never tear
+    }
+  });
+  parallel_for(0, kSpans, 50, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      obs::Span span("obs_test.par", {{"i", i}});
+    }
+  });
+  done.store(true, std::memory_order_release);
+  reader.join();
+  // The pool records its own parallel.chunk spans while enabled, so count
+  // only ours.
+  std::size_t ours = 0;
+  for (const obs::SpanRecord& rec : obs::TraceRecorder::global().snapshot()) {
+    if (rec.name == "obs_test.par") ++ours;
+  }
+  EXPECT_EQ(ours, kSpans);
+}
+
+#if PSA_OBS_ENABLED
+
+TEST(ObsMacros, CounterGaugeHistogramLand) {
+  const std::uint64_t before = obs::Registry::global()
+                                   .snapshot()
+                                   .counter_value("obs_test.macro_counter");
+  PSA_COUNTER_ADD("obs_test.macro_counter", 2);
+  PSA_GAUGE_SET("obs_test.macro_gauge", 4.25);
+  PSA_HISTOGRAM_RECORD("obs_test.macro_hist", 2.0);
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counter_value("obs_test.macro_counter"), before + 2);
+  bool found_gauge = false;
+  for (const auto& [name, v] : snap.gauges) {
+    if (name == "obs_test.macro_gauge") {
+      found_gauge = true;
+      EXPECT_EQ(v, 4.25);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+}
+
+TEST(ObsMacros, TraceSpanMacroRespectsRuntimeGate) {
+  obs::TraceRecorder::global().clear();
+  {
+    PSA_TRACE_SPAN("obs_test.macro_span", {{"off", 1}});
+  }
+  EXPECT_EQ(obs::TraceRecorder::global().span_count(), 0u);  // disabled
+  ObsEnabledGuard guard;
+  {
+    PSA_TRACE_SPAN("obs_test.macro_span", {{"on", 1}});
+  }
+  EXPECT_EQ(obs::TraceRecorder::global().span_count(), 1u);
+}
+
+TEST(ObsMacros, InstrumentedMeasurementIsBitIdenticalWithObsOn) {
+  // Flipping the runtime gate must never change the numerics — spans and
+  // timers observe the measurement, they are not part of it.
+  const sim::ChipSimulator chip = tests::make_chip();
+  const std::vector<sim::SensorView> views =
+      tests::standard_views(chip, {2, 13});
+  const sim::Scenario s = sim::Scenario::baseline(tests::kGoldenSeed);
+  const std::vector<sim::MeasuredTrace> off =
+      chip.measure_batch(std::span<const sim::SensorView>(views), s, 128);
+  std::vector<sim::MeasuredTrace> on;
+  {
+    ObsEnabledGuard guard;
+    on = chip.measure_batch(std::span<const sim::SensorView>(views), s, 128);
+    EXPECT_GT(obs::TraceRecorder::global().span_count(), 0u);
+  }
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_TRUE(tests::same_samples(on[i], off[i])) << "sensor slot " << i;
+  }
+}
+
+#endif  // PSA_OBS_ENABLED
+
+}  // namespace
+}  // namespace psa

@@ -1,0 +1,48 @@
+// make_goldens — regenerate the committed golden vectors in tests/golden.
+//
+// Usage: make_goldens [output_dir]
+//
+// Runs the four Trojan scenarios of tests/golden_common.hpp at the pinned
+// seed and writes one .golden file per scenario. Regeneration over an
+// unchanged tree is byte-identical (tests/golden_test asserts it), so a
+// diff in these files always means the numerics actually moved — commit the
+// new references only with the change that explains them.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "golden_common.hpp"
+
+#ifndef PSA_GOLDEN_DIR
+#define PSA_GOLDEN_DIR "tests/golden"
+#endif
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : PSA_GOLDEN_DIR;
+
+  // The goldens are thread-count independent by contract, but generate
+  // serially anyway: the reference bits should never depend on the machine.
+  psa::set_thread_count(1);
+
+  std::printf("generating golden vectors (seed %llu) into %s\n",
+              static_cast<unsigned long long>(psa::tests::kGoldenSeed),
+              out_dir.c_str());
+  const std::vector<psa::golden::GoldenRun> runs =
+      psa::golden::compute_golden_runs();
+  for (const psa::golden::GoldenRun& run : runs) {
+    const std::string path = out_dir + "/" + run.name + ".golden";
+    std::ofstream os(path, std::ios::binary);  // LF endings everywhere
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    os << psa::golden::serialize(run);
+    std::printf("  %s: best_sensor=%llu localized=%d bins=%zu\n",
+                path.c_str(),
+                static_cast<unsigned long long>(run.best_sensor),
+                run.localized ? 1 : 0, run.freq_hz.size());
+  }
+  return 0;
+}
