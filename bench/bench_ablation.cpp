@@ -27,8 +27,7 @@
 
 int main(int argc, char** argv) {
   using namespace psa;
-  const std::size_t threads = bench::apply_thread_flag(argc, argv);
-  bench::apply_obs_flag(argc, argv);
+  const std::size_t threads = bench::parse_args(argc, argv).threads;
   bench::print_banner(
       "ABLATIONS: SENSOR SIZING, RESHAPING, WIRE GEOMETRY, OCM",
       "programmable size/shape is what buys SNR and localization "

@@ -136,8 +136,7 @@ int main(int argc, char** argv) {
   // --threads N (or PSA_THREADS) sizes the pool used by parallel kernels
   // (BM_FluxMapCompute); the flag is stripped before google-benchmark sees
   // the argument list.
-  const std::size_t threads = psa::bench::apply_thread_flag(argc, argv);
-  psa::bench::apply_obs_flag(argc, argv);
+  const std::size_t threads = psa::bench::parse_args(argc, argv).threads;
   std::printf("measurement threads: %zu\n", threads);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

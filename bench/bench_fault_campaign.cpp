@@ -200,28 +200,16 @@ void write_json(std::FILE* f, std::uint64_t seed, bool smoke,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = bench::apply_thread_flag(argc, argv);
-  bench::apply_obs_flag(argc, argv);
-
-  std::uint64_t seed = 42;
-  bool smoke = false;
-  std::string out_path = "fault_campaign.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      seed = std::strtoull(argv[i] + 7, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      out_path = argv[i] + 6;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      return 2;
-    }
-  }
+  bench::ArgSpec spec;
+  spec.seed = spec.smoke = spec.out = true;
+  spec.default_out = "fault_campaign.json";
+  spec.reject_unknown = true;
+  const bench::Args args = bench::parse_args(argc, argv, spec);
+  if (!args.ok) return 2;
+  const std::size_t threads = args.threads;
+  const std::uint64_t seed = args.seed;
+  const bool smoke = args.smoke;
+  const std::string out_path = args.out;
 
   bench::print_banner(
       "FAULT-INJECTION CAMPAIGN: GRACEFUL DEGRADATION",

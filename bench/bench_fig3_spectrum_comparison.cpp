@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace psa;
-  bench::apply_obs_flag(argc, argv);
+  bench::parse_args(argc, argv);  // --threads / --obs-out
   bench::print_banner(
       "FIG. 3: SPECTRUM MAGNITUDE, PSA vs EXTERNAL EM PROBE",
       "PSA spectrum up to ~55 dB above the external probe across the band");

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace psa;
-  bench::apply_obs_flag(argc, argv);
+  bench::parse_args(argc, argv);  // --threads / --obs-out
   bench::print_banner(
       "FIG. 4: FREQUENCY RESPONSE, SENSORS 10 AND 0, HT ACTIVE vs INACTIVE",
       "48 MHz / 84 MHz sidebands appear at sensor 10 for every active HT; "

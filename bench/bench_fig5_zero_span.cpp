@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace psa;
-  bench::apply_obs_flag(argc, argv);
+  bench::parse_args(argc, argv);  // --threads / --obs-out
   bench::print_banner(
       "FIG. 5: ZERO-SPAN TIME-DOMAIN SIGNALS AT THE PROMINENT COMPONENT",
       "the four Trojans' modulation patterns are clearly distinguishable; "

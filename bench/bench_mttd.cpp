@@ -12,8 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace psa;
-  const std::size_t threads = bench::apply_thread_flag(argc, argv);
-  bench::apply_obs_flag(argc, argv);
+  const std::size_t threads = bench::parse_args(argc, argv).threads;
   bench::print_banner(
       "SECTION VI-D: MEAN TIME TO DETECT (MTTD)",
       "fewer than 10 traces collected to detect a HT -> < 10 ms MTTD; "

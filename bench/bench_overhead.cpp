@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace psa;
-  bench::apply_obs_flag(argc, argv);
+  bench::parse_args(argc, argv);  // --threads / --obs-out
   bench::print_banner(
       "SECTION V-B: T-GATE DESIGN AND PSA IMPLEMENTATION COST",
       "R_on ~34 ohm; T-gates add ~5% chip area; 6.25% top-layer routing "

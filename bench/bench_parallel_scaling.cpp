@@ -43,16 +43,10 @@ bool bit_identical(const std::vector<double>& a,
 
 int main(int argc, char** argv) {
   using namespace psa;
-  bench::apply_obs_flag(argc, argv);
-  std::size_t max_threads = 8;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--threads" && i + 1 < argc) {
-      max_threads = std::strtoul(argv[i + 1], nullptr, 10);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      max_threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
-    }
-  }
+  bench::ArgSpec spec;
+  spec.configure_pool = false;  // --threads = largest count swept, not pool
+  spec.default_threads = 8;
+  std::size_t max_threads = bench::parse_args(argc, argv, spec).threads;
   if (max_threads == 0) max_threads = 1;
 
   bench::print_banner(

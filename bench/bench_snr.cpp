@@ -10,7 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace psa;
-  bench::apply_obs_flag(argc, argv);
+  bench::parse_args(argc, argv);  // --threads / --obs-out
   bench::print_banner(
       "SECTION VI-B: SNR MEASUREMENT (Eq. 1)",
       "PSA 41.0 dB  |  on-chip single coil 30.5 dB  |  external probe "

@@ -81,7 +81,7 @@ std::pair<int, std::size_t> euclidean_method(const sim::ChipSimulator& chip,
 
 int main(int argc, char** argv) {
   using namespace psa;
-  bench::apply_obs_flag(argc, argv);
+  bench::parse_args(argc, argv);  // --threads / --obs-out
   bench::print_banner(
       "TABLE I: COMPARISON OF EM SIDE-CHANNEL DATA COLLECTION METHODS",
       "probe: low rate, no loc, >10k traces, 14.3 dB, no runtime | "

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace psa;
-  bench::apply_obs_flag(argc, argv);
+  bench::parse_args(argc, argv);  // --threads / --obs-out
   bench::print_banner(
       "TABLE II: TROJAN GATES COUNT AND PERCENTAGE",
       "overall 28806; T1 1881 (6.52%), T2 2132 (7.40%), T3 329 (1.14%), "

@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace psa;
-  bench::apply_obs_flag(argc, argv);
+  bench::parse_args(argc, argv);  // --threads / --obs-out
   bench::print_banner(
       "SECTION II-A: TEST-PHASE TRIGGERING (MERO-STYLE) vs RUN-TIME",
       "test phase = trigger intentionally with generated vectors; run time "

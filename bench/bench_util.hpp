@@ -3,6 +3,7 @@
 // helpers so every bench emits a consistent "paper vs measured" report.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -16,60 +17,107 @@
 
 namespace psa::bench {
 
-/// Parse and strip a `--threads N` / `--threads=N` flag, configure the
-/// global thread pool accordingly (0 or absent = automatic: PSA_THREADS env
-/// override, else hardware concurrency), and return the effective thread
-/// count. Call at the top of main, before any parallel work.
-inline std::size_t apply_thread_flag(int& argc, char** argv) {
-  int out = 1;
-  bool configured = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    std::size_t n = 0;
-    bool matched = false;
-    if (arg == "--threads" && i + 1 < argc) {
-      n = static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
-      matched = true;
-      ++i;  // consume the value
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      n = static_cast<std::size_t>(
-          std::strtoul(arg.c_str() + 10, nullptr, 10));
-      matched = true;
-    }
-    if (matched) {
-      set_thread_count(n);
-      configured = true;
-    } else {
-      argv[out++] = argv[i];
-    }
-  }
-  argc = out;
-  if (!configured) set_thread_count(0);  // automatic (PSA_THREADS / hardware)
-  return thread_count();
-}
+/// What the shared parser should accept beyond the flags every harness
+/// takes (--threads, --obs-out). Defaults mirror the historic per-bench
+/// hand-rolled loops this parser replaced.
+struct ArgSpec {
+  bool seed = false;    // accept --seed N
+  bool smoke = false;   // accept --smoke
+  bool out = false;     // accept --out FILE
+  std::uint64_t default_seed = 42;
+  std::string default_out;
+  /// When true (the default), --threads N configures the global pool via
+  /// set_thread_count (0 or absent = automatic: PSA_THREADS env, else
+  /// hardware concurrency) and Args::threads reports the effective count.
+  /// When false the pool is left alone and Args::threads is the raw flag
+  /// value (default_threads when absent) — for benches that sweep thread
+  /// counts themselves.
+  bool configure_pool = true;
+  std::size_t default_threads = 0;
+  /// Error (Args::ok = false) on any remaining "--..." argument.
+  bool reject_unknown = false;
+};
 
-/// Parse and strip a `--obs-out FILE` / `--obs-out=FILE` flag. When present,
-/// observability recording switches on and the Chrome trace plus metrics
-/// dumps (FILE, FILE.metrics.json, FILE.metrics.csv) are written at process
-/// exit — same effect as the PSA_OBS_OUT environment variable. Returns the
-/// path ("" when the flag is absent). Call right after apply_thread_flag.
-inline std::string apply_obs_flag(int& argc, char** argv) {
-  std::string path;
-  int out = 1;
+struct Args {
+  std::size_t threads = 0;
+  std::string obs_out;   // "" when --obs-out absent
+  std::uint64_t seed = 42;
+  bool smoke = false;
+  std::string out;
+  bool ok = true;        // false: unknown flag rejected (caller exits)
+};
+
+/// Parse and strip the standard harness flags in one pass:
+///
+///   --threads N      thread pool size (see ArgSpec::configure_pool)
+///   --obs-out FILE   switch observability on; Chrome trace + metrics
+///                    dumps written at exit (same as PSA_OBS_OUT env)
+///   --seed N         campaign seed            (when spec.seed)
+///   --smoke          reduced CI-sized run     (when spec.smoke)
+///   --out FILE       machine-readable output  (when spec.out)
+///
+/// Both "--flag value" and "--flag=value" spellings work. Recognized flags
+/// are removed from argv; everything else stays, in order, for the caller
+/// (or for benchmark::Initialize). Call at the top of main, before any
+/// parallel work.
+inline Args parse_args(int& argc, char** argv, const ArgSpec& spec = {}) {
+  Args args;
+  args.seed = spec.default_seed;
+  args.out = spec.default_out;
+
+  std::size_t threads_flag = spec.default_threads;
+  bool threads_given = false;
+
+  // "--name value" / "--name=value" matcher; consumes the value on match.
+  const auto take_value = [&](int& i, const std::string& arg,
+                              const std::string& name,
+                              std::string* value) {
+    if (arg == name && i + 1 < argc) {
+      *value = argv[++i];
+      return true;
+    }
+    if (arg.rfind(name + "=", 0) == 0) {
+      *value = arg.substr(name.size() + 1);
+      return true;
+    }
+    return false;
+  };
+
+  int out_idx = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--obs-out" && i + 1 < argc) {
-      path = argv[i + 1];
-      ++i;  // consume the value
-    } else if (arg.rfind("--obs-out=", 0) == 0) {
-      path = arg.substr(10);
+    std::string value;
+    if (take_value(i, arg, "--threads", &value)) {
+      threads_flag =
+          static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+      threads_given = true;
+    } else if (take_value(i, arg, "--obs-out", &value)) {
+      args.obs_out = value;
+    } else if (spec.seed && take_value(i, arg, "--seed", &value)) {
+      args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (spec.smoke && arg == "--smoke") {
+      args.smoke = true;
+    } else if (spec.out && take_value(i, arg, "--out", &value)) {
+      args.out = value;
     } else {
-      argv[out++] = argv[i];
+      if (spec.reject_unknown && arg.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        args.ok = false;
+      }
+      argv[out_idx++] = argv[i];
     }
   }
-  argc = out;
-  if (!path.empty()) obs::enable_export_at_exit(path);
-  return path;
+  argc = out_idx;
+
+  if (spec.configure_pool) {
+    // Absent flag = automatic (PSA_THREADS env override, else hardware).
+    set_thread_count(threads_given ? threads_flag : 0);
+    args.threads = thread_count();
+  } else {
+    args.threads = threads_flag;
+  }
+  if (!args.obs_out.empty()) obs::enable_export_at_exit(args.obs_out);
+  return args;
 }
 
 /// Lazily constructed shared test bench.

@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace psa;
-  bench::apply_obs_flag(argc, argv);
+  bench::parse_args(argc, argv);  // --threads / --obs-out
   bench::print_banner(
       "SECTION VI-C: PSA UNDER SUPPLY-VOLTAGE AND TEMPERATURE VARIATION",
       "~4 dB impedance drop from 0.8 V to 1.2 V; impedance stable within "

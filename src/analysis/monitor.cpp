@@ -50,6 +50,13 @@ MonitorOutcome RuntimeMonitor::run(const sim::Scenario& quiet,
       out.mttd_s =
           static_cast<double>(out.traces_after_activation) *
           cfg_.trace_interval_s;
+      PSA_EVENT(kAlarm, "monitor.alarm",
+                {{"sensor", sentinel},
+                 {"trace", i},
+                 {"z", d.score},
+                 {"peak_freq_hz", d.peak_freq_hz},
+                 {"traces_after_activation", out.traces_after_activation},
+                 {"mttd_ms", out.mttd_s * 1e3}});
       return out;
     }
   }

@@ -87,6 +87,10 @@ DegradedModeReport Pipeline::configure_degraded(
   }
   report.masked = masked_;
   report.substituted = substituted_;
+  PSA_EVENT(kWarn, "pipeline.degraded",
+            {{"masked", report.masked_count()},
+             {"substituted", report.substituted_count()},
+             {"healthy", report.healthy_count()}});
   return report;
 }
 
@@ -166,7 +170,15 @@ DetectionResult Pipeline::detect(std::size_t sensor,
       measure_spectrum(sensor, scenario, /*seed_salt=*/sensor + 1);
   const DetectionResult result = detectors_[sensor].score(spec);
   PSA_HISTOGRAM_RECORD("analysis.detect.z", result.score);
-  if (result.detected) PSA_COUNTER_ADD("analysis.detections", 1);
+  if (result.detected) {
+    PSA_COUNTER_ADD("analysis.detections", 1);
+    PSA_EVENT(kWarn, "detector.z_crossing",
+              {{"sensor", sensor},
+               {"z", result.score},
+               {"threshold", cfg_.detector.z_threshold},
+               {"peak_freq_hz", result.peak_freq_hz},
+               {"novel_peak", result.peak_is_novel ? 1 : 0}});
+  }
   return result;
 }
 
@@ -183,7 +195,16 @@ DetectionResult Pipeline::score_spectrum(std::size_t sensor,
   if (sensor >= detectors_.size()) {
     throw std::out_of_range("Pipeline::score_spectrum");
   }
-  return detectors_[sensor].score(spectrum);
+  const DetectionResult result = detectors_[sensor].score(spectrum);
+  if (result.detected) {
+    PSA_EVENT(kWarn, "detector.z_crossing",
+              {{"sensor", sensor},
+               {"z", result.score},
+               {"threshold", cfg_.detector.z_threshold},
+               {"peak_freq_hz", result.peak_freq_hz},
+               {"novel_peak", result.peak_is_novel ? 1 : 0}});
+  }
+  return result;
 }
 
 std::array<double, 16> Pipeline::scan_scores(

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace psa::em {
 namespace {
@@ -115,6 +116,8 @@ std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
       if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
       --entries_;
       evictions_.add(1);
+      PSA_EVENT(kDebug, "em.fluxmap_cache.evicted",
+                {{"entries", entries_}, {"capacity", max_entries_}});
     }
   }
   buckets_[h].push_back(Entry{std::move(key), map, next_order_++});

@@ -183,11 +183,16 @@ sensor::SensorProgram FaultInjector::apply(
 
 void FaultInjector::arm(sim::ChipSimulator& chip) const {
   PSA_COUNTER_ADD("fault.injector.armed", 1);
+  PSA_EVENT(kInfo, "fault.injector.armed",
+            {{"array_faults", plan_.array.size()},
+             {"measurement_faults", plan_.measurement.any() ? 1 : 0},
+             {"seed", plan_.seed}});
   chip.inject_measurement_faults(plan_.measurement);
 }
 
 void FaultInjector::disarm(sim::ChipSimulator& chip) {
   PSA_COUNTER_ADD("fault.injector.disarmed", 1);
+  PSA_EVENT(kInfo, "fault.injector.disarmed");
   chip.clear_measurement_faults();
 }
 

@@ -1,0 +1,305 @@
+#include "net/http_exposition.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/events.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/timeseries.hpp"
+
+namespace psa::net {
+namespace {
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+void send_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc =
+        ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc <= 0) {
+      if (rc < 0 && errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+}
+
+void send_response(int fd, const HttpResponse& resp) {
+  char head[256];
+  const int head_len = std::snprintf(
+      head, sizeof head,
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      resp.status, status_reason(resp.status), resp.content_type.c_str(),
+      resp.body.size());
+  send_all(fd, head, static_cast<std::size_t>(head_len));
+  send_all(fd, resp.body.data(), resp.body.size());
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_nibble(s[i + 1]);
+      const int lo = hex_nibble(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += '%';
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_query(std::string_view s) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t amp = s.find('&', pos);
+    if (amp == std::string_view::npos) amp = s.size();
+    const std::string_view pair = s.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out[url_decode(pair)] = "";
+      } else {
+        out[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+      }
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+HttpServer::HttpServer() {
+  attach_id_ =
+      obs::Registry::global().attach_counter("net.http.requests", &requests_);
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  obs::Registry::global().detach(attach_id_);
+}
+
+void HttpServer::handle(std::string path, HttpHandler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+bool HttpServer::start() { return start(Options()); }
+
+bool HttpServer::start(const Options& options) {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, options.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // The accept loop polls with a timeout, sees running_ false, and exits;
+  // shutting the listener down also kicks it out of a pending accept.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  // Read until the end of the header block; GETs carry no body.
+  std::string raw;
+  char buf[4096];
+  while (raw.find("\r\n\r\n") == std::string::npos &&
+         raw.size() < (1u << 16)) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) {
+    send_response(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  std::istringstream line(raw.substr(0, line_end));
+  std::string method, target, version;
+  line >> method >> target >> version;
+  if (method.empty() || target.empty() || target[0] != '/') {
+    send_response(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+
+  requests_.add(1);
+  if (method != "GET" && method != "HEAD") {
+    send_response(fd, {405, "text/plain; charset=utf-8",
+                       "only GET is served here\n"});
+    return;
+  }
+
+  HttpRequest req;
+  req.method = method;
+  const std::size_t qmark = target.find('?');
+  req.path = url_decode(target.substr(0, qmark));
+  if (qmark != std::string::npos) {
+    req.query = parse_query(std::string_view(target).substr(qmark + 1));
+  }
+
+  const auto it = handlers_.find(req.path);
+  if (it == handlers_.end()) {
+    send_response(fd, {404, "text/plain; charset=utf-8",
+                       "no such endpoint; try /metrics /healthz /events "
+                       "/timeseries\n"});
+    return;
+  }
+  HttpResponse resp = it->second(req);
+  if (method == "HEAD") resp.body.clear();
+  send_response(fd, resp);
+}
+
+void install_telemetry_endpoints(
+    HttpServer& server, obs::EventLog* events,
+    const obs::TimeSeriesSampler* sampler,
+    std::function<std::string()> health_fields) {
+  server.handle("/metrics", [](const HttpRequest&) {
+    std::ostringstream os;
+    obs::render_prometheus(obs::Registry::global().snapshot(), os);
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        os.str()};
+  });
+
+  server.handle("/healthz", [events, health_fields](const HttpRequest&) {
+    std::ostringstream os;
+    os << "{\"status\":\"ok\",\"uptime_us\":" << obs::now_us();
+    if (events) {
+      os << ",\"events\":" << events->size()
+         << ",\"last_seq\":" << events->last_seq();
+    }
+    if (health_fields) {
+      const std::string extra = health_fields();
+      if (!extra.empty()) os << "," << extra;
+    }
+    os << "}\n";
+    return HttpResponse{200, "application/json", os.str()};
+  });
+
+  server.handle("/events", [events](const HttpRequest& req) {
+    if (!events) {
+      return HttpResponse{404, "text/plain; charset=utf-8",
+                          "no event log attached\n"};
+    }
+    std::uint64_t since = 0;
+    std::size_t max_events = 1000;
+    if (const auto it = req.query.find("since"); it != req.query.end()) {
+      since = std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+    if (const auto it = req.query.find("max"); it != req.query.end()) {
+      max_events = std::strtoul(it->second.c_str(), nullptr, 10);
+    }
+    std::ostringstream os;
+    for (const obs::Event& ev : events->since(since, max_events)) {
+      ev.write_json(os);
+      os << "\n";
+    }
+    return HttpResponse{200, "application/x-ndjson", os.str()};
+  });
+
+  server.handle("/timeseries", [sampler](const HttpRequest&) {
+    if (!sampler) {
+      return HttpResponse{404, "text/plain; charset=utf-8",
+                          "no sampler attached\n"};
+    }
+    std::ostringstream os;
+    sampler->write_json(os);
+    return HttpResponse{200, "application/json", os.str()};
+  });
+}
+
+}  // namespace psa::net

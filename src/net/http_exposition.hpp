@@ -1,0 +1,113 @@
+// http_exposition.hpp — a small, dependency-free HTTP/1.1 server exposing
+// the observability layer to scrapers and humans.
+//
+// This is deliberately not a web framework: one accept thread, blocking
+// POSIX sockets, GET-only, `Connection: close` on every response. That is
+// exactly enough for a Prometheus scrape loop, a `curl` in a terminal, or
+// a dashboard polling JSON — and small enough to audit in one sitting.
+// Handlers run on the accept thread, so a response renderer that takes
+// milliseconds delays the next request by milliseconds; every built-in
+// endpoint renders from snapshots and stays well under that.
+//
+// install_telemetry_endpoints() wires the standard service trio:
+//
+//   GET /metrics             Prometheus text format (registry snapshot)
+//   GET /healthz             JSON liveness + caller-supplied status fields
+//   GET /events?since=N      structured event log as JSON lines (seq > N;
+//                            &max=M caps the batch, default 1000)
+//   GET /timeseries          the sampler's ring buffers as JSON
+//
+// The server binds 127.0.0.1 by default (telemetry is an operator loop,
+// not a public surface); port 0 picks an ephemeral port, readable from
+// port() after start().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "obs/registry.hpp"
+
+namespace psa::obs {
+class EventLog;
+class TimeSeriesSampler;
+}  // namespace psa::obs
+
+namespace psa::net {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/events" (query stripped, percent-decoded)
+  std::map<std::string, std::string> query;  // decoded key → value
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral; see port() after start()
+    int backlog = 16;
+  };
+
+  HttpServer();
+  ~HttpServer();  // stops if still running
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register a handler for an exact path (no patterns). Must be called
+  /// before start().
+  void handle(std::string path, HttpHandler handler);
+
+  /// Bind + listen + launch the accept thread. Returns false (with the
+  /// server stopped) when the socket cannot be bound.
+  bool start(const Options& options);
+  bool start();  // default Options: loopback, ephemeral port
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Actual bound port (resolves port 0), valid after a successful start().
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t requests_served() const { return requests_.value(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::map<std::string, HttpHandler> handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+
+  obs::Counter requests_;
+  std::uint64_t attach_id_ = 0;
+};
+
+/// Decode "%41" / "+" percent-encoding (bad escapes pass through verbatim).
+std::string url_decode(std::string_view s);
+
+/// Parse "a=1&b=two" into a decoded key/value map.
+std::map<std::string, std::string> parse_query(std::string_view s);
+
+/// Register /metrics, /healthz, /events and /timeseries on `server`.
+/// `sampler` may be null (then /timeseries reports 404). `health_fields`
+/// (optional) returns extra JSON fields spliced into the /healthz object,
+/// e.g. "\"traces\":12,\"alarms\":1".
+void install_telemetry_endpoints(
+    HttpServer& server, obs::EventLog* events,
+    const obs::TimeSeriesSampler* sampler,
+    std::function<std::string()> health_fields = {});
+
+}  // namespace psa::net

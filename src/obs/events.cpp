@@ -1,0 +1,168 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+namespace psa::obs {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kAlarm: return "alarm";
+  }
+  return "info";
+}
+
+void Event::write_json(std::ostream& os) const {
+  os << "{\"seq\":" << seq << ",\"ts_us\":" << ts_us << ",\"severity\":\""
+     << severity_name(severity) << "\",\"name\":\"" << json_escape(name)
+     << "\",\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const TraceArg& a = args[i];
+    os << (i ? "," : "") << "\"" << json_escape(a.key) << "\":";
+    if (a.is_string) {
+      os << "\"" << json_escape(a.text) << "\"";
+    } else {
+      os << a.text;
+    }
+  }
+  os << "}}";
+}
+
+EventLog& EventLog::global() {
+  static EventLog* log = new EventLog();  // leaked: see Registry::global()
+  return *log;
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+  attach_emitted_ =
+      Registry::global().attach_counter("obs.events.emitted", &emitted_);
+  attach_dropped_ =
+      Registry::global().attach_counter("obs.events.dropped", &dropped_);
+}
+
+EventLog::~EventLog() {
+  Registry::global().detach(attach_emitted_);
+  Registry::global().detach(attach_dropped_);
+}
+
+std::uint64_t EventLog::emit(Severity severity, const char* name,
+                             std::initializer_list<TraceArg> args) {
+  Event ev;
+  ev.severity = severity;
+  ev.name = name;
+  ev.args.assign(args.begin(), args.end());
+  return emit(std::move(ev));
+}
+
+std::uint64_t EventLog::emit(Event ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = next_seq_++;
+  ev.ts_us = now_us();
+
+  if (sink_.is_open()) {
+    if (sink_lines_ < sink_max_lines_) {
+      ev.write_json(sink_);
+      sink_ << "\n";
+      sink_.flush();
+      ++sink_lines_;
+    } else if (sink_lines_ == sink_max_lines_) {
+      sink_ << "{\"seq\":" << ev.seq
+            << ",\"severity\":\"warn\",\"name\":\"obs.events.sink_capped\","
+               "\"args\":{\"max_lines\":"
+            << sink_max_lines_ << "}}\n";
+      sink_.flush();
+      ++sink_lines_;  // counts the cap notice; nothing further is written
+    }
+  }
+
+  if (count_ < capacity_) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(ev));
+    } else {
+      ring_[(first_ + count_) % capacity_] = std::move(ev);
+    }
+    ++count_;
+  } else {
+    ring_[first_] = std::move(ev);  // overwrite the oldest slot
+    first_ = (first_ + 1) % capacity_;
+    dropped_.add(1);
+  }
+  emitted_.add(1);
+  return next_seq_ - 1;
+}
+
+std::vector<Event> EventLog::since(std::uint64_t after_seq,
+                                   std::size_t max_events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  // Ring order == seq order, so binary-search the first qualifying index.
+  std::size_t lo = 0;
+  std::size_t hi = count_;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (ring_[(first_ + mid) % capacity_].seq > after_seq) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  for (std::size_t i = lo; i < count_ && out.size() < max_events; ++i) {
+    out.push_back(ring_[(first_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t EventLog::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::uint64_t EventLog::dropped() const { return dropped_.value(); }
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  first_ = 0;
+  count_ = 0;
+}
+
+bool EventLog::open_sink(const std::string& path, std::uint64_t max_lines) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_.close();
+  sink_.clear();
+  sink_.open(path, std::ios::trunc);
+  sink_lines_ = 0;
+  sink_max_lines_ = max_lines;
+  return sink_.is_open();
+}
+
+void EventLog::close_sink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_.close();
+}
+
+std::uint64_t EventLog::sink_lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sink_lines_;
+}
+
+void EventLog::write_jsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    ring_[(first_ + i) % capacity_].write_json(os);
+    os << "\n";
+  }
+}
+
+}  // namespace psa::obs

@@ -1,0 +1,127 @@
+// events.hpp — structured run-time event log.
+//
+// Where the metrics registry answers "how many / how long", the event log
+// answers "what happened, when, in what order": a Trojan alarm fired, a
+// detector crossed its z threshold, the pipeline dropped into degraded
+// mode, a fault plan was armed, a synthesis cache was invalidated. Each
+// event carries a severity, a process-monotonic sequence number, a
+// timestamp on the obs::now_us clock, and the same key/value args trace
+// spans use.
+//
+// Concurrency: emit() is thread-safe and totally ordered — the sequence
+// number is assigned and the event appended under one mutex, so a reader
+// always sees events in strictly increasing seq order with no gaps other
+// than ring overwrites (which are counted, never silent). The log is a
+// fixed-capacity ring: when full, the oldest event is dropped and
+// dropped() grows. Consumers poll incrementally with since(seq) — the
+// /events?since= HTTP endpoint is exactly that call.
+//
+// An optional JSONL sink tees every emitted event to a file (one JSON
+// object per line), capped at a configurable number of lines so a runaway
+// emitter cannot fill the disk. The sink is flushed per line — after a
+// crash the file holds everything emitted up to the last event.
+//
+// The PSA_EVENT macro in obs.hpp compiles to nothing under -DPSA_OBS=OFF;
+// the classes here always build (psa_monitord drives the log directly).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace psa::obs {
+
+enum class Severity : std::uint8_t { kDebug = 0, kInfo, kWarn, kAlarm };
+
+/// Lower-case label for JSON / log output ("debug", "info", ...).
+const char* severity_name(Severity s);
+
+struct Event {
+  std::uint64_t seq = 0;  // 1-based, strictly increasing per log
+  double ts_us = 0.0;     // obs::now_us() at emit time
+  Severity severity = Severity::kInfo;
+  std::string name;             // dotted site name, e.g. "monitor.alarm"
+  std::vector<TraceArg> args;   // key/value payload
+
+  /// One JSON object, no trailing newline:
+  /// {"seq":3,"ts_us":12.5,"severity":"alarm","name":"monitor.alarm",
+  ///  "args":{"sensor":10,"z":41.2}}
+  void write_json(std::ostream& os) const;
+};
+
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::uint64_t kDefaultSinkMaxLines = 1u << 20;
+
+  /// The process-wide log the PSA_EVENT macro feeds (leaked deliberately,
+  /// like Registry::global(), so emits during static destruction are safe).
+  static EventLog& global();
+
+  explicit EventLog(std::size_t capacity = kDefaultCapacity);
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Record one event; returns its sequence number.
+  std::uint64_t emit(Severity severity, const char* name,
+                     std::initializer_list<TraceArg> args = {});
+  std::uint64_t emit(Event ev);  // seq/ts assigned here, caller's ignored
+
+  /// Events with seq > `after_seq`, oldest first, at most `max_events`.
+  /// since(0) is "everything still in the ring".
+  std::vector<Event> since(std::uint64_t after_seq,
+                           std::size_t max_events = kDefaultCapacity) const;
+
+  /// Sequence number of the newest event (0 before the first emit).
+  std::uint64_t last_seq() const;
+  /// Events currently held in the ring.
+  std::size_t size() const;
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Drop buffered events (sequence numbering continues; the sink, if any,
+  /// stays open).
+  void clear();
+
+  /// Tee every subsequent event to `path` as JSON lines, truncating any
+  /// existing file. At most `max_lines` events are written (then the sink
+  /// notes the cap and goes quiet). Returns false if the file cannot be
+  /// opened.
+  bool open_sink(const std::string& path,
+                 std::uint64_t max_lines = kDefaultSinkMaxLines);
+  void close_sink();
+  std::uint64_t sink_lines() const;
+
+  /// Dump the current ring as JSON lines (oldest first).
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;     // ring_[ (first_ + i) % capacity_ ]
+  std::size_t first_ = 0;       // index of oldest event
+  std::size_t count_ = 0;
+  std::uint64_t next_seq_ = 1;  // guarded by mu_ so seq order == ring order
+
+  std::ofstream sink_;
+  std::uint64_t sink_lines_ = 0;
+  std::uint64_t sink_max_lines_ = 0;
+
+  // Registry-attached so exports and /metrics report log health.
+  Counter emitted_;
+  Counter dropped_;
+  std::uint64_t attach_emitted_ = 0;
+  std::uint64_t attach_dropped_ = 0;
+};
+
+}  // namespace psa::obs

@@ -1,10 +1,17 @@
 #include "obs/export.hpp"
 
+#include <signal.h>  // sigaction (POSIX; <csignal> alone is not guaranteed)
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -16,6 +23,11 @@ std::mutex g_export_mu;
 std::string g_export_path;  // guarded by g_export_mu
 bool g_atexit_registered = false;
 
+// Lock-free copy of the export path for the signal handler (reading
+// g_export_path would take g_export_mu inside a handler). Updated under
+// g_export_mu, read raw — the benign race is a stale-but-valid path.
+char g_signal_path[4096] = {0};
+
 void export_at_exit() {
   std::string path;
   {
@@ -23,6 +35,55 @@ void export_at_exit() {
     path = g_export_path;
   }
   if (!path.empty()) export_all(path);
+}
+
+// ---- periodic flush thread (PSA_OBS_FLUSH_SEC / set_flush_interval) ----
+
+std::mutex g_flush_mu;
+std::condition_variable g_flush_cv;
+double g_flush_interval_s = 0.0;  // guarded by g_flush_mu
+bool g_flush_stop = false;        // guarded by g_flush_mu
+std::thread g_flush_thread;       // guarded by g_flush_mu
+bool g_flush_atexit_registered = false;
+
+void flush_loop() {
+  std::unique_lock<std::mutex> lock(g_flush_mu);
+  for (;;) {
+    const double interval = g_flush_interval_s;
+    if (g_flush_stop || interval <= 0.0) return;
+    g_flush_cv.wait_for(lock, std::chrono::duration<double>(interval));
+    if (g_flush_stop || g_flush_interval_s <= 0.0) return;
+    lock.unlock();
+    export_at_exit();  // same dump the process-exit hook writes
+    lock.lock();
+  }
+}
+
+void stop_flush_thread() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(g_flush_mu);
+    g_flush_stop = true;
+    to_join = std::move(g_flush_thread);
+  }
+  g_flush_cv.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+// ---- best-effort signal dump ----
+
+volatile std::sig_atomic_t g_signal_dump_entered = 0;
+
+void signal_dump_handler(int sig) {
+  // SA_RESETHAND already restored the default disposition; the re-raise at
+  // the end terminates the process with the expected status/core.
+  if (!g_signal_dump_entered) {
+    g_signal_dump_entered = 1;
+    if (g_signal_path[0] != '\0') {
+      export_all(g_signal_path);  // best effort, see header comment
+    }
+  }
+  std::raise(sig);
 }
 
 // PSA_OBS_OUT takes effect in every binary without code changes (tests,
@@ -40,34 +101,107 @@ void write_number(std::ostream& os, double v) {
 
 }  // namespace
 
-bool export_all(const std::string& trace_path) {
-  std::ofstream trace(trace_path);
-  if (!trace) return false;
-  TraceRecorder::global().write_chrome_json(trace);
+namespace {
 
+/// Serialize through `write` into `path`.tmp, then rename over `path` so
+/// concurrent readers (periodic flush, curl on a served file) never see a
+/// torn artifact.
+template <typename WriteFn>
+bool write_atomically(const std::string& path, WriteFn&& write) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) return false;
+    write(os);
+    if (!os) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+bool export_all(const std::string& trace_path) {
+  // One export at a time: the periodic flush, a signal handler, and the
+  // at-exit hook may otherwise interleave renames of the same artifacts.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+
+  if (!write_atomically(trace_path, [](std::ostream& os) {
+        TraceRecorder::global().write_chrome_json(os);
+      })) {
+    return false;
+  }
   const MetricsSnapshot snap = Registry::global().snapshot();
-  std::ofstream json(trace_path + ".metrics.json");
-  if (!json) return false;
-  snap.write_json(json);
-  std::ofstream csv(trace_path + ".metrics.csv");
-  if (!csv) return false;
-  snap.write_csv(csv);
-  return true;
+  if (!write_atomically(trace_path + ".metrics.json",
+                        [&](std::ostream& os) { snap.write_json(os); })) {
+    return false;
+  }
+  return write_atomically(trace_path + ".metrics.csv",
+                          [&](std::ostream& os) { snap.write_csv(os); });
 }
 
 void enable_export_at_exit(const std::string& trace_path) {
   set_enabled(true);
-  std::lock_guard<std::mutex> lock(g_export_mu);
-  g_export_path = trace_path;
-  if (!g_atexit_registered) {
-    g_atexit_registered = true;
-    std::atexit(export_at_exit);
+  {
+    std::lock_guard<std::mutex> lock(g_export_mu);
+    g_export_path = trace_path;
+    std::snprintf(g_signal_path, sizeof g_signal_path, "%s",
+                  trace_path.c_str());
+    if (!g_atexit_registered) {
+      g_atexit_registered = true;
+      std::atexit(export_at_exit);
+    }
   }
+  install_signal_dump();
+}
+
+void set_flush_interval(double seconds) {
+  if (seconds <= 0.0) {
+    {
+      std::lock_guard<std::mutex> lock(g_flush_mu);
+      g_flush_interval_s = 0.0;
+    }
+    stop_flush_thread();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_flush_mu);
+  g_flush_interval_s = seconds;
+  g_flush_stop = false;
+  if (!g_flush_thread.joinable()) {
+    if (!g_flush_atexit_registered) {
+      g_flush_atexit_registered = true;
+      // atexit runs LIFO: the flush thread stops before (and never races)
+      // the final export_at_exit dump registered by enable_export_at_exit.
+      std::atexit(stop_flush_thread);
+    }
+    g_flush_thread = std::thread(flush_loop);
+  }
+  g_flush_cv.notify_all();
+}
+
+void install_signal_dump() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (const int sig : {SIGINT, SIGTERM, SIGHUP, SIGABRT}) {
+      struct sigaction current {};
+      if (sigaction(sig, nullptr, &current) != 0) continue;
+      if (current.sa_handler != SIG_DFL) continue;  // never replace the app's
+      struct sigaction sa {};
+      sa.sa_handler = signal_dump_handler;
+      sigemptyset(&sa.sa_mask);
+      sa.sa_flags = static_cast<int>(SA_RESETHAND);
+      sigaction(sig, &sa, nullptr);
+    }
+  });
 }
 
 void init_from_env() {
   if (const char* path = std::getenv("PSA_OBS_OUT")) {
     if (path[0] != '\0') enable_export_at_exit(path);
+  }
+  if (const char* sec = std::getenv("PSA_OBS_FLUSH_SEC")) {
+    const double interval = std::strtod(sec, nullptr);
+    if (interval > 0.0) set_flush_interval(interval);
   }
 }
 

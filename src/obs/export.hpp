@@ -5,26 +5,51 @@
 //   <path>.metrics.json flat metrics dump (counters, gauges, histograms)
 //   <path>.metrics.csv  the same metrics, one row per series
 //
+// Each artifact is written to a ".tmp" sibling and renamed into place, so
+// a reader (or a crash mid-write) never sees a torn file.
+//
 // Export is runtime-opt-in: nothing is written unless a bench passes
 // --obs-out (bench_util::apply_obs_flag) or the PSA_OBS_OUT environment
 // variable names a path, in which case obs::enabled() is switched on and
-// the dump happens automatically at process exit.
+// the dump happens automatically at process exit. Two mechanisms protect
+// the dump from ever being at-exit-only:
+//
+//   * PSA_OBS_FLUSH_SEC=<seconds> (or set_flush_interval) re-exports on a
+//     background thread every interval, so even SIGKILL loses at most one
+//     interval of data;
+//   * enabling export installs best-effort handlers on fatal signals whose
+//     disposition is still SIG_DFL (SIGINT/SIGTERM/SIGHUP/SIGABRT): the
+//     handler writes one final dump, then re-raises so the exit status is
+//     unchanged. "Best effort" is literal — the dump takes locks and
+//     allocates, which is not async-signal-safe; a signal landing inside
+//     the registry can hang the handler, and in that worst case the
+//     periodic flush is the backstop.
 #pragma once
 
 #include <string>
 
 namespace psa::obs {
 
-/// Write the trace + metrics artifacts now. Returns false (and writes
-/// nothing further) if any file cannot be opened.
+/// Write the trace + metrics artifacts now (atomically, via tmp+rename).
+/// Returns false (and writes nothing further) if any file cannot be opened.
 bool export_all(const std::string& trace_path);
 
-/// Enable observability and schedule export_all(trace_path) at process
-/// exit. Idempotent; the last path wins.
+/// Enable observability, schedule export_all(trace_path) at process exit,
+/// and install the best-effort signal dump. Idempotent; the last path wins.
 void enable_export_at_exit(const std::string& trace_path);
 
-/// Honour PSA_OBS_OUT=path (called once automatically at static init; safe
-/// to call again manually).
+/// Re-export every `seconds` on a background thread (<= 0 stops the
+/// thread). The flush is a no-op until enable_export_at_exit names a path.
+void set_flush_interval(double seconds);
+
+/// Install the best-effort final-dump handlers on SIGINT/SIGTERM/SIGHUP/
+/// SIGABRT (only where the current disposition is SIG_DFL — handlers the
+/// application installed are never replaced). Called automatically by
+/// enable_export_at_exit; safe to call repeatedly.
+void install_signal_dump();
+
+/// Honour PSA_OBS_OUT=path and PSA_OBS_FLUSH_SEC=seconds (called once
+/// automatically at static init; safe to call again manually).
 void init_from_env();
 
 }  // namespace psa::obs

@@ -18,8 +18,10 @@
 //   PSA_GAUGE_SET("common.pool.queue_depth", depth);   // last-write gauge
 //   PSA_HISTOGRAM_RECORD("analysis.scan.score", v);    // value histogram
 //   PSA_TIME_SCOPE_US("analysis.scan.us");             // scope → histogram
+//   PSA_EVENT(kAlarm, "monitor.alarm", {{"sensor", s}, {"z", z}});
 #pragma once
 
+#include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -75,6 +77,14 @@
     PSA_OBS_CONCAT(psa_obs_timer_hist_, __LINE__)                      \
   }
 
+/// Emit a structured event into the global EventLog. `sev` is the bare
+/// Severity enumerator (kDebug/kInfo/kWarn/kAlarm); the rest is the event
+/// name plus an optional {{"key", value}, ...} args list (variadic so the
+/// braced list's commas survive the preprocessor).
+#define PSA_EVENT(sev, ...)                        \
+  ::psa::obs::EventLog::global().emit(             \
+      ::psa::obs::Severity::sev, __VA_ARGS__)
+
 #else  // PSA_OBS_ENABLED
 
 #define PSA_TRACE_SPAN(...) \
@@ -91,6 +101,9 @@
   } while (0)
 #define PSA_TIME_SCOPE_US(name) \
   do {                          \
+  } while (0)
+#define PSA_EVENT(sev, ...) \
+  do {                      \
   } while (0)
 
 #endif  // PSA_OBS_ENABLED

@@ -1,0 +1,95 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace psa::obs {
+namespace {
+
+bool name_char_ok(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+void write_family_header(std::ostream& os, const std::string& fam,
+                         const std::string& source, const char* type) {
+  os << "# HELP " << fam << " PSA registry metric " << source << "\n";
+  os << "# TYPE " << fam << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name, std::string_view prefix) {
+  std::string out;
+  out.reserve(prefix.size() + name.size());
+  out.append(prefix);
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const bool first = out.empty();
+    const char c = name[i];
+    out += name_char_ok(c, first) ? c : '_';
+  }
+  if (out.empty()) return "_";
+  if (!name_char_ok(out[0], true)) out[0] = '_';
+  return out;
+}
+
+std::string prometheus_label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer the shorter representation when it round-trips exactly.
+  char shorter[32];
+  std::snprintf(shorter, sizeof shorter, "%.15g", v);
+  double back = 0.0;
+  std::sscanf(shorter, "%lf", &back);
+  return back == v ? shorter : buf;
+}
+
+void render_prometheus(const MetricsSnapshot& snap, std::ostream& os) {
+  for (const auto& [name, v] : snap.counters) {
+    const std::string fam = prometheus_name(name) + "_total";
+    write_family_header(os, fam, name, "counter");
+    os << fam << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string fam = prometheus_name(name);
+    write_family_header(os, fam, name, "gauge");
+    os << fam << " " << prometheus_number(v) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string fam = prometheus_name(name);
+    write_family_header(os, fam, name, "histogram");
+    // The registry stores per-bucket counts; Prometheus buckets are
+    // cumulative ("values <= le"), so accumulate while emitting.
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.buckets.size() ? h.buckets[i] : 0;
+      os << fam << "_bucket{le=\"" << prometheus_number(h.bounds[i])
+         << "\"} " << cum << "\n";
+    }
+    os << fam << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << fam << "_sum " << prometheus_number(h.sum) << "\n";
+    os << fam << "_count " << h.count << "\n";
+  }
+}
+
+}  // namespace psa::obs

@@ -1,0 +1,42 @@
+// prometheus.hpp — render a MetricsSnapshot in the Prometheus text
+// exposition format (version 0.0.4), the format `promtool` and every
+// Prometheus scraper understand.
+//
+// Mapping from the registry's dotted names:
+//   counters    psa_<name>_total            (TYPE counter)
+//   gauges      psa_<name>                  (TYPE gauge)
+//   histograms  psa_<name>_bucket{le="..."} (TYPE histogram; buckets are
+//               re-accumulated cumulatively from the registry's per-bucket
+//               counts, closed by le="+Inf"), plus _sum and _count
+//
+// Names are sanitized to the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*
+// ('.', '-', '#', ... collapse to '_'); label values escape backslash,
+// double quote and newline; non-finite numbers render as the format's
+// "NaN" / "+Inf" / "-Inf" literals. Pure functions — the HTTP endpoint
+// calls render_prometheus(Registry::global().snapshot(), ...), tests call
+// it on hand-built snapshots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+namespace psa::obs {
+
+/// "sim.activity_cache.hits" → "psa_sim_activity_cache_hits" (the `prefix`
+/// is prepended verbatim; pass "" to keep the bare sanitized name).
+std::string prometheus_name(std::string_view name,
+                            std::string_view prefix = "psa_");
+
+/// Escape a label value: backslash → \\, double quote → \", newline → \n.
+std::string prometheus_label_escape(std::string_view value);
+
+/// One sample value: "NaN", "+Inf", "-Inf", or shortest-round-trip decimal.
+std::string prometheus_number(double v);
+
+/// Render the whole snapshot. Every family gets # HELP / # TYPE headers.
+void render_prometheus(const MetricsSnapshot& snap, std::ostream& os);
+
+}  // namespace psa::obs

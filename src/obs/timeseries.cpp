@@ -1,0 +1,177 @@
+#include "obs/timeseries.hpp"
+
+#include "obs/trace.hpp"  // json_escape
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace psa::obs {
+namespace {
+
+std::string quantile_suffix(double q) {
+  // 0.5 -> "p50", 0.99 -> "p99", 0.999 -> "p99.9"
+  char buf[32];
+  const double pct = q * 100.0;
+  if (pct == std::floor(pct)) {
+    std::snprintf(buf, sizeof buf, "p%.0f", pct);
+  } else {
+    std::snprintf(buf, sizeof buf, "p%g", pct);
+  }
+  return buf;
+}
+
+void write_compact_number(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(TimeSeriesConfig cfg)
+    : cfg_([&] {
+        cfg.interval_s = std::max(cfg.interval_s, 1.0e-3);
+        cfg.capacity = std::max<std::size_t>(cfg.capacity, 2);
+        return cfg;
+      }()) {
+  Registry& reg = Registry::global();
+  attach_ids_[0] = reg.attach_counter("obs.timeseries.samples", &samples_);
+  attach_ids_[1] =
+      reg.attach_counter("obs.timeseries.dropped_points", &dropped_);
+  attach_ids_[2] = reg.attach_counter("obs.timeseries.overruns", &overruns_);
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() {
+  stop();
+  Registry& reg = Registry::global();
+  for (const std::uint64_t id : attach_ids_) reg.detach(id);
+}
+
+void TimeSeriesSampler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void TimeSeriesSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_ = std::thread();
+}
+
+bool TimeSeriesSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_.joinable() && !stop_requested_;
+}
+
+void TimeSeriesSampler::append(Ring& ring, double t_us, double value) {
+  if (ring.count < cfg_.capacity) {
+    if (ring.points.size() < cfg_.capacity) {
+      ring.points.push_back({t_us, value});
+    } else {
+      ring.points[(ring.first + ring.count) % cfg_.capacity] = {t_us, value};
+    }
+    ++ring.count;
+  } else {
+    ring.points[ring.first] = {t_us, value};
+    ring.first = (ring.first + 1) % cfg_.capacity;
+    dropped_.add(1);
+  }
+}
+
+void TimeSeriesSampler::sample_once() {
+  // Fold the registry outside our own lock: snapshot() synchronizes with
+  // recorders through the registry's shards, not through mu_.
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  const double t_us = now_us();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, v] : snap.counters) {
+    append(series_[name], t_us, static_cast<double>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    append(series_[name], t_us, v);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    append(series_[name + ".count"], t_us, static_cast<double>(h.count));
+    append(series_[name + ".mean"], t_us, h.mean());
+    for (const double q : cfg_.quantiles) {
+      append(series_[name + "." + quantile_suffix(q)], t_us,
+             h.count ? h.quantile(q) : 0.0);
+    }
+  }
+  samples_.add(1);
+}
+
+void TimeSeriesSampler::run_loop() {
+  using clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(cfg_.interval_s));
+  auto deadline = clock::now() + interval;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_until(lock, deadline, [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    sample_once();
+    // Advance along the absolute grid; count (don't absorb) missed slots.
+    deadline += interval;
+    const auto now = clock::now();
+    while (deadline <= now) {
+      deadline += interval;
+      overruns_.add(1);
+    }
+  }
+}
+
+std::vector<SeriesSnapshot> TimeSeriesSampler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SeriesSnapshot> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) {
+    SeriesSnapshot s;
+    s.name = name;
+    s.points.reserve(ring.count);
+    for (std::size_t i = 0; i < ring.count; ++i) {
+      s.points.push_back(ring.points[(ring.first + i) % cfg_.capacity]);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void TimeSeriesSampler::write_json(std::ostream& os) const {
+  const std::vector<SeriesSnapshot> series = snapshot();
+  os << "{\"interval_s\":";
+  write_compact_number(os, cfg_.interval_s);
+  os << ",\"capacity\":" << cfg_.capacity
+     << ",\"samples\":" << samples_taken()
+     << ",\"dropped_points\":" << dropped_points()
+     << ",\"overruns\":" << overruns() << ",\"series\":[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    os << (i ? ",\n  " : "\n  ") << "{\"name\":\"" << json_escape(series[i].name)
+       << "\",\"points\":[";
+    for (std::size_t j = 0; j < series[i].points.size(); ++j) {
+      os << (j ? "," : "") << "[";
+      write_compact_number(os, series[i].points[j].t_us);
+      os << ",";
+      write_compact_number(os, series[i].points[j].value);
+      os << "]";
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace psa::obs

@@ -1,0 +1,109 @@
+// timeseries.hpp — background sampler turning the metrics registry's
+// instantaneous snapshot into fixed-capacity time series.
+//
+// A TimeSeriesSampler wakes on a configurable cadence, folds one
+// Registry::snapshot(), and appends a (t_us, value) point per series:
+//
+//   counters     → the running total (rates are a consumer-side delta)
+//   gauges       → the last-written value
+//   histograms   → <name>.count, <name>.mean, and one series per
+//                  configured quantile (<name>.p50, .p90, .p99 ...)
+//
+// Each series is a fixed-capacity ring: when full, the oldest point is
+// overwritten and dropped_points() grows — memory is bounded no matter how
+// long the daemon runs. The sampler never touches the recording hot path
+// (registry shards stay lock-free); its own state is guarded by one mutex
+// taken per tick and per render, never by the instrumented code.
+//
+// The tick thread aims at an absolute deadline grid (t0 + k*interval). If
+// a tick overruns its slot — a huge registry or a stalled disk — the
+// missed grid points are counted in overruns() rather than silently
+// stretching the cadence.
+//
+// sample_once() is public so tests and single-threaded drivers can pump
+// the sampler deterministically without the background thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace psa::obs {
+
+struct TimeSeriesConfig {
+  double interval_s = 1.0;       // cadence of the background thread
+  std::size_t capacity = 600;    // points kept per series (ring)
+  std::vector<double> quantiles = {0.5, 0.9, 0.99};  // histogram series
+};
+
+struct SeriesPoint {
+  double t_us = 0.0;  // obs::now_us() at the owning tick
+  double value = 0.0;
+};
+
+struct SeriesSnapshot {
+  std::string name;
+  std::vector<SeriesPoint> points;  // oldest first
+};
+
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(TimeSeriesConfig cfg = {});
+  ~TimeSeriesSampler();  // stops the thread if still running
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Launch the background tick thread (no-op when already running).
+  void start();
+  /// Stop and join the tick thread (no-op when not running).
+  void stop();
+  bool running() const;
+
+  /// Take one sample now, on the calling thread.
+  void sample_once();
+
+  /// Copy of every series (safe while the tick thread keeps sampling).
+  std::vector<SeriesSnapshot> snapshot() const;
+
+  std::uint64_t samples_taken() const { return samples_.value(); }
+  std::uint64_t dropped_points() const { return dropped_.value(); }
+  std::uint64_t overruns() const { return overruns_.value(); }
+  const TimeSeriesConfig& config() const { return cfg_; }
+
+  /// {"interval_s":..,"samples":..,"dropped_points":..,"overruns":..,
+  ///  "series":[{"name":"...","points":[[t_us,v],...]},...]}
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Ring {
+    std::vector<SeriesPoint> points;  // ring_[(first + i) % capacity]
+    std::size_t first = 0;
+    std::size_t count = 0;
+  };
+
+  void append(Ring& ring, double t_us, double value);
+  void run_loop();
+
+  const TimeSeriesConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Ring> series_;
+  bool stop_requested_ = false;  // checked by the tick thread under mu_
+  std::condition_variable cv_;   // wakes the tick thread for prompt stop
+  std::thread thread_;
+
+  // Registry-attached health counters (visible in /metrics and exports).
+  Counter samples_;
+  Counter dropped_;
+  Counter overruns_;
+  std::uint64_t attach_ids_[3] = {0, 0, 0};
+};
+
+}  // namespace psa::obs

@@ -5,7 +5,6 @@
 #include <ostream>
 
 namespace psa::obs {
-namespace {
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -29,8 +28,6 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 std::string TraceArg::render_number(double v) {
   char buf[32];

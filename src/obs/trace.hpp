@@ -25,6 +25,10 @@
 
 namespace psa::obs {
 
+/// Escape `s` for use inside a JSON string literal (quotes, backslashes,
+/// control characters). Shared by the trace exporter and the event log.
+std::string json_escape(const std::string& s);
+
 /// One span argument, pre-rendered to its JSON literal (numbers stay bare,
 /// strings get quoted/escaped at export time).
 struct TraceArg {

@@ -228,11 +228,17 @@ std::shared_ptr<const ActivityBundle> ActivitySynthesis::get_or_synthesize(
 }
 
 void ActivitySynthesis::invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
-  buckets_.clear();
-  entries_ = 0;
-  entries_gauge_.set(0.0);
-  invalidations_.add(1);
+  [[maybe_unused]] std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped = entries_;
+    buckets_.clear();
+    entries_ = 0;
+    entries_gauge_.set(0.0);
+    invalidations_.add(1);
+  }
+  PSA_EVENT(kInfo, "sim.activity_cache.invalidated",
+            {{"entries_dropped", dropped}});
 }
 
 void ActivitySynthesis::set_capacity(std::size_t max_entries) {

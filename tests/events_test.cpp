@@ -1,0 +1,171 @@
+// events_test.cpp — the structured event log: total ordering of sequence
+// numbers under parallel_for hammering (the TSan job runs this too), ring
+// capacity and drop accounting, incremental since() reads, the JSONL sink
+// (escaping, line cap), and the PSA_EVENT macro wiring into the global log.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "fixtures.hpp"
+#include "obs/events.hpp"
+#include "obs/obs.hpp"
+
+namespace psa {
+namespace {
+
+// ------------------------------------------------------------- ordering
+
+TEST(EventLog, SeqStrictlyIncreasingFromOne) {
+  obs::EventLog log(16);
+  EXPECT_EQ(log.last_seq(), 0u);
+  EXPECT_EQ(log.emit(obs::Severity::kInfo, "a"), 1u);
+  EXPECT_EQ(log.emit(obs::Severity::kWarn, "b"), 2u);
+  EXPECT_EQ(log.emit(obs::Severity::kAlarm, "c"), 3u);
+  EXPECT_EQ(log.last_seq(), 3u);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, ConcurrentEmittersGetUniqueOrderedSeqs) {
+  tests::ThreadCountGuard guard;
+  set_thread_count(4);
+  obs::EventLog log(8192);
+  constexpr std::size_t kEvents = 4000;
+  parallel_for(0, kEvents, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      log.emit(obs::Severity::kInfo, "hammer", {{"i", i}});
+    }
+  });
+  EXPECT_EQ(log.last_seq(), kEvents);
+  EXPECT_EQ(log.size(), kEvents);
+
+  // The ring must hold every seq exactly once, oldest first.
+  const std::vector<obs::Event> all = log.since(0, kEvents);
+  ASSERT_EQ(all.size(), kEvents);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].seq, i + 1);
+  }
+}
+
+// ------------------------------------------------------ ring + since()
+
+TEST(EventLog, RingDropsOldestAndCountsIt) {
+  obs::EventLog log(4);
+  for (int i = 0; i < 10; ++i) log.emit(obs::Severity::kInfo, "e");
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const auto events = log.since(0);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().seq, 7u);  // 1..6 overwritten
+  EXPECT_EQ(events.back().seq, 10u);
+}
+
+TEST(EventLog, SinceIsIncrementalAndCapped) {
+  obs::EventLog log(64);
+  for (int i = 0; i < 20; ++i) log.emit(obs::Severity::kInfo, "e");
+  EXPECT_EQ(log.since(20).size(), 0u);
+  EXPECT_EQ(log.since(15).size(), 5u);
+  EXPECT_EQ(log.since(15).front().seq, 16u);
+  EXPECT_EQ(log.since(0, 3).size(), 3u);
+  EXPECT_EQ(log.since(0, 3).front().seq, 1u);  // oldest first, then cap
+  // A consumer that fell behind a ring overwrite resumes at the oldest
+  // surviving event rather than erroring.
+  obs::EventLog small(4);
+  for (int i = 0; i < 8; ++i) small.emit(obs::Severity::kInfo, "e");
+  EXPECT_EQ(small.since(2).front().seq, 5u);
+}
+
+TEST(EventLog, ClearKeepsNumbering) {
+  obs::EventLog log(8);
+  log.emit(obs::Severity::kInfo, "a");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.emit(obs::Severity::kInfo, "b"), 2u);
+}
+
+// ----------------------------------------------------------------- JSON
+
+TEST(EventLog, WriteJsonEscapesAndTypesArgs) {
+  obs::EventLog log(8);
+  log.emit(obs::Severity::kAlarm, "monitor.alarm",
+           {{"sensor", std::size_t{10}},
+            {"z", 41.25},
+            {"note", "say \"hi\"\n"}});
+  std::ostringstream os;
+  log.write_jsonl(os);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("\"severity\":\"alarm\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"name\":\"monitor.alarm\""), std::string::npos);
+  EXPECT_NE(line.find("\"sensor\":10"), std::string::npos);
+  EXPECT_NE(line.find("\"z\":41.25"), std::string::npos);
+  // String args are quoted with the quote and newline escaped.
+  EXPECT_NE(line.find("\"note\":\"say \\\"hi\\\"\\n\""), std::string::npos)
+      << line;
+}
+
+TEST(EventLog, SeverityNames) {
+  EXPECT_STREQ(obs::severity_name(obs::Severity::kDebug), "debug");
+  EXPECT_STREQ(obs::severity_name(obs::Severity::kInfo), "info");
+  EXPECT_STREQ(obs::severity_name(obs::Severity::kWarn), "warn");
+  EXPECT_STREQ(obs::severity_name(obs::Severity::kAlarm), "alarm");
+}
+
+// ----------------------------------------------------------------- sink
+
+TEST(EventLog, SinkWritesOneLinePerEventAndCaps) {
+  const std::string path = ::testing::TempDir() + "/psa_events_sink.jsonl";
+  obs::EventLog log(64);
+  ASSERT_TRUE(log.open_sink(path, /*max_lines=*/3));
+  for (int i = 0; i < 6; ++i) {
+    log.emit(obs::Severity::kInfo, "tick", {{"i", i}});
+  }
+  log.close_sink();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  // 3 capped event lines, plus the one-time "sink capped" notice.
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"seq\":3"), std::string::npos);
+  bool capped_notice = false;
+  for (const std::string& l : lines) {
+    if (l.find("sink_capped") != std::string::npos) capped_notice = true;
+  }
+  EXPECT_TRUE(capped_notice);
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, SinkRefusesUnwritablePath) {
+  obs::EventLog log(8);
+  EXPECT_FALSE(log.open_sink("/nonexistent-dir-zz/events.jsonl"));
+  // Emitting after a failed open must not crash.
+  log.emit(obs::Severity::kInfo, "still-fine");
+  EXPECT_EQ(log.sink_lines(), 0u);
+}
+
+// ---------------------------------------------------------------- macro
+
+TEST(EventLog, MacroFeedsGlobalLogWhenEnabled) {
+  const std::uint64_t before = obs::EventLog::global().last_seq();
+  PSA_EVENT(kInfo, "events_test.macro", {{"k", 1}});
+#if PSA_OBS_ENABLED
+  EXPECT_EQ(obs::EventLog::global().last_seq(), before + 1);
+  const auto tail = obs::EventLog::global().since(before, 1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].name, "events_test.macro");
+#else
+  EXPECT_EQ(obs::EventLog::global().last_seq(), before);
+#endif
+}
+
+}  // namespace
+}  // namespace psa

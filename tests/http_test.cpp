@@ -1,0 +1,206 @@
+// http_test.cpp — the telemetry HTTP server over real loopback sockets:
+// ephemeral-port binding, the four standard endpoints, the query parser,
+// 404/405 handling, concurrent clients, and a clean stop/restart cycle.
+// The client half is a deliberately dumb blocking-socket GET so the test
+// exercises the same byte stream curl and a Prometheus scraper would.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http_exposition.hpp"
+#include "obs/events.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
+
+namespace psa {
+namespace {
+
+/// Blocking GET (or arbitrary request line) against 127.0.0.1:port;
+/// returns the full response (headers + body), "" on connect failure.
+std::string http_request(std::uint16_t port, const std::string& target,
+                         const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      method + " " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+std::string body_of(const std::string& resp) {
+  const std::size_t sep = resp.find("\r\n\r\n");
+  return sep == std::string::npos ? "" : resp.substr(sep + 4);
+}
+
+// --------------------------------------------------------- query parsing
+
+TEST(HttpParsing, UrlDecode) {
+  EXPECT_EQ(net::url_decode("plain"), "plain");
+  EXPECT_EQ(net::url_decode("a%20b+c"), "a b c");
+  EXPECT_EQ(net::url_decode("%2Fpath%3F"), "/path?");
+  EXPECT_EQ(net::url_decode("bad%zz"), "bad%zz");  // malformed passes through
+  EXPECT_EQ(net::url_decode("%4"), "%4");          // truncated escape
+}
+
+TEST(HttpParsing, ParseQuery) {
+  const auto q = net::parse_query("since=12&max=5&flag&name=a%20b");
+  EXPECT_EQ(q.at("since"), "12");
+  EXPECT_EQ(q.at("max"), "5");
+  EXPECT_EQ(q.at("flag"), "");
+  EXPECT_EQ(q.at("name"), "a b");
+  EXPECT_TRUE(net::parse_query("").empty());
+}
+
+// -------------------------------------------------------------- serving
+
+TEST(HttpServer, ServesRegisteredHandlerOnEphemeralPort) {
+  net::HttpServer server;
+  server.handle("/ping", [](const net::HttpRequest& req) {
+    EXPECT_EQ(req.method, "GET");
+    return net::HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string resp = http_request(server.port(), "/ping");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(body_of(resp), "pong\n");
+  EXPECT_GE(server.requests_served(), 1u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, UnknownPathIs404AndPostIs405) {
+  net::HttpServer server;
+  server.handle("/only", [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  ASSERT_TRUE(server.start());
+  EXPECT_NE(http_request(server.port(), "/nope").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.port(), "/only", "POST").find("405"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, QueryReachesHandlerDecoded) {
+  net::HttpServer server;
+  server.handle("/echo", [](const net::HttpRequest& req) {
+    return net::HttpResponse{200, "text/plain",
+                             req.query.at("k") + "|" + req.query.at("v")};
+  });
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(body_of(http_request(server.port(), "/echo?k=a%20b&v=2")),
+            "a b|2");
+  server.stop();
+}
+
+TEST(HttpServer, StopThenRestartServesAgain) {
+  net::HttpServer server;
+  server.handle("/ping", [](const net::HttpRequest&) {
+    return net::HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  const std::uint16_t first_port = server.port();
+  EXPECT_NE(http_request(first_port, "/ping").find("200"), std::string::npos);
+  server.stop();
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(body_of(http_request(server.port(), "/ping")), "pong\n");
+  server.stop();
+}
+
+TEST(HttpServer, ConcurrentClientsAllServed) {
+  net::HttpServer server;
+  server.handle("/ping", [](const net::HttpRequest&) {
+    return net::HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::string> bodies(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      bodies[static_cast<std::size_t>(i)] =
+          body_of(http_request(server.port(), "/ping"));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& b : bodies) EXPECT_EQ(b, "pong\n");
+  EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(kClients));
+  server.stop();
+}
+
+// ------------------------------------------------- telemetry endpoints
+
+TEST(HttpTelemetry, MetricsHealthzEventsTimeseries) {
+  obs::Registry::global().counter("httptest.hits").add(7);
+  obs::EventLog events(64);
+  events.emit(obs::Severity::kInfo, "httptest.start");
+  events.emit(obs::Severity::kAlarm, "httptest.alarm", {{"z", 42.0}});
+  obs::TimeSeriesSampler sampler;
+  sampler.sample_once();
+
+  net::HttpServer server;
+  net::install_telemetry_endpoints(server, &events, &sampler,
+                                   [] { return "\"traces\":3"; });
+  ASSERT_TRUE(server.start());
+
+  const std::string metrics = http_request(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("psa_httptest_hits_total 7"), std::string::npos)
+      << body_of(metrics);
+
+  const std::string health = body_of(http_request(server.port(), "/healthz"));
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"last_seq\":2"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"traces\":3"), std::string::npos);
+
+  // since=1 skips the first event; the alarm comes back as one JSON line.
+  const std::string tail =
+      body_of(http_request(server.port(), "/events?since=1"));
+  EXPECT_EQ(tail.find("httptest.start"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("\"name\":\"httptest.alarm\""), std::string::npos);
+  EXPECT_NE(tail.find("\"severity\":\"alarm\""), std::string::npos);
+
+  const std::string ts = body_of(http_request(server.port(), "/timeseries"));
+  EXPECT_NE(ts.find("\"series\":"), std::string::npos);
+  EXPECT_NE(ts.find("httptest.hits"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpTelemetry, NullSamplerReports404OnTimeseries) {
+  obs::EventLog events(8);
+  net::HttpServer server;
+  net::install_telemetry_endpoints(server, &events, nullptr);
+  ASSERT_TRUE(server.start());
+  EXPECT_NE(http_request(server.port(), "/timeseries").find("404"),
+            std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace psa

@@ -1,0 +1,144 @@
+// timeseries_test.cpp — the background metrics sampler: deterministic
+// sample_once() pumping, per-kind series naming (counter, gauge, histogram
+// count/mean/quantiles), ring-capacity drop accounting, the background
+// thread's start/stop lifecycle, and the JSON rendering the /timeseries
+// endpoint returns.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
+
+namespace psa {
+namespace {
+
+// The global registry is append-only, so each test uses its own uniquely
+// prefixed metric names and locates its series by name in the snapshot.
+const obs::SeriesSnapshot* find_series(
+    const std::vector<obs::SeriesSnapshot>& all, const std::string& name) {
+  for (const obs::SeriesSnapshot& s : all) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TimeSeries, CounterAndGaugeSeriesTrackValues) {
+  obs::Registry::global().counter("tstest.a.count").add(2);
+  obs::Registry::global().gauge("tstest.a.gauge").set(2.5);
+
+  obs::TimeSeriesSampler sampler;
+  sampler.sample_once();
+  obs::Registry::global().counter("tstest.a.count").add(3);
+  obs::Registry::global().gauge("tstest.a.gauge").set(-1.0);
+  sampler.sample_once();
+
+  const auto all = sampler.snapshot();
+  const obs::SeriesSnapshot* counter = find_series(all, "tstest.a.count");
+  const obs::SeriesSnapshot* gauge = find_series(all, "tstest.a.gauge");
+  ASSERT_NE(counter, nullptr);
+  ASSERT_NE(gauge, nullptr);
+  ASSERT_EQ(counter->points.size(), 2u);
+  EXPECT_EQ(counter->points[0].value, 2.0);
+  EXPECT_EQ(counter->points[1].value, 5.0);  // running total, not a delta
+  ASSERT_EQ(gauge->points.size(), 2u);
+  EXPECT_EQ(gauge->points[0].value, 2.5);
+  EXPECT_EQ(gauge->points[1].value, -1.0);
+  EXPECT_LE(counter->points[0].t_us, counter->points[1].t_us);
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+}
+
+TEST(TimeSeries, HistogramExpandsToCountMeanQuantiles) {
+  auto& h = obs::Registry::global().histogram(
+      "tstest.b.lat", obs::default_value_bounds());
+  h.record(1.0);
+  h.record(2.0);
+  h.record(3.0);
+
+  obs::TimeSeriesConfig cfg;
+  cfg.quantiles = {0.5, 0.99};
+  obs::TimeSeriesSampler sampler(cfg);
+  sampler.sample_once();
+
+  const auto all = sampler.snapshot();
+  const auto* count = find_series(all, "tstest.b.lat.count");
+  const auto* mean = find_series(all, "tstest.b.lat.mean");
+  const auto* p50 = find_series(all, "tstest.b.lat.p50");
+  const auto* p99 = find_series(all, "tstest.b.lat.p99");
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(mean, nullptr);
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p99, nullptr);
+  EXPECT_EQ(count->points.at(0).value, 3.0);
+  EXPECT_NEAR(mean->points.at(0).value, 2.0, 1e-12);
+  // Bucketed quantile estimates are coarse; just demand sane ordering.
+  EXPECT_LE(p50->points.at(0).value, p99->points.at(0).value);
+}
+
+TEST(TimeSeries, RingDropsOldestPointsAndCountsThem) {
+  obs::Registry::global().gauge("tstest.c.gauge").set(1.0);
+  obs::TimeSeriesConfig cfg;
+  cfg.capacity = 4;
+  obs::TimeSeriesSampler sampler(cfg);
+  for (int i = 0; i < 10; ++i) {
+    obs::Registry::global().gauge("tstest.c.gauge").set(i);
+    sampler.sample_once();
+  }
+  const auto all = sampler.snapshot();
+  const auto* s = find_series(all, "tstest.c.gauge");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->points.size(), 4u);
+  EXPECT_EQ(s->points.back().value, 9.0);  // newest survives
+  EXPECT_EQ(s->points.front().value, 6.0);
+  EXPECT_GT(sampler.dropped_points(), 0u);
+  for (std::size_t i = 1; i < s->points.size(); ++i) {
+    EXPECT_LE(s->points[i - 1].t_us, s->points[i].t_us);
+  }
+}
+
+TEST(TimeSeries, BackgroundThreadTicksAndStopsPromptly) {
+  obs::TimeSeriesConfig cfg;
+  cfg.interval_s = 0.01;
+  obs::TimeSeriesSampler sampler(cfg);
+  EXPECT_FALSE(sampler.running());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  sampler.start();  // idempotent
+
+  // Wait (bounded) for at least two ticks rather than sleeping a fixed
+  // amount — CI machines stall unpredictably.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (sampler.samples_taken() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(sampler.samples_taken(), 2u);
+
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // idempotent
+  const std::uint64_t frozen = sampler.samples_taken();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(sampler.samples_taken(), frozen);  // really stopped
+}
+
+TEST(TimeSeries, WriteJsonCarriesHealthAndSeries) {
+  obs::Registry::global().gauge("tstest.d.gauge").set(7.0);
+  obs::TimeSeriesSampler sampler;
+  sampler.sample_once();
+  std::ostringstream os;
+  sampler.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"series\":"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tstest.d.gauge\""), std::string::npos);
+  EXPECT_NE(json.find(",7]"), std::string::npos) << json;  // [t_us,7] point
+}
+
+}  // namespace
+}  // namespace psa

@@ -1,0 +1,293 @@
+// psa_monitord — long-running telemetry daemon around the run-time monitor.
+//
+// Drives the sentinel-sensor monitoring loop of Section VI-D continuously
+// (rather than RuntimeMonitor's bounded, return-on-first-alarm run) over a
+// scripted schedule: quiet traffic, a mid-run Trojan activation, and an
+// optional measurement-fault window. While the loop runs, the process
+// serves the live telemetry endpoints:
+//
+//   GET /metrics      Prometheus text exposition of the metrics registry
+//   GET /healthz      liveness + schedule position + alarm count
+//   GET /events       structured event log (JSON lines, ?since=SEQ&max=M)
+//   GET /timeseries   background sampler's ring buffers as JSON
+//
+// so a scrape loop or a curl in a second terminal can watch enrollment,
+// the z-score climbing after activation, the alarm event, and the fault
+// arm/disarm transitions as they happen.
+//
+// Flags (beyond the shared --threads / --obs-out / --seed / --smoke):
+//
+//   --port N           HTTP port (default 0 = ephemeral, printed at start)
+//   --bind ADDR        bind address            (default 127.0.0.1)
+//   --traces N         schedule length; 0 = run until SIGINT/SIGTERM
+//   --activate-at N    trace index where the Trojan payload switches on
+//   --fault-at N       trace index where measurement faults arm (0 = never)
+//   --fault-clear-at N trace index where the faults disarm
+//   --interval-ms X    wall-clock pacing between traces
+//   --sample-ms X      time-series sampler cadence
+//   --linger-sec X     keep serving after the schedule finishes
+//   --trojan t1..t4    payload kind                    (default t3)
+//   --events-out FILE  mirror the event log to a JSONL sink
+//
+// --smoke selects the CI schedule (48 traces, activation at 16, a fault
+// window at [32, 40), 50 ms pacing, 3 s linger) and makes the exit status
+// meaningful: 0 iff at least one debounced alarm fired after activation.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "analysis/monitor.hpp"
+#include "analysis/pipeline.hpp"
+#include "bench_util.hpp"
+#include "fault/fault.hpp"
+#include "net/http_exposition.hpp"
+#include "obs/events.hpp"
+#include "obs/obs.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void request_stop(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+// Schedule position shared with the /healthz handler.
+std::atomic<std::size_t> g_trace{0};
+std::atomic<std::size_t> g_alarms{0};
+std::atomic<double> g_last_z{0.0};
+std::atomic<int> g_phase{0};  // 0 enroll, 1 quiet, 2 trojan-active, 3 linger
+
+const char* phase_name(int phase) {
+  switch (phase) {
+    case 0: return "enrolling";
+    case 1: return "quiet";
+    case 2: return "trojan-active";
+    default: return "linger";
+  }
+}
+
+struct Schedule {
+  std::size_t traces = 0;          // 0 = until signal
+  std::size_t activate_at = 64;
+  std::size_t fault_at = 0;        // 0 = never
+  std::size_t fault_clear_at = 0;
+  double interval_ms = 250.0;
+  double sample_ms = 1000.0;
+  double linger_sec = 0.0;
+  psa::trojan::TrojanKind trojan = psa::trojan::TrojanKind::kT3CdmaLeak;
+};
+
+bool parse_extras(int argc, char** argv, Schedule* sched, int* port,
+                  std::string* bind, std::string* events_out) {
+  // Each optional flag overrides the smoke/default schedule already in
+  // *sched; anything unrecognized is an error (this is a daemon, not a
+  // bench wrapping a benchmark library with its own flags).
+  const auto value = [&](int& i) -> const char* {
+    return (i + 1 < argc) ? argv[++i] : nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--port" && (v = value(i))) {
+      *port = std::atoi(v);
+    } else if (arg == "--bind" && (v = value(i))) {
+      *bind = v;
+    } else if (arg == "--traces" && (v = value(i))) {
+      sched->traces = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--activate-at" && (v = value(i))) {
+      sched->activate_at = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--fault-at" && (v = value(i))) {
+      sched->fault_at = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--fault-clear-at" && (v = value(i))) {
+      sched->fault_clear_at = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--interval-ms" && (v = value(i))) {
+      sched->interval_ms = std::strtod(v, nullptr);
+    } else if (arg == "--sample-ms" && (v = value(i))) {
+      sched->sample_ms = std::strtod(v, nullptr);
+    } else if (arg == "--linger-sec" && (v = value(i))) {
+      sched->linger_sec = std::strtod(v, nullptr);
+    } else if (arg == "--events-out" && (v = value(i))) {
+      *events_out = v;
+    } else if (arg == "--trojan" && (v = value(i))) {
+      const std::string kind = v;
+      using psa::trojan::TrojanKind;
+      if (kind == "t1") sched->trojan = TrojanKind::kT1AmCarrier;
+      else if (kind == "t2") sched->trojan = TrojanKind::kT2KeyLeak;
+      else if (kind == "t3") sched->trojan = TrojanKind::kT3CdmaLeak;
+      else if (kind == "t4") sched->trojan = TrojanKind::kT4DoS;
+      else {
+        std::fprintf(stderr, "unknown --trojan kind: %s (want t1..t4)\n", v);
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Sleep `ms` in short slices so SIGINT lands within ~50 ms.
+void interruptible_sleep_ms(double ms) {
+  using clock = std::chrono::steady_clock;
+  const auto until =
+      clock::now() + std::chrono::duration<double, std::milli>(ms);
+  while (!g_stop.load(std::memory_order_relaxed) && clock::now() < until) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psa;
+
+  bench::ArgSpec spec;
+  spec.seed = true;
+  spec.smoke = true;
+  const bench::Args args = bench::parse_args(argc, argv, spec);
+
+  Schedule sched;
+  if (args.smoke) {
+    sched.traces = 48;
+    sched.activate_at = 16;
+    sched.fault_at = 32;
+    sched.fault_clear_at = 40;
+    sched.interval_ms = 50.0;
+    sched.sample_ms = 200.0;
+    sched.linger_sec = 3.0;
+  }
+  int port = 0;
+  std::string bind = "127.0.0.1";
+  std::string events_out;
+  if (!parse_extras(argc, argv, &sched, &port, &bind, &events_out)) return 2;
+  if (sched.fault_clear_at == 0) sched.fault_clear_at = sched.fault_at + 8;
+
+  // This *is* the observability daemon — telemetry on unconditionally.
+  obs::set_enabled(true);
+  if (!events_out.empty()) obs::EventLog::global().open_sink(events_out);
+
+  // bench_util's obs-out handler may have installed dump-and-reraise
+  // signal handlers; the daemon's graceful loop exit takes precedence
+  // (a clean exit still runs the at-exit export).
+  std::signal(SIGINT, request_stop);
+  std::signal(SIGTERM, request_stop);
+
+  // Own chip (not bench::TestBench) so the fault injector can arm
+  // measurement faults on a mutable simulator mid-run.
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+  analysis::Pipeline pipeline(chip);
+  const sim::Scenario quiet = sim::Scenario::baseline(args.seed);
+  sim::Scenario active = sim::Scenario::with_trojan(sched.trojan, args.seed);
+
+  obs::TimeSeriesConfig ts_cfg;
+  ts_cfg.interval_s = sched.sample_ms / 1e3;
+  obs::TimeSeriesSampler sampler(ts_cfg);
+  sampler.start();
+
+  net::HttpServer server;
+  net::install_telemetry_endpoints(
+      server, &obs::EventLog::global(), &sampler, [] {
+        std::ostringstream os;
+        os << "\"trace\":" << g_trace.load(std::memory_order_relaxed)
+           << ",\"alarms\":" << g_alarms.load(std::memory_order_relaxed)
+           << ",\"z\":" << g_last_z.load(std::memory_order_relaxed)
+           << ",\"phase\":\""
+           << phase_name(g_phase.load(std::memory_order_relaxed)) << "\"";
+        return os.str();
+      });
+  net::HttpServer::Options opts;
+  opts.bind_address = bind;
+  opts.port = static_cast<std::uint16_t>(port);
+  if (!server.start(opts)) {
+    std::fprintf(stderr, "psa_monitord: cannot bind %s:%d\n", bind.c_str(),
+                 port);
+    return 1;
+  }
+  std::printf("psa_monitord: serving http://%s:%u (metrics healthz events "
+              "timeseries)\n", bind.c_str(), server.port());
+  std::fflush(stdout);
+  PSA_EVENT(kInfo, "monitord.started",
+            {{"port", static_cast<std::size_t>(server.port())},
+             {"traces", sched.traces},
+             {"activate_at", sched.activate_at}});
+
+  // Enrollment happens live, before the schedule: scrapers see the phase
+  // flip from "enrolling" to "quiet" on /healthz.
+  pipeline.enroll(quiet);
+  g_phase.store(1, std::memory_order_relaxed);
+  PSA_EVENT(kInfo, "monitord.enrolled",
+            {{"sensors", pipeline.config().enrollment_traces}});
+
+  analysis::MonitorConfig mcfg;
+  analysis::MonitorState state(mcfg);
+  const std::size_t sentinel = mcfg.sentinel_sensor;
+  fault::FaultPlan fault_plan;
+  fault_plan.seed = args.seed;
+  fault_plan.measurement.noise_scale = 1.6;
+  fault_plan.measurement.temperature_offset_k = 6.0;
+  const fault::FaultInjector injector(fault_plan);
+
+  bool alarm_latched = false;
+  for (std::size_t i = 0;
+       (sched.traces == 0 || i < sched.traces) &&
+       !g_stop.load(std::memory_order_relaxed);
+       ++i) {
+    const bool trojan_on = i >= sched.activate_at;
+    g_phase.store(trojan_on ? 2 : 1, std::memory_order_relaxed);
+
+    if (sched.fault_at != 0 && i == sched.fault_at) injector.arm(chip);
+    if (sched.fault_at != 0 && i == sched.fault_clear_at) {
+      fault::FaultInjector::disarm(chip);
+    }
+
+    sim::Scenario s = trojan_on ? active : quiet;
+    s.seed = quiet.seed + 7919 * (i + 1);
+    const dsp::Spectrum avg = state.push(pipeline.single_sweep(sentinel, s));
+    const analysis::DetectionResult d = pipeline.score_spectrum(sentinel, avg);
+    const bool alarm = state.record(d.detected);
+    if (alarm && !alarm_latched && trojan_on) {
+      g_alarms.fetch_add(1, std::memory_order_relaxed);
+      PSA_COUNTER_ADD("analysis.monitor.alarms", 1);
+      PSA_EVENT(kAlarm, "monitor.alarm",
+                {{"sensor", sentinel},
+                 {"trace", i},
+                 {"z", d.score},
+                 {"peak_freq_hz", d.peak_freq_hz},
+                 {"traces_after_activation", i - sched.activate_at + 1}});
+    }
+    alarm_latched = alarm;
+
+    g_trace.store(i + 1, std::memory_order_relaxed);
+    g_last_z.store(d.score, std::memory_order_relaxed);
+    PSA_GAUGE_SET("monitord.trace_index", static_cast<double>(i + 1));
+    PSA_GAUGE_SET("monitord.z_score", d.score);
+    PSA_GAUGE_SET("monitord.alarm_active", alarm ? 1.0 : 0.0);
+
+    interruptible_sleep_ms(sched.interval_ms);
+  }
+
+  g_phase.store(3, std::memory_order_relaxed);
+  const std::size_t alarms = g_alarms.load(std::memory_order_relaxed);
+  PSA_EVENT(kInfo, "monitord.schedule_done",
+            {{"traces", g_trace.load(std::memory_order_relaxed)},
+             {"alarms", alarms}});
+  if (sched.linger_sec > 0.0) interruptible_sleep_ms(sched.linger_sec * 1e3);
+
+  server.stop();
+  sampler.stop();
+  obs::EventLog::global().close_sink();
+  std::printf("psa_monitord: %zu trace(s), %zu alarm(s), %llu request(s)\n",
+              g_trace.load(std::memory_order_relaxed), alarms,
+              static_cast<unsigned long long>(server.requests_served()));
+  if (args.smoke) return alarms > 0 ? 0 : 1;
+  return 0;
+}
