@@ -5,21 +5,27 @@
 // (sensor, trace) pair re-synthesizes the scenario's switching activity from
 // scratch (ChipSimulator::measure_reference) and sweeps it through the
 // uncached naive-FFT spectrum chain (dsp::amplitude_spectrum_reference),
-// with the old per-sensor seed salt. The "after" arm is the production
-// Pipeline::scan_scores: activity is synthesized ONCE per trace and
-// measure_batch fans the cheap per-sensor tails out of the shared bundle.
+// with the old per-sensor seed salt — pinned to scalar dispatch, as the
+// seed era was. The "after (scalar)" arm is the production
+// Pipeline::scan_scores with simd dispatch forced to the scalar reference;
+// "after (simd)" re-times it under the best ISA the host supports. The two
+// must produce bit-identical scores (the simd layer's contract), which this
+// bench asserts with a memcmp every run.
 //
-// Both arms run single-threaded for the headline speedup (so the comparison
-// measures the shared-synthesis engine, not the thread pool); an extra
-// multi-thread "after" row shows the two optimizations compose.
+// Timings are best-of-N reps per arm (minimum wall time = least scheduler
+// noise), with the rep count recorded per arm in the JSON so the CI gate
+// knows what it is comparing.
 //
 // Usage: bench_scan_throughput [--smoke] [--out FILE] [--threads N]
-//                              [--sampler-ms N]
-//   --smoke        reduced trace/average counts for CI (same code paths)
-//   --out FILE     machine-readable results, default BENCH_scan.json
-//   --sampler-ms N re-time the single-thread "after" arm with telemetry on
-//                  and a time-series sampler ticking every N ms, reporting
-//                  the observability overhead (acceptance: < 2%)
+//                              [--sampler-ms N] [--require-scaling]
+//   --smoke            reduced trace/average counts for CI (same code paths)
+//   --out FILE         machine-readable results, default BENCH_scan.json
+//   --sampler-ms N     re-time the single-thread simd arm with telemetry on
+//                      and a time-series sampler ticking every N ms,
+//                      reporting the observability overhead (budget: < 2%)
+//   --require-scaling  exit non-zero if the multi-thread arm's traces/s is
+//                      below the single-thread arm's (the CI scaling gate;
+//                      only meaningful on a genuinely multicore host)
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -34,6 +40,7 @@
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/simd/simd.hpp"
 #include "dsp/spectrum.hpp"
 #include "obs/obs.hpp"
 #include "obs/timeseries.hpp"
@@ -65,9 +72,12 @@ int main(int argc, char** argv) {
   const std::size_t extra_threads = args.threads ? args.threads : 4;
 
   double sampler_ms = 0.0;  // 0 = skip the telemetry-overhead arm
+  bool require_scaling = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sampler-ms") == 0 && i + 1 < argc) {
       sampler_ms = std::strtod(argv[i + 1], nullptr);
+    } else if (std::strcmp(argv[i], "--require-scaling") == 0) {
+      require_scaling = true;
     }
   }
 
@@ -77,16 +87,20 @@ int main(int argc, char** argv) {
     cfg.enrollment_traces = 3;
     cfg.detection_averages = 2;
   }
-  const int reps = smoke ? 1 : 3;
+  // Best-of-N: the minimum over reps is the run least disturbed by the
+  // scheduler, which is what a regression gate should compare. Smoke mode
+  // used to report a single rep — noisy enough to trip CI on a busy runner.
+  const int reps = smoke ? 3 : 5;
 
+  const simd::Isa best_isa = simd::best_supported_isa();
   bench::print_banner(
       "SCAN THROUGHPUT: shared-synthesis scan_scores vs per-sensor seed path",
       "(engineering bench, no paper counterpart) single-thread wall time of "
       "one 16-sensor scan, before vs after");
   std::printf("config: cycles_per_trace=%zu detection_averages=%zu "
-              "reps=%d%s\n\n",
+              "reps=%d (best-of) simd=%s%s\n\n",
               cfg.cycles_per_trace, cfg.detection_averages, reps,
-              smoke ? "  [smoke]" : "");
+              simd::isa_name(best_isa), smoke ? "  [smoke]" : "");
 
   set_thread_count(1);
   auto& tb = bench::TestBench::instance();
@@ -96,7 +110,19 @@ int main(int argc, char** argv) {
       sim::Scenario::with_trojan(trojan::TrojanKind::kT3CdmaLeak, 42);
   const std::size_t traces_per_scan = 16 * cfg.detection_averages;
 
-  // ---------- BEFORE: the seed-era scan, one sensor at a time.
+  const auto best_of = [&](const std::function<void()>& run) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      run();
+      best = std::min(best, seconds_since(t0));
+    }
+    return best;
+  };
+
+  // ---------- BEFORE: the seed-era scan, one sensor at a time, scalar
+  // dispatch (the simd layer did not exist in the seed era).
+  simd::set_isa(simd::Isa::kScalar);
   const auto before_scan = [&]() {
     std::array<double, 16> scores{};
     for (std::size_t k = 0; k < 16; ++k) {
@@ -122,15 +148,26 @@ int main(int argc, char** argv) {
   };
 
   const std::array<double, 16> before_scores = before_scan();  // warm-up
-  auto t0 = std::chrono::steady_clock::now();
-  for (int r = 0; r < reps; ++r) (void)before_scan();
-  const double before_s = seconds_since(t0) / reps;
+  const double before_s = best_of([&] { (void)before_scan(); });
 
-  // ---------- AFTER: production scan_scores, still one thread.
-  const std::array<double, 16> after_scores = pipeline.scan_scores(scan);
-  t0 = std::chrono::steady_clock::now();
-  for (int r = 0; r < reps; ++r) (void)pipeline.scan_scores(scan);
-  const double after_s = seconds_since(t0) / reps;
+  // ---------- AFTER (scalar): production scan_scores, scalar dispatch.
+  const std::array<double, 16> scalar_scores = pipeline.scan_scores(scan);
+  const double after_scalar_s =
+      best_of([&] { (void)pipeline.scan_scores(scan); });
+
+  // ---------- AFTER (simd): same scan under the best ISA the host has.
+  // With AVX2 this is the vectorized hot path; without it the two after
+  // arms time the same code and speedup_simd reports ~1.0x.
+  simd::set_isa(best_isa);
+  const std::array<double, 16> after_scores =
+      pipeline.scan_scores(scan);  // warm-up under the new dispatch
+  const double after_s = best_of([&] { (void)pipeline.scan_scores(scan); });
+
+  // The simd contract is bit-identity, not approximation: the scalar and
+  // vector arms must agree to the last bit or the dispatch layer is broken.
+  const bool simd_bits_ok =
+      std::memcmp(scalar_scores.data(), after_scores.data(),
+                  sizeof(scalar_scores)) == 0;
 
   // ---------- AFTER + telemetry: the sampler and metric counters must be
   // measurement noise on the scan (the < 2% observability budget).
@@ -143,29 +180,36 @@ int main(int argc, char** argv) {
     obs::TimeSeriesSampler sampler(ts_cfg);
     sampler.start();
     (void)pipeline.scan_scores(scan);  // warm-up with telemetry live
-    t0 = std::chrono::steady_clock::now();
-    for (int r = 0; r < reps; ++r) (void)pipeline.scan_scores(scan);
-    sampled_s = seconds_since(t0) / reps;
+    sampled_s = best_of([&] { (void)pipeline.scan_scores(scan); });
     sampler.stop();
     obs::set_enabled(was_enabled);
   }
 
-  // ---------- AFTER, multi-thread: the two optimizations compose.
+  // ---------- AFTER, multi-thread: all three optimizations compose.
   set_thread_count(extra_threads);
   (void)pipeline.scan_scores(scan);  // warm-up at the new count
-  t0 = std::chrono::steady_clock::now();
-  for (int r = 0; r < reps; ++r) (void)pipeline.scan_scores(scan);
-  const double after_mt_s = seconds_since(t0) / reps;
+  const double after_mt_s = best_of([&] { (void)pipeline.scan_scores(scan); });
   set_thread_count(1);
 
-  const double speedup = before_s / after_s;
+  const double speedup = before_s / after_scalar_s;
+  const double speedup_simd = after_scalar_s / after_s;
+  const double mt_scaling = after_s / after_mt_s;
   Table table({"arm", "threads", "scan [ms]", "traces/s", "speedup"});
   table.add_row({"before (per-sensor reference)", "1", fmt(before_s * 1e3, 1),
                  fmt(traces_per_scan / before_s, 1), "1.00x"});
-  table.add_row({"after (shared synthesis)", "1", fmt(after_s * 1e3, 1),
-                 fmt(traces_per_scan / after_s, 1), fmt(speedup, 2) + "x"});
-  table.add_row({"after (shared synthesis)", std::to_string(extra_threads),
-                 fmt(after_mt_s * 1e3, 1), fmt(traces_per_scan / after_mt_s, 1),
+  table.add_row({"after (shared synthesis, scalar)", "1",
+                 fmt(after_scalar_s * 1e3, 1),
+                 fmt(traces_per_scan / after_scalar_s, 1),
+                 fmt(speedup, 2) + "x"});
+  table.add_row({std::string("after (shared synthesis, ") +
+                     simd::isa_name(best_isa) + ")",
+                 "1", fmt(after_s * 1e3, 1),
+                 fmt(traces_per_scan / after_s, 1),
+                 fmt(before_s / after_s, 2) + "x"});
+  table.add_row({std::string("after (shared synthesis, ") +
+                     simd::isa_name(best_isa) + ")",
+                 std::to_string(extra_threads), fmt(after_mt_s * 1e3, 1),
+                 fmt(traces_per_scan / after_mt_s, 1),
                  fmt(before_s / after_mt_s, 2) + "x"});
   if (sampler_ms > 0.0) {
     table.add_row({"after + sampler (" + fmt(sampler_ms, 0) + " ms tick)",
@@ -174,9 +218,13 @@ int main(int argc, char** argv) {
                    fmt(before_s / sampled_s, 2) + "x"});
   }
   table.print(std::cout);
+  std::printf("\nsimd arm vs scalar arm: %.2fx, scores %s\n", speedup_simd,
+              simd_bits_ok ? "bit-identical" : "DIVERGED");
+  std::printf("%zu-thread scaling vs 1 thread: %.2fx\n", extra_threads,
+              mt_scaling);
   if (sampler_ms > 0.0) {
     const double overhead = (sampled_s - after_s) / after_s * 100.0;
-    std::printf("\ntelemetry overhead (sampler on vs off): %+.2f%%\n",
+    std::printf("telemetry overhead (sampler on vs off): %+.2f%%\n",
                 overhead);
   }
 
@@ -192,6 +240,20 @@ int main(int argc, char** argv) {
               "(%zu entries)\n",
               as.hits, as.misses, as.evictions, as.entries);
 
+  const bool scaling_ok = !require_scaling || after_mt_s <= after_s;
+  if (!scaling_ok) {
+    std::fprintf(stderr,
+                 "FAIL: %zu-thread arm (%.1f traces/s) is slower than 1 "
+                 "thread (%.1f traces/s)\n",
+                 extra_threads, traces_per_scan / after_mt_s,
+                 traces_per_scan / after_s);
+  }
+  if (!simd_bits_ok) {
+    std::fprintf(stderr,
+                 "FAIL: scalar and %s dispatch produced different scores\n",
+                 simd::isa_name(best_isa));
+  }
+
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"bench\": \"scan_throughput\",\n"
@@ -200,15 +262,27 @@ int main(int argc, char** argv) {
        << "  \"detection_averages\": " << cfg.detection_averages << ",\n"
        << "  \"sensors\": 16,\n"
        << "  \"traces_per_scan\": " << traces_per_scan << ",\n"
-       << "  \"reps\": " << reps << ",\n"
-       << "  \"before\": {\"threads\": 1, \"scan_ms\": " << before_s * 1e3
+       << "  \"timing\": \"best_of_reps\",\n"
+       << "  \"simd_isa\": \"" << simd::isa_name(best_isa) << "\",\n"
+       << "  \"before\": {\"threads\": 1, \"simd\": \"scalar\", \"reps\": "
+       << reps << ", \"scan_ms\": " << before_s * 1e3
        << ", \"traces_per_s\": " << traces_per_scan / before_s << "},\n"
-       << "  \"after\": {\"threads\": 1, \"scan_ms\": " << after_s * 1e3
+       << "  \"after_scalar\": {\"threads\": 1, \"simd\": \"scalar\", "
+          "\"reps\": "
+       << reps << ", \"scan_ms\": " << after_scalar_s * 1e3
+       << ", \"traces_per_s\": " << traces_per_scan / after_scalar_s << "},\n"
+       << "  \"after\": {\"threads\": 1, \"simd\": \"" << simd::isa_name(best_isa)
+       << "\", \"reps\": " << reps << ", \"scan_ms\": " << after_s * 1e3
        << ", \"traces_per_s\": " << traces_per_scan / after_s << "},\n"
        << "  \"after_parallel\": {\"threads\": " << extra_threads
-       << ", \"scan_ms\": " << after_mt_s * 1e3
+       << ", \"simd\": \"" << simd::isa_name(best_isa) << "\", \"reps\": "
+       << reps << ", \"scan_ms\": " << after_mt_s * 1e3
        << ", \"traces_per_s\": " << traces_per_scan / after_mt_s << "},\n"
-       << "  \"speedup_single_thread\": " << speedup << ",\n";
+       << "  \"speedup_single_thread\": " << speedup << ",\n"
+       << "  \"speedup_simd\": " << speedup_simd << ",\n"
+       << "  \"multithread_scaling\": " << mt_scaling << ",\n"
+       << "  \"simd_bit_identical\": " << (simd_bits_ok ? "true" : "false")
+       << ",\n";
   if (sampler_ms > 0.0) {
     json << "  \"sampler\": {\"interval_ms\": " << sampler_ms
          << ", \"scan_ms\": " << sampled_s * 1e3
@@ -219,8 +293,8 @@ int main(int argc, char** argv) {
        << "  \"hottest_sensor_agrees\": " << (same_winner ? "true" : "false")
        << "\n}\n";
   json.close();
-  std::printf("wrote %s (single-thread speedup %.2fx)\n", out_path.c_str(),
-              speedup);
+  std::printf("wrote %s (single-thread speedup %.2fx, simd %.2fx)\n",
+              out_path.c_str(), speedup, speedup_simd);
 
-  return same_winner ? 0 : 1;
+  return (same_winner && simd_bits_ok && scaling_ok) ? 0 : 1;
 }

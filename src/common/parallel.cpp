@@ -41,6 +41,28 @@ ThreadPool& locked_global_pool() {
 
 }  // namespace
 
+ChunkPlan plan_chunks(std::size_t begin, std::size_t end, std::size_t chunk,
+                      std::size_t participants) {
+  ChunkPlan plan;
+  plan.begin = begin;
+  plan.count = end > begin ? end - begin : 0;
+  if (plan.count == 0) return plan;
+  if (chunk > 0) {
+    plan.uniform = chunk;
+    plan.n_chunks = (plan.count + chunk - 1) / chunk;
+    return plan;
+  }
+  // Default: one near-equal chunk per participant (workers + caller), never
+  // more chunks than indices. Balancing beats the old ceil-division default,
+  // which could plan `participants` chunks where the last one was a sliver —
+  // one participant idled while another's chunk bounded the wall time.
+  const std::size_t p = std::max<std::size_t>(participants, 1);
+  plan.n_chunks = std::min(plan.count, p);
+  plan.base = plan.count / plan.n_chunks;
+  plan.rem = plan.count % plan.n_chunks;
+  return plan;
+}
+
 ThreadPool::ThreadPool(std::size_t n_threads) {
   const std::size_t n = std::max<std::size_t>(n_threads, 1);
   // n workers *including* the caller thread that joins in parallel_for, so
@@ -78,21 +100,104 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   return fut;
 }
 
+void ThreadPool::fork_join(std::size_t n_helpers,
+                           const std::function<void()>& fn) {
+  n_helpers = std::min(n_helpers, workers_.size());
+  if (n_helpers == 0 || on_worker_thread()) {
+    fn();
+    return;
+  }
+
+  HelperBatch batch;
+  batch.fn = &fn;
+  batch.unclaimed = n_helpers;
+  batch.outstanding = n_helpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    helper_queue_.push_back(&batch);
+  }
+  if (n_helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+
+  // The caller is a full participant: run the same claim loop inline while
+  // the workers wake up.
+  std::exception_ptr caller_error;
+  const bool was_in_pool = t_in_pool_work;
+  t_in_pool_work = true;
+  try {
+    fn();
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  t_in_pool_work = was_in_pool;
+
+  // Revoke whatever no worker claimed: if the chunks are all gone (typical
+  // on a busy or single-core machine where the caller outran the wakeups),
+  // joining would only buy context switches.
+  std::size_t revoked = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (batch.unclaimed > 0) {
+      revoked = batch.unclaimed;
+      batch.unclaimed = 0;
+      for (auto it = helper_queue_.begin(); it != helper_queue_.end(); ++it) {
+        if (*it == &batch) {
+          helper_queue_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(batch.mu);
+    batch.outstanding -= revoked;
+    batch.done_cv.wait(lock, [&batch] { return batch.outstanding == 0; });
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
 bool ThreadPool::on_worker_thread() const { return t_in_pool_work; }
 
 void ThreadPool::worker_loop() {
   t_in_pool_work = true;
   for (;;) {
+    HelperBatch* batch = nullptr;
     std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.erase(queue_.begin());
-      PSA_GAUGE_SET("common.pool.queue_depth", queue_.size());
+      cv_.wait(lock, [this] {
+        return stop_ || !queue_.empty() || !helper_queue_.empty();
+      });
+      if (stop_ && queue_.empty() && helper_queue_.empty()) return;
+      if (!helper_queue_.empty()) {
+        batch = helper_queue_.front();
+        if (--batch->unclaimed == 0) helper_queue_.pop_front();
+      } else {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        PSA_GAUGE_SET("common.pool.queue_depth", queue_.size());
+      }
     }
-    task();  // packaged_task captures exceptions into its future
+    if (batch != nullptr) {
+      std::exception_ptr err;
+      try {
+        (*batch->fn)();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      // Notify while holding the batch mutex: the caller may destroy the
+      // batch the moment outstanding hits zero, so the wake must happen
+      // before this worker can race with that destruction.
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (err && !batch->error) batch->error = err;
+      if (--batch->outstanding == 0) batch->done_cv.notify_all();
+    } else {
+      task();  // packaged_task captures exceptions into its future
+    }
   }
 }
 
@@ -116,15 +221,10 @@ void set_thread_count(std::size_t n) {
 void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
                   const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
-  const std::size_t count = end - begin;
   ThreadPool& pool = ThreadPool::global();
-  const std::size_t threads = pool.size() + 1;
+  const ChunkPlan plan = plan_chunks(begin, end, chunk, pool.size() + 1);
 
-  if (chunk == 0) chunk = (count + threads - 1) / threads;
-  chunk = std::max<std::size_t>(chunk, 1);
-  const std::size_t n_chunks = (count + chunk - 1) / chunk;
-
-  if (threads == 1 || n_chunks == 1 || pool.on_worker_thread()) {
+  if (pool.size() == 0 || plan.n_chunks == 1 || pool.on_worker_thread()) {
     // Serial fallback: single thread, trivially small range, or nested call
     // from inside the pool (re-entering the queue could deadlock).
 #if PSA_OBS_ENABLED
@@ -144,14 +244,15 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
   PSA_COUNTER_ADD("common.pool.parallel_for_calls", 1);
 
   // Chunks are claimed from a shared counter by the workers *and* the
-  // calling thread, so an idle caller never just blocks on the pool.
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto run_chunks = [begin, end, chunk, n_chunks, next, &fn] {
+  // calling thread, so an idle caller never just blocks on the pool. The
+  // counter can live on the stack: fork_join joins (or revokes) every
+  // helper before returning.
+  std::atomic<std::size_t> next{0};
+  const std::function<void()> run_chunks = [&plan, &next, &fn] {
     for (;;) {
-      const std::size_t c = next->fetch_add(1, std::memory_order_relaxed);
-      if (c >= n_chunks) return;
-      const std::size_t lo = begin + c * chunk;
-      const std::size_t hi = std::min(end, lo + chunk);
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= plan.n_chunks) return;
+      const auto [lo, hi] = plan.bounds(c);
       PSA_COUNTER_ADD("common.pool.chunks", 1);
 #if PSA_OBS_ENABLED
       // Per-worker busy time needs two clock reads per chunk; only pay
@@ -169,31 +270,7 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
     }
   };
 
-  const std::size_t helpers = std::min(pool.size(), n_chunks - 1);
-  std::vector<std::future<void>> futs;
-  futs.reserve(helpers);
-  for (std::size_t i = 0; i < helpers; ++i) {
-    futs.push_back(pool.submit(run_chunks));
-  }
-
-  std::exception_ptr first_error;
-  const bool was_in_pool = t_in_pool_work;
-  t_in_pool_work = true;  // our own chunks count as pool work for nesting
-  try {
-    run_chunks();
-  } catch (...) {
-    first_error = std::current_exception();
-  }
-  t_in_pool_work = was_in_pool;
-
-  for (std::future<void>& f : futs) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  pool.fork_join(std::min(pool.size(), plan.n_chunks - 1), run_chunks);
 }
 
 void parallel_invoke(std::vector<std::function<void()>> fns) {

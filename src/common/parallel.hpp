@@ -19,17 +19,62 @@
 // calls issued *from inside a pool worker* also run inline — nested
 // parallelism degrades to serial instead of deadlocking on the pool's own
 // queue.
+//
+// Fan-out cost: `parallel_for` dispatches through `ThreadPool::fork_join`,
+// which publishes ONE shared batch record per call (no per-chunk or
+// per-helper std::function/packaged_task allocation, one lock, one wake).
+// Helpers that never picked the batch up by the time the caller finishes
+// its own chunks are revoked at the join, so an oversubscribed or busy
+// machine degrades to the serial cost instead of blocking on context
+// switches — this is what fixed the 4-thread scan-throughput regression.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace psa {
+
+/// How parallel_for partitions [begin, end): either uniform chunks of a
+/// caller-chosen size, or — for chunk == 0 — exactly one near-equal chunk
+/// per available participant (pool workers + the calling thread), so the
+/// default never manufactures more scheduling slots than threads and never
+/// leaves a participant idle while another runs two chunks.
+struct ChunkPlan {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  std::size_t n_chunks = 0;
+  std::size_t uniform = 0;  // > 0: fixed chunk size; 0: balanced partition
+  std::size_t base = 0;     // balanced: count / n_chunks
+  std::size_t rem = 0;      // balanced: count % n_chunks (first `rem` chunks
+                            // get one extra index)
+
+  /// Half-open index range of chunk c (c < n_chunks).
+  std::pair<std::size_t, std::size_t> bounds(std::size_t c) const {
+    if (uniform > 0) {
+      const std::size_t lo = begin + c * uniform;
+      const std::size_t hi_cap = begin + count;
+      const std::size_t hi = lo + uniform < hi_cap ? lo + uniform : hi_cap;
+      return {lo, hi};
+    }
+    const std::size_t extra = c < rem ? c : rem;
+    const std::size_t lo = begin + c * base + extra;
+    return {lo, lo + base + (c < rem ? 1 : 0)};
+  }
+};
+
+/// Pure chunk-partition planning for parallel_for (exposed for tests).
+/// chunk > 0: ceil(count / chunk) uniform chunks. chunk == 0: a balanced
+/// partition into min(count, participants) chunks whose sizes differ by at
+/// most one. An empty range plans zero chunks.
+ChunkPlan plan_chunks(std::size_t begin, std::size_t end, std::size_t chunk,
+                      std::size_t participants);
 
 class ThreadPool {
  public:
@@ -46,6 +91,15 @@ class ThreadPool {
   /// Enqueue a task; the future resolves when it finishes (or rethrows).
   std::future<void> submit(std::function<void()> fn);
 
+  /// Fan-out primitive behind parallel_for: make `fn` claimable by up to
+  /// `n_helpers` workers with a single lock + wake (no per-helper task
+  /// allocation), run `fn` once on the calling thread too, then wait for
+  /// every helper that actually claimed it. Claims still unclaimed when the
+  /// caller finishes are revoked — a busy or oversubscribed pool costs the
+  /// caller nothing beyond its own inline run. The caller's exception wins;
+  /// otherwise the first helper exception is rethrown.
+  void fork_join(std::size_t n_helpers, const std::function<void()>& fn);
+
   /// True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const;
 
@@ -55,10 +109,23 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// One parallel_for fan-out: workers claim it from helper_queue_ instead
+  /// of receiving per-chunk tasks. Lives on the fork_join caller's stack;
+  /// `unclaimed` is guarded by the pool mutex, the join state by `mu`.
+  struct HelperBatch {
+    const std::function<void()>* fn = nullptr;
+    std::size_t unclaimed = 0;    // guarded by ThreadPool::mu_
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t outstanding = 0;  // guarded by mu
+    std::exception_ptr error;     // guarded by mu
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::vector<std::packaged_task<void()>> queue_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<HelperBatch*> helper_queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
@@ -74,7 +141,8 @@ std::size_t thread_count();
 void set_thread_count(std::size_t n);
 
 /// Run `fn(chunk_begin, chunk_end)` over a partition of [begin, end) into
-/// chunks of at most `chunk` indices (chunk == 0 picks one chunk per worker).
+/// chunks of at most `chunk` indices (chunk == 0 plans one balanced chunk
+/// per participant — pool workers plus the calling thread; see plan_chunks).
 /// Chunks execute on the global pool plus the calling thread; the call
 /// returns after every chunk finishes. The first exception thrown by any
 /// chunk is rethrown on the caller. Bodies must write only to disjoint,

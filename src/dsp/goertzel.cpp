@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "common/simd/simd.hpp"
 #include "common/units.hpp"
 #include "dsp/window.hpp"
 
@@ -39,6 +41,9 @@ ZeroSpanTrace zero_span(std::span<const double> signal, double sample_rate_hz,
   if (block == 0 || hop == 0 || block > signal.size()) {
     throw std::invalid_argument("zero_span: bad block/hop");
   }
+  if (sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("zero_span: bad sample rate");
+  }
   const std::vector<double> win = make_window(WindowKind::kHann, block);
   const double cg = coherent_gain(win);
 
@@ -47,12 +52,34 @@ ZeroSpanTrace zero_span(std::span<const double> signal, double sample_rate_hz,
   tr.resolution_bw_hz =
       enbw_bins(win) * sample_rate_hz / static_cast<double>(block);
 
-  std::vector<double> buf(block);
+  // All hop offsets first, then one batched Goertzel pass: the simd kernel
+  // runs four windowed recurrences per register (bit-identical to looping
+  // goertzel() over each block; see common/simd/simd.hpp).
+  std::vector<std::size_t> starts;
   for (std::size_t start = 0; start + block <= signal.size(); start += hop) {
-    for (std::size_t i = 0; i < block; ++i) buf[i] = signal[start + i] * win[i];
-    const auto y = goertzel(buf, sample_rate_hz, center_freq_hz);
+    starts.push_back(start);
+  }
+  std::vector<double> s1(starts.size());
+  std::vector<double> s2(starts.size());
+  const double w = kTwoPi * center_freq_hz / sample_rate_hz;
+  const double coeff = 2.0 * std::cos(w);
+  simd::goertzel_sums(signal.data(), win.data(), block, coeff, starts.data(),
+                      starts.size(), s1.data(), s2.data());
+
+  // Final phase correction + normalization exactly as goertzel() applies
+  // them per block (the rotation depends only on (w, block), so it is
+  // hoisted out of the loop).
+  const std::complex<double> wk(std::cos(w), -std::sin(w));
+  const std::complex<double> wfwd(std::cos(w), std::sin(w));
+  const std::complex<double> rot =
+      std::pow(wk, static_cast<double>(block - 1));
+  const double norm = 2.0 / static_cast<double>(block);
+  for (std::size_t b = 0; b < starts.size(); ++b) {
+    std::complex<double> y = s1[b] - s2[b] * wfwd;
+    y *= rot;
+    y = y * norm;
     tr.time_s.push_back(
-        (static_cast<double>(start) + static_cast<double>(block) / 2.0) /
+        (static_cast<double>(starts[b]) + static_cast<double>(block) / 2.0) /
         sample_rate_hz);
     tr.magnitude.push_back(std::abs(y) / cg);
   }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/simd/simd.hpp"
 #include "em/calibration.hpp"
 
 namespace psa::em {
@@ -32,9 +33,7 @@ std::vector<double> toggles_to_current(
 std::vector<double> toggles_to_charges(
     std::span<const double> toggles_per_cycle) {
   std::vector<double> q(toggles_per_cycle.size());
-  for (std::size_t c = 0; c < q.size(); ++c) {
-    q[c] = toggles_per_cycle[c] * kChargePerToggle;
-  }
+  simd::scale(q.data(), toggles_per_cycle.data(), q.size(), kChargePerToggle);
   return q;
 }
 
@@ -44,9 +43,7 @@ void accumulate_flux(std::span<double> flux_wb,
     throw std::invalid_argument("accumulate_flux: size mismatch");
   }
   const double scale = gain * kLoopAreaM2;
-  for (std::size_t i = 0; i < flux_wb.size(); ++i) {
-    flux_wb[i] += scale * current_a[i];
-  }
+  simd::axpy(flux_wb.data(), current_a.data(), flux_wb.size(), scale);
 }
 
 void accumulate_flux_from_charges(std::span<double> flux_wb,
@@ -63,17 +60,12 @@ void accumulate_flux_from_charges(std::span<double> flux_wb,
   const double q_to_amps = sample_rate_hz;
   const double scale = gain * kLoopAreaM2;
   // Operation order mirrors toggles_to_current -> (*= vdd) -> accumulate_flux
-  // exactly: ((q*kernel)*rate)*vdd, then scale*that — same doubles, same bits.
-  for (std::size_t c = 0; c < charge_per_cycle.size(); ++c) {
-    const double q = charge_per_cycle[c];
-    if (q == 0.0) continue;
-    const std::size_t base = c * samples_per_cycle;
-    for (int k = 0; k < kPulseSamples; ++k) {
-      const double amps =
-          (q * kPulseKernel[k] * q_to_amps) * vdd_scale;
-      flux_wb[base + static_cast<std::size_t>(k)] += scale * amps;
-    }
-  }
+  // exactly: ((q*kernel)*rate)*vdd, then scale*that — same doubles, same bits
+  // (the simd kernel's contract; see common/simd/simd.hpp).
+  simd::flux_from_charges(flux_wb.data(), charge_per_cycle.data(),
+                          charge_per_cycle.size(), samples_per_cycle,
+                          kPulseKernel, static_cast<std::size_t>(kPulseSamples),
+                          q_to_amps, vdd_scale, scale);
 }
 
 void add_current_from_charges(std::span<double> total_a,

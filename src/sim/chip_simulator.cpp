@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "common/simd/simd.hpp"
 #include "em/calibration.hpp"
 #include "em/fluxmap_cache.hpp"
 #include "em/induced.hpp"
@@ -236,7 +237,7 @@ MeasuredTrace ChipSimulator::measure_with_bundle(
     Rng drift_rng = Rng(scenario.seed).fork(0x4452494654ULL);  // "DRIFT"
     const double gain =
         std::exp(drift_rng.gaussian(0.0, scenario.gain_drift_sigma));
-    for (double& x : scratch) x *= gain;
+    simd::scale_inplace(scratch.data(), scratch.size(), gain);
   }
 
   em::NoiseParams np;
@@ -255,9 +256,8 @@ MeasuredTrace ChipSimulator::measure_with_bundle(
       em::supply_spur(n, rate);
   const std::vector<double>& spur_v = *spur;
   const double noise_scale = measurement_faults_.noise_scale;
-  for (std::size_t i = 0; i < n; ++i) {
-    scratch[i] += noise_scale * ((0.0 + sigma * g[i]) + spur_v[i]);
-  }
+  simd::noise_accumulate(scratch.data(), g.data(), spur_v.data(), n, sigma,
+                         noise_scale);
 
   MeasuredTrace out;
   out.sample_rate_hz = rate;

@@ -1,0 +1,118 @@
+// Unit tests for the bench_diff comparison engine (tools/bench_diff_lib.hpp)
+// — the same header the CI gate compiles. The regression this suite pins
+// down: latency-style fields (*_ms, *_us) must be gated with the INVERTED
+// direction (fail when they rise), not ignored and not treated as rates.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "bench_diff_lib.hpp"
+
+namespace {
+
+std::map<std::string, double> flatten_or_die(const std::string& text) {
+  std::map<std::string, double> out;
+  std::string error;
+  EXPECT_TRUE(benchdiff::flatten_json(text, &out, &error)) << error;
+  return out;
+}
+
+TEST(FlattenJson, NestedObjectsArraysAndScalars) {
+  const auto m = flatten_or_die(
+      R"({"a": 1.5, "b": {"c": 2, "d": [10, 20]}, "s": "x", "t": true})");
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m.at("a"), 1.5);
+  EXPECT_DOUBLE_EQ(m.at("b.c"), 2.0);
+  EXPECT_DOUBLE_EQ(m.at("b.d.0"), 10.0);
+  EXPECT_DOUBLE_EQ(m.at("b.d.1"), 20.0);
+}
+
+TEST(FlattenJson, RejectsMalformedInput) {
+  std::map<std::string, double> out;
+  std::string error;
+  EXPECT_FALSE(benchdiff::flatten_json("{\"a\": }", &out, &error));
+  EXPECT_FALSE(benchdiff::flatten_json("{\"a\": 1", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ClassifyLeaf, RatesLatenciesAndMetadata) {
+  using benchdiff::Direction;
+  using benchdiff::classify_leaf;
+  EXPECT_EQ(classify_leaf("after.traces_per_s", "_per_s"),
+            Direction::kHigherIsBetter);
+  EXPECT_EQ(classify_leaf("x.throughput_mb", "_per_s"),
+            Direction::kHigherIsBetter);
+  EXPECT_EQ(classify_leaf("after.scan_ms", "_per_s"),
+            Direction::kLowerIsBetter);
+  EXPECT_EQ(classify_leaf("tail.p99_us", "_per_s"),
+            Direction::kLowerIsBetter);
+  EXPECT_EQ(classify_leaf("reps", "_per_s"), Direction::kUngated);
+  EXPECT_EQ(classify_leaf("after.threads", "_per_s"), Direction::kUngated);
+  // Only the LEAF decides: a path segment ending in _ms gates nothing.
+  EXPECT_EQ(classify_leaf("sampler_ms.note", "_per_s"), Direction::kUngated);
+}
+
+TEST(Compare, ThroughputDropFailsAndRiseIsFine) {
+  const auto before = flatten_or_die(R"({"scan": {"traces_per_s": 1000}})");
+  const auto worse = flatten_or_die(R"({"scan": {"traces_per_s": 800}})");
+  const auto better = flatten_or_die(R"({"scan": {"traces_per_s": 5000}})");
+
+  benchdiff::CompareResult r = benchdiff::compare(before, worse, 0.15);
+  EXPECT_EQ(r.compared, 1);
+  EXPECT_EQ(r.regressions, 1);
+
+  r = benchdiff::compare(before, better, 0.15);
+  EXPECT_EQ(r.regressions, 0);
+}
+
+TEST(Compare, LatencyRiseFailsAndDropIsFine) {
+  const auto before = flatten_or_die(R"({"scan_ms": 100, "p99_us": 40})");
+  const auto slower = flatten_or_die(R"({"scan_ms": 130, "p99_us": 40})");
+  const auto faster = flatten_or_die(R"({"scan_ms": 20, "p99_us": 4})");
+
+  // +30% latency must fail even though no *_per_s field exists to catch it.
+  benchdiff::CompareResult r = benchdiff::compare(before, slower, 0.15);
+  EXPECT_EQ(r.compared, 2);
+  EXPECT_EQ(r.regressions, 1);
+
+  // A big latency DROP is an improvement, not a "change > threshold" fail.
+  r = benchdiff::compare(before, faster, 0.15);
+  EXPECT_EQ(r.regressions, 0);
+}
+
+TEST(Compare, WithinThresholdPassesBothDirections) {
+  const auto before =
+      flatten_or_die(R"({"scan_ms": 100, "traces_per_s": 1000})");
+  const auto wobble =
+      flatten_or_die(R"({"scan_ms": 110, "traces_per_s": 900})");
+  const benchdiff::CompareResult r = benchdiff::compare(before, wobble, 0.15);
+  EXPECT_EQ(r.compared, 2);
+  EXPECT_EQ(r.regressions, 0);
+}
+
+TEST(Compare, MissingFieldsAreReportedButNotFatal) {
+  const auto before = flatten_or_die(
+      R"({"old_only_per_s": 5, "shared_per_s": 10})");
+  const auto after = flatten_or_die(
+      R"({"new_only_ms": 3, "shared_per_s": 10})");
+  const benchdiff::CompareResult r = benchdiff::compare(before, after, 0.15);
+  EXPECT_EQ(r.compared, 1);  // only the shared field
+  EXPECT_EQ(r.regressions, 0);
+  // Both one-sided fields show up in the report.
+  int only_lines = 0;
+  for (const std::string& line : r.lines) {
+    if (line.find("only in") != std::string::npos) ++only_lines;
+  }
+  EXPECT_EQ(only_lines, 2);
+}
+
+TEST(Compare, UngatedFieldsNeverCompare) {
+  const auto before = flatten_or_die(R"({"reps": 1, "threads": 4})");
+  const auto after = flatten_or_die(R"({"reps": 5, "threads": 1})");
+  const benchdiff::CompareResult r = benchdiff::compare(before, after, 0.15);
+  EXPECT_EQ(r.compared, 0);
+  EXPECT_EQ(r.regressions, 0);
+}
+
+}  // namespace

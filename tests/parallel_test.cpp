@@ -19,6 +19,88 @@
 namespace psa {
 namespace {
 
+TEST(PlanChunks, EmptyRangePlansNothing) {
+  EXPECT_EQ(plan_chunks(5, 5, 0, 4).n_chunks, 0u);
+  EXPECT_EQ(plan_chunks(5, 5, 3, 4).n_chunks, 0u);
+  EXPECT_EQ(plan_chunks(7, 5, 0, 4).n_chunks, 0u);  // inverted range
+}
+
+TEST(PlanChunks, RangeSmallerThanChunkIsOneChunk) {
+  const ChunkPlan plan = plan_chunks(0, 3, 10, 4);
+  ASSERT_EQ(plan.n_chunks, 1u);
+  EXPECT_EQ(plan.bounds(0), (std::pair<std::size_t, std::size_t>{0, 3}));
+}
+
+TEST(PlanChunks, RangeEqualToParticipantsGivesOneIndexEach) {
+  // The regression this pins down: the default (chunk == 0) partition must
+  // be computed from TOTAL participants (workers + caller), one chunk per
+  // participant — never more chunks than participants, never a sliver chunk
+  // that leaves one participant idle while another runs two.
+  const std::size_t participants = 4;
+  const ChunkPlan plan = plan_chunks(0, participants, 0, participants);
+  ASSERT_EQ(plan.n_chunks, participants);
+  for (std::size_t c = 0; c < plan.n_chunks; ++c) {
+    const auto [lo, hi] = plan.bounds(c);
+    EXPECT_EQ(hi - lo, 1u) << "chunk " << c;
+    EXPECT_EQ(lo, c);
+  }
+}
+
+TEST(PlanChunks, FewerIndicesThanParticipantsNeverPlansEmptyChunks) {
+  const ChunkPlan plan = plan_chunks(0, 3, 0, 8);
+  ASSERT_EQ(plan.n_chunks, 3u);
+  for (std::size_t c = 0; c < plan.n_chunks; ++c) {
+    const auto [lo, hi] = plan.bounds(c);
+    EXPECT_EQ(hi - lo, 1u);
+  }
+}
+
+TEST(PlanChunks, DefaultPartitionIsBalancedAndTiles) {
+  for (std::size_t count : {1u, 2u, 3u, 4u, 5u, 7u, 15u, 16u, 17u, 100u}) {
+    for (std::size_t participants : {1u, 2u, 3u, 4u, 8u}) {
+      const std::size_t begin = 11;
+      const ChunkPlan plan = plan_chunks(begin, begin + count, 0, participants);
+      ASSERT_EQ(plan.n_chunks, std::min(count, participants));
+      std::size_t expect_lo = begin;
+      std::size_t min_sz = count, max_sz = 0;
+      for (std::size_t c = 0; c < plan.n_chunks; ++c) {
+        const auto [lo, hi] = plan.bounds(c);
+        EXPECT_EQ(lo, expect_lo) << "gap before chunk " << c;
+        ASSERT_GT(hi, lo);
+        min_sz = std::min(min_sz, hi - lo);
+        max_sz = std::max(max_sz, hi - lo);
+        expect_lo = hi;
+      }
+      EXPECT_EQ(expect_lo, begin + count);
+      EXPECT_LE(max_sz - min_sz, 1u)
+          << "unbalanced at count=" << count << " p=" << participants;
+    }
+  }
+}
+
+TEST(PlanChunks, UniformChunksTileTheRange) {
+  const ChunkPlan plan = plan_chunks(2, 25, 7, 4);
+  ASSERT_EQ(plan.n_chunks, 4u);  // ceil(23 / 7)
+  EXPECT_EQ(plan.bounds(0), (std::pair<std::size_t, std::size_t>{2, 9}));
+  EXPECT_EQ(plan.bounds(3), (std::pair<std::size_t, std::size_t>{23, 25}));
+}
+
+TEST(ParallelFor, DefaultChunkingInvokesBodyOncePerParticipant) {
+  set_thread_count(4);  // 3 workers + the caller
+  std::atomic<int> invocations{0};
+  parallel_for(0, 16, 0, [&](std::size_t, std::size_t) {
+    invocations.fetch_add(1);
+  });
+  EXPECT_EQ(invocations.load(), 4);
+
+  invocations = 0;
+  parallel_for(0, 3, 0, [&](std::size_t, std::size_t) {
+    invocations.fetch_add(1);
+  });
+  EXPECT_EQ(invocations.load(), 3);  // never more chunks than indices
+  set_thread_count(0);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   set_thread_count(4);
   constexpr std::size_t kN = 1000;

@@ -1,174 +1,27 @@
 // bench_diff — compare two machine-readable bench reports (BENCH_*.json)
-// and fail when throughput regressed.
+// and fail when performance regressed in either direction that matters:
+//
+//   * rate fields (leaf ends in "_per_s" or contains "throughput") must not
+//     FALL more than the threshold;
+//   * latency fields (leaf ends in "_ms" or "_us") must not RISE more than
+//     the threshold — a slowdown that hides from the throughput fields
+//     (e.g. a p99 or per-phase timing) fails the gate too.
 //
 //   bench_diff OLD.json NEW.json [--threshold 0.15] [--key-suffix _per_s]
 //
-// The files are the JSON objects the harnesses emit with --out. Every
-// numeric field is flattened to a dotted path ("after.traces_per_s");
-// fields whose leaf name ends in the key suffix (default "_per_s") or
-// contains "throughput" are treated as higher-is-better rates. Exit 1 if
-// any such rate in NEW fell below OLD * (1 - threshold); rates present in
-// only one file are reported but not fatal (bench shape may evolve).
-//
-// The parser handles exactly the JSON these tools write — objects, arrays,
-// strings, numbers, booleans, null — with no dependency beyond the
-// standard library. Numbers in arrays are flattened with an index path
-// ("series.3.v") so array-shaped reports diff too.
-#include <cctype>
+// Fields present in only one file are reported but not fatal (bench shape
+// may evolve). The comparison logic lives in bench_diff_lib.hpp so the unit
+// tests run exactly what CI runs.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 
+#include "bench_diff_lib.hpp"
+
 namespace {
-
-/// Recursive-descent reader that records every numeric leaf into `out`.
-/// Returns false (with a message on stderr) on malformed input.
-class FlattenParser {
- public:
-  FlattenParser(const std::string& text, std::map<std::string, double>* out)
-      : text_(text), out_(out) {}
-
-  bool run() {
-    skip_ws();
-    if (!parse_value("")) return false;
-    skip_ws();
-    if (pos_ != text_.size()) return fail("trailing content");
-    return true;
-  }
-
- private:
-  bool fail(const char* what) {
-    std::fprintf(stderr, "bench_diff: JSON error at byte %zu: %s\n", pos_,
-                 what);
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool literal(const char* word) {
-    const std::size_t n = std::strlen(word);
-    if (text_.compare(pos_, n, word) != 0) return fail("bad literal");
-    pos_ += n;
-    return true;
-  }
-
-  bool parse_string(std::string* s) {
-    if (text_[pos_] != '"') return fail("expected string");
-    ++pos_;
-    s->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'u':  // keep the raw escape; paths never need code points
-            s->push_back('\\');
-            c = 'u';
-            break;
-          default: c = esc; break;
-        }
-      }
-      s->push_back(c);
-    }
-    if (pos_ >= text_.size()) return fail("unterminated string");
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool parse_value(const std::string& path) {
-    if (pos_ >= text_.size()) return fail("unexpected end");
-    const char c = text_[pos_];
-    if (c == '{') return parse_object(path);
-    if (c == '[') return parse_array(path);
-    if (c == '"') {
-      std::string ignored;
-      return parse_string(&ignored);
-    }
-    if (c == 't') return literal("true");
-    if (c == 'f') return literal("false");
-    if (c == 'n') return literal("null");
-    // Number.
-    char* end = nullptr;
-    const double v = std::strtod(text_.c_str() + pos_, &end);
-    if (end == text_.c_str() + pos_) return fail("expected value");
-    pos_ = static_cast<std::size_t>(end - text_.c_str());
-    (*out_)[path] = v;
-    return true;
-  }
-
-  bool parse_object(const std::string& path) {
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!parse_string(&key)) return false;
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        return fail("expected ':'");
-      }
-      ++pos_;
-      skip_ws();
-      if (!parse_value(path.empty() ? key : path + "." + key)) return false;
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  bool parse_array(const std::string& path) {
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    std::size_t index = 0;
-    while (true) {
-      skip_ws();
-      if (!parse_value(path + "." + std::to_string(index++))) return false;
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  const std::string& text_;
-  std::map<std::string, double>* out_;
-  std::size_t pos_ = 0;
-};
 
 bool load(const char* path, std::map<std::string, double>* out) {
   std::ifstream in(path);
@@ -178,19 +31,12 @@ bool load(const char* path, std::map<std::string, double>* out) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  const std::string text = buf.str();
-  return FlattenParser(text, out).run();
-}
-
-bool leaf_is_rate(const std::string& path, const std::string& suffix) {
-  const std::size_t dot = path.rfind('.');
-  const std::string leaf =
-      dot == std::string::npos ? path : path.substr(dot + 1);
-  if (leaf.size() >= suffix.size() &&
-      leaf.compare(leaf.size() - suffix.size(), suffix.size(), suffix) == 0) {
-    return true;
+  std::string error;
+  if (!benchdiff::flatten_json(buf.str(), out, &error)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path, error.c_str());
+    return false;
   }
-  return leaf.find("throughput") != std::string::npos;
+  return true;
 }
 
 }  // namespace
@@ -225,42 +71,23 @@ int main(int argc, char** argv) {
   std::map<std::string, double> before, after;
   if (!load(old_path, &before) || !load(new_path, &after)) return 2;
 
-  int regressions = 0;
-  int compared = 0;
-  for (const auto& [path, old_v] : before) {
-    if (!leaf_is_rate(path, suffix)) continue;
-    const auto it = after.find(path);
-    if (it == after.end()) {
-      std::printf("  ?  %-40s only in %s\n", path.c_str(), old_path);
-      continue;
-    }
-    ++compared;
-    const double new_v = it->second;
-    const double change = old_v != 0.0 ? (new_v - old_v) / old_v : 0.0;
-    const bool bad = new_v < old_v * (1.0 - threshold);
-    std::printf("  %s  %-40s %12.2f -> %12.2f  (%+.1f%%)\n",
-                bad ? "FAIL" : " ok ", path.c_str(), old_v, new_v,
-                change * 100.0);
-    if (bad) ++regressions;
-  }
-  for (const auto& [path, v] : after) {
-    if (leaf_is_rate(path, suffix) && !before.count(path)) {
-      std::printf("  ?  %-40s only in %s (%.2f)\n", path.c_str(), new_path,
-                  v);
-    }
+  const benchdiff::CompareResult result =
+      benchdiff::compare(before, after, threshold, suffix);
+  for (const std::string& line : result.lines) {
+    std::printf("%s\n", line.c_str());
   }
 
-  if (compared == 0) {
-    std::fprintf(stderr, "bench_diff: no comparable rate fields found\n");
+  if (result.compared == 0) {
+    std::fprintf(stderr, "bench_diff: no comparable fields found\n");
     return 2;
   }
-  if (regressions > 0) {
+  if (result.regressions > 0) {
     std::fprintf(stderr,
-                 "bench_diff: %d rate(s) regressed more than %.0f%%\n",
-                 regressions, threshold * 100.0);
+                 "bench_diff: %d field(s) regressed more than %.0f%%\n",
+                 result.regressions, threshold * 100.0);
     return 1;
   }
-  std::printf("bench_diff: %d rate(s) within %.0f%% of %s\n", compared,
+  std::printf("bench_diff: %d field(s) within %.0f%% of %s\n", result.compared,
               threshold * 100.0, old_path);
   return 0;
 }

@@ -1,0 +1,258 @@
+// bench_diff_lib.hpp — the comparison engine behind tools/bench_diff,
+// header-only so the unit tests exercise exactly the logic CI runs.
+//
+// A bench report is flattened to dotted numeric paths ("after.traces_per_s")
+// and each leaf is classified by name:
+//
+//   * leaf ends with the rate suffix (default "_per_s") or contains
+//     "throughput"  -> higher is better; fail when NEW < OLD*(1-threshold)
+//   * leaf ends with "_ms" or "_us"  -> lower is better (latency); fail
+//     when NEW > OLD*(1+threshold)
+//   * anything else  -> not gated
+//
+// Fields present in only one file are reported but never fatal — bench
+// shape evolves across PRs and the gate must not block adding a new arm.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchdiff {
+
+/// Recursive-descent reader that records every numeric leaf into `out`.
+/// Handles exactly the JSON the bench harnesses write — objects, arrays,
+/// strings, numbers, booleans, null. Array elements get an index path
+/// ("series.3.v"). Returns false with a message in *error on bad input.
+class FlattenParser {
+ public:
+  FlattenParser(const std::string& text, std::map<std::string, double>* out,
+                std::string* error)
+      : text_(text), out_(out), error_(error) {}
+
+  bool run() {
+    skip_ws();
+    if (!parse_value("")) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content");
+    return true;
+  }
+
+ private:
+  bool fail(const char* what) {
+    if (error_ != nullptr) {
+      *error_ = "JSON error at byte " + std::to_string(pos_) + ": " + what;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_string(std::string* s) {
+    if (text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    s->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':  // keep the raw escape; paths never need code points
+            s->push_back('\\');
+            c = 'u';
+            break;
+          default: c = esc; break;
+        }
+      }
+      s->push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_value(const std::string& path) {
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(path);
+    if (c == '[') return parse_array(path);
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(&ignored);
+    }
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    // Number.
+    char* end = nullptr;
+    const double v = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return fail("expected value");
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    (*out_)[path] = v;
+    return true;
+  }
+
+  bool parse_object(const std::string& path) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      skip_ws();
+      if (!parse_value(path.empty() ? key : path + "." + key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(const std::string& path) {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    std::size_t index = 0;
+    while (true) {
+      skip_ws();
+      if (!parse_value(path + "." + std::to_string(index++))) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  std::map<std::string, double>* out_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+inline bool flatten_json(const std::string& text,
+                         std::map<std::string, double>* out,
+                         std::string* error) {
+  return FlattenParser(text, out, error).run();
+}
+
+enum class Direction {
+  kHigherIsBetter,  // throughput-style: regression = falling
+  kLowerIsBetter,   // latency-style: regression = rising
+  kUngated,         // config / metadata: never compared
+};
+
+inline bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Classification by leaf name (the last dotted component).
+inline Direction classify_leaf(const std::string& path,
+                               const std::string& rate_suffix) {
+  const std::size_t dot = path.rfind('.');
+  const std::string leaf =
+      dot == std::string::npos ? path : path.substr(dot + 1);
+  if (ends_with(leaf, rate_suffix) ||
+      leaf.find("throughput") != std::string::npos) {
+    return Direction::kHigherIsBetter;
+  }
+  if (ends_with(leaf, "_ms") || ends_with(leaf, "_us")) {
+    return Direction::kLowerIsBetter;
+  }
+  return Direction::kUngated;
+}
+
+struct CompareResult {
+  int compared = 0;
+  int regressions = 0;
+  std::vector<std::string> lines;  // human-readable per-field report
+};
+
+/// Compare every gated field of `before` against `after` with the given
+/// relative threshold. Missing fields produce report lines but no failures.
+inline CompareResult compare(const std::map<std::string, double>& before,
+                             const std::map<std::string, double>& after,
+                             double threshold,
+                             const std::string& rate_suffix = "_per_s") {
+  CompareResult result;
+  char buf[256];
+  for (const auto& [path, old_v] : before) {
+    const Direction dir = classify_leaf(path, rate_suffix);
+    if (dir == Direction::kUngated) continue;
+    const auto it = after.find(path);
+    if (it == after.end()) {
+      std::snprintf(buf, sizeof(buf), "  ?  %-40s only in OLD", path.c_str());
+      result.lines.push_back(buf);
+      continue;
+    }
+    ++result.compared;
+    const double new_v = it->second;
+    const double change = old_v != 0.0 ? (new_v - old_v) / old_v : 0.0;
+    const bool bad = dir == Direction::kHigherIsBetter
+                         ? new_v < old_v * (1.0 - threshold)
+                         : new_v > old_v * (1.0 + threshold);
+    std::snprintf(buf, sizeof(buf),
+                  "  %s  %-40s %12.2f -> %12.2f  (%+.1f%%)%s",
+                  bad ? "FAIL" : " ok ", path.c_str(), old_v, new_v,
+                  change * 100.0,
+                  dir == Direction::kLowerIsBetter ? "  [lower-better]" : "");
+    result.lines.push_back(buf);
+    if (bad) ++result.regressions;
+  }
+  for (const auto& [path, v] : after) {
+    if (classify_leaf(path, rate_suffix) != Direction::kUngated &&
+        before.count(path) == 0) {
+      std::snprintf(buf, sizeof(buf), "  ?  %-40s only in NEW (%.2f)",
+                    path.c_str(), v);
+      result.lines.push_back(buf);
+    }
+  }
+  return result;
+}
+
+}  // namespace benchdiff
