@@ -1,0 +1,434 @@
+// bench_serving_throughput.cpp — the detection-as-a-service request path
+// under multi-client load (engineering bench, no paper counterpart).
+//
+// An in-process load generator drives `POST /scan` over real loopback
+// sockets with 8 closed-loop clients (each keeps exactly one request in
+// flight — the sustained-saturation shape; a true open-loop arrival process
+// would need per-hardware rate calibration to mean anything in CI):
+//
+//   * batched arm    — ServingConfig::coalesce on: all clients ask for the
+//                      identical scenario, so each 16-sensor scan is
+//                      synthesized once and fans its verdict out to every
+//                      waiter. This is the tentpole claim: >= 2x the
+//                      requests/sec of the control arm.
+//   * unbatched arm  — identical load, coalescing disabled: every request
+//                      pays its own scan.
+//   * backpressure   — queue_depth=2, workers=1, coalescing off, distinct
+//                      scenarios: the full queue must answer 429 (with
+//                      Retry-After) while /healthz stays live, and the
+//                      shed counter must equal the 429s the clients saw.
+//
+// Results land in BENCH_serving.json (requests_per_s gated higher-is-
+// better, p50_ms/p99_ms lower-is-better by tools/bench_diff).
+//
+// The chip/pipeline mirror the golden fixture (placement seed 42, the
+// golden_config trace counts), so a served scan here returns the exact
+// committed tests/golden bits — the bench doubles as an end-to-end sanity
+// check, and `--serve` exposes the same server for external probing:
+//
+// Usage: bench_serving_throughput [--smoke] [--out FILE] [--threads N]
+//                                 [--serve --port N [--serve-sec S]]
+//   --smoke       shorter measurement windows for CI (same code paths)
+//   --out FILE    machine-readable results, default BENCH_serving.json
+//   --serve       skip the load run; serve /scan, /trace and the telemetry
+//                 endpoints on --port until --serve-sec elapses (or
+//                 SIGTERM), for curl-based smoke tests
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "bench_util.hpp"
+#include "layout/floorplan.hpp"
+#include "net/serving.hpp"
+
+namespace {
+
+using namespace psa;
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+
+/// The golden fixture's pipeline configuration (tests/golden_common.hpp
+/// golden_config) — served verdicts must reproduce the committed bits.
+analysis::PipelineConfig golden_style_config() {
+  analysis::PipelineConfig cfg;
+  cfg.cycles_per_trace = 256;
+  cfg.enrollment_traces = 3;
+  cfg.detection_averages = 2;
+  return cfg;
+}
+
+/// Blocking POST; returns full response ("" on connect failure).
+std::string http_post(std::uint16_t port, const std::string& target,
+                      const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string wire = "POST " + target +
+                     " HTTP/1.1\r\nHost: localhost\r\nContent-Type: "
+                     "application/json\r\nContent-Length: " +
+                     std::to_string(body.size()) + "\r\n\r\n" + body;
+  (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string wire =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+int status_of(const std::string& resp) {
+  if (resp.size() < 12 || resp.compare(0, 9, "HTTP/1.1 ") != 0) return 0;
+  return std::atoi(resp.c_str() + 9);
+}
+
+struct LoadStats {
+  std::uint64_t requests = 0;  // 200s only
+  double requests_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double quantile_ms(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const std::size_t at = std::min(
+      sorted_ms.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[at];
+}
+
+/// Closed-loop load: `clients` threads hammer `target` with `body` until
+/// the deadline; every completed 200 contributes one latency sample.
+LoadStats run_load(std::uint16_t port, const std::string& target,
+                   const std::string& body, int clients, double duration_s) {
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> latencies_ms(
+      static_cast<std::size_t>(clients));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(duration_s);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& mine = latencies_ms[static_cast<std::size_t>(c)];
+      while (std::chrono::steady_clock::now() < deadline) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string resp = http_post(port, target, body);
+        if (status_of(resp) == 200) {
+          mine.push_back(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<double> all;
+  for (const auto& v : latencies_ms) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  LoadStats stats;
+  stats.requests = all.size();
+  stats.requests_per_s = static_cast<double>(all.size()) / duration_s;
+  stats.p50_ms = quantile_ms(all, 0.50);
+  stats.p99_ms = quantile_ms(all, 0.99);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psa;
+  bench::ArgSpec spec;
+  spec.smoke = spec.out = true;
+  spec.default_out = "BENCH_serving.json";
+  const bench::Args args = bench::parse_args(argc, argv, spec);
+  const bool smoke = args.smoke;
+
+  bool serve = false;
+  std::uint16_t port = 0;
+  double serve_sec = 60.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--serve-sec") == 0 && i + 1 < argc) {
+      serve_sec = std::strtod(argv[++i], nullptr);
+    }
+  }
+
+  // The golden fixture chip: placement seed 42 + golden trace counts, so
+  // POST /scan {"trojan":"t3","seed":42} answers the committed t3.golden.
+  const sim::ChipSimulator chip(sim::SimTiming{},
+                                layout::Floorplan::aes_testchip(),
+                                /*placement_seed=*/42);
+  analysis::Pipeline pipeline(chip, golden_style_config());
+  pipeline.enroll(sim::Scenario::baseline(42));
+
+  if (serve) {
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    net::ScanService service(pipeline);
+    net::HttpServer server;
+    service.install(server);
+    net::install_telemetry_endpoints(server, nullptr, nullptr);
+    net::HttpServer::Options options;
+    options.port = port;
+    options.connection_threads = 8;
+    if (!server.start(options)) {
+      std::fprintf(stderr, "FAIL: cannot bind port %u\n", port);
+      return 1;
+    }
+    std::printf("serving /scan /trace /metrics /healthz on port %u for "
+                "%.0f s\n",
+                server.port(), serve_sec);
+    std::fflush(stdout);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(serve_sec);
+    while (!g_stop.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    service.stop();  // before the server: handlers block on the queue
+    server.stop();
+    return 0;
+  }
+
+  const int kClients = 8;
+  const double duration_s = smoke ? 1.5 : 4.0;
+  const std::string scenario_body = "{\"trojan\":\"t3\",\"seed\":42}";
+
+  bench::print_banner(
+      "SERVING THROUGHPUT: POST /scan under 8 concurrent clients",
+      "(engineering bench, no paper counterpart) requests/sec with scenario "
+      "batching on vs off, plus the 429 backpressure contract");
+  std::printf("clients=%d window=%.1fs threads=%zu%s\n\n", kClients,
+              duration_s, args.threads, smoke ? "  [smoke]" : "");
+
+  // ---------------- batched arm: identical scenarios coalesce.
+  LoadStats batched;
+  std::uint64_t batched_coalesced = 0;
+  std::uint64_t batched_executed = 0;
+  {
+    net::ScanService service(pipeline);  // coalesce defaults on
+    net::HttpServer server;
+    service.install(server);
+    net::HttpServer::Options options;
+    options.connection_threads = kClients + 2;
+    if (!server.start(options)) return 1;
+    (void)http_post(server.port(), "/scan", scenario_body);  // warm-up
+    batched = run_load(server.port(), "/scan", scenario_body, kClients,
+                       duration_s);
+    batched_coalesced = service.queue().coalesced();
+    batched_executed = service.queue().executed();
+    service.stop();
+    server.stop();
+  }
+
+  // ---------------- unbatched arm: same load, every request pays a scan.
+  LoadStats unbatched;
+  {
+    net::ServingConfig cfg;
+    cfg.coalesce = false;
+    net::ScanService service(pipeline, cfg);
+    net::HttpServer server;
+    service.install(server);
+    net::HttpServer::Options options;
+    options.connection_threads = kClients + 2;
+    if (!server.start(options)) return 1;
+    (void)http_post(server.port(), "/scan", scenario_body);  // warm-up
+    unbatched = run_load(server.port(), "/scan", scenario_body, kClients,
+                         duration_s);
+    service.stop();
+    server.stop();
+  }
+
+  // ---------------- backpressure arm: tiny queue, distinct scenarios.
+  std::uint64_t bp_ok = 0;
+  std::uint64_t bp_429 = 0;
+  std::uint64_t bp_other = 0;
+  std::uint64_t bp_shed_counter = 0;
+  std::uint64_t bp_submitted = 0;
+  bool retry_after_present = true;
+  bool healthz_ok = true;
+  {
+    net::ServingConfig cfg;
+    cfg.queue_depth = 2;
+    cfg.workers = 1;
+    cfg.coalesce = false;
+    net::ScanService service(pipeline, cfg);
+    net::HttpServer server;
+    service.install(server);
+    net::install_telemetry_endpoints(server, nullptr, nullptr);
+    net::HttpServer::Options options;
+    options.connection_threads = kClients + 4;
+    if (!server.start(options)) return 1;
+
+    std::atomic<std::uint64_t> ok{0}, rejected{0}, other{0};
+    std::atomic<bool> all_retry_after{true};
+    std::atomic<std::uint64_t> next_seed{1000};
+    const double bp_window_s = smoke ? 1.0 : 2.0;
+    std::vector<std::thread> clients;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(bp_window_s);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        while (std::chrono::steady_clock::now() < deadline) {
+          // Distinct seed per request: nothing coalesces, the queue fills.
+          const std::string body =
+              "{\"trojan\":\"t1\",\"seed\":" +
+              std::to_string(next_seed.fetch_add(1)) + "}";
+          const std::string resp = http_post(server.port(), "/scan", body);
+          const int status = status_of(resp);
+          if (status == 200) {
+            ok.fetch_add(1);
+          } else if (status == 429) {
+            rejected.fetch_add(1);
+            if (resp.find("Retry-After:") == std::string::npos) {
+              all_retry_after.store(false);
+            }
+          } else {
+            other.fetch_add(1);
+          }
+        }
+      });
+    }
+    // The accept loop must stay responsive while the queue is saturated.
+    for (int probe = 0; probe < 5; ++probe) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(bp_window_s / 6.0));
+      if (status_of(http_get(server.port(), "/healthz")) != 200) {
+        healthz_ok = false;
+      }
+    }
+    for (std::thread& t : clients) t.join();
+
+    bp_ok = ok.load();
+    bp_429 = rejected.load();
+    bp_other = other.load();
+    bp_shed_counter = service.queue().shed();
+    bp_submitted = service.queue().submitted();
+    retry_after_present = all_retry_after.load();
+    service.stop();
+    server.stop();
+  }
+
+  const double speedup =
+      unbatched.requests_per_s > 0.0
+          ? batched.requests_per_s / unbatched.requests_per_s
+          : 0.0;
+  const bool accounting_exact = bp_shed_counter == bp_429;
+
+  Table table({"arm", "requests", "req/s", "p50 [ms]", "p99 [ms]"});
+  table.add_row({"batched (coalesce on)", std::to_string(batched.requests),
+                 fmt(batched.requests_per_s, 1), fmt(batched.p50_ms, 1),
+                 fmt(batched.p99_ms, 1)});
+  table.add_row({"unbatched (control)", std::to_string(unbatched.requests),
+                 fmt(unbatched.requests_per_s, 1), fmt(unbatched.p50_ms, 1),
+                 fmt(unbatched.p99_ms, 1)});
+  table.print(std::cout);
+  std::printf("\nbatching speedup: %.2fx (gate: >= 2x)\n", speedup);
+  std::printf("batched arm: %llu coalesced onto %llu executions\n",
+              static_cast<unsigned long long>(batched_coalesced),
+              static_cast<unsigned long long>(batched_executed));
+  std::printf("backpressure: %llu ok, %llu x 429 (shed counter %llu, %s), "
+              "%llu other, healthz %s\n",
+              static_cast<unsigned long long>(bp_ok),
+              static_cast<unsigned long long>(bp_429),
+              static_cast<unsigned long long>(bp_shed_counter),
+              accounting_exact ? "exact" : "MISMATCH",
+              static_cast<unsigned long long>(bp_other),
+              healthz_ok ? "live" : "DOWN");
+
+  const bool speedup_ok = speedup >= 2.0;
+  const bool backpressure_ok = bp_429 > 0 && accounting_exact &&
+                               retry_after_present && healthz_ok &&
+                               bp_other == 0;
+  if (!speedup_ok) {
+    std::fprintf(stderr, "FAIL: batching speedup %.2fx < 2x\n", speedup);
+  }
+  if (!backpressure_ok) {
+    std::fprintf(stderr,
+                 "FAIL: backpressure contract (429s=%llu exact=%d "
+                 "retry_after=%d healthz=%d other=%llu)\n",
+                 static_cast<unsigned long long>(bp_429), accounting_exact,
+                 retry_after_present, healthz_ok,
+                 static_cast<unsigned long long>(bp_other));
+  }
+
+  std::ofstream json(args.out);
+  json << "{\n"
+       << "  \"bench\": \"serving_throughput\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"clients\": " << kClients << ",\n"
+       << "  \"duration_s\": " << duration_s << ",\n"
+       << "  \"batched\": {\"requests\": " << batched.requests
+       << ", \"requests_per_s\": " << batched.requests_per_s
+       << ", \"p50_ms\": " << batched.p50_ms
+       << ", \"p99_ms\": " << batched.p99_ms
+       << ", \"coalesced\": " << batched_coalesced
+       << ", \"executed\": " << batched_executed << "},\n"
+       << "  \"unbatched\": {\"requests\": " << unbatched.requests
+       << ", \"requests_per_s\": " << unbatched.requests_per_s
+       << ", \"p50_ms\": " << unbatched.p50_ms
+       << ", \"p99_ms\": " << unbatched.p99_ms << "},\n"
+       << "  \"batching_speedup\": " << speedup << ",\n"
+       << "  \"backpressure\": {\"submitted\": " << bp_submitted
+       << ", \"ok\": " << bp_ok << ", \"rejected_429\": " << bp_429
+       << ", \"shed_counter\": " << bp_shed_counter
+       << ", \"accounting_exact\": " << (accounting_exact ? "true" : "false")
+       << ", \"retry_after_present\": "
+       << (retry_after_present ? "true" : "false")
+       << ", \"healthz_ok\": " << (healthz_ok ? "true" : "false") << "}\n"
+       << "}\n";
+  json.close();
+  std::printf("wrote %s (batching %.2fx, %llu x 429)\n", args.out.c_str(),
+              speedup, static_cast<unsigned long long>(bp_429));
+
+  return (speedup_ok && backpressure_ok) ? 0 : 1;
+}

@@ -6,7 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -25,6 +28,12 @@ const char* status_reason(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
@@ -43,18 +52,40 @@ void send_all(int fd, const char* data, std::size_t n) {
 }
 
 void send_response(int fd, const HttpResponse& resp) {
-  char head[256];
-  const int head_len = std::snprintf(
-      head, sizeof head,
-      "HTTP/1.1 %d %s\r\n"
-      "Content-Type: %s\r\n"
-      "Content-Length: %zu\r\n"
-      "Connection: close\r\n"
-      "\r\n",
-      resp.status, status_reason(resp.status), resp.content_type.c_str(),
-      resp.body.size());
-  send_all(fd, head, static_cast<std::size_t>(head_len));
+  std::ostringstream head;
+  head << "HTTP/1.1 " << resp.status << " " << status_reason(resp.status)
+       << "\r\nContent-Type: " << resp.content_type << "\r\n";
+  for (const auto& [name, value] : resp.extra_headers) {
+    head << name << ": " << value << "\r\n";
+  }
+  if (resp.chunked) {
+    head << "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    const std::string header = head.str();
+    send_all(fd, header.data(), header.size());
+    // Fixed-size chunks: the renderer's body streams out piecewise, the
+    // terminating 0-chunk marks completion for the client.
+    constexpr std::size_t kChunk = 8192;
+    char size_line[32];
+    for (std::size_t off = 0; off < resp.body.size(); off += kChunk) {
+      const std::size_t n = std::min(kChunk, resp.body.size() - off);
+      const int len = std::snprintf(size_line, sizeof size_line, "%zx\r\n", n);
+      send_all(fd, size_line, static_cast<std::size_t>(len));
+      send_all(fd, resp.body.data() + off, n);
+      send_all(fd, "\r\n", 2);
+    }
+    send_all(fd, "0\r\n\r\n", 5);
+    return;
+  }
+  head << "Content-Length: " << resp.body.size()
+       << "\r\nConnection: close\r\n\r\n";
+  const std::string header = head.str();
+  send_all(fd, header.data(), header.size());
   send_all(fd, resp.body.data(), resp.body.size());
+}
+
+HttpResponse text_response(int status, std::string body) {
+  return HttpResponse{status, "text/plain; charset=utf-8", std::move(body),
+                      {}, false};
 }
 
 int hex_nibble(char c) {
@@ -64,7 +95,47 @@ int hex_nibble(char c) {
   return -1;
 }
 
+std::string to_lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// recv() bounded by an absolute deadline: >0 bytes read, 0 orderly EOF,
+/// -1 deadline expired, -2 socket error.
+ssize_t recv_until(int fd, char* buf, std::size_t n,
+                   std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count();
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(std::min<long long>(
+                                       left, 1000)));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -2;
+    }
+    if (rc == 0) continue;  // re-check the deadline
+    const ssize_t got = ::recv(fd, buf, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return -2;
+    }
+    return got;
+  }
+}
+
 }  // namespace
+
+const std::string& HttpRequest::header(const std::string& name) const {
+  static const std::string kEmpty;
+  const auto it = headers.find(to_lower(name));
+  return it == headers.end() ? kEmpty : it->second;
+}
 
 std::string url_decode(std::string_view s) {
   std::string out;
@@ -122,10 +193,16 @@ void HttpServer::handle(std::string path, HttpHandler handler) {
   handlers_[std::move(path)] = std::move(handler);
 }
 
+void HttpServer::handle_post(std::string path, HttpHandler handler) {
+  post_handlers_[std::move(path)] = std::move(handler);
+}
+
 bool HttpServer::start() { return start(Options()); }
 
 bool HttpServer::start(const Options& options) {
   if (running_.load(std::memory_order_acquire)) return true;
+  options_ = options;
+  if (options_.connection_threads == 0) options_.connection_threads = 1;
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return false;
@@ -159,6 +236,10 @@ bool HttpServer::start(const Options& options) {
 
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { accept_loop(); });
+  conn_workers_.reserve(options_.connection_threads);
+  for (std::size_t i = 0; i < options_.connection_threads; ++i) {
+    conn_workers_.emplace_back([this] { connection_loop(); });
+  }
   return true;
 }
 
@@ -171,11 +252,25 @@ void HttpServer::stop() {
   // shutting the listener down also kicks it out of a pending accept.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (thread_.joinable()) thread_.join();
+  conn_cv_.notify_all();
+  for (std::thread& w : conn_workers_) {
+    if (w.joinable()) w.join();
+  }
+  conn_workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_queue_) ::close(fd);
+    conn_queue_.clear();
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
 }
 
 void HttpServer::accept_loop() {
+  // The hand-off queue holds a few connections per worker; past that the
+  // server is saturated and the accept thread sheds with a canned 503 (one
+  // small write) instead of queueing unbounded work.
+  const std::size_t max_queued = options_.connection_threads * 4;
   while (running_.load(std::memory_order_acquire)) {
     pollfd pfd{};
     pfd.fd = listen_fd_;
@@ -185,42 +280,88 @@ void HttpServer::accept_loop() {
     if (rc <= 0 || !(pfd.revents & POLLIN)) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (conn_queue_.size() < max_queued) {
+        conn_queue_.push_back(fd);
+        conn_cv_.notify_one();
+        continue;
+      }
+    }
+    send_response(fd, text_response(503, "server saturated\n"));
+    ::close(fd);
+  }
+}
+
+void HttpServer::connection_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conn_cv_.wait_for(lock, std::chrono::milliseconds(100), [this] {
+        return !conn_queue_.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (conn_queue_.empty()) {
+        if (!running_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
     serve_connection(fd);
     ::close(fd);
   }
 }
 
 void HttpServer::serve_connection(int fd) {
-  // Read until the end of the header block; GETs carry no body.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.read_timeout_ms);
+
+  // Read until the end of the header block — requests legitimately arrive
+  // split across any number of TCP segments (the seed implementation's
+  // single recv() mis-parsed those).
   std::string raw;
   char buf[4096];
-  while (raw.find("\r\n\r\n") == std::string::npos &&
-         raw.size() < (1u << 16)) {
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+  std::size_t header_end = std::string::npos;
+  while (true) {
+    const ssize_t n = recv_until(fd, buf, sizeof buf, deadline);
+    if (n == 0) return;  // peer closed before completing the request
+    if (n == -1) {
+      send_response(fd, text_response(408, "timed out reading request\n"));
       return;
     }
+    if (n < 0) return;
+    // Resume the terminator scan 3 bytes back: "\r\n\r\n" may straddle the
+    // boundary between the previous read and this one.
+    const std::size_t scan_from = raw.size() < 3 ? 0 : raw.size() - 3;
     raw.append(buf, static_cast<std::size_t>(n));
+    header_end = raw.find("\r\n\r\n", scan_from);
+    if (header_end != std::string::npos) break;
+    if (raw.size() > options_.max_header_bytes) {
+      send_response(fd, text_response(431, "header block too large\n"));
+      return;
+    }
   }
 
   const std::size_t line_end = raw.find("\r\n");
-  if (line_end == std::string::npos) {
-    send_response(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+  if (line_end == std::string::npos || line_end > header_end) {
+    send_response(fd, text_response(400, "bad request\n"));
     return;
   }
   std::istringstream line(raw.substr(0, line_end));
   std::string method, target, version;
   line >> method >> target >> version;
-  if (method.empty() || target.empty() || target[0] != '/') {
-    send_response(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+  if (method.empty() || target.empty() || target[0] != '/' ||
+      version.rfind("HTTP/1.", 0) != 0) {
+    send_response(fd, text_response(400, "bad request\n"));
     return;
   }
 
   requests_.add(1);
-  if (method != "GET" && method != "HEAD") {
-    send_response(fd, {405, "text/plain; charset=utf-8",
-                       "only GET is served here\n"});
+  if (method != "GET" && method != "HEAD" && method != "POST") {
+    send_response(fd, text_response(405, "only GET, HEAD and POST are "
+                                         "served here\n"));
     return;
   }
 
@@ -232,14 +373,88 @@ void HttpServer::serve_connection(int fd) {
     req.query = parse_query(std::string_view(target).substr(qmark + 1));
   }
 
-  const auto it = handlers_.find(req.path);
-  if (it == handlers_.end()) {
-    send_response(fd, {404, "text/plain; charset=utf-8",
-                       "no such endpoint; try /metrics /healthz /events "
-                       "/timeseries\n"});
+  // Header block: "Name: value" lines between the request line and the
+  // blank line. A line without a colon is a malformed request.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string_view hline(raw.data() + pos, eol - pos);
+    const std::size_t colon = hline.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      send_response(fd, text_response(400, "malformed header line\n"));
+      return;
+    }
+    std::string name = to_lower(std::string(hline.substr(0, colon)));
+    std::string_view value = hline.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+      value.remove_suffix(1);
+    }
+    req.headers[std::move(name)] = std::string(value);
+    pos = eol + 2;
+  }
+
+  // Route before reading any body: a POST to a GET-only (or unknown) path
+  // answers 405/404 without demanding a Content-Length first.
+  const auto& table = method == "POST" ? post_handlers_ : handlers_;
+  const auto route = table.find(req.path);
+  if (route == table.end()) {
+    const auto& other = method == "POST" ? handlers_ : post_handlers_;
+    if (other.count(req.path) != 0) {
+      send_response(fd, text_response(405, "method not allowed on this "
+                                           "endpoint\n"));
+    } else {
+      send_response(fd, text_response(404,
+                                      "no such endpoint; try /metrics "
+                                      "/healthz /events /timeseries\n"));
+    }
     return;
   }
-  HttpResponse resp = it->second(req);
+
+  if (method == "POST") {
+    const auto it = req.headers.find("content-length");
+    if (it == req.headers.end()) {
+      send_response(fd, text_response(411, "POST requires Content-Length\n"));
+      return;
+    }
+    const char* text = it->second.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long length = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        it->second.find('-') != std::string::npos) {
+      send_response(fd, text_response(400, "bad Content-Length\n"));
+      return;
+    }
+    if (length > options_.max_body_bytes) {
+      send_response(fd, text_response(413, "body too large\n"));
+      return;
+    }
+    req.body = raw.substr(header_end + 4);
+    if (req.body.size() > length) req.body.resize(length);  // pipelined tail
+    while (req.body.size() < length) {
+      const ssize_t n = recv_until(fd, buf, sizeof buf, deadline);
+      if (n == 0) return;  // truncated body: close, no response to trust
+      if (n == -1) {
+        send_response(fd, text_response(408, "timed out reading body\n"));
+        return;
+      }
+      if (n < 0) return;
+      const std::size_t want = length - req.body.size();
+      req.body.append(buf, std::min(static_cast<std::size_t>(n), want));
+    }
+  }
+
+  HttpResponse resp;
+  try {
+    resp = route->second(req);
+  } catch (const std::exception& e) {
+    resp = text_response(500, std::string("handler error: ") + e.what() +
+                                  "\n");
+  }
   if (method == "HEAD") resp.body.clear();
   send_response(fd, resp);
 }
@@ -252,7 +467,7 @@ void install_telemetry_endpoints(
     std::ostringstream os;
     obs::render_prometheus(obs::Registry::global().snapshot(), os);
     return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
-                        os.str()};
+                        os.str(), {}, false};
   });
 
   server.handle("/healthz", [events, health_fields](const HttpRequest&) {
@@ -267,13 +482,13 @@ void install_telemetry_endpoints(
       if (!extra.empty()) os << "," << extra;
     }
     os << "}\n";
-    return HttpResponse{200, "application/json", os.str()};
+    return HttpResponse{200, "application/json", os.str(), {}, false};
   });
 
   server.handle("/events", [events](const HttpRequest& req) {
     if (!events) {
       return HttpResponse{404, "text/plain; charset=utf-8",
-                          "no event log attached\n"};
+                          "no event log attached\n", {}, false};
     }
     std::uint64_t since = 0;
     std::size_t max_events = 1000;
@@ -288,17 +503,17 @@ void install_telemetry_endpoints(
       ev.write_json(os);
       os << "\n";
     }
-    return HttpResponse{200, "application/x-ndjson", os.str()};
+    return HttpResponse{200, "application/x-ndjson", os.str(), {}, false};
   });
 
   server.handle("/timeseries", [sampler](const HttpRequest&) {
     if (!sampler) {
       return HttpResponse{404, "text/plain; charset=utf-8",
-                          "no sampler attached\n"};
+                          "no sampler attached\n", {}, false};
     }
     std::ostringstream os;
     sampler->write_json(os);
-    return HttpResponse{200, "application/json", os.str()};
+    return HttpResponse{200, "application/json", os.str(), {}, false};
   });
 }
 

@@ -1,13 +1,28 @@
 // http_exposition.hpp — a small, dependency-free HTTP/1.1 server exposing
-// the observability layer to scrapers and humans.
+// the observability layer to scrapers AND serving scan requests to clients.
 //
-// This is deliberately not a web framework: one accept thread, blocking
-// POSIX sockets, GET-only, `Connection: close` on every response. That is
-// exactly enough for a Prometheus scrape loop, a `curl` in a terminal, or
-// a dashboard polling JSON — and small enough to audit in one sitting.
-// Handlers run on the accept thread, so a response renderer that takes
-// milliseconds delays the next request by milliseconds; every built-in
-// endpoint renders from snapshots and stays well under that.
+// This is deliberately not a web framework: blocking POSIX sockets, exact
+// path routing, `Connection: close` on every response. PR 5 shipped it as a
+// GET-only telemetry surface served straight off the accept thread; the
+// detection-as-a-service path promoted it to a small serving front end:
+//
+//   * Requests are parsed with a read loop (headers may arrive split across
+//     any number of TCP segments) under explicit limits — oversized header
+//     blocks answer 431, oversized bodies 413, absent/bogus Content-Length
+//     411/400, and a stalled peer 408 after `read_timeout_ms` — so a
+//     malformed or malicious client gets a 4xx or a closed socket, never a
+//     wedged server.
+//   * POST carries a Content-Length body into HttpRequest::body, routed via
+//     handle_post(); GET/HEAD routing is unchanged. Any other method is 405.
+//   * A handler can stream its body with HttpResponse::chunked
+//     (Transfer-Encoding: chunked), so long scan responses start flowing
+//     before the renderer finishes sizing them.
+//   * Accepted connections are served by a small pool of connection worker
+//     threads (Options::connection_threads); the accept loop only accepts
+//     and hands off, so a handler that blocks (e.g. waiting on the serving
+//     queue) delays its own connection, not the listener. When every worker
+//     is busy and the hand-off queue is full the accept thread answers a
+//     canned 503 immediately.
 //
 // install_telemetry_endpoints() wires the standard service trio:
 //
@@ -17,17 +32,23 @@
 //                            &max=M caps the batch, default 1000)
 //   GET /timeseries          the sampler's ring buffers as JSON
 //
+// (serving.hpp adds POST /scan and POST /trace on top of this layer.)
+//
 // The server binds 127.0.0.1 by default (telemetry is an operator loop,
 // not a public surface); port 0 picks an ephemeral port, readable from
 // port() after start().
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/registry.hpp"
 
@@ -39,15 +60,25 @@ class TimeSeriesSampler;
 namespace psa::net {
 
 struct HttpRequest {
-  std::string method;  // "GET"
+  std::string method;  // "GET", "HEAD" or "POST"
   std::string path;    // "/events" (query stripped, percent-decoded)
-  std::map<std::string, std::string> query;  // decoded key → value
+  std::map<std::string, std::string> query;    // decoded key → value
+  std::map<std::string, std::string> headers;  // lower-cased field names
+  std::string body;                            // POST payload ("" for GET)
+
+  /// Header value by lower-case name ("" when absent).
+  const std::string& header(const std::string& name) const;
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers, e.g. {"Retry-After", "1"} on a 429.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  /// Send the body as Transfer-Encoding: chunked instead of Content-Length
+  /// (the streaming shape long scan responses use).
+  bool chunked = false;
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
@@ -58,6 +89,17 @@ class HttpServer {
     std::string bind_address = "127.0.0.1";
     std::uint16_t port = 0;  // 0 = ephemeral; see port() after start()
     int backlog = 16;
+    /// Connection worker threads. Handlers run here — a blocking handler
+    /// occupies one worker, never the accept loop.
+    std::size_t connection_threads = 4;
+    /// Total budget for reading one request (headers + body). A peer that
+    /// stalls past it gets 408 and the socket is closed.
+    int read_timeout_ms = 5000;
+    /// Request line + header block cap; beyond it the peer gets 431.
+    std::size_t max_header_bytes = 16 * 1024;
+    /// Body cap (Content-Length larger than this answers 413 immediately,
+    /// without reading the body).
+    std::size_t max_body_bytes = 4 * 1024 * 1024;
   };
 
   HttpServer();
@@ -65,12 +107,17 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Register a handler for an exact path (no patterns). Must be called
-  /// before start().
+  /// Register a GET/HEAD handler for an exact path (no patterns). Must be
+  /// called before start().
   void handle(std::string path, HttpHandler handler);
 
-  /// Bind + listen + launch the accept thread. Returns false (with the
-  /// server stopped) when the socket cannot be bound.
+  /// Register a POST handler for an exact path. A path may carry both a GET
+  /// and a POST handler; a method without a handler answers 405.
+  void handle_post(std::string path, HttpHandler handler);
+
+  /// Bind + listen + launch the accept thread and connection workers.
+  /// Returns false (with the server stopped) when the socket cannot be
+  /// bound.
   bool start(const Options& options);
   bool start();  // default Options: loopback, ephemeral port
   void stop();
@@ -83,13 +130,22 @@ class HttpServer {
 
  private:
   void accept_loop();
+  void connection_loop();
   void serve_connection(int fd);
 
-  std::map<std::string, HttpHandler> handlers_;
+  std::map<std::string, HttpHandler> handlers_;       // GET/HEAD routes
+  std::map<std::string, HttpHandler> post_handlers_;  // POST routes
+  Options options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread thread_;
+
+  // Accepted fds awaiting a connection worker (guarded by conn_mu_).
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::deque<int> conn_queue_;
+  std::vector<std::thread> conn_workers_;
 
   obs::Counter requests_;
   std::uint64_t attach_id_ = 0;

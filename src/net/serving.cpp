@@ -1,0 +1,609 @@
+#include "net/serving.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "afe/spectrum_analyzer.hpp"
+#include "analysis/localizer.hpp"
+#include "trojan/trojan.hpp"
+
+namespace psa::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value parser. The serving endpoints accept small, flat
+// payloads; a dependency would be a worse deal than these ~120 lines.
+// Strict where it matters: full-input consumption, no trailing garbage,
+// strtod-validated numbers.
+
+struct Json {
+  enum Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::map<std::string, Json> object;
+  std::vector<Json> array;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.c_str()), end_(text.c_str() + text.size()) {}
+
+  bool parse(Json& out) {
+    skip_ws();
+    if (!value(out, 0)) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 16;
+
+  void skip_ws() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool literal(const char* text) {
+    const std::size_t n = std::strlen(text);
+    if (static_cast<std::size_t>(end_ - p_) < n ||
+        std::memcmp(p_, text, n) != 0) {
+      return false;
+    }
+    p_ += n;
+    return true;
+  }
+
+  bool value(Json& out, int depth) {
+    if (depth > kMaxDepth || p_ >= end_) return false;
+    switch (*p_) {
+      case '{': return object(out, depth);
+      case '[': return array(out, depth);
+      case '"':
+        out.type = Json::kString;
+        return string(out.string);
+      case 't':
+        out.type = Json::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.type = Json::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.type = Json::kNull;
+        return literal("null");
+      default:
+        return number(out);
+    }
+  }
+
+  bool number(Json& out) {
+    char* after = nullptr;
+    // p_ points into a NUL-terminated buffer, so strtod stops at the first
+    // non-numeric character on its own.
+    const double v = std::strtod(p_, &after);
+    if (after == p_ || after > end_) return false;
+    out.type = Json::kNumber;
+    out.number = v;
+    p_ = after;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    ++p_;  // opening quote
+    out.clear();
+    while (p_ < end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p_ >= end_) return false;
+      switch (*p_++) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (end_ - p_ < 4) return false;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // ASCII escapes decode exactly; anything wider is replaced (the
+          // serving payloads are ASCII keywords and numbers).
+          out += cp < 0x80 ? static_cast<char>(cp) : '?';
+          break;
+        }
+        default: return false;
+      }
+    }
+    if (p_ >= end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool object(Json& out, int depth) {
+    out.type = Json::kObject;
+    ++p_;  // '{'
+    skip_ws();
+    if (p_ < end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (p_ >= end_ || *p_ != '"') return false;
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (p_ >= end_ || *p_ != ':') return false;
+      ++p_;
+      skip_ws();
+      Json v;
+      if (!value(v, depth + 1)) return false;
+      out.object[std::move(key)] = std::move(v);
+      skip_ws();
+      if (p_ < end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (p_ < end_ && *p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array(Json& out, int depth) {
+    out.type = Json::kArray;
+    ++p_;  // '['
+    skip_ws();
+    if (p_ < end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Json v;
+      if (!value(v, depth + 1)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (p_ < end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (p_ < end_ && *p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// ---------------------------------------------------------------------------
+// JSON writing. Scores travel twice: %.17g decimals (human/plot use; exact
+// double round-trip) and %016llx bit patterns (the golden-vector contract —
+// bit-exact comparison with tests/golden/*.golden needs no float parsing).
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+std::string hex_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+HttpResponse json_error(int status, const std::string& message) {
+  std::string body = "{\"error\":\"" + message + "\"}\n";
+  return HttpResponse{status, "application/json", std::move(body), {}, false};
+}
+
+bool parse_trojan(const std::string& name,
+                  std::optional<trojan::TrojanKind>& out) {
+  if (name == "none") {
+    out.reset();
+    return true;
+  }
+  if (name == "t1") out = trojan::TrojanKind::kT1AmCarrier;
+  else if (name == "t2") out = trojan::TrojanKind::kT2KeyLeak;
+  else if (name == "t3") out = trojan::TrojanKind::kT3CdmaLeak;
+  else if (name == "t4") out = trojan::TrojanKind::kT4DoS;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ServingQueue
+
+ServingQueue::ServingQueue(const ServingConfig& config) : config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.queue_depth == 0) config_.queue_depth = 1;
+  auto& reg = obs::Registry::global();
+  attach_ids_ = {
+      reg.attach_counter("net.serving.submitted", &submitted_),
+      reg.attach_counter("net.serving.executed", &executed_),
+      reg.attach_counter("net.serving.coalesced", &coalesced_),
+      reg.attach_counter("net.serving.shed", &shed_),
+      reg.attach_gauge("net.serving.queue_depth", &depth_),
+  };
+  running_ = true;
+  executors_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+ServingQueue::~ServingQueue() {
+  stop();
+  for (const std::uint64_t id : attach_ids_) {
+    obs::Registry::global().detach(id);
+  }
+}
+
+std::optional<ServingQueue::Ticket> ServingQueue::submit(
+    const std::string& key, Job job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  submitted_.add(1);
+  if (!running_) {
+    shed_.add(1);
+    return std::nullopt;
+  }
+  if (config_.coalesce && !key.empty()) {
+    const auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      coalesced_.add(1);
+      return Ticket{it->second->future, /*coalesced=*/true};
+    }
+  }
+  if (queue_.size() >= config_.queue_depth) {
+    shed_.add(1);
+    return std::nullopt;
+  }
+  auto group = std::make_shared<Group>();
+  group->key = key;
+  group->job = std::move(job);
+  group->future = group->promise.get_future().share();
+  queue_.push_back(group);
+  if (config_.coalesce && !key.empty()) pending_[key] = group;
+  depth_.set(static_cast<double>(queue_.size()));
+  cv_.notify_one();
+  return Ticket{group->future, /*coalesced=*/false};
+}
+
+void ServingQueue::executor_loop() {
+  for (;;) {
+    std::shared_ptr<Group> group;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !queue_.empty() || !running_; });
+      if (queue_.empty()) return;  // stopping and drained
+      group = queue_.front();
+      queue_.pop_front();
+      depth_.set(static_cast<double>(queue_.size()));
+    }
+    ServingResult result;
+    try {
+      result = group->job();
+    } catch (const std::exception& e) {
+      result = ServingResult{500, "application/json",
+                             "{\"error\":\"" + std::string(e.what()) +
+                                 "\"}\n"};
+    }
+    executed_.add(1);
+    {
+      // The group stops attracting attachments only now — coalescing spans
+      // the whole queued+executing window (results are deterministic, so a
+      // mid-execution attacher gets an identical answer).
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = pending_.find(group->key);
+      if (it != pending_.end() && it->second == group) pending_.erase(it);
+    }
+    group->promise.set_value(std::move(result));
+  }
+}
+
+void ServingQueue::stop() {
+  std::vector<std::shared_ptr<Group>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ && executors_.empty()) return;
+    running_ = false;
+    orphans.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    pending_.clear();
+    depth_.set(0.0);
+  }
+  cv_.notify_all();
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+  // No waiter may hang on shutdown: everything still queued answers 503.
+  for (const auto& group : orphans) {
+    group->promise.set_value(ServingResult{
+        503, "application/json", "{\"error\":\"shutting down\"}\n"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScanService
+
+ScanService::ScanService(const analysis::Pipeline& pipeline,
+                         const ServingConfig& config)
+    : pipeline_(pipeline),
+      queue_(config),
+      scan_latency_us_(
+          obs::Registry::global().histogram("net.serving.scan.latency_us")),
+      trace_latency_us_(
+          obs::Registry::global().histogram("net.serving.trace.latency_us")) {}
+
+ScanService::~ScanService() { stop(); }
+
+void ScanService::stop() { queue_.stop(); }
+
+void ScanService::install(HttpServer& server) {
+  server.handle_post("/scan",
+                     [this](const HttpRequest& req) { return handle_scan(req); });
+  server.handle_post("/trace", [this](const HttpRequest& req) {
+    return handle_trace(req);
+  });
+}
+
+HttpResponse ScanService::shed_response() const {
+  const long long retry_s = static_cast<long long>(
+      std::ceil(std::max(queue_.config().retry_after_s, 0.0)));
+  HttpResponse resp = json_error(429, "queue full, retry later");
+  resp.extra_headers.emplace_back("Retry-After",
+                                  std::to_string(std::max(retry_s, 1LL)));
+  return resp;
+}
+
+HttpResponse ScanService::handle_scan(const HttpRequest& req) {
+  Json root;
+  if (!JsonParser(req.body).parse(root) || root.type != Json::kObject) {
+    return json_error(400, "body must be a JSON object");
+  }
+  for (const auto& [key, unused] : root.object) {
+    if (key != "trojan" && key != "seed" && key != "vdd" &&
+        key != "temperature_k" && key != "gain_drift_sigma" &&
+        key != "encrypting") {
+      return json_error(400, "unknown field: " + key);
+    }
+  }
+
+  const auto trojan_it = root.object.find("trojan");
+  if (trojan_it == root.object.end() ||
+      trojan_it->second.type != Json::kString) {
+    return json_error(400, "\"trojan\" must be \"t1\"..\"t4\" or \"none\"");
+  }
+  std::optional<trojan::TrojanKind> kind;
+  if (!parse_trojan(trojan_it->second.string, kind)) {
+    return json_error(400, "\"trojan\" must be \"t1\"..\"t4\" or \"none\"");
+  }
+
+  std::uint64_t seed = 1;
+  if (const auto it = root.object.find("seed"); it != root.object.end()) {
+    if (it->second.type != Json::kNumber || it->second.number < 0 ||
+        it->second.number != std::floor(it->second.number)) {
+      return json_error(400, "\"seed\" must be a non-negative integer");
+    }
+    seed = static_cast<std::uint64_t>(it->second.number);
+  }
+
+  sim::Scenario scenario = kind ? sim::Scenario::with_trojan(*kind, seed)
+                                : sim::Scenario::baseline(seed);
+  const char* const double_fields[] = {"vdd", "temperature_k",
+                                       "gain_drift_sigma"};
+  double* const targets[] = {&scenario.vdd, &scenario.temperature_k,
+                             &scenario.gain_drift_sigma};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto it = root.object.find(double_fields[i]);
+    if (it == root.object.end()) continue;
+    if (it->second.type != Json::kNumber ||
+        !std::isfinite(it->second.number)) {
+      return json_error(400, std::string("\"") + double_fields[i] +
+                                 "\" must be a finite number");
+    }
+    *targets[i] = it->second.number;
+  }
+  if (const auto it = root.object.find("encrypting");
+      it != root.object.end()) {
+    if (it->second.type != Json::kBool) {
+      return json_error(400, "\"encrypting\" must be a boolean");
+    }
+    scenario.encrypting = it->second.boolean;
+  }
+
+  // Canonical scenario key: equal scenarios must coalesce, so doubles go in
+  // as bit patterns, not formatted decimals.
+  std::string key = "scan|trojan=" + trojan_it->second.string +
+                    "|seed=" + std::to_string(seed) +
+                    "|vdd=" + hex_bits(scenario.vdd) +
+                    "|tk=" + hex_bits(scenario.temperature_k) +
+                    "|gds=" + hex_bits(scenario.gain_drift_sigma) +
+                    "|enc=" + (scenario.encrypting ? "1" : "0");
+
+  const std::string trojan_name = trojan_it->second.string;
+  auto job = [this, scenario, trojan_name, seed]() -> ServingResult {
+    const std::array<double, 16> scores = pipeline_.scan_scores(scenario);
+    const analysis::LocalizationResult loc =
+        analysis::localize_from_scores(scores, pipeline_.sensor_mask());
+    const analysis::DetectionResult det =
+        pipeline_.detect(loc.best_sensor, scenario);
+
+    std::string body;
+    body.reserve(1536);
+    body += "{\"scenario\":{\"trojan\":\"" + trojan_name +
+            "\",\"seed\":" + std::to_string(seed) + ",\"vdd\":";
+    append_double(body, scenario.vdd);
+    body += ",\"temperature_k\":";
+    append_double(body, scenario.temperature_k);
+    body += ",\"gain_drift_sigma\":";
+    append_double(body, scenario.gain_drift_sigma);
+    body += ",\"encrypting\":";
+    body += scenario.encrypting ? "true" : "false";
+    body += "},\"scores\":[";
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      if (i) body += ',';
+      append_double(body, scores[i]);
+    }
+    body += "],\"scores_hex\":[";
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      if (i) body += ',';
+      body += '"' + hex_bits(scores[i]) + '"';
+    }
+    body += "],\"best_sensor\":" + std::to_string(loc.best_sensor) +
+            ",\"localized\":";
+    body += loc.localized ? "true" : "false";
+    body += ",\"contrast_db\":";
+    append_double(body, loc.contrast_db);
+    body += ",\"detected\":";
+    body += det.detected ? "true" : "false";
+    body += ",\"z\":";
+    append_double(body, det.score);
+    body += ",\"peak_freq_hz\":";
+    append_double(body, det.peak_freq_hz);
+    body += "}\n";
+    return ServingResult{200, "application/json", std::move(body)};
+  };
+
+  const double t0 = obs::now_us();
+  const auto ticket = queue_.submit(key, std::move(job));
+  if (!ticket) return shed_response();
+  const ServingResult result = ticket->result.get();
+  scan_latency_us_.record(obs::now_us() - t0);
+
+  HttpResponse resp{result.status, result.content_type, result.body, {},
+                    /*chunked=*/false};
+  resp.extra_headers.emplace_back("X-PSA-Coalesced",
+                                  ticket->coalesced ? "1" : "0");
+  if (const auto it = req.query.find("chunked");
+      it != req.query.end() && it->second != "0") {
+    resp.chunked = true;
+  }
+  return resp;
+}
+
+HttpResponse ScanService::handle_trace(const HttpRequest& req) {
+  Json root;
+  if (!JsonParser(req.body).parse(root) || root.type != Json::kObject) {
+    return json_error(400, "body must be a JSON object");
+  }
+  for (const auto& [key, unused] : root.object) {
+    if (key != "sensor" && key != "sample_rate_hz" && key != "samples") {
+      return json_error(400, "unknown field: " + key);
+    }
+  }
+
+  const auto sensor_it = root.object.find("sensor");
+  if (sensor_it == root.object.end() ||
+      sensor_it->second.type != Json::kNumber ||
+      sensor_it->second.number < 0 || sensor_it->second.number > 15 ||
+      sensor_it->second.number != std::floor(sensor_it->second.number)) {
+    return json_error(400, "\"sensor\" must be an integer in [0, 15]");
+  }
+  const std::size_t sensor =
+      static_cast<std::size_t>(sensor_it->second.number);
+  if (pipeline_.sensor_masked(sensor)) {
+    return json_error(400, "sensor is masked (degraded mode)");
+  }
+
+  const auto rate_it = root.object.find("sample_rate_hz");
+  if (rate_it == root.object.end() ||
+      rate_it->second.type != Json::kNumber ||
+      !std::isfinite(rate_it->second.number) ||
+      rate_it->second.number <= 0.0) {
+    return json_error(400, "\"sample_rate_hz\" must be a positive number");
+  }
+  const double sample_rate_hz = rate_it->second.number;
+
+  const auto samples_it = root.object.find("samples");
+  if (samples_it == root.object.end() ||
+      samples_it->second.type != Json::kArray ||
+      samples_it->second.array.empty()) {
+    return json_error(400, "\"samples\" must be a non-empty array");
+  }
+  std::vector<double> samples;
+  samples.reserve(samples_it->second.array.size());
+  for (const Json& v : samples_it->second.array) {
+    if (v.type != Json::kNumber || !std::isfinite(v.number)) {
+      return json_error(400, "\"samples\" must contain finite numbers");
+    }
+    samples.push_back(v.number);
+  }
+
+  // Externally captured traces are never identical byte-for-byte, so the
+  // trace path skips coalescing (empty key) and only rides the queue for
+  // backpressure + executor isolation.
+  auto job = [this, sensor, sample_rate_hz,
+              samples = std::move(samples)]() -> ServingResult {
+    const afe::SpectrumAnalyzer analyzer(pipeline_.config().analyzer);
+    const dsp::Spectrum spectrum = analyzer.sweep(samples, sample_rate_hz);
+    const analysis::DetectionResult det =
+        pipeline_.score_spectrum(sensor, spectrum);
+
+    std::string body;
+    body.reserve(256);
+    body += "{\"sensor\":" + std::to_string(sensor) + ",\"detected\":";
+    body += det.detected ? "true" : "false";
+    body += ",\"z\":";
+    append_double(body, det.score);
+    body += ",\"z_hex\":\"" + hex_bits(det.score) + "\",\"peak_freq_hz\":";
+    append_double(body, det.peak_freq_hz);
+    body += ",\"peak_delta_v\":";
+    append_double(body, det.peak_delta_v);
+    body += ",\"peak_is_novel\":";
+    body += det.peak_is_novel ? "true" : "false";
+    body += ",\"anomalous_bins\":" +
+            std::to_string(det.anomalous_bins.size()) + "}\n";
+    return ServingResult{200, "application/json", std::move(body)};
+  };
+
+  const double t0 = obs::now_us();
+  const auto ticket = queue_.submit("", std::move(job));
+  if (!ticket) return shed_response();
+  const ServingResult result = ticket->result.get();
+  trace_latency_us_.record(obs::now_us() - t0);
+
+  return HttpResponse{result.status, result.content_type, result.body, {},
+                      /*chunked=*/false};
+}
+
+}  // namespace psa::net

@@ -1,0 +1,172 @@
+// serving.hpp — detection-as-a-service: the bounded, coalescing request
+// queue behind `POST /scan` and `POST /trace`.
+//
+// The serving path has three jobs the bare HTTP layer does not do:
+//
+//   * Backpressure. `ServingQueue` holds at most `queue_depth` queued
+//     request groups. A submit against a full queue is *shed* — the caller
+//     gets no ticket and the endpoint answers 429 with a Retry-After
+//     header. Shedding is a counter bump and an early return on the
+//     connection worker; the accept loop never blocks on a full queue.
+//
+//   * Batching. Submissions carry a coalescing key (the canonical scenario
+//     string). While a group for that key is queued or executing, further
+//     identical submissions attach to it and share the one result — so 8
+//     concurrent clients asking for the same scenario cost one synthesis
+//     through the `ActivitySynthesis` cache and one 16-sensor scan, not 8.
+//     Sound because every scan is deterministic and bit-identical for a
+//     given scenario (the golden-vector contract).
+//
+//   * Isolation. Executors are dedicated std::threads, *not* ThreadPool
+//     workers: a pool worker calling parallel_for degrades to serial
+//     (common/parallel.hpp), so running scans on the pool would forfeit the
+//     fan-out. From a dedicated executor the pipeline's parallel_for fans
+//     out across the existing global ThreadPool as usual.
+//
+// Stop ordering: call ScanService::stop() (or ServingQueue::stop()) BEFORE
+// HttpServer::stop(). Connection workers block in future.get() waiting for
+// a verdict; stop() fulfils every still-queued group with 503 so none of
+// them hangs.
+//
+// Metrics (instance-owned, attached to the global registry):
+//   net.serving.submitted / executed / coalesced / shed    counters
+//   net.serving.queue_depth                                gauge
+//   net.serving.scan.latency_us / trace.latency_us         histograms
+//     (client-observed: queue wait + execution, recorded at future
+//      fulfilment by the endpoint wiring)
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "net/http_exposition.hpp"
+#include "obs/registry.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa::net {
+
+struct ServingConfig {
+  /// Maximum *queued* request groups (executing groups don't count).
+  /// Submissions past this are shed (429).
+  std::size_t queue_depth = 32;
+  /// Dedicated executor threads draining the queue.
+  std::size_t workers = 2;
+  /// Coalesce identical keys into one execution. Off = every submission
+  /// is its own group (the bench's control arm).
+  bool coalesce = true;
+  /// Advisory Retry-After seconds on a 429.
+  double retry_after_s = 1.0;
+};
+
+/// What an executed job hands back to every attached waiter.
+struct ServingResult {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class ServingQueue {
+ public:
+  using Job = std::function<ServingResult()>;
+
+  struct Ticket {
+    std::shared_future<ServingResult> result;
+    /// True when this submission attached to an already-pending group.
+    bool coalesced = false;
+  };
+
+  explicit ServingQueue(const ServingConfig& config = {});
+  ~ServingQueue();
+  ServingQueue(const ServingQueue&) = delete;
+  ServingQueue& operator=(const ServingQueue&) = delete;
+
+  /// Enqueue `job` under coalescing key `key` (""= never coalesce).
+  /// Returns std::nullopt when the queue is full (the submission was shed).
+  std::optional<Ticket> submit(const std::string& key, Job job);
+
+  void stop();  // fulfils queued groups with 503, joins executors
+
+  const ServingConfig& config() const { return config_; }
+
+  // Accounting (exposed for tests and the bench).
+  std::uint64_t submitted() const { return submitted_.value(); }
+  std::uint64_t executed() const { return executed_.value(); }
+  std::uint64_t coalesced() const { return coalesced_.value(); }
+  std::uint64_t shed() const { return shed_.value(); }
+
+ private:
+  struct Group {
+    std::string key;
+    Job job;
+    std::promise<ServingResult> promise;
+    std::shared_future<ServingResult> future;
+  };
+
+  void executor_loop();
+
+  ServingConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Group>> queue_;  // awaiting an executor
+  /// Queued OR executing groups by key — attachments target these. Entries
+  /// leave when execution completes (attach-while-executing is sound: the
+  /// result is deterministic).
+  std::map<std::string, std::shared_ptr<Group>> pending_;
+  std::vector<std::thread> executors_;
+  bool running_ = false;
+
+  obs::Counter submitted_, executed_, coalesced_, shed_;
+  obs::Gauge depth_;
+  std::vector<std::uint64_t> attach_ids_;
+};
+
+/// The two serving endpoints, bound to an enrolled pipeline.
+///
+///   POST /scan   {"trojan":"t1".."t4"|"none","seed":N, optional "vdd",
+///                 "temperature_k","gain_drift_sigma","encrypting"}
+///                → 16 scan scores (decimal + bit-exact hex), localization,
+///                  and the detector verdict at the winning sensor.
+///                  `?chunked=1` streams the response chunked.
+///   POST /trace  {"sensor":k,"sample_rate_hz":H,"samples":[...]}
+///                → detector verdict for an externally captured activity
+///                  trace, scored against sensor k's enrollment.
+class ScanService {
+ public:
+  /// `pipeline` must already be enrolled and outlive the service.
+  ScanService(const analysis::Pipeline& pipeline,
+              const ServingConfig& config = {});
+  ~ScanService();
+  ScanService(const ScanService&) = delete;
+  ScanService& operator=(const ScanService&) = delete;
+
+  /// Register POST /scan and POST /trace on `server`.
+  void install(HttpServer& server);
+
+  /// Stop the queue (call before HttpServer::stop()).
+  void stop();
+
+  ServingQueue& queue() { return queue_; }
+
+ private:
+  HttpResponse handle_scan(const HttpRequest& req);
+  HttpResponse handle_trace(const HttpRequest& req);
+  HttpResponse shed_response() const;
+
+  const analysis::Pipeline& pipeline_;
+  ServingQueue queue_;
+  obs::Histogram& scan_latency_us_;
+  obs::Histogram& trace_latency_us_;
+};
+
+}  // namespace psa::net

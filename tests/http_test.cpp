@@ -3,6 +3,12 @@
 // 404/405 handling, concurrent clients, and a clean stop/restart cycle.
 // The client half is a deliberately dumb blocking-socket GET so the test
 // exercises the same byte stream curl and a Prometheus scraper would.
+//
+// The robustness half feeds the server what hostile or broken clients
+// actually send — byte-by-byte trickle, split segments, garbage request
+// lines, oversized headers, lying Content-Length, truncated bodies,
+// pipelining, seeded random fuzz — and requires a 4xx or a closed socket
+// every time, with the server still serving afterwards.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -10,7 +16,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +62,71 @@ std::string http_request(std::uint16_t port, const std::string& target,
 std::string body_of(const std::string& resp) {
   const std::size_t sep = resp.find("\r\n\r\n");
   return sep == std::string::npos ? "" : resp.substr(sep + 4);
+}
+
+/// Connect and ship arbitrary bytes (optionally in chunks with a pause, or
+/// one byte at a time); `shut_wr` half-closes after sending so the server
+/// sees EOF instead of waiting out its read timeout. Returns the full
+/// response ("" = connect failed or the server closed without replying).
+struct RawOptions {
+  bool shut_wr = true;
+  bool byte_by_byte = false;
+  int pause_ms = 0;  // between chunks/bytes
+};
+
+std::string raw_request(std::uint16_t port,
+                        const std::vector<std::string>& chunks,
+                        const RawOptions& opt = {}) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  for (const std::string& chunk : chunks) {
+    if (opt.byte_by_byte) {
+      for (const char c : chunk) {
+        (void)::send(fd, &c, 1, MSG_NOSIGNAL);
+        if (opt.pause_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(opt.pause_ms));
+        }
+      }
+    } else {
+      (void)::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+      if (opt.pause_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(opt.pause_ms));
+      }
+    }
+  }
+  if (opt.shut_wr) ::shutdown(fd, SHUT_WR);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+/// Reassemble a Transfer-Encoding: chunked body.
+std::string decode_chunked(const std::string& body) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t eol = body.find("\r\n", pos);
+    if (eol == std::string::npos) break;
+    const unsigned long len =
+        std::strtoul(body.substr(pos, eol - pos).c_str(), nullptr, 16);
+    if (len == 0) break;
+    out += body.substr(eol + 2, len);
+    pos = eol + 2 + len + 2;
+  }
+  return out;
 }
 
 // --------------------------------------------------------- query parsing
@@ -200,6 +274,278 @@ TEST(HttpTelemetry, NullSamplerReports404OnTimeseries) {
   EXPECT_NE(http_request(server.port(), "/timeseries").find("404"),
             std::string::npos);
   server.stop();
+}
+
+// ------------------------------------------------------ POST and chunked
+
+TEST(HttpPost, BodyReachesPostHandlerAndEchoesBack) {
+  net::HttpServer server;
+  server.handle_post("/echo", [](const net::HttpRequest& req) {
+    EXPECT_EQ(req.method, "POST");
+    EXPECT_EQ(req.header("content-type"), "application/json");
+    return net::HttpResponse{200, "text/plain", req.body};
+  });
+  ASSERT_TRUE(server.start());
+  const std::string resp = raw_request(
+      server.port(),
+      {"POST /echo HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n"
+       "Content-Length: 14\r\n\r\n{\"trojan\":\"t\"}"});
+  EXPECT_NE(resp.find("200"), std::string::npos) << resp;
+  EXPECT_EQ(body_of(resp), "{\"trojan\":\"t\"}");
+  server.stop();
+}
+
+TEST(HttpPost, GetOnPostOnlyPathIs405AndViceVersa) {
+  net::HttpServer server;
+  server.handle_post("/ingest", [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  server.handle("/view", [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  ASSERT_TRUE(server.start());
+  EXPECT_NE(http_request(server.port(), "/ingest").find("405"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.port(), "/view", "POST").find("405"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpPost, BodySplitAcrossSegmentsIsReassembled) {
+  net::HttpServer server;
+  server.handle_post("/echo", [](const net::HttpRequest& req) {
+    return net::HttpResponse{200, "text/plain", req.body};
+  });
+  ASSERT_TRUE(server.start());
+  const std::string resp = raw_request(
+      server.port(),
+      {"POST /echo HTTP/1.1\r\nContent-Length: 10\r\n\r\n", "abcde",
+       "fghij"},
+      {.shut_wr = true, .byte_by_byte = false, .pause_ms = 5});
+  EXPECT_EQ(body_of(resp), "abcdefghij") << resp;
+  server.stop();
+}
+
+TEST(HttpPost, ChunkedResponseDecodesToHandlerBody) {
+  std::string big(20000, 'x');
+  big += "END";
+  net::HttpServer server;
+  server.handle("/big", [&big](const net::HttpRequest&) {
+    net::HttpResponse resp{200, "text/plain", big};
+    resp.chunked = true;
+    return resp;
+  });
+  ASSERT_TRUE(server.start());
+  const std::string resp = http_request(server.port(), "/big");
+  EXPECT_NE(resp.find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_EQ(resp.find("Content-Length:"), std::string::npos);
+  EXPECT_EQ(decode_chunked(body_of(resp)), big);
+  server.stop();
+}
+
+TEST(HttpPost, HeadOmitsBody) {
+  net::HttpServer server;
+  server.handle("/ping", [](const net::HttpRequest&) {
+    return net::HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  const std::string resp =
+      raw_request(server.port(), {"HEAD /ping HTTP/1.1\r\nHost: x\r\n\r\n"});
+  EXPECT_NE(resp.find("200"), std::string::npos);
+  EXPECT_EQ(body_of(resp), "");
+  server.stop();
+}
+
+// ---------------------------------------------------- parser robustness
+
+/// A server with one GET and one POST route, used by every robustness case.
+class HttpRobustness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.handle("/ping", [](const net::HttpRequest&) {
+      return net::HttpResponse{200, "text/plain", "pong\n"};
+    });
+    server_.handle_post("/echo", [](const net::HttpRequest& req) {
+      return net::HttpResponse{200, "text/plain", req.body};
+    });
+  }
+
+  void start(net::HttpServer::Options options = {}) {
+    ASSERT_TRUE(server_.start(options));
+  }
+
+  /// The invariant every hostile input must leave intact.
+  void expect_still_serving() {
+    EXPECT_EQ(body_of(http_request(server_.port(), "/ping")), "pong\n");
+  }
+
+  net::HttpServer server_;
+};
+
+// Regression for the seed implementation's single-recv parse: a request
+// arriving one byte per TCP segment must still be served.
+TEST_F(HttpRobustness, ByteByByteRequestStillParses) {
+  start();
+  const std::string resp =
+      raw_request(server_.port(), {"GET /ping HTTP/1.1\r\nHost: x\r\n\r\n"},
+                  {.shut_wr = true, .byte_by_byte = true, .pause_ms = 0});
+  EXPECT_NE(resp.find("200"), std::string::npos) << resp;
+  EXPECT_EQ(body_of(resp), "pong\n");
+  expect_still_serving();
+}
+
+// The \r\n\r\n terminator split exactly across two reads.
+TEST_F(HttpRobustness, TerminatorStraddlingSegmentsParses) {
+  start();
+  const std::string full = "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n";
+  for (std::size_t split = full.size() - 4; split < full.size(); ++split) {
+    const std::string resp = raw_request(
+        server_.port(), {full.substr(0, split), full.substr(split)},
+        {.shut_wr = true, .byte_by_byte = false, .pause_ms = 5});
+    EXPECT_EQ(body_of(resp), "pong\n") << "split at " << split;
+  }
+}
+
+TEST_F(HttpRobustness, MalformedRequestLinesGet400) {
+  start();
+  const char* malformed[] = {
+      "GARBAGE\r\n\r\n",
+      "GET\r\n\r\n",
+      "GET /ping\r\n\r\n",                  // missing version
+      "GET ping HTTP/1.1\r\n\r\n",          // target without leading slash
+      "GET /ping FTP/9.9\r\n\r\n",          // wrong protocol
+      " \r\n\r\n",
+      "\r\n\r\n",
+  };
+  for (const char* req : malformed) {
+    const std::string resp = raw_request(server_.port(), {req});
+    EXPECT_NE(resp.find("400"), std::string::npos) << "for: " << req;
+  }
+  expect_still_serving();
+}
+
+TEST_F(HttpRobustness, HeaderLineWithoutColonGets400) {
+  start();
+  const std::string resp = raw_request(
+      server_.port(), {"GET /ping HTTP/1.1\r\nthis is not a header\r\n\r\n"});
+  EXPECT_NE(resp.find("400"), std::string::npos) << resp;
+  expect_still_serving();
+}
+
+TEST_F(HttpRobustness, OversizedHeaderBlockGets431) {
+  net::HttpServer::Options options;
+  options.max_header_bytes = 512;
+  start(options);
+  const std::string huge(4096, 'h');
+  const std::string resp = raw_request(
+      server_.port(), {"GET /ping HTTP/1.1\r\nX-Pad: " + huge + "\r\n\r\n"});
+  EXPECT_NE(resp.find("431"), std::string::npos) << resp.substr(0, 64);
+  expect_still_serving();
+}
+
+TEST_F(HttpRobustness, BadContentLengthGets400) {
+  start();
+  for (const char* bad : {"abc", "-5", "1e3", "18446744073709551616"}) {
+    const std::string resp = raw_request(
+        server_.port(), {std::string("POST /echo HTTP/1.1\r\nContent-Length: ") +
+                             bad + "\r\n\r\nxxxxx"});
+    EXPECT_NE(resp.find("400"), std::string::npos) << "for: " << bad;
+  }
+  expect_still_serving();
+}
+
+TEST_F(HttpRobustness, MissingContentLengthOnPostGets411) {
+  start();
+  const std::string resp =
+      raw_request(server_.port(), {"POST /echo HTTP/1.1\r\nHost: x\r\n\r\n"});
+  EXPECT_NE(resp.find("411"), std::string::npos) << resp;
+  expect_still_serving();
+}
+
+TEST_F(HttpRobustness, OverlargeBodyGets413WithoutReadingIt) {
+  net::HttpServer::Options options;
+  options.max_body_bytes = 1024;
+  start(options);
+  // Announce 1 MiB but send none of it: the 413 must come back immediately,
+  // not after a timeout spent draining a body the server will discard.
+  const std::string resp = raw_request(
+      server_.port(),
+      {"POST /echo HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n"},
+      {.shut_wr = false, .byte_by_byte = false, .pause_ms = 0});
+  EXPECT_NE(resp.find("413"), std::string::npos) << resp;
+  expect_still_serving();
+}
+
+TEST_F(HttpRobustness, TruncatedBodyWithEofClosesWithoutResponse) {
+  start();
+  const std::string resp = raw_request(
+      server_.port(),
+      {"POST /echo HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly ten b"});
+  EXPECT_EQ(resp, "");  // can't trust a half body: close, no reply
+  expect_still_serving();
+}
+
+TEST_F(HttpRobustness, StalledBodyGets408AfterTimeout) {
+  net::HttpServer::Options options;
+  options.read_timeout_ms = 200;
+  start(options);
+  // Keep the socket open, never send the promised body.
+  const std::string resp = raw_request(
+      server_.port(),
+      {"POST /echo HTTP/1.1\r\nContent-Length: 100\r\n\r\n"},
+      {.shut_wr = false, .byte_by_byte = false, .pause_ms = 0});
+  EXPECT_NE(resp.find("408"), std::string::npos) << resp;
+  expect_still_serving();
+}
+
+TEST_F(HttpRobustness, PipelinedRequestsServeFirstThenClose) {
+  start();
+  const std::string one = "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n";
+  const std::string resp = raw_request(server_.port(), {one + one});
+  // Connection: close semantics — exactly one response, then the socket
+  // shuts; the pipelined second request is dropped, never half-parsed.
+  std::size_t statuses = 0;
+  for (std::size_t at = resp.find("HTTP/1.1"); at != std::string::npos;
+       at = resp.find("HTTP/1.1", at + 1)) {
+    ++statuses;
+  }
+  EXPECT_EQ(statuses, 1u) << resp;
+  EXPECT_EQ(body_of(resp), "pong\n");
+  expect_still_serving();
+}
+
+TEST_F(HttpRobustness, PipelinedBytesAfterPostBodyAreIgnored) {
+  start();
+  const std::string resp = raw_request(
+      server_.port(), {"POST /echo HTTP/1.1\r\nContent-Length: 3\r\n\r\n"
+                       "abcGET /ping HTTP/1.1\r\n\r\n"});
+  EXPECT_EQ(body_of(resp), "abc") << resp;  // body is exactly 3 bytes
+  expect_still_serving();
+}
+
+// Seeded random fuzz: whatever bytes arrive, the server answers 4xx or
+// closes, never crashes, and keeps serving. Deterministic (fixed seed) so
+// a failure reproduces.
+TEST_F(HttpRobustness, RandomGarbageNeverWedgesTheServer) {
+  net::HttpServer::Options options;
+  options.read_timeout_ms = 1000;
+  start(options);
+  std::mt19937 rng(20260808u);
+  // Bias toward protocol-ish bytes so the fuzz reaches deeper parse paths
+  // than pure binary noise would.
+  const std::string alphabet =
+      "GET POST HEAD /ping HTTP/1.1\r\n\r\nContent-Length: 0123456789 "
+      "Host:\t\\\"%\x01\x7f";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<std::size_t> len(1, 300);
+  for (int round = 0; round < 100; ++round) {
+    std::string garbage;
+    const std::size_t n = len(rng);
+    garbage.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) garbage += alphabet[pick(rng)];
+    (void)raw_request(server_.port(), {garbage});
+  }
+  expect_still_serving();
 }
 
 }  // namespace

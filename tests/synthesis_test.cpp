@@ -166,6 +166,12 @@ TEST(ActivitySynthesisCache, StatsSnapshotSafeDuringConcurrentMeasurement) {
     const sim::Scenario s = sim::Scenario::baseline(100 + i);
     (void)chip.measure_batch(std::span<const sim::SensorView>(views), s, 64);
   }
+  // On a loaded single-core machine the poller may not have been scheduled
+  // at all yet — hold the stop flag until it has taken at least one
+  // snapshot, so the consistency checks above are guaranteed to run.
+  while (polls.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
   done.store(true, std::memory_order_release);
   poller.join();
   EXPECT_GT(polls.load(), 0u);
