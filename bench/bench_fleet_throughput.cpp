@@ -1,0 +1,273 @@
+// bench_fleet_throughput.cpp — the fleet engine's batched tick scheduler
+// against the naive thread-per-chip baseline (engineering bench, no paper
+// counterpart).
+//
+// Two FleetEngine instances are built from IDENTICAL spec sets
+// (make_fleet_specs: cohorts of --cohort chips sharing one traffic schedule,
+// Trojan mix rotating none/t1/t2/t3/t4 per cohort):
+//
+//   * naive arm    — share_cohort_synthesis off (private activity caches)
+//                    driven by run_thread_per_chip: one std::thread per
+//                    session, each looping its ticks independently. This is
+//                    the deployment people build first, and it pays N full
+//                    synthesis passes per cohort-tick plus N threads of
+//                    stack + scheduler pressure.
+//   * batched arm  — share_cohort_synthesis on, driven by run_ticks: every
+//                    tick is one parallel_for over cohort shards on the
+//                    existing ThreadPool, and the first member of each
+//                    cohort synthesizes the tick's activity bundle ONCE for
+//                    all its mates (measure_batch's synthesize-once contract
+//                    lifted to fleet scope).
+//
+// The tentpole gate is batched >= 2x naive chips/sec at N=64 (enforced when
+// --require-speedup is passed — CI's 4-vCPU runners; committed local numbers
+// stay honest either way). "At fixed MTTD" is enforced the strong way: the
+// two arms' per-session z-score streams must be BIT-IDENTICAL (memcmp of
+// doubles), so detection latency is exactly equal by construction, and the
+// bench double-checks that infected cohorts actually alarm with a sane mean
+// MTTD. Bytes/session is the RSS growth across the batched engine's
+// construction + enrollment divided by N.
+//
+// The pipeline config is deliberately light (short traces, few enrollment
+// passes): this bench measures the *scheduler*, not the DSP kernels —
+// bench_scan_throughput and bench_dsp_throughput own those numbers.
+//
+// Results land in BENCH_fleet.json (chips_per_s and speedup gated
+// higher-is-better by tools/bench_diff).
+//
+// Usage: bench_fleet_throughput [--smoke] [--sessions N] [--ticks N]
+//                               [--cohort N] [--threads N] [--seed N]
+//                               [--out FILE] [--require-speedup]
+//   --smoke            CI-sized run (fewer ticks; same code paths and gates)
+//   --sessions N       fleet size            (default 64 — the gated point)
+//   --ticks N          fleet ticks per arm   (default 12; smoke 6)
+//   --cohort N         sessions per cohort   (default 8)
+//   --require-speedup  exit nonzero unless batched >= 2x naive
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "fleet/fleet.hpp"
+
+namespace {
+
+using namespace psa;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Resident set size in bytes (Linux); 0 where unsupported.
+std::size_t rss_bytes() {
+#if defined(__linux__)
+  std::ifstream statm("/proc/self/statm");
+  std::size_t pages_total = 0;
+  std::size_t pages_resident = 0;
+  if (statm >> pages_total >> pages_resident) {
+    return pages_resident * static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  }
+#endif
+  return 0;
+}
+
+struct ArmResult {
+  double enroll_s = 0.0;
+  double run_s = 0.0;
+  double chips_per_s = 0.0;
+  std::size_t alarms = 0;
+  std::size_t alarmed_sessions = 0;
+  double mean_mttd_ticks = 0.0;
+};
+
+ArmResult run_arm(fleet::FleetEngine& engine, std::size_t ticks,
+                  bool batched) {
+  ArmResult r;
+  const Clock::time_point t0 = Clock::now();
+  engine.enroll();
+  r.enroll_s = seconds_since(t0);
+
+  const Clock::time_point t1 = Clock::now();
+  const std::size_t done =
+      batched ? engine.run_ticks(ticks) : engine.run_thread_per_chip(ticks);
+  r.run_s = seconds_since(t1);
+
+  const fleet::FleetRollup roll = engine.rollup();
+  const double session_ticks =
+      static_cast<double>(roll.sessions) * static_cast<double>(done);
+  r.chips_per_s = r.run_s > 0.0 ? session_ticks / r.run_s : 0.0;
+  r.alarms = roll.alarms;
+  r.alarmed_sessions = roll.alarmed_sessions;
+  r.mean_mttd_ticks = roll.mean_mttd_ticks;
+  return r;
+}
+
+/// Bit-exact comparison of the two arms' per-session verdict streams.
+bool verdicts_bit_identical(const fleet::FleetEngine& a,
+                            const fleet::FleetEngine& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const std::vector<double>& za = a.session(k).z_history();
+    const std::vector<double>& zb = b.session(k).z_history();
+    if (za.size() != zb.size() || za.empty()) return false;
+    if (std::memcmp(za.data(), zb.data(), za.size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ArgSpec spec;
+  spec.seed = spec.smoke = spec.out = true;
+  spec.default_out = "BENCH_fleet.json";
+  bench::Args args = bench::parse_args(argc, argv, spec);
+
+  std::size_t sessions = 64;
+  std::size_t cohort = 8;
+  std::size_t ticks = 0;  // 0 = pick from --smoke below
+  bool require_speedup = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* name) -> const char* {
+      const std::string prefix = std::string(name) + "=";
+      if (arg == name && i + 1 < argc) return argv[++i];
+      if (arg.rfind(prefix, 0) == 0) return arg.c_str() + prefix.size();
+      return nullptr;
+    };
+    if (const char* v = value("--sessions")) {
+      sessions = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--ticks")) {
+      ticks = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--cohort")) {
+      cohort = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--require-speedup") {
+      require_speedup = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (sessions == 0 || cohort == 0) {
+    std::fprintf(stderr, "FAIL: --sessions and --cohort must be > 0\n");
+    return 2;
+  }
+  if (ticks == 0) ticks = args.smoke ? 6 : 12;
+
+  bench::print_banner(
+      "Fleet throughput: batched tick scheduler vs thread-per-chip",
+      "engineering bench (no paper counterpart); gate: batched >= 2x naive "
+      "chips/sec at fixed (bit-identical) verdict streams");
+  std::printf("sessions=%zu cohort=%zu ticks=%zu threads=%zu seed=%llu%s\n\n",
+              sessions, cohort, ticks, args.threads,
+              static_cast<unsigned long long>(args.seed),
+              args.smoke ? " [smoke]" : "");
+
+  // Light config: the scheduler is under test, not the DSP (see header).
+  analysis::PipelineConfig pcfg;
+  pcfg.cycles_per_trace = 512;
+  pcfg.enrollment_traces = 4;
+  const analysis::MonitorConfig mcfg{};
+  const std::size_t activate_at = 2;
+
+  const std::vector<fleet::ChipSpec> specs = fleet::make_fleet_specs(
+      sessions, cohort, args.seed, pcfg, mcfg, activate_at);
+
+  // Naive arm: private caches, one thread per chip.
+  fleet::FleetConfig naive_cfg;
+  naive_cfg.share_cohort_synthesis = false;
+  naive_cfg.per_chip_metrics = false;
+  fleet::FleetEngine naive(specs, naive_cfg);
+  std::printf("naive arm: thread-per-chip, private activity caches...\n");
+  const ArmResult nr = run_arm(naive, ticks, /*batched=*/false);
+
+  // Batched arm: cohort shards on the pool, shared cohort caches. RSS delta
+  // across construction + enrollment is the per-session footprint.
+  fleet::FleetConfig batched_cfg;
+  batched_cfg.share_cohort_synthesis = true;
+  batched_cfg.per_chip_metrics = false;
+  const std::size_t rss_before = rss_bytes();
+  fleet::FleetEngine batched(specs, batched_cfg);
+  std::printf("batched arm: cohort shards on the pool, shared caches...\n");
+  const Clock::time_point t_enroll = Clock::now();
+  batched.enroll();
+  const double batched_enroll_s = seconds_since(t_enroll);
+  const std::size_t rss_after = rss_bytes();
+  const ArmResult br = run_arm(batched, ticks, /*batched=*/true);
+
+  const double bytes_per_session =
+      rss_after > rss_before
+          ? static_cast<double>(rss_after - rss_before) /
+                static_cast<double>(sessions)
+          : 0.0;
+  const double speedup =
+      nr.chips_per_s > 0.0 ? br.chips_per_s / nr.chips_per_s : 0.0;
+  const bool bit_identical = verdicts_bit_identical(naive, batched);
+
+  Table table({"arm", "chips/s", "wall s", "enroll s", "alarms",
+               "mean MTTD (ticks)"});
+  table.add_row({"thread-per-chip", fmt(nr.chips_per_s, 1), fmt(nr.run_s, 3),
+                 fmt(nr.enroll_s, 3), std::to_string(nr.alarms),
+                 fmt(nr.mean_mttd_ticks, 2)});
+  table.add_row({"batched", fmt(br.chips_per_s, 1), fmt(br.run_s, 3),
+                 fmt(batched_enroll_s, 3), std::to_string(br.alarms),
+                 fmt(br.mean_mttd_ticks, 2)});
+  table.print(std::cout);
+  std::printf("\nspeedup %.2fx, verdict streams %s, %.0f bytes/session\n",
+              speedup, bit_identical ? "bit-identical" : "DIVERGED",
+              bytes_per_session);
+
+  bool ok = true;
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: batched and thread-per-chip verdict streams differ\n");
+    ok = false;
+  }
+  if (br.alarms == 0 || br.alarmed_sessions == 0) {
+    std::fprintf(stderr, "FAIL: no infected session alarmed (alarms=%zu)\n",
+                 br.alarms);
+    ok = false;
+  }
+  if (require_speedup && speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: batched speedup %.2fx < 2x\n", speedup);
+    ok = false;
+  }
+
+  std::ofstream json(args.out);
+  json << "{\n"
+       << "  \"bench\": \"fleet_throughput\",\n"
+       << "  \"smoke\": " << (args.smoke ? "true" : "false") << ",\n"
+       << "  \"sessions\": " << sessions << ",\n"
+       << "  \"cohort\": " << cohort << ",\n"
+       << "  \"ticks\": " << ticks << ",\n"
+       << "  \"threads\": " << args.threads << ",\n"
+       << "  \"naive\": {\"chips_per_s\": " << nr.chips_per_s
+       << ", \"wall_s\": " << nr.run_s << ", \"enroll_s\": " << nr.enroll_s
+       << "},\n"
+       << "  \"batched\": {\"chips_per_s\": " << br.chips_per_s
+       << ", \"wall_s\": " << br.run_s << ", \"enroll_s\": " << batched_enroll_s
+       << "},\n"
+       << "  \"batching_speedup\": " << speedup << ",\n"
+       << "  \"alarms\": " << br.alarms << ",\n"
+       << "  \"alarmed_sessions\": " << br.alarmed_sessions << ",\n"
+       << "  \"mean_mttd_ticks\": " << br.mean_mttd_ticks << ",\n"
+       << "  \"bytes_per_session\": " << bytes_per_session << ",\n"
+       << "  \"verdicts_bit_identical\": " << (bit_identical ? "true" : "false")
+       << "\n}\n";
+  json.close();
+  std::printf("wrote %s (batching %.2fx)\n", args.out.c_str(), speedup);
+  return ok ? 0 : 1;
+}

@@ -7,17 +7,31 @@
 
 namespace psa::analysis {
 
-dsp::Spectrum MonitorState::push(dsp::Spectrum sweep) {
-  window_.push_back(std::move(sweep));
+const dsp::Spectrum& MonitorState::push(dsp::Spectrum sweep) {
   const std::size_t cap = std::max<std::size_t>(cfg_.sliding_window, 1);
-  while (window_.size() > cap) window_.pop_front();
-  const std::vector<dsp::Spectrum> snapshot(window_.begin(), window_.end());
-  return dsp::average_spectra(snapshot);
+  if (window_.size() >= cap) {
+    // Rotate the oldest slot to the back and move the new sweep into it:
+    // element moves only, and the displaced slot's buffers become the
+    // incoming slot's capacity on a later tick.
+    std::rotate(window_.begin(), window_.begin() + 1, window_.end());
+    while (window_.size() > cap) window_.pop_back();
+    window_.back() = std::move(sweep);
+  } else {
+    window_.push_back(std::move(sweep));
+  }
+  dsp::average_spectra_into(
+      std::span<const dsp::Spectrum>(window_.data(), window_.size()), avg_);
+  return avg_;
 }
 
 bool MonitorState::record(bool detected) {
   streak_ = detected ? streak_ + 1 : 0;
   return streak_ >= cfg_.consecutive_alarms;
+}
+
+void MonitorState::reset() {
+  window_.clear();
+  streak_ = 0;
 }
 
 RuntimeMonitor::RuntimeMonitor(const Pipeline& pipeline,
@@ -39,7 +53,7 @@ MonitorOutcome RuntimeMonitor::run(const sim::Scenario& quiet,
   for (std::size_t i = 0; i < cfg_.max_traces; ++i) {
     sim::Scenario s = (i < activation_trace) ? quiet : trojan_active;
     s.seed = quiet.seed + 7919 * (i + 1);
-    const dsp::Spectrum avg = state.push(pipeline_.single_sweep(sentinel, s));
+    const dsp::Spectrum& avg = state.push(pipeline_.single_sweep(sentinel, s));
     const DetectionResult d = pipeline_.score_spectrum(sentinel, avg);
 
     if (state.record(d.detected) && i >= activation_trace) {

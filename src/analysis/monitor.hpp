@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "analysis/pipeline.hpp"
 
@@ -34,26 +34,39 @@ struct MonitorOutcome {
 /// alarm debouncing — separated from the measurement loop so its edge cases
 /// (window longer than the run, debounce reset) are unit-testable without a
 /// chip simulation.
+///
+/// Steady-state push() allocates nothing: the oldest window slot's buffers
+/// are recycled for the incoming sweep and the windowed average is computed
+/// into a reused scratch spectrum (a fleet of thousands of streaming
+/// sessions ticks without per-tick heap churn). The fold order is oldest
+/// first — exactly dsp::average_spectra — so the rewrite is bit-identical
+/// to the original deque-snapshot implementation.
 class MonitorState {
  public:
   explicit MonitorState(const MonitorConfig& cfg) : cfg_(cfg) {}
 
   /// Fold one sweep into the sliding window (oldest dropped once the window
   /// is full; a sliding_window of 0 behaves as 1) and return the windowed
-  /// average to score.
-  dsp::Spectrum push(dsp::Spectrum sweep);
+  /// average to score. The reference is into internal scratch, valid until
+  /// the next push() / reset().
+  const dsp::Spectrum& push(dsp::Spectrum sweep);
 
   /// Record one verdict; true when the debounced alarm fires (the streak of
   /// consecutive detections reached `consecutive_alarms`). A single
   /// non-detection resets the streak.
   bool record(bool detected);
 
+  /// Forget the window and the debounce streak (buffers are kept for
+  /// reuse) — a re-enrolled or re-assigned session starts fresh.
+  void reset();
+
   std::size_t streak() const { return streak_; }
   std::size_t window_size() const { return window_.size(); }
 
  private:
   MonitorConfig cfg_;
-  std::deque<dsp::Spectrum> window_;
+  std::vector<dsp::Spectrum> window_;  // oldest first
+  dsp::Spectrum avg_;                  // reused windowed-average scratch
   std::size_t streak_ = 0;
 };
 

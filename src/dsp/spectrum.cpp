@@ -159,28 +159,33 @@ Spectrum amplitude_spectrum_reference(std::span<const double> signal,
   return s;
 }
 
-Spectrum average_spectra(std::span<const Spectrum> spectra) {
+void average_spectra_into(std::span<const Spectrum> spectra, Spectrum& out) {
   if (spectra.empty()) throw std::invalid_argument("average_spectra: empty");
-  Spectrum avg = spectra.front();
+  out = spectra.front();  // copy-assign reuses out's buffers when sized
   for (std::size_t i = 1; i < spectra.size(); ++i) {
-    if (spectra[i].size() != avg.size()) {
+    if (spectra[i].size() != out.size()) {
       throw std::invalid_argument("average_spectra: grid mismatch");
     }
-    for (std::size_t k = 0; k < avg.size(); ++k) {
+    for (std::size_t k = 0; k < out.size(); ++k) {
       // Equal bin counts are not enough: averaging bin k of two different
       // frequency grids silently mixes unrelated frequencies.
-      const double fa = avg.freq_hz[k];
+      const double fa = out.freq_hz[k];
       const double fb = spectra[i].freq_hz[k];
       const double tol = 1e-6 + 1e-9 * std::fabs(fa);
       if (std::fabs(fa - fb) > tol) {
         throw std::invalid_argument(
             "average_spectra: frequency grids differ");
       }
-      avg.magnitude[k] += spectra[i].magnitude[k];
+      out.magnitude[k] += spectra[i].magnitude[k];
     }
   }
   const double inv = 1.0 / static_cast<double>(spectra.size());
-  for (double& m : avg.magnitude) m *= inv;
+  for (double& m : out.magnitude) m *= inv;
+}
+
+Spectrum average_spectra(std::span<const Spectrum> spectra) {
+  Spectrum avg;
+  average_spectra_into(spectra, avg);
   return avg;
 }
 

@@ -70,6 +70,12 @@ Spectrum amplitude_spectrum_reference(std::span<const double> signal,
 /// done on linear magnitudes.
 Spectrum average_spectra(std::span<const Spectrum> spectra);
 
+/// average_spectra into a caller-owned spectrum: `out`'s buffers are reused
+/// when already sized (copy-assign from the first spectrum, then the same
+/// oldest-first fold), so a streaming monitor averages its window with zero
+/// allocations after the first tick. Bit-identical to average_spectra.
+void average_spectra_into(std::span<const Spectrum> spectra, Spectrum& out);
+
 /// Resample a spectrum onto `n_points` equally spaced frequencies spanning
 /// [0, f_max_hz] — the display grid of the paper's figures.
 Spectrum resample(const Spectrum& s, double f_max_hz, std::size_t n_points);

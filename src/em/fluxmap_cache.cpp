@@ -1,6 +1,7 @@
 #include "em/fluxmap_cache.hpp"
 
 #include <bit>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
@@ -23,7 +24,23 @@ std::uint64_t bits(double x) {
   return std::bit_cast<std::uint64_t>(x);
 }
 
+void update_hit_rate(obs::Gauge& gauge, const obs::Counter& hits,
+                     const obs::Counter& misses) {
+  const double h = static_cast<double>(hits.value());
+  const double total = h + static_cast<double>(misses.value());
+  gauge.set(total > 0.0 ? h / total : 0.0);
+}
+
 }  // namespace
+
+std::size_t FluxMapCache::default_capacity() {
+  if (const char* env = std::getenv("PSA_FLUXMAP_CACHE_CAP")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::size_t>(v);
+  }
+  return 256;
+}
 
 FluxMapCache::FluxMapCache(std::size_t max_entries)
     : max_entries_(max_entries) {
@@ -34,6 +51,8 @@ FluxMapCache::FluxMapCache(std::size_t max_entries)
       reg.attach_counter("em.fluxmap_cache.evictions", &evictions_);
   attach_ids_[3] = reg.attach_gauge("em.fluxmap_cache.entries",
                                     &entries_gauge_);
+  attach_ids_[4] = reg.attach_gauge("em.fluxmap_cache.hit_rate",
+                                    &hit_rate_gauge_);
 }
 
 FluxMapCache::~FluxMapCache() {
@@ -79,6 +98,7 @@ std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
       for (Entry& e : it->second) {
         if (e.key == key) {
           hits_.add(1);
+          update_hit_rate(hit_rate_gauge_, hits_, misses_);
           e.order = next_order_++;  // refresh recency
           return e.map;
         }
@@ -92,38 +112,52 @@ std::shared_ptr<const FluxMap> FluxMapCache::get_or_compute(
                                                               params));
   std::lock_guard<std::mutex> lock(mu_);
   misses_.add(1);
+  update_hit_rate(hit_rate_gauge_, hits_, misses_);
   auto& bucket = buckets_[h];
   for (const Entry& e : bucket) {
     if (e.key == key) return e.map;  // another thread won the race
   }
-  if (max_entries_ > 0 && entries_ >= max_entries_) {
-    // LRU eviction: drop the globally least-recently-touched entry.
-    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
-    auto victim_bucket = buckets_.end();
-    std::size_t victim_idx = 0;
-    for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
-      for (std::size_t i = 0; i < b->second.size(); ++i) {
-        if (b->second[i].order < oldest) {
-          oldest = b->second[i].order;
-          victim_bucket = b;
-          victim_idx = i;
-        }
-      }
-    }
-    if (victim_bucket != buckets_.end()) {
-      victim_bucket->second.erase(victim_bucket->second.begin() +
-                                  static_cast<std::ptrdiff_t>(victim_idx));
-      if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
-      --entries_;
-      evictions_.add(1);
-      PSA_EVENT(kDebug, "em.fluxmap_cache.evicted",
-                {{"entries", entries_}, {"capacity", max_entries_}});
-    }
-  }
+  if (max_entries_ > 0 && entries_ >= max_entries_) evict_lru_locked();
   buckets_[h].push_back(Entry{std::move(key), map, next_order_++});
   ++entries_;
   entries_gauge_.set(static_cast<double>(entries_));
   return map;
+}
+
+void FluxMapCache::evict_lru_locked() {
+  // LRU eviction: drop the globally least-recently-touched entry.
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  auto victim_bucket = buckets_.end();
+  std::size_t victim_idx = 0;
+  for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+    for (std::size_t i = 0; i < b->second.size(); ++i) {
+      if (b->second[i].order < oldest) {
+        oldest = b->second[i].order;
+        victim_bucket = b;
+        victim_idx = i;
+      }
+    }
+  }
+  if (victim_bucket == buckets_.end()) return;
+  victim_bucket->second.erase(victim_bucket->second.begin() +
+                              static_cast<std::ptrdiff_t>(victim_idx));
+  if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
+  --entries_;
+  evictions_.add(1);
+  PSA_EVENT(kDebug, "em.fluxmap_cache.evicted",
+            {{"entries", entries_}, {"capacity", max_entries_}});
+}
+
+void FluxMapCache::set_capacity(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = max_entries;
+  while (max_entries_ > 0 && entries_ > max_entries_) evict_lru_locked();
+  entries_gauge_.set(static_cast<double>(entries_));
+}
+
+std::size_t FluxMapCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_entries_;
 }
 
 FluxMapCache::Stats FluxMapCache::stats() const {
@@ -131,11 +165,18 @@ FluxMapCache::Stats FluxMapCache::stats() const {
   return Stats{hits_.value(), misses_.value(), evictions_.value(), entries_};
 }
 
+double FluxMapCache::hit_rate() const {
+  const double h = static_cast<double>(hits_.value());
+  const double total = h + static_cast<double>(misses_.value());
+  return total > 0.0 ? h / total : 0.0;
+}
+
 void FluxMapCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   buckets_.clear();
   entries_ = 0;
   entries_gauge_.set(0.0);
+  hit_rate_gauge_.set(0.0);
   hits_.reset();
   misses_.reset();
   evictions_.reset();

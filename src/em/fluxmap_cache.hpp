@@ -39,13 +39,19 @@ class FluxMapCache {
 
   /// Entries kept before the cache evicts the least-recently-used map.
   /// Generous for the workloads above (16 standard + 64 quadrant + a few
-  /// probe coils).
+  /// probe coils). Overridable per process with PSA_FLUXMAP_CACHE_CAP
+  /// (0 = unbounded) and per instance with set_capacity() — a fleet host
+  /// whose chips share the standard die needs far fewer, one serving many
+  /// custom probe geometries may want more.
   ///
   /// Hit/miss/eviction counts live in registry-backed obs counters
   /// (attached to the global registry as "em.fluxmap_cache.*", so they
-  /// appear in metrics exports); the Stats accessor below is a thin shim
-  /// over them.
-  explicit FluxMapCache(std::size_t max_entries = 256);
+  /// appear in metrics exports, including a live hit_rate gauge); the
+  /// Stats accessor below is a thin shim over them.
+  explicit FluxMapCache(std::size_t max_entries = default_capacity());
+
+  /// PSA_FLUXMAP_CACHE_CAP when set (0 = unbounded), else 256.
+  static std::size_t default_capacity();
   ~FluxMapCache();
   FluxMapCache(const FluxMapCache&) = delete;
   FluxMapCache& operator=(const FluxMapCache&) = delete;
@@ -57,7 +63,14 @@ class FluxMapCache {
                                                 const FluxMap::Params& params);
 
   Stats stats() const;
+  /// hits / (hits + misses); 0 before any lookup.
+  double hit_rate() const;
   void clear();
+
+  /// Shrinking below the current entry count evicts LRU entries
+  /// immediately; 0 means unbounded.
+  void set_capacity(std::size_t max_entries);
+  std::size_t capacity() const;
 
   /// Process-wide instance used by ChipSimulator.
   static FluxMapCache& global();
@@ -78,6 +91,8 @@ class FluxMapCache {
     std::uint64_t order = 0;  // bumped on every hit: LRU eviction
   };
 
+  void evict_lru_locked();  // drop the least-recently-touched entry
+
   std::size_t max_entries_;
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
@@ -87,7 +102,8 @@ class FluxMapCache {
   obs::Counter misses_;
   obs::Counter evictions_;
   obs::Gauge entries_gauge_;
-  std::array<std::uint64_t, 4> attach_ids_{};
+  obs::Gauge hit_rate_gauge_;
+  std::array<std::uint64_t, 5> attach_ids_{};
 };
 
 }  // namespace psa::em

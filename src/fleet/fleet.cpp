@@ -1,0 +1,452 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/parallel.hpp"
+#include "layout/floorplan.hpp"
+#include "obs/obs.hpp"
+
+namespace psa::fleet {
+namespace {
+
+const char* trojan_flag(const std::optional<trojan::TrojanKind>& k) {
+  if (!k) return "none";
+  switch (*k) {
+    case trojan::TrojanKind::kT1AmCarrier: return "t1";
+    case trojan::TrojanKind::kT2KeyLeak: return "t2";
+    case trojan::TrojanKind::kT3CdmaLeak: return "t3";
+    case trojan::TrojanKind::kT4DoS: return "t4";
+  }
+  return "none";
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+const char* quarantine_cause_name(QuarantineCause c) {
+  switch (c) {
+    case QuarantineCause::kNone: return "none";
+    case QuarantineCause::kException: return "exception";
+    case QuarantineCause::kDeadline: return "deadline";
+  }
+  return "none";
+}
+
+// ---------------------------------------------------------------------------
+// ChipSession
+
+ChipSession::ChipSession(const ChipSpec& spec, std::size_t index,
+                         bool attach_gauges)
+    : spec_(spec),
+      index_(index),
+      chip_(sim::SimTiming{}, layout::Floorplan::aes_testchip(),
+            spec.placement_seed),
+      pipeline_(chip_, spec.pipeline),
+      state_(spec.monitor),
+      injector_(spec.fault_plan),
+      quiet_(sim::Scenario::baseline(spec.seed)),
+      active_(spec.trojan
+                  ? sim::Scenario::with_trojan(*spec.trojan, spec.seed)
+                  : sim::Scenario::baseline(spec.seed)),
+      sentinel_(spec.monitor.sentinel_sensor),
+      base_seed_(spec.seed) {
+  z_history_.reserve(z_history_limit_);
+  if (attach_gauges) {
+    obs::Registry& reg = obs::Registry::global();
+    const std::string prefix = "fleet.chip" + std::to_string(index_);
+    attach_ids_.push_back(reg.attach_gauge(prefix + ".z", &z_gauge_));
+    attach_ids_.push_back(reg.attach_gauge(prefix + ".alarmed",
+                                           &alarmed_gauge_));
+  }
+}
+
+ChipSession::~ChipSession() {
+  obs::Registry& reg = obs::Registry::global();
+  for (const std::uint64_t id : attach_ids_) reg.detach(id);
+}
+
+void ChipSession::enroll() { pipeline_.enroll(quiet_); }
+
+void ChipSession::tick(std::size_t tick) {
+  if (spec_.tick_hook) spec_.tick_hook(tick);
+
+  if (spec_.fault_at != 0) {
+    if (tick == spec_.fault_at) injector_.arm(chip_);
+    if (tick == spec_.fault_clear_at) fault::FaultInjector::disarm(chip_);
+  }
+
+  const bool trojan_on = spec_.trojan.has_value() && tick >= spec_.activate_at;
+  // Mutate the preset scenario's seed in place (no per-tick Scenario copy);
+  // the seeding convention matches RuntimeMonitor / psa_monitord exactly so
+  // a fleet session reproduces the single-chip daemon's verdict stream.
+  sim::Scenario& s = trojan_on ? active_ : quiet_;
+  s.seed = base_seed_ + 7919 * (tick + 1);
+
+  const dsp::Spectrum& avg = state_.push(pipeline_.single_sweep(sentinel_, s));
+  const analysis::DetectionResult d = pipeline_.score_spectrum(sentinel_, avg);
+  const bool alarm = state_.record(d.detected);
+  if (alarm && !alarm_latched_ && trojan_on) {
+    alarms_.fetch_add(1, std::memory_order_relaxed);
+    if (mttd_ticks_.load(std::memory_order_relaxed) == 0) {
+      mttd_ticks_.store(tick - spec_.activate_at + 1,
+                        std::memory_order_relaxed);
+    }
+    alarm_pending_ = true;  // engine publishes the event serially
+  }
+  alarm_latched_ = alarm;
+
+  ticks_done_.fetch_add(1, std::memory_order_relaxed);
+  last_z_.store(d.score, std::memory_order_relaxed);
+  z_gauge_.set(d.score);
+  alarmed_gauge_.set(alarm ? 1.0 : 0.0);
+  if (z_history_.size() < z_history_limit_) z_history_.push_back(d.score);
+}
+
+void ChipSession::mark_quarantined(QuarantineCause cause,
+                                   const std::string& detail) {
+  if (quarantined_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(detail_mu_);
+    quarantine_detail_ = detail;
+  }
+  quarantine_cause_.store(static_cast<int>(cause), std::memory_order_relaxed);
+  quarantine_pending_ = true;
+  quarantined_.store(true, std::memory_order_release);
+}
+
+std::string ChipSession::quarantine_detail() const {
+  std::lock_guard<std::mutex> lock(detail_mu_);
+  return quarantine_detail_;
+}
+
+// ---------------------------------------------------------------------------
+// FleetEngine
+
+FleetEngine::FleetEngine(std::vector<ChipSpec> specs, FleetConfig cfg)
+    : cfg_(cfg),
+      session_tick_us_(obs::Registry::global().histogram(
+          "fleet.session_tick_us")) {
+  const bool gauges =
+      cfg_.per_chip_metrics && specs.size() <= kPerChipMetricsLimit;
+  sessions_.reserve(specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    sessions_.push_back(std::make_unique<ChipSession>(specs[k], k, gauges));
+    ChipSession& s = *sessions_.back();
+    if (s.spec_.label.empty()) s.spec_.label = "chip" + std::to_string(k);
+    s.z_history_limit_ = cfg_.z_history_limit;
+    s.z_history_.reserve(cfg_.z_history_limit);
+  }
+
+  // Wire the cohort caches: the first session of each cohort owns the
+  // cache, later members adopt it; capacity covers an enrollment pass plus
+  // the streaming window so cohort coalescing never thrashes.
+  std::map<std::size_t, ChipSession*> cohort_head;
+  for (auto& up : sessions_) {
+    ChipSession& s = *up;
+    const std::size_t cap =
+        cfg_.activity_cache_capacity > 0
+            ? cfg_.activity_cache_capacity
+            : s.spec_.pipeline.enrollment_traces +
+                  std::max<std::size_t>(s.spec_.monitor.sliding_window, 1) + 2;
+    auto [it, fresh] = cohort_head.emplace(s.spec_.cohort, &s);
+    if (fresh || !cfg_.share_cohort_synthesis) {
+      s.chip_.synthesis().set_capacity(cap);
+    } else {
+      s.chip_.share_synthesis_with(it->second->chip_);
+    }
+  }
+
+  obs::Registry& reg = obs::Registry::global();
+  attach_ids_.push_back(reg.attach_counter("fleet.ticks", &ticks_total_));
+  attach_ids_.push_back(
+      reg.attach_counter("fleet.session_ticks", &session_ticks_total_));
+  attach_ids_.push_back(
+      reg.attach_counter("fleet.alarms", &alarms_total_));
+  attach_ids_.push_back(
+      reg.attach_counter("fleet.quarantines", &quarantines_total_));
+  attach_ids_.push_back(reg.attach_gauge("fleet.sessions", &sessions_gauge_));
+  attach_ids_.push_back(reg.attach_gauge("fleet.healthy", &healthy_gauge_));
+  attach_ids_.push_back(
+      reg.attach_gauge("fleet.quarantined", &quarantined_gauge_));
+  attach_ids_.push_back(
+      reg.attach_gauge("fleet.chips_per_s", &chips_per_s_gauge_));
+  attach_ids_.push_back(reg.attach_gauge("fleet.tick_us", &tick_us_gauge_));
+  sessions_gauge_.set(static_cast<double>(sessions_.size()));
+  healthy_gauge_.set(static_cast<double>(sessions_.size()));
+}
+
+FleetEngine::~FleetEngine() {
+  obs::Registry& reg = obs::Registry::global();
+  for (const std::uint64_t id : attach_ids_) reg.detach(id);
+}
+
+void FleetEngine::rebuild_shards() {
+  shards_.clear();
+  if (cfg_.share_cohort_synthesis) {
+    // One shard per cohort: a shard runs serially on one worker, so the
+    // first member's miss synthesizes the tick's bundle and every other
+    // member hits the shared cache — no duplicated synthesis, no barrier.
+    std::map<std::size_t, std::vector<ChipSession*>> by_cohort;
+    for (auto& up : sessions_) {
+      if (!up->quarantined()) by_cohort[up->spec_.cohort].push_back(up.get());
+    }
+    shards_.reserve(by_cohort.size());
+    for (auto& [cohort, members] : by_cohort) {
+      shards_.push_back(std::move(members));
+    }
+  } else {
+    for (auto& up : sessions_) {
+      if (!up->quarantined()) shards_.push_back({up.get()});
+    }
+  }
+  shards_dirty_ = false;
+}
+
+void FleetEngine::run_session_tick(ChipSession& s, std::size_t tick) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    s.tick(tick);
+  } catch (const std::exception& e) {
+    s.mark_quarantined(QuarantineCause::kException, e.what());
+    return;
+  } catch (...) {
+    s.mark_quarantined(QuarantineCause::kException, "non-standard exception");
+    return;
+  }
+  const double us = elapsed_us(t0);
+  session_tick_us_.record(us);
+  if (cfg_.tick_deadline_us > 0 &&
+      us > static_cast<double>(cfg_.tick_deadline_us)) {
+    if (++s.deadline_strikes_ >= cfg_.deadline_strikes) {
+      s.mark_quarantined(QuarantineCause::kDeadline,
+                         "tick deadline exceeded " +
+                             std::to_string(s.deadline_strikes_) +
+                             " consecutive ticks");
+    }
+  } else {
+    s.deadline_strikes_ = 0;
+  }
+}
+
+void FleetEngine::publish_pending() {
+  std::size_t healthy = 0;
+  for (auto& up : sessions_) {
+    ChipSession& s = *up;
+    if (s.alarm_pending_) {
+      s.alarm_pending_ = false;
+      alarms_total_.add(1);
+      PSA_COUNTER_ADD("analysis.monitor.alarms", 1);
+      PSA_EVENT(kAlarm, "fleet.alarm",
+                {{"chip", s.index_},
+                 {"label", s.spec_.label},
+                 {"trojan", trojan_flag(s.spec_.trojan)},
+                 {"z", s.last_z()},
+                 {"mttd_ticks", s.mttd_ticks()}});
+    }
+    if (s.quarantine_pending_) {
+      s.quarantine_pending_ = false;
+      quarantines_total_.add(1);
+      shards_dirty_ = true;
+      PSA_EVENT(kWarn, "fleet.quarantined",
+                {{"chip", s.index_},
+                 {"label", s.spec_.label},
+                 {"cause", quarantine_cause_name(s.quarantine_cause())},
+                 {"detail", s.quarantine_detail()},
+                 {"tick", tick_index_.load(std::memory_order_relaxed)}});
+    }
+    if (!s.quarantined()) ++healthy;
+  }
+  healthy_gauge_.set(static_cast<double>(healthy));
+  quarantined_gauge_.set(static_cast<double>(sessions_.size() - healthy));
+  const double wall_us =
+      static_cast<double>(last_tick_wall_us_.load(std::memory_order_relaxed));
+  tick_us_gauge_.set(wall_us);
+  if (wall_us > 0.0) {
+    chips_per_s_gauge_.set(static_cast<double>(healthy) * 1e6 / wall_us);
+  }
+}
+
+void FleetEngine::enroll() {
+  if (enrolled_) return;
+  if (shards_dirty_) rebuild_shards();
+  parallel_for(0, shards_.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t g = lo; g < hi; ++g) {
+      for (ChipSession* s : shards_[g]) {
+        try {
+          s->enroll();
+        } catch (const std::exception& e) {
+          s->mark_quarantined(QuarantineCause::kException, e.what());
+        } catch (...) {
+          s->mark_quarantined(QuarantineCause::kException,
+                              "non-standard exception");
+        }
+      }
+    }
+  });
+  enrolled_ = true;
+  publish_pending();
+  PSA_EVENT(kInfo, "fleet.enrolled",
+            {{"sessions", sessions_.size()}, {"shards", shards_.size()}});
+}
+
+std::size_t FleetEngine::run_ticks(std::size_t n) {
+  enroll();
+  std::size_t run = 0;
+  for (; run < n; ++run) {
+    if (shards_dirty_) rebuild_shards();
+    if (shards_.empty()) break;  // whole fleet quarantined
+    const std::size_t t = tick_index_.load(std::memory_order_relaxed);
+    std::size_t due = 0;
+    for (const auto& shard : shards_) due += shard.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    parallel_for(0, shards_.size(), 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t g = lo; g < hi; ++g) {
+        for (ChipSession* s : shards_[g]) run_session_tick(*s, t);
+      }
+    });
+    last_tick_wall_us_.store(
+        static_cast<std::uint64_t>(elapsed_us(t0)), std::memory_order_relaxed);
+    ticks_total_.add(1);
+    session_ticks_total_.add(due);
+    tick_index_.store(t + 1, std::memory_order_relaxed);
+    publish_pending();
+  }
+  return run;
+}
+
+std::size_t FleetEngine::run_thread_per_chip(std::size_t n) {
+  enroll();
+  const std::size_t t0_idx = tick_index_.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(sessions_.size());
+  std::size_t due = 0;
+  for (auto& up : sessions_) {
+    ChipSession* s = up.get();
+    if (s->quarantined()) continue;
+    ++due;
+    threads.emplace_back([this, s, t0_idx, n] {
+      for (std::size_t k = 0; k < n && !s->quarantined(); ++k) {
+        run_session_tick(*s, t0_idx + k);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  last_tick_wall_us_.store(
+      n > 0 ? static_cast<std::uint64_t>(elapsed_us(t0) /
+                                         static_cast<double>(n))
+            : 0,
+      std::memory_order_relaxed);
+  ticks_total_.add(n);
+  session_ticks_total_.add(due * n);
+  tick_index_.store(t0_idx + n, std::memory_order_relaxed);
+  shards_dirty_ = true;
+  publish_pending();
+  return n;
+}
+
+FleetRollup FleetEngine::rollup() const {
+  FleetRollup r;
+  r.sessions = sessions_.size();
+  r.ticks = tick_index_.load(std::memory_order_relaxed);
+  r.last_tick_us =
+      static_cast<double>(last_tick_wall_us_.load(std::memory_order_relaxed));
+  double mttd_sum = 0.0;
+  for (const auto& up : sessions_) {
+    const ChipSession& s = *up;
+    if (s.quarantined()) {
+      ++r.quarantined;
+    } else {
+      ++r.healthy;
+    }
+    if (s.spec().trojan.has_value()) ++r.infected;
+    r.alarms += s.alarms();
+    const std::size_t mttd = s.mttd_ticks();
+    if (mttd > 0) {
+      ++r.alarmed_sessions;
+      mttd_sum += static_cast<double>(mttd);
+    }
+  }
+  if (r.alarmed_sessions > 0) {
+    r.mean_mttd_ticks = mttd_sum / static_cast<double>(r.alarmed_sessions);
+  }
+  if (r.last_tick_us > 0.0) {
+    r.chips_per_s = static_cast<double>(r.healthy) * 1e6 / r.last_tick_us;
+  }
+  return r;
+}
+
+std::string FleetEngine::healthz_json() const {
+  const FleetRollup r = rollup();
+  std::ostringstream os;
+  os << "{\"status\":\"" << (r.healthy > 0 ? "ok" : "degraded")
+     << "\",\"sessions\":" << r.sessions << ",\"healthy\":" << r.healthy
+     << ",\"quarantined\":" << r.quarantined << ",\"infected\":" << r.infected
+     << ",\"alarmed_sessions\":" << r.alarmed_sessions
+     << ",\"alarms\":" << r.alarms << ",\"ticks\":" << r.ticks
+     << ",\"last_tick_us\":" << r.last_tick_us
+     << ",\"chips_per_s\":" << r.chips_per_s
+     << ",\"mean_mttd_ticks\":" << r.mean_mttd_ticks << "}";
+  return os.str();
+}
+
+std::string FleetEngine::chips_json() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t k = 0; k < sessions_.size(); ++k) {
+    const ChipSession& s = *sessions_[k];
+    if (k) os << ",";
+    os << "{\"chip\":" << k << ",\"label\":\"" << s.spec().label
+       << "\",\"cohort\":" << s.spec().cohort << ",\"trojan\":\""
+       << trojan_flag(s.spec().trojan) << "\",\"ticks\":" << s.ticks_done()
+       << ",\"z\":" << s.last_z() << ",\"alarms\":" << s.alarms()
+       << ",\"mttd_ticks\":" << s.mttd_ticks() << ",\"quarantined\":"
+       << (s.quarantined() ? "true" : "false") << ",\"cause\":\""
+       << quarantine_cause_name(s.quarantine_cause()) << "\"}";
+  }
+  os << "]";
+  return os.str();
+}
+
+std::vector<ChipSpec> make_fleet_specs(std::size_t n, std::size_t cohort_size,
+                                       std::uint64_t fleet_seed,
+                                       const analysis::PipelineConfig& pipeline,
+                                       const analysis::MonitorConfig& monitor,
+                                       std::size_t activate_at) {
+  if (cohort_size == 0) cohort_size = 1;
+  static constexpr std::optional<trojan::TrojanKind> kMix[5] = {
+      std::nullopt, trojan::TrojanKind::kT1AmCarrier,
+      trojan::TrojanKind::kT2KeyLeak, trojan::TrojanKind::kT3CdmaLeak,
+      trojan::TrojanKind::kT4DoS};
+  std::vector<ChipSpec> specs;
+  specs.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t cohort = k / cohort_size;
+    ChipSpec spec;
+    spec.label = "chip" + std::to_string(k);
+    spec.cohort = cohort;
+    // Cohort mates share the traffic schedule (seed + Trojan + activation);
+    // each chip keeps a distinct floorplan placement.
+    spec.seed = fleet_seed + 1000003 * static_cast<std::uint64_t>(cohort);
+    spec.placement_seed =
+        fleet_seed + 104729 * static_cast<std::uint64_t>(k) + 13;
+    spec.trojan = kMix[cohort % 5];
+    spec.activate_at = activate_at;
+    spec.pipeline = pipeline;
+    spec.monitor = monitor;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace psa::fleet

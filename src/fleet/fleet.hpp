@@ -1,0 +1,295 @@
+// fleet.hpp — multi-tenant fleet engine: one process, thousands of chips.
+//
+// `tools/psa_monitord` drives ONE simulated chip through the Section VI-D
+// sentinel monitor loop. A deployment monitors fleets: many independent
+// devices, each with its own floorplan placement, Trojan mix, fault plan and
+// seed, all reporting into one aggregation point (the AntiHunter-style
+// node→command-center split the ROADMAP names). FleetEngine owns N
+// independent ChipSimulator+Pipeline+MonitorState sessions and drives them
+// with a *batched tick scheduler*:
+//
+//   * Instead of N threads each running a serial monitor loop, every tick
+//     shards the due sessions across the existing global ThreadPool with one
+//     `parallel_for` — so chips/sec scales with cores, not session count,
+//     and an idle fleet costs zero threads.
+//   * Sessions are sharded by *cohort*: groups of chips monitored under the
+//     same traffic schedule (same scenario seed/Trojan/activation). Cohort
+//     mates share one ActivitySynthesis cache and are placed on the same
+//     shard, so the expensive scenario synthesis runs ONCE per cohort per
+//     tick and every other member measures through the cached bundle — the
+//     fleet-level generalization of measure_batch's synthesize-once
+//     contract. Bit-exact: equal scenario fingerprints produce bit-identical
+//     bundles, and each chip still applies its own gains/noise tail.
+//   * The scheduler itself allocates nothing per tick: shard lists are
+//     rebuilt only when the quarantine set changes, per-session scratch
+//     (sliding-window spectra, scenario objects, verdict history) is
+//     preallocated and reused, and events/metrics are published from a
+//     serial post-pass in session index order so the event stream is
+//     deterministic.
+//
+// Isolation policy: a session whose simulator throws, or whose tick
+// overruns the configured deadline `deadline_strikes` times in a row, is
+// quarantined — permanently dropped from the schedule with a latched
+// "fleet.quarantined" event. Sessions never share mutable state except the
+// mutex-guarded cohort cache, so one faulty chip can neither stall the tick
+// loop nor perturb any other session's verdict stream (the isolation tests
+// pin this bit-exactly).
+//
+// Verdict bit-exactness contract: a session's z-score stream depends only on
+// its ChipSpec — never on fleet size, shard order, thread count, scheduler
+// arm (batched vs thread-per-chip) or cohort-cache sharing. Each tick uses
+// the monitor seeding convention of RuntimeMonitor/psa_monitord
+// (`seed + 7919 * (tick + 1)`), so a fleet session reproduces the
+// single-chip daemon's stream exactly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/monitor.hpp"
+#include "analysis/pipeline.hpp"
+#include "fault/fault.hpp"
+#include "obs/registry.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace psa::fleet {
+
+/// Everything that makes one fleet member unique. The verdict stream of a
+/// session is a pure function of its spec (see file comment).
+struct ChipSpec {
+  std::string label;                  // "chip7" — events, /fleet/chips
+  std::uint64_t seed = 1;             // scenario stream seed (cohort-shared)
+  std::uint64_t placement_seed = 42;  // per-chip floorplan placement
+  std::size_t cohort = 0;             // sessions sharing a traffic schedule
+
+  /// Trojan mix: nullopt = clean chip; otherwise the payload switches on at
+  /// tick `activate_at` (the mid-run activation psa_monitord smokes).
+  std::optional<trojan::TrojanKind> trojan;
+  std::size_t activate_at = 2;
+
+  /// Optional measurement-fault window [fault_at, fault_clear_at):
+  /// fault_at == 0 disables. Arming/disarming runs through the standard
+  /// FaultInjector and (by design) invalidates the session's activity cache.
+  fault::FaultPlan fault_plan{};
+  std::size_t fault_at = 0;
+  std::size_t fault_clear_at = 0;
+
+  analysis::PipelineConfig pipeline{};
+  analysis::MonitorConfig monitor{};
+
+  /// Test-only: runs at the top of every tick on the ticking worker. A hook
+  /// that throws exercises exception quarantine; one that sleeps exercises
+  /// the tick deadline. Not part of the verdict stream.
+  std::function<void(std::size_t)> tick_hook;
+};
+
+struct FleetConfig {
+  /// Per-session tick deadline in microseconds; 0 disables enforcement.
+  /// A session overrunning it `deadline_strikes` ticks in a row is
+  /// quarantined (a single slow tick — page fault, cold cache — is not a
+  /// failure; a chip that *stays* slow must not throttle the fleet).
+  std::uint64_t tick_deadline_us = 0;
+  std::size_t deadline_strikes = 2;
+
+  /// Pool cohort mates onto one ActivitySynthesis cache and shard by cohort
+  /// (the batched scheduler's coalescing). Off = private caches and one
+  /// shard per session — the naive baseline's sharing model.
+  bool share_cohort_synthesis = true;
+
+  /// Per-cohort activity-cache entries; 0 = auto (enrollment_traces +
+  /// sliding window + 2 — enough that an enrollment pass and the streaming
+  /// window never thrash, small enough that thousands of sessions stay
+  /// bounded; the single-chip default of 16 bundles would be multi-MB per
+  /// session).
+  std::size_t activity_cache_capacity = 0;
+
+  /// Attach per-chip gauges ("fleet.chip<k>.z") — capped at
+  /// kPerChipMetricsLimit sessions so a 4096-chip fleet doesn't flood
+  /// /metrics; rollups are always exported.
+  bool per_chip_metrics = true;
+
+  /// Verdict (z-score) history retained per session for tests/benches.
+  std::size_t z_history_limit = 512;
+};
+
+enum class QuarantineCause : int { kNone = 0, kException = 1, kDeadline = 2 };
+const char* quarantine_cause_name(QuarantineCause c);
+
+/// One fleet member: simulator + enrolled pipeline + streaming monitor
+/// state, plus the published-state atomics the aggregator and HTTP threads
+/// read while workers tick. Constructed once and never moved (the pipeline
+/// holds a reference to the simulator).
+class ChipSession {
+ public:
+  ChipSession(const ChipSpec& spec, std::size_t index, bool attach_gauges);
+  ~ChipSession();
+  ChipSession(const ChipSession&) = delete;
+  ChipSession& operator=(const ChipSession&) = delete;
+
+  /// One monitor iteration at fleet tick `tick`: fault window transitions,
+  /// scenario for the tick (Trojan on/off), one sentinel sweep folded into
+  /// the sliding window, score, debounced alarm latch. Runs on exactly one
+  /// pool worker per tick; may throw (the engine quarantines).
+  void tick(std::size_t tick);
+
+  void enroll();
+
+  const ChipSpec& spec() const { return spec_; }
+  std::size_t index() const { return index_; }
+  sim::ChipSimulator& chip() { return chip_; }
+  analysis::Pipeline& pipeline() { return pipeline_; }
+
+  // Published state (safe to read from any thread).
+  std::size_t ticks_done() const { return ticks_done_.load(std::memory_order_relaxed); }
+  double last_z() const { return last_z_.load(std::memory_order_relaxed); }
+  std::size_t alarms() const { return alarms_.load(std::memory_order_relaxed); }
+  bool quarantined() const { return quarantined_.load(std::memory_order_acquire); }
+  QuarantineCause quarantine_cause() const {
+    return static_cast<QuarantineCause>(
+        quarantine_cause_.load(std::memory_order_relaxed));
+  }
+  std::string quarantine_detail() const;
+  /// Ticks from payload activation to the first debounced alarm (0 = none).
+  std::size_t mttd_ticks() const { return mttd_ticks_.load(std::memory_order_relaxed); }
+
+  /// z-score per tick, capped at FleetConfig::z_history_limit. Only
+  /// meaningful once the run that produced it has joined.
+  const std::vector<double>& z_history() const { return z_history_; }
+
+ private:
+  friend class FleetEngine;
+
+  void mark_quarantined(QuarantineCause cause, const std::string& detail);
+
+  ChipSpec spec_;
+  std::size_t index_;
+  sim::ChipSimulator chip_;
+  analysis::Pipeline pipeline_;
+  analysis::MonitorState state_;
+  fault::FaultInjector injector_;
+  sim::Scenario quiet_;
+  sim::Scenario active_;
+  std::size_t sentinel_ = 0;
+  std::uint64_t base_seed_ = 0;
+  std::size_t z_history_limit_ = 512;
+
+  // Published state.
+  std::atomic<std::size_t> ticks_done_{0};
+  std::atomic<double> last_z_{0.0};
+  std::atomic<std::size_t> alarms_{0};
+  std::atomic<std::size_t> mttd_ticks_{0};
+  std::atomic<bool> quarantined_{false};
+  std::atomic<int> quarantine_cause_{0};
+  mutable std::mutex detail_mu_;
+  std::string quarantine_detail_;
+
+  // Touched only by the one worker ticking this session, or serially by the
+  // engine between ticks (the fork/join provides the ordering).
+  bool alarm_latched_ = false;
+  bool alarm_pending_ = false;
+  bool quarantine_pending_ = false;
+  std::size_t deadline_strikes_ = 0;
+  std::vector<double> z_history_;
+
+  obs::Gauge z_gauge_;
+  obs::Gauge alarmed_gauge_;
+  std::vector<std::uint64_t> attach_ids_;
+};
+
+/// Fleet-level aggregate, computed on demand from the sessions' published
+/// atomics (safe to call while a run is in flight).
+struct FleetRollup {
+  std::size_t sessions = 0;
+  std::size_t healthy = 0;
+  std::size_t quarantined = 0;
+  std::size_t infected = 0;          // sessions whose spec carries a Trojan
+  std::size_t alarmed_sessions = 0;  // infected sessions with a latched alarm
+  std::size_t alarms = 0;            // total debounced alarm edges
+  std::size_t ticks = 0;             // fleet ticks completed
+  double last_tick_us = 0.0;         // wall time of the latest batched tick
+  double chips_per_s = 0.0;          // healthy / last tick wall
+  double mean_mttd_ticks = 0.0;      // over alarmed infected sessions
+};
+
+class FleetEngine {
+ public:
+  /// Per-chip gauges are only attached for fleets at most this large.
+  static constexpr std::size_t kPerChipMetricsLimit = 256;
+
+  explicit FleetEngine(std::vector<ChipSpec> specs, FleetConfig cfg = {});
+  ~FleetEngine();
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Enroll every session (idempotent; run_* call it on demand). Sharded
+  /// like a tick, so cohort mates enroll through one synthesis pass.
+  void enroll();
+
+  /// The batched tick scheduler: `n` fleet ticks, each one parallel_for
+  /// over the cohort shards. Returns ticks actually run (short when the
+  /// whole fleet ends up quarantined).
+  std::size_t run_ticks(std::size_t n);
+
+  /// The naive baseline: one dedicated std::thread per session, each
+  /// looping `n` ticks independently — bench_fleet_throughput's control
+  /// arm. Verdict streams are bit-identical to run_ticks.
+  std::size_t run_thread_per_chip(std::size_t n);
+
+  std::size_t size() const { return sessions_.size(); }
+  ChipSession& session(std::size_t k) { return *sessions_[k]; }
+  const ChipSession& session(std::size_t k) const { return *sessions_[k]; }
+  std::size_t tick_index() const { return tick_index_.load(std::memory_order_relaxed); }
+  const FleetConfig& config() const { return cfg_; }
+
+  FleetRollup rollup() const;
+  /// {"status":"ok",...} rollup object for GET /fleet/healthz.
+  std::string healthz_json() const;
+  /// JSON array of per-chip state for GET /fleet/chips.
+  std::string chips_json() const;
+
+ private:
+  void rebuild_shards();
+  void run_session_tick(ChipSession& s, std::size_t tick);
+  /// Serial, in session index order: turn pending alarm/quarantine flags
+  /// into events + counters and refresh the rollup gauges. Deterministic
+  /// event order regardless of worker scheduling.
+  void publish_pending();
+
+  FleetConfig cfg_;
+  std::vector<std::unique_ptr<ChipSession>> sessions_;
+  std::vector<std::vector<ChipSession*>> shards_;  // cohort groups, reused
+  bool shards_dirty_ = true;
+  bool enrolled_ = false;
+  std::atomic<std::size_t> tick_index_{0};
+  std::atomic<std::uint64_t> last_tick_wall_us_{0};
+
+  obs::Counter ticks_total_;
+  obs::Counter session_ticks_total_;
+  obs::Counter alarms_total_;
+  obs::Counter quarantines_total_;
+  obs::Gauge sessions_gauge_;
+  obs::Gauge healthy_gauge_;
+  obs::Gauge quarantined_gauge_;
+  obs::Gauge chips_per_s_gauge_;
+  obs::Gauge tick_us_gauge_;
+  obs::Histogram& session_tick_us_;
+  std::vector<std::uint64_t> attach_ids_;
+};
+
+/// A deterministic, diverse fleet: sessions grouped into cohorts of
+/// `cohort_size` (each cohort one traffic schedule), Trojan mix rotating
+/// none/t1/t2/t3/t4 per cohort, distinct placement per chip. The default
+/// spec set behind `psa_monitord --fleet N` and the fleet bench/tests.
+std::vector<ChipSpec> make_fleet_specs(
+    std::size_t n, std::size_t cohort_size, std::uint64_t fleet_seed,
+    const analysis::PipelineConfig& pipeline = {},
+    const analysis::MonitorConfig& monitor = {}, std::size_t activate_at = 2);
+
+}  // namespace psa::fleet

@@ -1,0 +1,23 @@
+#include "fleet/fleet_http.hpp"
+
+namespace psa::fleet {
+
+void install_fleet_endpoints(net::HttpServer& server,
+                             const FleetEngine* engine) {
+  server.handle("/fleet/healthz", [engine](const net::HttpRequest&) {
+    net::HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = engine->healthz_json();
+    resp.body += "\n";
+    return resp;
+  });
+  server.handle("/fleet/chips", [engine](const net::HttpRequest&) {
+    net::HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = engine->chips_json();
+    resp.body += "\n";
+    return resp;
+  });
+}
+
+}  // namespace psa::fleet

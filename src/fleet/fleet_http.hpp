@@ -1,0 +1,29 @@
+// fleet_http.hpp — the fleet aggregator's HTTP surface.
+//
+// Rides the same dependency-free HttpServer as the telemetry trio
+// (install_telemetry_endpoints): per-chip and rollup gauges/counters land on
+// GET /metrics via the global registry, alarm + quarantine events land on
+// GET /events via the global EventLog, and this module adds the two
+// fleet-specific views:
+//
+//   GET /fleet/healthz   rollup JSON — sessions/healthy/quarantined counts,
+//                        alarm totals, chips/sec of the latest batched tick,
+//                        mean MTTD in ticks
+//   GET /fleet/chips     JSON array of per-chip state (label, cohort,
+//                        trojan, last z, alarms, quarantine cause)
+//
+// Handlers read only the sessions' published atomics, so scraping while a
+// tick is in flight is safe and never blocks the scheduler.
+#pragma once
+
+#include "fleet/fleet.hpp"
+#include "net/http_exposition.hpp"
+
+namespace psa::fleet {
+
+/// Register /fleet/healthz and /fleet/chips on `server` (before start()).
+/// `engine` must outlive the server.
+void install_fleet_endpoints(net::HttpServer& server,
+                             const FleetEngine* engine);
+
+}  // namespace psa::fleet

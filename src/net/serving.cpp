@@ -307,6 +307,24 @@ std::optional<ServingQueue::Ticket> ServingQueue::submit(
   return Ticket{group->future, /*coalesced=*/false};
 }
 
+std::size_t ServingQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+double ServingQueue::retry_after_hint_s() const {
+  std::size_t queued = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued = queue_.size();
+  }
+  const double base = std::max(config_.retry_after_s, 0.0);
+  const double derived =
+      base + std::max(config_.retry_after_per_queued_s, 0.0) *
+                 static_cast<double>(queued);
+  return std::min(derived, std::max(config_.retry_after_max_s, base));
+}
+
 void ServingQueue::executor_loop() {
   for (;;) {
     std::shared_ptr<Group> group;
@@ -387,8 +405,10 @@ void ScanService::install(HttpServer& server) {
 }
 
 HttpResponse ScanService::shed_response() const {
-  const long long retry_s = static_cast<long long>(
-      std::ceil(std::max(queue_.config().retry_after_s, 0.0)));
+  // Derived from the live queue depth at shed time (see ServingConfig) —
+  // the deeper the backlog, the further clients are pushed out.
+  const long long retry_s =
+      static_cast<long long>(std::ceil(queue_.retry_after_hint_s()));
   HttpResponse resp = json_error(429, "queue full, retry later");
   resp.extra_headers.emplace_back("Retry-After",
                                   std::to_string(std::max(retry_s, 1LL)));

@@ -65,8 +65,15 @@ struct ServingConfig {
   /// Coalesce identical keys into one execution. Off = every submission
   /// is its own group (the bench's control arm).
   bool coalesce = true;
-  /// Advisory Retry-After seconds on a 429.
+  /// Advisory Retry-After on a 429, derived from live congestion rather
+  /// than a constant: base + per_queued × current queue depth, then
+  /// clamped to [base, max] (a shed against a briefly-full queue asks for
+  /// a short backoff; a deeply backed-up queue pushes clients out further).
+  /// `retry_after_s` is both the base and the floor, so setting the
+  /// per-item slope to 0 restores the old fixed-value behavior.
   double retry_after_s = 1.0;
+  double retry_after_per_queued_s = 0.25;
+  double retry_after_max_s = 30.0;
 };
 
 /// What an executed job hands back to every attached waiter.
@@ -98,6 +105,13 @@ class ServingQueue {
   void stop();  // fulfils queued groups with 503, joins executors
 
   const ServingConfig& config() const { return config_; }
+
+  /// Request groups currently queued (executing groups excluded).
+  std::size_t depth() const;
+
+  /// The advisory Retry-After for a shed issued now (see ServingConfig);
+  /// always >= max(retry_after_s, 0).
+  double retry_after_hint_s() const;
 
   // Accounting (exposed for tests and the bench).
   std::uint64_t submitted() const { return submitted_.value(); }

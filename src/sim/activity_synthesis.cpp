@@ -1,6 +1,7 @@
 #include "sim/activity_synthesis.hpp"
 
 #include <bit>
+#include <cstdlib>
 #include <limits>
 #include <map>
 
@@ -34,6 +35,13 @@ std::uint64_t mix_block(std::uint64_t h, const aes::Block& b) {
     hi = (hi << 8) | b[static_cast<std::size_t>(i + 8)];
   }
   return mix(mix(h, lo), hi);
+}
+
+void update_hit_rate(obs::Gauge& gauge, const obs::Counter& hits,
+                     const obs::Counter& misses) {
+  const double h = static_cast<double>(hits.value());
+  const double total = h + static_cast<double>(misses.value());
+  gauge.set(total > 0.0 ? h / total : 0.0);
 }
 
 }  // namespace
@@ -95,6 +103,15 @@ const std::vector<double>& ActivityBundle::unit_noise() const {
   return unit_noise_;
 }
 
+std::size_t ActivitySynthesis::default_capacity() {
+  if (const char* env = std::getenv("PSA_ACTIVITY_CACHE_CAP")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::size_t>(v);
+  }
+  return 16;
+}
+
 ActivitySynthesis::ActivitySynthesis(std::size_t max_entries)
     : max_entries_(max_entries) {
   obs::Registry& reg = obs::Registry::global();
@@ -106,6 +123,8 @@ ActivitySynthesis::ActivitySynthesis(std::size_t max_entries)
       reg.attach_counter("sim.activity_cache.invalidations", &invalidations_);
   attach_ids_[4] = reg.attach_gauge("sim.activity_cache.entries",
                                     &entries_gauge_);
+  attach_ids_[5] = reg.attach_gauge("sim.activity_cache.hit_rate",
+                                    &hit_rate_gauge_);
 }
 
 ActivitySynthesis::~ActivitySynthesis() {
@@ -183,6 +202,7 @@ std::shared_ptr<const ActivityBundle> ActivitySynthesis::get_or_synthesize(
       for (Entry& e : it->second) {
         if (e.key == key) {
           hits_.add(1);
+          update_hit_rate(hit_rate_gauge_, hits_, misses_);
           e.order = next_order_++;  // refresh recency
           return e.bundle;
         }
@@ -195,32 +215,12 @@ std::shared_ptr<const ActivityBundle> ActivitySynthesis::get_or_synthesize(
   auto bundle = synthesize_activity(scenario, n_cycles, timing);
   std::lock_guard<std::mutex> lock(mu_);
   misses_.add(1);
+  update_hit_rate(hit_rate_gauge_, hits_, misses_);
   auto& bucket = buckets_[h];
   for (const Entry& e : bucket) {
     if (e.key == key) return e.bundle;  // another thread won the race
   }
-  if (max_entries_ > 0 && entries_ >= max_entries_) {
-    // LRU eviction: drop the globally least-recently-touched entry.
-    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
-    auto victim_bucket = buckets_.end();
-    std::size_t victim_idx = 0;
-    for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
-      for (std::size_t i = 0; i < b->second.size(); ++i) {
-        if (b->second[i].order < oldest) {
-          oldest = b->second[i].order;
-          victim_bucket = b;
-          victim_idx = i;
-        }
-      }
-    }
-    if (victim_bucket != buckets_.end()) {
-      victim_bucket->second.erase(victim_bucket->second.begin() +
-                                  static_cast<std::ptrdiff_t>(victim_idx));
-      if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
-      --entries_;
-      evictions_.add(1);
-    }
-  }
+  if (max_entries_ > 0 && entries_ >= max_entries_) evict_lru_locked();
   buckets_[h].push_back(Entry{std::move(key), bundle, next_order_++});
   ++entries_;
   entries_gauge_.set(static_cast<double>(entries_));
@@ -241,14 +241,44 @@ void ActivitySynthesis::invalidate() {
             {{"entries_dropped", dropped}});
 }
 
+void ActivitySynthesis::evict_lru_locked() {
+  // LRU eviction: drop the globally least-recently-touched entry.
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  auto victim_bucket = buckets_.end();
+  std::size_t victim_idx = 0;
+  for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+    for (std::size_t i = 0; i < b->second.size(); ++i) {
+      if (b->second[i].order < oldest) {
+        oldest = b->second[i].order;
+        victim_bucket = b;
+        victim_idx = i;
+      }
+    }
+  }
+  if (victim_bucket == buckets_.end()) return;
+  victim_bucket->second.erase(victim_bucket->second.begin() +
+                              static_cast<std::ptrdiff_t>(victim_idx));
+  if (victim_bucket->second.empty()) buckets_.erase(victim_bucket);
+  --entries_;
+  evictions_.add(1);
+}
+
 void ActivitySynthesis::set_capacity(std::size_t max_entries) {
   std::lock_guard<std::mutex> lock(mu_);
   max_entries_ = max_entries;
+  while (max_entries_ > 0 && entries_ > max_entries_) evict_lru_locked();
+  entries_gauge_.set(static_cast<double>(entries_));
 }
 
 std::size_t ActivitySynthesis::capacity() const {
   std::lock_guard<std::mutex> lock(mu_);
   return max_entries_;
+}
+
+double ActivitySynthesis::hit_rate() const {
+  const double h = static_cast<double>(hits_.value());
+  const double total = h + static_cast<double>(misses_.value());
+  return total > 0.0 ? h / total : 0.0;
 }
 
 ActivitySynthesis::Stats ActivitySynthesis::stats() const {

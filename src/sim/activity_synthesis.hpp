@@ -141,11 +141,18 @@ class ActivitySynthesis {
 
   /// Default capacity covers a pipeline run: detection_averages (5) scan
   /// scenarios + enrollment_traces (8) + identification extras fit in 16.
+  /// Overridable per process with PSA_ACTIVITY_CACHE_CAP (a fleet of
+  /// thousands of sessions wants a few bundles per cohort, not 16), and per
+  /// instance with set_capacity().
   ///
   /// Counters are registry-backed (attached as "sim.activity_cache.*" so
-  /// they land in metrics exports); Stats is a thin shim over them and the
-  /// snapshot is safe against concurrent get_or_synthesize calls.
-  explicit ActivitySynthesis(std::size_t max_entries = 16);
+  /// they land in metrics exports, including a live hit_rate gauge); Stats
+  /// is a thin shim over them and the snapshot is safe against concurrent
+  /// get_or_synthesize calls.
+  explicit ActivitySynthesis(std::size_t max_entries = default_capacity());
+
+  /// PSA_ACTIVITY_CACHE_CAP when set (0 = unbounded), else 16.
+  static std::size_t default_capacity();
   ~ActivitySynthesis();
   ActivitySynthesis(const ActivitySynthesis&) = delete;
   ActivitySynthesis& operator=(const ActivitySynthesis&) = delete;
@@ -159,9 +166,13 @@ class ActivitySynthesis {
   /// simulated measurement chain changes state.
   void invalidate();
 
+  /// Shrinking below the current entry count evicts LRU entries
+  /// immediately; 0 means unbounded.
   void set_capacity(std::size_t max_entries);
   std::size_t capacity() const;
   Stats stats() const;
+  /// hits / (hits + misses); 0 before any lookup.
+  double hit_rate() const;
 
  private:
   struct Entry {
@@ -169,6 +180,8 @@ class ActivitySynthesis {
     std::shared_ptr<const ActivityBundle> bundle;
     std::uint64_t order = 0;  // bumped on every hit: LRU eviction
   };
+
+  void evict_lru_locked();  // drop the least-recently-touched entry
 
   std::size_t max_entries_;
   mutable std::mutex mu_;
@@ -180,7 +193,8 @@ class ActivitySynthesis {
   obs::Counter evictions_;
   obs::Counter invalidations_;
   obs::Gauge entries_gauge_;
-  std::array<std::uint64_t, 5> attach_ids_{};
+  obs::Gauge hit_rate_gauge_;
+  std::array<std::uint64_t, 6> attach_ids_{};
 };
 
 }  // namespace psa::sim

@@ -175,6 +175,15 @@ class ChipSimulator {
   /// The per-simulator activity cache (stats, capacity, invalidation).
   ActivitySynthesis& synthesis() const { return *synthesis_; }
 
+  /// Adopt `other`'s activity cache in place of this simulator's own.
+  /// Bundles depend only on scenario + timing — never on the floorplan
+  /// placement or measurement chain — so cross-chip sharing is sound; the
+  /// fleet engine pools cohort mates onto one cache so each tick's scenario
+  /// is synthesized once per cohort instead of once per chip.
+  void share_synthesis_with(const ChipSimulator& other) {
+    synthesis_ = other.synthesis_;
+  }
+
   /// The open-circuit coil voltage before noise/front-end — used by physics
   /// tests that need the clean signal.
   std::vector<double> coil_voltage(const SensorView& view,

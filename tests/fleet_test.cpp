@@ -1,0 +1,387 @@
+// fleet_test.cpp — the fleet engine's two load-bearing contracts:
+//
+//   * Verdict bit-exactness: a session's z-score stream is a pure function
+//     of its ChipSpec — independent of fleet size, shard order, thread
+//     count, scheduler arm (batched vs thread-per-chip), and cohort-cache
+//     sharing — and reproduces both the hand-rolled single-chip monitor
+//     loop and the committed golden scan vectors bit for bit.
+//
+//   * Isolation: a session that throws or persistently overruns the tick
+//     deadline is quarantined with a latched event, and the rest of the
+//     fleet's verdict streams (and therefore MTTD) are untouched — pinned
+//     by comparing against a control fleet that never had the bad chip
+//     misbehave.
+//
+// The satellite caches (ActivitySynthesis / FluxMapCache capacity + hit
+// rate) are covered here too; the ServingQueue Retry-After derivation lives
+// in serving_test.cpp with the rest of the queue suite.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "em/fluxmap_cache.hpp"
+#include "fixtures.hpp"
+#include "fleet/fleet.hpp"
+#include "golden_common.hpp"
+#include "obs/events.hpp"
+#include "sim/activity_synthesis.hpp"
+
+#ifndef PSA_GOLDEN_DIR
+#error "PSA_GOLDEN_DIR must point at the committed tests/golden directory"
+#endif
+
+namespace psa {
+namespace {
+
+using fleet::ChipSpec;
+using fleet::FleetConfig;
+using fleet::FleetEngine;
+using fleet::QuarantineCause;
+
+/// Byte-for-byte equality of two verdict streams.
+bool same_stream(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() && !a.empty() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// A small diverse fleet (two cohorts: clean + t1) on the light test config.
+std::vector<ChipSpec> small_fleet(std::size_t n = 8, std::size_t cohort = 4) {
+  return fleet::make_fleet_specs(n, cohort, tests::kGoldenSeed,
+                                 tests::light_config());
+}
+
+TEST(FleetSession, MatchesHandRolledMonitorLoop) {
+  tests::ThreadCountGuard guard;
+  constexpr std::size_t kTicks = 6;
+
+  ChipSpec spec;
+  spec.label = "solo";
+  spec.seed = tests::kGoldenSeed + 5;
+  spec.placement_seed = tests::kGoldenSeed;
+  spec.trojan = trojan::TrojanKind::kT3CdmaLeak;
+  spec.activate_at = 2;
+  spec.pipeline = tests::light_config();
+
+  FleetEngine engine({spec}, FleetConfig{});
+  ASSERT_EQ(engine.run_ticks(kTicks), kTicks);
+
+  // The same loop psa_monitord runs, written out by hand: enroll on the
+  // quiet scenario, then per tick reseed with seed + 7919 * (tick + 1),
+  // fold one sentinel sweep into the sliding window, score, debounce.
+  const sim::ChipSimulator chip(sim::SimTiming{},
+                                layout::Floorplan::aes_testchip(),
+                                spec.placement_seed);
+  analysis::Pipeline pipeline(chip, spec.pipeline);
+  pipeline.enroll(sim::Scenario::baseline(spec.seed));
+  analysis::MonitorState state(spec.monitor);
+  const std::size_t sentinel = spec.monitor.sentinel_sensor;
+
+  std::vector<double> expected;
+  for (std::size_t t = 0; t < kTicks; ++t) {
+    sim::Scenario s =
+        t >= spec.activate_at
+            ? sim::Scenario::with_trojan(*spec.trojan, spec.seed)
+            : sim::Scenario::baseline(spec.seed);
+    s.seed = spec.seed + 7919 * (t + 1);
+    const dsp::Spectrum& avg = state.push(pipeline.single_sweep(sentinel, s));
+    expected.push_back(pipeline.score_spectrum(sentinel, avg).score);
+  }
+
+  EXPECT_TRUE(same_stream(engine.session(0).z_history(), expected));
+  EXPECT_EQ(engine.session(0).ticks_done(), kTicks);
+}
+
+TEST(FleetEngine, VerdictsInvariantAcrossSchedulerArmAndSharingAndThreads) {
+  tests::ThreadCountGuard guard;
+  constexpr std::size_t kTicks = 5;
+  const std::vector<ChipSpec> specs = small_fleet();
+
+  FleetConfig shared_cfg;
+  shared_cfg.per_chip_metrics = false;
+  FleetConfig private_cfg = shared_cfg;
+  private_cfg.share_cohort_synthesis = false;
+
+  // Reference: batched scheduler, shared cohort caches, one thread.
+  set_thread_count(1);
+  FleetEngine reference(specs, shared_cfg);
+  ASSERT_EQ(reference.run_ticks(kTicks), kTicks);
+
+  // Same scheduler on four threads.
+  set_thread_count(4);
+  FleetEngine threaded(specs, shared_cfg);
+  ASSERT_EQ(threaded.run_ticks(kTicks), kTicks);
+
+  // Sharing off (every session a private cache and its own shard).
+  FleetEngine private_caches(specs, private_cfg);
+  ASSERT_EQ(private_caches.run_ticks(kTicks), kTicks);
+
+  // The naive baseline arm: one thread per chip.
+  FleetEngine naive(specs, private_cfg);
+  ASSERT_EQ(naive.run_thread_per_chip(kTicks), kTicks);
+
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    const std::vector<double>& ref = reference.session(k).z_history();
+    EXPECT_TRUE(same_stream(ref, threaded.session(k).z_history()))
+        << "thread-count divergence at chip " << k;
+    EXPECT_TRUE(same_stream(ref, private_caches.session(k).z_history()))
+        << "cache-sharing divergence at chip " << k;
+    EXPECT_TRUE(same_stream(ref, naive.session(k).z_history()))
+        << "scheduler-arm divergence at chip " << k;
+  }
+}
+
+TEST(FleetEngine, ScanVerdictsMatchCommittedGoldens) {
+  tests::ThreadCountGuard guard;
+
+  // A fleet session configured exactly like the golden fixture must serve
+  // the committed t3 scan bits — fleet membership cannot perturb a scan.
+  ChipSpec spec;
+  spec.label = "golden";
+  spec.seed = tests::kGoldenSeed;
+  spec.placement_seed = tests::kGoldenSeed;
+  spec.pipeline = golden::golden_config();
+
+  std::vector<ChipSpec> specs = small_fleet();
+  specs.push_back(spec);
+  specs.back().cohort = 99;  // its own cohort: nothing shares its schedule
+
+  FleetEngine engine(specs, FleetConfig{});
+  engine.enroll();
+  ASSERT_EQ(engine.run_ticks(2), 2u);
+
+  std::ifstream is(std::string(PSA_GOLDEN_DIR) + "/t3.golden",
+                   std::ios::binary);
+  ASSERT_TRUE(is) << "missing tests/golden/t3.golden";
+  std::ostringstream os;
+  os << is.rdbuf();
+  const golden::GoldenRun committed = golden::parse(os.str());
+
+  fleet::ChipSession& golden_chip = engine.session(specs.size() - 1);
+  const std::array<double, 16> scores = golden_chip.pipeline().scan_scores(
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT3CdmaLeak,
+                                 tests::kGoldenSeed));
+  for (std::size_t k = 0; k < scores.size(); ++k) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(scores[k]),
+              std::bit_cast<std::uint64_t>(committed.scores[k]))
+        << "fleet-served scan diverged from golden at sensor " << k;
+  }
+}
+
+TEST(FleetEngine, ThrowingSessionQuarantinedAndPeersUnperturbed) {
+  tests::ThreadCountGuard guard;
+  set_thread_count(4);
+  constexpr std::size_t kTicks = 6;
+  constexpr std::size_t kBad = 1;
+
+  std::vector<ChipSpec> specs = small_fleet();
+  std::vector<ChipSpec> control = specs;  // identical, nobody misbehaves
+  specs[kBad].tick_hook = [](std::size_t tick) {
+    if (tick == 2) throw std::runtime_error("simulated chip fault");
+  };
+
+  const std::uint64_t seq0 = obs::EventLog::global().last_seq();
+  FleetConfig cfg;
+  cfg.per_chip_metrics = false;
+  FleetEngine engine(specs, cfg);
+  ASSERT_EQ(engine.run_ticks(kTicks), kTicks);
+  FleetEngine control_engine(control, cfg);
+  ASSERT_EQ(control_engine.run_ticks(kTicks), kTicks);
+
+  // The bad chip: quarantined at tick 2, latched, no further ticks.
+  const fleet::ChipSession& bad = engine.session(kBad);
+  EXPECT_TRUE(bad.quarantined());
+  EXPECT_EQ(bad.quarantine_cause(), QuarantineCause::kException);
+  EXPECT_NE(bad.quarantine_detail().find("simulated chip fault"),
+            std::string::npos);
+  EXPECT_EQ(bad.ticks_done(), 2u);  // ticks 0 and 1 completed
+
+  // Exactly one latched quarantine event for it in the global log.
+  std::size_t quarantine_events = 0;
+  for (const obs::Event& ev : obs::EventLog::global().since(seq0)) {
+    if (ev.name == "fleet.quarantined") ++quarantine_events;
+  }
+  EXPECT_EQ(quarantine_events, 1u);
+
+  // Every peer's verdict stream is bit-identical to the control fleet's —
+  // the quarantine neither stalled nor perturbed anyone else (fixed MTTD).
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    if (k == kBad) continue;
+    EXPECT_TRUE(same_stream(engine.session(k).z_history(),
+                            control_engine.session(k).z_history()))
+        << "peer " << k << " perturbed by the quarantine";
+    EXPECT_EQ(engine.session(k).mttd_ticks(),
+              control_engine.session(k).mttd_ticks());
+  }
+
+  const fleet::FleetRollup roll = engine.rollup();
+  EXPECT_EQ(roll.sessions, specs.size());
+  EXPECT_EQ(roll.quarantined, 1u);
+  EXPECT_EQ(roll.healthy, specs.size() - 1);
+}
+
+TEST(FleetEngine, DeadlineOverrunQuarantinesAfterConsecutiveStrikes) {
+  tests::ThreadCountGuard guard;
+  constexpr std::size_t kTicks = 4;
+  constexpr std::size_t kSlow = 0;
+
+  // The deadline must sit far above an honest tick even on a slow,
+  // sanitizer-instrumented single-core runner (a light-config tick is
+  // milliseconds natively, hundreds under TSan) and far below the hook's
+  // sleep so the slow chip always overruns: 2 s vs a 4.5 s sleep.
+  std::vector<ChipSpec> specs = small_fleet(4, 2);
+  specs[kSlow].tick_hook = [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(4500));
+  };
+
+  FleetConfig cfg;
+  cfg.per_chip_metrics = false;
+  cfg.tick_deadline_us = 2'000'000;
+  cfg.deadline_strikes = 2;
+  FleetEngine engine(specs, cfg);
+  ASSERT_EQ(engine.run_ticks(kTicks), kTicks);
+
+  const fleet::ChipSession& slow = engine.session(kSlow);
+  EXPECT_TRUE(slow.quarantined());
+  EXPECT_EQ(slow.quarantine_cause(), QuarantineCause::kDeadline);
+  EXPECT_EQ(slow.ticks_done(), cfg.deadline_strikes);  // dropped after strike 2
+
+  // The healthy rest of the fleet completed every tick.
+  for (std::size_t k = 1; k < specs.size(); ++k) {
+    EXPECT_FALSE(engine.session(k).quarantined());
+    EXPECT_EQ(engine.session(k).ticks_done(), kTicks);
+  }
+}
+
+TEST(FleetEngine, FaultWindowArmsAndClearsWithoutLastingEffect) {
+  tests::ThreadCountGuard guard;
+  constexpr std::size_t kTicks = 6;
+
+  ChipSpec spec;
+  spec.label = "faulty";
+  spec.seed = tests::kGoldenSeed + 9;
+  spec.pipeline = tests::light_config();
+  ChipSpec control = spec;
+
+  spec.fault_plan.seed = 7;
+  spec.fault_plan.measurement.noise_scale = 2.0;
+  spec.fault_plan.measurement.temperature_offset_k = 8.0;
+  spec.fault_at = 2;
+  spec.fault_clear_at = 4;
+
+  FleetEngine faulty({spec}, FleetConfig{});
+  ASSERT_EQ(faulty.run_ticks(kTicks), kTicks);
+  FleetEngine clean({control}, FleetConfig{});
+  ASSERT_EQ(clean.run_ticks(kTicks), kTicks);
+
+  const std::vector<double>& zf = faulty.session(0).z_history();
+  const std::vector<double>& zc = clean.session(0).z_history();
+  ASSERT_EQ(zf.size(), kTicks);
+  ASSERT_EQ(zc.size(), kTicks);
+
+  // Before the window: identical. Inside [fault_at, fault_clear_at): the
+  // measurement chain is perturbed. The *sweep* at the clear tick is clean
+  // again; the sliding window flushes the faulted spectra a couple of ticks
+  // later, after which the stream must re-converge bit-exactly.
+  for (std::size_t t = 0; t < spec.fault_at; ++t) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(zf[t]),
+              std::bit_cast<std::uint64_t>(zc[t]))
+        << "pre-fault tick " << t;
+  }
+  bool window_differs = false;
+  for (std::size_t t = spec.fault_at; t < spec.fault_clear_at; ++t) {
+    window_differs |= zf[t] != zc[t];
+  }
+  EXPECT_TRUE(window_differs) << "fault window had no measurable effect";
+  EXPECT_FALSE(faulty.session(0).quarantined());
+}
+
+TEST(FleetEngine, RollupAndJsonEndpointsReflectTheFleet) {
+  tests::ThreadCountGuard guard;
+  FleetEngine engine(small_fleet(), FleetConfig{});
+  ASSERT_EQ(engine.run_ticks(5), 5u);
+
+  // Cohort 0 is clean, cohort 1 carries t1 (the make_fleet_specs mix).
+  const fleet::FleetRollup roll = engine.rollup();
+  EXPECT_EQ(roll.sessions, 8u);
+  EXPECT_EQ(roll.healthy, 8u);
+  EXPECT_EQ(roll.infected, 4u);
+  EXPECT_EQ(roll.ticks, 5u);
+  EXPECT_GT(roll.chips_per_s, 0.0);
+
+  const std::string health = engine.healthz_json();
+  EXPECT_NE(health.find("\"status\""), std::string::npos);
+  EXPECT_NE(health.find("\"sessions\":8"), std::string::npos);
+  const std::string chips = engine.chips_json();
+  EXPECT_NE(chips.find("\"chip0\""), std::string::npos);
+  EXPECT_NE(chips.find("\"chip7\""), std::string::npos);
+}
+
+TEST(ActivitySynthesisCache, CapacityConfigurableAndHitRateTracked) {
+  setenv("PSA_ACTIVITY_CACHE_CAP", "7", 1);
+  EXPECT_EQ(sim::ActivitySynthesis::default_capacity(), 7u);
+  unsetenv("PSA_ACTIVITY_CACHE_CAP");
+  EXPECT_EQ(sim::ActivitySynthesis::default_capacity(), 16u);
+
+  sim::ActivitySynthesis cache(4);
+  const sim::SimTiming timing;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    cache.get_or_synthesize(sim::Scenario::baseline(100 + s), 64, timing);
+  }
+  EXPECT_EQ(cache.stats().entries, 4u);
+  EXPECT_EQ(cache.hit_rate(), 0.0);
+
+  // Shrinking evicts down immediately; repeat lookups raise the hit rate.
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  cache.get_or_synthesize(sim::Scenario::baseline(103), 64, timing);  // hit
+  const sim::ActivitySynthesis::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 1.0 / 5.0);
+}
+
+TEST(FluxMapCacheCapacity, CapacityConfigurableAndHitRateTracked) {
+  setenv("PSA_FLUXMAP_CACHE_CAP", "33", 1);
+  EXPECT_EQ(em::FluxMapCache::default_capacity(), 33u);
+  unsetenv("PSA_FLUXMAP_CACHE_CAP");
+  EXPECT_EQ(em::FluxMapCache::default_capacity(), 256u);
+
+  em::FluxMapCache cache(8);
+  em::FluxMap::Params params;
+  params.source_nx = 4;
+  params.source_ny = 4;
+  params.winding_raster = 8;
+  const Rect die{{0.0, 0.0}, {100.0, 100.0}};
+  for (double x = 10.0; x < 50.0; x += 10.0) {
+    const Polyline coil{{x, 10.0}, {x + 20.0, 10.0}, {x + 20.0, 30.0},
+                        {x, 30.0}, {x, 10.0}};
+    cache.get_or_compute(coil, die, params);
+  }
+  EXPECT_EQ(cache.stats().entries, 4u);
+
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.capacity(), 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  const Polyline last{{40.0, 10.0}, {60.0, 10.0}, {60.0, 30.0},
+                      {40.0, 30.0}, {40.0, 10.0}};
+  cache.get_or_compute(last, die, params);  // the surviving LRU entry: a hit
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 1.0 / 5.0);
+}
+
+}  // namespace
+}  // namespace psa

@@ -273,6 +273,55 @@ TEST(ServingQueue, FullQueueShedsDeterministically) {
   EXPECT_EQ(queue.executed(), 3u);
 }
 
+TEST(ServingQueue, RetryAfterHintScalesWithQueueDepthAndClamps) {
+  net::ServingConfig cfg;
+  cfg.queue_depth = 8;
+  cfg.workers = 1;
+  cfg.coalesce = false;
+  cfg.retry_after_s = 1.0;
+  cfg.retry_after_per_queued_s = 0.5;
+  cfg.retry_after_max_s = 2.5;
+  net::ServingQueue queue(cfg);
+
+  // Empty queue: the hint is just the base.
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_DOUBLE_EQ(queue.retry_after_hint_s(), 1.0);
+
+  GateJob gate;
+  auto gate_ticket = queue.submit("gate", gate.job());
+  ASSERT_TRUE(gate_ticket.has_value());
+  gate.wait_started();  // executing, not queued: hint still the base
+  EXPECT_DOUBLE_EQ(queue.retry_after_hint_s(), 1.0);
+
+  auto a = queue.submit("a", [] { return ok_result("a"); });
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_DOUBLE_EQ(queue.retry_after_hint_s(), 1.5);  // base + 0.5 x 1
+
+  auto b = queue.submit("b", [] { return ok_result("b"); });
+  auto c = queue.submit("c", [] { return ok_result("c"); });
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(queue.depth(), 3u);
+  // base + 0.5 x 3 = 2.5... exactly the cap; one more queued item clamps.
+  EXPECT_DOUBLE_EQ(queue.retry_after_hint_s(), 2.5);
+  auto d = queue.submit("d", [] { return ok_result("d"); });
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(queue.retry_after_hint_s(), 2.5);
+
+  // A zero slope restores the historic fixed Retry-After.
+  net::ServingConfig fixed_cfg = cfg;
+  fixed_cfg.retry_after_per_queued_s = 0.0;
+  net::ServingQueue fixed(fixed_cfg);
+  EXPECT_DOUBLE_EQ(fixed.retry_after_hint_s(), 1.0);
+
+  gate.release();
+  (void)a->result.get();
+  (void)b->result.get();
+  (void)c->result.get();
+  (void)d->result.get();
+}
+
 TEST(ServingQueue, StopFulfilsQueuedWaitersWith503) {
   net::ServingConfig cfg;
   cfg.queue_depth = 8;

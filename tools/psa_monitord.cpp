@@ -29,6 +29,20 @@
 //   --trojan t1..t4    payload kind                    (default t3)
 //   --events-out FILE  mirror the event log to a JSONL sink
 //
+// Fleet mode (src/fleet): one daemon, many chips.
+//
+//   --fleet N             monitor N independent chip sessions instead of
+//                         one (distinct placements, rotating Trojan mix,
+//                         cohort-shared traffic schedules), driven by the
+//                         batched tick scheduler; adds GET /fleet/healthz
+//                         and GET /fleet/chips to the endpoints above
+//   --cohort N            sessions per cohort (default 4)
+//   --tick-deadline-us N  per-session tick deadline; a chip overrunning it
+//                         repeatedly is quarantined (default 0 = off)
+//
+// In fleet mode --activate-at/--fault-at/... apply per the fleet spec:
+// activation to every infected cohort, the fault window to cohort 0.
+//
 // --smoke selects the CI schedule (48 traces, activation at 16, a fault
 // window at [32, 40), 50 ms pacing, 3 s linger) and makes the exit status
 // meaningful: 0 iff at least one debounced alarm fired after activation.
@@ -47,6 +61,8 @@
 #include "analysis/pipeline.hpp"
 #include "bench_util.hpp"
 #include "fault/fault.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/fleet_http.hpp"
 #include "net/http_exposition.hpp"
 #include "obs/events.hpp"
 #include "obs/obs.hpp"
@@ -83,6 +99,10 @@ struct Schedule {
   double sample_ms = 1000.0;
   double linger_sec = 0.0;
   psa::trojan::TrojanKind trojan = psa::trojan::TrojanKind::kT3CdmaLeak;
+  // Fleet mode (0 = classic single-chip daemon).
+  std::size_t fleet = 0;
+  std::size_t cohort = 4;
+  std::uint64_t tick_deadline_us = 0;
 };
 
 bool parse_extras(int argc, char** argv, Schedule* sched, int* port,
@@ -116,6 +136,12 @@ bool parse_extras(int argc, char** argv, Schedule* sched, int* port,
       sched->linger_sec = std::strtod(v, nullptr);
     } else if (arg == "--events-out" && (v = value(i))) {
       *events_out = v;
+    } else if (arg == "--fleet" && (v = value(i))) {
+      sched->fleet = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--cohort" && (v = value(i))) {
+      sched->cohort = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--tick-deadline-us" && (v = value(i))) {
+      sched->tick_deadline_us = std::strtoull(v, nullptr, 10);
     } else if (arg == "--trojan" && (v = value(i))) {
       const std::string kind = v;
       using psa::trojan::TrojanKind;
@@ -143,6 +169,114 @@ void interruptible_sleep_ms(double ms) {
   while (!g_stop.load(std::memory_order_relaxed) && clock::now() < until) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+}
+
+/// --fleet N: the multi-tenant daemon. One FleetEngine drives N sessions
+/// with the batched tick scheduler; the schedule's trace count/pacing
+/// becomes the fleet tick count/pacing.
+int run_fleet(const psa::bench::Args& args, const Schedule& sched, int port,
+              const std::string& bind) {
+  using namespace psa;
+
+  // A fleet host trades per-trace resolution for session count: shorter
+  // traces and a lighter enrollment keep 16+ sessions responsive while the
+  // detector still clears its z threshold comfortably (the smoke requires
+  // a real alarm).
+  analysis::PipelineConfig pcfg;
+  if (args.smoke) {
+    pcfg.cycles_per_trace = 512;
+    pcfg.enrollment_traces = 4;
+  }
+  std::vector<fleet::ChipSpec> specs =
+      fleet::make_fleet_specs(sched.fleet, sched.cohort, args.seed, pcfg,
+                              analysis::MonitorConfig{}, sched.activate_at);
+  if (sched.fault_at != 0) {
+    // The schedule's measurement-fault window lands on cohort 0 (the clean
+    // cohort in the default mix), mirroring the single-chip schedule.
+    fault::FaultPlan plan;
+    plan.seed = args.seed;
+    plan.measurement.noise_scale = 1.6;
+    plan.measurement.temperature_offset_k = 6.0;
+    for (fleet::ChipSpec& spec : specs) {
+      if (spec.cohort == 0) {
+        spec.fault_plan = plan;
+        spec.fault_at = sched.fault_at;
+        spec.fault_clear_at = sched.fault_clear_at;
+      }
+    }
+  }
+  fleet::FleetConfig fcfg;
+  fcfg.tick_deadline_us = sched.tick_deadline_us;
+  fleet::FleetEngine engine(std::move(specs), fcfg);
+
+  obs::TimeSeriesConfig ts_cfg;
+  ts_cfg.interval_s = sched.sample_ms / 1e3;
+  obs::TimeSeriesSampler sampler(ts_cfg);
+  sampler.start();
+
+  net::HttpServer server;
+  net::install_telemetry_endpoints(
+      server, &obs::EventLog::global(), &sampler, [&engine] {
+        const fleet::FleetRollup r = engine.rollup();
+        std::ostringstream os;
+        os << "\"mode\":\"fleet\",\"sessions\":" << r.sessions
+           << ",\"trace\":" << r.ticks << ",\"alarms\":" << r.alarms
+           << ",\"quarantined\":" << r.quarantined << ",\"phase\":\""
+           << phase_name(g_phase.load(std::memory_order_relaxed)) << "\"";
+        return os.str();
+      });
+  fleet::install_fleet_endpoints(server, &engine);
+  net::HttpServer::Options opts;
+  opts.bind_address = bind;
+  opts.port = static_cast<std::uint16_t>(port);
+  if (!server.start(opts)) {
+    std::fprintf(stderr, "psa_monitord: cannot bind %s:%d\n", bind.c_str(),
+                 port);
+    return 1;
+  }
+  std::printf("psa_monitord: fleet of %zu chips, serving http://%s:%u "
+              "(metrics healthz events timeseries fleet/healthz "
+              "fleet/chips)\n",
+              engine.size(), bind.c_str(), server.port());
+  std::fflush(stdout);
+  PSA_EVENT(kInfo, "monitord.started",
+            {{"port", static_cast<std::size_t>(server.port())},
+             {"fleet", engine.size()},
+             {"traces", sched.traces},
+             {"activate_at", sched.activate_at}});
+
+  engine.enroll();
+  g_phase.store(1, std::memory_order_relaxed);
+
+  for (std::size_t i = 0;
+       (sched.traces == 0 || i < sched.traces) &&
+       !g_stop.load(std::memory_order_relaxed);
+       ++i) {
+    g_phase.store(i >= sched.activate_at ? 2 : 1, std::memory_order_relaxed);
+    if (engine.run_ticks(1) == 0) break;  // whole fleet quarantined
+    const fleet::FleetRollup r = engine.rollup();
+    g_trace.store(r.ticks, std::memory_order_relaxed);
+    g_alarms.store(r.alarms, std::memory_order_relaxed);
+    interruptible_sleep_ms(sched.interval_ms);
+  }
+
+  g_phase.store(3, std::memory_order_relaxed);
+  const fleet::FleetRollup r = engine.rollup();
+  PSA_EVENT(kInfo, "monitord.schedule_done",
+            {{"traces", r.ticks},
+             {"alarms", r.alarms},
+             {"quarantined", r.quarantined}});
+  if (sched.linger_sec > 0.0) interruptible_sleep_ms(sched.linger_sec * 1e3);
+
+  server.stop();
+  sampler.stop();
+  obs::EventLog::global().close_sink();
+  std::printf("psa_monitord: fleet %zu chip(s), %zu tick(s), %zu alarm(s), "
+              "%zu quarantined, %llu request(s)\n",
+              r.sessions, r.ticks, r.alarms, r.quarantined,
+              static_cast<unsigned long long>(server.requests_served()));
+  if (args.smoke) return r.alarms > 0 ? 0 : 1;
+  return 0;
 }
 
 }  // namespace
@@ -180,6 +314,8 @@ int main(int argc, char** argv) {
   // (a clean exit still runs the at-exit export).
   std::signal(SIGINT, request_stop);
   std::signal(SIGTERM, request_stop);
+
+  if (sched.fleet > 0) return run_fleet(args, sched, port, bind);
 
   // Own chip (not bench::TestBench) so the fault injector can arm
   // measurement faults on a mutable simulator mid-run.
@@ -251,7 +387,7 @@ int main(int argc, char** argv) {
 
     sim::Scenario s = trojan_on ? active : quiet;
     s.seed = quiet.seed + 7919 * (i + 1);
-    const dsp::Spectrum avg = state.push(pipeline.single_sweep(sentinel, s));
+    const dsp::Spectrum& avg = state.push(pipeline.single_sweep(sentinel, s));
     const analysis::DetectionResult d = pipeline.score_spectrum(sentinel, avg);
     const bool alarm = state.record(d.detected);
     if (alarm && !alarm_latched && trojan_on) {
