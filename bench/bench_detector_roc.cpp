@@ -1,0 +1,325 @@
+// bench_detector_roc — the shared ROC / MTTD harness for the detector bank.
+//
+// Sweeps every registered reference-free detector plus the score-fused
+// ensemble across three campaigns:
+//
+//   clean  — healthy array, nominal operating point
+//   fault  — crossbar damage (masked sensors) + front-end wear; enrollment
+//            happens on the damaged device (golden-model free)
+//   drift  — thermal drift between enrollment and scan (raised temperature
+//            and per-trace analog gain drift on every scored scenario)
+//
+// Each campaign scores a set of baseline runs (negatives) and all four paper
+// Trojans at several seeds (positives) through ONE DetectorBank, so every
+// detector ranks exactly the same observations. Per detector the harness
+// reports rank AUC (Mann-Whitney, tie-aware), FPR at 75% TPR, and a
+// streaming MTTD (ticks from Trojan activation to first verdict, censored at
+// the tick budget). Results land in BENCH_detectors.json; CI diffs them
+// against the committed reference with bench_diff (roc_auc higher-is-better,
+// mttd_ms lower-is-better) so detection quality is gated like throughput.
+//
+// Flags: --seed N     sweep seed (default 42)
+//        --threads N  measurement pool (0 = automatic)
+//        --smoke      CI-sized sweep
+//        --out FILE   JSON output (default BENCH_detectors.json)
+//
+// Exit status: 0 only when every detector clears its committed clean-sweep
+// AUC floor AND the ensemble's clean AUC is >= the best single detector.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/detector_bank.hpp"
+#include "analysis/monitor.hpp"
+#include "analysis/pipeline.hpp"
+#include "analysis/roc.hpp"
+#include "bench_util.hpp"
+#include "fault/fault.hpp"
+
+namespace {
+
+using namespace psa;
+
+/// Clean-sweep AUC floors, shared with tests/roc_harness_test.cpp. The
+/// sweep is deterministic for a fixed seed, so these gate real regressions.
+const std::map<std::string, double>& clean_auc_floors() {
+  static const std::map<std::string, double> floors = {
+      {"zscore", 0.90},
+      {"flatness", 0.70},
+      {"crossscale", 0.80},
+      {"reconerr", 0.70},
+  };
+  return floors;
+}
+
+struct SweepSize {
+  std::size_t negatives = 4;     // baseline runs per campaign
+  std::size_t trojan_seeds = 2;  // seeds per Trojan kind
+  std::size_t mttd_budget = 5;   // streaming ticks per Trojan
+  std::size_t activation = 1;    // Trojan switches on at this tick
+};
+
+struct DetectorRow {
+  std::string name;
+  double roc_auc = 0.0;
+  double fpr_at_tpr75 = 0.0;
+  double detected_rate = 0.0;  // fraction of positives flagged outright
+  double mttd_scans = 0.0;     // mean ticks to verdict (censored at budget)
+  double mttd_ms = 0.0;        // scans * monitor trace interval
+  std::size_t alarmed = 0;     // Trojans caught within the tick budget
+};
+
+struct CampaignResult {
+  std::string name;
+  std::size_t masked = 0;
+  std::vector<DetectorRow> rows;  // detectors then "ensemble"
+};
+
+/// Thermal-drift overlay for the drift campaign: the scan happens hotter
+/// and with more per-trace analog wander than enrollment did.
+sim::Scenario drifted(sim::Scenario s, bool apply) {
+  if (apply) {
+    s.temperature_k += 15.0;
+    s.gain_drift_sigma = 0.08;
+  }
+  return s;
+}
+
+CampaignResult run_campaign(const std::string& name, std::uint64_t seed,
+                            const SweepSize& size) {
+  const bool drift = name == "drift";
+  sim::ChipSimulator chip(sim::SimTiming{}, layout::Floorplan::aes_testchip());
+
+  analysis::PipelineConfig cfg;
+  cfg.cycles_per_trace = 256;
+  cfg.enrollment_traces = 3;
+  cfg.detection_averages = 1;
+  analysis::Pipeline pipeline(chip, cfg);
+
+  CampaignResult res;
+  res.name = name;
+  if (name == "fault") {
+    const std::vector<std::size_t> victims{2, 11};
+    fault::FaultPlan plan =
+        fault::plan_killing_sensors(victims, seed, /*block_substitutes=*/true);
+    plan.measurement.noise_scale = 1.15;
+    plan.measurement.frontend.opamp_gain_scale = 0.97;
+    const fault::FaultInjector injector(plan);
+    injector.arm(chip);
+    res.masked = pipeline.configure_degraded(injector.array_faults())
+                     .masked_count();
+  }
+
+  const sim::Scenario normal = sim::Scenario::baseline(seed);
+  pipeline.enroll(normal);
+  analysis::DetectorBank bank(pipeline, analysis::BankConfig{.scales = 2});
+  bank.calibrate(normal);
+
+  // ---- ROC sweep: shared observations, per-detector + ensemble scores.
+  std::map<std::string, std::vector<double>> neg, pos;
+  std::vector<double> ens_neg, ens_pos;
+  std::size_t positives = 0;
+  std::map<std::string, std::size_t> outright;
+  const auto score_into = [&](const sim::Scenario& sc, bool positive) {
+    const analysis::EnsembleVerdict v = bank.scan(drifted(sc, drift));
+    (positive ? ens_pos : ens_neg).push_back(v.score);
+    if (positive) {
+      ++positives;
+      if (v.detected) ++outright["ensemble"];
+    }
+    for (const analysis::NamedVerdict& nv : v.parts) {
+      ((positive ? pos : neg)[nv.name]).push_back(nv.verdict.score);
+      if (positive && nv.verdict.detected) ++outright[nv.name];
+    }
+  };
+  for (std::size_t i = 0; i < size.negatives; ++i) {
+    score_into(sim::Scenario::baseline(seed + 101 * (i + 1)), false);
+  }
+  for (const trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+    for (std::size_t i = 0; i < size.trojan_seeds; ++i) {
+      score_into(sim::Scenario::with_trojan(kind, seed + 77 * i), true);
+    }
+  }
+
+  // ---- Streaming MTTD: one tick sequence per Trojan, every detector
+  // watches the same scans. Censored at the budget when never caught.
+  std::map<std::string, double> mttd_sum;
+  std::map<std::string, std::size_t> mttd_alarmed;
+  for (const trojan::TrojanKind kind : trojan::all_trojan_kinds()) {
+    std::map<std::string, std::size_t> first_tick;  // absent = not yet
+    for (std::size_t t = 0; t < size.mttd_budget; ++t) {
+      const std::uint64_t tick_seed = seed + 7919 * (t + 1);
+      const sim::Scenario sc =
+          t < size.activation
+              ? sim::Scenario::baseline(tick_seed)
+              : sim::Scenario::with_trojan(kind, tick_seed);
+      const analysis::EnsembleVerdict v = bank.scan(drifted(sc, drift));
+      const auto note = [&](const std::string& who, bool detected) {
+        if (detected && t >= size.activation && !first_tick.count(who)) {
+          first_tick[who] = t - size.activation + 1;
+        }
+      };
+      note("ensemble", v.detected);
+      for (const analysis::NamedVerdict& nv : v.parts) {
+        note(nv.name, nv.verdict.detected);
+      }
+    }
+    const std::size_t censored = size.mttd_budget - size.activation;
+    const auto account = [&](const std::string& who) {
+      if (first_tick.count(who)) {
+        mttd_sum[who] += static_cast<double>(first_tick[who]);
+        ++mttd_alarmed[who];
+      } else {
+        mttd_sum[who] += static_cast<double>(censored);
+      }
+    };
+    account("ensemble");
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      account(std::string(bank.detector(i).name()));
+    }
+  }
+
+  // ---- Assemble rows.
+  const double interval_ms = analysis::MonitorConfig{}.trace_interval_s * 1e3;
+  const std::size_t n_kinds = trojan::all_trojan_kinds().size();
+  std::vector<std::string> order;
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    order.emplace_back(bank.detector(i).name());
+  }
+  order.emplace_back("ensemble");
+  for (const std::string& who : order) {
+    DetectorRow row;
+    row.name = who;
+    const std::vector<double>& n =
+        who == "ensemble" ? ens_neg : neg[who];
+    const std::vector<double>& p =
+        who == "ensemble" ? ens_pos : pos[who];
+    row.roc_auc = analysis::rank_auc(n, p);
+    row.fpr_at_tpr75 = analysis::fpr_at_tpr(n, p, 0.75);
+    row.detected_rate =
+        positives > 0
+            ? static_cast<double>(outright[who]) /
+                  static_cast<double>(positives)
+            : 0.0;
+    row.mttd_scans = mttd_sum[who] / static_cast<double>(n_kinds);
+    row.mttd_ms = row.mttd_scans * interval_ms;
+    row.alarmed = mttd_alarmed[who];
+    res.rows.push_back(std::move(row));
+  }
+  return res;
+}
+
+void write_json(std::FILE* f, std::uint64_t seed, bool smoke,
+                const std::vector<CampaignResult>& campaigns,
+                bool gates_ok) {
+  std::fprintf(f, "{\n  \"seed\": %llu,\n  \"smoke\": %s,\n",
+               static_cast<unsigned long long>(seed),
+               smoke ? "true" : "false");
+  std::fprintf(f, "  \"campaigns\": [\n");
+  for (std::size_t c = 0; c < campaigns.size(); ++c) {
+    const CampaignResult& cam = campaigns[c];
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n      \"masked\": %zu,\n",
+                 cam.name.c_str(), cam.masked);
+    std::fprintf(f, "      \"detectors\": [\n");
+    for (std::size_t r = 0; r < cam.rows.size(); ++r) {
+      const DetectorRow& row = cam.rows[r];
+      std::fprintf(
+          f,
+          "        {\"name\": \"%s\", \"roc_auc\": %.6f, "
+          "\"fpr_at_tpr75\": %.6f, \"detected_rate\": %.6f, "
+          "\"mttd_scans\": %.3f, \"mttd_ms\": %.3f, \"alarmed\": %zu}%s\n",
+          row.name.c_str(), row.roc_auc, row.fpr_at_tpr75, row.detected_rate,
+          row.mttd_scans, row.mttd_ms, row.alarmed,
+          r + 1 < cam.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n",
+                 c + 1 < campaigns.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"gates_ok\": %s\n}\n",
+               gates_ok ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ArgSpec spec;
+  spec.seed = spec.smoke = spec.out = true;
+  spec.default_out = "BENCH_detectors.json";
+  spec.reject_unknown = true;
+  const bench::Args args = bench::parse_args(argc, argv, spec);
+  if (!args.ok) return 2;
+
+  bench::print_banner(
+      "DETECTOR-BANK ROC / MTTD SWEEP",
+      "golden-model free detectors rank Trojan runs above baseline runs; "
+      "fusing their threshold-normalized scores loses nothing vs the best "
+      "single detector");
+  std::printf("[seed %llu, threads %zu%s]\n\n",
+              static_cast<unsigned long long>(args.seed), args.threads,
+              args.smoke ? ", smoke" : "");
+
+  SweepSize size;
+  if (!args.smoke) {
+    size.negatives = 8;
+    size.trojan_seeds = 4;
+    size.mttd_budget = 8;
+  }
+
+  std::vector<CampaignResult> campaigns;
+  for (const char* name : {"clean", "fault", "drift"}) {
+    campaigns.push_back(run_campaign(name, args.seed, size));
+  }
+
+  Table table({"campaign", "detector", "AUC", "FPR@75%TPR", "det rate",
+               "MTTD [scans]", "caught"});
+  for (const CampaignResult& cam : campaigns) {
+    for (const DetectorRow& row : cam.rows) {
+      table.add_row({cam.name, row.name, fmt(row.roc_auc, 3),
+                     fmt(row.fpr_at_tpr75, 3), fmt(row.detected_rate, 2),
+                     fmt(row.mttd_scans, 1),
+                     std::to_string(row.alarmed) + "/4"});
+    }
+  }
+  table.print(std::cout);
+
+  // ---- Gates: clean-sweep floors + ensemble-wins.
+  bool gates_ok = true;
+  const CampaignResult& clean = campaigns.front();
+  double best_single = 0.0;
+  double ensemble_auc = 0.0;
+  for (const DetectorRow& row : clean.rows) {
+    if (row.name == "ensemble") {
+      ensemble_auc = row.roc_auc;
+      continue;
+    }
+    best_single = std::max(best_single, row.roc_auc);
+    const auto it = clean_auc_floors().find(row.name);
+    if (it != clean_auc_floors().end() && row.roc_auc < it->second) {
+      std::printf("GATE FAIL: %s clean AUC %.3f < floor %.3f\n",
+                  row.name.c_str(), row.roc_auc, it->second);
+      gates_ok = false;
+    }
+  }
+  if (ensemble_auc < best_single) {
+    std::printf("GATE FAIL: ensemble clean AUC %.3f < best single %.3f\n",
+                ensemble_auc, best_single);
+    gates_ok = false;
+  }
+
+  std::FILE* f = std::fopen(args.out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
+    return 1;
+  }
+  write_json(f, args.seed, args.smoke, campaigns, gates_ok);
+  std::fclose(f);
+  std::printf("\nJSON sweep -> %s\n", args.out.c_str());
+  std::printf("Gates: %s\n", gates_ok
+                                 ? "every detector clears its clean AUC "
+                                   "floor; ensemble >= best single"
+                                 : "FAILED");
+  return gates_ok ? 0 : 1;
+}

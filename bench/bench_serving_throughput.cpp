@@ -215,6 +215,12 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
     net::ScanService service(pipeline);
+    // The committed detectors.golden setup (scales-2 bank calibrated on the
+    // golden baseline): /scan?detectors=all must serve those exact bits.
+    analysis::DetectorBank bank(pipeline,
+                                analysis::BankConfig{.scales = 2});
+    bank.calibrate(sim::Scenario::baseline(42));
+    service.attach_detector_bank(&bank);
     net::HttpServer server;
     service.install(server);
     net::install_telemetry_endpoints(server, nullptr, nullptr);

@@ -1,0 +1,260 @@
+#include "analysis/detector_bank.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/refine.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "obs/obs.hpp"
+#include "psa/programmer.hpp"
+
+namespace psa::analysis {
+
+EnsembleVerdict fuse_verdicts(std::vector<NamedVerdict> parts) {
+  EnsembleVerdict e;
+  e.parts = std::move(parts);
+  if (e.parts.empty()) return e;
+  double sum = 0.0;
+  double best = -1.0;
+  for (const NamedVerdict& nv : e.parts) {
+    const double thr = std::max(nv.verdict.threshold, 1.0e-12);
+    const double normalized = nv.verdict.score / thr;
+    sum += normalized;
+    if (normalized > best) {
+      best = normalized;
+      e.top_detector = nv.name;
+    }
+    e.detected = e.detected || nv.verdict.detected;
+  }
+  e.score = sum / static_cast<double>(e.parts.size());
+  if (e.score >= 1.0) e.detected = true;
+  return e;
+}
+
+Observation make_streaming_observation(const dsp::Spectrum& sweep) {
+  Observation obs;
+  obs.scales.resize(1);
+  obs.scales[0].name = "stream";
+  obs.scales[0].tiles.push_back(sweep);
+  obs.scales[0].masked.assign(1, 0);
+  obs.sensor_scale = 0;
+  return obs;
+}
+
+DetectorBank::DetectorBank(const Pipeline& pipeline, BankConfig cfg)
+    : pipeline_(pipeline),
+      cfg_(std::move(cfg)),
+      analyzer_(pipeline.config().analyzer) {
+  if (cfg_.scales < 1 || cfg_.scales > 3) {
+    throw std::invalid_argument("DetectorBank: scales must be 1..3");
+  }
+  std::vector<std::string> names =
+      cfg_.detectors.empty() ? detector_names() : cfg_.detectors;
+  detectors_.reserve(names.size());
+  for (const std::string& n : names) detectors_.push_back(make_detector(n));
+
+  const sim::ChipSimulator& chip = pipeline_.chip();
+  if (cfg_.scales >= 2) {
+    die_view_ = chip.view_from_program(
+        sensor::CoilProgrammer::whole_die_coil(), "die");
+  }
+  if (cfg_.scales >= 3) {
+    quad_views_.reserve(64);
+    for (std::size_t k = 0; k < 16; ++k) {
+      for (std::size_t q = 0; q < 4; ++q) {
+        // Same programs and labels as Pipeline::refine_localization, so the
+        // process-global flux-map cache is shared with the refine path.
+        std::string label = "s";
+        label += std::to_string(k);
+        label += 'q';
+        label += std::to_string(q);
+        quad_views_.push_back(
+            chip.view_from_program(quadrant_program(k, q / 2, q % 2), label));
+      }
+    }
+  }
+}
+
+Observation DetectorBank::skeleton() const {
+  Observation obs;
+  const std::array<bool, 16>& mask = pipeline_.sensor_mask();
+  if (cfg_.scales >= 2) {
+    Observation::Scale die;
+    die.name = "die";
+    die.tiles.resize(1);
+    die.masked.assign(1, 0);
+    obs.scales.push_back(std::move(die));
+  }
+  {
+    Observation::Scale sensors;
+    sensors.name = "sensor";
+    sensors.tiles.resize(16);
+    sensors.masked.assign(16, 0);
+    for (std::size_t k = 0; k < 16; ++k) sensors.masked[k] = mask[k] ? 1 : 0;
+    obs.sensor_scale = obs.scales.size();
+    obs.scales.push_back(std::move(sensors));
+  }
+  if (cfg_.scales >= 3) {
+    Observation::Scale quads;
+    quads.name = "quad";
+    quads.tiles.resize(64);
+    quads.masked.assign(64, 0);
+    // A masked sensor's crossbar region is unavailable at quadrant
+    // granularity too.
+    for (std::size_t k = 0; k < 16; ++k) {
+      for (std::size_t q = 0; q < 4; ++q) {
+        quads.masked[4 * k + q] = mask[k] ? 1 : 0;
+      }
+    }
+    obs.scales.push_back(std::move(quads));
+  }
+  return obs;
+}
+
+std::vector<Observation> DetectorBank::collect(
+    const sim::Scenario& base, std::span<const std::uint64_t> seeds) const {
+  PSA_TRACE_SPAN("bank.collect", {{"traces", seeds.size()}});
+  const sim::ChipSimulator& chip = pipeline_.chip();
+  const std::size_t cycles = pipeline_.config().cycles_per_trace;
+  const std::array<bool, 16>& mask = pipeline_.sensor_mask();
+
+  // The FIRST batch is the Pipeline's own 16-standard-sensor call, byte for
+  // byte; extra scales ride a second batch against the same (cached)
+  // activity bundle.
+  std::vector<const sim::SensorView*> sensor_ptrs(16);
+  for (std::size_t k = 0; k < 16; ++k) {
+    sensor_ptrs[k] = mask[k] ? nullptr : &pipeline_.sensor_view(k);
+  }
+  std::vector<const sim::SensorView*> extra_ptrs;
+  if (cfg_.scales >= 2) extra_ptrs.push_back(&die_view_);
+  if (cfg_.scales >= 3) {
+    for (std::size_t k = 0; k < 16; ++k) {
+      for (std::size_t q = 0; q < 4; ++q) {
+        extra_ptrs.push_back(mask[k] ? nullptr : &quad_views_[4 * k + q]);
+      }
+    }
+  }
+
+  std::vector<Observation> out(seeds.size(), skeleton());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    sim::Scenario s = base;
+    s.seed = seeds[i];
+    const std::vector<sim::MeasuredTrace> batch = chip.measure_batch(
+        std::span<const sim::SensorView* const>(sensor_ptrs), s, cycles);
+    std::vector<sim::MeasuredTrace> extra;
+    if (!extra_ptrs.empty()) {
+      extra = chip.measure_batch(
+          std::span<const sim::SensorView* const>(extra_ptrs), s, cycles);
+    }
+    Observation& obs = out[i];
+    Observation::Scale& sensors = obs.scales[obs.sensor_scale];
+    parallel_for(0, 16, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        if (sensors.masked[k]) continue;
+        sensors.tiles[k] =
+            analyzer_.sweep(batch[k].samples, batch[k].sample_rate_hz);
+      }
+    });
+    if (!extra.empty()) {
+      // Flatten (scale, tile) -> extra index for a balanced parallel sweep.
+      std::vector<std::pair<dsp::Spectrum*, const sim::MeasuredTrace*>> jobs;
+      std::size_t e = 0;
+      if (cfg_.scales >= 2) {
+        jobs.push_back({&obs.scales[0].tiles[0], &extra[e]});
+        ++e;
+      }
+      if (cfg_.scales >= 3) {
+        Observation::Scale& quads = obs.scales.back();
+        for (std::size_t t = 0; t < 64; ++t, ++e) {
+          if (quads.masked[t]) continue;
+          jobs.push_back({&quads.tiles[t], &extra[e]});
+        }
+      }
+      parallel_for(0, jobs.size(), 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          *jobs[j].first = analyzer_.sweep(jobs[j].second->samples,
+                                           jobs[j].second->sample_rate_hz);
+        }
+      });
+    }
+  }
+  return out;
+}
+
+std::vector<Observation> DetectorBank::enrollment_observations(
+    const sim::Scenario& normal) const {
+  const std::size_t n = pipeline_.config().enrollment_traces;
+  std::vector<std::uint64_t> seeds(n);
+  for (std::size_t i = 0; i < n; ++i) seeds[i] = normal.seed + 1000 + i;
+  return collect(normal, seeds);
+}
+
+Observation DetectorBank::observe(const sim::Scenario& scenario) const {
+  PSA_TIME_SCOPE_US("analysis.bank.observe.us");
+  const std::size_t n = pipeline_.config().detection_averages;
+  std::vector<std::uint64_t> seeds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t mix = scenario.seed ^ (17 * 0x9E3779B97F4A7C15ULL);
+    seeds[i] = splitmix64(mix) + i + 1;
+  }
+  std::vector<Observation> traces = collect(scenario, seeds);
+  // Tile-wise average across traces (the scan path's 5-trace averaging).
+  Observation obs = std::move(traces.front());
+  if (traces.size() > 1) {
+    std::vector<dsp::Spectrum> stack(traces.size());
+    for (std::size_t s = 0; s < obs.scales.size(); ++s) {
+      Observation::Scale& scale = obs.scales[s];
+      for (std::size_t t = 0; t < scale.tiles.size(); ++t) {
+        if (t < scale.masked.size() && scale.masked[t]) continue;
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+          stack[i] = std::move(i == 0 ? scale.tiles[t]
+                                      : traces[i].scales[s].tiles[t]);
+        }
+        scale.tiles[t] = dsp::average_spectra(stack);
+      }
+    }
+  }
+  return obs;
+}
+
+void DetectorBank::calibrate(const sim::Scenario& normal) {
+  PSA_TIME_SCOPE_US("analysis.bank.calibrate.us");
+  const std::vector<Observation> enrollment = enrollment_observations(normal);
+  for (const std::unique_ptr<Detector>& d : detectors_) {
+    d->calibrate(enrollment);
+  }
+}
+
+bool DetectorBank::calibrated() const {
+  if (detectors_.empty()) return false;
+  for (const std::unique_ptr<Detector>& d : detectors_) {
+    if (!d->calibrated()) return false;
+  }
+  return true;
+}
+
+EnsembleVerdict DetectorBank::score_all(const Observation& obs) const {
+  std::vector<NamedVerdict> parts;
+  parts.reserve(detectors_.size());
+  for (const std::unique_ptr<Detector>& d : detectors_) {
+    parts.push_back({std::string(d->name()), d->score(obs)});
+  }
+  EnsembleVerdict e = fuse_verdicts(std::move(parts));
+  PSA_HISTOGRAM_RECORD("analysis.bank.ensemble_score", e.score);
+  if (e.detected) PSA_COUNTER_ADD("analysis.bank.detections", 1);
+  return e;
+}
+
+EnsembleVerdict DetectorBank::scan(const sim::Scenario& scenario) const {
+  return score_all(observe(scenario));
+}
+
+const Detector* DetectorBank::find(std::string_view name) const {
+  for (const std::unique_ptr<Detector>& d : detectors_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+}  // namespace psa::analysis

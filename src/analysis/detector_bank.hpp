@@ -1,0 +1,118 @@
+// detector_bank.hpp — drives the pluggable detectors (detectors.hpp) from a
+// live Pipeline: builds multi-scale Observations with the Pipeline's exact
+// measurement seeding, calibrates every detector from enrollment-only data,
+// and fuses per-detector verdicts into an ensemble.
+//
+// Bit-exactness policy (DESIGN.md §16): the bank replays the Pipeline's
+// seeding conventions verbatim —
+//   * enrollment trace i:  seed = normal.seed + 1000 + i   (Pipeline::enroll)
+//   * scoring trace i:     seed = splitmix64(scenario.seed ^
+//                          (17 * 0x9E3779B97F4A7C15)) + i + 1
+//                          (Pipeline::scan_scores)
+// — and measures the 16 standard sensors through an identical measure_batch
+// call, so the zscore detector's state and scores are bit-identical to the
+// legacy Pipeline path (the tests/golden contract). Extra scales (whole-die
+// coil, 64 quadrant coils) are measured in a SECOND measure_batch against
+// the same scenario: the ActivitySynthesis cache replays the same bundle,
+// so adding scales cannot perturb the sensor-scale bits.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/detectors.hpp"
+#include "analysis/pipeline.hpp"
+
+namespace psa::analysis {
+
+struct BankConfig {
+  /// Coil scales per observation, coarse to fine:
+  ///   1 = the 16 standard sensors only
+  ///   2 = whole-die coil + standard sensors
+  ///   3 = whole-die coil + standard sensors + 64 quadrant coils
+  /// More scales feed the cross-scale detector better but cost extra
+  /// per-view measurement tails (the activity synthesis is shared).
+  std::size_t scales = 3;
+
+  /// Detector names to instantiate (see detector_names()); empty = all.
+  std::vector<std::string> detectors;
+};
+
+/// One detector's named verdict within a bank result.
+struct NamedVerdict {
+  std::string name;
+  DetectorVerdict verdict;
+};
+
+/// Score-fused ensemble: each detector's score is normalized by its own
+/// calibrated threshold (so "1.0" always means "at threshold"), and the
+/// ensemble score is the mean of the normalized scores. Detected when any
+/// member fires or the fused score reaches 1.
+struct EnsembleVerdict {
+  double score = 0.0;
+  bool detected = false;
+  std::string top_detector;  // strongest normalized member
+  std::vector<NamedVerdict> parts;
+};
+
+EnsembleVerdict fuse_verdicts(std::vector<NamedVerdict> parts);
+
+/// Wrap a single streaming sweep (e.g. a MonitorState windowed average) as
+/// a one-scale, one-tile Observation — the fleet/monitor feed format.
+Observation make_streaming_observation(const dsp::Spectrum& sweep);
+
+class DetectorBank {
+ public:
+  /// `pipeline` must outlive the bank. The bank reads the pipeline's
+  /// *current* sensor views at observation time, so degraded-mode
+  /// substitutions and masks are honored automatically.
+  explicit DetectorBank(const Pipeline& pipeline, BankConfig cfg = {});
+
+  /// Per-trace enrollment observations under `normal` conditions, seeded
+  /// exactly like Pipeline::enroll (one Observation per enrollment trace).
+  std::vector<Observation> enrollment_observations(
+      const sim::Scenario& normal) const;
+
+  /// One averaged observation of `scenario`, seeded exactly like
+  /// Pipeline::scan_scores (detection_averages traces, tile-wise averaged).
+  Observation observe(const sim::Scenario& scenario) const;
+
+  /// Calibrate every detector from enrollment-only observations.
+  void calibrate(const sim::Scenario& normal);
+  bool calibrated() const;
+
+  /// Score a prepared observation with every detector + fuse.
+  EnsembleVerdict score_all(const Observation& obs) const;
+
+  /// observe() + score_all().
+  EnsembleVerdict scan(const sim::Scenario& scenario) const;
+
+  std::size_t size() const { return detectors_.size(); }
+  Detector& detector(std::size_t i) { return *detectors_.at(i); }
+  const Detector& detector(std::size_t i) const { return *detectors_.at(i); }
+  /// nullptr when the bank holds no detector of that name.
+  const Detector* find(std::string_view name) const;
+
+  const BankConfig& config() const { return cfg_; }
+  const Pipeline& pipeline() const { return pipeline_; }
+
+ private:
+  /// Observation skeleton: scale names, tile counts, masks (no spectra).
+  Observation skeleton() const;
+  /// One observation per trace, one entry of `seeds` per trace.
+  std::vector<Observation> collect(const sim::Scenario& base,
+                                   std::span<const std::uint64_t> seeds) const;
+
+  const Pipeline& pipeline_;
+  BankConfig cfg_;
+  afe::SpectrumAnalyzer analyzer_;
+  std::vector<std::unique_ptr<Detector>> detectors_;
+  sim::SensorView die_view_;                // scales >= 2
+  std::vector<sim::SensorView> quad_views_;  // scales >= 3: 64 views
+};
+
+}  // namespace psa::analysis

@@ -1,0 +1,476 @@
+#include "analysis/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "dsp/stats.hpp"
+
+namespace psa::analysis {
+
+namespace {
+
+constexpr double kMadScale = 1.4826;  // MAD -> sigma for normal data
+
+void require_enrollment(std::span<const Observation> enrollment,
+                        const char* who) {
+  if (enrollment.size() < 3) {
+    throw std::invalid_argument(std::string(who) +
+                                ": need >= 3 enrollment observations");
+  }
+}
+
+void require_calibrated(bool calibrated, const char* who) {
+  if (!calibrated) {
+    throw std::logic_error(std::string(who) + ": calibrate() first");
+  }
+}
+
+/// Indices of the in-band bins (freq >= min_freq_hz).
+std::vector<std::size_t> inband_bins(const dsp::Spectrum& s,
+                                     double min_freq_hz) {
+  std::vector<std::size_t> bins;
+  bins.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.freq_hz[i] >= min_freq_hz) bins.push_back(i);
+  }
+  return bins;
+}
+
+bool tile_usable(const Observation::Scale& scale, std::size_t k) {
+  return k < scale.tiles.size() &&
+         (k >= scale.masked.size() || scale.masked[k] == 0) &&
+         scale.tiles[k].size() > 0;
+}
+
+}  // namespace
+
+double ThresholdRule::resolve(std::span<const double> self_scores) const {
+  double worst = 0.0;
+  for (const double s : self_scores) worst = std::max(worst, s);
+  return std::max(floor, margin * worst);
+}
+
+// ---------------------------------------------------------------------------
+// ZScoreDetector
+
+void ZScoreDetector::calibrate(std::span<const Observation> enrollment) {
+  require_enrollment(enrollment, "ZScoreDetector");
+  const Observation::Scale& first = enrollment.front().sensors();
+  const std::size_t n_tiles = first.tiles.size();
+  tiles_.assign(n_tiles, GoldenFreeDetector(p_.inner));
+  tile_masked_.assign(n_tiles, 0);
+  for (std::size_t k = 0; k < n_tiles; ++k) {
+    if (!tile_usable(first, k)) {
+      tile_masked_[k] = 1;
+      continue;
+    }
+    std::vector<dsp::Spectrum> spectra;
+    spectra.reserve(enrollment.size());
+    for (const Observation& obs : enrollment) {
+      spectra.push_back(obs.sensors().tiles.at(k));
+    }
+    tiles_[k].enroll(spectra);
+  }
+  std::vector<double> self;
+  self.reserve(enrollment.size());
+  threshold_ = p_.inner.z_threshold;  // so score() below is well-defined
+  for (const Observation& obs : enrollment) self.push_back(score(obs).score);
+  threshold_ = p_.rule.resolve(self);
+}
+
+DetectorVerdict ZScoreDetector::score(const Observation& obs) const {
+  require_calibrated(calibrated(), "ZScoreDetector");
+  DetectorVerdict v;
+  v.threshold = threshold_;
+  const Observation::Scale& sensors = obs.sensors();
+  DetectionResult best;
+  bool have = false;
+  for (std::size_t k = 0; k < tiles_.size(); ++k) {
+    if (tile_masked_[k] || !tile_usable(sensors, k)) continue;
+    const DetectionResult r = tiles_[k].score(sensors.tiles[k]);
+    if (!have || r.score > best.score) {
+      best = r;
+      v.peak_tile = k;
+      have = true;
+    }
+  }
+  if (!have) return v;
+  v.score = best.score;
+  v.peak_freq_hz = best.peak_freq_hz;
+  // The legacy gating (min_anomalous_bins, frequency mask) stays in force;
+  // the calibrated threshold can only tighten it further.
+  v.detected = best.detected && best.score >= threshold_;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// SpectralFlatnessDetector
+
+std::vector<double> SpectralFlatnessDetector::tile_features(
+    const dsp::Spectrum& s) const {
+  const std::vector<std::size_t> bins = inband_bins(s, p_.min_freq_hz);
+  const std::size_t bands = std::max<std::size_t>(1, p_.bands);
+  std::vector<double> feats(2 * bands, 0.0);
+  if (bins.empty()) return feats;
+  std::vector<double> power;
+  for (std::size_t b = 0; b < bands; ++b) {
+    const std::size_t lo = b * bins.size() / bands;
+    const std::size_t hi = (b + 1) * bins.size() / bands;
+    power.clear();
+    double total = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double m = s.magnitude[bins[i]];
+      power.push_back(m * m);
+      total += m * m;
+    }
+    if (power.empty()) continue;
+    feats[b] = dsp::spectral_flatness(power);
+    // Normalized spectral entropy: 1 for a flat band, -> 0 as one line
+    // concentrates the band's power.
+    double h = 0.0;
+    if (total > 0.0 && power.size() > 1) {
+      for (const double pw : power) {
+        if (pw <= 0.0) continue;
+        const double pr = pw / total;
+        h -= pr * std::log(pr);
+      }
+      h /= std::log(static_cast<double>(power.size()));
+    }
+    feats[bands + b] = h;
+  }
+  return feats;
+}
+
+void SpectralFlatnessDetector::calibrate(
+    std::span<const Observation> enrollment) {
+  require_enrollment(enrollment, "SpectralFlatnessDetector");
+  const Observation::Scale& first = enrollment.front().sensors();
+  n_tiles_ = first.tiles.size();
+  tile_masked_.assign(n_tiles_, 0);
+  median_.assign(n_tiles_, {});
+  spread_.assign(n_tiles_, {});
+  for (std::size_t k = 0; k < n_tiles_; ++k) {
+    if (!tile_usable(first, k)) {
+      tile_masked_[k] = 1;
+      continue;
+    }
+    std::vector<std::vector<double>> rows;
+    rows.reserve(enrollment.size());
+    for (const Observation& obs : enrollment) {
+      rows.push_back(tile_features(obs.sensors().tiles.at(k)));
+    }
+    const std::size_t n_feat = rows.front().size();
+    median_[k].assign(n_feat, 0.0);
+    spread_[k].assign(n_feat, p_.mad_floor);
+    std::vector<double> col(rows.size());
+    for (std::size_t f = 0; f < n_feat; ++f) {
+      for (std::size_t i = 0; i < rows.size(); ++i) col[i] = rows[i][f];
+      median_[k][f] = dsp::median(col);
+      spread_[k][f] =
+          kMadScale * dsp::median_abs_deviation(col) + p_.mad_floor;
+    }
+  }
+  std::vector<double> self;
+  self.reserve(enrollment.size());
+  threshold_ = p_.rule.floor;
+  for (const Observation& obs : enrollment) self.push_back(score(obs).score);
+  threshold_ = p_.rule.resolve(self);
+}
+
+DetectorVerdict SpectralFlatnessDetector::score(const Observation& obs) const {
+  require_calibrated(calibrated(), "SpectralFlatnessDetector");
+  DetectorVerdict v;
+  v.threshold = threshold_;
+  const Observation::Scale& sensors = obs.sensors();
+  for (std::size_t k = 0; k < n_tiles_; ++k) {
+    if (tile_masked_[k] || !tile_usable(sensors, k)) continue;
+    const std::vector<double> feats = tile_features(sensors.tiles[k]);
+    const std::size_t n_feat =
+        std::min(feats.size(), median_[k].size());
+    for (std::size_t f = 0; f < n_feat; ++f) {
+      // One-sided: a Trojan adds lines, which only ever CONCENTRATES band
+      // power — flatness and entropy drop. Scoring the drop alone keeps the
+      // response monotone in Trojan amplitude (a new tone in a band that
+      // already holds a clock harmonic briefly *raises* entropy, which a
+      // two-sided score would misread as receding anomaly).
+      const double z = (median_[k][f] - feats[f]) / spread_[k][f];
+      if (z > v.score) {
+        v.score = z;
+        v.peak_tile = k;
+      }
+    }
+  }
+  v.detected = v.score >= threshold_;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// CrossScaleDetector
+
+std::vector<double> CrossScaleDetector::scale_profile(
+    const Observation::Scale& scale) const {
+  std::vector<double> profile;
+  for (std::size_t k = 0; k < scale.tiles.size(); ++k) {
+    if (!tile_usable(scale, k)) continue;
+    const dsp::Spectrum& s = scale.tiles[k];
+    // Gain-normalize by the tile's in-band mean so coils of wildly
+    // different area/coupling compare on spectral shape.
+    double norm = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s.freq_hz[i] < p_.min_freq_hz) continue;
+      norm += s.magnitude[i];
+      ++n;
+    }
+    norm = (n > 0 && norm > 0.0) ? norm / static_cast<double>(n) : 1.0;
+    if (profile.empty()) profile.assign(s.size(), 0.0);
+    for (std::size_t i = 0; i < s.size() && i < profile.size(); ++i) {
+      profile[i] = std::max(profile[i], s.magnitude[i] / norm);
+    }
+  }
+  return profile;
+}
+
+void CrossScaleDetector::calibrate(std::span<const Observation> enrollment) {
+  require_enrollment(enrollment, "CrossScaleDetector");
+  n_scales_ = enrollment.front().scales.size();
+  if (n_scales_ == 0) {
+    throw std::invalid_argument("CrossScaleDetector: observation has no scales");
+  }
+  median_.assign(n_scales_, {});
+  spread_.assign(n_scales_, {});
+  freq_hz_.clear();
+  for (std::size_t s = 0; s < n_scales_; ++s) {
+    std::vector<std::vector<double>> profiles;
+    profiles.reserve(enrollment.size());
+    bool usable = true;
+    for (const Observation& obs : enrollment) {
+      std::vector<double> p = scale_profile(obs.scales.at(s));
+      if (p.empty()) {
+        usable = false;  // a fully-masked scale cannot be calibrated
+        break;
+      }
+      profiles.push_back(std::move(p));
+    }
+    if (!usable || profiles.empty()) continue;  // spread_[s] stays empty
+    if (freq_hz_.empty()) {
+      const Observation::Scale& sc = enrollment.front().scales[s];
+      for (std::size_t k = 0; k < sc.tiles.size(); ++k) {
+        if (tile_usable(sc, k)) {
+          freq_hz_ = sc.tiles[k].freq_hz;
+          break;
+        }
+      }
+    }
+    const std::size_t n_bins = profiles.front().size();
+    median_[s].assign(n_bins, 0.0);
+    spread_[s].assign(n_bins, p_.mad_floor);
+    std::vector<double> col(profiles.size());
+    for (std::size_t b = 0; b < n_bins; ++b) {
+      for (std::size_t i = 0; i < profiles.size(); ++i) {
+        col[i] = (b < profiles[i].size()) ? profiles[i][b] : 0.0;
+      }
+      median_[s][b] = dsp::median(col);
+      spread_[s][b] =
+          kMadScale * dsp::median_abs_deviation(col) + p_.mad_floor;
+    }
+  }
+  std::vector<double> self;
+  self.reserve(enrollment.size());
+  threshold_ = p_.rule.floor;
+  for (const Observation& obs : enrollment) self.push_back(score(obs).score);
+  threshold_ = p_.rule.resolve(self);
+}
+
+DetectorVerdict CrossScaleDetector::score(const Observation& obs) const {
+  require_calibrated(calibrated(), "CrossScaleDetector");
+  DetectorVerdict v;
+  v.threshold = threshold_;
+  // Per-bin persistence: min over contributing scales of the robust z.
+  std::vector<double> persistence;
+  bool any_scale = false;
+  const std::size_t n_scales = std::min(n_scales_, obs.scales.size());
+  for (std::size_t s = 0; s < n_scales; ++s) {
+    if (spread_[s].empty()) continue;  // scale unusable at calibration
+    const std::vector<double> profile = scale_profile(obs.scales[s]);
+    if (profile.empty()) continue;  // scale fully masked now
+    const std::size_t n_bins = spread_[s].size();
+    if (persistence.empty()) {
+      persistence.assign(n_bins,
+                         std::numeric_limits<double>::infinity());
+    }
+    for (std::size_t b = 0; b < n_bins && b < persistence.size(); ++b) {
+      const double x = (b < profile.size()) ? profile[b] : 0.0;
+      const double z = std::abs(x - median_[s][b]) / spread_[s][b];
+      persistence[b] = std::min(persistence[b], z);
+    }
+    any_scale = true;
+  }
+  if (!any_scale) return v;
+  for (std::size_t b = 0; b < persistence.size(); ++b) {
+    if (b < freq_hz_.size() && freq_hz_[b] < p_.min_freq_hz) continue;
+    if (std::isfinite(persistence[b]) && persistence[b] > v.score) {
+      v.score = persistence[b];
+      v.peak_freq_hz = (b < freq_hz_.size()) ? freq_hz_[b] : 0.0;
+      // Hottest sensor-scale tile at the persistent bin.
+      const Observation::Scale& sensors = obs.sensors();
+      double best_mag = -1.0;
+      for (std::size_t k = 0; k < sensors.tiles.size(); ++k) {
+        if (!tile_usable(sensors, k) || b >= sensors.tiles[k].size()) continue;
+        if (sensors.tiles[k].magnitude[b] > best_mag) {
+          best_mag = sensors.tiles[k].magnitude[b];
+          v.peak_tile = k;
+        }
+      }
+    }
+  }
+  v.detected = v.score >= threshold_;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// ReconstructionErrorDetector
+
+std::vector<double> ReconstructionErrorDetector::tile_features(
+    const dsp::Spectrum& s) const {
+  const std::vector<std::size_t> bins = inband_bins(s, p_.min_freq_hz);
+  const std::size_t bands = std::max<std::size_t>(1, p_.bands);
+  std::vector<double> feats(bands, 0.0);
+  for (std::size_t b = 0; b < bands; ++b) {
+    const std::size_t lo = b * bins.size() / bands;
+    const std::size_t hi = (b + 1) * bins.size() / bands;
+    double energy = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double m = s.magnitude[bins[i]];
+      energy += m * m;
+    }
+    feats[b] = std::log(energy + 1.0e-30);
+  }
+  // Remove the tile's mean log energy: gain drift shifts every band
+  // equally in log space, leaving only spectral shape.
+  const double mu = dsp::mean(feats);
+  for (double& f : feats) f -= mu;
+  return feats;
+}
+
+double ReconstructionErrorDetector::raw_error(
+    std::span<const double> feat) const {
+  if (use_kmeans_) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+      best = std::min(best, ml::squared_distance(feat, centroids_.row(c)));
+    }
+    return best;
+  }
+  std::vector<double> centred(feat.begin(), feat.end());
+  const std::span<const double> mean = pca_.mean();
+  for (std::size_t i = 0; i < centred.size() && i < mean.size(); ++i) {
+    centred[i] -= mean[i];
+  }
+  const std::vector<double> proj = pca_.transform(feat);
+  std::vector<double> recon(centred.size(), 0.0);
+  for (std::size_t c = 0; c < pca_.n_components(); ++c) {
+    const std::span<const double> comp = pca_.component(c);
+    for (std::size_t i = 0; i < recon.size() && i < comp.size(); ++i) {
+      recon[i] += proj[c] * comp[i];
+    }
+  }
+  return ml::squared_distance(centred, recon);
+}
+
+void ReconstructionErrorDetector::calibrate(
+    std::span<const Observation> enrollment) {
+  require_enrollment(enrollment, "ReconstructionErrorDetector");
+  const Observation::Scale& first = enrollment.front().sensors();
+  std::vector<std::vector<double>> rows;
+  for (const Observation& obs : enrollment) {
+    const Observation::Scale& sensors = obs.sensors();
+    for (std::size_t k = 0; k < first.tiles.size(); ++k) {
+      if (!tile_usable(first, k) || !tile_usable(sensors, k)) continue;
+      rows.push_back(tile_features(sensors.tiles[k]));
+    }
+  }
+  if (rows.empty()) {
+    throw std::invalid_argument(
+        "ReconstructionErrorDetector: every enrollment tile is masked");
+  }
+  ml::Matrix samples(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      samples.at(r, c) = rows[r][c];
+    }
+  }
+  use_kmeans_ = false;
+  if (rows.size() >= p_.components + 2) {
+    pca_ = ml::Pca::fit(samples, p_.components);
+    double retained = 0.0;
+    for (const double v : pca_.explained_variance()) retained += v;
+    if (!(retained > 1.0e-24)) use_kmeans_ = true;
+  } else {
+    use_kmeans_ = true;
+  }
+  if (use_kmeans_) {
+    Rng rng(p_.kmeans_seed);
+    const std::size_t k =
+        std::min<std::size_t>(std::max<std::size_t>(1, p_.kmeans_clusters),
+                              rows.size());
+    centroids_ = ml::kmeans(samples, k, rng).centroids;
+  }
+  calibrated_ = true;
+  std::vector<double> errs;
+  errs.reserve(rows.size());
+  for (const std::vector<double>& row : rows) errs.push_back(raw_error(row));
+  err_median_ = dsp::median(errs);
+  err_spread_ = kMadScale * dsp::median_abs_deviation(errs) + p_.mad_floor;
+  std::vector<double> self;
+  self.reserve(enrollment.size());
+  threshold_ = p_.rule.floor;
+  for (const Observation& obs : enrollment) self.push_back(score(obs).score);
+  threshold_ = p_.rule.resolve(self);
+}
+
+DetectorVerdict ReconstructionErrorDetector::score(
+    const Observation& obs) const {
+  require_calibrated(calibrated_, "ReconstructionErrorDetector");
+  DetectorVerdict v;
+  v.threshold = threshold_;
+  const Observation::Scale& sensors = obs.sensors();
+  bool have = false;
+  for (std::size_t k = 0; k < sensors.tiles.size(); ++k) {
+    if (!tile_usable(sensors, k)) continue;
+    const std::vector<double> feats = tile_features(sensors.tiles[k]);
+    const double z = (raw_error(feats) - err_median_) / err_spread_;
+    if (!have || z > v.score) {
+      v.score = z;
+      v.peak_tile = k;
+      have = true;
+    }
+  }
+  if (!have) v.score = 0.0;
+  v.score = std::max(v.score, 0.0);  // only excess error is anomalous
+  v.detected = v.score >= threshold_;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+std::vector<std::string> detector_names() {
+  return {"zscore", "flatness", "crossscale", "reconerr"};
+}
+
+std::unique_ptr<Detector> make_detector(std::string_view name) {
+  if (name == "zscore") return std::make_unique<ZScoreDetector>();
+  if (name == "flatness") return std::make_unique<SpectralFlatnessDetector>();
+  if (name == "crossscale") return std::make_unique<CrossScaleDetector>();
+  if (name == "reconerr") {
+    return std::make_unique<ReconstructionErrorDetector>();
+  }
+  throw std::invalid_argument("make_detector: unknown detector '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace psa::analysis

@@ -1,0 +1,270 @@
+// detectors.hpp — the pluggable golden-model-free detector bank.
+//
+// The paper's z-score zero-span detector is one member of a family of
+// reference-free run-time methods (PAPERS.md: reference-free spectral
+// analysis, cross-scale persistence analysis, unsupervised scoring of
+// magnetic-field images). This header defines the common `Detector`
+// interface plus four implementations:
+//
+//   * zscore    — the existing robust per-bin z detector (GoldenFreeDetector)
+//                 lifted onto the interface, bit-identical to the legacy
+//                 Pipeline path.
+//   * flatness  — per-sensor, per-band spectral flatness + normalized
+//                 spectral entropy; a Trojan tone collapses the flatness of
+//                 its band regardless of absolute level.
+//   * crossscale— multi-resolution persistence: the PSA's run-time coil
+//                 reprogrammability provides a *scale axis* (whole-die coil,
+//                 16 standard sensors, 64 quadrant coils); an anomalous bin
+//                 only counts when it is anomalous at every scale, which
+//                 single-scale noise spikes never are.
+//   * reconerr  — per-tile band-energy features scored by PCA reconstruction
+//                 error (k-means cluster distance fallback when the
+//                 enrollment covariance is degenerate).
+//
+// Contract (enforced by the conformance kit in tests/detector_kit.hpp):
+//   * calibrate() sees ONLY enrollment observations — background statistics
+//     AND the decision threshold both derive from them (no test-scenario
+//     leakage). score() is const and never updates state.
+//   * score() is a pure function of (calibration state, observation):
+//     bit-identical across repeated calls, thread counts and processes.
+//   * Masked tiles are never read — their contents (even NaN) cannot
+//     perturb the score by a single bit.
+//   * score is monotone in Trojan emission amplitude.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/detector.hpp"
+#include "dsp/spectrum.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/pca.hpp"
+
+namespace psa::analysis {
+
+/// What a detector sees for one scenario: spectra tiled over the die at one
+/// or more coil scales, coarse scale first. A streaming monitor passes a
+/// single scale with a single tile (the sentinel's windowed average); the
+/// full scan path passes [whole-die, 16 standard sensors, 64 quadrants].
+/// All tiles at every scale share one frequency grid (same analyzer sweep).
+struct Observation {
+  struct Scale {
+    std::string name;                  // "die" / "sensor" / "quad"
+    std::vector<dsp::Spectrum> tiles;  // one spectrum per coil of this scale
+    std::vector<std::uint8_t> masked;  // 1 = tile unusable (degraded mode)
+  };
+  std::vector<Scale> scales;     // coarse -> fine
+  std::size_t sensor_scale = 0;  // index of the standard-sensor scale
+
+  const Scale& sensors() const { return scales.at(sensor_scale); }
+};
+
+/// One detector's decision for one observation.
+struct DetectorVerdict {
+  double score = 0.0;      // detector-specific anomaly statistic
+  double threshold = 0.0;  // calibrated decision threshold
+  bool detected = false;
+  std::size_t peak_tile = 0;  // hottest tile on the sensor scale
+  double peak_freq_hz = 0.0;  // hottest frequency (0 when not bin-resolved)
+};
+
+/// Shared calibration rule: every detector learns its background from the
+/// enrollment observations, then sets
+///   threshold = max(floor, margin * max over enrollment self-scores)
+/// so the threshold too is an enrollment-only quantity. `floor` keeps a
+/// detector from hair-triggering when enrollment happens to self-score ~0.
+struct ThresholdRule {
+  double floor = 3.0;
+  double margin = 1.5;
+
+  double resolve(std::span<const double> self_scores) const;
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Learn background statistics and the decision threshold from
+  /// enrollment-only observations. Throws std::invalid_argument when the
+  /// enrollment set is too small (< 3) or inconsistently shaped.
+  virtual void calibrate(std::span<const Observation> enrollment) = 0;
+
+  virtual bool calibrated() const = 0;
+
+  /// Score one observation. Throws std::logic_error before calibrate().
+  virtual DetectorVerdict score(const Observation& obs) const = 0;
+
+  virtual double threshold() const = 0;
+};
+
+/// The z-score detector of the paper, on the bank interface: one
+/// GoldenFreeDetector per sensor-scale tile, score = strongest robust z
+/// across tiles. With default params the verdicts are bit-identical to the
+/// legacy Pipeline::score_spectrum path (the golden-vector contract).
+class ZScoreDetector final : public Detector {
+ public:
+  struct Params {
+    GoldenFreeDetector::Params inner{};
+    /// Threshold rule floor defaults to the legacy fixed z threshold, so a
+    /// quiet enrollment reproduces the paper's behavior exactly.
+    ThresholdRule rule{/*floor=*/25.0, /*margin=*/1.5};
+  };
+
+  ZScoreDetector() : ZScoreDetector(Params{}) {}
+  explicit ZScoreDetector(const Params& p) : p_(p) {}
+
+  std::string_view name() const override { return "zscore"; }
+  void calibrate(std::span<const Observation> enrollment) override;
+  bool calibrated() const override { return !tiles_.empty(); }
+  DetectorVerdict score(const Observation& obs) const override;
+  double threshold() const override { return threshold_; }
+
+  /// The per-tile detector (for bit-exactness tests against the Pipeline).
+  const GoldenFreeDetector& tile_detector(std::size_t k) const {
+    return tiles_.at(k);
+  }
+
+ private:
+  Params p_;
+  std::vector<GoldenFreeDetector> tiles_;
+  std::vector<std::uint8_t> tile_masked_;
+  double threshold_ = 0.0;
+};
+
+/// Reference-free spectral-shape detector: each sensor tile's in-band
+/// spectrum is split into `bands` contiguous bands; per band the detector
+/// tracks spectral flatness (geometric/arithmetic mean of power) and
+/// normalized spectral entropy. Both are scale-free — analog gain drift
+/// cancels — and both collapse when a Trojan adds a tonal line to an
+/// otherwise noise-like band. Score = strongest robust z of any
+/// (tile, band, feature) against its enrolled median/MAD.
+class SpectralFlatnessDetector final : public Detector {
+ public:
+  struct Params {
+    std::size_t bands = 6;
+    double min_freq_hz = 12.0e6;  // below: AC-coupled front-end, no response
+    double mad_floor = 1.0e-4;    // flatness/entropy are O(1) quantities
+    ThresholdRule rule{/*floor=*/6.0, /*margin=*/1.5};
+  };
+
+  SpectralFlatnessDetector() : SpectralFlatnessDetector(Params{}) {}
+  explicit SpectralFlatnessDetector(const Params& p) : p_(p) {}
+
+  std::string_view name() const override { return "flatness"; }
+  void calibrate(std::span<const Observation> enrollment) override;
+  bool calibrated() const override { return !median_.empty(); }
+  DetectorVerdict score(const Observation& obs) const override;
+  double threshold() const override { return threshold_; }
+
+ private:
+  /// 2*bands features for one tile: [flatness_0..b-1, entropy_0..b-1].
+  std::vector<double> tile_features(const dsp::Spectrum& s) const;
+
+  Params p_;
+  std::size_t n_tiles_ = 0;
+  std::vector<std::uint8_t> tile_masked_;
+  std::vector<std::vector<double>> median_;  // per tile, per feature
+  std::vector<std::vector<double>> spread_;  // 1.4826*MAD + floor
+  double threshold_ = 0.0;
+};
+
+/// Cross-scale persistence detector. Per scale, per in-band bin, the
+/// detector tracks the strongest gain-normalized magnitude across that
+/// scale's unmasked tiles; scoring computes a robust z per (scale, bin) and
+/// then takes the MINIMUM across scales per bin — a bin only scores high
+/// when it is anomalous at every coil size simultaneously. A real emitter
+/// is seen by the whole-die coil, its standard sensor and a quadrant coil
+/// at once; a single-channel noise spike is not. Score = max over bins of
+/// that persistence statistic. With a single scale this degrades gracefully
+/// to a plain per-bin z detector (the streaming monitor's mode).
+class CrossScaleDetector final : public Detector {
+ public:
+  struct Params {
+    double min_freq_hz = 12.0e6;
+    double mad_floor = 1.0e-7;
+    ThresholdRule rule{/*floor=*/8.0, /*margin=*/1.5};
+  };
+
+  CrossScaleDetector() : CrossScaleDetector(Params{}) {}
+  explicit CrossScaleDetector(const Params& p) : p_(p) {}
+
+  std::string_view name() const override { return "crossscale"; }
+  void calibrate(std::span<const Observation> enrollment) override;
+  bool calibrated() const override { return !median_.empty(); }
+  DetectorVerdict score(const Observation& obs) const override;
+  double threshold() const override { return threshold_; }
+
+ private:
+  /// Per-bin max of gain-normalized magnitude over one scale's unmasked
+  /// tiles (empty when every tile is masked).
+  std::vector<double> scale_profile(const Observation::Scale& scale) const;
+
+  Params p_;
+  std::size_t n_scales_ = 0;
+  std::vector<double> freq_hz_;              // shared grid (from scale 0)
+  std::vector<std::vector<double>> median_;  // per scale, per bin
+  std::vector<std::vector<double>> spread_;  // per scale, per bin
+  double threshold_ = 0.0;
+};
+
+/// Unsupervised anomaly scoring on per-tile "flux images": each sensor tile
+/// is summarized as a log band-energy vector, PCA is fit on the pooled
+/// enrollment tiles, and a tile's anomaly is its reconstruction error from
+/// the retained components, robustly normalized by the enrollment error
+/// spread. When the enrollment covariance is degenerate (near-zero retained
+/// variance or too few samples) the detector falls back to k-means
+/// cluster-distance scoring with a fixed seed. Score = max over tiles.
+class ReconstructionErrorDetector final : public Detector {
+ public:
+  struct Params {
+    std::size_t bands = 16;       // feature dimension
+    std::size_t components = 3;   // retained principal components
+    double min_freq_hz = 12.0e6;
+    double mad_floor = 1.0e-6;
+    std::size_t kmeans_clusters = 2;
+    std::uint64_t kmeans_seed = 0xC0FFEE;
+    ThresholdRule rule{/*floor=*/8.0, /*margin=*/1.5};
+  };
+
+  ReconstructionErrorDetector() : ReconstructionErrorDetector(Params{}) {}
+  explicit ReconstructionErrorDetector(const Params& p) : p_(p) {}
+
+  std::string_view name() const override { return "reconerr"; }
+  void calibrate(std::span<const Observation> enrollment) override;
+  bool calibrated() const override { return calibrated_; }
+  DetectorVerdict score(const Observation& obs) const override;
+  double threshold() const override { return threshold_; }
+
+  /// True when calibration fell back to k-means cluster distances.
+  bool used_fallback() const { return use_kmeans_; }
+
+ private:
+  std::vector<double> tile_features(const dsp::Spectrum& s) const;
+  double raw_error(std::span<const double> feat) const;
+
+  Params p_;
+  bool calibrated_ = false;
+  bool use_kmeans_ = false;
+  ml::Pca pca_;
+  ml::Matrix centroids_;
+  double err_median_ = 0.0;
+  double err_spread_ = 1.0;
+  double threshold_ = 0.0;
+};
+
+/// All registered detector names, in canonical order.
+std::vector<std::string> detector_names();
+
+/// Factory: construct a default-parameterized detector by name ("zscore",
+/// "flatness", "crossscale", "reconerr"). Throws std::invalid_argument for
+/// unknown names.
+std::unique_ptr<Detector> make_detector(std::string_view name);
+
+}  // namespace psa::analysis

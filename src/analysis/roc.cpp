@@ -5,6 +5,40 @@
 
 namespace psa::analysis {
 
+double rank_auc(std::span<const double> negatives,
+                std::span<const double> positives) {
+  if (negatives.empty() || positives.empty()) return 0.0;
+  std::vector<double> neg(negatives.begin(), negatives.end());
+  std::sort(neg.begin(), neg.end());
+  double u = 0.0;  // Mann–Whitney U statistic with 1/2 tie credit
+  for (const double p : positives) {
+    const auto lo = std::lower_bound(neg.begin(), neg.end(), p);
+    const auto hi = std::upper_bound(lo, neg.end(), p);
+    u += static_cast<double>(lo - neg.begin()) +
+         0.5 * static_cast<double>(hi - lo);
+  }
+  return u / (static_cast<double>(neg.size()) *
+              static_cast<double>(positives.size()));
+}
+
+double fpr_at_tpr(std::span<const double> negatives,
+                  std::span<const double> positives, double tpr_target) {
+  if (negatives.empty() || positives.empty()) return 1.0;
+  std::vector<double> pos(positives.begin(), positives.end());
+  std::sort(pos.begin(), pos.end());
+  // The loosest threshold still reaching tpr_target keeps the top
+  // ceil(tpr_target * n_pos) positives; "score >= thr" at thr equal to the
+  // weakest kept positive yields the smallest FPR with TPR >= target.
+  const std::size_t need = static_cast<std::size_t>(
+      std::ceil(tpr_target * static_cast<double>(pos.size()) - 1e-12));
+  if (need == 0) return 0.0;
+  if (need > pos.size()) return 1.0;
+  const double thr = pos[pos.size() - need];
+  std::size_t fp = 0;
+  for (const double n : negatives) fp += (n >= thr) ? 1 : 0;
+  return static_cast<double>(fp) / static_cast<double>(negatives.size());
+}
+
 RocAnalysis roc_from_scores(std::vector<double> negatives,
                             std::vector<double> positives,
                             double fpr_target) {
@@ -36,15 +70,11 @@ RocAnalysis roc_from_scores(std::vector<double> negatives,
          rate_above(roc.negative_scores, thr)});
   }
 
-  // AUC by trapezoid over (FPR, TPR), curve runs from (1,1) to (0,0) as the
-  // threshold rises.
-  for (std::size_t i = 1; i < roc.curve.size(); ++i) {
-    const double dx = roc.curve[i - 1].false_positive_rate -
-                      roc.curve[i].false_positive_rate;
-    const double y = 0.5 * (roc.curve[i - 1].true_positive_rate +
-                            roc.curve[i].true_positive_rate);
-    roc.auc += dx * y;
-  }
+  // Rank-based AUC (Mann–Whitney with 1/2 tie credit). The old trapezoid
+  // over the "score > thr" sweep silently dropped the diagonal segments that
+  // tied positive/negative scores contribute, under-counting them as hard
+  // misses; the rank statistic handles ties exactly.
+  roc.auc = rank_auc(roc.negative_scores, roc.positive_scores);
 
   // Recommendation: if the distributions are separated, the geometric
   // middle of the gap (log scale suits z-scores spanning decades);

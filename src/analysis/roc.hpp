@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "analysis/pipeline.hpp"
@@ -40,8 +41,24 @@ RocAnalysis roc_analysis(const Pipeline& pipeline, std::size_t sensor,
                          std::uint64_t seed = 1);
 
 /// Pure fold: build the curve/AUC/recommendation from score samples.
+/// AUC is rank-based (see rank_auc), not the old threshold-sweep trapezoid.
 RocAnalysis roc_from_scores(std::vector<double> negatives,
                             std::vector<double> positives,
                             double fpr_target = 0.0);
+
+/// Rank-based (Mann–Whitney) AUC: the probability that a random positive
+/// outscores a random negative, with ties credited 1/2. Equivalent to the
+/// trapezoid area under the ROC through every tie-consistent operating
+/// point, and — unlike a naive threshold sweep that breaks ties by
+/// iteration order — invariant to how tied scores are interleaved.
+/// Returns 0.0 when either class is empty.
+double rank_auc(std::span<const double> negatives,
+                std::span<const double> positives);
+
+/// Smallest achievable false-positive rate among operating points whose
+/// true-positive rate is >= `tpr_target` (e.g. FPR@95%TPR). Returns 1.0
+/// when no threshold reaches the target or either class is empty.
+double fpr_at_tpr(std::span<const double> negatives,
+                  std::span<const double> positives, double tpr_target);
 
 }  // namespace psa::analysis

@@ -61,12 +61,24 @@ ChipSession::ChipSession(const ChipSpec& spec, std::size_t index,
       sentinel_(spec.monitor.sentinel_sensor),
       base_seed_(spec.seed) {
   z_history_.reserve(z_history_limit_);
+  for (const std::string& name : spec.streaming_detectors) {
+    auto slot = std::make_unique<StreamingSlot>();
+    slot->name = name;
+    slot->detector = analysis::make_detector(name);  // throws on unknown name
+    streaming_.push_back(std::move(slot));
+  }
   if (attach_gauges) {
     obs::Registry& reg = obs::Registry::global();
     const std::string prefix = "fleet.chip" + std::to_string(index_);
     attach_ids_.push_back(reg.attach_gauge(prefix + ".z", &z_gauge_));
     attach_ids_.push_back(reg.attach_gauge(prefix + ".alarmed",
                                            &alarmed_gauge_));
+    for (auto& slot : streaming_) {
+      const std::string base = prefix + "." + slot->name;
+      attach_ids_.push_back(reg.attach_gauge(base + ".z", &slot->z_gauge));
+      attach_ids_.push_back(
+          reg.attach_gauge(base + ".alarmed", &slot->alarmed_gauge));
+    }
   }
 }
 
@@ -75,7 +87,26 @@ ChipSession::~ChipSession() {
   for (const std::uint64_t id : attach_ids_) reg.detach(id);
 }
 
-void ChipSession::enroll() { pipeline_.enroll(quiet_); }
+void ChipSession::enroll() {
+  pipeline_.enroll(quiet_);
+  if (streaming_.empty()) return;
+  // Calibrate the streaming detectors from dedicated sentinel sweeps under
+  // the quiet scenario. The seed stream (seed + 104729 * (i + 1)) is
+  // disjoint from both the enrollment stream (seed + 1000 + i) and the tick
+  // stream (seed + 7919 * (t + 1)), and the sweeps ride the same activity
+  // cache, so the legacy verdict stream stays bit-identical.
+  const std::size_t n =
+      std::max<std::size_t>(3, spec_.pipeline.enrollment_traces);
+  std::vector<analysis::Observation> enrollment;
+  enrollment.reserve(n);
+  sim::Scenario s = quiet_;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.seed = base_seed_ + 104729 * (i + 1);
+    enrollment.push_back(analysis::make_streaming_observation(
+        pipeline_.single_sweep(sentinel_, s)));
+  }
+  for (auto& slot : streaming_) slot->detector->calibrate(enrollment);
+}
 
 void ChipSession::tick(std::size_t tick) {
   if (spec_.tick_hook) spec_.tick_hook(tick);
@@ -104,6 +135,21 @@ void ChipSession::tick(std::size_t tick) {
     alarm_pending_ = true;  // engine publishes the event serially
   }
   alarm_latched_ = alarm;
+
+  if (!streaming_.empty()) {
+    const analysis::Observation obs = analysis::make_streaming_observation(avg);
+    for (auto& slot : streaming_) {
+      const analysis::DetectorVerdict v = slot->detector->score(obs);
+      slot->last_z = v.score;
+      slot->z_gauge.set(v.score);
+      slot->alarmed_gauge.set(v.detected ? 1.0 : 0.0);
+      if (v.detected && !slot->latched) {
+        slot->pending = true;  // engine publishes the labelled event serially
+        slot->pending_tick = tick;
+      }
+      slot->latched = v.detected;
+    }
+  }
 
   ticks_done_.fetch_add(1, std::memory_order_relaxed);
   last_z_.store(d.score, std::memory_order_relaxed);
@@ -249,9 +295,21 @@ void FleetEngine::publish_pending() {
       PSA_EVENT(kAlarm, "fleet.alarm",
                 {{"chip", s.index_},
                  {"label", s.spec_.label},
+                 {"detector", "zscore"},
                  {"trojan", trojan_flag(s.spec_.trojan)},
                  {"z", s.last_z()},
                  {"mttd_ticks", s.mttd_ticks()}});
+    }
+    for (auto& slot : s.streaming_) {
+      if (!slot->pending) continue;
+      slot->pending = false;
+      PSA_EVENT(kAlarm, "fleet.alarm",
+                {{"chip", s.index_},
+                 {"label", s.spec_.label},
+                 {"detector", slot->name},
+                 {"trojan", trojan_flag(s.spec_.trojan)},
+                 {"z", slot->last_z},
+                 {"tick", slot->pending_tick}});
     }
     if (s.quarantine_pending_) {
       s.quarantine_pending_ = false;

@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/detector_bank.hpp"
 #include "analysis/monitor.hpp"
 #include "analysis/pipeline.hpp"
 #include "fault/fault.hpp"
@@ -83,6 +84,15 @@ struct ChipSpec {
 
   analysis::PipelineConfig pipeline{};
   analysis::MonitorConfig monitor{};
+
+  /// Extra streaming detectors (names from analysis::detector_names())
+  /// scored each tick on the SAME sliding-window average the legacy z-score
+  /// path scores. Empty (the default) changes nothing: the committed verdict
+  /// stream, alarm counters and MTTD are untouched. Each named detector gets
+  /// its own "fleet.chip<k>.<name>.z"/".alarmed" gauges and emits
+  /// `detector`-labelled "fleet.alarm" events on rising edges; streaming
+  /// verdicts never feed the legacy alarms/MTTD counters.
+  std::vector<std::string> streaming_detectors;
 
   /// Test-only: runs at the top of every tick on the ticking worker. A hook
   /// that throws exercises exception quarantine; one that sleeps exercises
@@ -140,6 +150,26 @@ class ChipSession {
   void tick(std::size_t tick);
 
   void enroll();
+
+  /// One streaming detector riding the monitor window: calibrated during
+  /// enroll() from dedicated sentinel sweeps (seeds disjoint from both the
+  /// enrollment and tick streams), scored every tick on the windowed
+  /// average. `last_z`/`latched` are worker-written and only meaningful
+  /// after the run that produced them has joined (same rule as z_history).
+  struct StreamingSlot {
+    std::string name;
+    std::unique_ptr<analysis::Detector> detector;
+    obs::Gauge z_gauge;
+    obs::Gauge alarmed_gauge;
+    double last_z = 0.0;
+    bool latched = false;
+    bool pending = false;  // rising edge awaiting serial publication
+    std::size_t pending_tick = 0;
+  };
+
+  const std::vector<std::unique_ptr<StreamingSlot>>& streaming() const {
+    return streaming_;
+  }
 
   const ChipSpec& spec() const { return spec_; }
   std::size_t index() const { return index_; }
@@ -200,6 +230,7 @@ class ChipSession {
 
   obs::Gauge z_gauge_;
   obs::Gauge alarmed_gauge_;
+  std::vector<std::unique_ptr<StreamingSlot>> streaming_;
   std::vector<std::uint64_t> attach_ids_;
 };
 

@@ -471,6 +471,47 @@ HttpResponse ScanService::handle_scan(const HttpRequest& req) {
     scenario.encrypting = it->second.boolean;
   }
 
+  // `?detectors=` selects which DetectorBank verdicts ride along. The list
+  // is validated against the attached bank and canonicalized to the bank's
+  // own order, deduplicated — so "a,b" and "b,a,b" coalesce into one
+  // execution.
+  bool want_detectors = false;
+  std::vector<std::string> det_names;
+  if (const auto it = req.query.find("detectors"); it != req.query.end()) {
+    want_detectors = true;
+    if (bank_ == nullptr || !bank_->calibrated()) {
+      return json_error(503, "no calibrated detector bank attached");
+    }
+    std::vector<std::string> requested;
+    const std::string& spec = it->second;
+    if (spec.empty() || spec == "all") {
+      for (std::size_t i = 0; i < bank_->size(); ++i) {
+        requested.emplace_back(bank_->detector(i).name());
+      }
+    } else {
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string name = spec.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (name.empty() || bank_->find(name) == nullptr) {
+          return json_error(400, "unknown detector: " + name);
+        }
+        requested.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+    for (std::size_t i = 0; i < bank_->size(); ++i) {
+      const std::string name(bank_->detector(i).name());
+      if (std::find(requested.begin(), requested.end(), name) !=
+          requested.end()) {
+        det_names.push_back(name);
+      }
+    }
+  }
+
   // Canonical scenario key: equal scenarios must coalesce, so doubles go in
   // as bit patterns, not formatted decimals.
   std::string key = "scan|trojan=" + trojan_it->second.string +
@@ -479,9 +520,18 @@ HttpResponse ScanService::handle_scan(const HttpRequest& req) {
                     "|tk=" + hex_bits(scenario.temperature_k) +
                     "|gds=" + hex_bits(scenario.gain_drift_sigma) +
                     "|enc=" + (scenario.encrypting ? "1" : "0");
+  if (want_detectors) {
+    key += "|det=";
+    for (std::size_t i = 0; i < det_names.size(); ++i) {
+      if (i) key += ',';
+      key += det_names[i];
+    }
+  }
 
   const std::string trojan_name = trojan_it->second.string;
-  auto job = [this, scenario, trojan_name, seed]() -> ServingResult {
+  const analysis::DetectorBank* bank = want_detectors ? bank_ : nullptr;
+  auto job = [this, scenario, trojan_name, seed, bank,
+              det_names]() -> ServingResult {
     const std::array<double, 16> scores = pipeline_.scan_scores(scenario);
     const analysis::LocalizationResult loc =
         analysis::localize_from_scores(scores, pipeline_.sensor_mask());
@@ -520,6 +570,36 @@ HttpResponse ScanService::handle_scan(const HttpRequest& req) {
     append_double(body, det.score);
     body += ",\"peak_freq_hz\":";
     append_double(body, det.peak_freq_hz);
+    if (bank != nullptr) {
+      // Scores travel as %016llx bit patterns next to the decimals, exactly
+      // like scores_hex — bit-exact comparison against
+      // tests/golden/detectors.golden needs no float parsing.
+      const analysis::EnsembleVerdict ens = bank->scan(scenario);
+      body += ",\"detectors\":{";
+      bool first = true;
+      for (const std::string& name : det_names) {
+        for (const analysis::NamedVerdict& part : ens.parts) {
+          if (part.name != name) continue;
+          if (!first) body += ',';
+          first = false;
+          body += '"' + name + "\":{\"score\":";
+          append_double(body, part.verdict.score);
+          body += ",\"score_hex\":\"" + hex_bits(part.verdict.score) +
+                  "\",\"threshold\":";
+          append_double(body, part.verdict.threshold);
+          body += ",\"detected\":";
+          body += part.verdict.detected ? "true" : "false";
+          body += ",\"peak_tile\":" + std::to_string(part.verdict.peak_tile);
+          body += '}';
+          break;
+        }
+      }
+      body += "},\"ensemble\":{\"score\":";
+      append_double(body, ens.score);
+      body += ",\"score_hex\":\"" + hex_bits(ens.score) + "\",\"detected\":";
+      body += ens.detected ? "true" : "false";
+      body += ",\"top_detector\":\"" + ens.top_detector + "\"}";
+    }
     body += "}\n";
     return ServingResult{200, "application/json", std::move(body)};
   };

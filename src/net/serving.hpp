@@ -49,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/detector_bank.hpp"
 #include "analysis/pipeline.hpp"
 #include "net/http_exposition.hpp"
 #include "obs/registry.hpp"
@@ -152,6 +153,12 @@ class ServingQueue {
 ///                → 16 scan scores (decimal + bit-exact hex), localization,
 ///                  and the detector verdict at the winning sensor.
 ///                  `?chunked=1` streams the response chunked.
+///                  `?detectors=all` (or a comma-separated subset of
+///                  analysis::detector_names()) additionally runs the
+///                  attached DetectorBank and reports per-detector verdicts
+///                  with bit-cast hex scores plus the fused ensemble;
+///                  503 when no calibrated bank is attached, 400 for an
+///                  unknown detector name.
 ///   POST /trace  {"sensor":k,"sample_rate_hz":H,"samples":[...]}
 ///                → detector verdict for an externally captured activity
 ///                  trace, scored against sensor k's enrollment.
@@ -167,6 +174,15 @@ class ScanService {
   /// Register POST /scan and POST /trace on `server`.
   void install(HttpServer& server);
 
+  /// Enable `?detectors=` on /scan. `bank` must already be calibrated
+  /// against this service's pipeline and must outlive the service (jobs
+  /// capture the pointer). Pass nullptr to detach. The ensemble part is
+  /// always fused over the WHOLE bank; the query only selects which
+  /// per-detector verdicts are reported.
+  void attach_detector_bank(const analysis::DetectorBank* bank) {
+    bank_ = bank;
+  }
+
   /// Stop the queue (call before HttpServer::stop()).
   void stop();
 
@@ -178,6 +194,7 @@ class ScanService {
   HttpResponse shed_response() const;
 
   const analysis::Pipeline& pipeline_;
+  const analysis::DetectorBank* bank_ = nullptr;
   ServingQueue queue_;
   obs::Histogram& scan_latency_us_;
   obs::Histogram& trace_latency_us_;

@@ -51,6 +51,24 @@ TEST(ClassifyLeaf, RatesLatenciesAndMetadata) {
   EXPECT_EQ(classify_leaf("after.threads", "_per_s"), Direction::kUngated);
   // Only the LEAF decides: a path segment ending in _ms gates nothing.
   EXPECT_EQ(classify_leaf("sampler_ms.note", "_per_s"), Direction::kUngated);
+  // Detection-quality leaves gate as higher-is-better.
+  EXPECT_EQ(classify_leaf("detectors.zscore.clean_auc", "_per_s"),
+            Direction::kHigherIsBetter);
+  EXPECT_EQ(classify_leaf("ensemble_auc", "_per_s"),
+            Direction::kHigherIsBetter);
+  EXPECT_EQ(classify_leaf("auc_note.text", "_per_s"), Direction::kUngated);
+}
+
+TEST(Compare, AucDropFailsAtTightThreshold) {
+  const auto before =
+      flatten_or_die(R"({"zscore": {"clean_auc": 0.95, "mttd_ms": 12.0}})");
+  const auto worse =
+      flatten_or_die(R"({"zscore": {"clean_auc": 0.80, "mttd_ms": 12.0}})");
+  benchdiff::CompareResult r = benchdiff::compare(before, worse, 0.05);
+  EXPECT_EQ(r.compared, 2);
+  EXPECT_EQ(r.regressions, 1);
+  r = benchdiff::compare(before, before, 0.05);
+  EXPECT_EQ(r.regressions, 0);
 }
 
 TEST(Compare, ThroughputDropFailsAndRiseIsFine) {

@@ -1,0 +1,208 @@
+// detector_bank_test.cpp — conformance-kit instantiation for every Detector
+// plus DetectorBank integration: the refactored zscore path must be
+// bit-identical to the legacy Pipeline scan, observations must honor
+// degraded-mode masks, and the ensemble must separate Trojans from
+// baseline traffic.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "analysis/detector_bank.hpp"
+#include "analysis/detectors.hpp"
+#include "detector_kit.hpp"
+#include "fault/fault.hpp"
+#include "fixtures.hpp"
+
+namespace psa::tests {
+namespace {
+
+using analysis::BankConfig;
+using analysis::DetectorBank;
+using analysis::EnsembleVerdict;
+using analysis::Observation;
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectors, DetectorConformance,
+    testing::Values(
+        DetectorFactory{"zscore",
+                        [] { return analysis::make_detector("zscore"); }},
+        DetectorFactory{"flatness",
+                        [] { return analysis::make_detector("flatness"); }},
+        DetectorFactory{"crossscale",
+                        [] { return analysis::make_detector("crossscale"); }},
+        DetectorFactory{"reconerr",
+                        [] { return analysis::make_detector("reconerr"); }}),
+    DetectorFactoryName);
+
+TEST(DetectorRegistry, FactoryKnowsEveryNameAndRejectsUnknown) {
+  for (const std::string& name : analysis::detector_names()) {
+    auto det = analysis::make_detector(name);
+    ASSERT_NE(det, nullptr);
+    EXPECT_EQ(det->name(), name);
+    EXPECT_FALSE(det->calibrated());
+  }
+  EXPECT_THROW(analysis::make_detector("nonsense"), std::invalid_argument);
+}
+
+TEST(ThresholdRule, FloorAndMargin) {
+  const analysis::ThresholdRule rule{/*floor=*/5.0, /*margin=*/2.0};
+  EXPECT_DOUBLE_EQ(rule.resolve({}), 5.0);
+  const double quiet[] = {0.5, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(rule.resolve(quiet), 5.0);  // margin*2.0 < floor
+  const double noisy[] = {1.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(rule.resolve(noisy), 8.0);  // margin*4.0 > floor
+}
+
+TEST(EnsembleFusion, NormalizesByThresholdAndFlagsAnyDetection) {
+  std::vector<analysis::NamedVerdict> parts(2);
+  parts[0] = {"a", {.score = 10.0, .threshold = 5.0, .detected = true}};
+  parts[1] = {"b", {.score = 1.0, .threshold = 4.0, .detected = false}};
+  const EnsembleVerdict e = analysis::fuse_verdicts(parts);
+  EXPECT_DOUBLE_EQ(e.score, 0.5 * (10.0 / 5.0 + 1.0 / 4.0));
+  EXPECT_TRUE(e.detected);
+  EXPECT_EQ(e.top_detector, "a");
+  ASSERT_EQ(e.parts.size(), 2u);
+
+  const EnsembleVerdict empty = analysis::fuse_verdicts({});
+  EXPECT_DOUBLE_EQ(empty.score, 0.0);
+  EXPECT_FALSE(empty.detected);
+}
+
+TEST(StreamingObservation, WrapsOneSweep) {
+  const dsp::Spectrum sweep = synthetic_tile(5, 0.0, 1.0);
+  const Observation obs = analysis::make_streaming_observation(sweep);
+  ASSERT_EQ(obs.scales.size(), 1u);
+  EXPECT_EQ(obs.sensor_scale, 0u);
+  ASSERT_EQ(obs.sensors().tiles.size(), 1u);
+  EXPECT_EQ(obs.sensors().tiles[0].size(), sweep.size());
+}
+
+/// The tentpole's bit-exactness guarantee: the zscore detector driven
+/// through DetectorBank observations reproduces the legacy Pipeline scan —
+/// same GoldenFreeDetector state, same per-sensor heat, same verdict bits.
+TEST(DetectorBankPipeline, ZScorePathBitExactAgainstLegacyScan) {
+  const sim::ChipSimulator chip = make_chip();
+  analysis::Pipeline pipeline(chip, light_config());
+  const sim::Scenario normal = sim::Scenario::baseline(kGoldenSeed);
+  pipeline.enroll(normal);
+
+  DetectorBank bank(pipeline, BankConfig{.scales = 2, .detectors = {"zscore"}});
+  bank.calibrate(normal);
+  ASSERT_TRUE(bank.calibrated());
+  const auto* z =
+      dynamic_cast<const analysis::ZScoreDetector*>(bank.find("zscore"));
+  ASSERT_NE(z, nullptr);
+
+  const sim::Scenario trojan =
+      sim::Scenario::with_trojan(trojan::TrojanKind::kT1AmCarrier, kGoldenSeed);
+  const std::array<double, 16> legacy = pipeline.scan_scores(trojan);
+  const Observation obs = bank.observe(trojan);
+  for (std::size_t k = 0; k < 16; ++k) {
+    const analysis::DetectionResult r =
+        z->tile_detector(k).score(obs.sensors().tiles[k]);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.peak_delta_v),
+              std::bit_cast<std::uint64_t>(legacy[k]))
+        << "sensor " << k;
+    // The bank-enrolled per-tile detector must equal the pipeline's own:
+    // scoring the same averaged spectrum through Pipeline::score_spectrum
+    // yields the same bits.
+    const analysis::DetectionResult via_pipeline =
+        pipeline.score_spectrum(k, obs.sensors().tiles[k]);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.score),
+              std::bit_cast<std::uint64_t>(via_pipeline.score));
+    EXPECT_EQ(r.detected, via_pipeline.detected);
+  }
+}
+
+TEST(DetectorBankPipeline, EnsembleSeparatesTrojanFromBaseline) {
+  const sim::ChipSimulator chip = make_chip();
+  analysis::Pipeline pipeline(chip, light_config());
+  const sim::Scenario normal = sim::Scenario::baseline(kGoldenSeed);
+  pipeline.enroll(normal);
+
+  DetectorBank bank(pipeline, BankConfig{.scales = 2});
+  EXPECT_EQ(bank.size(), 4u);
+  bank.calibrate(normal);
+
+  const EnsembleVerdict quiet =
+      bank.scan(sim::Scenario::baseline(kGoldenSeed + 9));
+  const EnsembleVerdict hot = bank.scan(sim::Scenario::with_trojan(
+      trojan::TrojanKind::kT1AmCarrier, kGoldenSeed));
+  EXPECT_GT(hot.score, quiet.score);
+  EXPECT_TRUE(hot.detected);
+  ASSERT_EQ(hot.parts.size(), 4u);
+  for (const analysis::NamedVerdict& nv : hot.parts) {
+    EXPECT_TRUE(std::isfinite(nv.verdict.score)) << nv.name;
+    EXPECT_GT(nv.verdict.threshold, 0.0) << nv.name;
+  }
+}
+
+TEST(DetectorBankPipeline, ThreeScaleObservationShapes) {
+  const sim::ChipSimulator chip = make_chip();
+  analysis::Pipeline pipeline(chip, light_config());
+  pipeline.enroll(sim::Scenario::baseline(kGoldenSeed));
+
+  DetectorBank bank(pipeline, BankConfig{.scales = 3, .detectors = {"crossscale"}});
+  const Observation obs = bank.observe(sim::Scenario::baseline(kGoldenSeed));
+  ASSERT_EQ(obs.scales.size(), 3u);
+  EXPECT_EQ(obs.scales[0].name, "die");
+  EXPECT_EQ(obs.scales[0].tiles.size(), 1u);
+  EXPECT_EQ(obs.scales[1].name, "sensor");
+  EXPECT_EQ(obs.scales[1].tiles.size(), 16u);
+  EXPECT_EQ(obs.scales[2].name, "quad");
+  EXPECT_EQ(obs.scales[2].tiles.size(), 64u);
+  EXPECT_EQ(obs.sensor_scale, 1u);
+  // Every scale shares one frequency grid.
+  const std::size_t n = obs.scales[0].tiles[0].size();
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(obs.scales[1].tiles[3].size(), n);
+  EXPECT_EQ(obs.scales[2].tiles[40].size(), n);
+}
+
+TEST(DetectorBankPipeline, DegradedMasksPropagateAndBankStillCalibrates) {
+  sim::ChipSimulator chip = make_chip();
+  analysis::Pipeline pipeline(chip, light_config());
+  const std::vector<std::size_t> victims{3};
+  const fault::FaultInjector injector(fault::plan_killing_sensors(
+      victims, 0, /*block_substitutes=*/true));
+  const analysis::DegradedModeReport report =
+      pipeline.configure_degraded(injector.array_faults());
+  ASSERT_EQ(report.masked_count(), 1u);
+  ASSERT_TRUE(pipeline.sensor_masked(3));
+  const sim::Scenario normal = sim::Scenario::baseline(kGoldenSeed);
+  pipeline.enroll(normal);
+
+  DetectorBank bank(pipeline, BankConfig{.scales = 3});
+  const Observation obs = bank.observe(normal);
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(obs.sensors().masked[k] != 0, pipeline.sensor_masked(k));
+    for (std::size_t q = 0; q < 4; ++q) {
+      EXPECT_EQ(obs.scales[2].masked[4 * k + q] != 0,
+                pipeline.sensor_masked(k));
+    }
+  }
+  EXPECT_EQ(obs.sensors().tiles[3].size(), 0u);  // never measured
+
+  // Calibration and scoring over the degraded array stay finite and the
+  // masked sensor never becomes the peak tile.
+  bank.calibrate(normal);
+  const EnsembleVerdict hot = bank.scan(sim::Scenario::with_trojan(
+      trojan::TrojanKind::kT1AmCarrier, kGoldenSeed));
+  for (const analysis::NamedVerdict& nv : hot.parts) {
+    EXPECT_TRUE(std::isfinite(nv.verdict.score)) << nv.name;
+    EXPECT_NE(nv.verdict.peak_tile, 3u) << nv.name;
+  }
+}
+
+TEST(DetectorBankPipeline, BankRejectsBadScaleCount) {
+  const sim::ChipSimulator chip = make_chip();
+  analysis::Pipeline pipeline(chip, light_config());
+  EXPECT_THROW(DetectorBank(pipeline, BankConfig{.scales = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(DetectorBank(pipeline, BankConfig{.scales = 4}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psa::tests

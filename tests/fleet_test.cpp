@@ -20,6 +20,7 @@
 #include <array>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -101,6 +102,89 @@ TEST(FleetSession, MatchesHandRolledMonitorLoop) {
 
   EXPECT_TRUE(same_stream(engine.session(0).z_history(), expected));
   EXPECT_EQ(engine.session(0).ticks_done(), kTicks);
+}
+
+TEST(FleetSession, StreamingDetectorsAreAdditiveAndLabelled) {
+  tests::ThreadCountGuard guard;
+  constexpr std::size_t kTicks = 8;
+
+  ChipSpec plain;
+  plain.label = "plain";
+  plain.seed = tests::kGoldenSeed + 9;
+  plain.placement_seed = tests::kGoldenSeed;
+  plain.trojan = trojan::TrojanKind::kT1AmCarrier;
+  plain.activate_at = 2;
+  plain.pipeline = tests::light_config();
+
+  ChipSpec instrumented = plain;
+  instrumented.streaming_detectors = {"zscore", "flatness"};
+
+  const std::uint64_t seq0 = obs::EventLog::global().last_seq();
+  FleetEngine control({plain}, FleetConfig{});
+  ASSERT_EQ(control.run_ticks(kTicks), kTicks);
+  FleetEngine engine({instrumented}, FleetConfig{});
+  ASSERT_EQ(engine.run_ticks(kTicks), kTicks);
+
+  // Streaming detectors are purely additive: the legacy verdict stream is
+  // bit-identical to the uninstrumented control's.
+  EXPECT_TRUE(same_stream(engine.session(0).z_history(),
+                          control.session(0).z_history()));
+  EXPECT_EQ(engine.session(0).alarms(), control.session(0).alarms());
+  EXPECT_EQ(engine.session(0).mttd_ticks(), control.session(0).mttd_ticks());
+
+  // The slots were calibrated at enroll and scored every tick.
+  const auto& slots = engine.session(0).streaming();
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0]->name, "zscore");
+  EXPECT_EQ(slots[1]->name, "flatness");
+  for (const auto& slot : slots) {
+    EXPECT_TRUE(slot->detector->calibrated());
+    EXPECT_TRUE(std::isfinite(slot->last_z)) << slot->name;
+    // The t1 carrier is loud: both streaming detectors end the run latched
+    // above their enrollment-calibrated thresholds.
+    EXPECT_GT(slot->detector->threshold(), 0.0) << slot->name;
+    EXPECT_GT(slot->last_z, slot->detector->threshold()) << slot->name;
+    EXPECT_TRUE(slot->latched) << slot->name;
+  }
+  EXPECT_TRUE(control.session(0).streaming().empty());
+
+  // Per-detector gauges live under the chip prefix (engine still alive).
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  std::size_t seen = 0;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "fleet.chip0.zscore.z" ||
+        name == "fleet.chip0.zscore.alarmed" ||
+        name == "fleet.chip0.flatness.z" ||
+        name == "fleet.chip0.flatness.alarmed") {
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 4u);
+
+  // Every fleet.alarm now carries a detector label; a legacy debounced
+  // alarm (the variant with mttd_ticks) is always labelled "zscore", and
+  // each streaming slot published exactly one labelled rising-edge event.
+  std::size_t zscore_stream = 0;
+  std::size_t flatness_stream = 0;
+  for (const obs::Event& ev : obs::EventLog::global().since(seq0)) {
+    if (ev.name != "fleet.alarm") continue;
+    std::string detector;
+    bool has_mttd = false;
+    for (const obs::TraceArg& a : ev.args) {
+      if (a.key == "detector") detector = a.text;
+      if (a.key == "mttd_ticks") has_mttd = true;
+    }
+    EXPECT_FALSE(detector.empty()) << "fleet.alarm without detector label";
+    if (has_mttd) {
+      EXPECT_EQ(detector, "zscore");
+    } else if (detector == "zscore") {
+      ++zscore_stream;
+    } else if (detector == "flatness") {
+      ++flatness_stream;
+    }
+  }
+  EXPECT_EQ(zscore_stream, 1u);
+  EXPECT_EQ(flatness_stream, 1u);
 }
 
 TEST(FleetEngine, VerdictsInvariantAcrossSchedulerArmAndSharingAndThreads) {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/detector_bank.hpp"
 #include "analysis/localizer.hpp"
 #include "analysis/pipeline.hpp"
 #include "fixtures.hpp"
@@ -115,6 +116,147 @@ inline std::string serialize(const GoldenRun& run) {
        << "\n";
   }
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Detector-bank goldens: every Detector implementation's verdict on the four
+// Trojan scenarios, pinned to the bit. One row per detector plus the fused
+// ensemble; each row carries the calibrated threshold and, per scenario, the
+// score bits, the detected flag and the peak tile. Format "psa-detector-
+// golden v1", one file (detectors.golden) for the whole bank.
+
+struct DetectorScenarioGolden {
+  double score = 0.0;
+  bool detected = false;
+  std::uint64_t peak_tile = 0;
+};
+
+struct DetectorGoldenRow {
+  std::string name;  // detector name, or "ensemble"
+  double threshold = 0.0;
+  std::vector<DetectorScenarioGolden> runs;  // one per scenario, in order
+};
+
+struct DetectorGoldens {
+  std::uint64_t seed = 0;
+  std::size_t scales = 0;
+  std::vector<std::string> scenarios;  // "t1".."t4"
+  std::vector<DetectorGoldenRow> rows;
+};
+
+/// Compute the detector-bank goldens at tests::kGoldenSeed: one chip, one
+/// enrollment, a two-scale bank (die + sensors) over all registered
+/// detectors, scanning t1..t4. Bit-reproducible at any thread count.
+inline DetectorGoldens compute_detector_goldens() {
+  const sim::ChipSimulator chip = tests::make_chip();
+  analysis::Pipeline pipeline(chip, golden_config());
+  const sim::Scenario normal = sim::Scenario::baseline(tests::kGoldenSeed);
+  pipeline.enroll(normal);
+
+  analysis::DetectorBank bank(pipeline, analysis::BankConfig{.scales = 2});
+  bank.calibrate(normal);
+
+  DetectorGoldens g;
+  g.seed = tests::kGoldenSeed;
+  g.scales = bank.config().scales;
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    DetectorGoldenRow row;
+    row.name = std::string(bank.detector(i).name());
+    row.threshold = bank.detector(i).threshold();
+    g.rows.push_back(std::move(row));
+  }
+  DetectorGoldenRow ensemble;
+  ensemble.name = "ensemble";
+  ensemble.threshold = 1.0;  // fused scores are threshold-normalized
+  g.rows.push_back(std::move(ensemble));
+
+  for (trojan::TrojanKind kind :
+       {trojan::TrojanKind::kT1AmCarrier, trojan::TrojanKind::kT2KeyLeak,
+        trojan::TrojanKind::kT3CdmaLeak, trojan::TrojanKind::kT4DoS}) {
+    g.scenarios.emplace_back(trojan::module_name(kind));
+    const analysis::EnsembleVerdict v =
+        bank.scan(sim::Scenario::with_trojan(kind, tests::kGoldenSeed));
+    for (std::size_t i = 0; i < v.parts.size(); ++i) {
+      DetectorScenarioGolden s;
+      s.score = v.parts[i].verdict.score;
+      s.detected = v.parts[i].verdict.detected;
+      s.peak_tile = v.parts[i].verdict.peak_tile;
+      g.rows.at(i).runs.push_back(s);
+    }
+    DetectorScenarioGolden fused;
+    fused.score = v.score;
+    fused.detected = v.detected;
+    fused.peak_tile = 0;
+    g.rows.back().runs.push_back(fused);
+  }
+  return g;
+}
+
+inline std::string serialize(const DetectorGoldens& g) {
+  std::ostringstream os;
+  os << "psa-detector-golden v1\n";
+  os << "seed " << g.seed << "\n";
+  os << "scales " << g.scales << "\n";
+  os << "scenarios " << g.scenarios.size();
+  for (const std::string& s : g.scenarios) os << " " << s;
+  os << "\n";
+  os << "detectors " << g.rows.size() << "\n";
+  for (const DetectorGoldenRow& row : g.rows) {
+    os << row.name << " " << hex_bits(row.threshold);
+    for (const DetectorScenarioGolden& r : row.runs) {
+      os << " " << hex_bits(r.score) << " " << (r.detected ? 1 : 0) << " "
+         << r.peak_tile;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+inline DetectorGoldens parse_detectors(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  std::string version;
+  is >> magic >> version;
+  if (magic != "psa-detector-golden" || version != "v1") {
+    throw std::runtime_error("detector golden parse: bad header");
+  }
+  auto expect_key = [&](const char* key) {
+    std::string tok;
+    is >> tok;
+    if (tok != key) {
+      throw std::runtime_error("detector golden parse: expected '" +
+                               std::string(key) + "', got '" + tok + "'");
+    }
+  };
+  DetectorGoldens g;
+  expect_key("seed");
+  is >> g.seed;
+  expect_key("scales");
+  is >> g.scales;
+  expect_key("scenarios");
+  std::size_t n_scen = 0;
+  is >> n_scen;
+  g.scenarios.resize(n_scen);
+  for (std::string& s : g.scenarios) is >> s;
+  expect_key("detectors");
+  std::size_t n_rows = 0;
+  is >> n_rows;
+  std::string word;
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    DetectorGoldenRow row;
+    is >> row.name >> word;
+    row.threshold = bits_hex(word);
+    row.runs.resize(n_scen);
+    for (DetectorScenarioGolden& run : row.runs) {
+      int detected = 0;
+      is >> word >> detected >> run.peak_tile;
+      run.score = bits_hex(word);
+      run.detected = detected != 0;
+    }
+    g.rows.push_back(std::move(row));
+  }
+  if (!is) throw std::runtime_error("detector golden parse: truncated file");
+  return g;
 }
 
 inline GoldenRun parse(const std::string& text) {

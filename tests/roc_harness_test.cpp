@@ -1,0 +1,155 @@
+// roc_harness_test.cpp — rank-AUC property tests plus a smoke-sized ROC
+// sweep of the whole detector bank: every detector must clear its committed
+// AUC floor on the clean 4-Trojan sweep and the score-fused ensemble must
+// be at least as good as the best single detector. Runs in the TSan matrix,
+// so the sweep is deliberately small (light pipeline, two scales).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/detector_bank.hpp"
+#include "analysis/roc.hpp"
+#include "common/rng.hpp"
+#include "fixtures.hpp"
+
+namespace psa::tests {
+namespace {
+
+using analysis::fpr_at_tpr;
+using analysis::rank_auc;
+
+// ------------------------------------------------------ rank-AUC properties
+
+TEST(RankAuc, PerfectSeparationIsExactlyOne) {
+  Rng rng(kRngStreamBase + 61);
+  std::vector<double> neg, pos;
+  for (int i = 0; i < 50; ++i) {
+    neg.push_back(rng.uniform());
+    pos.push_back(2.0 + rng.uniform());
+  }
+  EXPECT_DOUBLE_EQ(rank_auc(neg, pos), 1.0);
+  EXPECT_DOUBLE_EQ(rank_auc(pos, neg), 0.0);  // inverted labels
+}
+
+TEST(RankAuc, ShuffledLabelsNearHalf) {
+  // Both classes drawn from one distribution: chance-level ranking.
+  Rng rng(kRngStreamBase + 62);
+  std::vector<double> neg, pos;
+  for (int i = 0; i < 400; ++i) {
+    neg.push_back(rng.gaussian());
+    pos.push_back(rng.gaussian());
+  }
+  EXPECT_NEAR(rank_auc(neg, pos), 0.5, 0.08);
+}
+
+TEST(RankAuc, TiesGetHalfCreditExactly) {
+  // neg = {0,0,1,1}, pos = {1,1,2,2}:
+  //   each pos==1 outranks 2 negatives and ties 2 -> 3.0
+  //   each pos==2 outranks all 4              -> 4.0
+  //   U = 2*3 + 2*4 = 14 over 16 pairs.
+  const std::vector<double> neg{0.0, 0.0, 1.0, 1.0};
+  const std::vector<double> pos{1.0, 1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(rank_auc(neg, pos), 14.0 / 16.0);
+  // All-identical scores are pure chance, exactly 1/2.
+  const std::vector<double> same{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(rank_auc(same, same), 0.5);
+}
+
+TEST(RankAuc, InvariantToInputOrder) {
+  const std::vector<double> neg{5.0, 1.0, 3.0, 3.0, 2.0};
+  const std::vector<double> pos{3.0, 6.0, 3.0, 4.0};
+  const double a = rank_auc(neg, pos);
+  std::vector<double> neg2(neg.rbegin(), neg.rend());
+  std::vector<double> pos2(pos.rbegin(), pos.rend());
+  EXPECT_DOUBLE_EQ(rank_auc(neg2, pos2), a);
+}
+
+TEST(RankAuc, EmptyInputsScoreZero) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(rank_auc(none, one), 0.0);
+  EXPECT_DOUBLE_EQ(rank_auc(one, none), 0.0);
+}
+
+TEST(RankAuc, RocFromScoresUsesRankAuc) {
+  // Tied scores across classes: the naive threshold-sweep trapezoid loses
+  // the diagonal segment; the rank statistic keeps it.
+  const std::vector<double> neg{0.0, 0.0, 1.0, 1.0};
+  const std::vector<double> pos{1.0, 1.0, 2.0, 2.0};
+  const analysis::RocAnalysis roc =
+      analysis::roc_from_scores(neg, pos, 0.0);
+  EXPECT_DOUBLE_EQ(roc.auc, rank_auc(neg, pos));
+}
+
+TEST(FprAtTpr, KnownOperatingPoints) {
+  const std::vector<double> neg{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pos{3.5, 4.5, 5.0, 6.0};
+  // Full TPR needs thr <= 3.5; negatives >= 3.5 is exactly {4.0}.
+  EXPECT_DOUBLE_EQ(fpr_at_tpr(neg, pos, 1.0), 0.25);
+  // 75% TPR needs the top 3 positives (thr = 4.5): no negative reaches it.
+  EXPECT_DOUBLE_EQ(fpr_at_tpr(neg, pos, 0.75), 0.0);
+  EXPECT_DOUBLE_EQ(fpr_at_tpr(neg, pos, 0.0), 0.0);
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(fpr_at_tpr(none, pos, 0.5), 1.0);
+}
+
+// ------------------------------------------------- detector-bank ROC smoke
+
+/// Committed per-detector AUC floors on the clean smoke sweep. These are
+/// regression gates, not aspirations — but note the sweep is only 4
+/// baselines x 8 Trojan runs (32 rank pairs), so one inverted pair costs
+/// ~0.03 AUC. Floors sit a couple of pairs below the measured values.
+const std::map<std::string, double>& auc_floors() {
+  static const std::map<std::string, double> floors = {
+      {"zscore", 0.90},
+      {"flatness", 0.70},
+      {"crossscale", 0.80},
+      {"reconerr", 0.70},
+  };
+  return floors;
+}
+
+TEST(RocHarnessSmoke, EveryDetectorClearsItsFloorAndEnsembleWins) {
+  const sim::ChipSimulator chip = make_chip();
+  analysis::Pipeline pipeline(chip, light_config());
+  const sim::Scenario normal = sim::Scenario::baseline(kGoldenSeed);
+  pipeline.enroll(normal);
+
+  analysis::DetectorBank bank(pipeline, analysis::BankConfig{.scales = 2});
+  bank.calibrate(normal);
+
+  // Shared observations: every detector scores the same sweep.
+  std::map<std::string, std::vector<double>> neg, pos;
+  std::vector<double> ens_neg, ens_pos;
+  const auto score_into = [&](const sim::Scenario& sc, bool positive) {
+    const analysis::EnsembleVerdict v = bank.scan(sc);
+    (positive ? ens_pos : ens_neg).push_back(v.score);
+    for (const analysis::NamedVerdict& nv : v.parts) {
+      ((positive ? pos : neg)[nv.name]).push_back(nv.verdict.score);
+    }
+  };
+  for (const std::uint64_t s : {101u, 202u, 303u, 404u}) {
+    score_into(sim::Scenario::baseline(kGoldenSeed + s), false);
+  }
+  for (trojan::TrojanKind kind :
+       {trojan::TrojanKind::kT1AmCarrier, trojan::TrojanKind::kT2KeyLeak,
+        trojan::TrojanKind::kT3CdmaLeak, trojan::TrojanKind::kT4DoS}) {
+    score_into(sim::Scenario::with_trojan(kind, kGoldenSeed), true);
+    score_into(sim::Scenario::with_trojan(kind, kGoldenSeed + 77), true);
+  }
+
+  double best_single = 0.0;
+  for (const auto& [name, floor] : auc_floors()) {
+    ASSERT_TRUE(pos.count(name)) << name << " missing from the bank";
+    const double auc = rank_auc(neg[name], pos[name]);
+    EXPECT_GE(auc, floor) << "detector " << name << " AUC regressed";
+    best_single = std::max(best_single, auc);
+  }
+  const double ens_auc = rank_auc(ens_neg, ens_pos);
+  EXPECT_GE(ens_auc, best_single)
+      << "score-fused ensemble must not lose to its best member";
+}
+
+}  // namespace
+}  // namespace psa::tests

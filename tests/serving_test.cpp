@@ -578,5 +578,98 @@ TEST_F(ScanServiceTest, IdenticalConcurrentScansShareOneExecution) {
   EXPECT_GE(service_->queue().coalesced(), coalesced_before);
 }
 
+TEST_F(ScanServiceTest, DetectorQueryWithoutBankGets503) {
+  // The shared fixture service never had a bank attached.
+  const std::string resp =
+      scan("{\"trojan\":\"t1\",\"seed\":42}", "/scan?detectors=all");
+  EXPECT_NE(resp.find("503"), std::string::npos) << resp.substr(0, 200);
+}
+
+/// The brace-balanced `{...}` value of `"name":{...}` (json_field only
+/// handles scalar and array values).
+std::string json_object(const std::string& body, const std::string& name) {
+  const std::size_t at = body.find("\"" + name + "\":{");
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + name.size() + 3;  // index of '{'
+  int depth = 0;
+  for (std::size_t i = start; i < body.size(); ++i) {
+    if (body[i] == '{') ++depth;
+    if (body[i] == '}' && --depth == 0) {
+      return body.substr(start, i - start + 1);
+    }
+  }
+  return "";
+}
+
+TEST_F(ScanServiceTest, DetectorVerdictsMatchCommittedGoldensBitExactly) {
+  // Mirror compute_detector_goldens' setup on the fixture's enrolled
+  // pipeline: a scales-2 bank calibrated on the golden baseline. The served
+  // score_hex per detector must then equal tests/golden/detectors.golden
+  // bit for bit — the serving path reuses the bank, it does not fork it.
+  analysis::DetectorBank bank(*pipeline_,
+                              analysis::BankConfig{.scales = 2});
+  bank.calibrate(sim::Scenario::baseline(tests::kGoldenSeed));
+
+  net::ScanService service(*pipeline_);
+  service.attach_detector_bank(&bank);
+  net::HttpServer server;
+  service.install(server);
+  ASSERT_TRUE(server.start());
+
+  std::ifstream in(std::string(PSA_GOLDEN_DIR) + "/detectors.golden");
+  ASSERT_TRUE(in.is_open());
+  std::stringstream text;
+  text << in.rdbuf();
+  const golden::DetectorGoldens want = golden::parse_detectors(text.str());
+
+  for (std::size_t s = 0; s < want.scenarios.size(); ++s) {
+    const std::string resp = http_post(
+        server.port(), "/scan?detectors=all",
+        "{\"trojan\":\"" + want.scenarios[s] + "\",\"seed\":42}");
+    ASSERT_NE(resp.find("200"), std::string::npos) << resp.substr(0, 200);
+    const std::string body = body_of(resp);
+    const std::size_t dets = body.find("\"detectors\":");
+    ASSERT_NE(dets, std::string::npos) << body;
+
+    for (const golden::DetectorGoldenRow& row : want.rows) {
+      // The ensemble rides outside the "detectors" object.
+      const std::string object =
+          row.name == "ensemble"
+              ? json_object(body, "ensemble")
+              : json_object(body.substr(dets), row.name);
+      ASSERT_FALSE(object.empty()) << row.name << " missing in " << body;
+      EXPECT_EQ(json_field(object, "score_hex"),
+                golden::hex_bits(row.runs[s].score))
+          << row.name << " on " << want.scenarios[s];
+      EXPECT_EQ(json_field(object, "detected"),
+                row.runs[s].detected ? "true" : "false")
+          << row.name << " on " << want.scenarios[s];
+      if (row.name != "ensemble") {
+        EXPECT_EQ(json_field(object, "peak_tile"),
+                  std::to_string(row.runs[s].peak_tile))
+            << row.name << " on " << want.scenarios[s];
+      }
+    }
+  }
+
+  // Subsets: validated, canonicalized and reported in bank order.
+  const std::string sub = body_of(http_post(
+      server.port(), "/scan?detectors=flatness,zscore",
+      "{\"trojan\":\"t1\",\"seed\":42}"));
+  EXPECT_NE(sub.find("\"zscore\":{"), std::string::npos) << sub;
+  EXPECT_NE(sub.find("\"flatness\":{"), std::string::npos) << sub;
+  EXPECT_EQ(sub.find("\"crossscale\":{"), std::string::npos) << sub;
+  EXPECT_LT(sub.find("\"zscore\":{"), sub.find("\"flatness\":{"));
+  EXPECT_NE(sub.find("\"ensemble\":{"), std::string::npos) << sub;
+
+  const std::string bad = http_post(server.port(), "/scan?detectors=bogus",
+                                    "{\"trojan\":\"t1\",\"seed\":42}");
+  EXPECT_NE(bad.find("400"), std::string::npos) << bad.substr(0, 200);
+  EXPECT_NE(bad.find("unknown detector"), std::string::npos);
+
+  service.stop();  // before the server: handlers block on the queue
+  server.stop();
+}
+
 }  // namespace
 }  // namespace psa

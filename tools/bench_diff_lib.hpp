@@ -201,6 +201,9 @@ inline Direction classify_leaf(const std::string& path,
       leaf.find("throughput") != std::string::npos) {
     return Direction::kHigherIsBetter;
   }
+  // Detection-quality leaves: AUC can only fall by regression, never by
+  // runner variance, so the ROC harness gates them at a tight threshold.
+  if (ends_with(leaf, "_auc")) return Direction::kHigherIsBetter;
   if (ends_with(leaf, "_ms") || ends_with(leaf, "_us")) {
     return Direction::kLowerIsBetter;
   }

@@ -44,5 +44,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(run.best_sensor),
                 run.localized ? 1 : 0, run.freq_hz.size());
   }
+
+  // The detector-bank goldens: every registered detector's verdict bits on
+  // the same four scenarios, one file for the whole bank.
+  const psa::golden::DetectorGoldens dg =
+      psa::golden::compute_detector_goldens();
+  const std::string dpath = out_dir + "/detectors.golden";
+  std::ofstream os(dpath, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", dpath.c_str());
+    return 1;
+  }
+  os << psa::golden::serialize(dg);
+  for (const psa::golden::DetectorGoldenRow& row : dg.rows) {
+    std::string detected;
+    for (const psa::golden::DetectorScenarioGolden& r : row.runs) {
+      detected += r.detected ? '1' : '0';
+    }
+    std::printf("  %s: %s threshold=%g detected=%s\n", dpath.c_str(),
+                row.name.c_str(), row.threshold, detected.c_str());
+  }
   return 0;
 }
