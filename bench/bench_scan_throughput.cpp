@@ -185,6 +185,23 @@ int main(int argc, char** argv) {
     obs::set_enabled(was_enabled);
   }
 
+  // ---------- AFTER + tracing: span recording live (obs::enabled) under a
+  // root span, so every scan's pipeline/parallel.chunk spans are recorded
+  // into the trace ring — the full causal-tracing cost. Same < 2% budget as
+  // the sampler arm; bench_diff gates the overhead_pct leaf absolutely.
+  const bool tracing_was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  {
+    PSA_TRACE_SPAN("bench.scan_warmup");
+    (void)pipeline.scan_scores(scan);
+  }
+  const double traced_s = best_of([&] {
+    PSA_TRACE_SPAN("bench.scan");
+    (void)pipeline.scan_scores(scan);
+  });
+  obs::set_enabled(tracing_was_enabled);
+  const double traced_overhead_pct = (traced_s - after_s) / after_s * 100.0;
+
   // ---------- AFTER, multi-thread: all three optimizations compose.
   set_thread_count(extra_threads);
   (void)pipeline.scan_scores(scan);  // warm-up at the new count
@@ -217,6 +234,9 @@ int main(int argc, char** argv) {
                    fmt(traces_per_scan / sampled_s, 1),
                    fmt(before_s / sampled_s, 2) + "x"});
   }
+  table.add_row({"after + tracing (spans recorded)", "1",
+                 fmt(traced_s * 1e3, 1), fmt(traces_per_scan / traced_s, 1),
+                 fmt(before_s / traced_s, 2) + "x"});
   table.print(std::cout);
   std::printf("\nsimd arm vs scalar arm: %.2fx, scores %s\n", speedup_simd,
               simd_bits_ok ? "bit-identical" : "DIVERGED");
@@ -227,6 +247,8 @@ int main(int argc, char** argv) {
     std::printf("telemetry overhead (sampler on vs off): %+.2f%%\n",
                 overhead);
   }
+  std::printf("tracing overhead (spans recorded vs off): %+.2f%%\n",
+              traced_overhead_pct);
 
   // Both arms must still agree on the physics: the hottest sensor is the
   // same even though the trace seeds differ between the two seeding schemes.
@@ -289,6 +311,10 @@ int main(int argc, char** argv) {
          << ", \"overhead_pct\": " << (sampled_s - after_s) / after_s * 100.0
          << "},\n";
   }
+  json << "  \"traced\": {\"threads\": 1, \"reps\": " << reps
+       << ", \"scan_ms\": " << traced_s * 1e3
+       << ", \"traces_per_s\": " << traces_per_scan / traced_s
+       << ", \"overhead_pct\": " << traced_overhead_pct << "},\n";
   json
        << "  \"hottest_sensor_agrees\": " << (same_winner ? "true" : "false")
        << "\n}\n";

@@ -248,7 +248,22 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
   // counter can live on the stack: fork_join joins (or revokes) every
   // helper before returning.
   std::atomic<std::size_t> next{0};
-  const std::function<void()> run_chunks = [&plan, &next, &fn] {
+#if PSA_OBS_ENABLED
+  // Capture the caller's trace context so every chunk — whether claimed by
+  // a pool worker or run inline by the caller — parents its span under the
+  // span that issued this parallel_for. This is what stitches the chunk
+  // spans into the request's tree instead of N orphan roots.
+  const obs::TraceContext caller_ctx = obs::current_trace_context();
+#endif
+  const std::function<void()> run_chunks = [&plan, &next, &fn
+#if PSA_OBS_ENABLED
+                                            ,
+                                            &caller_ctx
+#endif
+  ] {
+#if PSA_OBS_ENABLED
+    const obs::TraceContextScope ctx_scope(caller_ctx);
+#endif
     for (;;) {
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= plan.n_chunks) return;

@@ -9,7 +9,9 @@
 
 #include "common/parallel.hpp"
 #include "layout/floorplan.hpp"
+#include "obs/events.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace psa::fleet {
 namespace {
@@ -109,6 +111,7 @@ void ChipSession::enroll() {
 }
 
 void ChipSession::tick(std::size_t tick) {
+  const auto flight_t0 = std::chrono::steady_clock::now();
   if (spec_.tick_hook) spec_.tick_hook(tick);
 
   if (spec_.fault_at != 0) {
@@ -156,6 +159,27 @@ void ChipSession::tick(std::size_t tick) {
   z_gauge_.set(d.score);
   alarmed_gauge_.set(alarm ? 1.0 : 0.0);
   if (z_history_.size() < z_history_limit_) z_history_.push_back(d.score);
+
+  if (!flight_ring_.empty()) {
+    // Overwrite the oldest slot in place — the record's per-slot vectors
+    // were sized by the engine, so steady state allocates nothing.
+    FlightRecord& rec = flight_ring_[flight_next_];
+    flight_next_ = (flight_next_ + 1) % flight_ring_.size();
+    if (flight_count_ < flight_ring_.size()) ++flight_count_;
+    rec.tick = tick;
+    rec.z = d.score;
+    rec.detected = d.detected;
+    rec.alarmed = alarm;
+    rec.dur_us = elapsed_us(flight_t0);
+    const obs::TraceContext ctx = obs::current_trace_context();
+    rec.trace_hi = ctx.trace_hi;
+    rec.trace_lo = ctx.trace_lo;
+    rec.span_id = ctx.span_id;
+    for (std::size_t i = 0; i < streaming_.size(); ++i) {
+      rec.slot_z[i] = streaming_[i]->last_z;
+      rec.slot_detected[i] = streaming_[i]->latched;
+    }
+  }
 }
 
 void ChipSession::mark_quarantined(QuarantineCause cause,
@@ -175,6 +199,82 @@ std::string ChipSession::quarantine_detail() const {
   return quarantine_detail_;
 }
 
+bool ChipSession::has_blackbox() const {
+  std::lock_guard<std::mutex> lock(blackbox_mu_);
+  return !blackbox_json_.empty();
+}
+
+std::string ChipSession::blackbox_json() const {
+  std::lock_guard<std::mutex> lock(blackbox_mu_);
+  return blackbox_json_;
+}
+
+std::string ChipSession::take_fresh_blackbox() {
+  std::lock_guard<std::mutex> lock(blackbox_mu_);
+  if (!blackbox_fresh_) return std::string();
+  blackbox_fresh_ = false;
+  return blackbox_json_;
+}
+
+void ChipSession::freeze_blackbox(const char* reason,
+                                  const std::string& detector,
+                                  std::size_t trigger_tick) {
+  // One field per line, deliberately: wall-clock values live only on lines
+  // whose key ends `_us"`, trace ids only on `"trace_id"`/`"span_id"`
+  // lines, so the determinism test (and any forensic diff) can filter the
+  // non-reproducible lines and compare the rest byte-for-byte.
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n";
+  os << " \"chip\": " << index_ << ",\n";
+  os << " \"label\": \"" << spec_.label << "\",\n";
+  os << " \"cohort\": " << spec_.cohort << ",\n";
+  os << " \"trojan\": \"" << trojan_flag(spec_.trojan) << "\",\n";
+  os << " \"seed\": " << base_seed_ << ",\n";
+  os << " \"reason\": \"" << reason << "\",\n";
+  os << " \"detector\": \"" << detector << "\",\n";
+  os << " \"trigger_tick\": " << trigger_tick << ",\n";
+  os << " \"alarms\": " << alarms() << ",\n";
+  os << " \"mttd_ticks\": " << mttd_ticks() << ",\n";
+  os << " \"quarantine_cause\": \"" << quarantine_cause_name(quarantine_cause())
+     << "\",\n";
+  os << " \"frozen_at_us\": " << obs::now_us() << ",\n";
+  os << " \"window\": [\n";
+  for (std::size_t i = 0; i < flight_count_; ++i) {
+    const std::size_t idx =
+        (flight_next_ + flight_ring_.size() - flight_count_ + i) %
+        flight_ring_.size();
+    const FlightRecord& rec = flight_ring_[idx];
+    os << "  {\n";
+    os << "   \"tick\": " << rec.tick << ",\n";
+    os << "   \"z\": " << rec.z << ",\n";
+    os << "   \"detected\": " << (rec.detected ? "true" : "false") << ",\n";
+    os << "   \"alarmed\": " << (rec.alarmed ? "true" : "false") << ",\n";
+    if (rec.trace_hi != 0 || rec.trace_lo != 0) {
+      os << "   \"trace_id\": \""
+         << obs::trace_id_hex(obs::TraceContext{rec.trace_hi, rec.trace_lo,
+                                                rec.span_id})
+         << "\",\n";
+      os << "   \"span_id\": \"" << obs::span_id_hex(rec.span_id) << "\",\n";
+    }
+    os << "   \"detectors\": {";
+    for (std::size_t k = 0; k < streaming_.size(); ++k) {
+      if (k) os << ", ";
+      os << "\"" << streaming_[k]->name << "\": {\"z\": " << rec.slot_z[k]
+         << ", \"detected\": " << (rec.slot_detected[k] ? "true" : "false")
+         << "}";
+    }
+    os << "},\n";
+    os << "   \"dur_us\": " << rec.dur_us << "\n";
+    os << "  }" << (i + 1 < flight_count_ ? "," : "") << "\n";
+  }
+  os << " ]\n";
+  os << "}\n";
+  std::lock_guard<std::mutex> lock(blackbox_mu_);
+  blackbox_json_ = os.str();
+  blackbox_fresh_ = true;
+}
+
 // ---------------------------------------------------------------------------
 // FleetEngine
 
@@ -191,6 +291,13 @@ FleetEngine::FleetEngine(std::vector<ChipSpec> specs, FleetConfig cfg)
     if (s.spec_.label.empty()) s.spec_.label = "chip" + std::to_string(k);
     s.z_history_limit_ = cfg_.z_history_limit;
     s.z_history_.reserve(cfg_.z_history_limit);
+    // Preallocate the flight ring (including each record's per-detector
+    // vectors) so the worker-side append never allocates.
+    s.flight_ring_.resize(cfg_.blackbox_window);
+    for (auto& rec : s.flight_ring_) {
+      rec.slot_z.assign(s.streaming_.size(), 0.0);
+      rec.slot_detected.assign(s.streaming_.size(), false);
+    }
   }
 
   // Wire the cohort caches: the first session of each cohort owns the
@@ -299,6 +406,17 @@ void FleetEngine::publish_pending() {
                  {"trojan", trojan_flag(s.spec_.trojan)},
                  {"z", s.last_z()},
                  {"mttd_ticks", s.mttd_ticks()}});
+      if (!s.flight_ring_.empty()) {
+        // The alarm edge happened inside the batch that just joined; the
+        // newest ring record is the alarming tick.
+        const std::size_t t =
+            s.flight_count_ > 0
+                ? s.flight_ring_[(s.flight_next_ + s.flight_ring_.size() - 1) %
+                                 s.flight_ring_.size()]
+                      .tick
+                : 0;
+        s.freeze_blackbox("alarm", "zscore", t);
+      }
     }
     for (auto& slot : s.streaming_) {
       if (!slot->pending) continue;
@@ -310,6 +428,9 @@ void FleetEngine::publish_pending() {
                  {"trojan", trojan_flag(s.spec_.trojan)},
                  {"z", slot->last_z},
                  {"tick", slot->pending_tick}});
+      if (!s.flight_ring_.empty()) {
+        s.freeze_blackbox("alarm", slot->name, slot->pending_tick);
+      }
     }
     if (s.quarantine_pending_) {
       s.quarantine_pending_ = false;
@@ -321,6 +442,11 @@ void FleetEngine::publish_pending() {
                  {"cause", quarantine_cause_name(s.quarantine_cause())},
                  {"detail", s.quarantine_detail()},
                  {"tick", tick_index_.load(std::memory_order_relaxed)}});
+      if (!s.flight_ring_.empty()) {
+        s.freeze_blackbox("quarantined",
+                          quarantine_cause_name(s.quarantine_cause()),
+                          tick_index_.load(std::memory_order_relaxed));
+      }
     }
     if (!s.quarantined()) ++healthy;
   }
@@ -454,7 +580,8 @@ std::string FleetEngine::healthz_json() const {
      << ",\"alarms\":" << r.alarms << ",\"ticks\":" << r.ticks
      << ",\"last_tick_us\":" << r.last_tick_us
      << ",\"chips_per_s\":" << r.chips_per_s
-     << ",\"mean_mttd_ticks\":" << r.mean_mttd_ticks << "}";
+     << ",\"mean_mttd_ticks\":" << r.mean_mttd_ticks
+     << ",\"events_dropped\":" << obs::EventLog::global().dropped() << "}";
   return os.str();
 }
 
@@ -470,7 +597,8 @@ std::string FleetEngine::chips_json() const {
        << ",\"z\":" << s.last_z() << ",\"alarms\":" << s.alarms()
        << ",\"mttd_ticks\":" << s.mttd_ticks() << ",\"quarantined\":"
        << (s.quarantined() ? "true" : "false") << ",\"cause\":\""
-       << quarantine_cause_name(s.quarantine_cause()) << "\"}";
+       << quarantine_cause_name(s.quarantine_cause()) << "\",\"blackbox\":"
+       << (s.has_blackbox() ? "true" : "false") << "}";
   }
   os << "]";
   return os.str();

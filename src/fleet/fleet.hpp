@@ -127,6 +127,15 @@ struct FleetConfig {
 
   /// Verdict (z-score) history retained per session for tests/benches.
   std::size_t z_history_limit = 512;
+
+  /// Flight-recorder window: per-session ring of the most recent per-tick
+  /// records (z, verdicts, per-detector scores, tick duration, trace ids)
+  /// frozen into an immutable JSON "blackbox" bundle when the session
+  /// alarms or is quarantined. 0 disables the recorder entirely (no ring,
+  /// no per-tick bookkeeping). Sizing: one record is ~(4 + #detectors)
+  /// doubles plus three ids, so the default 64-deep ring costs well under
+  /// 4 KiB per chip — cheap enough to leave on for 4096-chip fleets.
+  std::size_t blackbox_window = 64;
 };
 
 enum class QuarantineCause : int { kNone = 0, kException = 1, kDeadline = 2 };
@@ -193,10 +202,44 @@ class ChipSession {
   /// meaningful once the run that produced it has joined.
   const std::vector<double>& z_history() const { return z_history_; }
 
+  /// One flight-recorder frame: everything the monitor knew about this
+  /// session at one tick. Appended worker-side into a fixed ring (latest
+  /// FleetConfig::blackbox_window ticks); read only from the engine's
+  /// serial publish pass when a blackbox is frozen.
+  struct FlightRecord {
+    std::size_t tick = 0;
+    double z = 0.0;          // legacy z-score path
+    bool detected = false;   // instantaneous verdict
+    bool alarmed = false;    // debounced alarm latch after this tick
+    double dur_us = 0.0;     // wall time of the tick on its worker
+    // The trace the tick executed under (zero when no context was active —
+    // e.g. obs disabled or a bare run_ticks with no enclosing span).
+    std::uint64_t trace_hi = 0, trace_lo = 0, span_id = 0;
+    std::vector<double> slot_z;        // parallel to streaming()
+    std::vector<bool> slot_detected;   // parallel to streaming()
+  };
+
+  /// True once an alarm/quarantine froze a blackbox bundle.
+  bool has_blackbox() const;
+  /// The frozen bundle ("" when none). Immutable once frozen except that a
+  /// later alarm on the same session re-freezes with the newer window.
+  std::string blackbox_json() const;
+  /// Drain-once accessor for psa_monitord's PSA_BLACKBOX_DIR dump: returns
+  /// the bundle if one was frozen since the last take, else "".
+  std::string take_fresh_blackbox();
+
  private:
   friend class FleetEngine;
 
   void mark_quarantined(QuarantineCause cause, const std::string& detail);
+
+  /// Render the flight ring + session state into the blackbox slot. Called
+  /// serially from the engine's publish pass (the fork/join barrier makes
+  /// the worker-written ring safe to read). Deterministic except for
+  /// wall-clock fields, which are confined to lines whose key ends "_us"
+  /// and the trace/span id lines (absent when no trace was active).
+  void freeze_blackbox(const char* reason, const std::string& detector,
+                       std::size_t trigger_tick);
 
   ChipSpec spec_;
   std::size_t index_;
@@ -227,6 +270,16 @@ class ChipSession {
   bool quarantine_pending_ = false;
   std::size_t deadline_strikes_ = 0;
   std::vector<double> z_history_;
+
+  // Flight recorder: preallocated ring (engine sizes it; empty = disabled).
+  // Worker-written during tick(), engine-read serially at freeze.
+  std::vector<FlightRecord> flight_ring_;
+  std::size_t flight_next_ = 0;   // next write slot
+  std::size_t flight_count_ = 0;  // valid records, <= ring size
+
+  mutable std::mutex blackbox_mu_;
+  std::string blackbox_json_;
+  bool blackbox_fresh_ = false;
 
   obs::Gauge z_gauge_;
   obs::Gauge alarmed_gauge_;

@@ -18,6 +18,41 @@ void install_fleet_endpoints(net::HttpServer& server,
     resp.body += "\n";
     return resp;
   });
+  server.handle_prefix(
+      "/fleet/chips/", [engine](const net::HttpRequest& req) {
+        net::HttpResponse resp;
+        // Path shape: /fleet/chips/<k>/blackbox
+        const std::string rest = req.path.substr(13);  // after the prefix
+        const std::size_t slash = rest.find('/');
+        std::size_t chip = 0;
+        bool numeric = slash != std::string::npos && slash > 0;
+        for (std::size_t i = 0; numeric && i < slash; ++i) {
+          const char c = rest[i];
+          if (c < '0' || c > '9') {
+            numeric = false;
+            break;
+          }
+          chip = chip * 10 + static_cast<std::size_t>(c - '0');
+        }
+        if (!numeric || rest.substr(slash) != "/blackbox" ||
+            chip >= engine->size()) {
+          resp.status = 404;
+          resp.content_type = "text/plain";
+          resp.body = "not found\n";
+          return resp;
+        }
+        const std::string bundle = engine->session(chip).blackbox_json();
+        if (bundle.empty()) {
+          resp.status = 404;
+          resp.content_type = "application/json";
+          resp.body = "{\"error\":\"no blackbox frozen for chip " +
+                      std::to_string(chip) + "\"}\n";
+          return resp;
+        }
+        resp.content_type = "application/json";
+        resp.body = bundle;
+        return resp;
+      });
 }
 
 }  // namespace psa::fleet

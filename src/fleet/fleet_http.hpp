@@ -8,12 +8,22 @@
 //
 //   GET /fleet/healthz   rollup JSON — sessions/healthy/quarantined counts,
 //                        alarm totals, chips/sec of the latest batched tick,
-//                        mean MTTD in ticks
+//                        mean MTTD in ticks, events_dropped (global EventLog
+//                        ring overwrites — nonzero means /events consumers
+//                        may have gaps and should be alerted)
 //   GET /fleet/chips     JSON array of per-chip state (label, cohort,
-//                        trojan, last z, alarms, quarantine cause)
+//                        trojan, last z, alarms, quarantine cause, whether
+//                        a blackbox bundle is frozen)
+//   GET /fleet/chips/<k>/blackbox
+//                        the chip's frozen flight-recorder bundle: the last
+//                        blackbox_window ticks of z-scores, verdicts,
+//                        per-detector scores and trace ids leading up to the
+//                        alarm/quarantine that froze it. 404 until a freeze
+//                        happens (or for an out-of-range chip).
 //
-// Handlers read only the sessions' published atomics, so scraping while a
-// tick is in flight is safe and never blocks the scheduler.
+// Handlers read only the sessions' published atomics and the mutex-guarded
+// frozen bundle, so scraping while a tick is in flight is safe and never
+// blocks the scheduler.
 #pragma once
 
 #include "fleet/fleet.hpp"

@@ -16,8 +16,10 @@
 #include <utility>
 
 #include "obs/events.hpp"
+#include "obs/obs.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 
 namespace psa::net {
 namespace {
@@ -195,6 +197,14 @@ void HttpServer::handle(std::string path, HttpHandler handler) {
 
 void HttpServer::handle_post(std::string path, HttpHandler handler) {
   post_handlers_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::handle_prefix(std::string prefix, HttpHandler handler) {
+  prefix_handlers_.emplace_back(std::move(prefix), std::move(handler));
+  std::stable_sort(prefix_handlers_.begin(), prefix_handlers_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.size() > b.first.size();
+                   });
 }
 
 bool HttpServer::start() { return start(Options()); }
@@ -397,19 +407,44 @@ void HttpServer::serve_connection(int fd) {
     pos = eol + 2;
   }
 
+  // Every request runs under a trace context: adopt the client's W3C
+  // traceparent when present (so our spans join their trace), mint a fresh
+  // one otherwise. Resolved as soon as the header block is parsed so even
+  // routed error responses (404/405, body errors) echo X-PSA-Trace-Id —
+  // the id is part of the response protocol, not gated on obs::enabled().
+  obs::TraceContext ctx;
+  if (!obs::parse_traceparent(req.header("traceparent"), &ctx)) {
+    ctx = obs::make_trace_context();
+  }
+  const auto send_error = [&](int status, std::string msg) {
+    HttpResponse r = text_response(status, std::move(msg));
+    r.extra_headers.emplace_back("X-PSA-Trace-Id", obs::trace_id_hex(ctx));
+    send_response(fd, r);
+  };
+
   // Route before reading any body: a POST to a GET-only (or unknown) path
-  // answers 405/404 without demanding a Content-Length first.
+  // answers 405/404 without demanding a Content-Length first. GET/HEAD
+  // falls back to the longest matching prefix route after the exact map.
   const auto& table = method == "POST" ? post_handlers_ : handlers_;
   const auto route = table.find(req.path);
-  if (route == table.end()) {
+  const HttpHandler* handler =
+      route != table.end() ? &route->second : nullptr;
+  if (handler == nullptr && method != "POST") {
+    for (const auto& [prefix, h] : prefix_handlers_) {
+      if (req.path.rfind(prefix, 0) == 0) {
+        handler = &h;
+        break;
+      }
+    }
+  }
+  if (handler == nullptr) {
     const auto& other = method == "POST" ? handlers_ : post_handlers_;
     if (other.count(req.path) != 0) {
-      send_response(fd, text_response(405, "method not allowed on this "
-                                           "endpoint\n"));
+      send_error(405, "method not allowed on this endpoint\n");
     } else {
-      send_response(fd, text_response(404,
-                                      "no such endpoint; try /metrics "
-                                      "/healthz /events /timeseries\n"));
+      send_error(404,
+                 "no such endpoint; try /metrics "
+                 "/healthz /events /timeseries\n");
     }
     return;
   }
@@ -417,7 +452,7 @@ void HttpServer::serve_connection(int fd) {
   if (method == "POST") {
     const auto it = req.headers.find("content-length");
     if (it == req.headers.end()) {
-      send_response(fd, text_response(411, "POST requires Content-Length\n"));
+      send_error(411, "POST requires Content-Length\n");
       return;
     }
     const char* text = it->second.c_str();
@@ -426,11 +461,11 @@ void HttpServer::serve_connection(int fd) {
     const unsigned long long length = std::strtoull(text, &end, 10);
     if (end == text || *end != '\0' || errno == ERANGE ||
         it->second.find('-') != std::string::npos) {
-      send_response(fd, text_response(400, "bad Content-Length\n"));
+      send_error(400, "bad Content-Length\n");
       return;
     }
     if (length > options_.max_body_bytes) {
-      send_response(fd, text_response(413, "body too large\n"));
+      send_error(413, "body too large\n");
       return;
     }
     req.body = raw.substr(header_end + 4);
@@ -439,7 +474,7 @@ void HttpServer::serve_connection(int fd) {
       const ssize_t n = recv_until(fd, buf, sizeof buf, deadline);
       if (n == 0) return;  // truncated body: close, no response to trust
       if (n == -1) {
-        send_response(fd, text_response(408, "timed out reading body\n"));
+        send_error(408, "timed out reading body\n");
         return;
       }
       if (n < 0) return;
@@ -448,13 +483,22 @@ void HttpServer::serve_connection(int fd) {
     }
   }
 
+  // The handler runs under the adopted context; the http.request span only
+  // records when obs::enabled().
   HttpResponse resp;
-  try {
-    resp = route->second(req);
-  } catch (const std::exception& e) {
-    resp = text_response(500, std::string("handler error: ") + e.what() +
-                                  "\n");
+  {
+    const obs::TraceContextScope ctx_scope(ctx);
+    obs::Span span("http.request", {{"method", req.method.c_str()},
+                                    {"path", req.path.c_str()}});
+    try {
+      resp = (*handler)(req);
+    } catch (const std::exception& e) {
+      resp = text_response(500, std::string("handler error: ") + e.what() +
+                                    "\n");
+    }
+    span.add_arg({"status", resp.status});
   }
+  resp.extra_headers.emplace_back("X-PSA-Trace-Id", obs::trace_id_hex(ctx));
   if (method == "HEAD") resp.body.clear();
   send_response(fd, resp);
 }
@@ -475,7 +519,8 @@ void install_telemetry_endpoints(
     os << "{\"status\":\"ok\",\"uptime_us\":" << obs::now_us();
     if (events) {
       os << ",\"events\":" << events->size()
-         << ",\"last_seq\":" << events->last_seq();
+         << ",\"last_seq\":" << events->last_seq()
+         << ",\"events_dropped\":" << events->dropped();
     }
     if (health_fields) {
       const std::string extra = health_fields();
@@ -499,6 +544,12 @@ void install_telemetry_endpoints(
       max_events = std::strtoul(it->second.c_str(), nullptr, 10);
     }
     std::ostringstream os;
+    // Leading meta line: lets a polling client detect that the ring wrapped
+    // past its cursor (gap iff since + 1 < oldest_seq) instead of silently
+    // resuming with holes. Event lines follow, one JSON object each.
+    os << "{\"meta\":\"events\",\"oldest_seq\":" << events->oldest_seq()
+       << ",\"last_seq\":" << events->last_seq()
+       << ",\"dropped\":" << events->dropped() << "}\n";
     for (const obs::Event& ev : events->since(since, max_events)) {
       ev.write_json(os);
       os << "\n";

@@ -29,8 +29,17 @@
 //   GET /metrics             Prometheus text format (registry snapshot)
 //   GET /healthz             JSON liveness + caller-supplied status fields
 //   GET /events?since=N      structured event log as JSON lines (seq > N;
-//                            &max=M caps the batch, default 1000)
+//                            &max=M caps the batch, default 1000). The first
+//                            line is a meta object carrying oldest_seq /
+//                            last_seq / dropped so a client can tell a
+//                            wrapped ring (stale cursor) from an empty one.
 //   GET /timeseries          the sampler's ring buffers as JSON
+//
+// Causal tracing: every request gets a TraceContext — adopted from a W3C
+// `traceparent` header when the client sent one, freshly minted otherwise —
+// installed for the handler's scope (so spans it opens join the request's
+// trace) and echoed on every response as `X-PSA-Trace-Id`. The id plumbing
+// is always on; span *recording* still requires obs::enabled().
 //
 // (serving.hpp adds POST /scan and POST /trace on top of this layer.)
 //
@@ -115,6 +124,13 @@ class HttpServer {
   /// and a POST handler; a method without a handler answers 405.
   void handle_post(std::string path, HttpHandler handler);
 
+  /// Register a GET/HEAD handler for every path starting with `prefix`
+  /// (e.g. "/fleet/chips/" serves "/fleet/chips/7/blackbox"). Exact-path
+  /// routes win over prefixes; longer prefixes win over shorter ones. The
+  /// handler sees the full decoded path and parses its own tail. Must be
+  /// called before start().
+  void handle_prefix(std::string prefix, HttpHandler handler);
+
   /// Bind + listen + launch the accept thread and connection workers.
   /// Returns false (with the server stopped) when the socket cannot be
   /// bound.
@@ -135,6 +151,8 @@ class HttpServer {
 
   std::map<std::string, HttpHandler> handlers_;       // GET/HEAD routes
   std::map<std::string, HttpHandler> post_handlers_;  // POST routes
+  // GET/HEAD prefix routes, longest prefix first (checked after exact).
+  std::vector<std::pair<std::string, HttpHandler>> prefix_handlers_;
   Options options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -279,32 +279,55 @@ ServingQueue::~ServingQueue() {
 
 std::optional<ServingQueue::Ticket> ServingQueue::submit(
     const std::string& key, Job job) {
-  std::lock_guard<std::mutex> lock(mu_);
-  submitted_.add(1);
-  if (!running_) {
-    shed_.add(1);
-    return std::nullopt;
-  }
-  if (config_.coalesce && !key.empty()) {
-    const auto it = pending_.find(key);
-    if (it != pending_.end()) {
-      coalesced_.add(1);
-      return Ticket{it->second->future, /*coalesced=*/true};
+  // The submitter's trace context travels with the group; a submitter with
+  // no context (direct queue use in tests/benches) still gets a fresh one
+  // so every execution is attributable.
+  obs::TraceContext ctx = obs::current_trace_context();
+  if (!ctx.valid()) ctx = obs::make_trace_context();
+
+  std::optional<Ticket> ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    submitted_.add(1);
+    if (!running_) {
+      shed_.add(1);
+      return std::nullopt;
+    }
+    if (config_.coalesce && !key.empty()) {
+      const auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        coalesced_.add(1);
+        ticket = Ticket{it->second->future, /*coalesced=*/true,
+                        it->second->ctx};
+      }
+    }
+    if (!ticket) {
+      if (queue_.size() >= config_.queue_depth) {
+        shed_.add(1);
+        return std::nullopt;
+      }
+      auto group = std::make_shared<Group>();
+      group->key = key;
+      group->job = std::move(job);
+      group->future = group->promise.get_future().share();
+      group->ctx = ctx;
+      queue_.push_back(group);
+      if (config_.coalesce && !key.empty()) pending_[key] = group;
+      depth_.set(static_cast<double>(queue_.size()));
+      cv_.notify_one();
+      ticket = Ticket{group->future, /*coalesced=*/false, ctx};
     }
   }
-  if (queue_.size() >= config_.queue_depth) {
-    shed_.add(1);
-    return std::nullopt;
+  if (ticket->coalesced) {
+    // This submitter's trace didn't execute anything — leave a link-span
+    // pointing at the trace that is doing the work, so the two traces
+    // cross-reference in the exporter (flow arrow) and in ?trace=1 output.
+    obs::Span link_span("serving.coalesced.link",
+                        {{"exec_trace_id",
+                          obs::trace_id_hex(ticket->exec_ctx)}});
+    link_span.link(ticket->exec_ctx);
   }
-  auto group = std::make_shared<Group>();
-  group->key = key;
-  group->job = std::move(job);
-  group->future = group->promise.get_future().share();
-  queue_.push_back(group);
-  if (config_.coalesce && !key.empty()) pending_[key] = group;
-  depth_.set(static_cast<double>(queue_.size()));
-  cv_.notify_one();
-  return Ticket{group->future, /*coalesced=*/false};
+  return ticket;
 }
 
 std::size_t ServingQueue::depth() const {
@@ -337,12 +360,20 @@ void ServingQueue::executor_loop() {
       depth_.set(static_cast<double>(queue_.size()));
     }
     ServingResult result;
-    try {
-      result = group->job();
-    } catch (const std::exception& e) {
-      result = ServingResult{500, "application/json",
-                             "{\"error\":\"" + std::string(e.what()) +
-                                 "\"}\n"};
+    {
+      // Run under the submitter's context: the serving.execute span (and
+      // everything the job opens below it, down to parallel.chunk) joins
+      // the submitting request's trace. The span closes before the promise
+      // is fulfilled, so a waiter collecting ?trace=1 sees a complete tree.
+      const obs::TraceContextScope ctx_scope(group->ctx);
+      obs::Span span("serving.execute", {{"key", group->key}});
+      try {
+        result = group->job();
+      } catch (const std::exception& e) {
+        result = ServingResult{500, "application/json",
+                               "{\"error\":\"" + std::string(e.what()) +
+                                   "\"}\n"};
+      }
     }
     executed_.add(1);
     {
@@ -600,6 +631,11 @@ HttpResponse ScanService::handle_scan(const HttpRequest& req) {
       body += ens.detected ? "true" : "false";
       body += ",\"top_detector\":\"" + ens.top_detector + "\"}";
     }
+    // The trace this verdict was computed under (the executor installed it
+    // before running this job) — coalesced waiters all see the one
+    // executing trace here.
+    body += ",\"trace_id\":\"" +
+            obs::trace_id_hex(obs::current_trace_context()) + "\"";
     body += "}\n";
     return ServingResult{200, "application/json", std::move(body)};
   };
@@ -607,8 +643,25 @@ HttpResponse ScanService::handle_scan(const HttpRequest& req) {
   const double t0 = obs::now_us();
   const auto ticket = queue_.submit(key, std::move(job));
   if (!ticket) return shed_response();
-  const ServingResult result = ticket->result.get();
-  scan_latency_us_.record(obs::now_us() - t0);
+  ServingResult result = ticket->result.get();
+  const double latency_us = obs::now_us() - t0;
+  scan_latency_us_.record(latency_us);
+  scan_latency_us_.note_exemplar(latency_us,
+                                 obs::trace_id_hex(ticket->exec_ctx));
+
+  // ?trace=1: splice the completed span tree of the executing trace into
+  // the verdict (the serving.execute root closed before the future was
+  // fulfilled, so the tree is final by the time we render it).
+  if (const auto it = req.query.find("trace");
+      it != req.query.end() && it->second != "0" && result.status == 200) {
+    std::ostringstream tree;
+    obs::TraceRecorder::global().write_trace_tree_json(
+        ticket->exec_ctx.trace_hi, ticket->exec_ctx.trace_lo, tree);
+    const std::size_t brace = result.body.rfind('}');
+    if (brace != std::string::npos) {
+      result.body.insert(brace, ",\"trace\":" + tree.str());
+    }
+  }
 
   HttpResponse resp{result.status, result.content_type, result.body, {},
                     /*chunked=*/false};
@@ -692,7 +745,10 @@ HttpResponse ScanService::handle_trace(const HttpRequest& req) {
     body += ",\"peak_is_novel\":";
     body += det.peak_is_novel ? "true" : "false";
     body += ",\"anomalous_bins\":" +
-            std::to_string(det.anomalous_bins.size()) + "}\n";
+            std::to_string(det.anomalous_bins.size());
+    body += ",\"trace_id\":\"" +
+            obs::trace_id_hex(obs::current_trace_context()) + "\"";
+    body += "}\n";
     return ServingResult{200, "application/json", std::move(body)};
   };
 
@@ -700,7 +756,10 @@ HttpResponse ScanService::handle_trace(const HttpRequest& req) {
   const auto ticket = queue_.submit("", std::move(job));
   if (!ticket) return shed_response();
   const ServingResult result = ticket->result.get();
-  trace_latency_us_.record(obs::now_us() - t0);
+  const double latency_us = obs::now_us() - t0;
+  trace_latency_us_.record(latency_us);
+  trace_latency_us_.note_exemplar(latency_us,
+                                  obs::trace_id_hex(ticket->exec_ctx));
 
   return HttpResponse{result.status, result.content_type, result.body, {},
                       /*chunked=*/false};

@@ -53,6 +53,7 @@
 #include "analysis/pipeline.hpp"
 #include "net/http_exposition.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/chip_simulator.hpp"
 
 namespace psa::net {
@@ -92,6 +93,12 @@ class ServingQueue {
     std::shared_future<ServingResult> result;
     /// True when this submission attached to an already-pending group.
     bool coalesced = false;
+    /// The trace context the job executes under: the group creator's
+    /// request context (or a fresh one when the creator had none). A
+    /// coalesced submitter sees the *winning* group's context here — the
+    /// trace that actually did the work — and its own trace gets a
+    /// link-span pointing at it.
+    obs::TraceContext exec_ctx;
   };
 
   explicit ServingQueue(const ServingConfig& config = {});
@@ -126,6 +133,10 @@ class ServingQueue {
     Job job;
     std::promise<ServingResult> promise;
     std::shared_future<ServingResult> future;
+    /// Captured at submit on the creator's thread; the executor installs
+    /// it before running job(), so spans the job opens (pipeline scans,
+    /// parallel.chunk fan-out) land in the submitting request's trace.
+    obs::TraceContext ctx;
   };
 
   void executor_loop();

@@ -123,6 +123,11 @@ std::uint64_t EventLog::last_seq() const {
   return next_seq_ - 1;
 }
 
+std::uint64_t EventLog::oldest_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? ring_[first_].seq : 0;
+}
+
 std::size_t EventLog::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return count_;

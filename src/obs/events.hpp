@@ -82,6 +82,9 @@ class EventLog {
 
   /// Sequence number of the newest event (0 before the first emit).
   std::uint64_t last_seq() const;
+  /// Sequence number of the oldest event still in the ring (0 when empty).
+  /// A consumer resuming from cursor C has a gap iff C + 1 < oldest_seq().
+  std::uint64_t oldest_seq() const;
   /// Events currently held in the ring.
   std::size_t size() const;
   /// Events overwritten because the ring was full.

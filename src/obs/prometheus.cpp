@@ -78,15 +78,35 @@ void render_prometheus(const MetricsSnapshot& snap, std::ostream& os) {
   for (const auto& [name, h] : snap.histograms) {
     const std::string fam = prometheus_name(name);
     write_family_header(os, fam, name, "histogram");
+    // At most one exemplar per bucket line (OpenMetrics rule): the newest
+    // exemplar whose value lands in that bucket. bucket index = first bound
+    // >= value, bounds.size() for the +Inf overflow.
+    const auto bucket_of = [&](double v) {
+      std::size_t i = 0;
+      while (i < h.bounds.size() && v > h.bounds[i]) ++i;
+      return i;
+    };
+    std::vector<const Histogram::Exemplar*> per_bucket(h.bounds.size() + 1,
+                                                       nullptr);
+    for (const Histogram::Exemplar& ex : h.exemplars) {
+      per_bucket[bucket_of(ex.value)] = &ex;  // later wins (ring is ordered)
+    }
+    const auto exemplar_suffix = [&](std::size_t bucket) {
+      const Histogram::Exemplar* ex = per_bucket[bucket];
+      if (ex == nullptr) return std::string();
+      return " # {trace_id=\"" + prometheus_label_escape(ex->trace_id) +
+             "\"} " + prometheus_number(ex->value);
+    };
     // The registry stores per-bucket counts; Prometheus buckets are
     // cumulative ("values <= le"), so accumulate while emitting.
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       cum += i < h.buckets.size() ? h.buckets[i] : 0;
       os << fam << "_bucket{le=\"" << prometheus_number(h.bounds[i])
-         << "\"} " << cum << "\n";
+         << "\"} " << cum << exemplar_suffix(i) << "\n";
     }
-    os << fam << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << fam << "_bucket{le=\"+Inf\"} " << h.count
+       << exemplar_suffix(h.bounds.size()) << "\n";
     os << fam << "_sum " << prometheus_number(h.sum) << "\n";
     os << fam << "_count " << h.count << "\n";
   }

@@ -112,20 +112,32 @@ void Histogram::record(double v) {
   s.buckets[b].fetch_add(1, std::memory_order_relaxed);
 }
 
+void Histogram::note_exemplar(double value, std::string trace_id) {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_.size() >= kMaxExemplars) {
+    exemplars_.erase(exemplars_.begin());
+  }
+  exemplars_.push_back(Exemplar{value, std::move(trace_id), now_us()});
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot out;
   out.bounds = bounds_;
   out.buckets.assign(bounds_.size() + 1, 0);
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const Shard& s : shards_) {
-    out.count += s.count.load(std::memory_order_relaxed);
-    out.sum += s.sum.load(std::memory_order_relaxed);
-    out.min = std::min(out.min, s.min.load(std::memory_order_relaxed));
-    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
-    for (std::size_t i = 0; i < out.buckets.size(); ++i) {
-      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Shard& s : shards_) {
+      out.count += s.count.load(std::memory_order_relaxed);
+      out.sum += s.sum.load(std::memory_order_relaxed);
+      out.min = std::min(out.min, s.min.load(std::memory_order_relaxed));
+      out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+      for (std::size_t i = 0; i < out.buckets.size(); ++i) {
+        out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+      }
     }
   }
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  out.exemplars = exemplars_;
   return out;
 }
 
@@ -140,6 +152,8 @@ void Histogram::reset() {
                 std::memory_order_relaxed);
     for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
   }
+  std::lock_guard<std::mutex> ex_lock(exemplar_mu_);
+  exemplars_.clear();
 }
 
 double Histogram::Snapshot::quantile(double q) const {

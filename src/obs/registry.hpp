@@ -102,6 +102,21 @@ class Histogram {
 
   void record(double v);
 
+  /// A recent recorded value tagged with the trace it came from, rendered
+  /// in OpenMetrics exemplar syntax on /metrics ("# {trace_id=...} v").
+  struct Exemplar {
+    double value = 0.0;
+    std::string trace_id;  // 32 hex chars
+    double ts_us = 0.0;    // obs::now_us() at note time
+  };
+  static constexpr std::size_t kMaxExemplars = 4;
+
+  /// Remember `value` + its trace id as an exemplar (ring of the last
+  /// kMaxExemplars). Cold path: one small mutex + a string copy — callers
+  /// invoke it once per *request*, not per sample. Does not affect bucket
+  /// counts; call record() separately.
+  void note_exemplar(double value, std::string trace_id);
+
   struct Snapshot {
     std::uint64_t count = 0;
     double sum = 0.0;
@@ -109,6 +124,7 @@ class Histogram {
     double max = -std::numeric_limits<double>::infinity();
     std::vector<double> bounds;          // upper edges
     std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow)
+    std::vector<Exemplar> exemplars;     // oldest first, <= kMaxExemplars
     double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
     /// Streaming quantile estimate, q in [0, 1].
     double quantile(double q) const;
@@ -135,6 +151,9 @@ class Histogram {
   const std::vector<double> bounds_;
   mutable std::mutex mu_;
   std::deque<Shard> shards_;
+
+  mutable std::mutex exemplar_mu_;
+  std::vector<Exemplar> exemplars_;  // ring, oldest first
 };
 
 /// 1-2-5 per decade upper edges for microsecond timings (1 µs … 50 s).

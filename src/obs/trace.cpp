@@ -1,10 +1,69 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
 #include <ostream>
 
 namespace psa::obs {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, and stateless — the id stream
+// is a counter pushed through this, so ids are unique per process without
+// any entropy source the sandbox might lack.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t id_seed() {
+  // Differentiates runs: wall clock at first use, salted with an address
+  // so two processes starting the same microsecond still diverge.
+  static const std::uint64_t seed = [] {
+    static int anchor = 0;
+    return mix64(static_cast<std::uint64_t>(now_us() * 1e3)) ^
+           mix64(reinterpret_cast<std::uintptr_t>(&anchor));
+  }();
+  return seed;
+}
+
+std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  const std::uint64_t id =
+      mix64(id_seed() ^ counter.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;  // 0 is the "no id" sentinel everywhere
+}
+
+TraceContext& tls_context() {
+  thread_local TraceContext t_ctx;
+  return t_ctx;
+}
+
+bool parse_hex(const char* s, std::size_t n, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = s[i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -29,6 +88,65 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+TraceContext make_trace_context() {
+  TraceContext ctx;
+  ctx.trace_hi = next_id();
+  ctx.trace_lo = next_id();
+  ctx.span_id = next_id();
+  return ctx;
+}
+
+std::uint64_t next_span_id() { return next_id(); }
+
+const TraceContext& current_trace_context() { return tls_context(); }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx)
+    : prev_(tls_context()) {
+  tls_context() = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { tls_context() = prev_; }
+
+bool parse_traceparent(const std::string& header, TraceContext* out) {
+  // 00-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx-xxxxxxxxxxxxxxxx-xx
+  if (header.size() != 55) return false;
+  const char* h = header.c_str();
+  if (h[2] != '-' || h[35] != '-' || h[52] != '-') return false;
+  std::uint64_t version = 0;
+  if (!parse_hex(h, 2, &version) || version == 0xff) return false;
+  TraceContext ctx;
+  std::uint64_t flags = 0;
+  if (!parse_hex(h + 3, 16, &ctx.trace_hi) ||
+      !parse_hex(h + 19, 16, &ctx.trace_lo) ||
+      !parse_hex(h + 36, 16, &ctx.span_id) ||
+      !parse_hex(h + 53, 2, &flags)) {
+    return false;
+  }
+  if (!ctx.valid() || ctx.span_id == 0) return false;
+  *out = ctx;
+  return true;
+}
+
+std::string format_traceparent(const TraceContext& ctx) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "00-%016" PRIx64 "%016" PRIx64 "-%016" PRIx64
+                "-01", ctx.trace_hi, ctx.trace_lo, ctx.span_id);
+  return buf;
+}
+
+std::string trace_id_hex(const TraceContext& ctx) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64 "%016" PRIx64, ctx.trace_hi,
+                ctx.trace_lo);
+  return buf;
+}
+
+std::string span_id_hex(std::uint64_t span_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, span_id);
+  return buf;
+}
+
 std::string TraceArg::render_number(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", v);
@@ -45,6 +163,47 @@ std::string TraceArg::render_number(std::int64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "%" PRId64, v);
   return buf;
+}
+
+Span::Span(const char* name, std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  active_ = true;
+  rec_.name = name;
+  rec_.args.assign(args.begin(), args.end());
+  TraceContext& cur = tls_context();
+  prev_ = cur;
+  if (cur.valid()) {
+    ctx_.trace_hi = cur.trace_hi;
+    ctx_.trace_lo = cur.trace_lo;
+    ctx_.span_id = next_span_id();
+    rec_.parent_span_id = cur.span_id;
+  } else {
+    ctx_ = make_trace_context();  // roots a fresh trace
+  }
+  rec_.trace_hi = ctx_.trace_hi;
+  rec_.trace_lo = ctx_.trace_lo;
+  rec_.span_id = ctx_.span_id;
+  cur = ctx_;
+  rec_.ts_us = now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  rec_.dur_us = now_us() - rec_.ts_us;
+  tls_context() = prev_;
+  TraceRecorder::global().record(std::move(rec_));
+}
+
+void Span::link(const TraceContext& target) {
+  if (!active_) return;
+  rec_.link_trace_hi = target.trace_hi;
+  rec_.link_trace_lo = target.trace_lo;
+  rec_.link_span_id = target.span_id;
+}
+
+void Span::add_arg(TraceArg arg) {
+  if (!active_) return;
+  rec_.args.push_back(std::move(arg));
 }
 
 TraceRecorder& TraceRecorder::global() {
@@ -94,6 +253,23 @@ std::vector<SpanRecord> TraceRecorder::snapshot() const {
   return out;
 }
 
+std::vector<SpanRecord> TraceRecorder::snapshot_trace(
+    std::uint64_t trace_hi, std::uint64_t trace_lo) const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    for (const SpanRecord& s : b->spans) {
+      if (s.trace_hi == trace_hi && s.trace_lo == trace_lo) out.push_back(s);
+    }
+  }
+  return out;
+}
+
 std::size_t TraceRecorder::span_count() const {
   std::vector<std::shared_ptr<ThreadBuf>> bufs;
   {
@@ -108,8 +284,55 @@ std::size_t TraceRecorder::span_count() const {
   return n;
 }
 
+namespace {
+
+void write_args_json(const std::vector<TraceArg>& args, std::ostream& os) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ", ";
+    const TraceArg& a = args[i];
+    os << "\"" << json_escape(a.key) << "\": ";
+    if (a.is_string) {
+      os << "\"" << json_escape(a.text) << "\"";
+    } else {
+      os << a.text;
+    }
+  }
+}
+
+// One flow-event pair: ph "s" anchored at the source slice's thread/time,
+// ph "f" (binding to the enclosing slice) at the sink. `id` ties the pair.
+void write_flow_pair(std::ostream& os, std::uint64_t id, std::uint32_t src_tid,
+                     double src_ts, std::uint32_t dst_tid, double dst_ts,
+                     const char* name) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                ",\n{\"ph\": \"s\", \"cat\": \"flow\", \"name\": \"%s\", "
+                "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"id\": %" PRIu64 "}",
+                name, src_tid, src_ts, id);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                ",\n{\"ph\": \"f\", \"bp\": \"e\", \"cat\": \"flow\", "
+                "\"name\": \"%s\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                "\"id\": %" PRIu64 "}",
+                name, dst_tid, dst_ts, id);
+  os << buf;
+}
+
+}  // namespace
+
 void TraceRecorder::write_chrome_json(std::ostream& os) const {
   const std::vector<SpanRecord> spans = snapshot();
+  // Where did each span run? Needed to draw flow arrows for parent→child
+  // edges that crossed threads and for explicit (coalescing) links.
+  struct Site {
+    std::uint32_t tid = 0;
+    double ts_us = 0.0;
+  };
+  std::map<std::uint64_t, Site> sites;
+  for (const SpanRecord& s : spans) {
+    if (s.span_id != 0) sites[s.span_id] = {s.tid, s.ts_us};
+  }
+
   os << "{\"traceEvents\": [";
   bool first = true;
   for (const SpanRecord& s : spans) {
@@ -121,23 +344,111 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
                   "\"ts\": %.3f, \"dur\": %.3f, ",
                   s.tid, s.ts_us, s.dur_us);
     os << head << "\"name\": \"" << json_escape(s.name) << "\"";
-    if (!s.args.empty()) {
-      os << ", \"args\": {";
-      for (std::size_t i = 0; i < s.args.size(); ++i) {
-        if (i > 0) os << ", ";
-        const TraceArg& a = s.args[i];
-        os << "\"" << json_escape(a.key) << "\": ";
-        if (a.is_string) {
-          os << "\"" << json_escape(a.text) << "\"";
-        } else {
-          os << a.text;
-        }
+    os << ", \"args\": {";
+    bool have_ids = s.span_id != 0;
+    if (have_ids) {
+      TraceContext tc{s.trace_hi, s.trace_lo, s.span_id};
+      os << "\"trace_id\": \"" << trace_id_hex(tc) << "\", \"span_id\": \""
+         << span_id_hex(s.span_id) << "\"";
+      if (s.parent_span_id != 0) {
+        os << ", \"parent_span_id\": \"" << span_id_hex(s.parent_span_id)
+           << "\"";
       }
-      os << "}";
+      if (s.link_span_id != 0) {
+        TraceContext lk{s.link_trace_hi, s.link_trace_lo, s.link_span_id};
+        os << ", \"link_trace_id\": \"" << trace_id_hex(lk)
+           << "\", \"link_span_id\": \"" << span_id_hex(s.link_span_id)
+           << "\"";
+      }
     }
-    os << "}";
+    if (!s.args.empty()) {
+      if (have_ids) os << ", ";
+      write_args_json(s.args, os);
+    }
+    os << "}}";
+
+    // Cross-thread parent→child hand-off: arrow from the parent's slice to
+    // this one. Same-thread nesting is already visible as slice stacking.
+    if (s.parent_span_id != 0) {
+      const auto it = sites.find(s.parent_span_id);
+      if (it != sites.end() && it->second.tid != s.tid) {
+        write_flow_pair(os, s.span_id, it->second.tid, s.ts_us, s.tid, s.ts_us,
+                        "psa.handoff");
+      }
+    }
+    // Explicit link (coalesced request → the winning execution).
+    if (s.link_span_id != 0) {
+      const auto it = sites.find(s.link_span_id);
+      if (it != sites.end()) {
+        write_flow_pair(os, s.span_id ^ 0x1ULL, s.tid, s.ts_us, it->second.tid,
+                        std::max(it->second.ts_us, s.ts_us), "psa.link");
+      }
+    }
   }
   os << "\n]}\n";
+}
+
+void TraceRecorder::write_trace_tree_json(std::uint64_t trace_hi,
+                                          std::uint64_t trace_lo,
+                                          std::ostream& os) const {
+  std::vector<SpanRecord> spans = snapshot_trace(trace_hi, trace_lo);
+  // Stable order: by start time, then span id, so repeated renders of a
+  // finished trace agree.
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.span_id < b.span_id;
+            });
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : spans) by_id[s.span_id] = &s;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.parent_span_id != 0 && by_id.count(s.parent_span_id) != 0) {
+      children[s.parent_span_id].push_back(&s);
+    } else {
+      roots.push_back(&s);
+    }
+  }
+
+  // Recursive lambda via explicit self-reference.
+  const auto write_span = [&](const SpanRecord& s, const auto& self) -> void {
+    char buf[160];
+    os << "{\"name\": \"" << json_escape(s.name) << "\", \"span_id\": \""
+       << span_id_hex(s.span_id) << "\"";
+    if (s.parent_span_id != 0) {
+      os << ", \"parent_span_id\": \"" << span_id_hex(s.parent_span_id)
+         << "\"";
+    }
+    std::snprintf(buf, sizeof buf,
+                  ", \"ts_us\": %.3f, \"dur_us\": %.3f, \"tid\": %u", s.ts_us,
+                  s.dur_us, s.tid);
+    os << buf;
+    if (!s.args.empty()) {
+      os << ", \"args\": {";
+      write_args_json(s.args, os);
+      os << "}";
+    }
+    const auto it = children.find(s.span_id);
+    if (it != children.end()) {
+      os << ", \"children\": [";
+      for (std::size_t i = 0; i < it->second.size(); ++i) {
+        if (i > 0) os << ", ";
+        self(*it->second[i], self);
+      }
+      os << "]";
+    }
+    os << "}";
+  };
+
+  TraceContext tc{trace_hi, trace_lo, 0};
+  os << "{\"trace_id\": \"" << trace_id_hex(tc) << "\", \"span_count\": "
+     << spans.size() << ", \"spans\": [";
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (i > 0) os << ", ";
+    write_span(*roots[i], write_span);
+  }
+  os << "]}";
 }
 
 void TraceRecorder::clear() {

@@ -1,4 +1,5 @@
-// trace.hpp — scoped wall-time trace spans with Chrome trace_event export.
+// trace.hpp — scoped wall-time trace spans with Chrome trace_event export,
+// plus the W3C-style trace context that links them into one causal tree.
 //
 // A Span records one [t0, t1) interval on the thread that ran it, plus a
 // name and optional key/value args; completed spans land in a per-thread
@@ -7,9 +8,23 @@
 // into the Chrome `trace_event` JSON format, loadable in chrome://tracing
 // or https://ui.perfetto.dev.
 //
+// Causality: every thread carries a current TraceContext (128-bit trace
+// id + the 64-bit id of the innermost open span). A Span captures that
+// context as its parent, allocates its own span id, and installs itself
+// for its scope, so nested spans form a tree. Hand-off points that move
+// work across threads (parallel_for chunks, ServingQueue executors)
+// capture the submitter's context and re-install it on the worker via
+// TraceContextScope, which turns the per-thread trees into one
+// request-wide tree. The exporter emits the ids on every slice and Chrome
+// flow events ("s"/"f") wherever a child ran on a different thread than
+// its parent, or a span carries an explicit link (coalesced requests).
+//
 // Spans are runtime-gated: when obs::enabled() is false, constructing a
 // Span costs one relaxed load and no clock read. The PSA_TRACE_SPAN macro
 // in obs.hpp additionally compiles to nothing in PSA_OBS=OFF builds.
+// TraceContext itself is *not* gated: generating and installing a context
+// is a few arithmetic ops, and the HTTP layer stamps X-PSA-Trace-Id on
+// every response whether or not span recording is on.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +43,60 @@ namespace psa::obs {
 /// Escape `s` for use inside a JSON string literal (quotes, backslashes,
 /// control characters). Shared by the trace exporter and the event log.
 std::string json_escape(const std::string& s);
+
+/// W3C-trace-context-shaped identity: a 128-bit trace id (two words) plus
+/// the 64-bit id of the span that is current on this thread. Zero trace id
+/// means "no context" (valid() == false), matching the W3C rule that an
+/// all-zero trace-id is invalid.
+struct TraceContext {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+  bool same_trace(const TraceContext& o) const {
+    return trace_hi == o.trace_hi && trace_lo == o.trace_lo;
+  }
+};
+
+/// Fresh context: new random-ish 128-bit trace id and a new root span id.
+/// Ids come from a process-global counter mixed through splitmix64 (unique
+/// within and across runs; no /dev/urandom dependency, never zero).
+TraceContext make_trace_context();
+
+/// Fresh 64-bit span id (never zero).
+std::uint64_t next_span_id();
+
+/// The calling thread's current context ({0,0,0} when none is installed).
+const TraceContext& current_trace_context();
+
+/// Install `ctx` as the calling thread's current context for this scope;
+/// the previous context is restored on destruction. Used at thread
+/// hand-off points (HTTP request entry, pool chunk bodies, serving
+/// executors) so spans opened downstream parent correctly.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// Parse a W3C `traceparent` header ("00-<32 hex>-<16 hex>-<2 hex>").
+/// Accepts any version except "ff"; rejects all-zero trace or parent ids.
+bool parse_traceparent(const std::string& header, TraceContext* out);
+
+/// Render `ctx` as a `traceparent` value (version 00, flags 01).
+std::string format_traceparent(const TraceContext& ctx);
+
+/// 32 lowercase hex chars of the 128-bit trace id.
+std::string trace_id_hex(const TraceContext& ctx);
+
+/// 16 lowercase hex chars of a span id.
+std::string span_id_hex(std::uint64_t span_id);
 
 /// One span argument, pre-rendered to its JSON literal (numbers stay bare,
 /// strings get quoted/escaped at export time).
@@ -65,6 +134,13 @@ struct SpanRecord {
   double ts_us = 0.0;   // start, microseconds on the obs::now_us clock
   double dur_us = 0.0;
   std::uint32_t tid = 0;
+  std::uint64_t trace_hi = 0;        // owning trace (0 = untraced span)
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  // 0 = root of its trace
+  std::uint64_t link_trace_hi = 0;   // optional link target (coalescing):
+  std::uint64_t link_trace_lo = 0;   //   another trace this span points at
+  std::uint64_t link_span_id = 0;
   std::vector<TraceArg> args;
 };
 
@@ -82,8 +158,22 @@ class TraceRecorder {
   std::vector<SpanRecord> snapshot() const;
   std::size_t span_count() const;
 
-  /// Chrome trace_event JSON ({"traceEvents": [...]}) of every span.
+  /// Copy of every recorded span belonging to trace (hi, lo).
+  std::vector<SpanRecord> snapshot_trace(std::uint64_t trace_hi,
+                                         std::uint64_t trace_lo) const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) of every span. Each
+  /// slice carries args.trace_id / args.span_id / args.parent_span_id hex
+  /// strings; cross-thread parent→child edges and explicit links also emit
+  /// flow-event pairs (ph "s" at the source, ph "f" bp "e" at the sink).
   void write_chrome_json(std::ostream& os) const;
+
+  /// The span tree of one trace as nested JSON:
+  ///   {"trace_id":"...","spans":[{name,span_id,parent_span_id,ts_us,
+  ///    dur_us,tid,args{...},children:[...]}]}
+  /// Roots are spans whose parent was not recorded in this trace.
+  void write_trace_tree_json(std::uint64_t trace_hi, std::uint64_t trace_lo,
+                             std::ostream& os) const;
 
   /// Drop all recorded spans (buffers stay registered).
   void clear();
@@ -109,27 +199,31 @@ class TraceRecorder {
 };
 
 /// RAII span. Inactive (no clock read, nothing recorded) when
-/// obs::enabled() is false at construction.
+/// obs::enabled() is false at construction. When active, the span joins
+/// the thread's current trace (or roots a fresh one), parents under the
+/// innermost open span, and is itself current until destruction.
 class Span {
  public:
   explicit Span(const char* name) : Span(name, {}) {}
-  Span(const char* name, std::initializer_list<TraceArg> args) {
-    if (!enabled()) return;
-    active_ = true;
-    rec_.name = name;
-    rec_.args.assign(args.begin(), args.end());
-    rec_.ts_us = now_us();
-  }
-  ~Span() {
-    if (!active_) return;
-    rec_.dur_us = now_us() - rec_.ts_us;
-    TraceRecorder::global().record(std::move(rec_));
-  }
+  Span(const char* name, std::initializer_list<TraceArg> args);
+  ~Span();
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// This span's identity (all-zero when the span is inactive).
+  const TraceContext& context() const { return ctx_; }
+
+  /// Point this span at another trace (rendered as a flow edge); used by
+  /// coalesced submitters to reference the one executing trace.
+  void link(const TraceContext& target);
+
+  /// Append an argument after construction (no-op when inactive).
+  void add_arg(TraceArg arg);
+
  private:
   bool active_ = false;
+  TraceContext ctx_;
+  TraceContext prev_;   // restored as current on destruction
   SpanRecord rec_;
 };
 

@@ -38,6 +38,7 @@
 #include "fixtures.hpp"
 #include "golden_common.hpp"
 #include "net/serving.hpp"
+#include "obs/obs.hpp"
 
 namespace psa {
 namespace {
@@ -95,6 +96,19 @@ std::string json_field(const std::string& body, const std::string& field) {
     end = body.find_first_of(",}", start);
   }
   return end == std::string::npos ? "" : body.substr(start, end - start);
+}
+
+/// Drop the `,"trace_id":"..."` field: a verdict body is a pure function
+/// of the scenario EXCEPT for the id of the trace that produced it, which
+/// is fresh per executed request by design.
+std::string strip_trace_id(std::string body) {
+  const std::string key = ",\"trace_id\":\"";
+  const std::size_t at = body.find(key);
+  if (at == std::string::npos) return body;
+  const std::size_t end = body.find('"', at + key.size());
+  if (end == std::string::npos) return body;
+  body.erase(at, end + 1 - at);
+  return body;
 }
 
 /// The "scores_hex" array as 16 hex words.
@@ -474,7 +488,8 @@ TEST_F(ScanServiceTest, ChunkedScanDecodesToTheSameVerdict) {
   EXPECT_NE(chunked_resp.find("Transfer-Encoding: chunked"),
             std::string::npos);
   // Reassemble the chunked body and compare verbatim (same scenario, same
-  // bits — the transport must not touch the payload).
+  // bits — the transport must not touch the payload). The two requests are
+  // distinct executions, so only the trace_id field may differ.
   std::string reassembled;
   const std::string raw = body_of(chunked_resp);
   std::size_t pos = 0;
@@ -487,8 +502,47 @@ TEST_F(ScanServiceTest, ChunkedScanDecodesToTheSameVerdict) {
     reassembled += raw.substr(eol + 2, len);
     pos = eol + 2 + len + 2;
   }
-  EXPECT_EQ(reassembled, plain);
+  EXPECT_EQ(strip_trace_id(reassembled), strip_trace_id(plain));
+  EXPECT_NE(json_field(reassembled, "trace_id"), "");
 }
+
+#if PSA_OBS_ENABLED
+TEST_F(ScanServiceTest, TraceQueryReturnsTheCompletedSpanTree) {
+  // ?trace=1 splices the finished span tree of the executing trace into
+  // the verdict: the tree's root is the request's own trace (echoed in
+  // X-PSA-Trace-Id), and its leaves reach down to the parallel.chunk
+  // fan-out that computed the scores.
+  obs::TraceRecorder::global().clear();
+  obs::set_enabled(true);
+  const std::string resp =
+      scan("{\"trojan\":\"t1\",\"seed\":42}", "/scan?trace=1");
+  obs::set_enabled(false);
+  obs::TraceRecorder::global().clear();
+
+  ASSERT_NE(resp.find("200"), std::string::npos) << resp.substr(0, 200);
+  const std::string hdr_key = "X-PSA-Trace-Id: ";
+  const std::size_t hdr_at = resp.find(hdr_key);
+  ASSERT_NE(hdr_at, std::string::npos);
+  const std::string header_trace =
+      resp.substr(hdr_at + hdr_key.size(), 32);
+
+  const std::string body = body_of(resp);
+  EXPECT_EQ(json_field(body, "trace_id"), header_trace);
+  const std::size_t tree_at = body.find("\"trace\":");
+  ASSERT_NE(tree_at, std::string::npos);
+  const std::string tree = body.substr(tree_at);
+  EXPECT_NE(tree.find(header_trace), std::string::npos)
+      << "span tree not rooted in the request's trace";
+  EXPECT_NE(tree.find("serving.execute"), std::string::npos);
+  EXPECT_NE(tree.find("parallel.chunk"), std::string::npos)
+      << "span tree is missing the compute fan-out leaves";
+
+  // Without ?trace the verdict carries the id but no tree.
+  const std::string plain = body_of(scan("{\"trojan\":\"t1\",\"seed\":42}"));
+  EXPECT_EQ(plain.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(json_field(plain, "trace_id"), "");
+}
+#endif  // PSA_OBS_ENABLED
 
 TEST_F(ScanServiceTest, MalformedScanBodiesGet400) {
   const char* bad[] = {
@@ -569,7 +623,9 @@ TEST_F(ScanServiceTest, IdenticalConcurrentScansShareOneExecution) {
   }
   for (std::thread& t : threads) t.join();
   for (const std::string& b : bodies) {
-    EXPECT_EQ(b, bodies[0]);  // every client gets the identical verdict
+    // Every client gets the identical verdict; separate executions (when a
+    // group completed before the next submit) differ only in trace_id.
+    EXPECT_EQ(strip_trace_id(b), strip_trace_id(bodies[0]));
     EXPECT_NE(b.find("scores_hex"), std::string::npos);
   }
   // Concurrency makes the exact coalesce count timing-dependent, but the

@@ -7,7 +7,13 @@
 //     the threshold — a slowdown that hides from the throughput fields
 //     (e.g. a p99 or per-phase timing) fails the gate too.
 //
+//   * budget fields (leaf ends in "overhead_pct") must not EXCEED the
+//     absolute --overhead-budget percentage (default 2.0, the
+//     observability budget; negative disables) — gated on the NEW file
+//     alone, so a freshly added traced arm is gated from its first run.
+//
 //   bench_diff OLD.json NEW.json [--threshold 0.15] [--key-suffix _per_s]
+//              [--overhead-budget 2.0]
 //
 // Fields present in only one file are reported but not fatal (bench shape
 // may evolve). The comparison logic lives in bench_diff_lib.hpp so the unit
@@ -43,6 +49,7 @@ bool load(const char* path, std::map<std::string, double>* out) {
 
 int main(int argc, char** argv) {
   double threshold = 0.15;
+  double overhead_budget = 2.0;
   std::string suffix = "_per_s";
   const char* old_path = nullptr;
   const char* new_path = nullptr;
@@ -50,6 +57,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--threshold" && i + 1 < argc) {
       threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--overhead-budget" && i + 1 < argc) {
+      overhead_budget = std::strtod(argv[++i], nullptr);
     } else if (arg == "--key-suffix" && i + 1 < argc) {
       suffix = argv[++i];
     } else if (!old_path) {
@@ -64,7 +73,7 @@ int main(int argc, char** argv) {
   if (!old_path || !new_path) {
     std::fprintf(stderr,
                  "usage: bench_diff OLD.json NEW.json [--threshold 0.15] "
-                 "[--key-suffix _per_s]\n");
+                 "[--key-suffix _per_s] [--overhead-budget 2.0]\n");
     return 2;
   }
 
@@ -72,7 +81,7 @@ int main(int argc, char** argv) {
   if (!load(old_path, &before) || !load(new_path, &after)) return 2;
 
   const benchdiff::CompareResult result =
-      benchdiff::compare(before, after, threshold, suffix);
+      benchdiff::compare(before, after, threshold, suffix, overhead_budget);
   for (const std::string& line : result.lines) {
     std::printf("%s\n", line.c_str());
   }

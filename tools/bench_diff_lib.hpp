@@ -8,10 +8,16 @@
 //     "throughput"  -> higher is better; fail when NEW < OLD*(1-threshold)
 //   * leaf ends with "_ms" or "_us"  -> lower is better (latency); fail
 //     when NEW > OLD*(1+threshold)
+//   * leaf ends with "overhead_pct"  -> absolute budget, not a relative
+//     diff: fail when the NEW value exceeds `overhead_budget` percent
+//     (default 2.0 — the observability budget; negative disables). The
+//     OLD value is irrelevant: "tracing costs < 2%" is a property of the
+//     new build alone.
 //   * anything else  -> not gated
 //
 // Fields present in only one file are reported but never fatal — bench
-// shape evolves across PRs and the gate must not block adding a new arm.
+// shape evolves across PRs and the gate must not block adding a new arm
+// (budget leaves are the exception: they gate on the NEW file alone).
 #pragma once
 
 #include <cctype>
@@ -183,6 +189,7 @@ inline bool flatten_json(const std::string& text,
 enum class Direction {
   kHigherIsBetter,  // throughput-style: regression = falling
   kLowerIsBetter,   // latency-style: regression = rising
+  kBudget,          // absolute ceiling on the NEW value (overhead_pct)
   kUngated,         // config / metadata: never compared
 };
 
@@ -204,6 +211,9 @@ inline Direction classify_leaf(const std::string& path,
   // Detection-quality leaves: AUC can only fall by regression, never by
   // runner variance, so the ROC harness gates them at a tight threshold.
   if (ends_with(leaf, "_auc")) return Direction::kHigherIsBetter;
+  // Budget leaves before the latency rule: "overhead_pct" must not match
+  // nothing, and a hypothetical "overhead_pct_ms" should stay latency.
+  if (ends_with(leaf, "overhead_pct")) return Direction::kBudget;
   if (ends_with(leaf, "_ms") || ends_with(leaf, "_us")) {
     return Direction::kLowerIsBetter;
   }
@@ -217,16 +227,20 @@ struct CompareResult {
 };
 
 /// Compare every gated field of `before` against `after` with the given
-/// relative threshold. Missing fields produce report lines but no failures.
+/// relative threshold. Missing fields produce report lines but no failures
+/// — except budget leaves ("overhead_pct"), which are absolute ceilings on
+/// the NEW file and fail whenever NEW > overhead_budget percent (negative
+/// budget disables them).
 inline CompareResult compare(const std::map<std::string, double>& before,
                              const std::map<std::string, double>& after,
                              double threshold,
-                             const std::string& rate_suffix = "_per_s") {
+                             const std::string& rate_suffix = "_per_s",
+                             double overhead_budget = 2.0) {
   CompareResult result;
   char buf[256];
   for (const auto& [path, old_v] : before) {
     const Direction dir = classify_leaf(path, rate_suffix);
-    if (dir == Direction::kUngated) continue;
+    if (dir == Direction::kUngated || dir == Direction::kBudget) continue;
     const auto it = after.find(path);
     if (it == after.end()) {
       std::snprintf(buf, sizeof(buf), "  ?  %-40s only in OLD", path.c_str());
@@ -248,8 +262,19 @@ inline CompareResult compare(const std::map<std::string, double>& before,
     if (bad) ++result.regressions;
   }
   for (const auto& [path, v] : after) {
-    if (classify_leaf(path, rate_suffix) != Direction::kUngated &&
-        before.count(path) == 0) {
+    const Direction dir = classify_leaf(path, rate_suffix);
+    if (dir == Direction::kBudget) {
+      if (overhead_budget < 0.0) continue;
+      ++result.compared;
+      const bool bad = v > overhead_budget;
+      std::snprintf(buf, sizeof(buf),
+                    "  %s  %-40s %12.2f  (budget <= %.2f%%)",
+                    bad ? "FAIL" : " ok ", path.c_str(), v, overhead_budget);
+      result.lines.push_back(buf);
+      if (bad) ++result.regressions;
+      continue;
+    }
+    if (dir != Direction::kUngated && before.count(path) == 0) {
       std::snprintf(buf, sizeof(buf), "  ?  %-40s only in NEW (%.2f)",
                     path.c_str(), v);
       result.lines.push_back(buf);

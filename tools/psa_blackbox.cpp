@@ -1,0 +1,201 @@
+// psa_blackbox — human-friendly viewer for flight-recorder bundles.
+//
+// A blackbox bundle (GET /fleet/chips/<k>/blackbox, or the
+// chip<k>_blackbox.json files psa_monitord drops under PSA_BLACKBOX_DIR) is
+// deliberately machine-shaped: one field per line so forensic diffs can
+// filter the wall-clock lines. This tool renders the window as a table with
+// a z-score sparkline, so "what did the chip see in the ticks before the
+// alarm" is one command:
+//
+//   psa_blackbox chip3_blackbox.json
+//   curl -s localhost:9466/fleet/chips/3/blackbox | psa_blackbox -
+//
+// Flags:
+//   --raw    echo the bundle verbatim (after validating it parses)
+//
+// Exit status: 0 on a well-formed bundle, 2 on parse/IO errors — so CI can
+// use it as a cheap validator as well as a viewer.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Minimal field scraper for the bundle's fixed one-field-per-line shape:
+/// every scalar sits on its own line as  "key": value[,]  — no nesting
+/// ambiguity to resolve, so line-oriented parsing is exact, not heuristic.
+struct Record {
+  std::map<std::string, std::string> fields;  // raw value text by key
+  std::string detectors;                      // the inline detectors object
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// "key" from a `"key": value` line ("" when the line is not a field).
+std::string key_of(const std::string& line, std::string* value) {
+  const std::size_t q0 = line.find('"');
+  if (q0 == std::string::npos) return "";
+  const std::size_t q1 = line.find('"', q0 + 1);
+  if (q1 == std::string::npos) return "";
+  const std::size_t colon = line.find(':', q1);
+  if (colon == std::string::npos) return "";
+  std::string v = trim(line.substr(colon + 1));
+  if (!v.empty() && v.back() == ',') v.pop_back();
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+    v = v.substr(1, v.size() - 2);
+  }
+  *value = v;
+  return line.substr(q0 + 1, q1 - q0 - 1);
+}
+
+std::string spark(const std::vector<double>& v) {
+  static const char* levels[] = {"▁", "▂", "▃", "▄",
+                                 "▅", "▆", "▇", "█"};
+  double lo = 1e300, hi = -1e300;
+  for (const double x : v) {
+    lo = x < lo ? x : lo;
+    hi = x > hi ? x : hi;
+  }
+  std::string out;
+  for (const double x : v) {
+    const double t = hi > lo ? (x - lo) / (hi - lo) : 0.0;
+    out += levels[static_cast<int>(t * 7.0 + 0.5)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool raw = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--raw") == 0) {
+      raw = true;
+    } else if (!path) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: psa_blackbox [--raw] FILE|-\n");
+      return 2;
+    }
+  }
+  if (!path) {
+    std::fprintf(stderr, "usage: psa_blackbox [--raw] FILE|-\n");
+    return 2;
+  }
+
+  std::string text;
+  if (std::strcmp(path, "-") == 0) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "psa_blackbox: cannot open %s\n", path);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  // Split header fields from window records by tracking whether we are
+  // inside the "window" array; a record starts at "{" and ends at "}".
+  std::map<std::string, std::string> header;
+  std::vector<Record> window;
+  bool in_window = false;
+  Record current;
+  bool in_record = false;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::string t = trim(line);
+    if (t == "\"window\": [") {
+      in_window = true;
+      continue;
+    }
+    if (!in_window) {
+      std::string value;
+      const std::string key = key_of(line, &value);
+      if (!key.empty()) header[key] = value;
+      continue;
+    }
+    if (t == "{") {
+      in_record = true;
+      current = Record{};
+      continue;
+    }
+    if (t == "}" || t == "},") {
+      if (in_record) window.push_back(current);
+      in_record = false;
+      continue;
+    }
+    if (!in_record) continue;
+    std::string value;
+    const std::string key = key_of(line, &value);
+    if (key == "detectors") {
+      current.detectors = value;
+    } else if (!key.empty()) {
+      current.fields[key] = value;
+    }
+  }
+
+  if (header.find("chip") == header.end() ||
+      header.find("reason") == header.end()) {
+    std::fprintf(stderr,
+                 "psa_blackbox: %s does not look like a blackbox bundle "
+                 "(missing chip/reason)\n",
+                 path);
+    return 2;
+  }
+
+  if (raw) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("blackbox: chip %s (%s)  trojan=%s cohort=%s seed=%s\n",
+              header["chip"].c_str(), header["label"].c_str(),
+              header["trojan"].c_str(), header["cohort"].c_str(),
+              header["seed"].c_str());
+  std::printf("frozen by: %s (detector=%s) at tick %s   alarms=%s "
+              "mttd_ticks=%s quarantine=%s\n",
+              header["reason"].c_str(), header["detector"].c_str(),
+              header["trigger_tick"].c_str(), header["alarms"].c_str(),
+              header["mttd_ticks"].c_str(),
+              header["quarantine_cause"].c_str());
+
+  std::vector<double> zs;
+  zs.reserve(window.size());
+  for (Record& r : window) zs.push_back(std::atof(r.fields["z"].c_str()));
+  if (!zs.empty()) {
+    std::printf("z window (%zu ticks): %s\n\n", zs.size(), spark(zs).c_str());
+  }
+
+  std::printf("%6s  %14s  %8s  %7s  %10s  %-32s  %s\n", "tick", "z", "detect",
+              "alarm", "dur_us", "trace_id", "detectors");
+  for (Record& r : window) {
+    std::printf("%6s  %14s  %8s  %7s  %10s  %-32s  %s\n",
+                r.fields["tick"].c_str(), r.fields["z"].c_str(),
+                r.fields["detected"].c_str(), r.fields["alarmed"].c_str(),
+                r.fields["dur_us"].c_str(),
+                r.fields.count("trace_id") ? r.fields["trace_id"].c_str()
+                                           : "-",
+                r.detectors.empty() ? "{}" : r.detectors.c_str());
+  }
+  std::printf("\n%zu record(s)\n", window.size());
+  return 0;
+}

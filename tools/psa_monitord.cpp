@@ -40,6 +40,12 @@
 //   --tick-deadline-us N  per-session tick deadline; a chip overrunning it
 //                         repeatedly is quarantined (default 0 = off)
 //
+// Fleet mode also serves GET /fleet/chips/<k>/blackbox (the flight-recorder
+// bundle frozen when chip k alarms or is quarantined) and, when the
+// PSA_BLACKBOX_DIR environment variable names a directory, dumps every
+// newly frozen bundle there as chip<k>_blackbox.json (atomic tmp+rename,
+// latest freeze wins).
+//
 // In fleet mode --activate-at/--fault-at/... apply per the fleet spec:
 // activation to every infected cohort, the fault window to cohort 0.
 //
@@ -52,6 +58,7 @@
 #include <cstring>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -161,6 +168,34 @@ bool parse_extras(int argc, char** argv, Schedule* sched, int* port,
   return true;
 }
 
+/// Dump every blackbox frozen since the last call into `dir` as
+/// chip<k>_blackbox.json. Atomic per file (tmp + rename, the same pattern
+/// the obs export tail uses) so a reader never sees a half-written bundle;
+/// a later freeze for the same chip overwrites with the newer window.
+void dump_fresh_blackboxes(psa::fleet::FleetEngine& engine,
+                           const std::string& dir) {
+  for (std::size_t k = 0; k < engine.size(); ++k) {
+    const std::string bundle = engine.session(k).take_fresh_blackbox();
+    if (bundle.empty()) continue;
+    const std::string path =
+        dir + "/chip" + std::to_string(k) + "_blackbox.json";
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "psa_monitord: cannot write %s\n", tmp.c_str());
+      continue;
+    }
+    out << bundle;
+    out.close();
+    if (!out.good() || std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      continue;
+    }
+    PSA_EVENT(kInfo, "monitord.blackbox_dumped",
+              {{"chip", k}, {"path", path}});
+  }
+}
+
 /// Sleep `ms` in short slices so SIGINT lands within ~50 ms.
 void interruptible_sleep_ms(double ms) {
   using clock = std::chrono::steady_clock;
@@ -248,17 +283,29 @@ int run_fleet(const psa::bench::Args& args, const Schedule& sched, int port,
   engine.enroll();
   g_phase.store(1, std::memory_order_relaxed);
 
+  const char* blackbox_env = std::getenv("PSA_BLACKBOX_DIR");
+  const std::string blackbox_dir = blackbox_env ? blackbox_env : "";
+
   for (std::size_t i = 0;
        (sched.traces == 0 || i < sched.traces) &&
        !g_stop.load(std::memory_order_relaxed);
        ++i) {
     g_phase.store(i >= sched.activate_at ? 2 : 1, std::memory_order_relaxed);
-    if (engine.run_ticks(1) == 0) break;  // whole fleet quarantined
+    std::size_t ran = 0;
+    {
+      // Root one trace per fleet tick so every session's flight records
+      // (and any /metrics exemplars) carry the tick's trace id.
+      PSA_TRACE_SPAN("fleet.tick", {{"tick", i}});
+      ran = engine.run_ticks(1);
+    }
+    if (ran == 0) break;  // whole fleet quarantined
+    if (!blackbox_dir.empty()) dump_fresh_blackboxes(engine, blackbox_dir);
     const fleet::FleetRollup r = engine.rollup();
     g_trace.store(r.ticks, std::memory_order_relaxed);
     g_alarms.store(r.alarms, std::memory_order_relaxed);
     interruptible_sleep_ms(sched.interval_ms);
   }
+  if (!blackbox_dir.empty()) dump_fresh_blackboxes(engine, blackbox_dir);
 
   g_phase.store(3, std::memory_order_relaxed);
   const fleet::FleetRollup r = engine.rollup();
